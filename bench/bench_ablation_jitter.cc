@@ -1,0 +1,76 @@
+// Ablation — jitter computation (DESIGN.md decision 6): RFC 3550
+// packetization-corrected frame-level jitter vs. naive packet
+// interarrival variance. The naive estimator reads Zoom's bursty,
+// variable-packetization traffic as huge jitter even on a clean path.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/jitter.h"
+#include "util/serial.h"
+#include "net/packet.h"
+#include "proto/rtp.h"
+#include "sim/meeting.h"
+#include "zoom/classify.h"
+
+using namespace zpm;
+
+int main() {
+  bench::banner("Ablation", "RFC 3550 frame-level jitter vs naive interarrival");
+
+  // One clean meeting (nearly no network jitter) and one congested.
+  for (double path_jitter_ms : {0.2, 6.0}) {
+    sim::MeetingConfig mc;
+    mc.seed = 600;
+    mc.start = util::Timestamp::from_seconds(0);
+    mc.duration = util::Duration::seconds(40);
+    sim::ParticipantConfig a, b;
+    a.ip = net::Ipv4Addr(10, 8, 0, 1);
+    b.ip = net::Ipv4Addr(10, 8, 0, 2);
+    a.wan_path.jitter_ms = path_jitter_ms;
+    b.wan_path.jitter_ms = path_jitter_ms;
+    a.video.reduced_mode_fraction = 0.0;
+    mc.participants = {a, b};
+    sim::MeetingSim sim(mc);
+
+    // Feed ONE video stream (a single SSRC on a single downlink flow —
+    // the sub-stream discipline §5.4 demands) into both estimators.
+    metrics::JitterEstimator frame_level(zoom::kVideoClockHz);
+    metrics::NaiveInterarrivalJitter naive;
+    std::optional<std::uint32_t> watched_ssrc;
+    std::optional<net::FiveTuple> watched_flow;
+    std::uint32_t last_ts = 0;
+    bool have_ts = false;
+    while (auto pkt = sim.next_packet()) {
+      auto view = net::decode_packet(*pkt);
+      if (!view || view->l4 != net::L4Proto::Udp) continue;
+      if (view->udp.src_port != zoom::kServerMediaPort) continue;
+      auto zp = zoom::dissect(view->l4_payload, zoom::Transport::ServerBased);
+      if (!zp || !zp->is_media()) continue;
+      if (zp->media_kind() != zoom::MediaKind::Video) continue;
+      if (zp->rtp->payload_type != zoom::pt::kVideoMain) continue;
+      if (!watched_ssrc) {
+        watched_ssrc = zp->rtp->ssrc;
+        watched_flow = view->five_tuple();
+      }
+      if (zp->rtp->ssrc != *watched_ssrc || !(view->five_tuple() == *watched_flow))
+        continue;
+      naive.add(view->ts);  // every packet: the naive way
+      if (!have_ts || util::serial_less(last_ts, zp->rtp->timestamp)) {
+        // First packet of each new frame (advancing media time — late
+        // retransmissions carry old timestamps and are skipped).
+        frame_level.add(view->ts, zp->rtp->timestamp);
+        last_ts = zp->rtp->timestamp;
+        have_ts = true;
+      }
+    }
+    std::printf("path jitter %.1f ms:\n", path_jitter_ms);
+    std::printf("  RFC 3550 frame-level estimate: %7.2f ms  (tracks the path)\n",
+                frame_level.jitter_ms());
+    std::printf("  naive interarrival stddev:     %7.2f ms  (dominated by frame\n",
+                naive.jitter_ms());
+    std::printf("  pacing + packet bursts, regardless of the network)\n\n");
+  }
+  std::printf("conclusion (§5.4): without RTP-timestamp correction and frame\n");
+  std::printf("grouping, 'jitter' mostly measures the codec, not the network.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation — why the paper's techniques work at all: Zoom's SFU
+// forwards RTP headers verbatim ("Zoom's SFU does not translate
+// timestamps or sequence numbers", §4.3). This bench runs the same
+// meeting against a hypothetical header-rewriting SFU and shows that
+// duplicate-stream matching (and with it meeting grouping and the
+// RTP-copy RTT method) collapses.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/analyzer.h"
+#include "sim/meeting.h"
+
+using namespace zpm;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t media;       // distinct media ids found
+  std::size_t meetings;
+  std::size_t rtt_samples;   // §5.3 method-1 probes
+};
+
+Outcome run(bool rewrites) {
+  sim::MeetingConfig mc;
+  mc.seed = 700;
+  mc.start = util::Timestamp::from_seconds(0);
+  mc.duration = util::Duration::seconds(45);
+  mc.sfu_rewrites_rtp = rewrites;
+  sim::ParticipantConfig a, b;
+  a.ip = net::Ipv4Addr(10, 8, 0, 1);
+  b.ip = net::Ipv4Addr(10, 8, 0, 2);
+  mc.participants = {a, b};
+  sim::MeetingSim sim(mc);
+  core::AnalyzerConfig cfg;
+  cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
+  core::Analyzer analyzer(cfg);
+  while (auto pkt = sim.next_packet()) analyzer.offer(*pkt);
+  analyzer.finish();
+  return Outcome{analyzer.streams().media_count(),
+                 analyzer.meetings().meeting_count(),
+                 analyzer.sfu_rtt_samples().size()};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "Verbatim-forwarding SFU (Zoom) vs rewriting SFU");
+
+  Outcome zoom_like = run(false);
+  Outcome rewriting = run(true);
+
+  util::TextTable table;
+  table.header({"SFU behaviour", "Distinct media", "Meetings", "RTT probes"},
+               {util::Align::Left, util::Align::Right, util::Align::Right,
+                util::Align::Right});
+  table.row({"forwards RTP verbatim (Zoom)", std::to_string(zoom_like.media),
+             std::to_string(zoom_like.meetings),
+             std::to_string(zoom_like.rtt_samples)});
+  table.row({"rewrites seq+ts per receiver", std::to_string(rewriting.media),
+             std::to_string(rewriting.meetings),
+             std::to_string(rewriting.rtt_samples)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("two-party meeting, 4 real media streams. With verbatim\n");
+  std::printf("forwarding, uplink+downlink copies collapse to 4 media and one\n");
+  std::printf("meeting, and every forwarded packet is an RTT probe. A\n");
+  std::printf("rewriting SFU makes every wire stream look like fresh media —\n");
+  std::printf("no copies to match (%llu media), and zero RTT probes: the\n",
+              static_cast<unsigned long long>(rewriting.media));
+  std::printf("paper's §4.3/§5.3 techniques are possible *because* Zoom's SFU\n");
+  std::printf("is a pure forwarder.\n\n");
+  std::printf("checks: verbatim media==4: %s | rewriting probes==0: %s\n",
+              zoom_like.media == 4 ? "yes" : "NO",
+              rewriting.rtt_samples == 0 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace zpm::bench {
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("(reproduction on synthetic campus traffic; compare shapes,\n");
+  std::printf(" not absolute numbers — see EXPERIMENTS.md)\n");
+  std::printf("==============================================================\n\n");
+}
+
+/// Renders a sparkline-style ASCII bar of width proportional to
+/// value/max (for time-series figures).
+inline std::string bar(double value, double max, int width = 50) {
+  if (max <= 0) return "";
+  int n = static_cast<int>(value / max * width + 0.5);
+  if (n > width) n = width;
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace zpm::bench

@@ -1,0 +1,102 @@
+// Fig. 4/5 — entropy-based packet header analysis: extract 1/2/4-byte
+// value sequences from one simulated Zoom UDP flow, classify each
+// (random / identifier / counter), and show that the RTP locator + type
+// differencing rediscover the Table 2 offsets with no Zoom knowledge.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "entropy/analysis.h"
+#include "net/packet.h"
+#include "sim/meeting.h"
+#include "zoom/constants.h"
+
+using namespace zpm;
+
+int main() {
+  bench::banner("Fig. 4/5 (§4.2)", "Entropy-based Packet Header Analysis");
+
+  // Capture the P2P flow of one meeting: pure media encapsulation after
+  // the UDP header, like the flows the paper plotted.
+  sim::MeetingConfig mc;
+  mc.seed = 5;
+  mc.start = util::Timestamp::from_seconds(0);
+  mc.duration = util::Duration::seconds(60);
+  sim::ParticipantConfig a, b;
+  a.ip = net::Ipv4Addr(10, 8, 0, 1);
+  a.send_screen_share = true;
+  b.ip = net::Ipv4Addr(98, 0, 0, 9);
+  b.on_campus = false;
+  mc.participants = {a, b};
+  mc.p2p_switch_after = util::Duration::seconds(2);
+  sim::MeetingSim sim(mc);
+
+  std::vector<std::vector<std::uint8_t>> payloads;
+  while (auto pkt = sim.next_packet()) {
+    auto view = net::decode_packet(*pkt);
+    if (!view || view->l4 != net::L4Proto::Udp) continue;
+    if (view->udp.dst_port == 3478 || view->udp.src_port == 3478) continue;
+    if (view->udp.dst_port == zoom::kServerMediaPort ||
+        view->udp.src_port == zoom::kServerMediaPort)
+      continue;
+    payloads.emplace_back(view->l4_payload.begin(), view->l4_payload.end());
+  }
+  std::printf("flow under analysis: %zu packets (single UDP 5-tuple)\n\n",
+              payloads.size());
+
+  // Step 1+2: extract and classify all 1/2/4-byte sequences.
+  auto sequences = entropy::extract_sequences(payloads, 40);
+  util::TextTable table;
+  table.header({"Offset", "Width", "Class", "H/H_max", "Distinct", "Monotone"},
+               {util::Align::Right, util::Align::Right, util::Align::Left,
+                util::Align::Right, util::Align::Right, util::Align::Right});
+  // Print the most informative offsets (the ones Fig. 5 shows).
+  for (const auto& seq : sequences) {
+    if (!((seq.width == 1 && seq.offset <= 1) ||
+          (seq.width == 2 && (seq.offset == 9 || seq.offset == 21)) ||
+          (seq.width == 4 && (seq.offset == 11 || seq.offset == 36))))
+      continue;
+    auto c = entropy::classify_sequence(seq);
+    table.row({std::to_string(seq.offset), std::to_string(seq.width),
+               entropy::field_class_name(c.cls), util::fixed(c.normalized_entropy, 2),
+               util::fixed(c.distinct_ratio, 2), util::fixed(c.monotone_ratio, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Step 3: offset-group differencing rediscovers Table 2.
+  auto offsets = entropy::discover_type_offsets(payloads);
+  std::printf("type-byte differencing (§4.2.2) — discovered RTP offsets:\n");
+  bool ok = true;
+  for (const auto& [type, offset] : offsets) {
+    std::size_t expected = zoom::media_payload_offset(type);
+    std::printf("  type %3d -> RTP at +%zu   (Table 2: +%zu) %s\n", type, offset,
+                expected, offset == expected ? "match" : "MISMATCH");
+    ok = ok && offset == expected;
+  }
+  if (offsets.empty()) ok = false;
+
+  // Step 4: RTCP discovery via SSRC cross-reference.
+  std::vector<std::vector<std::uint8_t>> rtp_like, residual;
+  for (const auto& p : payloads) {
+    if (!p.empty() && offsets.contains(p[0])) rtp_like.push_back(p);
+    else residual.push_back(p);
+  }
+  std::set<std::uint32_t> ssrcs;
+  for (const auto& [type, offset] : offsets) {
+    std::vector<std::vector<std::uint8_t>> group;
+    for (const auto& p : rtp_like)
+      if (p[0] == type) group.push_back(p);
+    auto found = entropy::collect_ssrcs(group, offset);
+    ssrcs.insert(found.begin(), found.end());
+  }
+  auto hits = entropy::find_ssrc_references(residual, ssrcs);
+  std::printf("\nRTCP search: %zu media SSRCs cross-referenced against %zu\n",
+              ssrcs.size(), residual.size());
+  std::printf("residual packets; SSRC found at offsets:");
+  for (const auto& [off, n] : hits)
+    if (n > 4) std::printf(" +%zu(x%zu)", off, n);
+  std::printf("\n(paper: RTCP sender reports found by exactly this method)\n\n");
+
+  std::printf("verdict: format rediscovered from bytes alone: %s\n",
+              ok ? "yes" : "NO");
+  return 0;
+}

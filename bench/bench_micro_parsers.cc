@@ -1,0 +1,95 @@
+// Engineering microbenchmarks: parser hot paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "net/build.h"
+#include "net/packet.h"
+#include "proto/rtp.h"
+#include "proto/stun.h"
+#include "sim/wire.h"
+#include "util/rng.h"
+#include "zoom/classify.h"
+
+namespace {
+
+using namespace zpm;
+
+std::vector<std::uint8_t> sample_media_payload(bool server) {
+  util::Rng rng(1);
+  sim::MediaPacketSpec spec;
+  spec.encap_type = zoom::MediaEncapType::Video;
+  spec.payload_type = zoom::pt::kVideoMain;
+  spec.ssrc = 0x42;
+  spec.packets_in_frame = 3;
+  spec.payload_bytes = 1100;
+  auto inner = sim::build_media_payload(spec, rng);
+  return server ? sim::wrap_sfu(inner, 7, true) : inner;
+}
+
+void BM_DissectServerMedia(benchmark::State& state) {
+  auto payload = sample_media_payload(true);
+  for (auto _ : state) {
+    auto zp = zoom::dissect(payload, zoom::Transport::ServerBased);
+    benchmark::DoNotOptimize(zp);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_DissectServerMedia);
+
+void BM_DissectP2pMedia(benchmark::State& state) {
+  auto payload = sample_media_payload(false);
+  for (auto _ : state) {
+    auto zp = zoom::dissect(payload, zoom::Transport::P2P);
+    benchmark::DoNotOptimize(zp);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_DissectP2pMedia);
+
+void BM_RtpParse(benchmark::State& state) {
+  proto::RtpHeader h;
+  h.payload_type = 98;
+  h.sequence = 100;
+  h.timestamp = 90000;
+  h.ssrc = 0x42;
+  util::ByteWriter w;
+  h.serialize(w);
+  w.fill(1100, 0xab);
+  auto bytes = w.take();
+  for (auto _ : state) {
+    auto parsed = proto::parse_rtp_packet(bytes);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_RtpParse);
+
+void BM_StunParse(benchmark::State& state) {
+  std::array<std::uint8_t, 12> txn{};
+  util::ByteWriter w;
+  proto::make_binding_request(txn).serialize(w);
+  auto bytes = w.take();
+  for (auto _ : state) {
+    auto parsed = proto::StunMessage::parse(bytes);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_StunParse);
+
+void BM_FullFrameDecode(benchmark::State& state) {
+  auto payload = sample_media_payload(true);
+  auto pkt = net::build_udp(util::Timestamp::from_seconds(1),
+                            net::Ipv4Addr(10, 8, 0, 1), 40000,
+                            net::Ipv4Addr(170, 114, 0, 10), 8801, payload);
+  for (auto _ : state) {
+    auto view = net::decode_packet(pkt);
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pkt.data.size()));
+}
+BENCHMARK(BM_FullFrameDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

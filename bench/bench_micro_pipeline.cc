@@ -1,0 +1,96 @@
+// Engineering microbenchmarks: full-pipeline per-packet costs — the
+// capture filter and the analyzer hot path (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "capture/filter.h"
+#include "core/analyzer.h"
+#include "sim/meeting.h"
+
+namespace {
+
+using namespace zpm;
+
+/// Pre-generates a small meeting's packet trace once.
+const std::vector<net::RawPacket>& trace() {
+  static const std::vector<net::RawPacket> packets = [] {
+    sim::MeetingConfig mc;
+    mc.seed = 1;
+    mc.start = util::Timestamp::from_seconds(0);
+    mc.duration = util::Duration::seconds(20);
+    sim::ParticipantConfig a, b;
+    a.ip = net::Ipv4Addr(10, 8, 0, 1);
+    b.ip = net::Ipv4Addr(10, 8, 0, 2);
+    mc.participants = {a, b};
+    return sim::run_meeting(mc);
+  }();
+  return packets;
+}
+
+void BM_CaptureFilter(benchmark::State& state) {
+  capture::CaptureConfig cfg;
+  cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
+  cfg.anonymize = state.range(0) != 0;
+  capture::CaptureFilter filter(cfg);
+  const auto& packets = trace();
+  std::size_t i = 0;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto& pkt = packets[i++ % packets.size()];
+    bytes += pkt.data.size();
+    auto out = filter.process(pkt);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetLabel(cfg.anonymize ? "anonymizing" : "plain");
+}
+BENCHMARK(BM_CaptureFilter)->Arg(0)->Arg(1);
+
+void BM_AnalyzerPerPacket(benchmark::State& state) {
+  core::AnalyzerConfig cfg;
+  cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
+  cfg.keep_frames = false;
+  core::Analyzer analyzer(cfg);
+  const auto& packets = trace();
+  std::size_t i = 0;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto& pkt = packets[i++ % packets.size()];
+    bytes += pkt.data.size();
+    bool zoom = analyzer.offer(pkt);
+    benchmark::DoNotOptimize(zoom);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_AnalyzerPerPacket);
+
+void BM_AnonymizeAddress(benchmark::State& state) {
+  capture::PrefixPreservingAnonymizer anon(0xfeed);
+  std::uint32_t ip = 0x0a080001;
+  for (auto _ : state) {
+    auto out = anon.anonymize(net::Ipv4Addr(ip++));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_AnonymizeAddress);
+
+void BM_MeetingSimGeneration(benchmark::State& state) {
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    sim::MeetingConfig mc;
+    mc.seed = seed++;
+    mc.start = util::Timestamp::from_seconds(0);
+    mc.duration = util::Duration::seconds(2);
+    sim::ParticipantConfig a, b;
+    a.ip = net::Ipv4Addr(10, 8, 0, 1);
+    b.ip = net::Ipv4Addr(10, 8, 0, 2);
+    mc.participants = {a, b};
+    auto packets = sim::run_meeting(mc);
+    benchmark::DoNotOptimize(packets);
+    state.counters["pkts_per_sim"] = static_cast<double>(packets.size());
+  }
+}
+BENCHMARK(BM_MeetingSimGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Table 2 — Zoom media encapsulation type values: % packets / % bytes
+// over the campus-day trace, with per-type payload offsets.
+#include <cstdio>
+
+#include "analysis/campus_run.h"
+#include "analysis/tables.h"
+#include "bench_common.h"
+
+using namespace zpm;
+
+int main() {
+  bench::banner("Table 2", "Zoom Media Encapsulation Type Values");
+  const auto& run = analysis::default_campus_run();
+  auto rows = analysis::table2_rows(run.counters);
+
+  util::TextTable table;
+  table.header({"Value", "Packet Type", "Offset", "% Pkts.", "% Bytes"},
+               {util::Align::Right, util::Align::Left, util::Align::Right,
+                util::Align::Right, util::Align::Right});
+  double pkt_sum = 0, byte_sum = 0;
+  for (const auto& row : rows) {
+    table.row({std::to_string(row.value), row.packet_type,
+               std::to_string(row.offset), util::fixed(row.pct_packets * 100, 2),
+               util::fixed(row.pct_bytes * 100, 2)});
+    pkt_sum += row.pct_packets;
+    byte_sum += row.pct_bytes;
+  }
+  table.separator();
+  table.row({"", "Sum:", "", util::fixed(pkt_sum * 100, 2),
+             util::fixed(byte_sum * 100, 2)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("paper: 90.03%% of packets / 91.57%% of bytes decodable as the\n");
+  std::printf("five known types; video dominates both columns.\n");
+  std::printf("measured: %.2f%% of packets decodable; video row first: %s\n",
+              pkt_sum * 100, rows.empty() ? "-" : rows[0].packet_type.c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table 4 — the metric capability matrix: which metrics need Zoom
+// header parsing, which are visible in the Zoom client, and which this
+// repository validates against ground truth. Each row is backed by a
+// live check against a small simulated meeting.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/analyzer.h"
+#include "sim/meeting.h"
+
+using namespace zpm;
+
+int main() {
+  bench::banner("Table 4", "Key Zoom Performance and Quality Metrics");
+
+  // One small meeting to demonstrate each metric is actually computable.
+  sim::MeetingConfig mc;
+  mc.seed = 4;
+  mc.start = util::Timestamp::from_seconds(100);
+  mc.duration = util::Duration::seconds(30);
+  sim::ParticipantConfig a, b;
+  a.ip = net::Ipv4Addr(10, 8, 0, 1);
+  b.ip = net::Ipv4Addr(10, 8, 0, 2);
+  mc.participants = {a, b};
+  sim::MeetingSim sim(mc);
+  core::AnalyzerConfig cfg;
+  cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
+  core::Analyzer analyzer(cfg);
+  while (auto pkt = sim.next_packet()) analyzer.offer(*pkt);
+  analyzer.finish();
+
+  bool have_overall = analyzer.counters().zoom_bytes > 0;
+  bool have_media = false, have_fps = false, have_size = false, have_jitter = false;
+  for (const auto& s : analyzer.streams().streams()) {
+    for (const auto& sec : s->metrics->seconds()) {
+      if (sec.media_bytes > 0) have_media = true;
+      if (sec.frames_completed > 0) have_fps = true;
+      if (sec.avg_frame_bytes) have_size = true;
+      if (sec.jitter_ms) have_jitter = true;
+    }
+  }
+  bool have_latency = !analyzer.sfu_rtt_samples().empty();
+
+  util::TextTable table;
+  table.header({"Metric", "Requires Headers", "Avail. in Z. Client", "Validated",
+                "Computed here"});
+  auto row = [&table](const char* metric, bool headers, bool client,
+                      const char* validated, bool computed) {
+    table.row({metric, headers ? "yes" : "no", client ? "yes" : "no", validated,
+               computed ? "yes" : "NO"});
+  };
+  row("Overall Bit Rate (5.1)", false, false, "-", have_overall);
+  row("Media Bit Rate (5.1)", true, false, "-", have_media);
+  row("Frame Rate (5.2)", true, true, "Fig. 10a", have_fps);
+  row("Frame Size (5.2)", true, false, "-", have_size);
+  row("Latency (5.3)", true, true, "Fig. 10b", have_latency);
+  row("Jitter (5.4)", true, true, "Fig. 10c", have_jitter);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("all six metric families computed from passive bytes alone: %s\n",
+              (have_overall && have_media && have_fps && have_size && have_latency &&
+               have_jitter)
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

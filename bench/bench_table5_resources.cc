@@ -1,0 +1,44 @@
+// Table 5 — hardware resource usage of the Tofino capture program,
+// derived from the pipeline component specs via the switch resource
+// model (stages/instructions reflect the program structure; TCAM/SRAM
+// fractions derive from declared table and register sizes).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "capture/filter.h"
+
+using namespace zpm;
+
+int main() {
+  bench::banner("Table 5", "Hardware Resource Usage of the Tofino-based Capture Program");
+  capture::CaptureConfig cfg;
+  cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
+  capture::CaptureFilter filter(cfg);
+  auto report = filter.resource_report();
+
+  util::TextTable table;
+  table.header({"Resource Type", "Zoom IP Match", "P2P Detection", "Anonymization"},
+               {util::Align::Left, util::Align::Right, util::Align::Right,
+                util::Align::Right});
+  auto pct = [](double f) { return util::fixed(f * 100.0, 1) + "%"; };
+  table.row({"Stages", std::to_string(report[0].stages),
+             std::to_string(report[1].stages), std::to_string(report[2].stages)});
+  table.row({"TCAM", pct(report[0].tcam), pct(report[1].tcam), pct(report[2].tcam)});
+  table.row({"SRAM", pct(report[0].sram), pct(report[1].sram), pct(report[2].sram)});
+  table.row({"Instructions", pct(report[0].instructions), pct(report[1].instructions),
+             pct(report[2].instructions)});
+  table.row({"Hash Units", pct(report[0].hash_units), pct(report[1].hash_units),
+             pct(report[2].hash_units)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("paper (Table 5):      stages 2/7/11; TCAM 0.7/1.0/1.4%%;\n");
+  std::printf("  SRAM 0.1/10.9/1.1%%; instr 1.3/3.4/5.2%%; hash 0/16.7/8.3%%\n");
+  std::printf("shape checks: P2P detection dominates SRAM+hash; anonymization\n");
+  std::printf("  dominates stages+instructions; IP match cheapest: %s\n",
+              (report[1].sram > report[2].sram && report[1].hash_units > report[2].hash_units &&
+               report[2].instructions > report[1].instructions &&
+               report[0].instructions < report[1].instructions)
+                  ? "hold"
+                  : "VIOLATED");
+  return 0;
+}

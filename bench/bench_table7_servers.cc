@@ -1,0 +1,39 @@
+// Table 7 / Appendix B — Zoom server infrastructure census: parse the
+// reverse-DNS naming scheme over the (synthetic) address inventory and
+// tally MMRs / Zone Controllers per location.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/rng.h"
+#include "zoom/server_db.h"
+
+using namespace zpm;
+
+int main() {
+  bench::banner("Table 7 / Appendix B", "Locations of Zoom Servers");
+
+  util::Rng rng(2022);
+  auto records = zoom::synthesize_infrastructure(rng, /*noise_count=*/250);
+  std::printf("inventory: %zu addresses (incl. %d non-MMR/ZC names the census\n",
+              records.size(), 250);
+  std::printf("must skip: www/api/turn/... hosts)\n\n");
+
+  auto tallies = zoom::census_tally(records);
+  util::TextTable table;
+  table.header({"Location", "# MMRs", "# ZCs"},
+               {util::Align::Left, util::Align::Right, util::Align::Right});
+  int mmrs = 0, zcs = 0;
+  for (const auto& t : tallies) {
+    table.row({t.label, std::to_string(t.mmrs), std::to_string(t.zcs)});
+    mmrs += t.mmrs;
+    zcs += t.zcs;
+  }
+  table.separator();
+  table.row({"Total", std::to_string(mmrs), std::to_string(zcs)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper totals: 5,452 MMRs / 256 ZCs across 14 sites;\n");
+  std::printf("measured:     %d MMRs / %d ZCs across %zu sites — %s\n", mmrs, zcs,
+              tallies.size(),
+              (mmrs == 5452 && zcs == 256) ? "exact" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// campus_monitor — the operator's live view: campus traffic through the
+// P4-style capture filter into the analyzer, with per-interval status
+// lines (active meetings, streams, Zoom share of traffic, media rates).
+// This is the "capacity planning / troubleshooting" use case from §1.
+//
+// Usage: campus_monitor [hours] [meetings_per_peak_hour]
+#include <cstdio>
+#include <cstdlib>
+
+#include "capture/filter.h"
+#include "core/analyzer.h"
+#include "sim/campus.h"
+#include "util/strings.h"
+
+using namespace zpm;
+
+int main(int argc, char** argv) {
+  double hours = argc > 1 ? std::atof(argv[1]) : 1.0;
+  double meetings = argc > 2 ? std::atof(argv[2]) : 6.0;
+
+  sim::CampusConfig campus_cfg;
+  campus_cfg.seed = 42;
+  campus_cfg.day_start = util::Timestamp::from_seconds(10 * 3600);
+  campus_cfg.duration = util::Duration::seconds(hours * 3600.0);
+  campus_cfg.meetings_per_peak_hour = meetings;
+  campus_cfg.background_ratio = 1.0;
+  sim::CampusSimulation campus(campus_cfg);
+
+  capture::CaptureConfig cap_cfg;
+  cap_cfg.campus_subnets = {campus_cfg.campus_subnet};
+  cap_cfg.anonymize = false;  // live monitoring keeps addresses
+  capture::CaptureFilter filter(cap_cfg);
+
+  core::AnalyzerConfig an_cfg;
+  an_cfg.campus_subnets = cap_cfg.campus_subnets;
+  an_cfg.keep_frames = false;
+  core::Analyzer analyzer(an_cfg);
+
+  std::printf("campus monitor: %.1f h, ~%.0f meetings/peak hour\n\n", hours, meetings);
+  std::printf("%-6s %10s %10s %9s %9s %9s %8s\n", "time", "pkts/min", "zoom/min",
+              "meetings", "streams", "media", "rtt[ms]");
+  std::printf("----------------------------------------------------------------------\n");
+
+  std::int64_t interval_us = 5 * 60 * 1'000'000ll;  // 5-minute lines
+  std::int64_t next_report = 0;
+  std::uint64_t interval_pkts = 0, interval_zoom = 0;
+  std::size_t last_rtt_count = 0;
+  while (auto pkt = campus.next_packet()) {
+    if (next_report == 0) next_report = pkt->ts.us() + interval_us;
+    ++interval_pkts;
+    auto kept = filter.process(*pkt);
+    if (kept) {
+      ++interval_zoom;
+      analyzer.offer(*kept);
+    }
+    if (pkt->ts.us() >= next_report) {
+      // RTT over the samples that arrived this interval.
+      const auto& rtts = analyzer.sfu_rtt_samples();
+      double rtt_sum = 0;
+      std::size_t rtt_n = rtts.size() - last_rtt_count;
+      for (std::size_t i = last_rtt_count; i < rtts.size(); ++i)
+        rtt_sum += rtts[i].rtt.ms();
+      last_rtt_count = rtts.size();
+
+      std::size_t active_meetings = 0;
+      for (const auto* m : analyzer.meetings().meetings())
+        if (pkt->ts - m->last_seen < util::Duration::seconds(30.0)) ++active_meetings;
+
+      std::printf("%-6s %10llu %10llu %9zu %9zu %9llu %8s\n",
+                  util::clock_label(static_cast<std::int64_t>(pkt->ts.sec())).c_str(),
+                  static_cast<unsigned long long>(interval_pkts / 5),
+                  static_cast<unsigned long long>(interval_zoom / 5), active_meetings,
+                  analyzer.streams().size(),
+                  static_cast<unsigned long long>(analyzer.streams().media_count()),
+                  rtt_n ? util::fixed(rtt_sum / static_cast<double>(rtt_n), 1).c_str()
+                        : "-");
+      interval_pkts = interval_zoom = 0;
+      next_report += interval_us;
+    }
+  }
+  analyzer.finish();
+
+  const auto& c = analyzer.counters();
+  std::printf("\nday summary: %llu packets processed, %llu Zoom (%s), "
+              "%zu meetings, %zu streams\n",
+              static_cast<unsigned long long>(filter.counters().processed),
+              static_cast<unsigned long long>(c.zoom_packets),
+              util::human_bytes(c.zoom_bytes).c_str(),
+              analyzer.meetings().meeting_count(), analyzer.streams().size());
+  return 0;
+}

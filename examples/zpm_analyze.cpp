@@ -1,0 +1,261 @@
+// zpm_analyze — the release CLI: full passive analysis of a capture
+// file (pcap or pcapng), printing the operator-facing report and
+// optionally exporting machine-readable CSVs.
+//
+// Usage:
+//   zpm_analyze <capture.pcap[ng]> [options]
+//   zpm_analyze --demo [options]
+//
+// Options:
+//   --campus <cidr>   campus subnet (repeatable; default 10.0.0.0/8)
+//   --csv <prefix>    write <prefix>_streams.csv / _seconds.csv / _meetings.csv
+//   --p2p-timeout <s> STUN candidate lifetime (default 60)
+//   --anon-key <hex>  the capture was anonymized with this key
+//                     (zpm_pcap_filter default 5eedcafef00dd00d); the
+//                     server/campus subnets are mapped through the same
+//                     prefix-preserving function so detection still works
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/tables.h"
+#include "capture/anonymizer.h"
+#include "core/analyzer.h"
+#include "net/pcapng.h"
+#include "sim/meeting.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace zpm;
+
+namespace {
+
+void export_csvs(const core::Analyzer& analyzer, const std::string& prefix) {
+  {
+    util::CsvWriter streams(prefix + "_streams.csv");
+    streams.row({"stream", "ssrc", "media_id", "meeting", "kind", "direction",
+                 "client_ip", "first_s", "last_s", "packets", "media_bytes",
+                 "jitter_ms", "latency_ms", "duplicates", "reordered", "gaps",
+                 "clock_hz", "stalls"});
+    for (const auto& s : analyzer.streams().streams()) {
+      auto loss = s->metrics->total_loss();
+      streams.row(
+          {std::to_string(s->index), std::to_string(s->key.ssrc),
+           std::to_string(s->media_id), std::to_string(s->meeting_id),
+           std::string(zoom::media_kind_name(s->kind)),
+           s->direction == core::StreamDirection::ToSfu     ? "to_sfu"
+           : s->direction == core::StreamDirection::FromSfu ? "from_sfu"
+                                                            : "p2p",
+           s->client_ip.to_string(), util::fixed(s->first_seen.sec(), 6),
+           util::fixed(s->last_seen.sec(), 6),
+           std::to_string(s->metrics->media_packets()),
+           std::to_string(s->metrics->media_payload_bytes()),
+           s->metrics->jitter_ms() ? util::fixed(*s->metrics->jitter_ms(), 3) : "",
+           s->metrics->mean_latency_ms()
+               ? util::fixed(*s->metrics->mean_latency_ms(), 3)
+               : "",
+           std::to_string(loss.duplicates), std::to_string(loss.reordered),
+           std::to_string(loss.gap_packets),
+           s->metrics->clock_estimate().snapped_hz()
+               ? util::fixed(*s->metrics->clock_estimate().snapped_hz(), 0)
+               : "",
+           std::to_string(s->metrics->stall().stall_events())});
+    }
+  }
+  {
+    util::CsvWriter seconds(prefix + "_seconds.csv");
+    seconds.row({"stream", "t_s", "packets", "media_bytes", "frame_rate",
+                 "encoder_fps", "avg_frame_bytes", "jitter_ms", "latency_ms",
+                 "duplicates", "reordered"});
+    for (const auto& s : analyzer.streams().streams()) {
+      for (const auto& sec : s->metrics->seconds()) {
+        seconds.row({std::to_string(s->index),
+                     util::fixed(sec.bin_start.sec(), 0),
+                     std::to_string(sec.packets), std::to_string(sec.media_bytes),
+                     util::fixed(sec.frame_rate_fps, 1),
+                     sec.encoder_fps ? util::fixed(*sec.encoder_fps, 2) : "",
+                     sec.avg_frame_bytes ? util::fixed(*sec.avg_frame_bytes, 0) : "",
+                     sec.jitter_ms ? util::fixed(*sec.jitter_ms, 3) : "",
+                     sec.latency_ms ? util::fixed(*sec.latency_ms, 3) : "",
+                     std::to_string(sec.duplicates), std::to_string(sec.reordered)});
+      }
+    }
+  }
+  {
+    util::CsvWriter meetings(prefix + "_meetings.csv");
+    meetings.row({"meeting", "participants", "media", "streams", "first_s",
+                  "last_s", "p2p", "rtt_samples", "mean_rtt_ms"});
+    for (const auto* m : analyzer.meetings().meetings()) {
+      double rtt_sum = 0;
+      for (const auto& s : m->rtt_to_sfu) rtt_sum += s.rtt.ms();
+      meetings.row({std::to_string(m->id), std::to_string(m->active_participants()),
+                    std::to_string(m->media_ids.size()),
+                    std::to_string(m->stream_count),
+                    util::fixed(m->first_seen.sec(), 1),
+                    util::fixed(m->last_seen.sec(), 1), m->saw_p2p ? "yes" : "no",
+                    std::to_string(m->rtt_to_sfu.size()),
+                    m->rtt_to_sfu.empty()
+                        ? ""
+                        : util::fixed(rtt_sum / static_cast<double>(
+                                                    m->rtt_to_sfu.size()),
+                                      2)});
+    }
+  }
+  std::printf("\nCSV exports written to %s_{streams,seconds,meetings}.csv\n",
+              prefix.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <capture.pcap[ng]>|--demo [--campus <cidr>]...\n"
+                 "          [--csv <prefix>] [--p2p-timeout <s>]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string input = argv[1];
+  std::vector<net::Ipv4Subnet> campus;
+  std::string csv_prefix;
+  double p2p_timeout_s = 60.0;
+  std::optional<std::uint64_t> anon_key;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--campus") && i + 1 < argc) {
+      auto subnet = net::Ipv4Subnet::parse(argv[++i]);
+      if (!subnet) {
+        std::fprintf(stderr, "bad subnet: %s\n", argv[i]);
+        return 2;
+      }
+      campus.push_back(*subnet);
+    } else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) {
+      csv_prefix = argv[++i];
+    } else if (!std::strcmp(argv[i], "--p2p-timeout") && i + 1 < argc) {
+      p2p_timeout_s = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--anon-key") && i + 1 < argc) {
+      anon_key = std::strtoull(argv[++i], nullptr, 16);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (campus.empty()) campus.push_back(net::Ipv4Subnet(net::Ipv4Addr(10, 0, 0, 0), 8));
+
+  core::AnalyzerConfig cfg;
+  cfg.campus_subnets = campus;
+  cfg.p2p_timeout = util::Duration::seconds(p2p_timeout_s);
+  if (anon_key) {
+    // The capture's addresses were rewritten prefix-preservingly; map
+    // our subnet knowledge through the same function.
+    capture::PrefixPreservingAnonymizer anon(*anon_key);
+    std::vector<net::Ipv4Subnet> mapped;
+    for (const auto& subnet : cfg.server_db.subnets())
+      mapped.emplace_back(anon.anonymize(subnet.base()), subnet.prefix_len());
+    cfg.server_db = zoom::ServerDb(mapped);
+    for (auto& subnet : cfg.campus_subnets)
+      subnet = net::Ipv4Subnet(anon.anonymize(subnet.base()), subnet.prefix_len());
+  }
+  core::Analyzer analyzer(cfg);
+
+  if (input == "--demo") {
+    sim::MeetingConfig mc;
+    mc.seed = 21;
+    mc.start = util::Timestamp::from_seconds(0);
+    mc.duration = util::Duration::seconds(90);
+    sim::ParticipantConfig a, b, c;
+    a.ip = net::Ipv4Addr(10, 8, 0, 1);
+    b.ip = net::Ipv4Addr(10, 8, 0, 2);
+    c.ip = net::Ipv4Addr(98, 0, 0, 3);
+    c.on_campus = false;
+    b.send_screen_share = true;
+    mc.participants = {a, b, c};
+    sim::MeetingSim sim(mc);
+    while (auto pkt = sim.next_packet()) analyzer.offer(*pkt);
+  } else {
+    auto source = net::open_capture(input);
+    if (!source) {
+      std::fprintf(stderr, "cannot open %s (not pcap/pcapng?)\n", input.c_str());
+      return 1;
+    }
+    while (auto pkt = source->next()) analyzer.offer(*pkt);
+    if (!source->ok()) {
+      std::fprintf(stderr, "warning: capture ended with error: %s\n",
+                   source->error().c_str());
+    }
+  }
+  analyzer.finish();
+
+  const auto& c = analyzer.counters();
+  std::printf("== traffic =====================================================\n");
+  std::printf("packets: %s total, %s Zoom (%s)\n",
+              util::with_commas(c.total_packets).c_str(),
+              util::with_commas(c.zoom_packets).c_str(),
+              util::human_bytes(c.zoom_bytes).c_str());
+  std::printf("media %s | rtcp %s | stun %s | tcp %s | p2p %s | undecoded %s\n",
+              util::with_commas(c.media_packets).c_str(),
+              util::with_commas(c.rtcp_packets).c_str(),
+              util::with_commas(c.stun_packets).c_str(),
+              util::with_commas(c.tcp_control_packets).c_str(),
+              util::with_commas(c.p2p_udp_packets).c_str(),
+              util::with_commas(c.unknown_sfu_packets + c.unknown_media_packets)
+                  .c_str());
+
+  std::printf("\n== media mix (Table 2/3 style) =================================\n");
+  util::TextTable mix;
+  mix.header({"Type", "Offset", "% Pkts", "% Bytes"},
+             {util::Align::Left, util::Align::Right, util::Align::Right,
+              util::Align::Right});
+  for (const auto& row : analysis::table2_rows(c))
+    mix.row({row.packet_type, std::to_string(row.offset),
+             util::percent(row.pct_packets), util::percent(row.pct_bytes)});
+  std::printf("%s", mix.render().c_str());
+
+  std::printf("\n== meetings ====================================================\n");
+  for (const auto* m : analyzer.meetings().meetings()) {
+    double rtt_sum = 0;
+    for (const auto& s : m->rtt_to_sfu) rtt_sum += s.rtt.ms();
+    std::printf("meeting %u: %zu participants, %zu media, %.0f s%s", m->id,
+                m->active_participants(), m->media_ids.size(),
+                (m->last_seen - m->first_seen).sec(), m->saw_p2p ? ", P2P" : "");
+    if (!m->rtt_to_sfu.empty())
+      std::printf(", RTT %.1f ms (%zu probes)",
+                  rtt_sum / static_cast<double>(m->rtt_to_sfu.size()),
+                  m->rtt_to_sfu.size());
+    std::printf("\n");
+  }
+
+  std::printf("\n== streams ====================================================\n");
+  util::TextTable t;
+  t.header({"ssrc", "kind", "dir", "rate", "fps", "jitter", "clock", "stalls"},
+           {util::Align::Right});
+  for (const auto& s : analyzer.streams().streams()) {
+    double secs = std::max(1.0, (s->last_seen - s->first_seen).sec());
+    double rate = static_cast<double>(s->metrics->media_payload_bytes()) * 8 / secs;
+    double fps_sum = 0;
+    std::size_t fps_n = 0;
+    for (const auto& sec : s->metrics->seconds()) {
+      fps_sum += sec.frame_rate_fps;
+      ++fps_n;
+    }
+    auto clock = s->metrics->clock_estimate().snapped_hz();
+    t.row({std::to_string(s->key.ssrc), std::string(zoom::media_kind_name(s->kind)),
+           s->direction == core::StreamDirection::ToSfu     ? "up"
+           : s->direction == core::StreamDirection::FromSfu ? "down"
+                                                            : "p2p",
+           util::human_bitrate(rate),
+           fps_n ? util::fixed(fps_sum / static_cast<double>(fps_n), 1) : "-",
+           s->metrics->jitter_ms() ? util::fixed(*s->metrics->jitter_ms(), 1) + "ms"
+                                   : "-",
+           clock ? util::fixed(*clock / 1000.0, 0) + "kHz" : "-",
+           std::to_string(s->metrics->stall().stall_events())});
+  }
+  std::printf("%s", t.render().c_str());
+
+  if (!csv_prefix.empty()) export_csvs(analyzer, csv_prefix);
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs every bench binary in order (tables, figures, ablations, micro),
+# exactly what EXPERIMENTS.md and bench_output.txt are generated from.
+set -u
+BUILD=${1:-build}
+for b in \
+  bench_table1_headers bench_table2_types bench_table3_payload_types \
+  bench_table4_metrics bench_table5_resources bench_table6_capture_summary \
+  bench_table7_servers bench_fig2_stun_p2p bench_fig5_entropy \
+  bench_fig8_grouping bench_fig10_validation bench_fig11_latency_methods \
+  bench_fig12_packetization bench_fig14_bitrate_timeseries \
+  bench_fig15_metric_cdfs bench_fig16_correlation bench_fig17_packet_rate \
+  bench_ablation_serial bench_ablation_grouping bench_ablation_p2p_timeout \
+  bench_ablation_jitter bench_ablation_sfu_rewrite bench_micro_parsers bench_micro_pipeline; do
+  echo "================================================================"
+  echo ">>> $b"
+  echo "================================================================"
+  "$BUILD/bench/$b" || echo "!!! $b exited with $?"
+  echo
+done

@@ -1,0 +1,114 @@
+#include "analysis/campus_run.h"
+
+#include <cstdlib>
+
+namespace zpm::analysis {
+
+namespace {
+
+/// Anonymizes a subnet list with the same key the filter uses, so the
+/// analyzer can keep matching after anonymization (prefix-preserving).
+std::vector<net::Ipv4Subnet> anonymize_subnets(
+    const capture::PrefixPreservingAnonymizer& anon,
+    const std::vector<net::Ipv4Subnet>& subnets) {
+  std::vector<net::Ipv4Subnet> out;
+  out.reserve(subnets.size());
+  for (const auto& s : subnets)
+    out.emplace_back(anon.anonymize(s.base()), s.prefix_len());
+  return out;
+}
+
+}  // namespace
+
+CampusRunResult run_campus(const CampusRunConfig& config) {
+  CampusRunResult result;
+
+  sim::CampusSimulation campus(config.campus);
+
+  capture::CaptureConfig cap_cfg;
+  cap_cfg.campus_subnets = {config.campus.campus_subnet};
+  cap_cfg.anonymize = config.anonymize;
+  capture::CaptureFilter filter(cap_cfg);
+
+  core::AnalyzerConfig an_cfg;
+  an_cfg.frame_sample_every = config.frame_sample_every;
+  if (config.anonymize) {
+    capture::PrefixPreservingAnonymizer anon(cap_cfg.anonymization_key);
+    an_cfg.server_db =
+        zoom::ServerDb(anonymize_subnets(anon, cap_cfg.server_db.subnets()));
+    an_cfg.campus_subnets = anonymize_subnets(anon, cap_cfg.campus_subnets);
+  } else {
+    an_cfg.campus_subnets = cap_cfg.campus_subnets;
+  }
+  core::Analyzer analyzer(an_cfg);
+
+  util::IntervalBinner all_rate(config.rate_bin);
+  util::IntervalBinner zoom_rate(config.rate_bin);
+
+  while (auto pkt = campus.next_packet()) {
+    if (result.first_packet.is_zero()) result.first_packet = pkt->ts;
+    result.last_packet = pkt->ts;
+    all_rate.add(pkt->ts);
+    auto kept = filter.process(*pkt);
+    if (!kept) continue;
+    zoom_rate.add(kept->ts);
+    analyzer.offer(*kept);
+  }
+  analyzer.finish();
+
+  result.sim_summary = campus.summary();
+  result.capture = filter.counters();
+  result.counters = analyzer.counters();
+  result.stream_count = analyzer.streams().size();
+  result.media_count = analyzer.streams().media_count();
+  result.meeting_count = analyzer.meetings().meeting_count();
+  result.zoom_flow_count = analyzer.zoom_flow_count();
+  result.all_packet_rate = all_rate.series();
+  result.zoom_packet_rate = zoom_rate.series();
+
+  // Per-kind media-rate binning + sample extraction.
+  std::map<std::uint8_t, util::IntervalBinner> media_bins;
+  for (const auto& stream : analyzer.streams().streams()) {
+    auto kind = static_cast<std::uint8_t>(stream->kind);
+    auto [it, _] = media_bins.try_emplace(kind, config.rate_bin);
+    for (const auto& sec : stream->metrics->seconds()) {
+      it->second.add(sec.bin_start, static_cast<double>(sec.media_bytes));
+      SampleRow row;
+      row.kind = kind;
+      row.media_bitrate_bps = static_cast<float>(sec.media_bitrate_bps());
+      row.frame_rate = static_cast<float>(sec.frame_rate_fps);
+      row.avg_frame_bytes =
+          sec.avg_frame_bytes ? static_cast<float>(*sec.avg_frame_bytes) : -1.0f;
+      row.jitter_ms = sec.jitter_ms ? static_cast<float>(*sec.jitter_ms) : -1.0f;
+      result.samples.push_back(row);
+    }
+    for (const auto& frame : stream->metrics->frames())
+      result.frame_sizes[kind].push_back(static_cast<float>(frame.payload_bytes));
+  }
+  for (auto& [kind, binner] : media_bins)
+    result.media_rate[kind] = binner.series();
+  return result;
+}
+
+CampusRunConfig default_campus_config() {
+  CampusRunConfig config;
+  config.campus.seed = 2022;
+  // Scaled-down campus day; ZPM_CAMPUS_SCALE multiplies meeting volume
+  // and ZPM_CAMPUS_HOURS overrides the duration, so the full 12-hour run
+  // is one environment variable away.
+  double scale = 1.0;
+  if (const char* s = std::getenv("ZPM_CAMPUS_SCALE")) scale = std::atof(s);
+  double hours = 12.0;
+  if (const char* h = std::getenv("ZPM_CAMPUS_HOURS")) hours = std::atof(h);
+  config.campus.duration = util::Duration::seconds(hours * 3600.0);
+  config.campus.meetings_per_peak_hour = 3.0 * (scale > 0 ? scale : 1.0);
+  config.campus.background_ratio = 1.5;
+  return config;
+}
+
+const CampusRunResult& default_campus_run() {
+  static const CampusRunResult result = run_campus(default_campus_config());
+  return result;
+}
+
+}  // namespace zpm::analysis

@@ -1,0 +1,36 @@
+// Formatting helpers turning analyzer counters into the paper's table
+// rows (Tables 2 and 3), shared by benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+
+namespace zpm::analysis {
+
+/// One row of Table 2 (media-encap type distribution).
+struct EncapTypeRow {
+  std::uint8_t value = 0;
+  std::string packet_type;   // "RTP: Video" etc.
+  std::size_t offset = 0;    // payload offset from the media encap start
+  double pct_packets = 0.0;  // of all Zoom UDP packets
+  double pct_bytes = 0.0;
+};
+
+/// Builds Table 2 rows from analyzer counters, ordered by packet share.
+std::vector<EncapTypeRow> table2_rows(const core::AnalyzerCounters& counters);
+
+/// One row of Table 3 (RTP payload-type distribution).
+struct PayloadTypeRow {
+  std::string media_type;  // "Video (16)" etc.
+  std::uint8_t rtp_pt = 0;
+  std::string description;
+  double pct_packets = 0.0;  // of all media packets
+  double pct_bytes = 0.0;
+};
+
+/// Builds Table 3 rows, ordered by packet share.
+std::vector<PayloadTypeRow> table3_rows(const core::AnalyzerCounters& counters);
+
+}  // namespace zpm::analysis

@@ -1,0 +1,163 @@
+#include "capture/filter.h"
+
+#include "proto/stun.h"
+#include "zoom/constants.h"
+
+namespace zpm::capture {
+
+CaptureFilter::CaptureFilter(CaptureConfig config)
+    : config_(std::move(config)),
+      anonymizer_(config_.anonymization_key),
+      p2p_sources_(config_.p2p_register_entries),
+      p2p_destinations_(config_.p2p_register_entries) {}
+
+bool CaptureFilter::is_campus(net::Ipv4Addr ip) const {
+  for (const auto& subnet : config_.campus_subnets)
+    if (subnet.contains(ip)) return true;
+  return false;
+}
+
+std::size_t CaptureFilter::reg_index(net::Ipv4Addr ip, std::uint16_t port) const {
+  // CRC-like hash as the data plane would compute.
+  std::uint64_t x = (static_cast<std::uint64_t>(ip.value()) << 16) | port;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x) & (config_.p2p_register_entries - 1);
+}
+
+void CaptureFilter::register_endpoint(std::vector<RegisterEntry>& array,
+                                      net::Ipv4Addr ip, std::uint16_t port,
+                                      util::Timestamp t) {
+  RegisterEntry& e = array[reg_index(ip, port)];
+  e.ip = ip.value();
+  e.port = port;
+  e.stamp_us = t.us();
+  e.valid = true;
+}
+
+bool CaptureFilter::lookup_endpoint(const std::vector<RegisterEntry>& array,
+                                    net::Ipv4Addr ip, std::uint16_t port,
+                                    util::Timestamp t) const {
+  const RegisterEntry& e = array[reg_index(ip, port)];
+  if (!e.valid || e.ip != ip.value() || e.port != port) return false;
+  return t.us() - e.stamp_us <= config_.p2p_register_timeout.us();
+}
+
+std::optional<net::RawPacket> CaptureFilter::process(const net::RawPacket& pkt) {
+  ++counters_.processed;
+  auto view = net::decode_packet(pkt);
+  if (!view) {
+    ++counters_.dropped;
+    return std::nullopt;
+  }
+
+  bool src_is_zoom = config_.server_db.contains(view->ip.src);
+  bool dst_is_zoom = config_.server_db.contains(view->ip.dst);
+  bool keep = false;
+
+  if (src_is_zoom || dst_is_zoom) {
+    // Stateless branch of Fig. 13: anything to/from a Zoom subnet.
+    ++counters_.zoom_ip_matched;
+    keep = true;
+    // STUN packets additionally arm the P2P registers: the campus
+    // peer's (ip, port) is the future P2P endpoint (§4.1).
+    if (view->l4 == net::L4Proto::Udp &&
+        (view->udp.dst_port == proto::kStunPort ||
+         view->udp.src_port == proto::kStunPort) &&
+        proto::looks_like_stun(view->l4_payload)) {
+      ++counters_.stun_observed;
+      if (view->udp.dst_port == proto::kStunPort) {
+        register_endpoint(p2p_sources_, view->ip.src, view->udp.src_port, view->ts);
+        register_endpoint(p2p_destinations_, view->ip.src, view->udp.src_port,
+                          view->ts);
+      } else {
+        register_endpoint(p2p_sources_, view->ip.dst, view->udp.dst_port, view->ts);
+        register_endpoint(p2p_destinations_, view->ip.dst, view->udp.dst_port,
+                          view->ts);
+      }
+    }
+  } else if (view->l4 == net::L4Proto::Udp) {
+    // Stateful branch: non-server UDP whose campus endpoint was armed
+    // by a recent STUN exchange.
+    bool src_campus = is_campus(view->ip.src);
+    bool dst_campus = is_campus(view->ip.dst);
+    if ((src_campus &&
+         lookup_endpoint(p2p_sources_, view->ip.src, view->udp.src_port, view->ts)) ||
+        (dst_campus && lookup_endpoint(p2p_destinations_, view->ip.dst,
+                                       view->udp.dst_port, view->ts))) {
+      ++counters_.p2p_matched;
+      keep = true;
+    }
+  }
+
+  if (!keep) {
+    ++counters_.dropped;
+    return std::nullopt;
+  }
+  ++counters_.passed;
+  net::RawPacket out = pkt;
+  if (config_.anonymize) anonymizer_.anonymize_frame(out);
+  return out;
+}
+
+std::vector<ResourceUsage> CaptureFilter::resource_report(
+    const SwitchModel& model) const {
+  std::vector<ResourceUsage> report;
+  for (const auto& spec : capture_program_components(config_))
+    report.push_back(estimate_usage(spec, model));
+  return report;
+}
+
+std::vector<ComponentSpec> capture_program_components(const CaptureConfig& config) {
+  std::vector<ComponentSpec> specs;
+
+  // Zoom IP match: one LPM table over the published subnet list plus a
+  // result table. Cheap and stateless.
+  {
+    ComponentSpec c;
+    c.name = "Zoom IP Match";
+    c.stages = 2;
+    c.instructions = 5;
+    c.hash_units = 0;
+    c.tables.push_back(TableSpec{"zoom_subnets_src", MatchType::Lpm, 356, 32, 8});
+    c.tables.push_back(TableSpec{"zoom_subnets_dst", MatchType::Lpm, 356, 32, 8});
+    specs.push_back(std::move(c));
+  }
+
+  // P2P detection: STUN port match, campus match, then two register
+  // arrays keyed by hash(ip, port) — the SRAM- and hash-heavy part.
+  {
+    ComponentSpec c;
+    c.name = "P2P Detection";
+    c.stages = 7;
+    c.instructions = 13;
+    c.hash_units = 2;  // one per register array
+    c.tables.push_back(TableSpec{"stun_port", MatchType::Ternary, 8, 32, 4});
+    c.tables.push_back(TableSpec{"campus_subnets", MatchType::Lpm, 1024, 32, 4});
+    auto entries = config.p2p_register_entries;
+    // Each entry stores ip (32) + port (16) + a coarse 4-bit timestamp
+    // epoch for the timeout check — the data plane cannot afford full
+    // 64-bit timestamps per slot.
+    c.registers.push_back(RegisterSpec{"p2p_sources", entries, 52});
+    c.registers.push_back(RegisterSpec{"p2p_destinations", entries, 52});
+    specs.push_back(std::move(c));
+  }
+
+  // Anonymization (ONTAS-style): per-bit prefix PRF pipeline; the most
+  // complex component (11 stages), mostly instructions + one hash unit.
+  {
+    ComponentSpec c;
+    c.name = "Anonymization";
+    c.stages = 11;
+    c.instructions = 20;
+    c.hash_units = 1;
+    c.tables.push_back(TableSpec{"anon_prefix_src", MatchType::Ternary, 688, 33, 33});
+    c.tables.push_back(TableSpec{"anon_prefix_dst", MatchType::Ternary, 688, 33, 33});
+    c.registers.push_back(RegisterSpec{"anon_state", 4096, 64});
+    specs.push_back(std::move(c));
+  }
+  return specs;
+}
+
+}  // namespace zpm::capture

@@ -1,0 +1,87 @@
+// Software model of the P4/Tofino Zoom packet filter (paper §6.1,
+// Fig. 13): all campus packets in, only (anonymized) Zoom packets out.
+//
+// Mirrors the data-plane structure faithfully, including its
+// limitations: the P2P state lives in fixed-size register arrays
+// indexed by a hash of (ip, port) — colliding entries overwrite each
+// other, exactly as they would on the switch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "capture/anonymizer.h"
+#include "capture/resources.h"
+#include "net/packet.h"
+#include "zoom/server_db.h"
+
+namespace zpm::capture {
+
+/// Filter configuration.
+struct CaptureConfig {
+  zoom::ServerDb server_db = zoom::ServerDb::official();
+  std::vector<net::Ipv4Subnet> campus_subnets;
+  bool anonymize = true;
+  std::uint64_t anonymization_key = 0x5eed'cafe'f00d'd00dULL;
+  /// P2P register entries age out after this long (data-plane timeout).
+  util::Duration p2p_register_timeout = util::Duration::seconds(120);
+  /// Register array size (power of two); collisions overwrite.
+  std::size_t p2p_register_entries = 1 << 17;
+};
+
+/// Per-run counters (the paper instrumented the same two series for
+/// Fig. 17: processed vs. filtered packets).
+struct CaptureCounters {
+  std::uint64_t processed = 0;
+  std::uint64_t passed = 0;          // written out as Zoom
+  std::uint64_t zoom_ip_matched = 0;
+  std::uint64_t stun_observed = 0;
+  std::uint64_t p2p_matched = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// See file comment.
+class CaptureFilter {
+ public:
+  explicit CaptureFilter(CaptureConfig config);
+
+  /// Processes one packet: nullopt = dropped (non-Zoom); otherwise the
+  /// packet as it would reach the collection server (anonymized when
+  /// configured).
+  std::optional<net::RawPacket> process(const net::RawPacket& pkt);
+
+  [[nodiscard]] const CaptureCounters& counters() const { return counters_; }
+
+  /// The pipeline's functional components with their resource usage
+  /// (Table 5). Static property of the program, not of the traffic.
+  [[nodiscard]] std::vector<ResourceUsage> resource_report(
+      const SwitchModel& model = {}) const;
+
+ private:
+  struct RegisterEntry {
+    std::uint32_t ip = 0;
+    std::uint16_t port = 0;
+    std::int64_t stamp_us = 0;
+    bool valid = false;
+  };
+
+  bool is_campus(net::Ipv4Addr ip) const;
+  std::size_t reg_index(net::Ipv4Addr ip, std::uint16_t port) const;
+  void register_endpoint(std::vector<RegisterEntry>& array, net::Ipv4Addr ip,
+                         std::uint16_t port, util::Timestamp t);
+  bool lookup_endpoint(const std::vector<RegisterEntry>& array, net::Ipv4Addr ip,
+                       std::uint16_t port, util::Timestamp t) const;
+
+  CaptureConfig config_;
+  CaptureCounters counters_;
+  PrefixPreservingAnonymizer anonymizer_;
+  std::vector<RegisterEntry> p2p_sources_;
+  std::vector<RegisterEntry> p2p_destinations_;
+};
+
+/// The Fig.-13 program's component inventory (shared by the filter's
+/// resource report and bench_table5).
+std::vector<ComponentSpec> capture_program_components(const CaptureConfig& config);
+
+}  // namespace zpm::capture

@@ -1,0 +1,43 @@
+#include "capture/resources.h"
+
+namespace zpm::capture {
+
+ResourceUsage estimate_usage(const ComponentSpec& spec, const SwitchModel& model) {
+  ResourceUsage u;
+  u.component = spec.name;
+  u.stages = spec.stages;
+
+  double tcam_bits_total = static_cast<double>(model.tcam_blocks) *
+                           SwitchModel::kTcamBlockEntries * SwitchModel::kTcamBlockBits;
+  double sram_bits_total = static_cast<double>(model.sram_blocks) *
+                           SwitchModel::kSramBlockEntries * SwitchModel::kSramBlockBits;
+
+  double tcam_bits = 0.0;
+  double sram_bits = 0.0;
+  for (const auto& t : spec.tables) {
+    double key_bits = static_cast<double>(t.entries) * static_cast<double>(t.key_bits);
+    double action_bits =
+        static_cast<double>(t.entries) * static_cast<double>(t.action_data_bits);
+    if (t.match == MatchType::Exact) {
+      // Exact-match keys live in SRAM (hash-way tables).
+      sram_bits += key_bits + action_bits;
+    } else {
+      // Ternary/LPM keys live in TCAM; action data still in SRAM.
+      tcam_bits += key_bits;
+      sram_bits += action_bits;
+    }
+  }
+  for (const auto& r : spec.registers) {
+    sram_bits += static_cast<double>(r.entries) * static_cast<double>(r.width_bits);
+  }
+
+  u.tcam = tcam_bits / tcam_bits_total;
+  u.sram = sram_bits / sram_bits_total;
+  u.instructions = static_cast<double>(spec.instructions) /
+                   static_cast<double>(model.instruction_slots);
+  u.hash_units =
+      static_cast<double>(spec.hash_units) / static_cast<double>(model.hash_units);
+  return u;
+}
+
+}  // namespace zpm::capture

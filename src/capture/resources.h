@@ -1,0 +1,75 @@
+// Tofino-style resource model for the P4 capture program (paper §6.1,
+// Table 5).
+//
+// Each functional component of the Fig. 13 pipeline declares its
+// match-action structures (tables, register arrays, ALU ops, hash
+// calculations, pipeline stages); the model converts those into
+// fractions of a Tofino-like switch's resources. Stage and instruction
+// counts reflect the program structure; TCAM/SRAM fractions are derived
+// from the declared table/register sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zpm::capture {
+
+/// Match kinds with different memory homes.
+enum class MatchType : std::uint8_t { Exact, Ternary, Lpm };
+
+/// One match-action table.
+struct TableSpec {
+  std::string name;
+  MatchType match = MatchType::Exact;
+  std::size_t entries = 0;
+  std::size_t key_bits = 0;
+  std::size_t action_data_bits = 0;
+};
+
+/// One stateful register array.
+struct RegisterSpec {
+  std::string name;
+  std::size_t entries = 0;
+  std::size_t width_bits = 0;
+};
+
+/// A functional component of the pipeline (one Table 5 row).
+struct ComponentSpec {
+  std::string name;
+  std::size_t stages = 0;      // physical stages the component spans
+  std::size_t instructions = 0;  // VLIW instruction slots
+  std::size_t hash_units = 0;    // hash distribution units
+  std::vector<TableSpec> tables;
+  std::vector<RegisterSpec> registers;
+};
+
+/// Capacity of the modelled switch (Tofino-like).
+struct SwitchModel {
+  std::size_t stages = 12;
+  // TCAM: blocks of 512 entries x 44 bits.
+  std::size_t tcam_blocks = 144;
+  static constexpr std::size_t kTcamBlockEntries = 512;
+  static constexpr std::size_t kTcamBlockBits = 44;
+  // SRAM: blocks of 1024 entries x 128 bits.
+  std::size_t sram_blocks = 960;
+  static constexpr std::size_t kSramBlockEntries = 1024;
+  static constexpr std::size_t kSramBlockBits = 128;
+  std::size_t instruction_slots = 384;  // 32 per stage
+  std::size_t hash_units = 12;
+};
+
+/// Resource usage of one component as fractions of the switch.
+struct ResourceUsage {
+  std::string component;
+  std::size_t stages = 0;
+  double tcam = 0.0;   // fraction of total TCAM bits
+  double sram = 0.0;   // fraction of total SRAM bits
+  double instructions = 0.0;
+  double hash_units = 0.0;
+};
+
+/// Computes a component's usage against the switch model.
+ResourceUsage estimate_usage(const ComponentSpec& spec, const SwitchModel& model);
+
+}  // namespace zpm::capture

@@ -1,0 +1,252 @@
+#include "core/analyzer.h"
+
+namespace zpm::core {
+
+Analyzer::Analyzer(AnalyzerConfig config)
+    : config_(std::move(config)),
+      p2p_(config_.p2p_timeout),
+      streams_(config_.duplicate_match) {
+  streams_.set_metrics_config_factory(
+      [keep = config_.keep_frames,
+       every = config_.frame_sample_every](zoom::MediaKind kind) {
+        auto c = metrics::default_config(kind);
+        c.keep_frames = keep;
+        c.frame_sample_every = every;
+        return c;
+      });
+}
+
+bool Analyzer::is_campus(net::Ipv4Addr ip) const {
+  for (const auto& subnet : config_.campus_subnets)
+    if (subnet.contains(ip)) return true;
+  return false;
+}
+
+bool Analyzer::offer(const net::RawPacket& pkt) {
+  auto view = net::decode_packet(pkt);
+  ++counters_.total_packets;
+  counters_.total_bytes += pkt.data.size();
+  if (!view) return false;
+  return process_decoded(*view);
+}
+
+bool Analyzer::process(const net::PacketView& view) {
+  ++counters_.total_packets;
+  counters_.total_bytes += view.wire_length();
+  return process_decoded(view);
+}
+
+bool Analyzer::process_decoded(const net::PacketView& view) {
+  const auto& db = config_.server_db;
+  bool src_is_server = db.contains(view.ip.src);
+  bool dst_is_server = db.contains(view.ip.dst);
+
+  if (view.l4 == net::L4Proto::Udp) {
+    if (src_is_server || dst_is_server) {
+      // STUN pre-flight with a zone controller (§4.1).
+      if ((dst_is_server && view.udp.dst_port == zoom::kStunServerPort) ||
+          (src_is_server && view.udp.src_port == zoom::kStunServerPort)) {
+        return handle_stun(view, src_is_server);
+      }
+      return handle_server_udp(view);
+    }
+    return handle_p2p_udp(view);
+  }
+  if (view.l4 == net::L4Proto::Tcp && (src_is_server || dst_is_server)) {
+    return handle_tcp(view);
+  }
+  return false;
+}
+
+void Analyzer::account_zoom(const net::PacketView& view) {
+  ++counters_.zoom_packets;
+  counters_.zoom_bytes += view.wire_length();
+  zoom_flows_.insert(view.five_tuple().canonical());
+}
+
+bool Analyzer::handle_stun(const net::PacketView& view, bool server_is_src) {
+  auto zp = zoom::dissect_stun(view.l4_payload);
+  if (!zp) return false;
+  account_zoom(view);
+  ++counters_.stun_packets;
+  // The campus endpoint that will later carry the P2P flow is the
+  // non-server side (§4.1).
+  if (server_is_src) {
+    p2p_.on_stun_exchange(view.ts, view.ip.dst, view.udp.dst_port);
+  } else {
+    p2p_.on_stun_exchange(view.ts, view.ip.src, view.udp.src_port);
+  }
+  return true;
+}
+
+bool Analyzer::handle_server_udp(const net::PacketView& view) {
+  bool dst_is_server = config_.server_db.contains(view.ip.dst);
+  // Media flows use server port 8801 (§3); anything else to a Zoom IP is
+  // still Zoom traffic (counted) but not dissected as media.
+  std::uint16_t server_port = dst_is_server ? view.udp.dst_port : view.udp.src_port;
+  account_zoom(view);
+  ++counters_.server_udp_packets;
+  if (server_port != zoom::kServerMediaPort) {
+    ++counters_.unknown_media_packets;
+    return true;
+  }
+  auto zp = zoom::dissect(view.l4_payload, zoom::Transport::ServerBased);
+  if (!zp) {
+    ++counters_.unknown_media_packets;
+    return true;
+  }
+  handle_dissected(view, *zp,
+                   dst_is_server ? StreamDirection::ToSfu : StreamDirection::FromSfu);
+  return true;
+}
+
+bool Analyzer::handle_p2p_udp(const net::PacketView& view) {
+  const net::FiveTuple flow = view.five_tuple();
+  bool known = p2p_.is_confirmed(flow);
+  if (!known) {
+    bool candidate = p2p_.is_candidate(view.ts, view.ip.src, view.udp.src_port) ||
+                     p2p_.is_candidate(view.ts, view.ip.dst, view.udp.dst_port);
+    if (!candidate) return false;
+  }
+  auto zp = zoom::dissect(view.l4_payload, zoom::Transport::P2P);
+  if (!zp) {
+    if (!known) {
+      // Port reuse false positive: the payload is not Zoom (§4.1).
+      ++counters_.p2p_false_positives;
+      p2p_.reject_flow(flow);
+    }
+    return false;
+  }
+  p2p_.confirm_flow(flow);
+  account_zoom(view);
+  ++counters_.p2p_udp_packets;
+  handle_dissected(view, *zp, StreamDirection::P2p);
+  return true;
+}
+
+bool Analyzer::handle_tcp(const net::PacketView& view) {
+  // Zoom control connections use server port 443 (§3).
+  bool dst_is_server = config_.server_db.contains(view.ip.dst);
+  std::uint16_t server_port = dst_is_server ? view.tcp.dst_port : view.tcp.src_port;
+  if (server_port != 443) return false;
+  account_zoom(view);
+  ++counters_.tcp_control_packets;
+  if (config_.track_tcp_rtt) {
+    auto& estimator = tcp_rtt_[view.five_tuple().canonical()];
+    estimator.on_packet(view.ts, view.tcp, view.l4_payload.size(), dst_is_server);
+  }
+  return true;
+}
+
+StreamInfo& Analyzer::stream_for(const net::PacketView& view,
+                                 const zoom::ZoomPacket& zp,
+                                 StreamDirection direction, std::uint32_t ssrc,
+                                 std::uint32_t first_rtp_ts) {
+  StreamKey key{view.five_tuple(), ssrc};
+  // Client side: for server traffic the non-server endpoint; for P2P the
+  // sender (both sides are clients — the peer endpoint is registered
+  // with the grouper separately).
+  net::Ipv4Addr client_ip;
+  std::uint16_t client_port;
+  if (direction == StreamDirection::ToSfu || direction == StreamDirection::P2p) {
+    client_ip = view.ip.src;
+    client_port = view.udp.src_port;
+  } else {
+    client_ip = view.ip.dst;
+    client_port = view.udp.dst_port;
+  }
+
+  if (StreamInfo* existing = streams_.find(key)) return *existing;
+
+  auto kind = zp.media_kind().value_or(zoom::MediaKind::Audio);
+  StreamInfo& stream =
+      streams_.get_or_create(key, kind, zp.transport, direction, client_ip,
+                             client_port, first_rtp_ts, view.ts);
+  std::optional<std::pair<net::Ipv4Addr, std::uint16_t>> peer;
+  if (direction == StreamDirection::P2p)
+    peer = std::pair{view.ip.dst, view.udp.dst_port};
+  stream.meeting_id = grouper_.assign(stream.media_id, client_ip, client_port,
+                                      view.ts, direction == StreamDirection::P2p,
+                                      peer);
+  return stream;
+}
+
+void Analyzer::handle_dissected(const net::PacketView& view,
+                                const zoom::ZoomPacket& zp,
+                                StreamDirection direction) {
+  switch (zp.category) {
+    case zoom::PacketCategory::UnknownSfu:
+      ++counters_.unknown_sfu_packets;
+      return;
+    case zoom::PacketCategory::UnknownMedia:
+      ++counters_.unknown_media_packets;
+      return;
+    case zoom::PacketCategory::Stun:
+      ++counters_.stun_packets;
+      return;
+    case zoom::PacketCategory::Rtcp: {
+      ++counters_.rtcp_packets;
+      auto& tally = counters_.encap_types[zp.media->type];
+      ++tally.packets;
+      tally.bytes += view.l4_payload.size();
+      // RTCP accompanies a media stream: attribute bytes to it if the
+      // stream exists (it may briefly precede the first media packet),
+      // and feed sender reports to the stream's clock mapper (§4.2.3).
+      if (auto ssrc = zp.ssrc()) {
+        StreamKey key{view.five_tuple(), *ssrc};
+        if (StreamInfo* stream = streams_.find(key)) {
+          stream->metrics->on_rtcp_packet(view.ts, view.l4_payload.size());
+          for (const auto& pkt : zp.rtcp) {
+            if (const auto* sr = std::get_if<proto::SenderReport>(&pkt)) {
+              stream->metrics->on_sender_report(sr->ntp.to_unix(),
+                                                sr->rtp_timestamp,
+                                                sr->packet_count);
+            }
+          }
+        }
+      }
+      return;
+    }
+    case zoom::PacketCategory::Media:
+      break;
+  }
+
+  const auto& encap = *zp.media;
+  const auto& rtp = *zp.rtp;
+  ++counters_.media_packets;
+  {
+    auto& tally = counters_.encap_types[encap.type];
+    ++tally.packets;
+    tally.bytes += view.l4_payload.size();
+  }
+  auto kind = zp.media_kind().value_or(zoom::MediaKind::Audio);
+  {
+    auto& tally = counters_.payload_types[{static_cast<std::uint8_t>(kind),
+                                           rtp.payload_type}];
+    ++tally.packets;
+    tally.bytes += view.l4_payload.size();
+  }
+
+  StreamInfo& stream = stream_for(view, zp, direction, rtp.ssrc, rtp.timestamp);
+  streams_.touch(stream, rtp.timestamp, view.ts);
+  grouper_.touch(stream.meeting_id, view.ts);
+  stream.metrics->on_media_packet(view.ts, encap, rtp, zp.rtp_payload.size(),
+                                  view.l4_payload.size());
+
+  // §5.3 method 1: RTT via SFU-forwarded copies.
+  if (direction == StreamDirection::ToSfu) {
+    copy_matcher_.on_egress(view.ts, rtp.ssrc, rtp.sequence, rtp.timestamp);
+  } else if (direction == StreamDirection::FromSfu) {
+    if (auto sample =
+            copy_matcher_.on_ingress(view.ts, rtp.ssrc, rtp.sequence, rtp.timestamp)) {
+      stream.metrics->on_rtt_sample(*sample);
+      grouper_.add_rtt_sample(stream.meeting_id, *sample);
+    }
+  }
+}
+
+void Analyzer::finish() {
+  for (const auto& stream : streams_.streams()) stream->metrics->finish();
+}
+
+}  // namespace zpm::core

@@ -1,0 +1,133 @@
+// The end-to-end passive Zoom analyzer: raw captured packets in,
+// dissected streams / meetings / per-second metrics out.
+//
+// This is the library's main entry point, combining every technique in
+// the paper: Zoom traffic detection incl. stateful P2P detection (§3,
+// §4.1), header dissection (§4.2), stream tracking and meeting grouping
+// (§4.3), and the performance metrics of §5. It mirrors what the
+// paper's software analysis tools run on the output of the P4 capture
+// filter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/meetings.h"
+#include "core/p2p_detector.h"
+#include "core/streams.h"
+#include "metrics/latency.h"
+#include "net/packet.h"
+#include "zoom/classify.h"
+#include "zoom/server_db.h"
+
+namespace zpm::core {
+
+/// Analyzer configuration.
+struct AnalyzerConfig {
+  /// Zoom's published server subnets (stateless detection).
+  zoom::ServerDb server_db = zoom::ServerDb::official();
+  /// Monitored campus subnets; used to orient flows (client side).
+  std::vector<net::Ipv4Subnet> campus_subnets;
+  /// P2P candidate lifetime after the STUN exchange (§4.1).
+  util::Duration p2p_timeout = util::Duration::seconds(60);
+  /// Duplicate-stream matching knobs (§4.3 step 1).
+  DuplicateMatchConfig duplicate_match;
+  /// Track TCP control-connection RTTs (§5.3 method 2).
+  bool track_tcp_rtt = true;
+  /// Retain per-frame records in stream metrics (frame-size CDFs).
+  bool keep_frames = true;
+  /// Keep only every Nth frame record (memory bound on long traces).
+  std::uint32_t frame_sample_every = 1;
+};
+
+/// Packet/byte pair used by the distribution tallies.
+struct Tally {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Aggregate counters over the analyzed trace.
+struct AnalyzerCounters {
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_bytes = 0;      // wire bytes of all offered packets
+  std::uint64_t zoom_packets = 0;
+  std::uint64_t zoom_bytes = 0;
+
+  std::uint64_t server_udp_packets = 0;
+  std::uint64_t p2p_udp_packets = 0;
+  std::uint64_t stun_packets = 0;
+  std::uint64_t tcp_control_packets = 0;
+
+  std::uint64_t media_packets = 0;
+  std::uint64_t rtcp_packets = 0;
+  std::uint64_t unknown_sfu_packets = 0;
+  std::uint64_t unknown_media_packets = 0;
+  std::uint64_t p2p_false_positives = 0;
+
+  /// Table 2: Zoom media-encap type value -> packets/bytes (bytes are
+  /// UDP payload bytes; denominator = zoom UDP packets).
+  std::map<std::uint8_t, Tally> encap_types;
+  /// Table 3: (media kind, RTP payload type) -> packets/bytes.
+  std::map<std::pair<std::uint8_t, std::uint8_t>, Tally> payload_types;
+};
+
+/// See file comment.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerConfig config = {});
+
+  /// Offers one raw captured frame. Returns true if it was recognized
+  /// as Zoom traffic (any category).
+  bool offer(const net::RawPacket& pkt);
+  /// Same, for an already-decoded packet.
+  bool process(const net::PacketView& view);
+
+  /// Flushes trailing metric bins; call once after the last packet.
+  void finish();
+
+  [[nodiscard]] const AnalyzerCounters& counters() const { return counters_; }
+  [[nodiscard]] const StreamTable& streams() const { return streams_; }
+  [[nodiscard]] StreamTable& streams() { return streams_; }
+  [[nodiscard]] const MeetingGrouper& meetings() const { return grouper_; }
+  [[nodiscard]] const P2pDetector& p2p_detector() const { return p2p_; }
+  /// Distinct Zoom flows (canonical 5-tuples) seen, for Table 6.
+  [[nodiscard]] std::size_t zoom_flow_count() const { return zoom_flows_.size(); }
+  /// All TCP control-connection RTT estimators, keyed by canonical flow.
+  [[nodiscard]] const std::unordered_map<net::FiveTuple, metrics::TcpRttEstimator>&
+  tcp_rtt() const {
+    return tcp_rtt_;
+  }
+  /// All §5.3 method-1 RTT samples (monitor <-> SFU), trace-wide.
+  [[nodiscard]] const std::vector<metrics::RttSample>& sfu_rtt_samples() const {
+    return copy_matcher_.samples();
+  }
+
+ private:
+  bool is_campus(net::Ipv4Addr ip) const;
+  bool process_decoded(const net::PacketView& view);
+  bool handle_server_udp(const net::PacketView& view);
+  bool handle_p2p_udp(const net::PacketView& view);
+  bool handle_stun(const net::PacketView& view, bool server_is_src);
+  bool handle_tcp(const net::PacketView& view);
+  void account_zoom(const net::PacketView& view);
+  void handle_dissected(const net::PacketView& view, const zoom::ZoomPacket& zp,
+                        StreamDirection direction);
+  StreamInfo& stream_for(const net::PacketView& view, const zoom::ZoomPacket& zp,
+                         StreamDirection direction, std::uint32_t ssrc,
+                         std::uint32_t first_rtp_ts);
+
+  AnalyzerConfig config_;
+  AnalyzerCounters counters_;
+  P2pDetector p2p_;
+  StreamTable streams_;
+  MeetingGrouper grouper_;
+  metrics::RtpCopyMatcher copy_matcher_;
+  std::unordered_set<net::FiveTuple> zoom_flows_;
+  std::unordered_map<net::FiveTuple, metrics::TcpRttEstimator> tcp_rtt_;
+};
+
+}  // namespace zpm::core

@@ -1,0 +1,123 @@
+#include "core/meetings.h"
+
+#include <algorithm>
+
+namespace zpm::core {
+
+std::uint32_t MeetingGrouper::find_root(std::uint32_t id) const {
+  while (parent_[id] != id) {
+    parent_[id] = parent_[parent_[id]];  // path halving
+    id = parent_[id];
+  }
+  return id;
+}
+
+std::uint32_t MeetingGrouper::resolve(std::uint32_t meeting_id) const {
+  if (meeting_id >= parent_.size()) return meeting_id;
+  return find_root(meeting_id);
+}
+
+std::uint32_t MeetingGrouper::merge(std::uint32_t a, std::uint32_t b) {
+  a = find_root(a);
+  b = find_root(b);
+  if (a == b) return a;
+  // Keep the older meeting as the root.
+  if (b < a) std::swap(a, b);
+  parent_[b] = a;
+  Meeting& dst = meetings_[a];
+  Meeting& src = meetings_[b];
+  dst.media_ids.insert(src.media_ids.begin(), src.media_ids.end());
+  dst.client_ips.insert(src.client_ips.begin(), src.client_ips.end());
+  dst.stream_count += src.stream_count;
+  dst.first_seen = std::min(dst.first_seen, src.first_seen);
+  dst.last_seen = std::max(dst.last_seen, src.last_seen);
+  dst.saw_p2p = dst.saw_p2p || src.saw_p2p;
+  dst.rtt_to_sfu.insert(dst.rtt_to_sfu.end(), src.rtt_to_sfu.begin(),
+                        src.rtt_to_sfu.end());
+  src = Meeting{};  // release merged-away state
+  return a;
+}
+
+std::uint32_t MeetingGrouper::assign(
+    std::uint64_t media_id, net::Ipv4Addr client_ip, std::uint16_t client_port,
+    util::Timestamp when, bool is_p2p,
+    std::optional<std::pair<net::Ipv4Addr, std::uint16_t>> peer_endpoint) {
+  // Gather all meetings any of the stream's keys already point to.
+  std::vector<std::uint32_t> matches;
+  auto consider = [&](std::optional<std::uint32_t> m) {
+    if (m) matches.push_back(find_root(*m));
+  };
+  if (auto it = by_media_id_.find(media_id); it != by_media_id_.end())
+    consider(it->second);
+  if (auto it = by_client_ip_.find(client_ip.value()); it != by_client_ip_.end())
+    consider(it->second);
+  if (auto it = by_endpoint_.find(endpoint_key(client_ip, client_port));
+      it != by_endpoint_.end())
+    consider(it->second);
+  if (peer_endpoint) {
+    if (auto it = by_client_ip_.find(peer_endpoint->first.value());
+        it != by_client_ip_.end())
+      consider(it->second);
+    if (auto it = by_endpoint_.find(endpoint_key(peer_endpoint->first, peer_endpoint->second));
+        it != by_endpoint_.end())
+      consider(it->second);
+  }
+
+  std::uint32_t id;
+  if (matches.empty()) {
+    id = static_cast<std::uint32_t>(meetings_.size());
+    parent_.push_back(id);
+    Meeting m;
+    m.id = id;
+    m.first_seen = when;
+    m.last_seen = when;
+    meetings_.push_back(std::move(m));
+  } else {
+    // "If there are several matches with different meeting ids, the
+    // matched meetings are merged."
+    id = matches[0];
+    for (std::size_t i = 1; i < matches.size(); ++i) id = merge(id, matches[i]);
+  }
+
+  Meeting& m = meetings_[find_root(id)];
+  m.media_ids.insert(media_id);
+  m.client_ips.insert(client_ip.value());
+  if (peer_endpoint) m.client_ips.insert(peer_endpoint->first.value());
+  ++m.stream_count;
+  m.first_seen = std::min(m.first_seen, when);
+  m.last_seen = std::max(m.last_seen, when);
+  m.saw_p2p = m.saw_p2p || is_p2p;
+
+  std::uint32_t root = find_root(id);
+  by_media_id_[media_id] = root;
+  by_client_ip_[client_ip.value()] = root;
+  by_endpoint_[endpoint_key(client_ip, client_port)] = root;
+  if (peer_endpoint) {
+    by_client_ip_[peer_endpoint->first.value()] = root;
+    by_endpoint_[endpoint_key(peer_endpoint->first, peer_endpoint->second)] = root;
+  }
+  return root;
+}
+
+void MeetingGrouper::touch(std::uint32_t meeting_id, util::Timestamp t) {
+  if (meeting_id >= parent_.size()) return;
+  Meeting& m = meetings_[find_root(meeting_id)];
+  if (t > m.last_seen) m.last_seen = t;
+}
+
+void MeetingGrouper::add_rtt_sample(std::uint32_t meeting_id,
+                                    const metrics::RttSample& sample) {
+  if (meeting_id >= parent_.size()) return;
+  meetings_[find_root(meeting_id)].rtt_to_sfu.push_back(sample);
+}
+
+std::vector<const Meeting*> MeetingGrouper::meetings() const {
+  std::vector<const Meeting*> out;
+  for (std::uint32_t i = 0; i < meetings_.size(); ++i)
+    if (find_root(i) == i) out.push_back(&meetings_[i]);
+  return out;
+}
+
+std::size_t MeetingGrouper::meeting_count() const { return meetings().size(); }
+
+}  // namespace zpm::core

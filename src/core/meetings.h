@@ -1,0 +1,85 @@
+// Heuristic grouping of streams into meetings (paper §4.3 step 2,
+// Fig. 8).
+//
+// Zoom packets carry no meeting identifier, so meetings are inferred:
+// the grouper keeps mappings from (a) the duplicate-detection media id,
+// (b) the client IP, and (c) the client IP:port to meeting ids. A new
+// stream joining keys that already point at different meetings merges
+// those meetings (union-find). The known failure modes (Fig. 9 —
+// passive participants invisible, campus NAT merging meetings) are
+// properties of the vantage point, not bugs; bench_fig8_grouping
+// demonstrates both.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/latency.h"
+#include "net/addr.h"
+#include "util/time.h"
+
+namespace zpm::core {
+
+/// A grouped meeting as seen from the monitor.
+struct Meeting {
+  std::uint32_t id = 0;
+  std::set<std::uint64_t> media_ids;      // distinct media (not wire copies)
+  std::set<std::uint32_t> client_ips;     // observed participant addresses
+  std::size_t stream_count = 0;           // wire-level streams assigned
+  util::Timestamp first_seen;
+  util::Timestamp last_seen;
+  bool saw_p2p = false;
+  std::vector<metrics::RttSample> rtt_to_sfu;  // §5.3 method-1 samples
+
+  /// Lower bound on the number of active participants: distinct client
+  /// addresses observed sending media (§4.3.1 — passive participants
+  /// are invisible by construction).
+  [[nodiscard]] std::size_t active_participants() const { return client_ips.size(); }
+};
+
+/// Incremental stream→meeting assignment with merging.
+class MeetingGrouper {
+ public:
+  /// Assigns a stream to a meeting and returns the meeting id. For P2P
+  /// streams, pass the remote peer endpoint too so both participants'
+  /// keys land in the same meeting.
+  std::uint32_t assign(std::uint64_t media_id, net::Ipv4Addr client_ip,
+                       std::uint16_t client_port, util::Timestamp when,
+                       bool is_p2p,
+                       std::optional<std::pair<net::Ipv4Addr, std::uint16_t>>
+                           peer_endpoint = std::nullopt);
+
+  /// Adds an RTT sample to the meeting owning `meeting_id`.
+  void add_rtt_sample(std::uint32_t meeting_id, const metrics::RttSample& sample);
+
+  /// Records meeting activity (extends last_seen).
+  void touch(std::uint32_t meeting_id, util::Timestamp t);
+
+  /// Resolves a possibly-merged id to its current root meeting id.
+  [[nodiscard]] std::uint32_t resolve(std::uint32_t meeting_id) const;
+
+  /// All root (live) meetings, in creation order.
+  [[nodiscard]] std::vector<const Meeting*> meetings() const;
+  [[nodiscard]] std::size_t meeting_count() const;
+
+ private:
+  static std::uint64_t endpoint_key(net::Ipv4Addr ip, std::uint16_t port) {
+    return (static_cast<std::uint64_t>(ip.value()) << 16) | port;
+  }
+
+  std::uint32_t find_root(std::uint32_t id) const;
+  std::uint32_t merge(std::uint32_t a, std::uint32_t b);
+
+  // Union-find over meeting ids; meetings_[i].id == i for roots.
+  mutable std::vector<std::uint32_t> parent_;
+  std::vector<Meeting> meetings_;
+
+  std::unordered_map<std::uint64_t, std::uint32_t> by_media_id_;
+  std::unordered_map<std::uint32_t, std::uint32_t> by_client_ip_;
+  std::unordered_map<std::uint64_t, std::uint32_t> by_endpoint_;
+};
+
+}  // namespace zpm::core

@@ -1,0 +1,38 @@
+#include "core/p2p_detector.h"
+
+#include <vector>
+
+namespace zpm::core {
+
+void P2pDetector::on_stun_exchange(util::Timestamp t, net::Ipv4Addr client_ip,
+                                   std::uint16_t client_port) {
+  candidates_[key(client_ip, client_port)] = t;
+}
+
+bool P2pDetector::is_candidate(util::Timestamp t, net::Ipv4Addr ip,
+                               std::uint16_t port) const {
+  auto it = candidates_.find(key(ip, port));
+  if (it == candidates_.end()) return false;
+  return t - it->second <= timeout_ && t >= it->second;
+}
+
+void P2pDetector::confirm_flow(const net::FiveTuple& flow) {
+  confirmed_.insert(flow.canonical());
+}
+
+void P2pDetector::reject_flow(const net::FiveTuple& flow) {
+  rejected_.insert(flow.canonical());
+}
+
+bool P2pDetector::is_confirmed(const net::FiveTuple& flow) const {
+  return confirmed_.contains(flow.canonical());
+}
+
+void P2pDetector::expire(util::Timestamp now) {
+  std::vector<std::uint64_t> stale;
+  for (const auto& [k, t] : candidates_)
+    if (now - t > timeout_) stale.push_back(k);
+  for (std::uint64_t k : stale) candidates_.erase(k);
+}
+
+}  // namespace zpm::core

@@ -1,0 +1,64 @@
+// Stateful P2P connection detection (paper §4.1, Fig. 2).
+//
+// Before a two-party meeting goes peer-to-peer, each client exchanges
+// cleartext STUN binding requests with a Zoom Zone Controller on UDP
+// 3478, using the *same local port* the subsequent P2P media flow will
+// use. Remembering (client ip, port, time) therefore lets a passive
+// monitor deterministically recognize the otherwise-unidentifiable P2P
+// flow: any later packet from that endpoint to a non-Zoom address within
+// a timeout is treated as Zoom P2P media (false positives from port
+// reuse are discarded when the payload fails Zoom dissection — §4.2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/addr.h"
+#include "net/five_tuple.h"
+#include "util/time.h"
+
+namespace zpm::core {
+
+/// Tracks STUN-announced candidate endpoints and confirmed P2P flows.
+class P2pDetector {
+ public:
+  /// `timeout`: how long after the STUN exchange an endpoint remains a
+  /// P2P candidate (the ablation bench sweeps this).
+  explicit P2pDetector(util::Duration timeout = util::Duration::seconds(60))
+      : timeout_(timeout) {}
+
+  /// Records a STUN exchange between a campus client endpoint and a
+  /// Zoom server.
+  void on_stun_exchange(util::Timestamp t, net::Ipv4Addr client_ip,
+                        std::uint16_t client_port);
+
+  /// True if this endpoint announced itself via STUN within the timeout.
+  [[nodiscard]] bool is_candidate(util::Timestamp t, net::Ipv4Addr ip,
+                                  std::uint16_t port) const;
+
+  /// Marks a flow as confirmed Zoom P2P (its packets dissected
+  /// successfully); confirmed flows stay matched beyond the timeout.
+  void confirm_flow(const net::FiveTuple& flow);
+  /// Removes a flow that failed dissection (port-reuse false positive).
+  void reject_flow(const net::FiveTuple& flow);
+  [[nodiscard]] bool is_confirmed(const net::FiveTuple& flow) const;
+
+  [[nodiscard]] std::size_t candidates() const { return candidates_.size(); }
+  [[nodiscard]] std::size_t confirmed_flows() const { return confirmed_.size(); }
+
+  /// Drops candidates whose STUN exchange aged beyond the timeout.
+  void expire(util::Timestamp now);
+
+ private:
+  static std::uint64_t key(net::Ipv4Addr ip, std::uint16_t port) {
+    return (static_cast<std::uint64_t>(ip.value()) << 16) | port;
+  }
+
+  util::Duration timeout_;
+  std::unordered_map<std::uint64_t, util::Timestamp> candidates_;
+  std::unordered_set<net::FiveTuple> confirmed_;
+  std::unordered_set<net::FiveTuple> rejected_;
+};
+
+}  // namespace zpm::core

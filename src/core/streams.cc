@@ -1,0 +1,71 @@
+#include "core/streams.h"
+
+#include <cstdlib>
+
+namespace zpm::core {
+
+StreamInfo* StreamTable::find(const StreamKey& key) {
+  auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : streams_[it->second].get();
+}
+
+StreamInfo& StreamTable::get_or_create(const StreamKey& key, zoom::MediaKind kind,
+                                       zoom::Transport transport,
+                                       StreamDirection direction,
+                                       net::Ipv4Addr client_ip,
+                                       std::uint16_t client_port,
+                                       std::uint32_t first_rtp_ts,
+                                       util::Timestamp now) {
+  if (StreamInfo* existing = find(key)) return *existing;
+
+  auto stream = std::make_unique<StreamInfo>();
+  stream->index = streams_.size();
+  stream->key = key;
+  stream->kind = kind;
+  stream->transport = transport;
+  stream->direction = direction;
+  stream->client_ip = client_ip;
+  stream->client_port = client_port;
+  stream->first_rtp_ts = first_rtp_ts;
+  stream->first_seen = now;
+  stream->last_seen = now;
+  stream->metrics = std::make_unique<metrics::StreamMetrics>(
+      kind, key.ssrc,
+      metrics_factory_ ? metrics_factory_(kind) : metrics::default_config(kind));
+
+  // §4.3 step 1: look for an existing stream carrying the same media —
+  // same SSRC, different 5-tuple, same kind, recently active, and RTP
+  // timestamps that line up.
+  std::optional<std::uint64_t> matched_media_id;
+  if (auto it = by_ssrc_.find(key.ssrc); it != by_ssrc_.end()) {
+    for (std::size_t idx : it->second) {
+      const StreamInfo& other = *streams_[idx];
+      if (other.key.flow == key.flow) continue;
+      if (other.kind != kind) continue;
+      if (now - other.last_seen > config_.max_wall_gap) continue;
+      if (config_.require_timestamp_match) {
+        std::int64_t delta = std::llabs(
+            util::serial_diff(static_cast<std::uint32_t>(other.last_ext_rtp_ts),
+                              first_rtp_ts));
+        if (delta > config_.max_rtp_ts_delta) continue;
+      }
+      matched_media_id = other.media_id;
+      break;
+    }
+  }
+  stream->media_id = matched_media_id ? *matched_media_id : next_media_id_++;
+  stream->last_ext_rtp_ts = stream->rtp_ts_extender.extend(first_rtp_ts);
+
+  by_key_.emplace(key, stream->index);
+  by_ssrc_[key.ssrc].push_back(stream->index);
+  streams_.push_back(std::move(stream));
+  return *streams_.back();
+}
+
+void StreamTable::touch(StreamInfo& stream, std::uint32_t rtp_ts, util::Timestamp now) {
+  std::int64_t ext = stream.rtp_ts_extender.extend(rtp_ts);
+  if (ext > stream.last_ext_rtp_ts) stream.last_ext_rtp_ts = ext;
+  if (now > stream.last_seen) stream.last_seen = now;
+}
+
+}  // namespace zpm::core

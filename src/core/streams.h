@@ -1,0 +1,125 @@
+// Media-stream tracking and duplicate-stream detection (paper §4.3
+// step 1).
+//
+// A stream is identified on the wire by (IP 5-tuple, SSRC). The same
+// *media* appears as several such streams: once on its way to the SFU
+// and once more per on-campus receiver the SFU forwards it to, and with
+// a brand-new 5-tuple after a P2P<->SFU mode switch. Because Zoom's SFU
+// does not rewrite RTP headers, copies share SSRC, sequence numbers and
+// timestamps; matching a new stream's first RTP timestamp against the
+// most recent timestamp of existing same-SSRC streams assigns all copies
+// one media id (the paper's "unique identifier" S1, S2 of Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/stream_metrics.h"
+#include "net/five_tuple.h"
+#include "util/serial.h"
+#include "zoom/classify.h"
+
+namespace zpm::core {
+
+/// Wire-level stream key.
+struct StreamKey {
+  net::FiveTuple flow;
+  std::uint32_t ssrc = 0;
+
+  bool operator==(const StreamKey&) const = default;
+};
+
+/// Direction of a stream relative to the Zoom infrastructure.
+enum class StreamDirection : std::uint8_t { ToSfu, FromSfu, P2p };
+
+/// One tracked media stream with its metric engine.
+struct StreamInfo {
+  std::uint64_t index = 0;  // position in the table
+  StreamKey key;
+  zoom::MediaKind kind = zoom::MediaKind::Video;
+  zoom::Transport transport = zoom::Transport::ServerBased;
+  StreamDirection direction = StreamDirection::ToSfu;
+  /// Shared by all wire-level copies of the same media (§4.3 step 1).
+  std::uint64_t media_id = 0;
+  /// Campus-side endpoint (the participant), used for meeting grouping.
+  net::Ipv4Addr client_ip;
+  std::uint16_t client_port = 0;
+  /// Meeting this stream was assigned to (filled by the grouper).
+  std::uint32_t meeting_id = 0;
+
+  std::unique_ptr<metrics::StreamMetrics> metrics;
+  util::SerialExtender<std::uint32_t> rtp_ts_extender;
+  std::int64_t last_ext_rtp_ts = 0;
+  std::uint32_t first_rtp_ts = 0;
+  util::Timestamp first_seen;
+  util::Timestamp last_seen;
+};
+
+/// Parameters of the duplicate-stream match.
+struct DuplicateMatchConfig {
+  /// Maximum |ΔRTP-timestamp| between an existing stream's latest
+  /// timestamp and a new stream's first timestamp to consider them the
+  /// same media (~ a few seconds at 90 kHz).
+  std::int64_t max_rtp_ts_delta = 5 * 90'000;
+  /// The existing stream must have been active this recently.
+  util::Duration max_wall_gap = util::Duration::seconds(30);
+  /// Disable timestamp checking entirely (ablation: SSRC-only matching
+  /// merges unrelated meetings because Zoom SSRCs are not unique —
+  /// §4.3.1 challenge 2).
+  bool require_timestamp_match = true;
+};
+
+/// Owns all streams; performs duplicate detection on stream creation.
+class StreamTable {
+ public:
+  explicit StreamTable(DuplicateMatchConfig config = {}) : config_(config) {}
+
+  /// Overrides how metric engines are configured per media kind
+  /// (default: metrics::default_config).
+  using MetricsConfigFactory =
+      std::function<metrics::StreamMetricsConfig(zoom::MediaKind)>;
+  void set_metrics_config_factory(MetricsConfigFactory factory) {
+    metrics_factory_ = std::move(factory);
+  }
+
+  /// Finds the stream for (flow, ssrc) or creates it, running the
+  /// duplicate-media match when creating. `first_rtp_ts` is the RTP
+  /// timestamp of the packet triggering creation.
+  StreamInfo& get_or_create(const StreamKey& key, zoom::MediaKind kind,
+                            zoom::Transport transport, StreamDirection direction,
+                            net::Ipv4Addr client_ip, std::uint16_t client_port,
+                            std::uint32_t first_rtp_ts, util::Timestamp now);
+
+  /// Looks up an existing stream, or nullptr.
+  StreamInfo* find(const StreamKey& key);
+
+  /// Records activity (keeps the duplicate-match bookkeeping current).
+  void touch(StreamInfo& stream, std::uint32_t rtp_ts, util::Timestamp now);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<StreamInfo>>& streams() const {
+    return streams_;
+  }
+  [[nodiscard]] std::size_t size() const { return streams_.size(); }
+  /// Number of distinct media ids (unique media, not wire copies).
+  [[nodiscard]] std::uint64_t media_count() const { return next_media_id_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const StreamKey& k) const noexcept {
+      return std::hash<net::FiveTuple>{}(k.flow) ^ (std::size_t{k.ssrc} * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  DuplicateMatchConfig config_;
+  MetricsConfigFactory metrics_factory_;
+  std::unordered_map<StreamKey, std::size_t, KeyHash> by_key_;
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_ssrc_;
+  std::vector<std::unique_ptr<StreamInfo>> streams_;
+  std::uint64_t next_media_id_ = 0;
+};
+
+}  // namespace zpm::core

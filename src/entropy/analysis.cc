@@ -1,0 +1,189 @@
+#include "entropy/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace zpm::entropy {
+
+const char* field_class_name(FieldClass c) {
+  switch (c) {
+    case FieldClass::Constant: return "constant";
+    case FieldClass::Identifier: return "identifier";
+    case FieldClass::Counter: return "counter";
+    case FieldClass::Random: return "random";
+    case FieldClass::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+Classification classify_sequence(const FieldSequence& seq) {
+  Classification out;
+  if (seq.values.size() < 4) return out;
+
+  // Byte-level entropy over the field's constituent bytes.
+  std::vector<std::size_t> histogram(256, 0);
+  for (std::uint64_t v : seq.values) {
+    for (std::size_t b = 0; b < seq.width; ++b)
+      ++histogram[(v >> (8 * b)) & 0xff];
+  }
+  out.normalized_entropy = util::shannon_entropy(histogram) / 8.0;
+
+  std::set<std::uint64_t> distinct(seq.values.begin(), seq.values.end());
+  out.distinct_ratio =
+      static_cast<double>(distinct.size()) / static_cast<double>(seq.values.size());
+
+  // Monotonicity modulo wrap: fraction of consecutive pairs with a small
+  // positive increment (relative to the field's value space).
+  std::uint64_t space = seq.width >= 8 ? ~0ULL : (1ULL << (8 * seq.width));
+  std::uint64_t small = std::max<std::uint64_t>(space / 256, 1);
+  std::size_t monotone = 0;
+  for (std::size_t i = 1; i < seq.values.size(); ++i) {
+    std::uint64_t delta = (seq.values[i] - seq.values[i - 1]) & (space - 1);
+    if (delta != 0 && delta <= small * 16) ++monotone;
+  }
+  out.monotone_ratio =
+      static_cast<double>(monotone) / static_cast<double>(seq.values.size() - 1);
+
+  if (distinct.size() == 1) {
+    out.cls = FieldClass::Constant;
+  } else if (out.monotone_ratio > 0.6) {
+    out.cls = FieldClass::Counter;
+  } else if (out.normalized_entropy > 0.93 && out.distinct_ratio > 0.5) {
+    out.cls = FieldClass::Random;
+  } else if (out.distinct_ratio < 0.1) {
+    out.cls = FieldClass::Identifier;
+  } else {
+    out.cls = FieldClass::Unknown;
+  }
+  return out;
+}
+
+std::vector<FieldSequence> extract_sequences(
+    const std::vector<std::vector<std::uint8_t>>& payloads, std::size_t max_offset,
+    std::size_t min_samples) {
+  static constexpr std::size_t kWidths[] = {1, 2, 4};
+  std::vector<FieldSequence> out;
+  for (std::size_t width : kWidths) {
+    for (std::size_t offset = 0; offset < max_offset; ++offset) {
+      FieldSequence seq;
+      seq.offset = offset;
+      seq.width = width;
+      for (const auto& p : payloads) {
+        if (p.size() < offset + width) continue;
+        std::uint64_t v = 0;
+        for (std::size_t b = 0; b < width; ++b) v = (v << 8) | p[offset + b];
+        seq.values.push_back(v);
+      }
+      if (seq.values.size() >= min_samples) out.push_back(std::move(seq));
+    }
+  }
+  return out;
+}
+
+RtpScan score_rtp_offset(const std::vector<std::vector<std::uint8_t>>& payloads,
+                         std::size_t offset) {
+  RtpScan scan;
+  scan.offset = offset;
+  // Per-packet structural checks, collecting the would-be (ssrc, seq)
+  // pairs for the behavioural checks below.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> seqs_by_ssrc;
+  for (const auto& p : payloads) {
+    if (p.size() < offset + 12) continue;
+    ++scan.considered;
+    std::uint8_t b0 = p[offset];
+    if ((b0 >> 6) != 2) continue;           // version must be 2 (§4.2.1)
+    if ((b0 & 0x0f) != 0) continue;         // Zoom CSRC count is always 0
+    std::uint8_t pt = p[offset + 1] & 0x7f;
+    if (pt < 90 || pt > 127) continue;      // dynamic payload-type range
+    ++scan.matching;
+    std::uint64_t seq = (std::uint64_t{p[offset + 2]} << 8) | p[offset + 3];
+    std::uint64_t ssrc = (std::uint64_t{p[offset + 8]} << 24) |
+                         (std::uint64_t{p[offset + 9]} << 16) |
+                         (std::uint64_t{p[offset + 10]} << 8) | p[offset + 11];
+    seqs_by_ssrc[ssrc].push_back(seq);
+  }
+  if (scan.considered == 0) return scan;
+  scan.match_fraction =
+      static_cast<double>(scan.matching) / static_cast<double>(scan.considered);
+  if (scan.matching >= 8) {
+    // Behavioural checks. A flow carries several streams (both
+    // directions, multiple senders), so the sequence field only behaves
+    // like a counter *within* one value of the identifier field — check
+    // it per SSRC, as the manual analysis would.
+    if (seqs_by_ssrc.size() >
+        std::max<std::size_t>(8, static_cast<std::size_t>(scan.matching) / 16)) {
+      // The "SSRC" bytes take too many values to be an identifier.
+      scan.match_fraction = 0.0;
+      return scan;
+    }
+    std::size_t groups = 0, counter_like = 0;
+    for (const auto& [ssrc, seqs] : seqs_by_ssrc) {
+      if (seqs.size() < 8) continue;
+      ++groups;
+      FieldSequence fs{offset + 2, 2, seqs};
+      if (classify_sequence(fs).cls == FieldClass::Counter) ++counter_like;
+    }
+    if (groups == 0 || counter_like * 2 < groups) scan.match_fraction = 0.0;
+  }
+  return scan;
+}
+
+std::optional<RtpScan> locate_rtp(
+    const std::vector<std::vector<std::uint8_t>>& payloads, std::size_t max_offset,
+    double min_fraction) {
+  std::optional<RtpScan> best;
+  for (std::size_t offset = 0; offset < max_offset; ++offset) {
+    RtpScan scan = score_rtp_offset(payloads, offset);
+    if (scan.match_fraction < min_fraction) continue;
+    if (!best || scan.matching > best->matching) best = scan;
+  }
+  return best;
+}
+
+std::map<std::uint8_t, std::size_t> discover_type_offsets(
+    const std::vector<std::vector<std::uint8_t>>& payloads, std::size_t min_group) {
+  // Group by the suspected type byte (offset 0).
+  std::map<std::uint8_t, std::vector<std::vector<std::uint8_t>>> groups;
+  for (const auto& p : payloads) {
+    if (p.empty()) continue;
+    groups[p[0]].push_back(p);
+  }
+  std::map<std::uint8_t, std::size_t> out;
+  for (auto& [type, group] : groups) {
+    if (group.size() < min_group) continue;
+    if (auto scan = locate_rtp(group)) out[type] = scan->offset;
+  }
+  return out;
+}
+
+std::set<std::uint32_t> collect_ssrcs(
+    const std::vector<std::vector<std::uint8_t>>& payloads, std::size_t rtp_offset) {
+  std::set<std::uint32_t> out;
+  for (const auto& p : payloads) {
+    if (p.size() < rtp_offset + 12) continue;
+    if ((p[rtp_offset] >> 6) != 2) continue;
+    out.insert((std::uint32_t{p[rtp_offset + 8]} << 24) |
+               (std::uint32_t{p[rtp_offset + 9]} << 16) |
+               (std::uint32_t{p[rtp_offset + 10]} << 8) | p[rtp_offset + 11]);
+  }
+  return out;
+}
+
+std::map<std::size_t, std::size_t> find_ssrc_references(
+    const std::vector<std::vector<std::uint8_t>>& payloads,
+    const std::set<std::uint32_t>& ssrcs, std::size_t max_offset) {
+  std::map<std::size_t, std::size_t> hits;
+  for (const auto& p : payloads) {
+    std::size_t limit = std::min(max_offset + 4, p.size());
+    for (std::size_t off = 0; off + 4 <= limit; ++off) {
+      std::uint32_t v = (std::uint32_t{p[off]} << 24) | (std::uint32_t{p[off + 1]} << 16) |
+                        (std::uint32_t{p[off + 2]} << 8) | p[off + 3];
+      if (ssrcs.contains(v)) ++hits[off];
+    }
+  }
+  return hits;
+}
+
+}  // namespace zpm::entropy

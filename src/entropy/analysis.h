@@ -1,0 +1,100 @@
+// Entropy-based header analysis: the paper's §4.2 methodology as a
+// library, usable against any black-box UDP protocol.
+//
+// Step 1 (extract): pull 8/16/32-bit value sequences at every offset of
+// every packet in a flow. Step 2 (classify): label each sequence as
+// random (encrypted), identifier (horizontal lines in Fig. 4/5),
+// counter/sequence (angled lines), or constant. Step 3 (locate): find
+// RTP headers by searching for the signature counter16 + counter32 +
+// identifier32 with valid version bits, and RTCP by cross-referencing
+// known SSRC values. Step 4 (differencing): group packets by their
+// first byte and compare groups to discover the type byte and the
+// per-type payload offsets — this rediscovers Table 2 from raw bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+namespace zpm::entropy {
+
+/// A byte range interpreted across all packets of a flow.
+struct FieldSequence {
+  std::size_t offset = 0;  // from start of UDP payload
+  std::size_t width = 1;   // 1, 2 or 4 bytes
+  std::vector<std::uint64_t> values;  // one per packet long enough
+};
+
+/// Inferred field semantics (Fig. 4).
+enum class FieldClass : std::uint8_t {
+  Constant,    // single value
+  Identifier,  // few distinct values (horizontal lines)
+  Counter,     // mostly monotone with small increments, wrapping (angled)
+  Random,      // near-uniform coverage — encrypted payload
+  Unknown,     // none of the above cleanly
+};
+
+const char* field_class_name(FieldClass c);
+
+/// Quantitative features behind a classification.
+struct Classification {
+  FieldClass cls = FieldClass::Unknown;
+  double normalized_entropy = 0.0;  // byte-level entropy / maximum
+  double distinct_ratio = 0.0;      // distinct values / samples
+  double monotone_ratio = 0.0;      // fraction of small positive wraps
+};
+
+/// Classifies one extracted sequence.
+Classification classify_sequence(const FieldSequence& seq);
+
+/// Extracts all 1/2/4-byte sequences at offsets [0, max_offset).
+/// Sequences shorter than `min_samples` packets are skipped.
+std::vector<FieldSequence> extract_sequences(
+    const std::vector<std::vector<std::uint8_t>>& payloads, std::size_t max_offset,
+    std::size_t min_samples = 16);
+
+/// Result of scanning one flow for RTP headers at a fixed offset.
+struct RtpScan {
+  std::size_t offset = 0;       // RTP header start within the UDP payload
+  std::size_t matching = 0;     // packets whose bytes pass all checks
+  std::size_t considered = 0;   // packets long enough to test
+  double match_fraction = 0.0;
+};
+
+/// Scores a candidate RTP offset: version bits == 2, plausible payload
+/// type, sequence field behaves like a counter, SSRC field like an
+/// identifier.
+RtpScan score_rtp_offset(const std::vector<std::vector<std::uint8_t>>& payloads,
+                         std::size_t offset);
+
+/// Finds the best RTP offset in [0, max_offset); nullopt when nothing
+/// scores above `min_fraction`.
+std::optional<RtpScan> locate_rtp(
+    const std::vector<std::vector<std::uint8_t>>& payloads,
+    std::size_t max_offset = 48, double min_fraction = 0.8);
+
+/// §4.2.2 offset-group differencing: group packets by first byte (the
+/// suspected type field) and locate the RTP offset per group. Returns
+/// type value -> discovered RTP offset (only for groups with a match).
+/// Against Zoom P2P traffic this returns {13: 27, 15: 19, 16: 24}.
+std::map<std::uint8_t, std::size_t> discover_type_offsets(
+    const std::vector<std::vector<std::uint8_t>>& payloads,
+    std::size_t min_group = 24);
+
+/// Collects SSRC values from packets with a known RTP offset (helper
+/// for the RTCP cross-reference).
+std::set<std::uint32_t> collect_ssrcs(
+    const std::vector<std::vector<std::uint8_t>>& payloads, std::size_t rtp_offset);
+
+/// Searches payloads for 32-bit big-endian values from `ssrcs`; returns
+/// offset -> hit count. RTCP packets carry the sender SSRC at a fixed
+/// offset, which is how the paper found Zoom's RTCP without knowing its
+/// framing (§4.2.1).
+std::map<std::size_t, std::size_t> find_ssrc_references(
+    const std::vector<std::vector<std::uint8_t>>& payloads,
+    const std::set<std::uint32_t>& ssrcs, std::size_t max_offset = 32);
+
+}  // namespace zpm::entropy

@@ -1,0 +1,77 @@
+#include "metrics/clock_map.h"
+
+namespace zpm::metrics {
+
+void RtcpClockMapper::on_sender_report(util::Timestamp ntp_wall,
+                                       std::uint32_t rtp_ts) {
+  std::int64_t ext = extender_.extend(rtp_ts);
+  if (reports_ == 0) {
+    first_wall_ = ntp_wall;
+    first_ext_ts_ = ext;
+  }
+  // Ignore out-of-order SRs (they would wreck the anchor).
+  if (reports_ == 0 || ntp_wall > last_wall_) {
+    last_wall_ = ntp_wall;
+    last_ext_ts_ = ext;
+  }
+  ++reports_;
+}
+
+std::optional<double> RtcpClockMapper::estimated_clock_hz() const {
+  if (reports_ < 2) return std::nullopt;
+  double wall_s = (last_wall_ - first_wall_).sec();
+  if (wall_s < 0.1) return std::nullopt;
+  return static_cast<double>(last_ext_ts_ - first_ext_ts_) / wall_s;
+}
+
+std::optional<util::Timestamp> RtcpClockMapper::to_wall(
+    std::uint32_t rtp_ts, std::optional<double> clock_hz) const {
+  if (reports_ == 0) return std::nullopt;
+  double hz = 0;
+  if (clock_hz) {
+    hz = *clock_hz;
+  } else if (auto est = estimated_clock_hz()) {
+    hz = *est;
+  } else {
+    return std::nullopt;
+  }
+  if (hz <= 0) return std::nullopt;
+  // Extend relative to the last anchor without mutating state: place the
+  // query on the cycle closest to the anchor.
+  std::int64_t delta =
+      util::serial_diff(static_cast<std::uint32_t>(last_ext_ts_), rtp_ts);
+  double offset_s = static_cast<double>(delta) / hz;
+  return last_wall_ + util::Duration::seconds(offset_s);
+}
+
+void ClockRateEstimator::add(util::Timestamp arrival, std::uint32_t rtp_ts) {
+  std::int64_t ext = extender_.extend(rtp_ts);
+  if (samples_ == 0) {
+    first_arrival_ = arrival;
+    first_ext_ts_ = ext;
+    last_arrival_ = arrival;
+    last_ext_ts_ = ext;
+  } else if (arrival > last_arrival_ && ext > last_ext_ts_) {
+    last_arrival_ = arrival;
+    last_ext_ts_ = ext;
+  }
+  ++samples_;
+}
+
+std::optional<double> ClockRateEstimator::raw_hz() const {
+  if (samples_ < 2) return std::nullopt;
+  double wall_s = (last_arrival_ - first_arrival_).sec();
+  if (wall_s < 0.1) return std::nullopt;
+  return static_cast<double>(last_ext_ts_ - first_ext_ts_) / wall_s;
+}
+
+std::optional<double> ClockRateEstimator::snapped_hz(double tolerance) const {
+  auto raw = raw_hz();
+  if (!raw) return std::nullopt;
+  for (double standard : kStandardClockRates) {
+    if (std::abs(*raw - standard) / standard <= tolerance) return standard;
+  }
+  return raw;
+}
+
+}  // namespace zpm::metrics

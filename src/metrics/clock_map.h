@@ -1,0 +1,78 @@
+// RTP media-clock <-> wall-clock mapping.
+//
+// Two pieces the paper describes:
+//  * RTCP sender reports pair an NTP wall-clock timestamp with the RTP
+//    timestamp of the same instant (§4.2.3: "periodically synchronize
+//    wall-clock time with RTP timestamps"); two or more SRs let a
+//    passive observer both recover the stream's sampling rate and map
+//    any RTP timestamp to wall time — this is how receivers sync audio
+//    with video.
+//  * §5.2 determines the 90 kHz video clock "through a simple parameter
+//    sweep"; estimate_clock_hz implements that recovery from passive
+//    observations alone (RTP timestamp progress vs. wall time), with a
+//    snap to the standard RTP rates.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "util/serial.h"
+#include "util/time.h"
+
+namespace zpm::metrics {
+
+/// Maps RTP timestamps to wall-clock time using RTCP sender reports.
+class RtcpClockMapper {
+ public:
+  /// Feeds one sender report (NTP already converted to a Unix-epoch
+  /// Timestamp, plus the RTP timestamp sampled at the same instant).
+  void on_sender_report(util::Timestamp ntp_wall, std::uint32_t rtp_ts);
+
+  [[nodiscard]] std::size_t reports() const { return reports_; }
+
+  /// Sampling rate implied by the first and latest SR (Hz); nullopt
+  /// with fewer than two reports or degenerate spacing.
+  [[nodiscard]] std::optional<double> estimated_clock_hz() const;
+
+  /// Maps an RTP timestamp to wall-clock time using the latest SR as
+  /// the anchor and the estimated (or supplied) clock rate.
+  [[nodiscard]] std::optional<util::Timestamp> to_wall(
+      std::uint32_t rtp_ts, std::optional<double> clock_hz = std::nullopt) const;
+
+ private:
+  util::SerialExtender<std::uint32_t> extender_;
+  std::size_t reports_ = 0;
+  util::Timestamp first_wall_, last_wall_;
+  std::int64_t first_ext_ts_ = 0;
+  std::int64_t last_ext_ts_ = 0;
+};
+
+/// Standard RTP clock rates to snap estimates onto (RFC 3551 audio
+/// rates + the 90 kHz video rate).
+inline constexpr std::array<double, 7> kStandardClockRates = {
+    8'000, 16'000, 24'000, 32'000, 44'100, 48'000, 90'000};
+
+/// Estimates a stream's sampling clock from passive observations: total
+/// RTP-timestamp progress divided by total wall time (the §5.2 sweep in
+/// closed form). Feed (arrival, rtp_ts) pairs via the accumulator.
+class ClockRateEstimator {
+ public:
+  void add(util::Timestamp arrival, std::uint32_t rtp_ts);
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+  /// Raw ratio estimate (Hz); nullopt with < 2 samples or < 100 ms span.
+  [[nodiscard]] std::optional<double> raw_hz() const;
+  /// Raw estimate snapped to the nearest standard rate when within
+  /// `tolerance` (fractional); otherwise returns the raw value.
+  [[nodiscard]] std::optional<double> snapped_hz(double tolerance = 0.05) const;
+
+ private:
+  util::SerialExtender<std::uint32_t> extender_;
+  std::size_t samples_ = 0;
+  util::Timestamp first_arrival_, last_arrival_;
+  std::int64_t first_ext_ts_ = 0;
+  std::int64_t last_ext_ts_ = 0;
+};
+
+}  // namespace zpm::metrics

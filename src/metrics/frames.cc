@@ -1,0 +1,92 @@
+#include "metrics/frames.h"
+
+#include <vector>
+
+namespace zpm::metrics {
+
+FrameAssembler::FrameAssembler(CompletionMode mode, std::uint32_t clock_hz,
+                               FrameCallback on_frame)
+    : mode_(mode), clock_hz_(clock_hz), on_frame_(std::move(on_frame)) {}
+
+void FrameAssembler::on_packet(util::Timestamp arrival, std::uint16_t seq,
+                               std::uint32_t rtp_ts, bool marker,
+                               std::uint32_t payload_bytes,
+                               std::uint8_t expected_packets) {
+  std::int64_t ext_ts = ts_extender_.extend(rtp_ts);
+  std::int64_t ext_seq = seq_extender_.extend(seq);
+
+  // A packet for an already-completed frame is a retransmission
+  // duplicate arriving after completion; nothing to assemble.
+  if (last_completed_ts_ && ext_ts <= *last_completed_ts_ &&
+      partial_.find(ext_ts) == partial_.end()) {
+    return;
+  }
+
+  auto [it, inserted] = partial_.try_emplace(ext_ts);
+  Partial& p = it->second;
+  if (inserted) {
+    p.first_packet = arrival;
+    p.min_seq = p.max_seq = ext_seq;
+  }
+  // Duplicate within a partial frame (retransmission that raced the
+  // original): count once.
+  if (!p.seqs.insert(ext_seq).second) return;
+
+  p.last_packet = arrival;
+  p.payload_bytes += payload_bytes;
+  p.expected = expected_packets != 0 ? expected_packets : p.expected;
+  p.min_seq = std::min(p.min_seq, ext_seq);
+  p.max_seq = std::max(p.max_seq, ext_seq);
+  if (marker) {
+    p.marker_seen = true;
+    p.marker_seq = ext_seq;
+  }
+  try_complete(ext_ts, p);
+}
+
+void FrameAssembler::try_complete(std::int64_t ext_ts, Partial& p) {
+  bool complete = false;
+  switch (mode_) {
+    case CompletionMode::ExpectedCount:
+      // "We consider a frame complete when we see N distinct (per
+      // sequence number) RTP packets with the same RTP timestamp" (§5.2).
+      complete = p.expected != 0 && p.seqs.size() >= p.expected;
+      break;
+    case CompletionMode::MarkerBit:
+      complete = p.marker_seen && p.max_seq == p.marker_seq &&
+                 static_cast<std::int64_t>(p.seqs.size()) == p.max_seq - p.min_seq + 1;
+      break;
+  }
+  if (complete) finish(ext_ts, p);
+}
+
+void FrameAssembler::finish(std::int64_t ext_ts, const Partial& p) {
+  FrameRecord rec;
+  rec.rtp_timestamp = ext_ts;
+  rec.first_packet = p.first_packet;
+  rec.completed = p.last_packet;
+  rec.packets = static_cast<std::uint32_t>(p.seqs.size());
+  rec.payload_bytes = p.payload_bytes;
+  rec.saw_marker = p.marker_seen;
+  if (last_completed_ts_ && clock_hz_ > 0) {
+    std::int64_t delta = ext_ts - *last_completed_ts_;
+    if (delta > 0) {
+      // Packetization time = ΔRTP / clock; encoder fps = clock / ΔRTP.
+      rec.packetization_time = util::Duration::micros(delta * 1'000'000 / clock_hz_);
+      rec.encoder_fps = static_cast<double>(clock_hz_) / static_cast<double>(delta);
+    }
+  }
+  if (!last_completed_ts_ || ext_ts > *last_completed_ts_) last_completed_ts_ = ext_ts;
+  ++frames_completed_;
+  partial_.erase(ext_ts);
+  if (on_frame_) on_frame_(rec);
+}
+
+void FrameAssembler::expire_stale(util::Timestamp now, util::Duration age) {
+  std::vector<std::int64_t> stale;
+  for (const auto& [ts, p] : partial_)
+    if (now - p.last_packet > age) stale.push_back(ts);
+  for (std::int64_t ts : stale) partial_.erase(ts);
+}
+
+}  // namespace zpm::metrics

@@ -1,0 +1,115 @@
+// Frame assembly and frame-rate estimation (paper §5.2).
+//
+// Method 1 ("delivered" frame rate): assemble frames from RTP packets,
+// declare completion, and count completions inside a sliding one-second
+// window. For video, completion uses the packets-in-frame field Zoom
+// carries in its media encapsulation; for streams without that field
+// (screen share, audio) completion falls back to the RTP marker bit plus
+// sequence continuity.
+//
+// Method 2 ("encoder" frame rate): clock / ΔRTP-timestamp between
+// consecutive frames. The two diverge under congestion — that divergence
+// is itself the signal (§5.2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "metrics/records.h"
+#include "util/serial.h"
+#include "util/time.h"
+
+namespace zpm::metrics {
+
+/// Completion strategy for FrameAssembler.
+enum class CompletionMode : std::uint8_t {
+  /// Frame is complete once `expected_packets` distinct sequence numbers
+  /// with the frame's timestamp have arrived (video: Zoom media encap
+  /// carries the count — §4.2, Table 1).
+  ExpectedCount,
+  /// Frame is complete when its marker-bit packet has arrived and no
+  /// sequence gap exists inside the frame (screen share / audio).
+  MarkerBit,
+};
+
+/// Assembles RTP packets into frames and reports completed frames in
+/// completion order via a callback.
+class FrameAssembler {
+ public:
+  using FrameCallback = std::function<void(const FrameRecord&)>;
+
+  FrameAssembler(CompletionMode mode, std::uint32_t clock_hz, FrameCallback on_frame);
+
+  /// Feeds one RTP media packet of the stream's main sub-stream.
+  /// `expected_packets` comes from the Zoom media encapsulation and is
+  /// only meaningful in ExpectedCount mode (0 = unknown).
+  void on_packet(util::Timestamp arrival, std::uint16_t seq, std::uint32_t rtp_ts,
+                 bool marker, std::uint32_t payload_bytes,
+                 std::uint8_t expected_packets);
+
+  /// Abandons partial frames older than `age` relative to `now` (handles
+  /// frames whose tail was lost and never retransmitted successfully).
+  void expire_stale(util::Timestamp now, util::Duration age = util::Duration::millis(5000));
+
+  [[nodiscard]] std::uint64_t frames_completed() const { return frames_completed_; }
+  [[nodiscard]] std::size_t partial_frames() const { return partial_.size(); }
+
+ private:
+  struct Partial {
+    std::set<std::int64_t> seqs;  // extended sequence numbers seen
+    util::Timestamp first_packet;
+    util::Timestamp last_packet;
+    std::uint32_t payload_bytes = 0;
+    std::uint8_t expected = 0;
+    bool marker_seen = false;
+    std::int64_t marker_seq = 0;
+    std::int64_t min_seq = 0;
+    std::int64_t max_seq = 0;
+  };
+
+  void try_complete(std::int64_t ext_ts, Partial& p);
+  void finish(std::int64_t ext_ts, const Partial& p);
+
+  CompletionMode mode_;
+  std::uint32_t clock_hz_;
+  FrameCallback on_frame_;
+  std::map<std::int64_t, Partial> partial_;  // keyed by extended RTP timestamp
+  util::SerialExtender<std::uint32_t> ts_extender_;
+  util::SerialExtender<std::uint16_t> seq_extender_;
+  std::optional<std::int64_t> last_completed_ts_;
+  std::uint64_t frames_completed_ = 0;
+};
+
+/// Sliding one-second window over frame completions: the paper's
+/// method-1 frame rate ("the current frame rate is then simply the
+/// occupancy of this buffer").
+class FrameRateWindow {
+ public:
+  explicit FrameRateWindow(util::Duration window = util::Duration::millis(1000))
+      : window_(window) {}
+
+  void on_frame_completed(util::Timestamp when) {
+    completions_.push_back(when);
+    evict(when);
+  }
+
+  /// Frames completed in the window ending at `now`.
+  [[nodiscard]] std::uint32_t rate(util::Timestamp now) {
+    evict(now);
+    return static_cast<std::uint32_t>(completions_.size());
+  }
+
+ private:
+  void evict(util::Timestamp now) {
+    while (!completions_.empty() && completions_.front() <= now - window_)
+      completions_.pop_front();
+  }
+  util::Duration window_;
+  std::deque<util::Timestamp> completions_;
+};
+
+}  // namespace zpm::metrics

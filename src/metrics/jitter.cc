@@ -1,0 +1,47 @@
+#include "metrics/jitter.h"
+
+#include <cmath>
+
+namespace zpm::metrics {
+
+void JitterEstimator::add(util::Timestamp arrival, std::uint32_t rtp_ts) {
+  std::int64_t ext_ts = ts_extender_.extend(rtp_ts);
+  ++samples_;
+  if (!have_prev_) {
+    have_prev_ = true;
+    prev_arrival_ = arrival;
+    prev_ext_ts_ = ext_ts;
+    return;
+  }
+  if (clock_hz_ == 0) return;
+  // Express both deltas in RTP clock units.
+  double arrival_delta_units = (arrival - prev_arrival_).sec() * static_cast<double>(clock_hz_);
+  double rtp_delta_units = static_cast<double>(ext_ts - prev_ext_ts_);
+  double d = std::abs(arrival_delta_units - rtp_delta_units);
+  // RFC 3550: J(i) = J(i-1) + (|D(i-1,i)| - J(i-1)) / 16.
+  jitter_ += (d - jitter_) / 16.0;
+  last_d_ms_ = d * 1000.0 / static_cast<double>(clock_hz_);
+  prev_arrival_ = arrival;
+  prev_ext_ts_ = ext_ts;
+}
+
+void NaiveInterarrivalJitter::add(util::Timestamp arrival) {
+  if (!have_prev_) {
+    have_prev_ = true;
+    prev_ = arrival;
+    return;
+  }
+  double x = (arrival - prev_).ms();
+  prev_ = arrival;
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double NaiveInterarrivalJitter::jitter_ms() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_));
+}
+
+}  // namespace zpm::metrics

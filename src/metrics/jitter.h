@@ -1,0 +1,73 @@
+// Interarrival jitter per RFC 3550 §6.4.1 / A.8, applied at the frame
+// level (paper §5.4).
+//
+// D(i,j) = (Rj - Ri) - (Sj - Si): the difference between how far apart
+// two frames arrived and how far apart they were sampled. The RTP
+// timestamp delta corrects for Zoom's variable packetization intervals;
+// naive packet interarrival variance is wrong on two counts the paper
+// calls out (multiple sub-streams per flow, bursty back-to-back packets
+// within a frame) — see bench_ablation_jitter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/serial.h"
+#include "util/time.h"
+
+namespace zpm::metrics {
+
+/// RFC 3550 jitter estimator with the standard 1/16 gain. Feed one
+/// observation per frame (the frame's first-packet arrival time and its
+/// RTP timestamp); for packet-level jitter feed every packet instead.
+class JitterEstimator {
+ public:
+  explicit JitterEstimator(std::uint32_t clock_hz) : clock_hz_(clock_hz) {}
+
+  /// Adds an (arrival wall-clock, RTP timestamp) observation.
+  void add(util::Timestamp arrival, std::uint32_t rtp_ts);
+
+  /// Current smoothed jitter in RTP clock units.
+  [[nodiscard]] double jitter_rtp_units() const { return jitter_; }
+  /// Current smoothed jitter converted to milliseconds via the clock.
+  [[nodiscard]] double jitter_ms() const {
+    return clock_hz_ ? jitter_ * 1000.0 / static_cast<double>(clock_hz_) : 0.0;
+  }
+  [[nodiscard]] bool has_estimate() const { return samples_ >= 2; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+
+  /// The most recent |D| transit-difference magnitude in ms (unsmoothed);
+  /// useful for diagnostics.
+  [[nodiscard]] std::optional<double> last_abs_d_ms() const { return last_d_ms_; }
+
+ private:
+  std::uint32_t clock_hz_;
+  util::SerialExtender<std::uint32_t> ts_extender_;
+  bool have_prev_ = false;
+  util::Timestamp prev_arrival_;
+  std::int64_t prev_ext_ts_ = 0;
+  double jitter_ = 0.0;  // RTP units
+  std::uint64_t samples_ = 0;
+  std::optional<double> last_d_ms_;
+};
+
+/// The deliberately naive estimator the paper argues against: variance
+/// of raw packet interarrival times, ignoring sub-streams and RTP
+/// timestamps. Exists for the ablation comparison only.
+class NaiveInterarrivalJitter {
+ public:
+  void add(util::Timestamp arrival);
+  /// Standard deviation of interarrival time, in ms.
+  [[nodiscard]] double jitter_ms() const;
+  [[nodiscard]] std::uint64_t samples() const { return n_; }
+
+ private:
+  bool have_prev_ = false;
+  util::Timestamp prev_;
+  // Welford over interarrival ms.
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace zpm::metrics

@@ -1,0 +1,99 @@
+#include "metrics/latency.h"
+
+namespace zpm::metrics {
+
+void RtpCopyMatcher::on_egress(util::Timestamp t, std::uint32_t ssrc,
+                               std::uint16_t seq, std::uint32_t rtp_ts) {
+  std::uint64_t k = key(ssrc, seq);
+  // Overwrite on collision: the newest egress is the one a future copy
+  // will correspond to (sequence numbers wrap).
+  pending_[k] = Egress{t, rtp_ts};
+  order_.emplace_back(t, k);
+  evict(t);
+}
+
+std::optional<RttSample> RtpCopyMatcher::on_ingress(util::Timestamp t,
+                                                    std::uint32_t ssrc,
+                                                    std::uint16_t seq,
+                                                    std::uint32_t rtp_ts) {
+  evict(t);
+  auto it = pending_.find(key(ssrc, seq));
+  if (it == pending_.end()) return std::nullopt;
+  // Fourth feature: the RTP timestamp must match too (the SFU never
+  // rewrites it). Guards against SSRC collisions across meetings.
+  if (it->second.rtp_ts != rtp_ts) return std::nullopt;
+  RttSample s{t, t - it->second.t};
+  if (s.rtt < util::Duration::micros(0)) return std::nullopt;
+  pending_.erase(it);
+  samples_.push_back(s);
+  return s;
+}
+
+void RtpCopyMatcher::evict(util::Timestamp now) {
+  util::Timestamp cutoff = now - window_;
+  while (!order_.empty() && order_.front().first < cutoff) {
+    auto [t, k] = order_.front();
+    order_.pop_front();
+    auto it = pending_.find(k);
+    // Only erase if the stored record is still the one that aged out
+    // (it may have been overwritten by a newer egress with the same key).
+    if (it != pending_.end() && it->second.t == t) pending_.erase(it);
+  }
+}
+
+util::Duration RtpCopyMatcher::mean_rtt() const {
+  if (samples_.empty()) return util::Duration::micros(0);
+  std::int64_t total = 0;
+  for (const auto& s : samples_) total += s.rtt.us();
+  return util::Duration::micros(total / static_cast<std::int64_t>(samples_.size()));
+}
+
+void TcpRttEstimator::record_send(Direction& dir, util::Timestamp t,
+                                  std::uint32_t seq, std::size_t len,
+                                  bool syn_or_fin) {
+  // SYN/FIN consume one sequence number and are ack-eligible.
+  std::uint32_t consumed = static_cast<std::uint32_t>(len) + (syn_or_fin ? 1u : 0u);
+  if (consumed == 0) return;  // pure ack: nothing to time
+  std::uint32_t end_seq = seq + consumed;
+  if (dir.max_end_seq && !util::serial_less(*dir.max_end_seq, end_seq)) {
+    // Not beyond the highest byte sent: a retransmission. Mark any
+    // overlapping in-flight record so its eventual ack is not sampled
+    // (Karn's algorithm).
+    for (auto& s : dir.inflight)
+      if (util::serial_less(seq, s.end_seq) || s.end_seq == end_seq)
+        s.retransmitted = true;
+    return;
+  }
+  dir.max_end_seq = end_seq;
+  dir.inflight.push_back(Sent{end_seq, t, false});
+  // Bound state for long-lived connections.
+  while (dir.inflight.size() > 4096) dir.inflight.pop_front();
+}
+
+void TcpRttEstimator::record_ack(Direction& dir, util::Timestamp t,
+                                 std::uint32_t ack, std::vector<RttSample>& out) {
+  std::optional<Sent> best;
+  while (!dir.inflight.empty() &&
+         util::serial_less_equal(dir.inflight.front().end_seq, ack)) {
+    best = dir.inflight.front();
+    dir.inflight.pop_front();
+  }
+  if (best && !best->retransmitted) {
+    util::Duration rtt = t - best->t;
+    if (rtt >= util::Duration::micros(0)) out.push_back(RttSample{t, rtt});
+  }
+}
+
+void TcpRttEstimator::on_packet(util::Timestamp t, const net::TcpHeader& tcp,
+                                std::size_t payload_len, bool outbound) {
+  bool syn_or_fin = tcp.has(net::kTcpSyn) || tcp.has(net::kTcpFin);
+  if (outbound) {
+    record_send(out_dir_, t, tcp.seq, payload_len, syn_or_fin);
+    if (tcp.has(net::kTcpAck)) record_ack(in_dir_, t, tcp.ack, client_rtt_);
+  } else {
+    record_send(in_dir_, t, tcp.seq, payload_len, syn_or_fin);
+    if (tcp.has(net::kTcpAck)) record_ack(out_dir_, t, tcp.ack, server_rtt_);
+  }
+}
+
+}  // namespace zpm::metrics

@@ -1,0 +1,108 @@
+// Latency estimation from a passive vantage point (paper §5.3, Fig. 11).
+//
+// Method 1: the SFU forwards RTP packets without rewriting sequence
+// numbers or timestamps, so when two on-campus participants share a
+// meeting, the monitor sees the *same* packet go out to the SFU and come
+// back. Matching on (SSRC, sequence, RTP timestamp) within a time window
+// yields an RTT-to-SFU sample per forwarded packet — tens to hundreds of
+// samples per second.
+//
+// Method 2: the client's TCP control connection gives RTTs via seq/ack
+// matching, splitting the path at the monitor: monitor->SFU and
+// monitor->client. The difference localizes congestion inside vs.
+// outside the campus.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/headers.h"
+#include "util/serial.h"
+#include "util/time.h"
+
+namespace zpm::metrics {
+
+/// One passive RTT observation.
+struct RttSample {
+  util::Timestamp when;  // time of the returning packet
+  util::Duration rtt;
+};
+
+/// §5.3 method 1: matches egress RTP packets against their SFU-forwarded
+/// copies. All four features (time window, SSRC, sequence, timestamp)
+/// must match — see §4.3.1 on why this makes the match robust.
+class RtpCopyMatcher {
+ public:
+  /// `window` bounds how long an egress record waits for its copy.
+  explicit RtpCopyMatcher(util::Duration window = util::Duration::millis(3000))
+      : window_(window) {}
+
+  /// Records a packet heading to the SFU (campus egress).
+  void on_egress(util::Timestamp t, std::uint32_t ssrc, std::uint16_t seq,
+                 std::uint32_t rtp_ts);
+
+  /// Offers a packet coming from the SFU (campus ingress). Returns the
+  /// RTT sample if it is a copy of a recorded egress packet.
+  std::optional<RttSample> on_ingress(util::Timestamp t, std::uint32_t ssrc,
+                                      std::uint16_t seq, std::uint32_t rtp_ts);
+
+  [[nodiscard]] const std::vector<RttSample>& samples() const { return samples_; }
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  /// Mean RTT over all samples so far (0 if none).
+  [[nodiscard]] util::Duration mean_rtt() const;
+
+ private:
+  struct Egress {
+    util::Timestamp t;
+    std::uint32_t rtp_ts;
+  };
+  static std::uint64_t key(std::uint32_t ssrc, std::uint16_t seq) {
+    return (static_cast<std::uint64_t>(ssrc) << 16) | seq;
+  }
+  void evict(util::Timestamp now);
+
+  util::Duration window_;
+  std::unordered_map<std::uint64_t, Egress> pending_;
+  std::deque<std::pair<util::Timestamp, std::uint64_t>> order_;
+  std::vector<RttSample> samples_;
+};
+
+/// §5.3 method 2: passive TCP RTT from one control connection, split at
+/// the monitor. Feed every packet of the connection with its direction
+/// (outbound = campus client -> Zoom server).
+class TcpRttEstimator {
+ public:
+  void on_packet(util::Timestamp t, const net::TcpHeader& tcp,
+                 std::size_t payload_len, bool outbound);
+
+  /// RTT between monitor and the Zoom server (outbound data -> inbound ack).
+  [[nodiscard]] const std::vector<RttSample>& server_rtt() const { return server_rtt_; }
+  /// RTT between monitor and the campus client (inbound data -> outbound ack).
+  [[nodiscard]] const std::vector<RttSample>& client_rtt() const { return client_rtt_; }
+
+ private:
+  struct Sent {
+    std::uint32_t end_seq;  // seq just past this segment's payload
+    util::Timestamp t;
+    bool retransmitted = false;
+  };
+  struct Direction {
+    std::deque<Sent> inflight;
+    std::optional<std::uint32_t> max_end_seq;
+  };
+
+  void record_send(Direction& dir, util::Timestamp t, std::uint32_t seq,
+                   std::size_t len, bool syn_or_fin);
+  void record_ack(Direction& dir, util::Timestamp t, std::uint32_t ack,
+                  std::vector<RttSample>& out);
+
+  Direction out_dir_;  // data flowing campus -> server
+  Direction in_dir_;   // data flowing server -> campus
+  std::vector<RttSample> server_rtt_;
+  std::vector<RttSample> client_rtt_;
+};
+
+}  // namespace zpm::metrics

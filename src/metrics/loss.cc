@@ -1,0 +1,80 @@
+#include "metrics/loss.h"
+
+#include <algorithm>
+
+#include "zoom/constants.h"
+
+namespace zpm::metrics {
+
+void SeqTracker::on_packet(util::Timestamp arrival, std::uint16_t seq,
+                           std::optional<util::Duration> rtt_hint) {
+  ++counters_.received;
+  std::int64_t ext = extender_.extend(seq);
+
+  if (!highest_) {
+    highest_ = ext;
+    ++counters_.unique;
+    seen_.push_back(ext);
+    return;
+  }
+
+  if (ext > *highest_) {
+    // Open holes for any skipped sequence numbers.
+    for (std::int64_t s = *highest_ + 1; s < ext; ++s)
+      holes_.push_back(Hole{s, arrival});
+    *highest_ = ext;
+    ++counters_.unique;
+    seen_.push_back(ext);
+  } else {
+    // At or behind the highest: either a duplicate or a late packet
+    // filling a hole.
+    auto hole = std::find_if(holes_.begin(), holes_.end(),
+                             [ext](const Hole& h) { return h.seq == ext; });
+    if (hole != holes_.end()) {
+      ++counters_.unique;
+      ++counters_.reordered;
+      // §5.5: a late arrival beyond RTT + retransmit timeout is very
+      // likely a retransmission of a packet lost upstream of us.
+      util::Duration threshold =
+          (rtt_hint ? *rtt_hint : util::Duration::millis(0)) +
+          util::Duration::micros(zoom::kRetransmitTimeoutUs);
+      if (arrival - hole->opened > threshold) ++counters_.suspected_retransmissions;
+      holes_.erase(hole);
+      seen_.push_back(ext);
+    } else if (std::find(seen_.begin(), seen_.end(), ext) != seen_.end()) {
+      ++counters_.duplicates;
+    } else {
+      // Behind the window: too old to classify precisely; count as
+      // reordered (it did arrive).
+      ++counters_.unique;
+      ++counters_.reordered;
+      seen_.push_back(ext);
+    }
+  }
+
+  age_holes(*highest_);
+  while (seen_.size() > window_) seen_.pop_front();
+}
+
+void SeqTracker::age_holes(std::int64_t highest) {
+  // A hole further than `window_` behind the frontier will not be filled
+  // by ordinary reordering any more: count it lost.
+  while (!holes_.empty() &&
+         highest - holes_.front().seq > static_cast<std::int64_t>(window_)) {
+    ++counters_.gap_packets;
+    holes_.pop_front();
+  }
+}
+
+void SeqTracker::finish() {
+  counters_.gap_packets += holes_.size();
+  holes_.clear();
+}
+
+double SeqTracker::loss_fraction() const {
+  std::uint64_t expected = counters_.unique + counters_.gap_packets;
+  if (expected == 0) return 0.0;
+  return static_cast<double>(counters_.gap_packets) / static_cast<double>(expected);
+}
+
+}  // namespace zpm::metrics

@@ -1,0 +1,71 @@
+// Sequence-number-based loss / duplicate / reordering accounting
+// (paper §5.5).
+//
+// Zoom retransmits lost packets (up to twice) with the SAME RTP sequence
+// number, so a vantage point downstream of the loss sees duplicates
+// rather than holes, and a vantage point upstream sees nothing at all.
+// The paper is explicit that loss inference from sequence numbers alone
+// is fundamentally ambiguous; this tracker therefore reports the raw
+// observable events (gaps, duplicates, reorderings) plus a
+// suspected-retransmission count derived from the §5.5 delay heuristic
+// (out-of-order arrival later than ~RTT + 100 ms).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "util/serial.h"
+#include "util/time.h"
+
+namespace zpm::metrics {
+
+/// Counters exposed by SeqTracker.
+struct LossCounters {
+  std::uint64_t received = 0;     // packets fed in
+  std::uint64_t unique = 0;       // distinct sequence numbers
+  std::uint64_t duplicates = 0;   // same seq seen again
+  std::uint64_t reordered = 0;    // arrived behind the highest seq seen
+  std::uint64_t gap_packets = 0;  // holes that aged out of the window unfilled
+  std::uint64_t suspected_retransmissions = 0;  // §5.5 delay heuristic hits
+};
+
+/// Per-sub-stream sequence tracker with a bounded reorder window.
+class SeqTracker {
+ public:
+  /// `window` bounds how long a hole may stay open before it is counted
+  /// as lost (reordered packets arriving within the window fill their
+  /// hole silently).
+  explicit SeqTracker(std::size_t window = 512) : window_(window) {}
+
+  /// Feeds one packet. `rtt_hint` (if known) drives the retransmission
+  /// heuristic: a reordered arrival more than rtt + 100 ms after the
+  /// hole opened is counted as a suspected retransmission.
+  void on_packet(util::Timestamp arrival, std::uint16_t seq,
+                 std::optional<util::Duration> rtt_hint = std::nullopt);
+
+  /// Flushes all remaining holes into gap_packets (end of stream).
+  void finish();
+
+  [[nodiscard]] const LossCounters& counters() const { return counters_; }
+  /// Fraction of expected packets that never arrived (0 when nothing
+  /// expected yet).
+  [[nodiscard]] double loss_fraction() const;
+
+ private:
+  struct Hole {
+    std::int64_t seq;
+    util::Timestamp opened;
+  };
+
+  void age_holes(std::int64_t highest);
+
+  std::size_t window_;
+  util::SerialExtender<std::uint16_t> extender_;
+  std::optional<std::int64_t> highest_;
+  std::deque<Hole> holes_;         // open gaps, ascending seq
+  std::deque<std::int64_t> seen_;  // recently seen seqs for dup detection
+  LossCounters counters_;
+};
+
+}  // namespace zpm::metrics

@@ -1,0 +1,67 @@
+// Metric record types shared between the metric engines, the analyzer
+// and the experiment drivers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/time.h"
+#include "zoom/constants.h"
+
+namespace zpm::metrics {
+
+/// One completely delivered media frame (paper §5.2, §5.5).
+struct FrameRecord {
+  std::int64_t rtp_timestamp = 0;       // extended (unwrapped) RTP timestamp
+  util::Timestamp first_packet;         // arrival of the frame's first packet
+  util::Timestamp completed;            // arrival of the frame's last packet
+  std::uint32_t packets = 0;
+  std::uint32_t payload_bytes = 0;      // sum of RTP payload sizes
+  bool saw_marker = false;
+  /// Encoder packetization time derived from the RTP timestamp increment
+  /// to the previous frame (§5.2 method 2); unset for the first frame.
+  std::optional<util::Duration> packetization_time;
+  /// Encoder ("intended") frame rate = clock / ΔRTP (§5.2 method 2).
+  std::optional<double> encoder_fps;
+
+  /// Delivery time from first to last packet (§5.5 "frame delay").
+  [[nodiscard]] util::Duration delay() const { return completed - first_packet; }
+};
+
+/// Per-second per-stream metric sample — the unit the campus analysis
+/// (§6.2) bins everything into ("roughly 33 million data points").
+struct StreamSecond {
+  util::Timestamp bin_start;
+  zoom::MediaKind kind = zoom::MediaKind::Video;
+  std::uint32_t ssrc = 0;
+
+  std::uint32_t packets = 0;
+  std::uint64_t transport_bytes = 0;  // UDP payload bytes (incl. Zoom headers)
+  std::uint64_t media_bytes = 0;      // RTP payload bytes (actual media)
+  std::uint32_t frames_completed = 0;
+  double frame_rate_fps = 0.0;           // method 1, end-of-bin value
+  std::optional<double> encoder_fps;     // method 2, last frame in bin
+  std::optional<double> avg_frame_bytes; // mean completed-frame size
+  std::optional<double> jitter_ms;       // RFC 3550 frame-level jitter
+  std::optional<double> latency_ms;      // mean RTT sample in bin (if any)
+  std::uint32_t duplicates = 0;
+  std::uint32_t reordered = 0;
+  std::uint32_t gap_packets = 0;  // sequence holes (lost or late beyond window)
+  /// Audio only: packets in speaking mode (PT 112) vs. silent mode
+  /// (PT 99) this second — the §4.2.3 talk-activity signal ("quantify
+  /// how much and when a participant actually talks").
+  std::uint32_t talk_packets = 0;
+  std::uint32_t silent_packets = 0;
+
+  /// Audio: true when the participant was audibly talking this second.
+  [[nodiscard]] bool talking() const { return talk_packets > silent_packets; }
+
+  [[nodiscard]] double media_bitrate_bps() const {
+    return static_cast<double>(media_bytes) * 8.0;
+  }
+  [[nodiscard]] double transport_bitrate_bps() const {
+    return static_cast<double>(transport_bytes) * 8.0;
+  }
+};
+
+}  // namespace zpm::metrics

@@ -1,0 +1,86 @@
+// Jitter-buffer stall prediction — the §5.5 extension the paper leaves
+// as future work: "we can compare a frame's packetization time with its
+// delay. If the delay is larger than the packetization time over the
+// course of several frames, the jitter buffer gets drained and the
+// video will eventually stall."
+//
+// Model: the receiver's playout buffer holds media time. Each completed
+// frame deposits its packetization time; playback drains the buffer at
+// wall-clock rate between frame completions. Occupancy reaching zero is
+// a (predicted) stall; playback then rebuffers to the target before
+// resuming.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "metrics/records.h"
+#include "util/time.h"
+
+namespace zpm::metrics {
+
+/// Configuration for the playout-buffer model.
+struct StallPredictorConfig {
+  /// Target (and initial) buffer depth in media milliseconds.
+  double target_buffer_ms = 150.0;
+  /// Hard cap on buffered media (receivers drop very early frames).
+  double max_buffer_ms = 600.0;
+};
+
+/// See file comment. Feed completed frames in completion order.
+class StallPredictor {
+ public:
+  explicit StallPredictor(StallPredictorConfig config = {}) : config_(config) {
+    level_ms_ = config_.target_buffer_ms;
+  }
+
+  /// Consumes one completed frame.
+  void on_frame(const FrameRecord& frame) {
+    if (have_prev_) {
+      double wall_gap_ms = (frame.completed - prev_completed_).ms();
+      double media_ms =
+          frame.packetization_time ? frame.packetization_time->ms() : 0.0;
+      // Playback drained wall_gap_ms while this frame contributed
+      // media_ms of fresh content.
+      level_ms_ += media_ms - wall_gap_ms;
+      if (level_ms_ <= 0.0) {
+        ++stall_events_;
+        stalled_ms_ += -level_ms_;
+        level_ms_ = config_.target_buffer_ms;  // rebuffer
+      }
+      level_ms_ = std::min(level_ms_, config_.max_buffer_ms);
+      min_level_ms_ = std::min(min_level_ms_, level_ms_);
+    }
+    prev_completed_ = frame.completed;
+    have_prev_ = true;
+    ++frames_;
+  }
+
+  /// Current modelled buffer occupancy (media milliseconds).
+  [[nodiscard]] double buffer_level_ms() const { return level_ms_; }
+  /// True when the buffer is below a quarter of its target (early
+  /// warning — frames are arriving slower than they play out).
+  [[nodiscard]] bool at_risk() const {
+    return have_prev_ && level_ms_ < config_.target_buffer_ms * 0.25;
+  }
+  /// Number of predicted stalls (buffer fully drained).
+  [[nodiscard]] std::uint32_t stall_events() const { return stall_events_; }
+  /// Total predicted frozen time (ms) across stalls.
+  [[nodiscard]] double stalled_ms() const { return stalled_ms_; }
+  [[nodiscard]] double min_level_ms() const {
+    return frames_ > 1 ? min_level_ms_ : level_ms_;
+  }
+  [[nodiscard]] std::uint64_t frames() const { return frames_; }
+
+ private:
+  StallPredictorConfig config_;
+  bool have_prev_ = false;
+  util::Timestamp prev_completed_;
+  double level_ms_ = 0.0;
+  double min_level_ms_ = 1e18;
+  double stalled_ms_ = 0.0;
+  std::uint32_t stall_events_ = 0;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace zpm::metrics

@@ -1,0 +1,227 @@
+#include "metrics/stream_metrics.h"
+
+#include "zoom/classify.h"
+
+namespace zpm::metrics {
+
+StreamMetricsConfig default_config(zoom::MediaKind kind) {
+  StreamMetricsConfig c;
+  switch (kind) {
+    case zoom::MediaKind::Video:
+    case zoom::MediaKind::ScreenShare:
+      c.clock_hz = zoom::kVideoClockHz;
+      break;
+    case zoom::MediaKind::Audio:
+      c.clock_hz = zoom::kAudioClockHz;
+      break;
+  }
+  return c;
+}
+
+StreamMetrics::StreamMetrics(zoom::MediaKind kind, std::uint32_t ssrc,
+                             StreamMetricsConfig config)
+    : kind_(kind),
+      ssrc_(ssrc),
+      config_(config),
+      assembler_(kind == zoom::MediaKind::Video ? CompletionMode::ExpectedCount
+                                                : CompletionMode::MarkerBit,
+                 config.clock_hz,
+                 [this](const FrameRecord& f) { on_frame(f); }),
+      frame_jitter_(config.clock_hz) {}
+
+bool StreamMetrics::is_main_substream(std::uint8_t payload_type) const {
+  // FEC sub-streams (PT 110) share timestamps with the main sub-stream
+  // but use their own sequence space (§4.2.3); they must not enter frame
+  // assembly or frame-level jitter.
+  return payload_type != zoom::pt::kFec;
+}
+
+void StreamMetrics::advance_to(util::Timestamp arrival) {
+  std::int64_t bin = arrival.us() / 1'000'000;
+  if (!cur_bin_) {
+    cur_bin_ = bin;
+    cur_ = StreamSecond{};
+    cur_.bin_start = util::Timestamp::from_micros(bin * 1'000'000);
+    cur_.kind = kind_;
+    cur_.ssrc = ssrc_;
+    return;
+  }
+  while (*cur_bin_ < bin) {
+    flush_bin();
+    ++*cur_bin_;
+    cur_ = StreamSecond{};
+    cur_.bin_start = util::Timestamp::from_micros(*cur_bin_ * 1'000'000);
+    cur_.kind = kind_;
+    cur_.ssrc = ssrc_;
+  }
+}
+
+void StreamMetrics::flush_bin() {
+  // Jitter: the estimator's value at the end of the bin.
+  if (frame_jitter_.has_estimate()) cur_.jitter_ms = frame_jitter_.jitter_ms();
+  if (bin_latency_samples_ > 0)
+    cur_.latency_ms = bin_latency_sum_ms_ / bin_latency_samples_;
+  if (cur_.frames_completed > 0)
+    cur_.avg_frame_bytes = bin_frame_bytes_sum_ / cur_.frames_completed;
+  cur_.encoder_fps = bin_encoder_fps_;
+  cur_.frame_rate_fps = cur_.frames_completed;
+  seconds_.push_back(cur_);
+  bin_latency_sum_ms_ = 0.0;
+  bin_latency_samples_ = 0;
+  bin_frame_bytes_sum_ = 0.0;
+  bin_encoder_fps_.reset();
+}
+
+void StreamMetrics::on_frame(const FrameRecord& frame) {
+  // Frames complete in arrival order; attribute to the current bin.
+  if (config_.keep_frames &&
+      frame_counter_++ % std::max<std::uint32_t>(config_.frame_sample_every, 1) == 0)
+    frames_.push_back(frame);
+  stall_.on_frame(frame);
+  ++cur_.frames_completed;
+  bin_frame_bytes_sum_ += frame.payload_bytes;
+  if (frame.encoder_fps) bin_encoder_fps_ = frame.encoder_fps;
+  // Frame-level jitter: one observation per frame, timed at the frame's
+  // first packet (the "arrival" of the frame); frames completing out of
+  // media order (late retransmission-repaired frames) are skipped.
+  if (!last_jitter_ts_ || frame.rtp_timestamp > *last_jitter_ts_) {
+    last_jitter_ts_ = frame.rtp_timestamp;
+    frame_jitter_.add(frame.first_packet,
+                      static_cast<std::uint32_t>(frame.rtp_timestamp & 0xffffffff));
+  }
+}
+
+void StreamMetrics::on_media_packet(util::Timestamp arrival,
+                                    const zoom::MediaEncap& encap,
+                                    const proto::RtpHeader& rtp,
+                                    std::size_t rtp_payload_bytes,
+                                    std::size_t udp_payload_bytes) {
+  if (first_seen_.is_zero()) first_seen_ = arrival;
+  last_seen_ = arrival;
+  advance_to(arrival);
+
+  ++media_packets_;
+  media_payload_bytes_ += rtp_payload_bytes;
+  ++cur_.packets;
+  cur_.transport_bytes += udp_payload_bytes;
+  cur_.media_bytes += rtp_payload_bytes;
+  // Talk-activity signal (§4.2.3): speaking-mode vs silent-mode audio.
+  if (kind_ == zoom::MediaKind::Audio) {
+    if (rtp.payload_type == zoom::pt::kAudioSpeaking) {
+      ++cur_.talk_packets;
+      ++talk_packets_total_;
+    } else if (rtp.payload_type == zoom::pt::kAudioSilent) {
+      ++cur_.silent_packets;
+    }
+  }
+
+  auto [it, _] = seq_trackers_.try_emplace(rtp.payload_type, config_.seq_window);
+  const auto& counters_before = it->second.counters();
+  std::uint64_t dups_before = counters_before.duplicates;
+  std::uint64_t reord_before = counters_before.reordered;
+  std::uint64_t gaps_before = counters_before.gap_packets;
+  it->second.on_packet(arrival, rtp.sequence);
+  const auto& counters_after = it->second.counters();
+  cur_.duplicates += static_cast<std::uint32_t>(counters_after.duplicates - dups_before);
+  cur_.reordered += static_cast<std::uint32_t>(counters_after.reordered - reord_before);
+  cur_.gap_packets += static_cast<std::uint32_t>(counters_after.gap_packets - gaps_before);
+
+  if (is_main_substream(rtp.payload_type)) {
+    // Passive clock recovery uses the main sub-stream's timestamps.
+    clock_estimator_.add(arrival, rtp.timestamp);
+    if (kind_ == zoom::MediaKind::Audio) {
+      // Audio frames are single packets; count frames directly and feed
+      // packet-level jitter (each packet carries a fresh timestamp).
+      // Retransmissions / reordered packets carry a non-advancing
+      // timestamp and are excluded from the jitter computation.
+      ++cur_.frames_completed;
+      bin_frame_bytes_sum_ += static_cast<double>(rtp_payload_bytes);
+      std::int64_t ext = jitter_ts_extender_.extend(rtp.timestamp);
+      if (!last_jitter_ts_ || ext > *last_jitter_ts_) {
+        last_jitter_ts_ = ext;
+        frame_jitter_.add(arrival, rtp.timestamp);
+      }
+    } else {
+      assembler_.on_packet(arrival, rtp.sequence, rtp.timestamp, rtp.marker,
+                           static_cast<std::uint32_t>(rtp_payload_bytes),
+                           encap.is_video() ? encap.packets_in_frame : 0);
+      assembler_.expire_stale(arrival);
+    }
+  }
+}
+
+void StreamMetrics::on_rtcp_packet(util::Timestamp arrival,
+                                   std::size_t udp_payload_bytes) {
+  if (first_seen_.is_zero()) first_seen_ = arrival;
+  last_seen_ = arrival;
+  advance_to(arrival);
+  cur_.transport_bytes += udp_payload_bytes;
+}
+
+void StreamMetrics::on_sender_report(util::Timestamp ntp_wall, std::uint32_t rtp_ts,
+                                     std::uint32_t sender_packet_count) {
+  clock_mapper_.on_sender_report(ntp_wall, rtp_ts);
+  std::uint64_t observed = 0;
+  for (const auto& [pt, tracker] : seq_trackers_) observed += tracker.counters().unique;
+  SrSnapshot snap{sender_packet_count, observed};
+  if (!first_sr_) first_sr_ = snap;
+  // Sender counters are monotone; ignore reordered SRs.
+  if (!last_sr_ || sender_packet_count >= last_sr_->sender_count) last_sr_ = snap;
+}
+
+std::optional<std::uint64_t> StreamMetrics::sr_expected_packets() const {
+  if (!first_sr_ || !last_sr_ || last_sr_->sender_count <= first_sr_->sender_count)
+    return std::nullopt;
+  return last_sr_->sender_count - first_sr_->sender_count;
+}
+
+std::optional<std::uint64_t> StreamMetrics::upstream_loss_estimate() const {
+  auto expected = sr_expected_packets();
+  if (!expected) return std::nullopt;
+  std::uint64_t observed = last_sr_->observed_unique - first_sr_->observed_unique;
+  return observed >= *expected ? 0 : *expected - observed;
+}
+
+void StreamMetrics::on_rtt_sample(const RttSample& sample) {
+  rtt_samples_.push_back(sample);
+  // Attribute to the current bin if it matches; otherwise it still
+  // contributes to the stream-level mean.
+  if (cur_bin_ && sample.when.us() / 1'000'000 == *cur_bin_) {
+    bin_latency_sum_ms_ += sample.rtt.ms();
+    ++bin_latency_samples_;
+  }
+}
+
+void StreamMetrics::finish() {
+  if (cur_bin_) flush_bin();
+  cur_bin_.reset();
+  for (auto& [pt, tracker] : seq_trackers_) tracker.finish();
+}
+
+LossCounters StreamMetrics::total_loss() const {
+  LossCounters total;
+  for (const auto& [pt, tracker] : seq_trackers_) {
+    const auto& c = tracker.counters();
+    total.received += c.received;
+    total.unique += c.unique;
+    total.duplicates += c.duplicates;
+    total.reordered += c.reordered;
+    total.gap_packets += c.gap_packets;
+    total.suspected_retransmissions += c.suspected_retransmissions;
+  }
+  return total;
+}
+
+std::optional<double> StreamMetrics::jitter_ms() const {
+  if (!frame_jitter_.has_estimate()) return std::nullopt;
+  return frame_jitter_.jitter_ms();
+}
+
+std::optional<double> StreamMetrics::mean_latency_ms() const {
+  if (rtt_samples_.empty()) return std::nullopt;
+  double sum = 0.0;
+  for (const auto& s : rtt_samples_) sum += s.rtt.ms();
+  return sum / static_cast<double>(rtt_samples_.size());
+}
+
+}  // namespace zpm::metrics

@@ -1,0 +1,171 @@
+// Per-media-stream metric engine: consumes dissected Zoom media packets
+// for a single (SSRC, media kind) stream and produces the per-second
+// records (§6.2) plus stream-lifetime aggregates.
+//
+// Combines: bit-rate accounting (§5.1), frame assembly + both frame-rate
+// methods (§5.2), frame sizes and frame delay (§5.2/§5.5), RFC 3550
+// frame-level jitter (§5.4), per-sub-stream sequence tracking (§5.5) and
+// RTT samples injected by the meeting-level matcher (§5.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "metrics/clock_map.h"
+#include "metrics/frames.h"
+#include "metrics/jitter.h"
+#include "metrics/latency.h"
+#include "metrics/loss.h"
+#include "metrics/records.h"
+#include "metrics/stall.h"
+#include "proto/rtp.h"
+#include "zoom/encap.h"
+
+namespace zpm::metrics {
+
+/// Configuration for a StreamMetrics engine.
+struct StreamMetricsConfig {
+  /// RTP clock for timestamp→time conversion. Video is known to be
+  /// 90 kHz (§5.2); audio defaults to 48 kHz.
+  std::uint32_t clock_hz = zoom::kVideoClockHz;
+  /// Keep FrameRecords (needed for frame-size CDFs and the
+  /// packetization analysis; disable for very long traces if memory
+  /// matters).
+  bool keep_frames = true;
+  /// Retain only every Nth frame record (memory bound for campus-scale
+  /// runs; 1 = keep all). Counting still covers every frame.
+  std::uint32_t frame_sample_every = 1;
+  /// Reorder window for sequence/loss tracking.
+  std::size_t seq_window = 512;
+};
+
+/// Sensible defaults per media kind.
+StreamMetricsConfig default_config(zoom::MediaKind kind);
+
+/// Metric engine for one media stream (one SSRC within one meeting leg).
+class StreamMetrics {
+ public:
+  StreamMetrics(zoom::MediaKind kind, std::uint32_t ssrc, StreamMetricsConfig config);
+
+  /// Feeds one dissected RTP media packet belonging to this stream.
+  void on_media_packet(util::Timestamp arrival, const zoom::MediaEncap& encap,
+                       const proto::RtpHeader& rtp, std::size_t rtp_payload_bytes,
+                       std::size_t udp_payload_bytes);
+
+  /// Feeds an RTCP packet of the stream (counts toward transport bytes).
+  void on_rtcp_packet(util::Timestamp arrival, std::size_t udp_payload_bytes);
+
+  /// Feeds a parsed RTCP sender report: the NTP/RTP timestamp pair
+  /// enables the media-clock mapping of §4.2.3, and the sender's packet
+  /// counter is ground truth for upstream-loss estimation (§5.5 calls
+  /// sequence-number-only loss inference fundamentally ambiguous; the
+  /// SR counter resolves the upstream half).
+  void on_sender_report(util::Timestamp ntp_wall, std::uint32_t rtp_ts,
+                        std::uint32_t sender_packet_count = 0);
+
+  /// Packets the sender reports having sent between the first and last
+  /// SR observed; nullopt with fewer than two SRs.
+  [[nodiscard]] std::optional<std::uint64_t> sr_expected_packets() const;
+  /// Packets that never reached the monitor although the sender sent
+  /// them (SR delta minus unique packets observed over the same span);
+  /// nullopt with fewer than two SRs.
+  [[nodiscard]] std::optional<std::uint64_t> upstream_loss_estimate() const;
+
+  /// Injects an RTT sample attributed to this stream (from the
+  /// meeting-level RtpCopyMatcher or the TCP proxy).
+  void on_rtt_sample(const RttSample& sample);
+
+  /// Flushes the trailing partial second and finalizes loss accounting.
+  void finish();
+
+  [[nodiscard]] zoom::MediaKind kind() const { return kind_; }
+  [[nodiscard]] std::uint32_t ssrc() const { return ssrc_; }
+  [[nodiscard]] const std::vector<StreamSecond>& seconds() const { return seconds_; }
+  [[nodiscard]] const std::vector<FrameRecord>& frames() const { return frames_; }
+  /// Loss counters summed over all sub-streams.
+  [[nodiscard]] LossCounters total_loss() const;
+  /// Loss counters per RTP payload type (sub-stream).
+  [[nodiscard]] const std::map<std::uint8_t, SeqTracker>& substreams() const {
+    return seq_trackers_;
+  }
+  [[nodiscard]] std::uint64_t media_packets() const { return media_packets_; }
+  [[nodiscard]] std::uint64_t media_payload_bytes() const { return media_payload_bytes_; }
+  [[nodiscard]] util::Timestamp first_seen() const { return first_seen_; }
+  [[nodiscard]] util::Timestamp last_seen() const { return last_seen_; }
+  /// Current frame-level jitter estimate (ms), if enough samples.
+  [[nodiscard]] std::optional<double> jitter_ms() const;
+  /// Jitter-buffer stall prediction (§5.5 extension); meaningful for
+  /// video / screen-share streams.
+  [[nodiscard]] const StallPredictor& stall() const { return stall_; }
+  /// SR-based RTP->wall clock mapping (populated from sender reports).
+  [[nodiscard]] const RtcpClockMapper& clock_mapper() const { return clock_mapper_; }
+  /// Seconds in which the participant was audibly talking (§4.2.3;
+  /// audio streams only). Derived from the emitted per-second records.
+  [[nodiscard]] std::size_t talk_seconds() const {
+    std::size_t n = 0;
+    for (const auto& sec : seconds_)
+      if (sec.talking()) ++n;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t talk_packets_total() const { return talk_packets_total_; }
+  /// Passive sampling-rate recovery (§5.2 parameter sweep, closed form).
+  [[nodiscard]] const ClockRateEstimator& clock_estimate() const {
+    return clock_estimator_;
+  }
+  /// Mean RTT over injected samples.
+  [[nodiscard]] std::optional<double> mean_latency_ms() const;
+
+ private:
+  void advance_to(util::Timestamp arrival);
+  void flush_bin();
+  bool is_main_substream(std::uint8_t payload_type) const;
+  void on_frame(const FrameRecord& frame);
+
+  zoom::MediaKind kind_;
+  std::uint32_t ssrc_;
+  StreamMetricsConfig config_;
+
+  FrameAssembler assembler_;
+  JitterEstimator frame_jitter_;
+  // Jitter observations must advance in media time: retransmitted /
+  // out-of-order packets would otherwise register as spurious multi-
+  // hundred-ms transit differences (§5.5 — retransmissions reuse the
+  // original RTP timestamps).
+  util::SerialExtender<std::uint32_t> jitter_ts_extender_;
+  std::optional<std::int64_t> last_jitter_ts_;
+  StallPredictor stall_;
+  RtcpClockMapper clock_mapper_;
+  // (sender packet counter, unique packets observed at that moment) at
+  // the first and latest SR.
+  struct SrSnapshot {
+    std::uint32_t sender_count = 0;
+    std::uint64_t observed_unique = 0;
+  };
+  std::optional<SrSnapshot> first_sr_, last_sr_;
+  ClockRateEstimator clock_estimator_;
+  std::map<std::uint8_t, SeqTracker> seq_trackers_;
+
+  std::vector<StreamSecond> seconds_;
+  std::vector<FrameRecord> frames_;
+
+  // Current one-second bin under construction.
+  std::optional<std::int64_t> cur_bin_;  // bin index = floor(arrival sec)
+  StreamSecond cur_{};
+  double bin_latency_sum_ms_ = 0.0;
+  std::uint32_t bin_latency_samples_ = 0;
+  double bin_frame_bytes_sum_ = 0.0;
+  std::optional<double> bin_encoder_fps_;
+
+  std::uint64_t media_packets_ = 0;
+  std::uint64_t media_payload_bytes_ = 0;
+  std::uint64_t talk_packets_total_ = 0;
+  std::uint32_t frame_counter_ = 0;
+  util::Timestamp first_seen_;
+  util::Timestamp last_seen_;
+  std::vector<RttSample> rtt_samples_;
+};
+
+}  // namespace zpm::metrics

@@ -1,0 +1,65 @@
+#include "net/addr.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace zpm::net {
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  std::uint32_t out = 0;
+  int octet = 0;
+  int value = -1;  // -1 = no digit seen yet in the current octet
+  for (char c : s) {
+    if (c >= '0' && c <= '9') {
+      value = (value < 0 ? 0 : value * 10) + (c - '0');
+      if (value > 255) return std::nullopt;
+    } else if (c == '.') {
+      if (value < 0 || octet >= 3) return std::nullopt;
+      out = (out << 8) | static_cast<std::uint32_t>(value);
+      value = -1;
+      ++octet;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (value < 0 || octet != 3) return std::nullopt;
+  out = (out << 8) | static_cast<std::uint32_t>(value);
+  return Ipv4Addr(out);
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr_ >> 24) & 0xff,
+                (addr_ >> 16) & 0xff, (addr_ >> 8) & 0xff, addr_ & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Subnet> Ipv4Subnet::parse(std::string_view s) {
+  auto slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto base = Ipv4Addr::parse(s.substr(0, slash));
+  if (!base) return std::nullopt;
+  int len = 0;
+  auto len_str = s.substr(slash + 1);
+  if (len_str.empty() || len_str.size() > 2) return std::nullopt;
+  for (char c : len_str) {
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + (c - '0');
+  }
+  if (len > 32) return std::nullopt;
+  return Ipv4Subnet(*base, len);
+}
+
+std::string Ipv4Subnet::to_string() const {
+  return base_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+}  // namespace zpm::net

@@ -1,0 +1,85 @@
+// Network addresses and subnets.
+//
+// IPv4 only: the paper's capture pipeline and Zoom's published server
+// list are IPv4 (Appendix B), and the campus monitor filters on IPv4
+// subnets. Addresses are strong types holding host-order integers so
+// comparisons and subnet math are plain integer operations.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace zpm::net {
+
+/// 48-bit Ethernet MAC address.
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  auto operator<=>(const MacAddr&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// IPv4 address stored in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  explicit constexpr Ipv4Addr(std::uint32_t host_order) : addr_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : addr_((static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+              (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parses dotted-quad notation; nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view s);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return addr_; }
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+/// CIDR block, e.g. 170.114.0.0/16.
+class Ipv4Subnet {
+ public:
+  constexpr Ipv4Subnet() = default;
+  constexpr Ipv4Subnet(Ipv4Addr base, int prefix_len)
+      : base_(Ipv4Addr(base.value() & mask_for(prefix_len))), prefix_len_(prefix_len) {}
+
+  /// Parses "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Ipv4Subnet> parse(std::string_view s);
+
+  [[nodiscard]] constexpr bool contains(Ipv4Addr ip) const {
+    return (ip.value() & mask_for(prefix_len_)) == base_.value();
+  }
+  [[nodiscard]] constexpr Ipv4Addr base() const { return base_; }
+  [[nodiscard]] constexpr int prefix_len() const { return prefix_len_; }
+  /// Number of addresses covered (2^(32-len)).
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - prefix_len_);
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Subnet&) const = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int len) {
+    return len <= 0 ? 0 : (len >= 32 ? 0xffffffffu : ~((std::uint32_t{1} << (32 - len)) - 1));
+  }
+  Ipv4Addr base_{};
+  int prefix_len_ = 0;
+};
+
+}  // namespace zpm::net
+
+template <>
+struct std::hash<zpm::net::Ipv4Addr> {
+  std::size_t operator()(const zpm::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,72 @@
+// Frame construction helpers: compose full Ethernet/IPv4/{UDP,TCP}
+// frames from L4 payloads. The simulator uses these so every packet the
+// analyzer sees went through real serialization.
+#pragma once
+
+#include <span>
+
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace zpm::net {
+
+/// Deterministic per-host MAC derived from the IPv4 address (the campus
+/// tap never cares about real MACs; this keeps frames valid and stable).
+inline MacAddr mac_for(Ipv4Addr ip) {
+  std::uint32_t v = ip.value();
+  return MacAddr{{0x02, 0x5a, static_cast<std::uint8_t>(v >> 24),
+                  static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 8),
+                  static_cast<std::uint8_t>(v)}};
+}
+
+/// Builds an Ethernet/IPv4/UDP frame around `payload`.
+inline RawPacket build_udp(util::Timestamp ts, Ipv4Addr src_ip, std::uint16_t src_port,
+                           Ipv4Addr dst_ip, std::uint16_t dst_port,
+                           std::span<const std::uint8_t> payload,
+                           std::uint16_t ip_id = 0, std::uint8_t ttl = 64) {
+  util::ByteWriter w(EthernetHeader::kSize + 20 + UdpHeader::kSize + payload.size());
+  EthernetHeader eth{mac_for(dst_ip), mac_for(src_ip), kEtherTypeIpv4};
+  eth.serialize(w);
+  Ipv4Header ip;
+  ip.identification = ip_id;
+  ip.ttl = ttl;
+  ip.protocol = kIpProtoUdp;
+  ip.src = src_ip;
+  ip.dst = dst_ip;
+  ip.serialize(w, UdpHeader::kSize + payload.size());
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.serialize(w, payload.size());
+  w.bytes(payload);
+  return RawPacket{ts, w.take()};
+}
+
+/// Builds an Ethernet/IPv4/TCP frame (no options) around `payload`.
+inline RawPacket build_tcp(util::Timestamp ts, Ipv4Addr src_ip, std::uint16_t src_port,
+                           Ipv4Addr dst_ip, std::uint16_t dst_port, std::uint32_t seq,
+                           std::uint32_t ack, std::uint8_t flags,
+                           std::span<const std::uint8_t> payload,
+                           std::uint16_t window = 65535, std::uint8_t ttl = 64) {
+  util::ByteWriter w(EthernetHeader::kSize + 20 + 20 + payload.size());
+  EthernetHeader eth{mac_for(dst_ip), mac_for(src_ip), kEtherTypeIpv4};
+  eth.serialize(w);
+  Ipv4Header ip;
+  ip.ttl = ttl;
+  ip.protocol = kIpProtoTcp;
+  ip.src = src_ip;
+  ip.dst = dst_ip;
+  ip.serialize(w, 20 + payload.size());
+  TcpHeader tcp;
+  tcp.src_port = src_port;
+  tcp.dst_port = dst_port;
+  tcp.seq = seq;
+  tcp.ack = ack;
+  tcp.flags = flags;
+  tcp.window = window;
+  tcp.serialize(w);
+  w.bytes(payload);
+  return RawPacket{ts, w.take()};
+}
+
+}  // namespace zpm::net

@@ -1,0 +1,28 @@
+// RFC 1071 Internet checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace zpm::net {
+
+/// One's-complement sum over `data`, folded to 16 bits and complemented.
+/// Odd trailing byte is padded with zero per RFC 1071.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Incremental accumulation variant for checksums spanning multiple
+/// buffers (e.g. pseudo-header + segment).
+class ChecksumAccumulator {
+ public:
+  void add(std::span<const std::uint8_t> data);
+  void add_u16(std::uint16_t v);
+  void add_u32(std::uint32_t v);
+  /// Finalized ~sum.
+  [[nodiscard]] std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;
+};
+
+}  // namespace zpm::net

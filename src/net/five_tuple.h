@@ -1,0 +1,61 @@
+// Flow identity: the classic 5-tuple plus helpers for directionality.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/addr.h"
+
+namespace zpm::net {
+
+/// (src ip, dst ip, src port, dst port, protocol). Directional: A→B and
+/// B→A are different tuples; use `reversed()` / `canonical()` when a
+/// bidirectional key is needed.
+struct FiveTuple {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  /// The same flow seen from the other direction.
+  [[nodiscard]] FiveTuple reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  /// Direction-independent key: the lexicographically smaller of the two
+  /// orientations, so both directions of a flow map to one key.
+  [[nodiscard]] FiveTuple canonical() const {
+    FiveTuple rev = reversed();
+    return *this <= rev ? *this : rev;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return src_ip.to_string() + ":" + std::to_string(src_port) + " -> " +
+           dst_ip.to_string() + ":" + std::to_string(dst_port) +
+           (protocol == 17 ? " udp" : protocol == 6 ? " tcp" : " proto" + std::to_string(protocol));
+  }
+};
+
+}  // namespace zpm::net
+
+template <>
+struct std::hash<zpm::net::FiveTuple> {
+  std::size_t operator()(const zpm::net::FiveTuple& t) const noexcept {
+    // FNV-1a over the tuple fields; cheap and adequate for hash maps.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(t.src_ip.value());
+    mix(t.dst_ip.value());
+    mix(static_cast<std::uint64_t>(t.src_port) << 16 | t.dst_port);
+    mix(t.protocol);
+    return static_cast<std::size_t>(h);
+  }
+};

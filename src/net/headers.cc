@@ -1,0 +1,116 @@
+#include "net/headers.h"
+
+#include "net/checksum.h"
+
+namespace zpm::net {
+
+std::optional<EthernetHeader> EthernetHeader::parse(util::ByteReader& r) {
+  if (!r.can_read(kSize)) return std::nullopt;
+  EthernetHeader h;
+  for (auto& b : h.dst.bytes) b = r.u8();
+  for (auto& b : h.src.bytes) b = r.u8();
+  h.ether_type = r.u16be();
+  return h;
+}
+
+void EthernetHeader::serialize(util::ByteWriter& w) const {
+  w.bytes(dst.bytes);
+  w.bytes(src.bytes);
+  w.u16be(ether_type);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(util::ByteReader& r) {
+  if (!r.can_read(20)) return std::nullopt;
+  std::uint8_t ver_ihl = r.u8();
+  if ((ver_ihl >> 4) != 4) return std::nullopt;
+  Ipv4Header h;
+  h.ihl = ver_ihl & 0x0f;
+  if (h.ihl < 5) return std::nullopt;
+  h.dscp_ecn = r.u8();
+  h.total_length = r.u16be();
+  h.identification = r.u16be();
+  h.flags_fragment = r.u16be();
+  h.ttl = r.u8();
+  h.protocol = r.u8();
+  h.checksum = r.u16be();
+  h.src = Ipv4Addr(r.u32be());
+  h.dst = Ipv4Addr(r.u32be());
+  if (h.total_length < h.header_length()) return std::nullopt;
+  std::size_t options = h.header_length() - 20;
+  if (options > 0) {
+    if (!r.can_read(options)) return std::nullopt;
+    r.skip(options);
+  }
+  return r.ok() ? std::optional(h) : std::nullopt;
+}
+
+void Ipv4Header::serialize(util::ByteWriter& w, std::size_t payload_length) const {
+  util::ByteWriter hdr(20);
+  hdr.u8(static_cast<std::uint8_t>((4 << 4) | 5));  // no options emitted
+  hdr.u8(dscp_ecn);
+  hdr.u16be(static_cast<std::uint16_t>(20 + payload_length));
+  hdr.u16be(identification);
+  hdr.u16be(flags_fragment);
+  hdr.u8(ttl);
+  hdr.u8(protocol);
+  hdr.u16be(0);  // checksum placeholder
+  hdr.u32be(src.value());
+  hdr.u32be(dst.value());
+  std::uint16_t csum = internet_checksum(hdr.view());
+  hdr.patch_u16be(10, csum);
+  w.bytes(hdr.view());
+}
+
+std::optional<UdpHeader> UdpHeader::parse(util::ByteReader& r) {
+  if (!r.can_read(kSize)) return std::nullopt;
+  UdpHeader h;
+  h.src_port = r.u16be();
+  h.dst_port = r.u16be();
+  h.length = r.u16be();
+  h.checksum = r.u16be();
+  if (h.length < kSize) return std::nullopt;
+  return h;
+}
+
+void UdpHeader::serialize(util::ByteWriter& w, std::size_t payload_length) const {
+  w.u16be(src_port);
+  w.u16be(dst_port);
+  w.u16be(static_cast<std::uint16_t>(kSize + payload_length));
+  w.u16be(checksum);
+}
+
+std::optional<TcpHeader> TcpHeader::parse(util::ByteReader& r) {
+  if (!r.can_read(20)) return std::nullopt;
+  TcpHeader h;
+  h.src_port = r.u16be();
+  h.dst_port = r.u16be();
+  h.seq = r.u32be();
+  h.ack = r.u32be();
+  std::uint8_t offset_reserved = r.u8();
+  h.data_offset = offset_reserved >> 4;
+  if (h.data_offset < 5) return std::nullopt;
+  h.flags = r.u8();
+  h.window = r.u16be();
+  h.checksum = r.u16be();
+  h.urgent = r.u16be();
+  std::size_t options = h.header_length() - 20;
+  if (options > 0) {
+    if (!r.can_read(options)) return std::nullopt;
+    r.skip(options);
+  }
+  return r.ok() ? std::optional(h) : std::nullopt;
+}
+
+void TcpHeader::serialize(util::ByteWriter& w) const {
+  w.u16be(src_port);
+  w.u16be(dst_port);
+  w.u32be(seq);
+  w.u32be(ack);
+  w.u8(static_cast<std::uint8_t>(5 << 4));  // no options emitted
+  w.u8(flags);
+  w.u16be(window);
+  w.u16be(checksum);
+  w.u16be(urgent);
+}
+
+}  // namespace zpm::net

@@ -1,0 +1,107 @@
+// Ethernet II, IPv4, UDP and TCP header parsing and serialization.
+//
+// Parsers consume from a ByteReader and return std::nullopt on anything
+// that is not a well-formed header (truncated, bad version, bad lengths).
+// Serializers emit wire bytes via ByteWriter, computing checksums, so the
+// simulator produces traces the analyzer re-parses from scratch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/addr.h"
+#include "util/bytes.h"
+
+namespace zpm::net {
+
+/// EtherType values this library understands.
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+/// IP protocol numbers.
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+/// Ethernet II frame header (no 802.1Q support; campus taps strip tags).
+struct EthernetHeader {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ether_type = 0;
+
+  static constexpr std::size_t kSize = 14;
+
+  /// Parses 14 bytes; nullopt if truncated.
+  static std::optional<EthernetHeader> parse(util::ByteReader& r);
+  void serialize(util::ByteWriter& w) const;
+};
+
+/// IPv4 header. Options are validated for length and skipped.
+struct Ipv4Header {
+  std::uint8_t ihl = 5;  // header length in 32-bit words
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0;  // 3 flag bits + 13-bit fragment offset
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;  // as seen on the wire (serializer computes)
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  [[nodiscard]] std::size_t header_length() const { return std::size_t{ihl} * 4; }
+  [[nodiscard]] bool dont_fragment() const { return (flags_fragment & 0x4000) != 0; }
+  [[nodiscard]] bool more_fragments() const { return (flags_fragment & 0x2000) != 0; }
+  [[nodiscard]] std::uint16_t fragment_offset() const {
+    return static_cast<std::uint16_t>(flags_fragment & 0x1fff);
+  }
+
+  /// Parses the header (including skipping options). Requires version 4
+  /// and ihl >= 5; nullopt otherwise.
+  static std::optional<Ipv4Header> parse(util::ByteReader& r);
+  /// Serializes with a freshly computed header checksum. `payload_length`
+  /// is the L4 segment length used to fill total_length.
+  void serialize(util::ByteWriter& w, std::size_t payload_length) const;
+};
+
+/// UDP header.
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;
+
+  static constexpr std::size_t kSize = 8;
+
+  static std::optional<UdpHeader> parse(util::ByteReader& r);
+  /// Serializes; checksum is emitted as 0 (legal for IPv4 UDP) unless the
+  /// caller filled `checksum` beforehand.
+  void serialize(util::ByteWriter& w, std::size_t payload_length) const;
+};
+
+/// TCP flag bits.
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpPsh = 0x08;
+inline constexpr std::uint8_t kTcpAck = 0x10;
+
+/// TCP header. Options are length-validated and skipped.
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  // in 32-bit words
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+
+  [[nodiscard]] std::size_t header_length() const { return std::size_t{data_offset} * 4; }
+  [[nodiscard]] bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
+
+  static std::optional<TcpHeader> parse(util::ByteReader& r);
+  void serialize(util::ByteWriter& w) const;
+};
+
+}  // namespace zpm::net

@@ -1,0 +1,57 @@
+#include "net/packet.h"
+
+#include "util/bytes.h"
+
+namespace zpm::net {
+
+std::optional<PacketView> decode_packet(util::Timestamp ts,
+                                        std::span<const std::uint8_t> frame) {
+  util::ByteReader r(frame);
+  auto eth = EthernetHeader::parse(r);
+  if (!eth || eth->ether_type != kEtherTypeIpv4) return std::nullopt;
+  auto ip = Ipv4Header::parse(r);
+  if (!ip) return std::nullopt;
+  // Only the first fragment carries the L4 header; later fragments are
+  // not parseable and are dropped here (the capture pipeline never
+  // fragments Zoom media since it fits typical MTUs).
+  if (ip->fragment_offset() != 0) return std::nullopt;
+
+  PacketView v;
+  v.ts = ts;
+  v.eth = *eth;
+  v.ip = *ip;
+  v.wire_length_ = frame.size();
+
+  // Clamp payload to IP total_length so trailing Ethernet padding is not
+  // mistaken for payload.
+  std::size_t ip_payload_len = ip->total_length - ip->header_length();
+  if (ip->protocol == kIpProtoUdp) {
+    auto udp = UdpHeader::parse(r);
+    if (!udp) return std::nullopt;
+    v.l4 = L4Proto::Udp;
+    v.udp = *udp;
+    std::size_t payload_len = udp->length - UdpHeader::kSize;
+    if (payload_len > r.remaining()) payload_len = r.remaining();
+    v.l4_payload = r.bytes(payload_len);
+  } else if (ip->protocol == kIpProtoTcp) {
+    std::size_t before = r.position();
+    auto tcp = TcpHeader::parse(r);
+    if (!tcp) return std::nullopt;
+    v.l4 = L4Proto::Tcp;
+    v.tcp = *tcp;
+    std::size_t consumed = r.position() - before;
+    std::size_t payload_len =
+        ip_payload_len >= consumed ? ip_payload_len - consumed : 0;
+    if (payload_len > r.remaining()) payload_len = r.remaining();
+    v.l4_payload = r.bytes(payload_len);
+  } else {
+    return std::nullopt;
+  }
+  return r.ok() ? std::optional(v) : std::nullopt;
+}
+
+std::optional<PacketView> decode_packet(const RawPacket& pkt) {
+  return decode_packet(pkt.ts, pkt.data);
+}
+
+}  // namespace zpm::net

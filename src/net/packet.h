@@ -1,0 +1,63 @@
+// Decoded-packet abstraction: the interchange type between the trace
+// sources (pcap reader, simulator) and every consumer (capture filter,
+// Zoom classifier, analyzer).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/five_tuple.h"
+#include "net/headers.h"
+#include "util/time.h"
+
+namespace zpm::net {
+
+/// A raw captured packet: timestamp plus owned wire bytes (starting at
+/// the Ethernet header).
+struct RawPacket {
+  util::Timestamp ts;
+  std::vector<std::uint8_t> data;
+};
+
+/// Transport protocol of a decoded packet.
+enum class L4Proto : std::uint8_t { Udp, Tcp };
+
+/// A parsed view into one packet. Non-owning: `l4_payload` points into
+/// the buffer the packet was decoded from, which must outlive the view.
+struct PacketView {
+  util::Timestamp ts;
+  EthernetHeader eth;
+  Ipv4Header ip;
+  L4Proto l4 = L4Proto::Udp;
+  UdpHeader udp;  // valid when l4 == Udp
+  TcpHeader tcp;  // valid when l4 == Tcp
+  std::span<const std::uint8_t> l4_payload;
+
+  [[nodiscard]] std::uint16_t src_port() const {
+    return l4 == L4Proto::Udp ? udp.src_port : tcp.src_port;
+  }
+  [[nodiscard]] std::uint16_t dst_port() const {
+    return l4 == L4Proto::Udp ? udp.dst_port : tcp.dst_port;
+  }
+  [[nodiscard]] FiveTuple five_tuple() const {
+    return FiveTuple{ip.src, ip.dst, src_port(), dst_port(),
+                     l4 == L4Proto::Udp ? kIpProtoUdp : kIpProtoTcp};
+  }
+  /// Total on-wire size (Ethernet frame length).
+  [[nodiscard]] std::size_t wire_length() const { return wire_length_; }
+
+  std::size_t wire_length_ = 0;
+};
+
+/// Decodes an Ethernet/IPv4/{UDP,TCP} packet. Returns nullopt for
+/// non-IPv4, non-UDP/TCP, fragments past the first, or malformed headers.
+/// The returned view borrows `frame`.
+std::optional<PacketView> decode_packet(util::Timestamp ts,
+                                        std::span<const std::uint8_t> frame);
+
+/// Convenience overload for RawPacket.
+std::optional<PacketView> decode_packet(const RawPacket& pkt);
+
+}  // namespace zpm::net

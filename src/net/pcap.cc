@@ -1,0 +1,154 @@
+#include "net/pcap.h"
+
+#include <array>
+#include <cstring>
+
+namespace zpm::net {
+
+namespace {
+constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicMicrosSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
+constexpr std::uint32_t kMagicNanosSwapped = 0x4d3cb2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+// Sanity cap: no real Ethernet capture record exceeds this.
+constexpr std::uint32_t kMaxRecordLength = 256 * 1024;
+}  // namespace
+
+PcapReader::PcapReader(std::istream& in) : in_(&in) { read_global_header(); }
+
+PcapReader::PcapReader(const std::string& path)
+    : file_(std::make_unique<std::ifstream>(path, std::ios::binary)), in_(file_.get()) {
+  if (!file_->is_open()) {
+    error_ = "cannot open " + path;
+    return;
+  }
+  read_global_header();
+}
+
+std::uint32_t PcapReader::read_u32(const std::uint8_t* p) const {
+  if (swapped_) {
+    return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+  }
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint16_t PcapReader::read_u16(const std::uint8_t* p) const {
+  if (swapped_) return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+void PcapReader::read_global_header() {
+  std::array<std::uint8_t, 24> hdr{};
+  in_->read(reinterpret_cast<char*>(hdr.data()), static_cast<std::streamsize>(hdr.size()));
+  if (in_->gcount() != static_cast<std::streamsize>(hdr.size())) {
+    error_ = "truncated global header";
+    return;
+  }
+  // Magic is written in the producer's byte order; probe little-endian
+  // interpretation first.
+  std::uint32_t magic_le = static_cast<std::uint32_t>(hdr[0]) |
+                           (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                           (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                           (static_cast<std::uint32_t>(hdr[3]) << 24);
+  switch (magic_le) {
+    case kMagicMicros: swapped_ = false; nanosecond_ = false; break;
+    case kMagicNanos: swapped_ = false; nanosecond_ = true; break;
+    case kMagicMicrosSwapped: swapped_ = true; nanosecond_ = false; break;
+    case kMagicNanosSwapped: swapped_ = true; nanosecond_ = true; break;
+    default:
+      error_ = "bad pcap magic";
+      return;
+  }
+  // version major/minor at offsets 4,6 — accepted as-is.
+  snaplen_ = read_u32(&hdr[16]);
+  link_type_ = read_u32(&hdr[20]);
+  if (link_type_ != kLinkTypeEthernet) {
+    error_ = "unsupported link type " + std::to_string(link_type_);
+    return;
+  }
+  ok_ = true;
+}
+
+std::optional<RawPacket> PcapReader::next() {
+  if (!ok_) return std::nullopt;
+  std::array<std::uint8_t, 16> rec{};
+  in_->read(reinterpret_cast<char*>(rec.data()), static_cast<std::streamsize>(rec.size()));
+  if (in_->gcount() == 0) return std::nullopt;  // clean EOF
+  if (in_->gcount() != static_cast<std::streamsize>(rec.size())) {
+    ok_ = false;
+    error_ = "truncated record header";
+    return std::nullopt;
+  }
+  std::uint32_t ts_sec = read_u32(&rec[0]);
+  std::uint32_t ts_frac = read_u32(&rec[4]);
+  std::uint32_t incl_len = read_u32(&rec[8]);
+  if (incl_len > kMaxRecordLength) {
+    ok_ = false;
+    error_ = "implausible record length " + std::to_string(incl_len);
+    return std::nullopt;
+  }
+  RawPacket pkt;
+  std::uint32_t usec = nanosecond_ ? ts_frac / 1000 : ts_frac;
+  pkt.ts = util::Timestamp::from_pcap(ts_sec, usec);
+  pkt.data.resize(incl_len);
+  in_->read(reinterpret_cast<char*>(pkt.data.data()), static_cast<std::streamsize>(incl_len));
+  if (in_->gcount() != static_cast<std::streamsize>(incl_len)) {
+    ok_ = false;
+    error_ = "truncated record body";
+    return std::nullopt;
+  }
+  ++packets_read_;
+  return pkt;
+}
+
+PcapWriter::PcapWriter(std::ostream& out, std::uint32_t snaplen)
+    : out_(&out), snaplen_(snaplen) {
+  write_global_header();
+}
+
+PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
+    : file_(std::make_unique<std::ofstream>(path, std::ios::binary)),
+      out_(file_.get()),
+      snaplen_(snaplen) {
+  if (file_->is_open()) write_global_header();
+}
+
+bool PcapWriter::ok() const { return out_->good(); }
+
+void PcapWriter::put_u32(std::uint32_t v) {
+  // Little-endian, matching the kMagicMicros we emit.
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out_->write(b, 4);
+}
+
+void PcapWriter::put_u16(std::uint16_t v) {
+  char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  out_->write(b, 2);
+}
+
+void PcapWriter::write_global_header() {
+  put_u32(kMagicMicros);
+  put_u16(2);   // version major
+  put_u16(4);   // version minor
+  put_u32(0);   // thiszone
+  put_u32(0);   // sigfigs
+  put_u32(snaplen_);
+  put_u32(kLinkTypeEthernet);
+}
+
+void PcapWriter::write(const RawPacket& pkt) {
+  std::uint32_t orig_len = static_cast<std::uint32_t>(pkt.data.size());
+  std::uint32_t incl_len = orig_len > snaplen_ ? snaplen_ : orig_len;
+  put_u32(pkt.ts.pcap_sec());
+  put_u32(pkt.ts.pcap_usec());
+  put_u32(incl_len);
+  put_u32(orig_len);
+  out_->write(reinterpret_cast<const char*>(pkt.data.data()), incl_len);
+  ++packets_written_;
+}
+
+}  // namespace zpm::net

@@ -1,0 +1,84 @@
+// Classic libpcap file format (magic 0xa1b2c3d4, microsecond timestamps,
+// LINKTYPE_ETHERNET), implemented from the format specification so the
+// repository has no external capture-library dependency. Reads and
+// writes both byte orders; writes native-order little-endian files.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "net/packet.h"
+
+namespace zpm::net {
+
+/// Reads pcap records sequentially from a stream or file.
+class PcapReader {
+ public:
+  /// Wraps an existing stream (must outlive the reader).
+  explicit PcapReader(std::istream& in);
+  /// Opens a file; check ok() afterwards.
+  explicit PcapReader(const std::string& path);
+
+  /// True if the global header parsed and no read error has occurred.
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// Human-readable reason for !ok().
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Link type from the global header (1 = Ethernet).
+  [[nodiscard]] std::uint32_t link_type() const { return link_type_; }
+
+  /// Next packet, or nullopt at end of file / on error.
+  std::optional<RawPacket> next();
+
+  /// Number of records returned so far.
+  [[nodiscard]] std::uint64_t packets_read() const { return packets_read_; }
+
+ private:
+  void read_global_header();
+  std::uint32_t read_u32(const std::uint8_t* p) const;
+  std::uint16_t read_u16(const std::uint8_t* p) const;
+
+  std::unique_ptr<std::ifstream> file_;
+  std::istream* in_;
+  bool ok_ = false;
+  bool swapped_ = false;     // file byte order != little-endian
+  bool nanosecond_ = false;  // 0xa1b23c4d magic
+  std::uint32_t link_type_ = 0;
+  std::uint32_t snaplen_ = 0;
+  std::uint64_t packets_read_ = 0;
+  std::string error_;
+};
+
+/// Writes pcap records sequentially to a stream or file.
+class PcapWriter {
+ public:
+  /// Wraps an existing stream (must outlive the writer); writes the
+  /// global header immediately.
+  explicit PcapWriter(std::ostream& out, std::uint32_t snaplen = 65535);
+  /// Opens a file; check ok() afterwards.
+  explicit PcapWriter(const std::string& path, std::uint32_t snaplen = 65535);
+
+  [[nodiscard]] bool ok() const;
+
+  /// Appends one record; frames longer than snaplen are truncated with
+  /// the original length recorded.
+  void write(const RawPacket& pkt);
+
+  [[nodiscard]] std::uint64_t packets_written() const { return packets_written_; }
+
+ private:
+  void write_global_header();
+  void put_u32(std::uint32_t v);
+  void put_u16(std::uint16_t v);
+
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* out_;
+  std::uint32_t snaplen_;
+  std::uint64_t packets_written_ = 0;
+};
+
+}  // namespace zpm::net

@@ -1,0 +1,84 @@
+// pcapng (pcap Next Generation) reader — the format modern tcpdump and
+// Wireshark write by default. Supports Section Header, Interface
+// Description, Enhanced Packet and Simple Packet blocks, per-interface
+// timestamp resolution, and both byte orders. Unknown block types are
+// skipped, as the spec requires.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/pcap.h"
+
+namespace zpm::net {
+
+/// Abstract packet source: what the analyzer consumes, regardless of
+/// capture file format.
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+  virtual std::optional<RawPacket> next() = 0;
+  [[nodiscard]] virtual bool ok() const = 0;
+  [[nodiscard]] virtual const std::string& error() const = 0;
+};
+
+/// Reads pcapng files sequentially.
+class PcapNgReader : public PacketSource {
+ public:
+  explicit PcapNgReader(std::istream& in);
+  explicit PcapNgReader(const std::string& path);
+
+  [[nodiscard]] bool ok() const override { return ok_; }
+  [[nodiscard]] const std::string& error() const override { return error_; }
+
+  std::optional<RawPacket> next() override;
+  [[nodiscard]] std::uint64_t packets_read() const { return packets_read_; }
+
+ private:
+  struct Interface {
+    std::uint16_t link_type = 0;
+    /// Ticks per second of this interface's timestamps.
+    std::uint64_t ticks_per_second = 1'000'000;
+  };
+
+  bool read_exact(std::uint8_t* out, std::size_t n);
+  std::uint32_t u32(const std::uint8_t* p) const;
+  std::uint16_t u16(const std::uint8_t* p) const;
+  bool read_section_header(std::uint32_t block_total_length);
+  bool read_interface_block(const std::vector<std::uint8_t>& body);
+  std::optional<RawPacket> parse_epb(const std::vector<std::uint8_t>& body);
+
+  std::unique_ptr<std::ifstream> file_;
+  std::istream* in_;
+  bool ok_ = false;
+  bool swapped_ = false;
+  bool seen_section_ = false;
+  std::vector<Interface> interfaces_;
+  std::uint64_t packets_read_ = 0;
+  std::string error_;
+};
+
+/// Adapts the classic-format PcapReader to the PacketSource interface.
+class PcapAdapter : public PacketSource {
+ public:
+  explicit PcapAdapter(const std::string& path) : reader_(path) {}
+  std::optional<RawPacket> next() override { return reader_.next(); }
+  [[nodiscard]] bool ok() const override { return reader_.ok(); }
+  [[nodiscard]] const std::string& error() const override { return reader_.error(); }
+
+ private:
+  PcapReader reader_;
+};
+
+/// Opens a capture file of either format (classic pcap or pcapng),
+/// sniffing the magic number. Returns nullptr (with no throw) when the
+/// file cannot be opened or is neither format.
+std::unique_ptr<PacketSource> open_capture(const std::string& path);
+
+}  // namespace zpm::net

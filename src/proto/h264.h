@@ -1,0 +1,65 @@
+// H.264 NAL unit / fragmentation unit headers (RFC 6184).
+//
+// Zoom video packets carry an RTP header followed by an H.264 FU-A NAL
+// indication before the encrypted payload (paper §4.2.3). The dissector
+// surfaces these two bytes; everything after them is opaque.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace zpm::proto {
+
+/// NAL unit types relevant to Zoom video.
+inline constexpr std::uint8_t kNalTypeFuA = 28;
+
+/// First byte of a NAL unit: forbidden bit, NRI, type.
+struct NalHeader {
+  bool forbidden = false;
+  std::uint8_t nri = 0;   // importance (0-3)
+  std::uint8_t type = 0;  // 1-23 single NAL, 28 = FU-A
+
+  static NalHeader from_byte(std::uint8_t b) {
+    return NalHeader{(b & 0x80) != 0, static_cast<std::uint8_t>((b >> 5) & 0x3),
+                     static_cast<std::uint8_t>(b & 0x1f)};
+  }
+  [[nodiscard]] std::uint8_t to_byte() const {
+    return static_cast<std::uint8_t>((forbidden ? 0x80 : 0) |
+                                     ((nri & 0x3) << 5) | (type & 0x1f));
+  }
+};
+
+/// FU header (second byte of an FU-A fragment): start/end flags and the
+/// original NAL type.
+struct FuHeader {
+  bool start = false;
+  bool end = false;
+  std::uint8_t nal_type = 0;
+
+  static FuHeader from_byte(std::uint8_t b) {
+    return FuHeader{(b & 0x80) != 0, (b & 0x40) != 0,
+                    static_cast<std::uint8_t>(b & 0x1f)};
+  }
+  [[nodiscard]] std::uint8_t to_byte() const {
+    return static_cast<std::uint8_t>((start ? 0x80 : 0) | (end ? 0x40 : 0) |
+                                     (nal_type & 0x1f));
+  }
+};
+
+/// A parsed FU-A indication + header pair.
+struct FuA {
+  NalHeader indicator;
+  FuHeader fu;
+};
+
+/// Parses the two FU-A bytes at the start of an RTP video payload;
+/// nullopt when the payload is too short or not an FU-A fragment.
+inline std::optional<FuA> parse_fu_a(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 2) return std::nullopt;
+  NalHeader ind = NalHeader::from_byte(payload[0]);
+  if (ind.forbidden || ind.type != kNalTypeFuA) return std::nullopt;
+  return FuA{ind, FuHeader::from_byte(payload[1])};
+}
+
+}  // namespace zpm::proto

@@ -1,0 +1,162 @@
+#include "proto/rtcp.h"
+
+namespace zpm::proto {
+
+namespace {
+// Offset between the NTP epoch (1900) and the Unix epoch (1970).
+constexpr std::uint64_t kNtpUnixOffsetSeconds = 2208988800ULL;
+}  // namespace
+
+util::Timestamp NtpTimestamp::to_unix() const {
+  std::int64_t unix_sec =
+      static_cast<std::int64_t>(seconds) - static_cast<std::int64_t>(kNtpUnixOffsetSeconds);
+  // fraction is in units of 2^-32 seconds.
+  std::int64_t us = (static_cast<std::int64_t>(fraction) * 1'000'000) >> 32;
+  return util::Timestamp::from_micros(unix_sec * 1'000'000 + us);
+}
+
+NtpTimestamp NtpTimestamp::from_unix(util::Timestamp t) {
+  std::int64_t us = t.us();
+  std::int64_t sec = us / 1'000'000;
+  std::int64_t frac_us = us % 1'000'000;
+  NtpTimestamp ntp;
+  ntp.seconds = static_cast<std::uint32_t>(static_cast<std::uint64_t>(sec) + kNtpUnixOffsetSeconds);
+  ntp.fraction = static_cast<std::uint32_t>((static_cast<std::uint64_t>(frac_us) << 32) / 1'000'000);
+  return ntp;
+}
+
+namespace {
+
+ReportBlock parse_report_block(util::ByteReader& r) {
+  ReportBlock b;
+  b.ssrc = r.u32be();
+  std::uint32_t lost_word = r.u32be();
+  b.fraction_lost = static_cast<std::uint8_t>(lost_word >> 24);
+  std::uint32_t cum = lost_word & 0x00ffffff;
+  // Sign-extend the 24-bit cumulative loss count.
+  b.cumulative_lost = (cum & 0x800000) ? static_cast<std::int32_t>(cum | 0xff000000u)
+                                       : static_cast<std::int32_t>(cum);
+  b.highest_seq = r.u32be();
+  b.jitter = r.u32be();
+  b.last_sr = r.u32be();
+  b.delay_since_last_sr = r.u32be();
+  return b;
+}
+
+}  // namespace
+
+std::optional<RtcpPacket> parse_rtcp_packet(util::ByteReader& r) {
+  if (!r.can_read(4)) return std::nullopt;
+  std::uint8_t b0 = r.u8();
+  if ((b0 >> 6) != 2) return std::nullopt;
+  std::uint8_t count = b0 & 0x1f;
+  std::uint8_t pt = r.u8();
+  std::uint16_t length_words = r.u16be();
+  std::size_t body_len = std::size_t{length_words} * 4;
+  if (!r.can_read(body_len)) return std::nullopt;
+  util::ByteReader body(r.bytes(body_len));
+
+  switch (pt) {
+    case kRtcpSenderReport: {
+      SenderReport sr;
+      sr.sender_ssrc = body.u32be();
+      sr.ntp.seconds = body.u32be();
+      sr.ntp.fraction = body.u32be();
+      sr.rtp_timestamp = body.u32be();
+      sr.packet_count = body.u32be();
+      sr.octet_count = body.u32be();
+      for (std::uint8_t i = 0; i < count; ++i) sr.reports.push_back(parse_report_block(body));
+      if (!body.ok()) return std::nullopt;
+      return RtcpPacket{sr};
+    }
+    case kRtcpReceiverReport: {
+      ReceiverReport rr;
+      rr.sender_ssrc = body.u32be();
+      for (std::uint8_t i = 0; i < count; ++i) rr.reports.push_back(parse_report_block(body));
+      if (!body.ok()) return std::nullopt;
+      return RtcpPacket{rr};
+    }
+    case kRtcpSdes: {
+      Sdes sdes;
+      for (std::uint8_t c = 0; c < count; ++c) {
+        SdesChunk chunk;
+        chunk.ssrc = body.u32be();
+        // Items until a zero terminator, then pad to a 32-bit boundary.
+        while (body.ok()) {
+          std::uint8_t type = body.u8();
+          if (type == 0) break;
+          std::uint8_t len = body.u8();
+          auto text = body.bytes(len);
+          chunk.items.push_back(SdesChunk::Item{
+              type, std::string(text.begin(), text.end())});
+        }
+        while (body.ok() && body.position() % 4 != 0) body.u8();
+        if (!body.ok()) return std::nullopt;
+        sdes.chunks.push_back(std::move(chunk));
+      }
+      return RtcpPacket{sdes};
+    }
+    case kRtcpBye: {
+      Bye bye;
+      for (std::uint8_t i = 0; i < count; ++i) bye.ssrcs.push_back(body.u32be());
+      if (!body.ok()) return std::nullopt;
+      return RtcpPacket{bye};
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::vector<RtcpPacket> parse_rtcp_compound(std::span<const std::uint8_t> data) {
+  std::vector<RtcpPacket> packets;
+  util::ByteReader r(data);
+  while (r.remaining() >= 4) {
+    auto pkt = parse_rtcp_packet(r);
+    if (!pkt) break;
+    packets.push_back(std::move(*pkt));
+  }
+  return packets;
+}
+
+void serialize_sender_report(util::ByteWriter& w, const SenderReport& sr) {
+  std::uint8_t count = static_cast<std::uint8_t>(sr.reports.size() & 0x1f);
+  std::size_t body_words = 6 + sr.reports.size() * 6;
+  w.u8(static_cast<std::uint8_t>((2 << 6) | count));
+  w.u8(kRtcpSenderReport);
+  w.u16be(static_cast<std::uint16_t>(body_words));
+  w.u32be(sr.sender_ssrc);
+  w.u32be(sr.ntp.seconds);
+  w.u32be(sr.ntp.fraction);
+  w.u32be(sr.rtp_timestamp);
+  w.u32be(sr.packet_count);
+  w.u32be(sr.octet_count);
+  for (const auto& b : sr.reports) {
+    w.u32be(b.ssrc);
+    w.u32be((static_cast<std::uint32_t>(b.fraction_lost) << 24) |
+            (static_cast<std::uint32_t>(b.cumulative_lost) & 0x00ffffff));
+    w.u32be(b.highest_seq);
+    w.u32be(b.jitter);
+    w.u32be(b.last_sr);
+    w.u32be(b.delay_since_last_sr);
+  }
+}
+
+void serialize_empty_sdes(util::ByteWriter& w, std::uint32_t ssrc) {
+  // One chunk: SSRC + END item + 3 bytes padding = 8 body bytes = 2 words.
+  w.u8(static_cast<std::uint8_t>((2 << 6) | 1));
+  w.u8(kRtcpSdes);
+  w.u16be(2);
+  w.u32be(ssrc);
+  w.u32be(0);  // END + padding
+}
+
+bool looks_like_rtcp(std::span<const std::uint8_t> data) {
+  if (data.size() < 4) return false;
+  if ((data[0] >> 6) != 2) return false;
+  std::uint8_t pt = data[1];
+  if (pt < 200 || pt > 204) return false;
+  std::size_t len = (static_cast<std::size_t>(data[2]) << 8 | data[3]) * 4 + 4;
+  return len <= data.size();
+}
+
+}  // namespace zpm::proto

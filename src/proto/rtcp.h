@@ -1,0 +1,112 @@
+// RTCP (RFC 3550): sender reports, receiver reports and source
+// description packets, including compound-packet parsing.
+//
+// Zoom emits only sender reports (sometimes with an empty SDES) — paper
+// §4.2.3. The analyzer uses SRs to map RTP timestamps to NTP wall-clock
+// and the locator uses SSRC cross-referencing to find RTCP at unknown
+// offsets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/time.h"
+
+namespace zpm::proto {
+
+/// RTCP packet type codes.
+inline constexpr std::uint8_t kRtcpSenderReport = 200;
+inline constexpr std::uint8_t kRtcpReceiverReport = 201;
+inline constexpr std::uint8_t kRtcpSdes = 202;
+inline constexpr std::uint8_t kRtcpBye = 203;
+
+/// 64-bit NTP timestamp (seconds since 1900 in the top word, fraction in
+/// the bottom word).
+struct NtpTimestamp {
+  std::uint32_t seconds = 0;
+  std::uint32_t fraction = 0;
+
+  /// Converts to a Unix-epoch Timestamp (microseconds).
+  [[nodiscard]] util::Timestamp to_unix() const;
+  /// Builds from a Unix-epoch Timestamp.
+  static NtpTimestamp from_unix(util::Timestamp t);
+
+  auto operator<=>(const NtpTimestamp&) const = default;
+};
+
+/// RR/SR report block (RFC 3550 §6.4.1).
+struct ReportBlock {
+  std::uint32_t ssrc = 0;
+  std::uint8_t fraction_lost = 0;
+  std::int32_t cumulative_lost = 0;  // 24-bit signed on the wire
+  std::uint32_t highest_seq = 0;
+  std::uint32_t jitter = 0;
+  std::uint32_t last_sr = 0;
+  std::uint32_t delay_since_last_sr = 0;
+};
+
+/// Sender report (PT 200).
+struct SenderReport {
+  std::uint32_t sender_ssrc = 0;
+  NtpTimestamp ntp;
+  std::uint32_t rtp_timestamp = 0;
+  std::uint32_t packet_count = 0;
+  std::uint32_t octet_count = 0;
+  std::vector<ReportBlock> reports;
+};
+
+/// Receiver report (PT 201). Zoom does not emit these (§4.2.1); parsing
+/// support exists for generality and for the negative finding itself.
+struct ReceiverReport {
+  std::uint32_t sender_ssrc = 0;
+  std::vector<ReportBlock> reports;
+};
+
+/// One SDES chunk: an SSRC and its (possibly empty) item list.
+struct SdesChunk {
+  std::uint32_t ssrc = 0;
+  struct Item {
+    std::uint8_t type = 0;  // 1 = CNAME, ...
+    std::string value;
+  };
+  std::vector<Item> items;
+};
+
+/// Source description (PT 202).
+struct Sdes {
+  std::vector<SdesChunk> chunks;
+};
+
+/// Goodbye (PT 203).
+struct Bye {
+  std::vector<std::uint32_t> ssrcs;
+};
+
+/// Any single parsed RTCP packet.
+using RtcpPacket = std::variant<SenderReport, ReceiverReport, Sdes, Bye>;
+
+/// Parses one RTCP packet starting at the reader. On success the reader
+/// is positioned after the packet (RTCP length field). nullopt on
+/// malformed input.
+std::optional<RtcpPacket> parse_rtcp_packet(util::ByteReader& r);
+
+/// Parses a full compound RTCP packet (one or more stacked packets).
+/// Returns the packets parsed before the first malformed one; empty
+/// vector means the buffer does not start with valid RTCP.
+std::vector<RtcpPacket> parse_rtcp_compound(std::span<const std::uint8_t> data);
+
+/// Serializes a sender report (+ optional trailing empty SDES, matching
+/// Zoom's observed "SR + SDES" type-34 packets).
+void serialize_sender_report(util::ByteWriter& w, const SenderReport& sr);
+void serialize_empty_sdes(util::ByteWriter& w, std::uint32_t ssrc);
+
+/// Cheap probe: does this look like the start of an RTCP packet
+/// (version 2, PT in 200..204, coherent length)?
+bool looks_like_rtcp(std::span<const std::uint8_t> data);
+
+}  // namespace zpm::proto

@@ -1,0 +1,67 @@
+#include "proto/rtp.h"
+
+namespace zpm::proto {
+
+std::optional<RtpHeader> RtpHeader::parse(util::ByteReader& r) {
+  if (!r.can_read(12)) return std::nullopt;
+  RtpHeader h;
+  std::uint8_t b0 = r.u8();
+  h.version = b0 >> 6;
+  if (h.version != kRtpVersion) return std::nullopt;
+  h.padding = (b0 & 0x20) != 0;
+  h.extension = (b0 & 0x10) != 0;
+  h.csrc_count = b0 & 0x0f;
+  std::uint8_t b1 = r.u8();
+  h.marker = (b1 & 0x80) != 0;
+  h.payload_type = b1 & 0x7f;
+  h.sequence = r.u16be();
+  h.timestamp = r.u32be();
+  h.ssrc = r.u32be();
+  h.csrcs.reserve(h.csrc_count);
+  for (std::uint8_t i = 0; i < h.csrc_count; ++i) h.csrcs.push_back(r.u32be());
+  if (h.extension) {
+    h.extension_profile = r.u16be();
+    std::uint16_t words = r.u16be();
+    auto data = r.bytes(std::size_t{words} * 4);
+    h.extension_data.assign(data.begin(), data.end());
+  }
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+std::optional<ParsedRtp> parse_rtp_packet(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  auto h = RtpHeader::parse(r);
+  if (!h) return std::nullopt;
+  return ParsedRtp{*h, r.rest()};
+}
+
+void RtpHeader::serialize(util::ByteWriter& w) const {
+  std::uint8_t cc = static_cast<std::uint8_t>(csrcs.size() & 0x0f);
+  w.u8(static_cast<std::uint8_t>((kRtpVersion << 6) | (padding ? 0x20 : 0) |
+                                 (extension ? 0x10 : 0) | cc));
+  w.u8(static_cast<std::uint8_t>((marker ? 0x80 : 0) | (payload_type & 0x7f)));
+  w.u16be(sequence);
+  w.u32be(timestamp);
+  w.u32be(ssrc);
+  for (std::uint32_t csrc : csrcs) w.u32be(csrc);
+  if (extension) {
+    w.u16be(extension_profile);
+    // Round data up to whole 32-bit words.
+    std::size_t words = (extension_data.size() + 3) / 4;
+    w.u16be(static_cast<std::uint16_t>(words));
+    w.bytes(extension_data);
+    w.fill(words * 4 - extension_data.size());
+  }
+}
+
+bool looks_like_rtp(std::span<const std::uint8_t> data) {
+  if (data.size() < 12) return false;
+  if ((data[0] >> 6) != kRtpVersion) return false;
+  std::uint8_t cc = data[0] & 0x0f;
+  bool ext = (data[0] & 0x10) != 0;
+  std::size_t need = 12 + std::size_t{cc} * 4 + (ext ? 4 : 0);
+  return data.size() >= need;
+}
+
+}  // namespace zpm::proto

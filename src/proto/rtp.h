@@ -1,0 +1,66 @@
+// RTP (RFC 3550) fixed header, CSRC list and header extension.
+//
+// Zoom transmits RTP in cleartext inside its proprietary encapsulations
+// (paper §4.2); this parser is what the entropy-based locator confirms
+// against and what every media metric is computed from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace zpm::proto {
+
+/// Fixed RTP version required by RFC 3550 ("the first two bits ... must
+/// contain the value 10", i.e. 2).
+inline constexpr std::uint8_t kRtpVersion = 2;
+
+/// Parsed RTP header (fixed part + CSRCs + one extension block).
+struct RtpHeader {
+  std::uint8_t version = kRtpVersion;
+  bool padding = false;
+  bool extension = false;
+  std::uint8_t csrc_count = 0;
+  bool marker = false;
+  std::uint8_t payload_type = 0;
+  std::uint16_t sequence = 0;
+  std::uint32_t timestamp = 0;
+  std::uint32_t ssrc = 0;
+  std::vector<std::uint32_t> csrcs;
+  /// RFC 3550 §5.3.1 extension: profile-defined id + raw words.
+  std::uint16_t extension_profile = 0;
+  std::vector<std::uint8_t> extension_data;
+
+  /// Total serialized header length in bytes (fixed + CSRC + extension).
+  [[nodiscard]] std::size_t header_length() const {
+    std::size_t len = 12 + std::size_t{csrc_count} * 4;
+    if (extension) len += 4 + extension_data.size();
+    return len;
+  }
+
+  /// Parses a header from the reader. Fails (nullopt) when the version
+  /// is not 2 or the data is truncated. On success the reader is
+  /// positioned at the start of the RTP payload.
+  static std::optional<RtpHeader> parse(util::ByteReader& r);
+
+  void serialize(util::ByteWriter& w) const;
+};
+
+/// A header plus a view of the payload that follows it.
+struct ParsedRtp {
+  RtpHeader header;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Parses a full RTP packet from a raw buffer.
+std::optional<ParsedRtp> parse_rtp_packet(std::span<const std::uint8_t> data);
+
+/// Cheap plausibility probe used by the entropy-based header locator:
+/// checks version bits, payload-type range and that a full fixed header
+/// fits, without allocating.
+bool looks_like_rtp(std::span<const std::uint8_t> data);
+
+}  // namespace zpm::proto

@@ -1,0 +1,106 @@
+#include "proto/stun.h"
+
+namespace zpm::proto {
+
+const StunAttribute* StunMessage::find(std::uint16_t attr_type) const {
+  for (const auto& a : attributes)
+    if (a.type == attr_type) return &a;
+  return nullptr;
+}
+
+std::optional<std::pair<net::Ipv4Addr, std::uint16_t>> StunMessage::xor_mapped_address()
+    const {
+  const StunAttribute* attr = find(kStunAttrXorMappedAddress);
+  if (!attr || attr->value.size() < 8) return std::nullopt;
+  util::ByteReader r(attr->value);
+  r.u8();  // reserved
+  std::uint8_t family = r.u8();
+  if (family != 0x01) return std::nullopt;  // IPv4
+  std::uint16_t xport = r.u16be();
+  std::uint32_t xip = r.u32be();
+  std::uint16_t port = static_cast<std::uint16_t>(xport ^ (kStunMagicCookie >> 16));
+  return std::pair{net::Ipv4Addr(xip ^ kStunMagicCookie), port};
+}
+
+std::optional<StunMessage> StunMessage::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < 20) return std::nullopt;
+  util::ByteReader r(data);
+  std::uint16_t type = r.u16be();
+  if ((type & 0xc000) != 0) return std::nullopt;  // top two bits must be 0
+  std::uint16_t length = r.u16be();
+  if (length % 4 != 0) return std::nullopt;
+  std::uint32_t cookie = r.u32be();
+  if (cookie != kStunMagicCookie) return std::nullopt;
+  StunMessage msg;
+  msg.type = type;
+  auto txn = r.bytes(12);
+  std::copy(txn.begin(), txn.end(), msg.transaction_id.begin());
+  if (!r.can_read(length)) return std::nullopt;
+  util::ByteReader body(r.bytes(length));
+  while (body.remaining() >= 4) {
+    StunAttribute attr;
+    attr.type = body.u16be();
+    std::uint16_t alen = body.u16be();
+    auto value = body.bytes(alen);
+    if (!body.ok()) return std::nullopt;
+    attr.value.assign(value.begin(), value.end());
+    // Attributes are padded to 32-bit boundaries.
+    std::size_t pad = (4 - alen % 4) % 4;
+    body.skip(pad);
+    msg.attributes.push_back(std::move(attr));
+  }
+  if (!body.ok()) return std::nullopt;
+  return msg;
+}
+
+void StunMessage::serialize(util::ByteWriter& w) const {
+  util::ByteWriter body;
+  for (const auto& a : attributes) {
+    body.u16be(a.type);
+    body.u16be(static_cast<std::uint16_t>(a.value.size()));
+    body.bytes(a.value);
+    body.fill((4 - a.value.size() % 4) % 4);
+  }
+  w.u16be(type);
+  w.u16be(static_cast<std::uint16_t>(body.size()));
+  w.u32be(kStunMagicCookie);
+  w.bytes(transaction_id);
+  w.bytes(body.view());
+}
+
+StunMessage make_binding_request(std::array<std::uint8_t, 12> txn_id) {
+  StunMessage msg;
+  msg.type = kStunBindingRequest;
+  msg.transaction_id = txn_id;
+  return msg;
+}
+
+StunMessage make_binding_response(std::array<std::uint8_t, 12> txn_id,
+                                  net::Ipv4Addr mapped_ip, std::uint16_t mapped_port) {
+  StunMessage msg;
+  msg.type = kStunBindingResponse;
+  msg.transaction_id = txn_id;
+  StunAttribute attr;
+  attr.type = kStunAttrXorMappedAddress;
+  util::ByteWriter v(8);
+  v.u8(0);
+  v.u8(0x01);  // IPv4
+  v.u16be(static_cast<std::uint16_t>(mapped_port ^ (kStunMagicCookie >> 16)));
+  v.u32be(mapped_ip.value() ^ kStunMagicCookie);
+  attr.value = v.take();
+  msg.attributes.push_back(std::move(attr));
+  return msg;
+}
+
+bool looks_like_stun(std::span<const std::uint8_t> data) {
+  if (data.size() < 20) return false;
+  if ((data[0] & 0xc0) != 0) return false;
+  std::uint32_t cookie = (static_cast<std::uint32_t>(data[4]) << 24) |
+                         (static_cast<std::uint32_t>(data[5]) << 16) |
+                         (static_cast<std::uint32_t>(data[6]) << 8) | data[7];
+  if (cookie != kStunMagicCookie) return false;
+  std::size_t length = (static_cast<std::size_t>(data[2]) << 8) | data[3];
+  return length % 4 == 0 && 20 + length <= data.size();
+}
+
+}  // namespace zpm::proto

@@ -1,0 +1,75 @@
+// STUN (RFC 5389) message parsing and construction.
+//
+// Zoom clients exchange cleartext STUN binding requests with a Zone
+// Controller on UDP port 3478 before any peer-to-peer media flows
+// (paper §4.1, Fig. 2). The P2P detector keys off these messages; only
+// the binding request/response subset Zoom uses is modelled in depth,
+// but arbitrary attributes round-trip.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/addr.h"
+#include "util/bytes.h"
+
+namespace zpm::proto {
+
+/// Well-known STUN server port (used by Zoom Zone Controllers).
+inline constexpr std::uint16_t kStunPort = 3478;
+/// Fixed magic cookie (RFC 5389 §6).
+inline constexpr std::uint32_t kStunMagicCookie = 0x2112a442;
+
+/// Method/class combinations Zoom uses.
+inline constexpr std::uint16_t kStunBindingRequest = 0x0001;
+inline constexpr std::uint16_t kStunBindingResponse = 0x0101;
+
+/// Attribute types.
+inline constexpr std::uint16_t kStunAttrMappedAddress = 0x0001;
+inline constexpr std::uint16_t kStunAttrXorMappedAddress = 0x0020;
+inline constexpr std::uint16_t kStunAttrSoftware = 0x8022;
+
+/// A single TLV attribute (value unpadded).
+struct StunAttribute {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> value;
+};
+
+/// A parsed STUN message.
+struct StunMessage {
+  std::uint16_t type = kStunBindingRequest;
+  std::array<std::uint8_t, 12> transaction_id{};
+  std::vector<StunAttribute> attributes;
+
+  [[nodiscard]] bool is_request() const { return (type & 0x0110) == 0x0000; }
+  [[nodiscard]] bool is_success_response() const { return (type & 0x0110) == 0x0100; }
+
+  /// Finds the first attribute of `type`, or nullptr.
+  [[nodiscard]] const StunAttribute* find(std::uint16_t attr_type) const;
+
+  /// Decodes an XOR-MAPPED-ADDRESS attribute into (ip, port).
+  [[nodiscard]] std::optional<std::pair<net::Ipv4Addr, std::uint16_t>>
+  xor_mapped_address() const;
+
+  /// Parses a full STUN message; validates magic cookie, zero top bits
+  /// and the length field. nullopt otherwise.
+  static std::optional<StunMessage> parse(std::span<const std::uint8_t> data);
+
+  void serialize(util::ByteWriter& w) const;
+};
+
+/// Builds a binding request with the given transaction id.
+StunMessage make_binding_request(std::array<std::uint8_t, 12> txn_id);
+
+/// Builds a binding success response carrying XOR-MAPPED-ADDRESS.
+StunMessage make_binding_response(std::array<std::uint8_t, 12> txn_id,
+                                  net::Ipv4Addr mapped_ip, std::uint16_t mapped_port);
+
+/// Cheap probe: first byte top bits zero, magic cookie present, length
+/// multiple of 4 and within the buffer.
+bool looks_like_stun(std::span<const std::uint8_t> data);
+
+}  // namespace zpm::proto

@@ -1,0 +1,306 @@
+#include "sim/campus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "net/build.h"
+#include "zoom/server_db.h"
+
+namespace zpm::sim {
+
+namespace {
+using util::Duration;
+using util::Timestamp;
+}  // namespace
+
+double diurnal_weight(int hour_of_day) {
+  // Work-hours curve with a lunch dip and evening tail (Fig. 14).
+  static constexpr double kWeights[24] = {
+      0.02, 0.01, 0.01, 0.01, 0.02, 0.05, 0.12, 0.35, 0.75, 0.95, 1.00, 0.90,
+      0.55, 0.85, 1.00, 0.95, 0.80, 0.60, 0.40, 0.28, 0.18, 0.12, 0.08, 0.04};
+  return kWeights[((hour_of_day % 24) + 24) % 24];
+}
+
+// ---------------------------------------------------------------------------
+
+struct CampusSimulation::Impl {
+  CampusConfig cfg;
+  util::Rng rng;
+  std::vector<MeetingConfig> meeting_cfgs;
+  std::vector<std::unique_ptr<MeetingSim>> meetings;
+  Summary summary;
+
+  // Background traffic state.
+  Timestamp bg_next;
+  double zoom_pps_estimate = 0.0;
+
+  // Merge heap.
+  struct Head {
+    Timestamp t;
+    std::size_t src;  // meeting index, or SIZE_MAX for background
+    bool operator>(const Head& o) const {
+      return t != o.t ? t > o.t : src > o.src;
+    }
+  };
+  std::priority_queue<Head, std::vector<Head>, std::greater<>> heap;
+  std::vector<std::optional<net::RawPacket>> staged;  // per meeting
+  std::optional<net::RawPacket> staged_bg;
+  bool last_was_bg = false;
+  bool started = false;
+
+  std::uint32_t next_campus_host = 100;
+  std::uint32_t next_external_host = 0;
+
+  explicit Impl(CampusConfig config) : cfg(std::move(config)), rng(cfg.seed) {
+    schedule_meetings();
+    bg_next = cfg.day_start;
+  }
+
+  net::Ipv4Addr alloc_campus_ip() {
+    std::uint32_t host = next_campus_host++;
+    return net::Ipv4Addr(cfg.campus_subnet.base().value() + 2 + host);
+  }
+
+  net::Ipv4Addr alloc_external_ip() {
+    // Residential-ISP-looking space, guaranteed outside the Zoom list.
+    std::uint32_t host = next_external_host++;
+    return net::Ipv4Addr(0x62000000u /*98.0.0.0*/ + 0x100 + host * 7 + (host % 5));
+  }
+
+  net::Ipv4Addr pick_sfu(util::Rng& r) {
+    // MMRs live in the census sites' /20s inside 170.114/16 (Appendix B);
+    // pick a site biased toward the nearby ones.
+    const auto& sites = zoom::census_sites();
+    std::size_t idx = r.chance(0.7) ? static_cast<std::size_t>(r.uniform_int(0, 2))
+                                    : static_cast<std::size_t>(r.uniform_int(
+                                          0, static_cast<std::int64_t>(sites.size()) - 1));
+    const auto& site = sites[idx];
+    return net::Ipv4Addr(site.subnet.base().value() + 3000 +
+                         static_cast<std::uint32_t>(r.uniform_int(0, 900)));
+  }
+
+  void schedule_meetings() {
+    double total_hours = cfg.duration.sec() / 3600.0;
+    int hours = static_cast<int>(std::ceil(total_hours));
+    std::uint64_t meeting_seed = cfg.seed * 977;
+    for (int h = 0; h < hours; ++h) {
+      // The last hour may be partial; scale the arrival rate with the
+      // covered fraction so sub-hour runs still get meetings.
+      double fraction = std::min(1.0, total_hours - h);
+      Timestamp hour_start = cfg.day_start + Duration::seconds(3600.0 * h);
+      int hour_of_day = static_cast<int>(hour_start.sec() / 3600.0) % 24;
+      double expected =
+          cfg.meetings_per_peak_hour * diurnal_weight(hour_of_day) * fraction;
+      // Poisson via thinning on a per-hour basis.
+      int count = 0;
+      double acc = rng.exponential(1.0);
+      while (acc < expected) {
+        ++count;
+        acc += rng.exponential(1.0);
+      }
+      for (int m = 0; m < count; ++m) {
+        // Meetings cluster at :00 (60%), :30 (20%), else anywhere —
+        // clamped into the covered part of the hour.
+        double window_s = fraction * 3600.0;
+        double offset_s;
+        double roll = rng.uniform();
+        if (roll < 0.6) {
+          offset_s = rng.uniform(0.0, 240.0);
+        } else if (roll < 0.8) {
+          offset_s = 1800.0 + rng.uniform(0.0, 240.0);
+        } else {
+          offset_s = rng.uniform(0.0, 3600.0);
+        }
+        if (offset_s >= window_s) offset_s = rng.uniform(0.0, window_s);
+        make_meeting(hour_start + Duration::seconds(offset_s), ++meeting_seed);
+      }
+    }
+    staged.resize(meetings.size());
+  }
+
+  void make_meeting(Timestamp start, std::uint64_t seed) {
+    MeetingConfig mc;
+    mc.seed = seed;
+    mc.start = start;
+    // Durations cluster around 30 and 55 minutes.
+    double dur_min = rng.chance(0.55) ? rng.uniform(22, 35) : rng.uniform(45, 62);
+    mc.duration = Duration::seconds(dur_min * 60.0);
+    Timestamp day_end = cfg.day_start + cfg.duration;
+    if (start + mc.duration > day_end) mc.duration = day_end - start;
+    if (mc.duration < Duration::seconds(120.0)) return;
+
+    mc.sfu_ip = pick_sfu(rng);
+    mc.zone_controller_ip =
+        net::Ipv4Addr(zoom::census_sites()[0].subnet.base().value() + 1500 +
+                      static_cast<std::uint32_t>(rng.uniform_int(0, 60)));
+    mc.collect_qos = cfg.collect_qos;
+    mc.ssrc_base = static_cast<std::uint32_t>((seed % 40) * 64);
+
+    // Participants: mostly small meetings.
+    int n;
+    double roll = rng.uniform();
+    if (roll < 0.35) n = 2;
+    else if (roll < 0.65) n = 3;
+    else if (roll < 0.85) n = static_cast<int>(rng.uniform_int(4, 6));
+    else n = static_cast<int>(rng.uniform_int(7, 12));
+
+    // Larger meetings are more often presentations: screen share likely,
+    // attendees muted with cameras off (matters for the media mix —
+    // §6.2 observes substantial screen-share traffic).
+    bool presentation = rng.chance(std::min(0.2 + 0.1 * n, 0.95));
+    int screen_holder = presentation ? static_cast<int>(rng.uniform_int(0, n - 1)) : -1;
+    for (int i = 0; i < n; ++i) {
+      ParticipantConfig pc;
+      // First participant always on campus (otherwise invisible).
+      pc.on_campus = (i == 0) ? true : rng.chance(0.40);
+      pc.ip = pc.on_campus ? alloc_campus_ip() : alloc_external_ip();
+      // Muted participants emit no audio stream at all (§4.3.1);
+      // presentation attendees mostly mute and disable video.
+      pc.send_audio = rng.chance(presentation ? 0.45 : 0.8);
+      pc.mobile = rng.chance(0.12);
+      pc.send_video = rng.chance(presentation ? 0.45 : 0.85);
+      if (!pc.send_audio && !pc.send_video) pc.send_audio = true;
+      pc.send_screen_share = (i == screen_holder);
+      if (pc.send_screen_share) pc.send_video = rng.chance(0.7);
+      if (i > 0 && rng.chance(0.25)) {
+        pc.join_after = Duration::seconds(rng.uniform(5.0, 180.0));
+      }
+      // Mild heterogeneity in paths.
+      pc.wan_path.base_delay_ms = rng.uniform(8.0, 35.0);
+      pc.wan_path.jitter_ms = rng.uniform(0.6, 3.5);
+      pc.wan_path.loss = rng.uniform(0.0005, 0.004);
+      pc.access_path.base_delay_ms = rng.uniform(0.8, 4.0);
+      // A few unlucky participants suffer a congestion episode.
+      if (rng.chance(0.15)) {
+        CongestionEpisode ep;
+        double at = rng.uniform(0.2, 0.7) * mc.duration.sec();
+        ep.start = start + Duration::seconds(at);
+        ep.end = ep.start + Duration::seconds(rng.uniform(10.0, 45.0));
+        ep.extra_delay_ms = rng.uniform(15.0, 60.0);
+        ep.extra_loss = rng.uniform(0.01, 0.05);
+        pc.congestion.push_back(ep);
+      }
+      mc.participants.push_back(std::move(pc));
+    }
+
+    if (n == 2 && rng.chance(cfg.p2p_probability)) {
+      mc.p2p_switch_after = Duration::seconds(rng.uniform(8.0, 40.0));
+    }
+
+    summary.participants += static_cast<std::size_t>(n);
+    for (const auto& pc : mc.participants)
+      summary.campus_participants += pc.on_campus ? 1 : 0;
+    ++summary.meetings;
+    meeting_cfgs.push_back(mc);
+    meetings.push_back(std::make_unique<MeetingSim>(mc));
+  }
+
+  // -- background traffic ----------------------------------------------------
+
+  double background_pps(Timestamp t) const {
+    int hour_of_day = static_cast<int>(t.sec() / 3600.0) % 24;
+    // Rough per-meeting Zoom rate: ~120 pps visible per campus
+    // participant; use the configured ratio against that.
+    double active_share = diurnal_weight(hour_of_day);
+    double est_zoom_pps =
+        std::max(20.0, cfg.meetings_per_peak_hour * 3.0 * 120.0 * active_share * 0.5);
+    return est_zoom_pps * cfg.background_ratio;
+  }
+
+  net::RawPacket make_background(Timestamp t) {
+    // Random campus <-> Internet traffic, never matching Zoom subnets.
+    net::Ipv4Addr campus(cfg.campus_subnet.base().value() + 40000 +
+                         (rng.next_u32() % 20000));
+    net::Ipv4Addr external(0x17000000u /*23.0.0.0*/ + (rng.next_u32() % 0x00ffffff));
+    if (zoom::ServerDb::official().contains(external))
+      external = net::Ipv4Addr(0x17000001u);
+    bool outbound = rng.chance(0.5);
+    auto payload_len = static_cast<std::size_t>(rng.uniform_int(0, 1300));
+    std::vector<std::uint8_t> payload(payload_len, 0xaa);
+    if (rng.chance(0.7)) {
+      std::uint16_t sport = static_cast<std::uint16_t>(rng.uniform_int(1024, 65000));
+      return outbound
+                 ? net::build_tcp(t, campus, sport, external, 443,
+                                  rng.next_u32(), rng.next_u32(), net::kTcpAck, payload)
+                 : net::build_tcp(t, external, 443, campus, sport, rng.next_u32(),
+                                  rng.next_u32(), net::kTcpAck, payload);
+    }
+    std::uint16_t sport = static_cast<std::uint16_t>(rng.uniform_int(1024, 65000));
+    std::uint16_t dport = static_cast<std::uint16_t>(rng.uniform_int(1024, 65000));
+    return outbound ? net::build_udp(t, campus, sport, external, dport, payload)
+                    : net::build_udp(t, external, dport, campus, sport, payload);
+  }
+
+  void stage_background() {
+    if (cfg.background_ratio <= 0.0) {
+      staged_bg.reset();
+      return;
+    }
+    double pps = background_pps(bg_next);
+    bg_next += Duration::seconds(rng.exponential(1.0 / pps));
+    if (bg_next > cfg.day_start + cfg.duration) {
+      staged_bg.reset();
+      return;
+    }
+    staged_bg = make_background(bg_next);
+  }
+
+  // -- merge -----------------------------------------------------------------
+
+  void start() {
+    started = true;
+    for (std::size_t i = 0; i < meetings.size(); ++i) {
+      staged[i] = meetings[i]->next_packet();
+      if (staged[i]) heap.push(Head{staged[i]->ts, i});
+    }
+    stage_background();
+    if (staged_bg) heap.push(Head{staged_bg->ts, SIZE_MAX});
+  }
+
+  std::optional<net::RawPacket> next_packet() {
+    if (!started) start();
+    if (heap.empty()) return std::nullopt;
+    Head head = heap.top();
+    heap.pop();
+    net::RawPacket pkt;
+    if (head.src == SIZE_MAX) {
+      pkt = std::move(*staged_bg);
+      last_was_bg = true;
+      ++summary.background_packets;
+      stage_background();
+      if (staged_bg) heap.push(Head{staged_bg->ts, SIZE_MAX});
+    } else {
+      pkt = std::move(*staged[head.src]);
+      last_was_bg = false;
+      ++summary.zoom_packets;
+      staged[head.src] = meetings[head.src]->next_packet();
+      if (staged[head.src]) heap.push(Head{staged[head.src]->ts, head.src});
+    }
+    return pkt;
+  }
+};
+
+CampusSimulation::CampusSimulation(CampusConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+CampusSimulation::~CampusSimulation() = default;
+CampusSimulation::CampusSimulation(CampusSimulation&&) noexcept = default;
+CampusSimulation& CampusSimulation::operator=(CampusSimulation&&) noexcept = default;
+
+std::optional<net::RawPacket> CampusSimulation::next_packet() {
+  return impl_->next_packet();
+}
+
+bool CampusSimulation::last_was_background() const { return impl_->last_was_bg; }
+
+const CampusConfig& CampusSimulation::config() const { return impl_->cfg; }
+
+const std::vector<MeetingConfig>& CampusSimulation::meeting_configs() const {
+  return impl_->meeting_cfgs;
+}
+
+const CampusSimulation::Summary& CampusSimulation::summary() const {
+  return impl_->summary;
+}
+
+}  // namespace zpm::sim

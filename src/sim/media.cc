@@ -1,0 +1,138 @@
+#include "sim/media.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zpm::sim {
+
+VideoSource::VideoSource(Params params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  motion_ = rng_.uniform(params_.motion_min, params_.motion_max);
+  mode_episode_length_ = util::Duration::seconds(rng_.uniform(10.0, 45.0));
+  reduced_mode_ = rng_.chance(params_.reduced_mode_fraction);
+}
+
+void VideoSource::maybe_switch_mode() {
+  if (since_mode_switch_ >= mode_episode_length_) {
+    since_mode_switch_ = util::Duration::micros(0);
+    mode_episode_length_ = util::Duration::seconds(rng_.uniform(10.0, 45.0));
+    reduced_mode_ = rng_.chance(params_.reduced_mode_fraction);
+  }
+}
+
+double VideoSource::current_fps() const {
+  double fps = reduced_mode_ ? params_.reduced_fps : params_.base_fps;
+  if (congestion_ > 0.0) {
+    // Congestion pushes the encoder toward the reduced mode smoothly.
+    fps = std::max(params_.reduced_fps * (1.0 - 0.4 * congestion_),
+                   fps * (1.0 - 0.5 * congestion_));
+  }
+  return fps;
+}
+
+void VideoSource::set_congestion(double severity) {
+  congestion_ = std::clamp(severity, 0.0, 1.0);
+}
+
+EncodedFrame VideoSource::next_frame() {
+  maybe_switch_mode();
+  double fps = current_fps();
+  // Small timing wobble: encoders are not metronomes.
+  double interval_s = (1.0 / fps) * rng_.uniform(0.97, 1.03);
+  auto duration = util::Duration::seconds(interval_s);
+  since_keyframe_ += duration;
+  since_mode_switch_ += duration;
+
+  // Motion follows a bounded random walk.
+  motion_ = std::clamp(motion_ + rng_.normal(0.0, 0.06), params_.motion_min,
+                       params_.motion_max);
+
+  EncodedFrame frame;
+  frame.duration = duration;
+  bool keyframe = since_keyframe_ >= params_.gop_period;
+  if (keyframe) since_keyframe_ = util::Duration::micros(0);
+  frame.is_keyframe = keyframe;
+
+  double quality = 1.0 - 0.55 * congestion_;
+  double median = params_.p_frame_median_bytes * motion_ * quality;
+  if (reduced_mode_) median *= 0.6;  // thumbnails are smaller too
+  double size = rng_.lognormal(median, params_.p_frame_sigma);
+  if (keyframe) size *= params_.keyframe_multiplier;
+  frame.size_bytes = static_cast<std::uint32_t>(std::clamp(size, 120.0, 60000.0));
+  return frame;
+}
+
+AudioSource::AudioSource(Params params, util::Rng rng) : params_(params), rng_(rng) {
+  talking_ = rng_.chance(0.4);
+  state_remaining_ = util::Duration::seconds(
+      rng_.exponential(talking_ ? params_.mean_talk.sec() : params_.mean_silence.sec()));
+}
+
+AudioSource::AudioPacket AudioSource::next_packet() {
+  if (state_remaining_ <= util::Duration::micros(0)) {
+    talking_ = !talking_;
+    state_remaining_ = util::Duration::seconds(rng_.exponential(
+        talking_ ? params_.mean_talk.sec() : params_.mean_silence.sec()));
+  }
+  AudioPacket pkt;
+  if (params_.mobile) {
+    pkt.payload_type = zoom::pt::kAudioUnknownMode;
+    pkt.payload_bytes = static_cast<std::uint32_t>(
+        std::clamp(rng_.lognormal(70.0, 0.3), 30.0, 400.0));
+    pkt.interval = params_.talk_packet_interval;
+  } else if (talking_) {
+    pkt.payload_type = zoom::pt::kAudioSpeaking;
+    pkt.payload_bytes = static_cast<std::uint32_t>(std::clamp(
+        rng_.lognormal(params_.talk_payload_median, params_.talk_payload_sigma),
+        40.0, 400.0));
+    pkt.interval = params_.talk_packet_interval;
+  } else {
+    pkt.payload_type = zoom::pt::kAudioSilent;
+    pkt.payload_bytes = zoom::kSilentAudioPayloadBytes;
+    pkt.interval = params_.silence_packet_interval;
+  }
+  state_remaining_ -= pkt.interval;
+  return pkt;
+}
+
+ScreenShareSource::ScreenShareSource(Params params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  until_slide_change_ =
+      util::Duration::seconds(rng_.exponential(params_.mean_slide_change.sec()));
+}
+
+ScreenShareSource::TimedFrame ScreenShareSource::next_frame() {
+  TimedFrame out;
+  if (until_slide_change_ <= util::Duration::micros(0)) {
+    // Slide change: a large frame, then a settle period of incremental
+    // updates.
+    out.gap = util::Duration::millis(static_cast<std::int64_t>(rng_.uniform(40, 150)));
+    out.frame.size_bytes = static_cast<std::uint32_t>(std::clamp(
+        rng_.lognormal(params_.slide_median_bytes, params_.slide_sigma), 800.0, 90000.0));
+    out.frame.is_keyframe = true;
+    settle_remaining_ = util::Duration::seconds(rng_.uniform(3.0, 9.0));
+    until_slide_change_ =
+        util::Duration::seconds(rng_.exponential(params_.mean_slide_change.sec()));
+  } else if (settle_remaining_ > util::Duration::micros(0)) {
+    // Incremental updates after a change.
+    double interval_s = 1.0 / params_.active_fps * rng_.uniform(0.8, 1.6);
+    out.gap = util::Duration::seconds(interval_s);
+    out.frame.size_bytes = static_cast<std::uint32_t>(std::clamp(
+        rng_.lognormal(params_.incremental_median_bytes, params_.incremental_sigma),
+        60.0, 20000.0));
+    settle_remaining_ -= out.gap;
+  } else {
+    // Quiet stretch: nothing changes on screen for a while, then a
+    // small update. These multi-second gaps produce the zero-fps bins.
+    double quiet_s = rng_.exponential(params_.mean_quiet.sec());
+    out.gap = util::Duration::seconds(std::max(quiet_s, 0.2));
+    out.frame.size_bytes = static_cast<std::uint32_t>(std::clamp(
+        rng_.lognormal(params_.incremental_median_bytes * 1.5, params_.incremental_sigma),
+        60.0, 20000.0));
+  }
+  until_slide_change_ -= out.gap;
+  out.frame.duration = out.gap;  // RTP clock advances with wall time
+  return out;
+}
+
+}  // namespace zpm::sim

@@ -1,0 +1,143 @@
+// Media source models: what a Zoom client's encoders emit.
+//
+// These models are calibrated to reproduce the *shapes* the paper
+// reports from campus traffic (§6.2, Fig. 15): video frames mostly
+// <2 kB with a tail past 5 kB at ~14 or ~28 fps; screen-share frames
+// mostly tiny (incremental updates) with a long tail (slide changes) and
+// frame rates that are often zero; audio alternating between 20 ms
+// talk-spurt packets (PT 112) and fixed 40-byte silence packets (PT 99).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+#include "zoom/constants.h"
+
+namespace zpm::sim {
+
+/// One encoded frame ready for packetization.
+struct EncodedFrame {
+  std::uint32_t size_bytes = 0;
+  /// Media-clock duration this frame covers (drives the RTP timestamp
+  /// increment; variable packetization intervals per §5.4).
+  util::Duration duration;
+  bool is_keyframe = false;
+};
+
+/// Video encoder model: GoP structure (periodic large I-frames), motion-
+/// modulated P-frame sizes, and Zoom's two observed frame-rate modes
+/// (~28 fps normally, ~14 fps for thumbnails / under congestion — §6.2).
+class VideoSource {
+ public:
+  struct Params {
+    double base_fps = 28.0;
+    double reduced_fps = 14.0;
+    /// Median P-frame size at motion factor 1.0.
+    double p_frame_median_bytes = 1450.0;
+    double p_frame_sigma = 0.55;       // lognormal spread
+    double keyframe_multiplier = 6.0;  // I-frame vs P-frame size
+    util::Duration gop_period = util::Duration::seconds(6.0);
+    /// Fraction of this stream's lifetime spent in reduced-fps mode
+    /// (thumbnail view etc.); sampled per mode episode.
+    double reduced_mode_fraction = 0.35;
+    double motion_min = 0.4, motion_max = 2.2;  // random-walk bounds
+  };
+
+  VideoSource(Params params, util::Rng rng);
+
+  /// Produces the next frame and advances internal time.
+  EncodedFrame next_frame();
+
+  /// Congestion response (§5.2): clamp the encoder to reduced fps and
+  /// shrink frames; `severity` in [0,1].
+  void set_congestion(double severity);
+  /// Current encoder fps (ground truth for Fig. 10a).
+  [[nodiscard]] double current_fps() const;
+
+ private:
+  void maybe_switch_mode();
+
+  Params params_;
+  util::Rng rng_;
+  double motion_ = 1.0;
+  bool reduced_mode_ = false;
+  double congestion_ = 0.0;
+  util::Duration since_keyframe_ = util::Duration::micros(0);
+  util::Duration since_mode_switch_ = util::Duration::micros(0);
+  util::Duration mode_episode_length_ = util::Duration::seconds(20.0);
+};
+
+/// Audio encoder model: two-state talk/silence Markov process. Talking
+/// emits PT 112 packets every 20 ms; silence emits fixed 40-byte PT 99
+/// packets every 40 ms. Mobile clients use PT 113 exclusively.
+class AudioSource {
+ public:
+  struct Params {
+    util::Duration mean_talk = util::Duration::seconds(4.0);
+    util::Duration mean_silence = util::Duration::seconds(12.0);
+    util::Duration talk_packet_interval = util::Duration::millis(20);
+    /// Silence keep-alives are sparse (Table 3: silent-mode packets are
+    /// only ~2.6% of all packets despite long silent stretches).
+    util::Duration silence_packet_interval = util::Duration::millis(160);
+    double talk_payload_median = 90.0;
+    double talk_payload_sigma = 0.25;
+    bool mobile = false;  // PT 113 only, mode opaque
+  };
+
+  struct AudioPacket {
+    std::uint8_t payload_type = zoom::pt::kAudioSpeaking;
+    std::uint32_t payload_bytes = 0;
+    util::Duration interval;  // time to next packet & RTP clock advance
+  };
+
+  AudioSource(Params params, util::Rng rng);
+
+  /// Produces the next audio packet spec.
+  AudioPacket next_packet();
+  [[nodiscard]] bool talking() const { return talking_; }
+
+ private:
+  Params params_;
+  util::Rng rng_;
+  bool talking_ = false;
+  util::Duration state_remaining_ = util::Duration::micros(0);
+};
+
+/// Screen-share model: long quiet stretches (no frames at all — the
+/// source of the ~15% zero-fps samples), small incremental updates, and
+/// rare large slide-change frames.
+class ScreenShareSource {
+ public:
+  struct Params {
+    util::Duration mean_slide_change = util::Duration::seconds(12.0);
+    /// While content is "settling" after a change, incremental frames
+    /// arrive at up to this rate.
+    double active_fps = 25.0;
+    util::Duration mean_quiet = util::Duration::seconds(1.3);
+    double incremental_median_bytes = 320.0;
+    double incremental_sigma = 0.8;
+    double slide_median_bytes = 4200.0;
+    double slide_sigma = 0.7;
+  };
+
+  /// A frame plus the gap since the previous one (gaps can be seconds
+  /// long, yielding zero-fps samples).
+  struct TimedFrame {
+    EncodedFrame frame;
+    util::Duration gap;  // time since previous frame
+  };
+
+  ScreenShareSource(Params params, util::Rng rng);
+  TimedFrame next_frame();
+
+ private:
+  Params params_;
+  util::Rng rng_;
+  util::Duration until_slide_change_;
+  util::Duration settle_remaining_ = util::Duration::micros(0);
+};
+
+}  // namespace zpm::sim

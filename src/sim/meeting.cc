@@ -1,0 +1,968 @@
+#include "sim/meeting.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "net/build.h"
+#include "proto/stun.h"
+#include "sim/wire.h"
+
+namespace zpm::sim {
+
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+constexpr std::size_t kMtuPayload = 1150;  // media bytes per RTP packet
+constexpr double kSfuProcMsMin = 0.3;
+constexpr double kSfuProcMsMax = 1.0;
+
+/// Expected (jitter-free) one-way delay of a path at time t, for
+/// ground-truth latency reporting.
+double expected_delay_ms(const PathModel& path, Timestamp t) {
+  double ms = path.base_delay_ms();
+  for (const auto& ep : path.episodes()) ms += ep.intensity(t) * ep.extra_delay_ms;
+  return ms;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+struct MeetingSim::Impl {
+  // -- event machinery ------------------------------------------------------
+  enum class EvKind : std::uint8_t {
+    Join,
+    VideoFrame,
+    AudioPacket,
+    ScreenFrame,
+    RtcpTick,
+    UnknownTick,
+    TcpTick,
+    QosTick,
+    P2pSwitch,
+    RetransUp,
+    RetransDown,
+    Leave,
+  };
+
+  /// Everything needed to (re)send one media packet.
+  struct PacketDesc {
+    int sender = 0;
+    zoom::MediaKind kind = zoom::MediaKind::Video;
+    std::uint8_t payload_type = 0;
+    std::uint16_t rtp_seq = 0;
+    std::uint32_t rtp_ts = 0;
+    bool marker = false;
+    std::uint16_t frame_seq = 0;
+    std::uint8_t pkts_in_frame = 0;
+    std::uint32_t payload_bytes = 0;
+  };
+
+  struct Event {
+    Timestamp t;
+    std::uint64_t id = 0;  // tie-breaker for determinism
+    EvKind kind = EvKind::VideoFrame;
+    int p = 0;              // participant
+    int aux = 0;            // media kind index / receiver / attempt
+    PacketDesc desc;        // retransmissions only
+
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : id > o.id;
+    }
+  };
+
+  struct PendingPacket {
+    Timestamp t;
+    std::uint64_t id;
+    net::RawPacket pkt;
+    bool operator>(const PendingPacket& o) const {
+      return t != o.t ? t > o.t : id > o.id;
+    }
+  };
+
+  // -- per-stream sender state ----------------------------------------------
+  struct StreamState {
+    bool active = false;
+    std::uint8_t encap_type = 0;
+    std::uint32_t ssrc = 0;
+    std::uint32_t clock_hz = zoom::kVideoClockHz;
+    std::uint32_t rtp_ts = 0;
+    std::uint16_t rtp_seq = 0;
+    std::uint16_t fec_seq = 0;
+    std::uint16_t frame_seq = 0;
+    std::uint32_t sr_packets = 0;  // RTCP SR counters
+    std::uint32_t sr_octets = 0;
+  };
+
+  // -- per-receiver ground-truth frame tracking ------------------------------
+  struct RxFrame {
+    std::uint32_t need = 0;
+    std::uint32_t got = 0;
+  };
+  struct RxStream {
+    std::map<std::uint32_t, RxFrame> partial;
+    std::deque<Timestamp> deliveries;
+    // Recently completed frame timestamps, so retransmitted duplicates
+    // are not double-counted as fresh deliveries.
+    std::set<std::uint32_t> completed;
+    std::deque<std::uint32_t> completed_order;
+  };
+
+  struct Participant {
+    ParticipantConfig cfg;
+    bool joined = false;
+    std::unique_ptr<PathModel> access;  // client <-> border (or ISP leg)
+    std::unique_ptr<PathModel> wan;     // border <-> SFU
+    std::optional<VideoSource> video_src;
+    std::optional<AudioSource> audio_src;
+    std::optional<ScreenShareSource> screen_src;
+    std::array<StreamState, 3> streams;  // indexed by MediaKind
+    std::array<std::uint16_t, 3> server_port{};  // client port per media kind
+    std::uint16_t p2p_port = 0;
+    std::uint16_t next_port = 0;
+    // Encapsulation counters: uplink (this client sends) and downlink
+    // (SFU sends to this client) per media kind, plus P2P.
+    std::array<std::uint16_t, 3> sfu_seq_up{}, sfu_seq_down{};
+    std::array<std::uint16_t, 3> media_seq_up{}, media_seq_down{};
+    std::uint16_t p2p_media_seq = 0;
+    // TCP control connection.
+    std::uint16_t tcp_port = 0;
+    std::uint32_t tcp_client_seq = 1000;
+    std::uint32_t tcp_server_seq = 9000;
+    // Screen-share frame waiting for its send event (frames are fetched
+    // one ahead so the inter-frame gap is known for scheduling).
+    std::optional<EncodedFrame> pending_screen;
+    // Rewriting-SFU ablation state: per-receiver sequence spaces and a
+    // per-receiver timestamp offset.
+    std::array<std::uint16_t, 3> rewrite_seq{};
+    std::uint32_t rewrite_ts_offset = 0;
+    // Ground-truth receive state, keyed by (sender, kind).
+    std::map<std::pair<int, int>, RxStream> rx;
+    // Smoothed QoS reporting state.
+    std::deque<double> fps_history;
+    double reported_latency_ms = 0.0;
+    Timestamp last_latency_refresh;
+    double reported_jitter_ms = 0.0;
+  };
+
+  enum class Mode : std::uint8_t { Server, P2p };
+
+  // -- fields ----------------------------------------------------------------
+  MeetingConfig cfg;
+  util::Rng rng;
+  std::vector<Participant> parts;
+  Mode mode = Mode::Server;
+  Timestamp end_time;
+  std::uint64_t next_id = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::priority_queue<PendingPacket, std::vector<PendingPacket>, std::greater<>> out;
+  std::vector<QosSample> qos;
+  Stats stats;
+
+  explicit Impl(MeetingConfig config) : cfg(std::move(config)), rng(cfg.seed) {
+    end_time = cfg.start + cfg.duration;
+    int index = 0;
+    for (const auto& pc : cfg.participants) {
+      Participant p;
+      p.cfg = pc;
+      p.access = std::make_unique<PathModel>(pc.access_path, rng.fork());
+      auto wan = std::make_unique<PathModel>(pc.wan_path, rng.fork());
+      for (const auto& ep : pc.congestion) wan->add_episode(ep);
+      p.wan = std::move(wan);
+      p.next_port = static_cast<std::uint16_t>(40000 + rng.uniform_int(0, 8000));
+      p.rewrite_ts_offset = rng.next_u32();
+      std::uint32_t base = cfg.ssrc_base + static_cast<std::uint32_t>(index) * 4;
+      for (int k = 0; k < 3; ++k) {
+        auto& s = p.streams[static_cast<std::size_t>(k)];
+        s.ssrc = base + static_cast<std::uint32_t>(k) + 1;
+        s.rtp_ts = rng.next_u32();
+        s.rtp_seq = static_cast<std::uint16_t>(rng.next_u32());
+        s.clock_hz = (k == static_cast<int>(zoom::MediaKind::Audio))
+                         ? zoom::kAudioClockHz
+                         : zoom::kVideoClockHz;
+      }
+      parts.push_back(std::move(p));
+      ++index;
+    }
+    for (int p = 0; p < static_cast<int>(parts.size()); ++p) {
+      schedule(cfg.start + parts[static_cast<std::size_t>(p)].cfg.join_after,
+               EvKind::Join, p);
+    }
+    if (cfg.p2p_switch_after && cfg.participants.size() >= 2) {
+      schedule(cfg.start + *cfg.p2p_switch_after, EvKind::P2pSwitch, 0);
+    }
+  }
+
+  // -- helpers ---------------------------------------------------------------
+  static std::size_t ki(zoom::MediaKind k) { return static_cast<std::size_t>(k); }
+
+  void schedule(Timestamp t, EvKind kind, int p, int aux, PacketDesc desc) {
+    events.push(Event{t, next_id++, kind, p, aux, desc});
+  }
+  void schedule(Timestamp t, EvKind kind, int p, int aux = 0);
+
+  void emit(Timestamp t, net::RawPacket pkt) {
+    pkt.ts = t;
+    ++stats.monitor_packets;
+    out.push(PendingPacket{t, next_id++, std::move(pkt)});
+  }
+
+  std::uint16_t alloc_port(Participant& p) {
+    p.next_port = static_cast<std::uint16_t>(p.next_port + 1 + (rng.next_u32() % 7));
+    if (p.next_port < 32768) p.next_port = static_cast<std::uint16_t>(32768 + p.next_port % 8000);
+    return p.next_port;
+  }
+
+  Duration sfu_proc() {
+    return Duration::micros(
+        static_cast<std::int64_t>(rng.uniform(kSfuProcMsMin, kSfuProcMsMax) * 1000));
+  }
+
+  /// Number of *joined* participants at the moment.
+  int joined_count() const {
+    int n = 0;
+    for (const auto& p : parts) n += p.joined ? 1 : 0;
+    return n;
+  }
+
+  bool p2p_active() const { return mode == Mode::P2p; }
+
+  // ---------------------------------------------------------------------
+  // Packet emission paths
+  // ---------------------------------------------------------------------
+
+  /// Serializes the Zoom payload for a media packet.
+  std::vector<std::uint8_t> media_bytes(const PacketDesc& d, std::uint16_t encap_seq) {
+    MediaPacketSpec spec;
+    auto& s = parts[static_cast<std::size_t>(d.sender)].streams[ki(d.kind)];
+    spec.encap_type = static_cast<zoom::MediaEncapType>(s.encap_type);
+    spec.payload_type = d.payload_type;
+    spec.ssrc = s.ssrc;
+    spec.rtp_seq = d.rtp_seq;
+    spec.rtp_timestamp = d.rtp_ts;
+    spec.marker = d.marker;
+    spec.frame_sequence = d.frame_seq;
+    spec.packets_in_frame = d.pkts_in_frame;
+    spec.media_encap_seq = encap_seq;
+    spec.media_encap_ts = d.rtp_ts;
+    spec.payload_bytes = d.payload_bytes;
+    return build_media_payload(spec, rng);
+  }
+
+  std::uint8_t pick_sfu_type() {
+    if (rng.chance(cfg.odd_sfu_type_fraction)) {
+      static constexpr std::array<std::uint8_t, 3> kOdd = {0x01, 0x02, 0x07};
+      return kOdd[rng.next_u32() % kOdd.size()];
+    }
+    return zoom::kSfuTypeMedia;
+  }
+
+  /// Sends one media packet from `d.sender`; handles monitor
+  /// observation, SFU fan-out / P2P delivery, losses and
+  /// retransmission scheduling. `attempt` is 0 for the original send.
+  void send_media_packet(Timestamp t_send, const PacketDesc& d, int attempt) {
+    ++stats.media_packets_sent;
+    if (attempt > 0) ++stats.retransmissions;
+    if (p2p_active()) {
+      send_media_p2p(t_send, d, attempt);
+    } else {
+      send_media_server(t_send, d, attempt);
+    }
+  }
+
+  void send_media_server(Timestamp t_send, const PacketDesc& d, int attempt) {
+    auto& sender = parts[static_cast<std::size_t>(d.sender)];
+    std::size_t k = ki(d.kind);
+
+    Timestamp t_at_sfu = t_send;
+    bool reached_sfu = true;
+    if (sender.cfg.on_campus) {
+      if (sender.access->drops(t_send)) {
+        // Lost inside campus: invisible to the monitor.
+        ++stats.drops;
+        schedule_uplink_retransmit(t_send, d, attempt);
+        return;
+      }
+      Timestamp t_border = sender.access->delivery_time(t_send, 0);
+      auto payload = media_bytes(d, sender.media_seq_up[k]++);
+      auto wrapped = wrap_sfu(payload, sender.sfu_seq_up[k]++, false, pick_sfu_type());
+      emit(t_border,
+           net::build_udp(t_border, sender.cfg.ip, sender.server_port[k], cfg.sfu_ip,
+                          zoom::kServerMediaPort, wrapped));
+      if (sender.wan->drops(t_border)) {
+        ++stats.drops;
+        reached_sfu = false;
+        schedule_uplink_retransmit(t_send, d, attempt);
+      } else {
+        t_at_sfu = sender.wan->delivery_time(t_border, 0);
+      }
+    } else {
+      // Off-campus sender: single invisible leg to the SFU.
+      if (sender.wan->drops(t_send)) {
+        ++stats.drops;
+        schedule_uplink_retransmit(t_send, d, attempt);
+        return;
+      }
+      t_at_sfu = sender.wan->delivery_time(
+          sender.access->delivery_time(t_send, 0), 0);
+    }
+    if (!reached_sfu) return;
+
+    // SFU fan-out to every other joined participant.
+    for (int r = 0; r < static_cast<int>(parts.size()); ++r) {
+      if (r == d.sender) continue;
+      if (!parts[static_cast<std::size_t>(r)].joined) continue;
+      forward_to_receiver(t_at_sfu + sfu_proc(), d, r, 0);
+    }
+  }
+
+  void schedule_uplink_retransmit(Timestamp t_send, const PacketDesc& d, int attempt) {
+    if (attempt >= zoom::kMaxRetransmissions) return;
+    const auto& sender = parts[static_cast<std::size_t>(d.sender)];
+    double rtt_ms = 2.0 * (expected_delay_ms(*sender.access, t_send) +
+                           expected_delay_ms(*sender.wan, t_send));
+    Timestamp t_retx = t_send +
+                       Duration::micros(zoom::kRetransmitTimeoutUs) +
+                       Duration::millis(static_cast<std::int64_t>(rtt_ms));
+    schedule(t_retx, EvKind::RetransUp, d.sender, attempt + 1, d);
+  }
+
+  /// SFU -> receiver leg (server mode).
+  void forward_to_receiver(Timestamp t_fwd, const PacketDesc& d, int r, int attempt) {
+    auto& rx = parts[static_cast<std::size_t>(r)];
+    std::size_t k = ki(d.kind);
+    Timestamp t_client;
+    // The rewriting-SFU ablation gives each receiver its own RTP
+    // sequence space and timestamp base (an MCU-like behaviour Zoom
+    // does not exhibit).
+    PacketDesc fwd = d;
+    if (cfg.sfu_rewrites_rtp) {
+      fwd.rtp_seq = rx.rewrite_seq[k]++;
+      fwd.rtp_ts = d.rtp_ts + rx.rewrite_ts_offset;
+    }
+    if (rx.cfg.on_campus) {
+      if (rx.wan->drops(t_fwd)) {
+        // Lost before the border: monitor misses this copy entirely.
+        ++stats.drops;
+        schedule_downlink_retransmit(t_fwd, d, r, attempt);
+        return;
+      }
+      Timestamp t_border = rx.wan->delivery_time(t_fwd, 1);
+      auto payload = media_bytes(fwd, rx.media_seq_down[k]++);
+      auto wrapped = wrap_sfu(payload, rx.sfu_seq_down[k]++, true, pick_sfu_type());
+      emit(t_border,
+           net::build_udp(t_border, cfg.sfu_ip, zoom::kServerMediaPort, rx.cfg.ip,
+                          rx.server_port[k], wrapped));
+      if (rx.access->drops(t_border)) {
+        // Lost inside campus: monitor saw it; the retransmitted copy
+        // will appear as a duplicate.
+        ++stats.drops;
+        schedule_downlink_retransmit(t_fwd, d, r, attempt);
+        return;
+      }
+      t_client = rx.access->delivery_time(t_border, 1);
+    } else {
+      if (rx.wan->drops(t_fwd)) {
+        ++stats.drops;
+        schedule_downlink_retransmit(t_fwd, d, r, attempt);
+        return;
+      }
+      t_client = rx.access->delivery_time(rx.wan->delivery_time(t_fwd, 1), 1);
+    }
+    deliver_to_client(t_client, d, r);
+  }
+
+  void schedule_downlink_retransmit(Timestamp t_fwd, const PacketDesc& d, int r,
+                                    int attempt) {
+    if (attempt >= zoom::kMaxRetransmissions) return;
+    const auto& rx = parts[static_cast<std::size_t>(r)];
+    double rtt_ms = 2.0 * (expected_delay_ms(*rx.access, t_fwd) +
+                           expected_delay_ms(*rx.wan, t_fwd));
+    Timestamp t_retx = t_fwd + Duration::micros(zoom::kRetransmitTimeoutUs) +
+                       Duration::millis(static_cast<std::int64_t>(rtt_ms));
+    schedule(t_retx, EvKind::RetransDown, r, attempt + 1, d);
+  }
+
+  void send_media_p2p(Timestamp t_send, const PacketDesc& d, int attempt) {
+    // Exactly two joined participants in P2P mode.
+    int peer = -1;
+    for (int r = 0; r < static_cast<int>(parts.size()); ++r)
+      if (r != d.sender && parts[static_cast<std::size_t>(r)].joined) peer = r;
+    if (peer < 0) return;
+    auto& sender = parts[static_cast<std::size_t>(d.sender)];
+    auto& rx = parts[static_cast<std::size_t>(peer)];
+
+    // Legs: sender access (campus side if on campus), then peer's
+    // side. The monitor sits at the campus border of whichever side is
+    // on campus.
+    Timestamp t_cursor = t_send;
+    if (sender.cfg.on_campus) {
+      if (sender.access->drops(t_cursor)) {
+        ++stats.drops;
+        schedule_p2p_retransmit(t_send, d, attempt);
+        return;
+      }
+      Timestamp t_border = sender.access->delivery_time(t_cursor, 0);
+      auto payload = media_bytes(d, sender.p2p_media_seq++);
+      emit(t_border, net::build_udp(t_border, sender.cfg.ip, sender.p2p_port,
+                                    rx.cfg.ip, rx.p2p_port, payload));
+      ++stats.p2p_media_packets;
+      t_cursor = t_border;
+    }
+    if (sender.wan->drops(t_cursor)) {
+      ++stats.drops;
+      schedule_p2p_retransmit(t_send, d, attempt);
+      return;
+    }
+    t_cursor = sender.wan->delivery_time(t_cursor, 0);
+    if (!sender.cfg.on_campus && rx.cfg.on_campus) {
+      // Crossing into the campus: monitor sees it here.
+      auto payload = media_bytes(d, sender.p2p_media_seq++);
+      emit(t_cursor, net::build_udp(t_cursor, sender.cfg.ip, sender.p2p_port,
+                                    rx.cfg.ip, rx.p2p_port, payload));
+      ++stats.p2p_media_packets;
+    }
+    if (rx.cfg.on_campus) {
+      if (rx.access->drops(t_cursor)) {
+        ++stats.drops;
+        schedule_p2p_retransmit(t_send, d, attempt);
+        return;
+      }
+      t_cursor = rx.access->delivery_time(t_cursor, 1);
+    }
+    deliver_to_client(t_cursor, d, peer);
+  }
+
+  void schedule_p2p_retransmit(Timestamp t_send, const PacketDesc& d, int attempt) {
+    if (attempt >= zoom::kMaxRetransmissions) return;
+    const auto& sender = parts[static_cast<std::size_t>(d.sender)];
+    double rtt_ms = 2.0 * (expected_delay_ms(*sender.access, t_send) +
+                           expected_delay_ms(*sender.wan, t_send));
+    schedule(t_send + Duration::micros(zoom::kRetransmitTimeoutUs) +
+                 Duration::millis(static_cast<std::int64_t>(rtt_ms)),
+             EvKind::RetransUp, d.sender, attempt + 1, d);
+  }
+
+  /// Ground-truth delivery bookkeeping at the receiving client.
+  void deliver_to_client(Timestamp t, const PacketDesc& d, int r) {
+    if (!cfg.collect_qos) return;
+    // FEC sub-stream packets repair frames; they are not frames.
+    if (d.payload_type == zoom::pt::kFec) return;
+    auto& rx = parts[static_cast<std::size_t>(r)];
+    auto& stream = rx.rx[{d.sender, static_cast<int>(d.kind)}];
+    if (stream.completed.contains(d.rtp_ts)) return;  // retransmit dup
+    auto& frame = stream.partial[d.rtp_ts];
+    if (d.pkts_in_frame != 0) frame.need = d.pkts_in_frame;
+    if (frame.need == 0) frame.need = 1;
+    ++frame.got;
+    if (frame.got >= frame.need) {
+      stream.deliveries.push_back(t);
+      stream.partial.erase(d.rtp_ts);
+      stream.completed.insert(d.rtp_ts);
+      stream.completed_order.push_back(d.rtp_ts);
+      while (stream.completed_order.size() > 512) {
+        stream.completed.erase(stream.completed_order.front());
+        stream.completed_order.pop_front();
+      }
+      while (stream.deliveries.size() > 256) stream.deliveries.pop_front();
+    }
+    // Drop stale partials.
+    if (stream.partial.size() > 512) stream.partial.clear();
+  }
+
+  // ---------------------------------------------------------------------
+  // Event handlers
+  // ---------------------------------------------------------------------
+
+  void on_join(Timestamp t, int pi) {
+    auto& p = parts[static_cast<std::size_t>(pi)];
+    p.joined = true;
+    if (p.cfg.leave_after) schedule(t + *p.cfg.leave_after, EvKind::Leave, pi);
+    util::Rng fork = rng.fork();
+    for (int k = 0; k < 3; ++k)
+      p.server_port[static_cast<std::size_t>(k)] = alloc_port(p);
+    p.tcp_port = alloc_port(p);
+
+    // A third participant joining ends P2P for good (§3).
+    if (p2p_active() && joined_count() > 2) revert_to_server(t);
+
+    if (p.cfg.send_video) {
+      p.video_src.emplace(p.cfg.video, fork.fork());
+      p.streams[ki(zoom::MediaKind::Video)].active = true;
+      p.streams[ki(zoom::MediaKind::Video)].encap_type =
+          static_cast<std::uint8_t>(zoom::MediaEncapType::Video);
+      schedule(t + Duration::millis(static_cast<std::int64_t>(rng.uniform(10, 120))),
+               EvKind::VideoFrame, pi);
+      schedule(t + Duration::seconds(1.0), EvKind::RtcpTick, pi,
+               static_cast<int>(zoom::MediaKind::Video));
+    }
+    if (p.cfg.send_audio) {
+      p.audio_src.emplace(p.cfg.audio, fork.fork());
+      p.streams[ki(zoom::MediaKind::Audio)].active = true;
+      p.streams[ki(zoom::MediaKind::Audio)].encap_type =
+          static_cast<std::uint8_t>(zoom::MediaEncapType::Audio);
+      schedule(t + Duration::millis(static_cast<std::int64_t>(rng.uniform(5, 60))),
+               EvKind::AudioPacket, pi);
+      schedule(t + Duration::seconds(1.0), EvKind::RtcpTick, pi,
+               static_cast<int>(zoom::MediaKind::Audio));
+    }
+    if (p.cfg.send_screen_share) {
+      p.screen_src.emplace(p.cfg.screen, fork.fork());
+      p.streams[ki(zoom::MediaKind::ScreenShare)].active = true;
+      p.streams[ki(zoom::MediaKind::ScreenShare)].encap_type =
+          static_cast<std::uint8_t>(zoom::MediaEncapType::ScreenShare);
+      schedule(t + Duration::millis(static_cast<std::int64_t>(rng.uniform(50, 400))),
+               EvKind::ScreenFrame, pi);
+      schedule(t + Duration::seconds(1.0), EvKind::RtcpTick, pi,
+               static_cast<int>(zoom::MediaKind::ScreenShare));
+    }
+    if (cfg.unknown_packet_fraction > 0.0) {
+      schedule(t + Duration::millis(static_cast<std::int64_t>(rng.uniform(50, 300))),
+               EvKind::UnknownTick, pi);
+    }
+    if (cfg.with_tcp_control && p.cfg.on_campus) {
+      schedule(t + Duration::millis(static_cast<std::int64_t>(rng.uniform(100, 900))),
+               EvKind::TcpTick, pi);
+    }
+    if (cfg.collect_qos) {
+      schedule(t + Duration::seconds(1.0), EvKind::QosTick, pi);
+    }
+  }
+
+  void advance_clock(StreamState& s, Duration media_time) {
+    s.rtp_ts += static_cast<std::uint32_t>(
+        media_time.sec() * static_cast<double>(s.clock_hz));
+  }
+
+  void on_video_frame(Timestamp t, int pi) {
+    auto& p = parts[static_cast<std::size_t>(pi)];
+    if (!p.joined || !p.video_src || t > end_time) return;
+    // Rate adaptation reads the sender's current WAN congestion (§5.2).
+    p.video_src->set_congestion(p.wan->congestion(t));
+    EncodedFrame frame = p.video_src->next_frame();
+    auto& s = p.streams[ki(zoom::MediaKind::Video)];
+    ++s.frame_seq;
+
+    auto n_packets = static_cast<std::uint8_t>(
+        std::clamp<std::size_t>((frame.size_bytes + kMtuPayload - 1) / kMtuPayload, 1, 64));
+    std::uint32_t per_packet = frame.size_bytes / n_packets;
+    Timestamp t_pkt = t;
+    for (std::uint8_t i = 0; i < n_packets; ++i) {
+      PacketDesc d;
+      d.sender = pi;
+      d.kind = zoom::MediaKind::Video;
+      d.payload_type = zoom::pt::kVideoMain;
+      d.rtp_seq = s.rtp_seq++;
+      d.rtp_ts = s.rtp_ts;
+      d.marker = (i + 1 == n_packets);
+      d.frame_seq = s.frame_seq;
+      d.pkts_in_frame = n_packets;
+      d.payload_bytes = std::max<std::uint32_t>(per_packet, 24);
+      s.sr_packets++;
+      s.sr_octets += d.payload_bytes;
+      send_media_packet(t_pkt, d, 0);
+      // Back-to-back burst with sub-millisecond pacing (§5.4, Fig. 12).
+      t_pkt += Duration::micros(static_cast<std::int64_t>(rng.uniform(80, 400)));
+    }
+    // FEC sub-stream: PT 110, same timestamp, own sequence space
+    // (§4.2.3). Roughly one FEC packet per three video frames.
+    if (rng.chance(0.33)) {
+      PacketDesc d;
+      d.sender = pi;
+      d.kind = zoom::MediaKind::Video;
+      d.payload_type = zoom::pt::kFec;
+      d.rtp_seq = s.fec_seq++;
+      d.rtp_ts = s.rtp_ts;
+      d.marker = false;
+      d.frame_seq = s.frame_seq;
+      d.pkts_in_frame = 0;
+      d.payload_bytes = static_cast<std::uint32_t>(std::min<std::uint32_t>(
+          std::max<std::uint32_t>(per_packet, 200), 1100));
+      // SR counters cover every packet of the SSRC, FEC included.
+      s.sr_packets++;
+      s.sr_octets += d.payload_bytes;
+      send_media_packet(t_pkt, d, 0);
+    }
+    // Advance the media clock by this frame's duration AFTER emitting:
+    // the next frame is sampled (and sent) exactly `duration` later, so
+    // wall-clock and RTP-clock deltas pair up (zero intrinsic jitter).
+    advance_clock(s, frame.duration);
+    schedule(t + frame.duration, EvKind::VideoFrame, pi);
+  }
+
+  void on_audio_packet(Timestamp t, int pi) {
+    auto& p = parts[static_cast<std::size_t>(pi)];
+    if (!p.joined || !p.audio_src || t > end_time) return;
+    AudioSource::AudioPacket ap = p.audio_src->next_packet();
+    auto& s = p.streams[ki(zoom::MediaKind::Audio)];
+
+    PacketDesc d;
+    d.sender = pi;
+    d.kind = zoom::MediaKind::Audio;
+    d.payload_type = ap.payload_type;
+    d.rtp_seq = s.rtp_seq++;
+    d.rtp_ts = s.rtp_ts;
+    d.marker = true;  // single-packet audio frames
+    d.payload_bytes = ap.payload_bytes;
+    s.sr_packets++;
+    s.sr_octets += d.payload_bytes;
+    send_media_packet(t, d, 0);
+
+    // Occasional audio FEC (PT 110; §4.2.3 / Table 3).
+    if (ap.payload_type == zoom::pt::kAudioSpeaking && rng.chance(0.028)) {
+      PacketDesc f = d;
+      f.payload_type = zoom::pt::kFec;
+      f.rtp_seq = s.fec_seq++;
+      f.marker = false;
+      s.sr_packets++;
+      s.sr_octets += f.payload_bytes;
+      send_media_packet(t + Duration::micros(150), f, 0);
+    }
+    // Clock advances after emission (see on_video_frame).
+    advance_clock(s, ap.interval);
+    schedule(t + ap.interval, EvKind::AudioPacket, pi);
+  }
+
+  void on_screen_frame(Timestamp t, int pi) {
+    auto& p = parts[static_cast<std::size_t>(pi)];
+    if (!p.joined || !p.screen_src || t > end_time) return;
+    auto& s = p.streams[ki(zoom::MediaKind::ScreenShare)];
+
+    // Send the frame whose event this is (fetched one step ahead so the
+    // gap was known when scheduling). Packets must be emitted at the
+    // *current* event time — future-dated sends would push the sender's
+    // FIFO leg ahead of wall clock and stall its other streams.
+    if (p.pending_screen) {
+      const EncodedFrame& frame = *p.pending_screen;
+      ++s.frame_seq;
+      auto n_packets = static_cast<std::uint32_t>(std::clamp<std::size_t>(
+          (frame.size_bytes + kMtuPayload - 1) / kMtuPayload, 1, 96));
+      std::uint32_t per_packet = frame.size_bytes / n_packets;
+      Timestamp t_pkt = t;
+      for (std::uint32_t i = 0; i < n_packets; ++i) {
+        PacketDesc d;
+        d.sender = pi;
+        d.kind = zoom::MediaKind::ScreenShare;
+        d.payload_type = zoom::pt::kScreenShareMain;
+        d.rtp_seq = s.rtp_seq++;
+        d.rtp_ts = s.rtp_ts;
+        d.marker = (i + 1 == n_packets);
+        d.payload_bytes = std::max<std::uint32_t>(per_packet, 40);
+        s.sr_packets++;
+        s.sr_octets += d.payload_bytes;
+        send_media_packet(t_pkt, d, 0);
+        t_pkt += Duration::micros(static_cast<std::int64_t>(rng.uniform(100, 500)));
+      }
+      p.pending_screen.reset();
+    }
+
+    // Fetch the next frame; its gap tells us when to fire again, and the
+    // media clock advances by the same amount (wall/RTP pairing).
+    ScreenShareSource::TimedFrame tf = p.screen_src->next_frame();
+    advance_clock(s, tf.frame.duration);
+    p.pending_screen = tf.frame;
+    schedule(t + tf.gap, EvKind::ScreenFrame, pi);
+  }
+
+  void on_rtcp_tick(Timestamp t, int pi, int kind_index) {
+    auto& p = parts[static_cast<std::size_t>(pi)];
+    auto& s = p.streams[static_cast<std::size_t>(kind_index)];
+    if (!p.joined || !s.active || t > end_time) return;
+
+    proto::SenderReport sr;
+    sr.sender_ssrc = s.ssrc;
+    sr.ntp = proto::NtpTimestamp::from_unix(t);
+    sr.rtp_timestamp = s.rtp_ts;
+    sr.packet_count = s.sr_packets;
+    sr.octet_count = s.sr_octets;
+    bool with_sdes = rng.chance(0.77);  // Table 2: type 34 ≈ 3x type 33
+
+    std::size_t k = static_cast<std::size_t>(kind_index);
+    if (p2p_active()) {
+      int peer = -1;
+      for (int r = 0; r < static_cast<int>(parts.size()); ++r)
+        if (r != pi && parts[static_cast<std::size_t>(r)].joined) peer = r;
+      if (peer >= 0 && p.cfg.on_campus) {
+        auto payload = build_rtcp_payload(s.ssrc, sr, with_sdes, p.p2p_media_seq++, rng);
+        Timestamp t_border = p.access->delivery_time(t, 0);
+        emit(t_border, net::build_udp(t_border, p.cfg.ip, p.p2p_port,
+                                      parts[static_cast<std::size_t>(peer)].cfg.ip,
+                                      parts[static_cast<std::size_t>(peer)].p2p_port,
+                                      payload));
+      }
+    } else {
+      // Uplink SR.
+      if (p.cfg.on_campus && !p.access->drops(t)) {
+        auto payload = build_rtcp_payload(s.ssrc, sr, with_sdes, p.media_seq_up[k]++, rng);
+        auto wrapped = wrap_sfu(payload, p.sfu_seq_up[k]++, false);
+        Timestamp t_border = p.access->delivery_time(t, 0);
+        emit(t_border, net::build_udp(t_border, p.cfg.ip, p.server_port[k], cfg.sfu_ip,
+                                      zoom::kServerMediaPort, wrapped));
+      }
+      // SFU forwards the SR alongside the media to each receiver.
+      Timestamp t_at_sfu =
+          p.wan->delivery_time(p.access->delivery_time(t, 0), 0) + sfu_proc();
+      for (int r = 0; r < static_cast<int>(parts.size()); ++r) {
+        if (r == pi) continue;
+        auto& rx = parts[static_cast<std::size_t>(r)];
+        if (!rx.joined || !rx.cfg.on_campus) continue;
+        if (rx.wan->drops(t_at_sfu)) continue;
+        auto payload = build_rtcp_payload(s.ssrc, sr, with_sdes, rx.media_seq_down[k]++, rng);
+        auto wrapped = wrap_sfu(payload, rx.sfu_seq_down[k]++, true);
+        Timestamp t_border = rx.wan->delivery_time(t_at_sfu, 1);
+        emit(t_border, net::build_udp(t_border, cfg.sfu_ip, zoom::kServerMediaPort,
+                                      rx.cfg.ip, rx.server_port[k], wrapped));
+      }
+    }
+    schedule(t + Duration::seconds(1.0), EvKind::RtcpTick, pi, kind_index);
+  }
+
+  void on_unknown_tick(Timestamp t, int pi) {
+    auto& p = parts[static_cast<std::size_t>(pi)];
+    if (!p.joined || t > end_time) return;
+    // Undecodable control traffic on the video flow (both directions).
+    std::size_t k = ki(zoom::MediaKind::Video);
+    static constexpr std::array<std::uint8_t, 4> kTypes = {24, 25, 30, 35};
+    std::uint8_t type = kTypes[rng.next_u32() % kTypes.size()];
+    auto size = static_cast<std::size_t>(rng.uniform_int(48, 180));
+    if (p.cfg.on_campus && !p2p_active()) {
+      auto up = build_unknown_payload(type, p.media_seq_up[k]++, size, rng);
+      auto up_wrapped = wrap_sfu(up, p.sfu_seq_up[k]++, false);
+      Timestamp t_border = t + p.access->sample_delay(t);
+      emit(t_border, net::build_udp(t_border, p.cfg.ip, p.server_port[k], cfg.sfu_ip,
+                                    zoom::kServerMediaPort, up_wrapped));
+      auto down = build_unknown_payload(type, p.media_seq_down[k]++,
+                                        static_cast<std::size_t>(rng.uniform_int(48, 180)),
+                                        rng);
+      auto down_wrapped = wrap_sfu(down, p.sfu_seq_down[k]++, true);
+      Timestamp t_down = t + Duration::millis(static_cast<std::int64_t>(rng.uniform(5, 40)));
+      emit(t_down, net::build_udp(t_down, cfg.sfu_ip, zoom::kServerMediaPort, p.cfg.ip,
+                                  p.server_port[k], down_wrapped));
+    } else if (p.cfg.on_campus && p2p_active()) {
+      int peer = -1;
+      for (int r = 0; r < static_cast<int>(parts.size()); ++r)
+        if (r != pi && parts[static_cast<std::size_t>(r)].joined) peer = r;
+      if (peer >= 0) {
+        // P2P unknown packets still start with a media-encap-style type
+        // byte; use a known-but-non-media framing so the dissector keeps
+        // the flow (these are rare).
+        auto payload = build_unknown_payload(type, p.p2p_media_seq++, size, rng);
+        Timestamp t_border = t + p.access->sample_delay(t);
+        emit(t_border, net::build_udp(t_border, p.cfg.ip, p.p2p_port,
+                                      parts[static_cast<std::size_t>(peer)].cfg.ip,
+                                      parts[static_cast<std::size_t>(peer)].p2p_port,
+                                      payload));
+      }
+    }
+    // Pace unknown traffic relative to media volume.
+    double interval_s = std::clamp(0.02 / std::max(cfg.unknown_packet_fraction, 1e-3),
+                                   0.05, 2.0);
+    schedule(t + Duration::seconds(rng.exponential(interval_s)), EvKind::UnknownTick, pi);
+  }
+
+  void on_tcp_tick(Timestamp t, int pi) {
+    auto& p = parts[static_cast<std::size_t>(pi)];
+    if (!p.joined || t > end_time) return;
+    // Client sends a TLS record; server acks (and sometimes responds).
+    auto len = static_cast<std::uint32_t>(rng.uniform_int(80, 420));
+    std::vector<std::uint8_t> data(len, 0x17);  // opaque TLS app data
+    Timestamp t_border = t + p.access->sample_delay(t);
+    emit(t_border, net::build_tcp(t_border, p.cfg.ip, p.tcp_port, cfg.sfu_ip, 443,
+                                  p.tcp_client_seq, p.tcp_server_seq,
+                                  net::kTcpAck | net::kTcpPsh, data));
+    p.tcp_client_seq += len;
+    // Server ack crosses the border after a WAN round trip.
+    Timestamp t_ack = t_border + p.wan->sample_delay(t_border) +
+                      p.wan->sample_delay(t_border);
+    emit(t_ack, net::build_tcp(t_ack, cfg.sfu_ip, 443, p.cfg.ip, p.tcp_port,
+                               p.tcp_server_seq, p.tcp_client_seq, net::kTcpAck, {}));
+    if (rng.chance(0.5)) {
+      // Server response data + client ack (client-side RTT for Fig. 11).
+      auto rlen = static_cast<std::uint32_t>(rng.uniform_int(60, 300));
+      std::vector<std::uint8_t> rdata(rlen, 0x17);
+      Timestamp t_resp = t_ack + Duration::millis(static_cast<std::int64_t>(rng.uniform(1, 8)));
+      emit(t_resp, net::build_tcp(t_resp, cfg.sfu_ip, 443, p.cfg.ip, p.tcp_port,
+                                  p.tcp_server_seq, p.tcp_client_seq,
+                                  net::kTcpAck | net::kTcpPsh, rdata));
+      p.tcp_server_seq += rlen;
+      Timestamp t_cack = t_resp + p.access->sample_delay(t_resp) +
+                         p.access->sample_delay(t_resp);
+      emit(t_cack, net::build_tcp(t_cack, p.cfg.ip, p.tcp_port, cfg.sfu_ip, 443,
+                                  p.tcp_client_seq, p.tcp_server_seq, net::kTcpAck, {}));
+    }
+    schedule(t + Duration::seconds(rng.exponential(1.2)), EvKind::TcpTick, pi);
+  }
+
+  void on_qos_tick(Timestamp t, int pi) {
+    auto& p = parts[static_cast<std::size_t>(pi)];
+    if (!p.joined || t > end_time) return;
+    // Report on the first remote video stream (the validation setup is a
+    // two-party call).
+    for (int s = 0; s < static_cast<int>(parts.size()); ++s) {
+      if (s == pi) continue;
+      auto it = p.rx.find({s, static_cast<int>(zoom::MediaKind::Video)});
+      if (it == p.rx.end()) continue;
+      auto& deliveries = it->second.deliveries;
+      Timestamp window_start = t - Duration::seconds(1.0);
+      double fps = 0;
+      for (auto d : deliveries)
+        if (d > window_start && d <= t) fps += 1;
+      p.fps_history.push_back(fps);
+      while (p.fps_history.size() > 3) p.fps_history.pop_front();
+      // Zoom-like smoothing: mean of the last few seconds, so short dips
+      // are partially hidden (§5.2 validation discussion).
+      double smoothed = 0;
+      for (double f : p.fps_history) smoothed += f;
+      smoothed /= static_cast<double>(p.fps_history.size());
+
+      // Latency refreshes only every 5 s (§5.3 validation).
+      if (p.last_latency_refresh.is_zero() ||
+          t - p.last_latency_refresh >= Duration::seconds(5.0)) {
+        p.reported_latency_ms = 2.0 * (expected_delay_ms(*p.access, t) +
+                                       expected_delay_ms(*p.wan, t));
+        p.last_latency_refresh = t;
+      }
+      // Zoom's jitter is implausibly low and smooth (§5.4): model it as
+      // a slowly moving value under 2 ms regardless of congestion.
+      p.reported_jitter_ms =
+          std::clamp(p.reported_jitter_ms + rng.normal(0.0, 0.05), 0.3, 1.9);
+      if (p.reported_jitter_ms == 0.0) p.reported_jitter_ms = 0.8;
+
+      qos.push_back(QosSample{t, pi, zoom::MediaKind::Video, smoothed,
+                              p.reported_latency_ms, p.reported_jitter_ms});
+      break;
+    }
+    schedule(t + Duration::seconds(1.0), EvKind::QosTick, pi);
+  }
+
+  void on_p2p_switch(Timestamp t, int phase) {
+    if (joined_count() != 2 || t > end_time) return;
+    if (phase == 1) {
+      // Phase 1: STUN pre-flight done, media actually moves to P2P.
+      mode = Mode::P2p;
+      return;
+    }
+    // Phase 0 — STUN pre-flight: each client exchanges binding requests
+    // with the zone controller from the port the P2P flow will use
+    // (§4.1, Fig. 2). Media switches ~600 ms later.
+    for (auto& p : parts) {
+      if (!p.joined) continue;
+      p.p2p_port = alloc_port(p);
+      if (!p.cfg.on_campus) continue;  // off-campus STUN is invisible
+      Timestamp t_stun = t;
+      for (int i = 0; i < 3; ++i) {
+        std::array<std::uint8_t, 12> txn{};
+        for (auto& b : txn) b = static_cast<std::uint8_t>(rng.next_u32());
+        util::ByteWriter req;
+        proto::make_binding_request(txn).serialize(req);
+        Timestamp t_req = t_stun + p.access->sample_delay(t_stun);
+        emit(t_req, net::build_udp(t_req, p.cfg.ip, p.p2p_port,
+                                   cfg.zone_controller_ip, proto::kStunPort,
+                                   req.view()));
+        util::ByteWriter resp;
+        proto::make_binding_response(txn, p.cfg.ip, p.p2p_port).serialize(resp);
+        Timestamp t_resp = t_req + p.wan->sample_delay(t_req) * 2;
+        emit(t_resp, net::build_udp(t_resp, cfg.zone_controller_ip, proto::kStunPort,
+                                    p.cfg.ip, p.p2p_port, resp.view()));
+        stats.stun_packets += 2;
+        t_stun += Duration::millis(150);
+      }
+    }
+    schedule(t + Duration::millis(600), EvKind::P2pSwitch, 0, /*phase=*/1);
+  }
+
+  void revert_to_server(Timestamp /*t*/) {
+    mode = Mode::Server;
+    // Fresh server flows (new ephemeral ports) after the mode switch;
+    // RTP-level state (SSRC, seq, ts) carries over — this is what the
+    // duplicate-stream matcher keys on (§4.3 step 1).
+    for (auto& p : parts) {
+      if (!p.joined) continue;
+      for (auto& port : p.server_port) port = alloc_port(p);
+    }
+  }
+
+  void handle(const Event& ev) {
+    switch (ev.kind) {
+      case EvKind::Join: on_join(ev.t, ev.p); break;
+      case EvKind::VideoFrame: on_video_frame(ev.t, ev.p); break;
+      case EvKind::AudioPacket: on_audio_packet(ev.t, ev.p); break;
+      case EvKind::ScreenFrame: on_screen_frame(ev.t, ev.p); break;
+      case EvKind::RtcpTick: on_rtcp_tick(ev.t, ev.p, ev.aux); break;
+      case EvKind::UnknownTick: on_unknown_tick(ev.t, ev.p); break;
+      case EvKind::TcpTick: on_tcp_tick(ev.t, ev.p); break;
+      case EvKind::QosTick: on_qos_tick(ev.t, ev.p); break;
+      case EvKind::P2pSwitch: on_p2p_switch(ev.t, ev.aux); break;
+      case EvKind::Leave:
+        parts[static_cast<std::size_t>(ev.p)].joined = false;
+        break;
+      case EvKind::RetransUp:
+        if (ev.t <= end_time) send_media_packet(ev.t, ev.desc, ev.aux);
+        break;
+      case EvKind::RetransDown:
+        if (ev.t <= end_time)
+          forward_to_receiver(ev.t, ev.desc, ev.p, ev.aux);
+        break;
+    }
+  }
+
+  std::optional<net::RawPacket> next_packet() {
+    while (true) {
+      // Release a pending packet if it cannot be preceded by anything a
+      // future event could still emit.
+      if (!out.empty() && (events.empty() || out.top().t <= events.top().t)) {
+        net::RawPacket pkt = out.top().pkt;
+        out.pop();
+        return pkt;
+      }
+      if (events.empty()) return std::nullopt;
+      Event ev = events.top();
+      events.pop();
+      handle(ev);
+    }
+  }
+};
+
+void MeetingSim::Impl::schedule(Timestamp t, EvKind kind, int p, int aux) {
+  schedule(t, kind, p, aux, PacketDesc{});
+}
+
+// ---------------------------------------------------------------------------
+// Public wrapper
+// ---------------------------------------------------------------------------
+
+MeetingSim::MeetingSim(MeetingConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+MeetingSim::~MeetingSim() = default;
+MeetingSim::MeetingSim(MeetingSim&&) noexcept = default;
+MeetingSim& MeetingSim::operator=(MeetingSim&&) noexcept = default;
+
+std::optional<net::RawPacket> MeetingSim::next_packet() { return impl_->next_packet(); }
+
+const std::vector<QosSample>& MeetingSim::qos_samples() const { return impl_->qos; }
+
+const MeetingConfig& MeetingSim::config() const { return impl_->cfg; }
+
+double MeetingSim::nominal_rtt_ms(int participant) const {
+  const auto& p = impl_->parts[static_cast<std::size_t>(participant)];
+  return 2.0 * (p.access->base_delay_ms() + p.wan->base_delay_ms());
+}
+
+const MeetingSim::Stats& MeetingSim::stats() const { return impl_->stats; }
+
+std::vector<net::RawPacket> run_meeting(MeetingConfig config,
+                                        std::vector<QosSample>* qos) {
+  MeetingSim sim(std::move(config));
+  std::vector<net::RawPacket> packets;
+  while (auto pkt = sim.next_packet()) packets.push_back(std::move(*pkt));
+  if (qos) *qos = sim.qos_samples();
+  return packets;
+}
+
+}  // namespace zpm::sim

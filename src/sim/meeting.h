@@ -1,0 +1,142 @@
+// Event-driven simulation of one Zoom meeting as seen by a campus
+// border monitor.
+//
+// Reproduces the wire behaviour the paper reverse-engineered: per-media
+// UDP flows to an MMR on port 8801 wrapped in SFU + media encapsulations;
+// SFU fan-out that copies RTP headers verbatim; STUN pre-flight on port
+// 3478 followed by a P2P flow (fresh ephemeral ports, no SFU encap) for
+// two-party meetings, reverting to the server when a third participant
+// joins; RTCP sender reports every second; FEC sub-streams on PT 110;
+// loss-triggered retransmissions (same RTP seq, ≤2 attempts, ~100 ms
+// timeout); undecodable control packets; and a TCP control connection
+// per participant for the §5.3 TCP-RTT method.
+//
+// The meeting also records ground-truth QoS samples at each receiving
+// client — the stand-in for the Zoom SDK statistics used to validate the
+// estimators (Fig. 10), including Zoom's reporting quirks (1 Hz refresh,
+// 5 s latency updates, implausibly smoothed jitter).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/media.h"
+#include "sim/network.h"
+#include "util/rng.h"
+#include "zoom/constants.h"
+
+namespace zpm::sim {
+
+/// Ground-truth per-second QoS sample at a receiving client (the
+/// simulated counterpart of the Zoom SDK statistics feed).
+struct QosSample {
+  util::Timestamp t;
+  int receiver = 0;                 // participant index
+  zoom::MediaKind kind = zoom::MediaKind::Video;
+  double frame_rate = 0.0;          // delivered fps as the client reports it
+  double latency_ms = 0.0;          // client-reported latency (5 s refresh)
+  double jitter_ms = 0.0;           // client-reported jitter (heavily smoothed)
+};
+
+/// One meeting participant.
+struct ParticipantConfig {
+  net::Ipv4Addr ip;
+  bool on_campus = true;
+  bool send_video = true;
+  bool send_audio = true;
+  bool send_screen_share = false;
+  bool mobile = false;  // audio PT 113
+  /// Joins this long after the meeting starts (0 = founding member).
+  util::Duration join_after = util::Duration::micros(0);
+  /// Leaves this long after joining (nullopt = stays to the end).
+  std::optional<util::Duration> leave_after;
+  /// Client <-> campus-border (on-campus) or client <-> SFU-side (off-
+  /// campus) leg.
+  PathModel::Params access_path{2.0, 0.4, 0.002, 8.0, 0.0005};
+  /// Border <-> SFU leg (where the interesting congestion lives).
+  PathModel::Params wan_path{14.0, 1.2, 0.006, 32.0, 0.0015};
+  /// Congestion episodes applied to this participant's WAN leg.
+  std::vector<CongestionEpisode> congestion;
+  VideoSource::Params video;
+  AudioSource::Params audio;
+  ScreenShareSource::Params screen;
+};
+
+/// Whole-meeting configuration.
+struct MeetingConfig {
+  std::uint64_t seed = 1;
+  util::Timestamp start = util::Timestamp::from_seconds(0);
+  util::Duration duration = util::Duration::seconds(300);
+  net::Ipv4Addr sfu_ip{170, 114, 0, 10};
+  net::Ipv4Addr zone_controller_ip{170, 114, 0, 200};
+  std::vector<ParticipantConfig> participants;
+  /// Two-party meetings switch to P2P this long after start (nullopt =
+  /// never switch).
+  std::optional<util::Duration> p2p_switch_after;
+  /// A third participant joining reverts P2P to the server (§3). Set via
+  /// a participant with join_after > p2p_switch_after.
+  /// Emit undecodable control packets (fraction of media packet rate).
+  double unknown_packet_fraction = 0.10;
+  /// Fraction of SFU-encapsulated packets with a non-0x05 SFU type.
+  double odd_sfu_type_fraction = 0.016;
+  /// Emit a TCP control connection per campus participant.
+  bool with_tcp_control = true;
+  /// Collect ground-truth QoS samples (disable for campus-scale runs).
+  bool collect_qos = false;
+  /// SSRC base; small and non-random on purpose (§4.3.1 challenge 2).
+  std::uint32_t ssrc_base = 0;
+  /// Hypothetical SFU that rewrites RTP sequence numbers and timestamps
+  /// per receiver (Zoom's real SFU does NOT — §4.3 step 1 depends on
+  /// that; this switch exists for the ablation that shows how the
+  /// paper's duplicate-stream matching and RTP-RTT method would break).
+  bool sfu_rewrites_rtp = false;
+};
+
+/// See file comment. Pull-based: call next_packet() until nullopt.
+class MeetingSim {
+ public:
+  explicit MeetingSim(MeetingConfig config);
+  ~MeetingSim();
+  MeetingSim(MeetingSim&&) noexcept;
+  MeetingSim& operator=(MeetingSim&&) noexcept;
+
+  /// Next monitor-visible packet in timestamp order; nullopt when the
+  /// meeting has ended and all packets are drained.
+  std::optional<net::RawPacket> next_packet();
+
+  /// Ground-truth QoS samples (populated when config.collect_qos).
+  [[nodiscard]] const std::vector<QosSample>& qos_samples() const;
+  [[nodiscard]] const MeetingConfig& config() const;
+
+  /// True RTT (client access + WAN legs, both ways, no jitter) between
+  /// participant and SFU — handy for test assertions.
+  [[nodiscard]] double nominal_rtt_ms(int participant) const;
+
+  /// Statistics for tests: packets the monitor saw / packets dropped on
+  /// legs / retransmissions sent.
+  struct Stats {
+    std::uint64_t monitor_packets = 0;
+    std::uint64_t media_packets_sent = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t stun_packets = 0;
+    std::uint64_t p2p_media_packets = 0;
+  };
+  [[nodiscard]] const Stats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience: drains a meeting into a vector (small meetings/tests).
+std::vector<net::RawPacket> run_meeting(MeetingConfig config,
+                                        std::vector<QosSample>* qos = nullptr);
+
+}  // namespace zpm::sim

@@ -1,0 +1,54 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace zpm::sim {
+
+double CongestionEpisode::intensity(util::Timestamp t) const {
+  if (t < start || t > end) return 0.0;
+  double len = (end - start).sec();
+  if (len <= 0.0) return 0.0;
+  double pos = (t - start).sec() / len;  // 0..1 through the episode
+  double r = std::clamp(ramp, 0.01, 0.5);
+  if (pos < r) return pos / r;
+  if (pos > 1.0 - r) return (1.0 - pos) / r;
+  return 1.0;
+}
+
+util::Duration PathModel::sample_delay(util::Timestamp t) {
+  double delay_ms = params_.base_delay_ms;
+  delay_ms += rng_.exponential(params_.jitter_ms);
+  if (rng_.chance(params_.spike_prob)) delay_ms += rng_.uniform(0.5, 1.0) * params_.spike_ms;
+  double c = congestion(t);
+  if (c > 0.0) {
+    for (const auto& ep : episodes_) {
+      double i = ep.intensity(t);
+      if (i > 0.0) delay_ms += i * ep.extra_delay_ms * rng_.uniform(0.6, 1.2);
+    }
+  }
+  return util::Duration::micros(static_cast<std::int64_t>(delay_ms * 1000.0));
+}
+
+util::Timestamp PathModel::delivery_time(util::Timestamp send, int channel) {
+  util::Timestamp exit = send + sample_delay(send);
+  auto& frontier = last_exit_us_[channel & 1];
+  // FIFO: a packet cannot leave the leg before its predecessor (plus a
+  // minimal serialization gap).
+  if (exit.us() <= frontier) exit = util::Timestamp::from_micros(frontier + 2);
+  frontier = exit.us();
+  return exit;
+}
+
+bool PathModel::drops(util::Timestamp t) {
+  double p = params_.loss;
+  for (const auto& ep : episodes_) p += ep.intensity(t) * ep.extra_loss;
+  return rng_.chance(p);
+}
+
+double PathModel::congestion(util::Timestamp t) const {
+  double c = 0.0;
+  for (const auto& ep : episodes_) c = std::max(c, ep.intensity(t));
+  return c;
+}
+
+}  // namespace zpm::sim

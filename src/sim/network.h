@@ -1,0 +1,72 @@
+// Network path model: per-leg one-way delay with jitter, random loss,
+// and scheduled congestion episodes (the "cross-traffic bursts" of the
+// paper's controlled validation experiments, §5/Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace zpm::sim {
+
+/// A period of elevated delay/loss on a path (competing download etc.).
+struct CongestionEpisode {
+  util::Timestamp start;
+  util::Timestamp end;
+  double extra_delay_ms = 30.0;  // peak added one-way delay
+  double extra_loss = 0.02;      // added loss probability
+  /// Ramp fraction: the episode ramps up/down over this fraction of its
+  /// length at each end (triangular profile when 0.5).
+  double ramp = 0.3;
+
+  /// Episode intensity in [0,1] at time t (0 outside the episode).
+  [[nodiscard]] double intensity(util::Timestamp t) const;
+};
+
+/// One direction of one network leg (e.g. campus border -> SFU).
+class PathModel {
+ public:
+  struct Params {
+    double base_delay_ms = 15.0;
+    /// Jitter: delay = base + Exp(mean=jitter_ms) + rare spikes.
+    double jitter_ms = 1.5;
+    double spike_prob = 0.005;
+    double spike_ms = 25.0;
+    double loss = 0.0015;
+  };
+
+  PathModel(Params params, util::Rng rng) : params_(params), rng_(rng) {}
+
+  void add_episode(CongestionEpisode episode) { episodes_.push_back(episode); }
+  [[nodiscard]] const std::vector<CongestionEpisode>& episodes() const {
+    return episodes_;
+  }
+
+  /// Samples the one-way delay for a packet sent at `t`.
+  util::Duration sample_delay(util::Timestamp t);
+
+  /// Delivery time for a packet sent at `t`, enforcing FIFO order per
+  /// direction (`channel` 0/1): real network paths are queues, and a
+  /// later packet cannot overtake an earlier one on the same leg. The
+  /// paper's reordering observations come from retransmissions and
+  /// multi-path effects, not from per-packet delay dice.
+  util::Timestamp delivery_time(util::Timestamp send, int channel);
+
+  /// True if a packet sent at `t` is dropped on this leg.
+  bool drops(util::Timestamp t);
+  /// Congestion intensity in [0,1] at `t` (max over episodes); the
+  /// encoder's rate adaptation reads this as its congestion signal.
+  [[nodiscard]] double congestion(util::Timestamp t) const;
+  [[nodiscard]] double base_delay_ms() const { return params_.base_delay_ms; }
+
+ private:
+  Params params_;
+  util::Rng rng_;
+  std::vector<CongestionEpisode> episodes_;
+  // FIFO frontier per direction (microseconds since epoch).
+  std::int64_t last_exit_us_[2] = {0, 0};
+};
+
+}  // namespace zpm::sim

@@ -1,0 +1,64 @@
+// Wire-format construction for simulated Zoom traffic.
+//
+// The simulator never hands in-memory structs to the analyzer: every
+// packet is serialized to real bytes here (SFU encap + media encap +
+// RTP/RTCP + pseudo-encrypted payload) and re-parsed by the analyzer
+// from scratch, keeping generator and analyzer honest with each other.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/rtcp.h"
+#include "proto/rtp.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "zoom/encap.h"
+
+namespace zpm::sim {
+
+/// Parameters for one serialized media packet.
+struct MediaPacketSpec {
+  zoom::MediaEncapType encap_type = zoom::MediaEncapType::Video;
+  std::uint8_t payload_type = zoom::pt::kVideoMain;
+  std::uint32_t ssrc = 0;
+  std::uint16_t rtp_seq = 0;
+  std::uint32_t rtp_timestamp = 0;
+  bool marker = false;
+  std::uint16_t frame_sequence = 0;   // video only
+  std::uint8_t packets_in_frame = 0;  // video only
+  std::uint16_t media_encap_seq = 0;
+  std::uint32_t media_encap_ts = 0;
+  std::size_t payload_bytes = 0;  // encrypted media payload size
+};
+
+/// Serializes a Zoom media packet (media encap + RTP + payload). The
+/// payload is filled with uniform random bytes — indistinguishable from
+/// ciphertext, which is exactly what the entropy analysis expects to
+/// see. Video payloads are prefixed with an H.264 FU-A header (§4.2.3).
+std::vector<std::uint8_t> build_media_payload(const MediaPacketSpec& spec,
+                                              util::Rng& rng);
+
+/// Serializes a Zoom RTCP packet (media encap type 33/34 + SR [+ SDES]).
+std::vector<std::uint8_t> build_rtcp_payload(std::uint32_t ssrc,
+                                             const proto::SenderReport& sr,
+                                             bool include_sdes,
+                                             std::uint16_t media_encap_seq,
+                                             util::Rng& rng);
+
+/// Prepends the 8-byte SFU encapsulation to a media/RTCP payload
+/// (server-based traffic only).
+std::vector<std::uint8_t> wrap_sfu(std::span<const std::uint8_t> inner,
+                                   std::uint16_t sfu_seq, bool from_sfu,
+                                   std::uint8_t sfu_type = zoom::kSfuTypeMedia);
+
+/// Builds an unknown-type payload (the <10% of Zoom packets the paper
+/// could not decode, e.g. congestion-control messages). Starts with a
+/// type byte outside the known set, then a small counter and random
+/// bytes.
+std::vector<std::uint8_t> build_unknown_payload(std::uint8_t type_byte,
+                                                std::uint16_t counter,
+                                                std::size_t total_bytes,
+                                                util::Rng& rng);
+
+}  // namespace zpm::sim

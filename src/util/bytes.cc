@@ -1,0 +1,42 @@
+#include "util/bytes.h"
+
+#include <cctype>
+
+namespace zpm::util {
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::vector<std::uint8_t> out;
+  int hi = -1;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    int n = nibble(c);
+    if (n < 0) return {};
+    if (hi < 0) {
+      hi = n;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | n));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) return {};  // odd number of digits
+  return out;
+}
+
+}  // namespace zpm::util

@@ -1,0 +1,37 @@
+#include "util/csv.h"
+
+#include "util/strings.h"
+
+namespace zpm::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+bool CsvWriter::ok() const { return out_.good(); }
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& values, int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(fixed(v, decimals));
+  row(cells);
+}
+
+}  // namespace zpm::util

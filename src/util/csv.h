@@ -1,0 +1,27 @@
+// Minimal CSV emission for exporting metric series from benches and
+// examples (so figures can be re-plotted outside this repo).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace zpm::util {
+
+/// Writes RFC 4180-style CSV (quotes fields containing comma/quote/newline).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; check `ok()` afterwards.
+  explicit CsvWriter(const std::string& path);
+
+  [[nodiscard]] bool ok() const;
+  void row(const std::vector<std::string>& cells);
+  /// Convenience for numeric rows.
+  void row_numeric(const std::vector<double>& values, int decimals = 6);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace zpm::util

@@ -1,0 +1,114 @@
+// Time-binned accumulation: the workhorse behind "X per second" series
+// (bit rates, packet rates, per-second metric records) in both the
+// analyzer and the experiment drivers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace zpm::util {
+
+/// Accumulates (timestamp, weight) observations into fixed-width bins and
+/// yields an ordered series. Bins with no observations are emitted as
+/// zeros between the first and last active bin so rate plots show gaps.
+class IntervalBinner {
+ public:
+  explicit IntervalBinner(Duration bin_width) : width_us_(bin_width.us()) {}
+
+  void add(Timestamp t, double weight = 1.0) {
+    bins_[bin_index(t)] += weight;
+  }
+
+  [[nodiscard]] std::int64_t bin_index(Timestamp t) const {
+    // Floor division so negative times (never expected, but safe) bin left.
+    std::int64_t q = t.us() / width_us_;
+    if (t.us() % width_us_ < 0) --q;
+    return q;
+  }
+
+  [[nodiscard]] Duration bin_width() const { return Duration::micros(width_us_); }
+  [[nodiscard]] bool empty() const { return bins_.empty(); }
+
+  struct Bin {
+    Timestamp start;
+    double total;
+    /// Accumulated weight divided by the bin width in seconds, i.e. a rate.
+    double per_second;
+  };
+
+  /// Dense, time-ordered series covering [first bin, last bin].
+  [[nodiscard]] std::vector<Bin> series() const {
+    std::vector<Bin> out;
+    if (bins_.empty()) return out;
+    std::int64_t first = bins_.begin()->first;
+    std::int64_t last = bins_.rbegin()->first;
+    out.reserve(static_cast<std::size_t>(last - first + 1));
+    double width_s = static_cast<double>(width_us_) / 1e6;
+    for (std::int64_t i = first; i <= last; ++i) {
+      auto it = bins_.find(i);
+      double total = (it != bins_.end()) ? it->second : 0.0;
+      out.push_back(Bin{Timestamp::from_micros(i * width_us_), total, total / width_s});
+    }
+    return out;
+  }
+
+ private:
+  std::int64_t width_us_;
+  std::map<std::int64_t, double> bins_;
+};
+
+/// Sliding-window rate estimator: "how much weight arrived in the last W".
+/// Used for instantaneous bit-rate queries inside the analyzer.
+class WindowedRate {
+ public:
+  explicit WindowedRate(Duration window) : window_(window) {}
+
+  void add(Timestamp t, double weight) {
+    events_.push_back({t, weight});
+    total_ += weight;
+    evict(t);
+  }
+
+  /// Weight per second over the window ending at `now`.
+  double rate(Timestamp now) {
+    evict(now);
+    double w = window_.sec();
+    return w > 0 ? total_ / w : 0.0;
+  }
+
+  /// Total weight currently inside the window ending at `now`.
+  double total(Timestamp now) {
+    evict(now);
+    return total_;
+  }
+
+ private:
+  struct Event {
+    Timestamp t;
+    double weight;
+  };
+
+  void evict(Timestamp now) {
+    Timestamp cutoff = now - window_;
+    while (head_ < events_.size() && events_[head_].t < cutoff) {
+      total_ -= events_[head_].weight;
+      ++head_;
+    }
+    // Compact occasionally so memory stays bounded.
+    if (head_ > 1024 && head_ * 2 > events_.size()) {
+      events_.erase(events_.begin(),
+                    events_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  Duration window_;
+  std::vector<Event> events_;
+  std::size_t head_ = 0;
+  double total_ = 0.0;
+};
+
+}  // namespace zpm::util

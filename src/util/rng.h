@@ -1,0 +1,102 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every simulator component takes an Rng seeded from the experiment
+// configuration so that traces, and therefore the reproduced tables and
+// figures, are bit-for-bit reproducible across runs and machines (libc
+// rand() and std::mt19937's distribution implementations are not
+// portable across standard libraries).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace zpm::util {
+
+/// xoshiro256** with SplitMix64 seeding. Fast, high-quality, portable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four lanes.
+    std::uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) return lo;
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Normal deviate (Box–Muller; one value per call for determinism).
+  double normal(double mean, double stddev) {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+    return mean + stddev * z;
+  }
+
+  /// Exponential deviate with the given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  /// Log-normal deviate parameterized by the target median and sigma of
+  /// the underlying normal. Heavy-tailed sizes (frame sizes, slide sizes).
+  double lognormal(double median, double sigma) {
+    return median * std::exp(normal(0.0, sigma));
+  }
+
+  /// Pareto deviate with scale x_m and shape alpha (alpha > 0).
+  double pareto(double x_m, double alpha) {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return x_m / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Derives an independent child generator (for per-entity streams).
+  Rng fork() { return Rng(next_u64() ^ 0xda3e39cb94b95bdbULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace zpm::util

@@ -1,0 +1,77 @@
+// RFC 1982-style serial number arithmetic for RTP sequence numbers and
+// timestamps.
+//
+// RTP sequence numbers are 16 bits and wrap roughly every 64k packets
+// (under a minute for a video stream); timestamps are 32 bits. Naive
+// comparison mis-orders packets across the wrap, which corrupts loss,
+// reorder and jitter estimates (see bench_ablation_serial for the
+// demonstration). These helpers compare and subtract modulo 2^N with the
+// conventional "half the space" forward window.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace zpm::util {
+
+template <typename T>
+concept SerialInt = std::same_as<T, std::uint16_t> || std::same_as<T, std::uint32_t>;
+
+/// Signed distance from `a` to `b` on the serial circle. Positive when `b`
+/// is ahead of `a` (i.e. newer), negative when behind. The result lies in
+/// [-2^(N-1), 2^(N-1)).
+template <SerialInt T>
+constexpr auto serial_diff(T a, T b) {
+  using S = std::make_signed_t<T>;
+  return static_cast<S>(static_cast<T>(b - a));
+}
+
+/// True if `b` is strictly newer than `a` in serial order.
+template <SerialInt T>
+constexpr bool serial_less(T a, T b) {
+  return serial_diff(a, b) > 0;
+}
+
+/// True if `b` is `a` or newer.
+template <SerialInt T>
+constexpr bool serial_less_equal(T a, T b) {
+  return serial_diff(a, b) >= 0;
+}
+
+/// Extends a wrapping serial counter into a monotone 64-bit count.
+///
+/// Feed observations in (roughly) arrival order; the extender tolerates
+/// reordering within half the serial space. Used to turn 16-bit RTP
+/// sequence numbers into stable indices for loss accounting, and 32-bit
+/// RTP timestamps into an unwrapped media clock.
+template <SerialInt T>
+class SerialExtender {
+ public:
+  /// Maps a wrapped value to its extended 64-bit counterpart. The extended
+  /// value is placed on the cycle closest to the highest value seen so
+  /// far, so late (reordered) packets from before a wrap extend backwards
+  /// correctly.
+  std::int64_t extend(T value) {
+    if (!initialized_) {
+      initialized_ = true;
+      highest_ = static_cast<std::int64_t>(value);
+      return highest_;
+    }
+    auto d = serial_diff(static_cast<T>(highest_), value);
+    std::int64_t extended = highest_ + d;
+    if (extended > highest_) highest_ = extended;
+    return extended;
+  }
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  /// Highest extended value observed so far.
+  [[nodiscard]] std::int64_t highest() const { return highest_; }
+
+ private:
+  bool initialized_ = false;
+  std::int64_t highest_ = 0;
+};
+
+}  // namespace zpm::util

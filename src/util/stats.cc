@@ -1,0 +1,136 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace zpm::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void QuantileSketch::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double QuantileSketch::quantile(double q) {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  auto hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double QuantileSketch::cdf_at(double x) {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> QuantileSketch::cdf_curve(std::size_t points) {
+  std::vector<std::pair<double, double>> curve;
+  if (samples_.empty() || points < 2) return curve;
+  ensure_sorted();
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.emplace_back(quantile(q), q);
+  }
+  return curve;
+}
+
+const std::vector<double>& QuantileSketch::sorted_samples() {
+  ensure_sorted();
+  return samples_;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = std::accumulate(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(n), 0.0) /
+              static_cast<double>(n);
+  double my = std::accumulate(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(n), 0.0) /
+              static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+// Average ranks, with ties sharing the mean of their rank range.
+std::vector<double> ranks_of(const std::vector<double>& v, std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  auto rx = ranks_of(x, n);
+  auto ry = ranks_of(y, n);
+  return pearson(rx, ry);
+}
+
+double shannon_entropy(const std::vector<std::size_t>& histogram) {
+  std::size_t total = std::accumulate(histogram.begin(), histogram.end(), std::size_t{0});
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (std::size_t c : histogram) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace zpm::util

@@ -1,0 +1,96 @@
+// Streaming statistics used by the metric engines and the experiment
+// drivers: Welford running moments, exponentially-weighted averages,
+// quantile/CDF accumulators and correlation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace zpm::util {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  /// Removes all samples.
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance; 0 with fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exponentially weighted moving average with configurable smoothing.
+/// RFC 3550 jitter uses gain 1/16; we expose the gain directly.
+class Ewma {
+ public:
+  explicit Ewma(double gain) : gain_(gain) {}
+
+  void add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ += gain_ * (x - value_);
+    }
+  }
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double gain_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Stores samples and answers quantile / CDF queries. Intended for
+/// experiment post-processing (bounded sample counts), not the per-packet
+/// hot path.
+class QuantileSketch {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// q in [0,1]; linear interpolation between order statistics.
+  double quantile(double q);
+  /// Fraction of samples <= x.
+  double cdf_at(double x);
+  /// Evenly spaced (value, cumulative-fraction) points suitable for
+  /// plotting a CDF curve with `points` steps.
+  std::vector<std::pair<double, double>> cdf_curve(std::size_t points);
+  /// All samples (sorted ascending).
+  const std::vector<double>& sorted_samples();
+
+ private:
+  void ensure_sorted();
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// Pearson product-moment correlation of two equal-length series.
+/// Returns 0 when undefined (fewer than 2 points or zero variance).
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Shannon entropy (bits) of a byte-value histogram.
+double shannon_entropy(const std::vector<std::size_t>& histogram);
+
+}  // namespace zpm::util

@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace zpm::util {
+
+void TextTable::header(std::vector<std::string> cells, std::vector<Align> aligns) {
+  header_ = std::move(cells);
+  aligns_ = std::move(aligns);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  if (ncols == 0) return {};
+
+  std::vector<std::size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_)
+    if (!r.is_separator) widen(r.cells);
+
+  auto align_of = [&](std::size_t col) {
+    return col < aligns_.size() ? aligns_[col] : Align::Left;
+  };
+
+  auto emit_row = [&](std::string& out, const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      std::size_t pad = widths[i] - cell.size();
+      if (align_of(i) == Align::Right) out.append(pad, ' ');
+      out += cell;
+      if (i + 1 < ncols) {
+        if (align_of(i) == Align::Left) out.append(pad, ' ');
+        out += "  ";
+      }
+    }
+    // Trim trailing spaces.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    emit_row(out, header_);
+    for (std::size_t i = 0; i < ncols; ++i) {
+      out.append(widths[i], '-');
+      if (i + 1 < ncols) out += "  ";
+    }
+    out.push_back('\n');
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator) {
+      for (std::size_t i = 0; i < ncols; ++i) {
+        out.append(widths[i], '-');
+        if (i + 1 < ncols) out += "  ";
+      }
+      out.push_back('\n');
+    } else {
+      emit_row(out, r.cells);
+    }
+  }
+  return out;
+}
+
+}  // namespace zpm::util

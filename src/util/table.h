@@ -1,0 +1,39 @@
+// ASCII table renderer used by every bench binary to print paper-style
+// tables with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zpm::util {
+
+/// Column alignment for TextTable.
+enum class Align { Left, Right };
+
+/// Builds monospace tables:
+///
+///   Value  Packet Type        Offset  % Pkts.
+///   -----  -----------------  ------  -------
+///   16     RTP: Video         24      62.00
+class TextTable {
+ public:
+  /// Sets the header row; alignment applies per column (default Left).
+  void header(std::vector<std::string> cells, std::vector<Align> aligns = {});
+  /// Appends a data row; short rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next row.
+  void separator();
+  /// Renders the table with two-space column gaps.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace zpm::util

@@ -1,0 +1,80 @@
+// Fixed-point time used throughout zpm.
+//
+// Packet traces, simulator events and metric bins all use the same
+// microsecond tick so there is exactly one clock in the system. A strong
+// type (rather than std::chrono) keeps wire (de)serialization to pcap's
+// sec/usec fields trivial and arithmetic branch-free.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace zpm::util {
+
+/// A span of time in microseconds. Signed so differences are well formed.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration micros(std::int64_t us) { return Duration(us); }
+  static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e6));
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration(us_ + o.us_); }
+  constexpr Duration operator-(Duration o) const { return Duration(us_ - o.us_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(us_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(us_ / k); }
+  constexpr Duration operator-() const { return Duration(-us_); }
+  constexpr Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  constexpr Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+
+ private:
+  explicit constexpr Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute point in time: microseconds since the Unix epoch.
+class Timestamp {
+ public:
+  constexpr Timestamp() = default;
+  static constexpr Timestamp from_micros(std::int64_t us) { return Timestamp(us); }
+  static constexpr Timestamp from_seconds(double s) {
+    return Timestamp(static_cast<std::int64_t>(s * 1e6));
+  }
+  /// pcap record header (seconds + microseconds).
+  static constexpr Timestamp from_pcap(std::uint32_t sec, std::uint32_t usec) {
+    return Timestamp(static_cast<std::int64_t>(sec) * 1'000'000 + usec);
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+  [[nodiscard]] constexpr std::uint32_t pcap_sec() const {
+    return static_cast<std::uint32_t>(us_ / 1'000'000);
+  }
+  [[nodiscard]] constexpr std::uint32_t pcap_usec() const {
+    return static_cast<std::uint32_t>(us_ % 1'000'000);
+  }
+  /// True for a default-constructed (unset) timestamp.
+  [[nodiscard]] constexpr bool is_zero() const { return us_ == 0; }
+
+  constexpr auto operator<=>(const Timestamp&) const = default;
+  constexpr Timestamp operator+(Duration d) const { return Timestamp(us_ + d.us()); }
+  constexpr Timestamp operator-(Duration d) const { return Timestamp(us_ - d.us()); }
+  constexpr Duration operator-(Timestamp o) const { return Duration::micros(us_ - o.us_); }
+  constexpr Timestamp& operator+=(Duration d) { us_ += d.us(); return *this; }
+
+ private:
+  explicit constexpr Timestamp(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+inline constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+}  // namespace zpm::util

@@ -1,0 +1,114 @@
+#include "zoom/classify.h"
+
+namespace zpm::zoom {
+
+std::optional<std::uint32_t> ZoomPacket::ssrc() const {
+  if (rtp) return rtp->ssrc;
+  for (const auto& pkt : rtcp) {
+    if (const auto* sr = std::get_if<proto::SenderReport>(&pkt)) return sr->sender_ssrc;
+    if (const auto* rr = std::get_if<proto::ReceiverReport>(&pkt)) return rr->sender_ssrc;
+  }
+  return std::nullopt;
+}
+
+std::optional<ZoomPacket> dissect(std::span<const std::uint8_t> udp_payload,
+                                  Transport transport) {
+  util::ByteReader r(udp_payload);
+  ZoomPacket out;
+  out.transport = transport;
+
+  if (transport == Transport::ServerBased) {
+    auto sfu = SfuEncap::parse(r);
+    if (!sfu) return std::nullopt;
+    out.sfu = *sfu;
+    if (!sfu->carries_media_encap()) {
+      out.category = PacketCategory::UnknownSfu;
+      return out;
+    }
+  }
+
+  auto media = MediaEncap::parse(r);
+  if (!media) {
+    if (transport == Transport::P2P) {
+      // A P2P candidate that does not carry a known media encapsulation
+      // is not Zoom traffic (port-reuse false positive).
+      return std::nullopt;
+    }
+    out.category = PacketCategory::UnknownMedia;
+    return out;
+  }
+  out.media = *media;
+
+  if (media->is_rtcp()) {
+    out.rtcp = proto::parse_rtcp_compound(r.rest());
+    if (out.rtcp.empty()) {
+      out.category = PacketCategory::UnknownMedia;
+      return out;
+    }
+    out.category = PacketCategory::Rtcp;
+    return out;
+  }
+
+  // Media types 13/15/16 carry RTP at the type-specific offset.
+  auto rtp = proto::RtpHeader::parse(r);
+  if (!rtp) {
+    if (transport == Transport::P2P) return std::nullopt;
+    out.category = PacketCategory::UnknownMedia;
+    return out;
+  }
+  out.rtp = *rtp;
+  out.category = PacketCategory::Media;
+  out.rtp_payload = r.rest();
+
+  // Video payloads start with an H.264 FU-A indication (§4.2.3).
+  if (media->is_video()) {
+    if (auto fu = proto::parse_fu_a(out.rtp_payload)) {
+      out.fu_a = *fu;
+      out.rtp_payload = out.rtp_payload.subspan(2);
+    }
+  }
+  return out;
+}
+
+std::optional<ZoomPacket> dissect_stun(std::span<const std::uint8_t> udp_payload) {
+  auto msg = proto::StunMessage::parse(udp_payload);
+  if (!msg) return std::nullopt;
+  ZoomPacket out;
+  out.category = PacketCategory::Stun;
+  out.stun = std::move(*msg);
+  return out;
+}
+
+bool is_known_payload_type(MediaKind kind, std::uint8_t payload_type) {
+  switch (kind) {
+    case MediaKind::Video:
+      return payload_type == pt::kVideoMain || payload_type == pt::kFec;
+    case MediaKind::Audio:
+      return payload_type == pt::kAudioSpeaking || payload_type == pt::kAudioSilent ||
+             payload_type == pt::kAudioUnknownMode || payload_type == pt::kFec;
+    case MediaKind::ScreenShare:
+      return payload_type == pt::kScreenShareMain;
+  }
+  return false;
+}
+
+std::string_view payload_type_description(MediaKind kind, std::uint8_t payload_type) {
+  switch (kind) {
+    case MediaKind::Video:
+      if (payload_type == pt::kVideoMain) return "main stream";
+      if (payload_type == pt::kFec) return "FEC";
+      break;
+    case MediaKind::Audio:
+      if (payload_type == pt::kAudioSpeaking) return "speaking mode";
+      if (payload_type == pt::kAudioSilent) return "silent mode";
+      if (payload_type == pt::kAudioUnknownMode) return "mode unknown";
+      if (payload_type == pt::kFec) return "FEC";
+      break;
+    case MediaKind::ScreenShare:
+      if (payload_type == pt::kScreenShareMain) return "main stream";
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace zpm::zoom

@@ -1,0 +1,71 @@
+// Per-packet Zoom dissection: UDP payload -> encapsulation headers ->
+// RTP/RTCP, mirroring the recipe of paper §4.2 and the Wireshark plugin
+// (Appendix C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "proto/h264.h"
+#include "proto/rtcp.h"
+#include "proto/rtp.h"
+#include "proto/stun.h"
+#include "zoom/encap.h"
+
+namespace zpm::zoom {
+
+/// How the packet reached us (determines whether the 8-byte SFU
+/// encapsulation precedes the media encapsulation).
+enum class Transport : std::uint8_t { ServerBased, P2P };
+
+/// Dissection outcome categories.
+enum class PacketCategory : std::uint8_t {
+  Media,         // RTP audio/video/screen-share (types 13/15/16)
+  Rtcp,          // RTCP SR / SR+SDES (types 33/34)
+  Stun,          // cleartext STUN (P2P pre-flight, §4.1)
+  UnknownSfu,    // SFU encap type != 0x05 (≈1.6% of server packets)
+  UnknownMedia,  // media encap type outside {13,15,16,33,34} (<10%)
+};
+
+/// Fully dissected Zoom UDP payload. Spans borrow the input buffer.
+struct ZoomPacket {
+  Transport transport = Transport::ServerBased;
+  PacketCategory category = PacketCategory::UnknownMedia;
+  std::optional<SfuEncap> sfu;       // present iff server-based
+  std::optional<MediaEncap> media;   // present for known media-encap types
+  std::optional<proto::RtpHeader> rtp;
+  std::vector<proto::RtcpPacket> rtcp;
+  std::optional<proto::FuA> fu_a;    // H.264 FU-A indication (video only)
+  std::optional<proto::StunMessage> stun;
+  /// Encrypted media payload after RTP header (and FU-A bytes if video).
+  std::span<const std::uint8_t> rtp_payload;
+
+  [[nodiscard]] bool is_media() const { return category == PacketCategory::Media; }
+  [[nodiscard]] std::optional<MediaKind> media_kind() const {
+    return media ? media->media_kind() : std::nullopt;
+  }
+  /// SSRC of the RTP stream, or the sender SSRC of the first RTCP packet.
+  [[nodiscard]] std::optional<std::uint32_t> ssrc() const;
+};
+
+/// Dissects one Zoom UDP payload. Returns nullopt when the payload is
+/// not recognizably Zoom at all (used to discard P2P false positives,
+/// §4.1: "they can easily be filtered out by inspecting the packet
+/// format").
+std::optional<ZoomPacket> dissect(std::span<const std::uint8_t> udp_payload,
+                                  Transport transport);
+
+/// Dissects a STUN exchange packet (client <-> zone controller, port
+/// 3478). Thin wrapper kept symmetrical with dissect().
+std::optional<ZoomPacket> dissect_stun(std::span<const std::uint8_t> udp_payload);
+
+/// True when (media kind, RTP payload type) is one of the documented
+/// combinations of Table 3.
+bool is_known_payload_type(MediaKind kind, std::uint8_t payload_type);
+
+/// Human-readable description for Table 3 rows, e.g. "speaking mode".
+std::string_view payload_type_description(MediaKind kind, std::uint8_t payload_type);
+
+}  // namespace zpm::zoom

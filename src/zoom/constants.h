@@ -1,0 +1,100 @@
+// Wire constants of Zoom's proprietary protocol as reverse-engineered in
+// the paper (§4.2, Tables 1-3, Fig. 7). Everything here was observed in
+// cleartext in 2021/2022-era Zoom traffic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace zpm::zoom {
+
+/// UDP port Zoom servers (MMRs) use for media (§3).
+inline constexpr std::uint16_t kServerMediaPort = 8801;
+/// UDP port Zoom Zone Controllers answer STUN on (§4.1).
+inline constexpr std::uint16_t kStunServerPort = 3478;
+
+/// SFU encapsulation type that indicates a media encapsulation header
+/// follows (98.4% of server-based packets, Table 1).
+inline constexpr std::uint8_t kSfuTypeMedia = 0x05;
+
+/// SFU encapsulation direction values (Table 1, byte 7).
+inline constexpr std::uint8_t kSfuDirToSfu = 0x00;
+inline constexpr std::uint8_t kSfuDirFromSfu = 0x04;
+
+/// Zoom media encapsulation type values (Table 2).
+enum class MediaEncapType : std::uint8_t {
+  ScreenShare = 13,
+  Audio = 15,
+  Video = 16,
+  RtcpSr = 33,       // sender report
+  RtcpSrSdes = 34,   // sender report + source description
+};
+
+/// Media stream kinds derived from the encapsulation type.
+enum class MediaKind : std::uint8_t { Audio, Video, ScreenShare };
+
+/// Returns the media kind for an encapsulation type, if it is one of the
+/// three RTP media types.
+constexpr std::optional<MediaKind> media_kind_of(std::uint8_t encap_type) {
+  switch (static_cast<MediaEncapType>(encap_type)) {
+    case MediaEncapType::Audio: return MediaKind::Audio;
+    case MediaEncapType::Video: return MediaKind::Video;
+    case MediaEncapType::ScreenShare: return MediaKind::ScreenShare;
+    default: return std::nullopt;
+  }
+}
+
+constexpr std::string_view media_kind_name(MediaKind k) {
+  switch (k) {
+    case MediaKind::Audio: return "audio";
+    case MediaKind::Video: return "video";
+    case MediaKind::ScreenShare: return "screen_share";
+  }
+  return "?";
+}
+
+/// True for the two RTCP-carrying encapsulation types.
+constexpr bool is_rtcp_encap_type(std::uint8_t encap_type) {
+  return encap_type == static_cast<std::uint8_t>(MediaEncapType::RtcpSr) ||
+         encap_type == static_cast<std::uint8_t>(MediaEncapType::RtcpSrSdes);
+}
+
+/// Offset from the start of the media encapsulation header to the
+/// encapsulated RTP/RTCP payload (Table 2 / Fig. 7), or 0 for unknown
+/// types.
+constexpr std::size_t media_payload_offset(std::uint8_t encap_type) {
+  switch (static_cast<MediaEncapType>(encap_type)) {
+    case MediaEncapType::ScreenShare: return 27;
+    case MediaEncapType::Audio: return 19;
+    case MediaEncapType::Video: return 24;
+    case MediaEncapType::RtcpSr: return 16;
+    case MediaEncapType::RtcpSrSdes: return 16;
+    default: return 0;
+  }
+}
+
+/// RTP payload types Zoom uses per media kind (Table 3).
+namespace pt {
+inline constexpr std::uint8_t kVideoMain = 98;
+inline constexpr std::uint8_t kFec = 110;            // video + audio FEC substream
+inline constexpr std::uint8_t kAudioSpeaking = 112;  // participant talking
+inline constexpr std::uint8_t kAudioSilent = 99;     // fixed 40 B silence packets
+inline constexpr std::uint8_t kAudioUnknownMode = 113;  // mobile clients
+inline constexpr std::uint8_t kScreenShareMain = 99;
+}  // namespace pt
+
+/// Fixed RTP payload size of silent-mode audio packets (§4.2.3).
+inline constexpr std::size_t kSilentAudioPayloadBytes = 40;
+
+/// Video RTP timestamp clock (§5.2, RFC 3551 recommendation).
+inline constexpr std::uint32_t kVideoClockHz = 90'000;
+/// Audio RTP timestamp clock (Opus-style 48 kHz; audio uses 20 ms frames).
+inline constexpr std::uint32_t kAudioClockHz = 48'000;
+
+/// Zoom retransmits a lost media packet at most this many times (§5.5).
+inline constexpr int kMaxRetransmissions = 2;
+/// Observed retransmission timeout added on top of the RTT (§5.5).
+inline constexpr std::int64_t kRetransmitTimeoutUs = 100'000;
+
+}  // namespace zpm::zoom

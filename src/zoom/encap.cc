@@ -1,0 +1,73 @@
+#include "zoom/encap.h"
+
+namespace zpm::zoom {
+
+std::optional<SfuEncap> SfuEncap::parse(util::ByteReader& r) {
+  if (!r.can_read(kSize)) return std::nullopt;
+  SfuEncap h;
+  h.type = r.u8();
+  h.sequence = r.u16be();
+  for (auto& b : h.undocumented) b = r.u8();
+  h.direction = r.u8();
+  return h;
+}
+
+void SfuEncap::serialize(util::ByteWriter& w) const {
+  w.u8(type);
+  w.u16be(sequence);
+  w.bytes(undocumented);
+  w.u8(direction);
+}
+
+std::size_t MediaEncap::undocumented_size() const {
+  // Documented bytes: type (1) + seq (2) + ts (4) = 7 common bytes, plus
+  // frame seq (2) + pkts-in-frame (1) for video. Everything else in the
+  // type's header length is undocumented filler.
+  std::size_t len = header_length();
+  if (len == 0) return 0;
+  std::size_t documented = 1 + 2 + 4 + (is_video() ? 3 : 0);
+  return len - documented;
+}
+
+std::optional<MediaEncap> MediaEncap::parse(util::ByteReader& r) {
+  std::uint8_t type = r.peek_u8();
+  std::size_t len = media_payload_offset(type);
+  if (len == 0 || !r.can_read(len)) return std::nullopt;
+
+  MediaEncap h;
+  h.type = r.u8();
+  std::size_t undoc = 0;
+  // Bytes 1-8: undocumented.
+  for (std::size_t i = 1; i <= 8; ++i) h.undocumented[undoc++] = r.u8();
+  h.sequence = r.u16be();   // bytes 9-10
+  h.timestamp = r.u32be();  // bytes 11-14
+  if (h.is_video()) {
+    // Bytes 15-20 undocumented, 21-22 frame seq, 23 pkts-in-frame.
+    for (std::size_t i = 15; i <= 20; ++i) h.undocumented[undoc++] = r.u8();
+    h.frame_sequence = r.u16be();
+    h.packets_in_frame = r.u8();
+  } else {
+    // Remaining bytes up to the payload offset are undocumented.
+    for (std::size_t i = 15; i < len; ++i) h.undocumented[undoc++] = r.u8();
+  }
+  return r.ok() ? std::optional(h) : std::nullopt;
+}
+
+void MediaEncap::serialize(util::ByteWriter& w) const {
+  std::size_t len = header_length();
+  if (len == 0) return;  // unknown type: nothing sensible to emit
+  w.u8(type);
+  std::size_t undoc = 0;
+  for (std::size_t i = 1; i <= 8; ++i) w.u8(undocumented[undoc++]);
+  w.u16be(sequence);
+  w.u32be(timestamp);
+  if (is_video()) {
+    for (std::size_t i = 15; i <= 20; ++i) w.u8(undocumented[undoc++]);
+    w.u16be(frame_sequence);
+    w.u8(packets_in_frame);
+  } else {
+    for (std::size_t i = 15; i < len; ++i) w.u8(undocumented[undoc++]);
+  }
+}
+
+}  // namespace zpm::zoom

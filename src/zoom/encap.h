@@ -1,0 +1,75 @@
+// Zoom's two proprietary encapsulation headers (paper §4.2.2, Table 1,
+// Fig. 7).
+//
+// Server-based traffic:  UDP | SFU encap (8 B) | media encap | RTP/RTCP
+// P2P traffic:           UDP | media encap | RTP/RTCP
+//
+// The paper documents a subset of fields; the remaining bytes are kept
+// as raw "undocumented" bytes so (a) the dissector can show them and
+// (b) serialization round-trips byte-for-byte.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/bytes.h"
+#include "zoom/constants.h"
+
+namespace zpm::zoom {
+
+/// Zoom SFU encapsulation: fixed 8-byte header present on all
+/// server-based UDP packets (absent on P2P).
+struct SfuEncap {
+  std::uint8_t type = kSfuTypeMedia;      // byte 0; 0x05 = media encap follows
+  std::uint16_t sequence = 0;             // bytes 1-2
+  std::array<std::uint8_t, 4> undocumented{};  // bytes 3-6
+  std::uint8_t direction = kSfuDirToSfu;  // byte 7; 0x00 to / 0x04 from SFU
+
+  static constexpr std::size_t kSize = 8;
+
+  [[nodiscard]] bool is_from_sfu() const { return direction == kSfuDirFromSfu; }
+  /// True when a media encapsulation header follows this one.
+  [[nodiscard]] bool carries_media_encap() const { return type == kSfuTypeMedia; }
+
+  static std::optional<SfuEncap> parse(util::ByteReader& r);
+  void serialize(util::ByteWriter& w) const;
+};
+
+/// Zoom media encapsulation: variable-length header whose first byte
+/// (the type) determines where the encapsulated RTP/RTCP starts
+/// (Table 2). Fields at fixed offsets per Table 1.
+struct MediaEncap {
+  std::uint8_t type = 0;            // byte 0 (13/15/16/33/34 understood)
+  std::uint16_t sequence = 0;       // bytes 9-10
+  std::uint32_t timestamp = 0;      // bytes 11-14
+  std::uint16_t frame_sequence = 0; // bytes 21-22 (video only)
+  std::uint8_t packets_in_frame = 0;// byte 23 (video only)
+  /// The undocumented filler bytes, in header order, excluding the
+  /// documented fields above. Sized for the largest (screen share)
+  /// header; only the first `undocumented_size()` entries are meaningful.
+  std::array<std::uint8_t, 20> undocumented{};
+
+  /// Header length for this packet's type (Table 2 offset), 0 if the
+  /// type is not one of the five understood values.
+  [[nodiscard]] std::size_t header_length() const { return media_payload_offset(type); }
+  [[nodiscard]] bool is_video() const {
+    return type == static_cast<std::uint8_t>(MediaEncapType::Video);
+  }
+  [[nodiscard]] bool is_rtcp() const { return is_rtcp_encap_type(type); }
+  [[nodiscard]] std::optional<MediaKind> media_kind() const { return media_kind_of(type); }
+
+  /// Number of undocumented bytes for this type.
+  [[nodiscard]] std::size_t undocumented_size() const;
+
+  /// Parses a media encapsulation header of a known type. nullopt when
+  /// the first byte is not a known type or the buffer is shorter than
+  /// the type's header length. On success the reader sits at the
+  /// encapsulated RTP/RTCP payload.
+  static std::optional<MediaEncap> parse(util::ByteReader& r);
+
+  void serialize(util::ByteWriter& w) const;
+};
+
+}  // namespace zpm::zoom

@@ -1,0 +1,201 @@
+#include "zoom/server_db.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace zpm::zoom {
+
+ServerDb::ServerDb(std::vector<net::Ipv4Subnet> subnets) : subnets_(std::move(subnets)) {
+  rebuild_intervals();
+}
+
+void ServerDb::add(net::Ipv4Subnet subnet) {
+  subnets_.push_back(subnet);
+  rebuild_intervals();
+}
+
+void ServerDb::rebuild_intervals() {
+  intervals_.clear();
+  intervals_.reserve(subnets_.size());
+  for (const auto& s : subnets_) {
+    std::uint32_t start = s.base().value();
+    std::uint32_t end = start + static_cast<std::uint32_t>(s.size() - 1);
+    intervals_.emplace_back(start, end);
+  }
+  std::sort(intervals_.begin(), intervals_.end());
+  // Merge overlaps so lookup is a single binary search.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> merged;
+  for (const auto& iv : intervals_) {
+    if (!merged.empty() && iv.first <= merged.back().second + 1 &&
+        merged.back().second >= iv.first - 1) {
+      merged.back().second = std::max(merged.back().second, iv.second);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+bool ServerDb::contains(net::Ipv4Addr ip) const {
+  std::uint32_t v = ip.value();
+  auto it = std::upper_bound(intervals_.begin(), intervals_.end(),
+                             std::pair<std::uint32_t, std::uint32_t>{v, 0xffffffffu});
+  if (it == intervals_.begin()) return false;
+  --it;
+  return v >= it->first && v <= it->second;
+}
+
+std::uint64_t ServerDb::address_count() const {
+  std::uint64_t total = 0;
+  for (const auto& iv : intervals_) total += std::uint64_t{iv.second} - iv.first + 1;
+  return total;
+}
+
+const ServerDb& ServerDb::official() {
+  static const ServerDb db = [] {
+    // Representative of the published list's structure (Appendix B):
+    // Zoom's own AS30103 block plus AWS and Oracle Cloud allocations.
+    std::vector<net::Ipv4Subnet> nets;
+    auto push = [&nets](const char* cidr) {
+      auto s = net::Ipv4Subnet::parse(cidr);
+      if (s) nets.push_back(*s);
+    };
+    push("170.114.0.0/16");    // AS30103 — MMR/ZC pool used by the simulator
+    push("206.247.0.0/16");    // AS30103
+    push("221.122.88.64/27");  // Chinese ISP block
+    push("52.202.62.192/26");  // AWS
+    push("52.61.100.0/24");    // AWS
+    push("3.235.69.0/25");     // AWS
+    push("99.79.20.0/25");     // AWS
+    push("18.205.93.128/25");  // AWS
+    push("130.61.164.0/22");   // Oracle Cloud
+    push("134.224.0.0/16");    // Oracle Cloud
+    return ServerDb(std::move(nets));
+  }();
+  return db;
+}
+
+std::optional<ParsedServerName> parse_server_name(std::string_view name) {
+  // zoom<loc><id><type>.<loc>.zoom.us
+  constexpr std::string_view kPrefix = "zoom";
+  if (name.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  std::string_view rest = name.substr(kPrefix.size());
+
+  if (rest.size() < 2 || !std::isalpha(static_cast<unsigned char>(rest[0])) ||
+      !std::isalpha(static_cast<unsigned char>(rest[1])))
+    return std::nullopt;
+  std::string loc(rest.substr(0, 2));
+  rest.remove_prefix(2);
+
+  std::size_t digits = 0;
+  int id = 0;
+  while (digits < rest.size() && std::isdigit(static_cast<unsigned char>(rest[digits]))) {
+    id = id * 10 + (rest[digits] - '0');
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  rest.remove_prefix(digits);
+
+  ServerKind kind;
+  if (rest.substr(0, 3) == "mmr") {
+    kind = ServerKind::Mmr;
+    rest.remove_prefix(3);
+  } else if (rest.substr(0, 2) == "zc") {
+    kind = ServerKind::Zc;
+    rest.remove_prefix(2);
+  } else {
+    return std::nullopt;
+  }
+
+  std::string expected_suffix = "." + loc + ".zoom.us";
+  if (rest != expected_suffix) return std::nullopt;
+  return ParsedServerName{loc, id, kind};
+}
+
+const std::vector<ServerSite>& census_sites() {
+  static const std::vector<ServerSite> sites = [] {
+    std::vector<ServerSite> out;
+    int block = 0;
+    auto add = [&out, &block](const char* code, const char* label, int mmrs, int zcs) {
+      // Each site gets a /20 inside 170.114.0.0/16 (4096 addresses:
+      // ample for the largest site's 1478 servers).
+      net::Ipv4Addr base(170, 114, static_cast<std::uint8_t>(block * 16), 0);
+      out.push_back(ServerSite{code, label, mmrs, zcs, net::Ipv4Subnet(base, 20)});
+      ++block;
+    };
+    // Counts copied from Table 7 of the paper.
+    add("ca", "United States - California (multiple)", 1410, 68);
+    add("ny", "United States - New York (New York City)", 1280, 62);
+    add("dv", "United States - Colorado (Denver)", 758, 21);
+    add("dc", "United States - Virginia (Washington D.C.)", 166, 4);
+    add("se", "United States - Washington (Seattle)", 96, 12);
+    add("am", "Netherlands (Amsterdam)", 419, 21);
+    add("hk", "China (Hongkong)", 274, 8);
+    add("fr", "Germany (Frankfurt)", 214, 2);
+    add("sy", "Australia (Sydney, Melbourne)", 210, 20);
+    add("mb", "India (Mumbai, Hyderabad)", 196, 10);
+    add("ty", "Japan (Tokyo)", 128, 2);
+    add("sp", "Brasil (Sao Paulo)", 124, 6);
+    add("to", "Canada (Toronto)", 93, 12);
+    add("bj", "China (Mainland)", 84, 8);
+    return out;
+  }();
+  return sites;
+}
+
+std::vector<ServerRecord> synthesize_infrastructure(util::Rng& rng, int noise_count) {
+  std::vector<ServerRecord> records;
+  for (const auto& site : census_sites()) {
+    std::uint32_t next_ip = site.subnet.base().value() + 1;
+    for (int i = 1; i <= site.mmrs; ++i) {
+      records.push_back(ServerRecord{
+          net::Ipv4Addr(next_ip++),
+          "zoom" + site.code + std::to_string(i) + "mmr." + site.code + ".zoom.us"});
+    }
+    for (int i = 1; i <= site.zcs; ++i) {
+      records.push_back(ServerRecord{
+          net::Ipv4Addr(next_ip++),
+          "zoom" + site.code + std::to_string(i) + "zc." + site.code + ".zoom.us"});
+    }
+  }
+  // Non-MMR/ZC infrastructure (web, API, TURN, ...) whose names do not
+  // follow the scheme; the census must skip these.
+  for (int i = 0; i < noise_count; ++i) {
+    std::uint32_t ip = 0xcef70000u /* 206.247.0.0 */ +
+                       static_cast<std::uint32_t>(rng.uniform_int(1, 65000));
+    const char* kinds[] = {"www", "api", "turn", "rwg", "web"};
+    records.push_back(ServerRecord{
+        net::Ipv4Addr(ip),
+        std::string(kinds[static_cast<std::size_t>(rng.uniform_int(0, 4))]) +
+            std::to_string(rng.uniform_int(1, 99)) + ".zoom.us"});
+  }
+  return records;
+}
+
+std::vector<SiteTally> census_tally(const std::vector<ServerRecord>& records) {
+  // code -> tally, labelled via the site list when known.
+  std::vector<SiteTally> tallies;
+  auto find_or_add = [&tallies](const std::string& code) -> SiteTally& {
+    std::string label = code;
+    for (const auto& site : census_sites())
+      if (site.code == code) label = site.label;
+    for (auto& t : tallies)
+      if (t.label == label) return t;
+    tallies.push_back(SiteTally{label, 0, 0});
+    return tallies.back();
+  };
+  for (const auto& rec : records) {
+    auto parsed = parse_server_name(rec.dns_name);
+    if (!parsed) continue;  // not an MMR/ZC name
+    auto& tally = find_or_add(parsed->location);
+    if (parsed->kind == ServerKind::Mmr)
+      ++tally.mmrs;
+    else
+      ++tally.zcs;
+  }
+  std::sort(tallies.begin(), tallies.end(),
+            [](const SiteTally& a, const SiteTally& b) { return a.mmrs > b.mmrs; });
+  return tallies;
+}
+
+}  // namespace zpm::zoom

@@ -1,0 +1,95 @@
+// Zoom server infrastructure knowledge (paper §3, §6.1, Appendix B):
+// the published IP-subnet list used for stateless server-traffic
+// matching, and the MMR/ZC census methodology behind Table 7.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/addr.h"
+#include "util/rng.h"
+
+namespace zpm::zoom {
+
+/// Set of IPv4 subnets belonging to Zoom; answers membership queries in
+/// O(log n) over merged intervals. This is the stateless half of the
+/// Fig. 13 capture filter.
+class ServerDb {
+ public:
+  ServerDb() = default;
+  explicit ServerDb(std::vector<net::Ipv4Subnet> subnets);
+
+  /// A representative instance of Zoom's published IP list (the real
+  /// list is public; this subset covers the AS30103 / AWS / Oracle
+  /// split described in Appendix B and is what the simulator allocates
+  /// server addresses from).
+  static const ServerDb& official();
+
+  void add(net::Ipv4Subnet subnet);
+  [[nodiscard]] bool contains(net::Ipv4Addr ip) const;
+  [[nodiscard]] const std::vector<net::Ipv4Subnet>& subnets() const { return subnets_; }
+  /// Total addresses covered (after interval merging).
+  [[nodiscard]] std::uint64_t address_count() const;
+
+ private:
+  void rebuild_intervals();
+  std::vector<net::Ipv4Subnet> subnets_;
+  // Merged, sorted [start, end] closed intervals for lookup.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals_;
+};
+
+/// Server role decoded from the reverse-DNS naming scheme.
+enum class ServerKind : std::uint8_t { Mmr, Zc };
+
+/// One server as discovered by the Appendix-B census (IP + reverse DNS).
+struct ServerRecord {
+  net::Ipv4Addr ip;
+  std::string dns_name;
+};
+
+/// Decoded `zoom<location><id><type>.<location>.zoom.us` name.
+struct ParsedServerName {
+  std::string location;  // two-letter site code
+  int id = 0;
+  ServerKind kind = ServerKind::Mmr;
+};
+
+/// Parses the naming scheme; nullopt for names that do not match
+/// (census treats those as non-MMR/ZC addresses).
+std::optional<ParsedServerName> parse_server_name(std::string_view name);
+
+/// A census site with its paper-reported server counts (Table 7).
+struct ServerSite {
+  std::string code;     // two-letter id used in DNS names
+  std::string label;    // human-readable location, as printed in Table 7
+  int mmrs = 0;
+  int zcs = 0;
+  net::Ipv4Subnet subnet;  // where this site's addresses are allocated
+};
+
+/// The site list backing the synthetic infrastructure (counts mirror
+/// Table 7 of the paper).
+const std::vector<ServerSite>& census_sites();
+
+/// Generates the full synthetic server inventory: one ServerRecord per
+/// MMR/ZC with scheme-conformant DNS names, plus `noise_count` non-media
+/// addresses with unrelated names (census must ignore them).
+std::vector<ServerRecord> synthesize_infrastructure(util::Rng& rng,
+                                                    int noise_count = 200);
+
+/// Census result row.
+struct SiteTally {
+  std::string label;
+  int mmrs = 0;
+  int zcs = 0;
+};
+
+/// Reproduces the Table 7 method: parse every record's DNS name,
+/// classify MMR vs ZC, and tally per site (rows ordered by MMR count,
+/// descending). Records with non-conforming names are skipped.
+std::vector<SiteTally> census_tally(const std::vector<ServerRecord>& records);
+
+}  // namespace zpm::zoom

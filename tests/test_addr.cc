@@ -1,0 +1,70 @@
+// IPv4 address / subnet parsing and containment.
+#include <gtest/gtest.h>
+
+#include "net/addr.h"
+
+namespace zpm::net {
+namespace {
+
+TEST(Ipv4Addr, ParseAndFormat) {
+  auto a = Ipv4Addr::parse("170.114.0.10");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->value(), 0xaa72000au);
+  EXPECT_EQ(a->to_string(), "170.114.0.10");
+  EXPECT_EQ(Ipv4Addr(1, 2, 3, 4).to_string(), "1.2.3.4");
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 "));
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4Addr(10, 0, 0, 1), *Ipv4Addr::parse("10.0.0.1"));
+}
+
+TEST(Ipv4Subnet, ContainsAndSize) {
+  auto s = Ipv4Subnet::parse("170.114.0.0/16");
+  ASSERT_TRUE(s);
+  EXPECT_TRUE(s->contains(Ipv4Addr(170, 114, 255, 255)));
+  EXPECT_TRUE(s->contains(Ipv4Addr(170, 114, 0, 0)));
+  EXPECT_FALSE(s->contains(Ipv4Addr(170, 115, 0, 0)));
+  EXPECT_EQ(s->size(), 65536u);
+  EXPECT_EQ(s->to_string(), "170.114.0.0/16");
+}
+
+TEST(Ipv4Subnet, NonCanonicalBaseIsMasked) {
+  Ipv4Subnet s(Ipv4Addr(10, 1, 2, 3), 24);
+  EXPECT_EQ(s.base(), Ipv4Addr(10, 1, 2, 0));
+  EXPECT_TRUE(s.contains(Ipv4Addr(10, 1, 2, 200)));
+}
+
+TEST(Ipv4Subnet, EdgePrefixLengths) {
+  Ipv4Subnet whole(Ipv4Addr(0, 0, 0, 0), 0);
+  EXPECT_TRUE(whole.contains(Ipv4Addr(255, 255, 255, 255)));
+  Ipv4Subnet host(Ipv4Addr(8, 8, 8, 8), 32);
+  EXPECT_TRUE(host.contains(Ipv4Addr(8, 8, 8, 8)));
+  EXPECT_FALSE(host.contains(Ipv4Addr(8, 8, 8, 9)));
+  EXPECT_EQ(host.size(), 1u);
+}
+
+TEST(Ipv4Subnet, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Subnet::parse("10.0.0.0"));
+  EXPECT_FALSE(Ipv4Subnet::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Ipv4Subnet::parse("10.0.0.0/x"));
+  EXPECT_FALSE(Ipv4Subnet::parse("10.0/8"));
+}
+
+TEST(MacAddr, Format) {
+  MacAddr m{{0x02, 0x5a, 0xff, 0x00, 0x10, 0x01}};
+  EXPECT_EQ(m.to_string(), "02:5a:ff:00:10:01");
+}
+
+}  // namespace
+}  // namespace zpm::net

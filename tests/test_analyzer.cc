@@ -1,0 +1,240 @@
+// The end-to-end analyzer over hand-built packets: detection paths,
+// counters, stream/meeting wiring, RTT extraction.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "net/build.h"
+#include "sim/wire.h"
+
+namespace zpm::core {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+const net::Ipv4Addr kSfu(170, 114, 0, 10);     // in ServerDb::official()
+const net::Ipv4Addr kZc(170, 114, 0, 200);     // zone controller
+const net::Ipv4Addr kClientA(10, 8, 0, 1);
+const net::Ipv4Addr kClientB(10, 8, 0, 2);
+const net::Ipv4Addr kPeer(98, 0, 0, 9);        // off-campus P2P peer
+
+AnalyzerConfig config() {
+  AnalyzerConfig c;
+  c.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
+  return c;
+}
+
+util::Rng& rng() {
+  static util::Rng r(7);
+  return r;
+}
+
+net::RawPacket media_packet(Timestamp t, net::Ipv4Addr src, std::uint16_t sport,
+                            net::Ipv4Addr dst, std::uint16_t dport,
+                            const sim::MediaPacketSpec& spec, bool to_sfu) {
+  auto inner = sim::build_media_payload(spec, rng());
+  auto wrapped = sim::wrap_sfu(inner, 1, !to_sfu);
+  return net::build_udp(t, src, sport, dst, dport, wrapped);
+}
+
+sim::MediaPacketSpec video_spec(std::uint32_t ssrc, std::uint16_t seq,
+                                std::uint32_t ts) {
+  sim::MediaPacketSpec spec;
+  spec.encap_type = zoom::MediaEncapType::Video;
+  spec.payload_type = zoom::pt::kVideoMain;
+  spec.ssrc = ssrc;
+  spec.rtp_seq = seq;
+  spec.rtp_timestamp = ts;
+  spec.marker = true;
+  spec.packets_in_frame = 1;
+  spec.frame_sequence = seq;
+  spec.payload_bytes = 600;
+  return spec;
+}
+
+TEST(Analyzer, ServerMediaPacketCountedAndStreamCreated) {
+  Analyzer a(config());
+  auto pkt = media_packet(Timestamp::from_seconds(10), kClientA, 40000, kSfu, 8801,
+                          video_spec(0x42, 1, 90000), /*to_sfu=*/true);
+  EXPECT_TRUE(a.offer(pkt));
+  a.finish();
+  const auto& c = a.counters();
+  EXPECT_EQ(c.total_packets, 1u);
+  EXPECT_EQ(c.zoom_packets, 1u);
+  EXPECT_EQ(c.server_udp_packets, 1u);
+  EXPECT_EQ(c.media_packets, 1u);
+  EXPECT_EQ(a.streams().size(), 1u);
+  EXPECT_EQ(a.zoom_flow_count(), 1u);
+  const auto& stream = *a.streams().streams()[0];
+  EXPECT_EQ(stream.kind, zoom::MediaKind::Video);
+  EXPECT_EQ(stream.direction, StreamDirection::ToSfu);
+  EXPECT_EQ(stream.client_ip, kClientA);
+  EXPECT_EQ(a.meetings().meeting_count(), 1u);
+}
+
+TEST(Analyzer, SfuCopyYieldsRttSampleAndOneMeeting) {
+  Analyzer a(config());
+  Timestamp t = Timestamp::from_seconds(10);
+  // A's uplink video packet...
+  a.offer(media_packet(t, kClientA, 40000, kSfu, 8801, video_spec(0x42, 5, 90000),
+                       true));
+  // ...comes back from the SFU 30 ms later addressed to B.
+  a.offer(media_packet(t + Duration::millis(30), kSfu, 8801, kClientB, 41000,
+                       video_spec(0x42, 5, 90000), false));
+  a.finish();
+  ASSERT_EQ(a.sfu_rtt_samples().size(), 1u);
+  EXPECT_NEAR(a.sfu_rtt_samples()[0].rtt.ms(), 30.0, 0.01);
+  // Duplicate-stream detection linked the copies into one meeting with
+  // both participants.
+  EXPECT_EQ(a.streams().size(), 2u);
+  EXPECT_EQ(a.streams().media_count(), 1u);
+  auto meetings = a.meetings().meetings();
+  ASSERT_EQ(meetings.size(), 1u);
+  EXPECT_EQ(meetings[0]->active_participants(), 2u);
+  EXPECT_EQ(meetings[0]->rtt_to_sfu.size(), 1u);
+}
+
+TEST(Analyzer, StunArmsP2pDetection) {
+  Analyzer a(config());
+  Timestamp t = Timestamp::from_seconds(20);
+  // STUN request from A:47000 to the zone controller.
+  std::array<std::uint8_t, 12> txn{};
+  util::ByteWriter stun;
+  proto::make_binding_request(txn).serialize(stun);
+  EXPECT_TRUE(a.offer(net::build_udp(t, kClientA, 47000, kZc, 3478, stun.view())));
+  EXPECT_EQ(a.counters().stun_packets, 1u);
+
+  // P2P media from the armed endpoint to an unknown peer.
+  sim::MediaPacketSpec spec = video_spec(0x7, 1, 1000);
+  auto inner = sim::build_media_payload(spec, rng());
+  auto p2p = net::build_udp(t + Duration::seconds(2.0), kClientA, 47000, kPeer,
+                            52000, inner);
+  EXPECT_TRUE(a.offer(p2p));
+  a.finish();
+  EXPECT_EQ(a.counters().p2p_udp_packets, 1u);
+  ASSERT_EQ(a.streams().size(), 1u);
+  EXPECT_EQ(a.streams().streams()[0]->transport, zoom::Transport::P2P);
+  EXPECT_TRUE(a.meetings().meetings()[0]->saw_p2p);
+}
+
+TEST(Analyzer, P2pFalsePositiveRejectedByDissection) {
+  Analyzer a(config());
+  Timestamp t = Timestamp::from_seconds(20);
+  std::array<std::uint8_t, 12> txn{};
+  util::ByteWriter stun;
+  proto::make_binding_request(txn).serialize(stun);
+  a.offer(net::build_udp(t, kClientA, 47000, kZc, 3478, stun.view()));
+  // Port reuse: same endpoint now talks DNS-ish garbage to someone.
+  std::vector<std::uint8_t> garbage(80, 0x00);
+  auto fp = net::build_udp(t + Duration::seconds(1.0), kClientA, 47000,
+                           net::Ipv4Addr(1, 1, 1, 1), 53, garbage);
+  EXPECT_FALSE(a.offer(fp));
+  EXPECT_EQ(a.counters().p2p_false_positives, 1u);
+  EXPECT_EQ(a.streams().size(), 0u);
+}
+
+TEST(Analyzer, UnarmedP2pEndpointIgnored) {
+  Analyzer a(config());
+  sim::MediaPacketSpec spec = video_spec(0x7, 1, 1000);
+  auto inner = sim::build_media_payload(spec, rng());
+  // Perfectly valid Zoom P2P bytes, but no STUN was observed: a monitor
+  // cannot know this is Zoom (the paper's point about prior work).
+  auto pkt = net::build_udp(Timestamp::from_seconds(5), kClientA, 47000, kPeer,
+                            52000, inner);
+  EXPECT_FALSE(a.offer(pkt));
+  EXPECT_EQ(a.counters().zoom_packets, 0u);
+}
+
+TEST(Analyzer, TcpControlConnectionRtt) {
+  Analyzer a(config());
+  Timestamp t = Timestamp::from_seconds(30);
+  std::vector<std::uint8_t> payload(100, 0x17);
+  a.offer(net::build_tcp(t, kClientA, 55000, kSfu, 443, 1000, 1, net::kTcpAck,
+                         payload));
+  a.offer(net::build_tcp(t + Duration::millis(24), kSfu, 443, kClientA, 55000, 1,
+                         1100, net::kTcpAck, {}));
+  a.finish();
+  EXPECT_EQ(a.counters().tcp_control_packets, 2u);
+  ASSERT_EQ(a.tcp_rtt().size(), 1u);
+  const auto& est = a.tcp_rtt().begin()->second;
+  ASSERT_EQ(est.server_rtt().size(), 1u);
+  EXPECT_NEAR(est.server_rtt()[0].rtt.ms(), 24.0, 0.01);
+}
+
+TEST(Analyzer, TcpNon443ToZoomIgnored) {
+  Analyzer a(config());
+  std::vector<std::uint8_t> payload(10, 0);
+  EXPECT_FALSE(a.offer(net::build_tcp(Timestamp::from_seconds(1), kClientA, 55000,
+                                      kSfu, 8080, 1, 1, net::kTcpAck, payload)));
+}
+
+TEST(Analyzer, UnknownSfuAndMediaTypesCounted) {
+  Analyzer a(config());
+  Timestamp t = Timestamp::from_seconds(40);
+  // SFU type != 0x05.
+  auto inner = sim::build_media_payload(video_spec(0x1, 1, 1), rng());
+  auto odd = sim::wrap_sfu(inner, 1, false, 0x02);
+  a.offer(net::build_udp(t, kClientA, 40000, kSfu, 8801, odd));
+  // Unknown media encap type.
+  auto unknown = sim::wrap_sfu(sim::build_unknown_payload(30, 1, 100, rng()), 2, false);
+  a.offer(net::build_udp(t, kClientA, 40000, kSfu, 8801, unknown));
+  EXPECT_EQ(a.counters().unknown_sfu_packets, 1u);
+  EXPECT_EQ(a.counters().unknown_media_packets, 1u);
+  EXPECT_EQ(a.counters().zoom_packets, 2u);
+  EXPECT_EQ(a.counters().media_packets, 0u);
+}
+
+TEST(Analyzer, NonZoomTrafficNotCounted) {
+  Analyzer a(config());
+  std::vector<std::uint8_t> data(100, 0xaa);
+  EXPECT_FALSE(a.offer(net::build_udp(Timestamp::from_seconds(1), kClientA, 1234,
+                                      net::Ipv4Addr(23, 4, 5, 6), 443, data)));
+  EXPECT_FALSE(a.offer(net::build_tcp(Timestamp::from_seconds(1), kClientA, 1234,
+                                      net::Ipv4Addr(23, 4, 5, 6), 443, 1, 1,
+                                      net::kTcpAck, data)));
+  EXPECT_EQ(a.counters().total_packets, 2u);
+  EXPECT_EQ(a.counters().zoom_packets, 0u);
+}
+
+TEST(Analyzer, RtcpAttributedToExistingStream) {
+  Analyzer a(config());
+  Timestamp t = Timestamp::from_seconds(50);
+  a.offer(media_packet(t, kClientA, 40000, kSfu, 8801, video_spec(0x42, 1, 90000),
+                       true));
+  proto::SenderReport sr;
+  sr.sender_ssrc = 0x42;
+  auto rtcp = sim::wrap_sfu(sim::build_rtcp_payload(0x42, sr, true, 2, rng()), 3,
+                            false);
+  a.offer(net::build_udp(t + Duration::millis(100), kClientA, 40000, kSfu, 8801,
+                         rtcp));
+  a.finish();
+  EXPECT_EQ(a.counters().rtcp_packets, 1u);
+  const auto& stream = *a.streams().streams()[0];
+  ASSERT_EQ(stream.metrics->seconds().size(), 1u);
+  // RTCP bytes count toward the stream's transport bytes.
+  EXPECT_GT(stream.metrics->seconds()[0].transport_bytes,
+            stream.metrics->seconds()[0].media_bytes);
+}
+
+TEST(Analyzer, EncapAndPayloadTypeTalliesFeedTables) {
+  Analyzer a(config());
+  Timestamp t = Timestamp::from_seconds(60);
+  a.offer(media_packet(t, kClientA, 40000, kSfu, 8801, video_spec(0x42, 1, 90000),
+                       true));
+  sim::MediaPacketSpec audio;
+  audio.encap_type = zoom::MediaEncapType::Audio;
+  audio.payload_type = zoom::pt::kAudioSpeaking;
+  audio.ssrc = 0x43;
+  audio.payload_bytes = 90;
+  a.offer(media_packet(t, kClientA, 40001, kSfu, 8801, audio, true));
+  const auto& c = a.counters();
+  EXPECT_EQ(c.encap_types.at(16).packets, 1u);
+  EXPECT_EQ(c.encap_types.at(15).packets, 1u);
+  EXPECT_EQ(c.payload_types.at({static_cast<std::uint8_t>(zoom::MediaKind::Video),
+                                zoom::pt::kVideoMain})
+                .packets,
+            1u);
+}
+
+}  // namespace
+}  // namespace zpm::core

@@ -1,0 +1,122 @@
+// ByteReader / ByteWriter: bounds safety, byte order, round-trips.
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace zpm::util {
+namespace {
+
+TEST(ByteReader, ReadsBigEndianScalars) {
+  auto data = from_hex("01 0203 040506 0708090a 0102030405060708");
+  ByteReader r(data);
+  EXPECT_EQ(r.u8(), 0x01u);
+  EXPECT_EQ(r.u16be(), 0x0203u);
+  EXPECT_EQ(r.u24be(), 0x040506u);
+  EXPECT_EQ(r.u32be(), 0x0708090au);
+  EXPECT_EQ(r.u64be(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, OverrunFlipsToFailedStateAndStaysThere) {
+  std::uint8_t data[] = {0xaa, 0xbb};
+  ByteReader r(data);
+  EXPECT_EQ(r.u16be(), 0xaabbu);
+  EXPECT_EQ(r.u8(), 0u);  // past the end
+  EXPECT_FALSE(r.ok());
+  // Sticky: even reads that would fit now fail.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.bytes(1).empty());
+}
+
+TEST(ByteReader, PartialMultibyteReadDoesNotReadOutOfBounds) {
+  std::uint8_t data[] = {0x01, 0x02, 0x03};
+  ByteReader r(data);
+  EXPECT_EQ(r.u32be(), 0u);  // only 3 bytes available
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, BytesAndRestViews) {
+  auto data = from_hex("deadbeefcafe");
+  ByteReader r(data);
+  auto head = r.bytes(2);
+  ASSERT_EQ(head.size(), 2u);
+  EXPECT_EQ(head[0], 0xde);
+  auto rest = r.rest();
+  EXPECT_EQ(rest.size(), 4u);
+  EXPECT_EQ(rest[3], 0xfe);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, PeekDoesNotAdvance) {
+  auto data = from_hex("1122");
+  ByteReader r(data);
+  EXPECT_EQ(r.peek_u8(), 0x11u);
+  EXPECT_EQ(r.peek_u8(1), 0x22u);
+  EXPECT_EQ(r.peek_u8(2), 0u);  // out of range: 0, state unchanged
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.position(), 0u);
+}
+
+TEST(ByteReader, SkipPastEndFails) {
+  std::uint8_t data[] = {1, 2, 3};
+  ByteReader r(data);
+  r.skip(4);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteWriter, RoundTripsThroughReader) {
+  ByteWriter w;
+  w.u8(0x7f);
+  w.u16be(0xbeef);
+  w.u24be(0x010203);
+  w.u32be(0xdeadbeef);
+  w.u64be(0x1122334455667788ull);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0x7fu);
+  EXPECT_EQ(r.u16be(), 0xbeefu);
+  EXPECT_EQ(r.u24be(), 0x010203u);
+  EXPECT_EQ(r.u32be(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64be(), 0x1122334455667788ull);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteWriter, PatchU16OverwritesInPlace) {
+  ByteWriter w;
+  w.u16be(0);
+  w.u8(0xff);
+  w.patch_u16be(0, 0x1234);
+  EXPECT_EQ(to_hex(w.view()), "1234ff");
+}
+
+TEST(ByteWriter, PatchOutOfRangeIsIgnored) {
+  ByteWriter w;
+  w.u8(1);
+  w.patch_u16be(0, 0xffff);  // needs 2 bytes, only 1 present
+  EXPECT_EQ(to_hex(w.view()), "01");
+}
+
+TEST(ByteWriter, FillAppendsRepeatedByte) {
+  ByteWriter w;
+  w.fill(3, 0xab);
+  EXPECT_EQ(to_hex(w.view()), "ababab");
+}
+
+TEST(HexCodec, RoundTrip) {
+  auto bytes = from_hex("00ff10a5");
+  EXPECT_EQ(to_hex(bytes), "00ff10a5");
+}
+
+TEST(HexCodec, AcceptsWhitespaceAndUppercase) {
+  auto bytes = from_hex("DE AD be ef");
+  EXPECT_EQ(to_hex(bytes), "deadbeef");
+}
+
+TEST(HexCodec, RejectsOddLengthAndGarbage) {
+  EXPECT_TRUE(from_hex("abc").empty());
+  EXPECT_TRUE(from_hex("zz").empty());
+}
+
+}  // namespace
+}  // namespace zpm::util

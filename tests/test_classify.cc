@@ -1,0 +1,177 @@
+// End-to-end Zoom packet dissection (§4.2) over simulator-built bytes.
+#include <gtest/gtest.h>
+
+#include "sim/wire.h"
+#include "zoom/classify.h"
+
+namespace zpm::zoom {
+namespace {
+
+util::Rng& rng() {
+  static util::Rng r(42);
+  return r;
+}
+
+sim::MediaPacketSpec video_spec() {
+  sim::MediaPacketSpec spec;
+  spec.encap_type = MediaEncapType::Video;
+  spec.payload_type = pt::kVideoMain;
+  spec.ssrc = 0x1001;
+  spec.rtp_seq = 100;
+  spec.rtp_timestamp = 90000;
+  spec.marker = true;
+  spec.frame_sequence = 7;
+  spec.packets_in_frame = 3;
+  spec.payload_bytes = 500;
+  return spec;
+}
+
+TEST(Dissect, ServerVideoPacket) {
+  auto inner = sim::build_media_payload(video_spec(), rng());
+  auto wrapped = sim::wrap_sfu(inner, 55, /*from_sfu=*/true);
+  auto zp = dissect(wrapped, Transport::ServerBased);
+  ASSERT_TRUE(zp);
+  EXPECT_EQ(zp->category, PacketCategory::Media);
+  ASSERT_TRUE(zp->sfu);
+  EXPECT_EQ(zp->sfu->sequence, 55);
+  EXPECT_TRUE(zp->sfu->is_from_sfu());
+  ASSERT_TRUE(zp->media);
+  EXPECT_EQ(zp->media->type, 16);
+  EXPECT_EQ(zp->media->packets_in_frame, 3);
+  ASSERT_TRUE(zp->rtp);
+  EXPECT_EQ(zp->rtp->ssrc, 0x1001u);
+  EXPECT_EQ(zp->rtp->payload_type, pt::kVideoMain);
+  EXPECT_TRUE(zp->rtp->marker);
+  EXPECT_EQ(zp->media_kind(), MediaKind::Video);
+  EXPECT_EQ(zp->ssrc(), 0x1001u);
+  // Video payload begins with the FU-A bytes which are stripped off.
+  ASSERT_TRUE(zp->fu_a);
+  EXPECT_EQ(zp->rtp_payload.size(), 500u - 2u);
+}
+
+TEST(Dissect, P2pAudioPacket) {
+  sim::MediaPacketSpec spec;
+  spec.encap_type = MediaEncapType::Audio;
+  spec.payload_type = pt::kAudioSpeaking;
+  spec.ssrc = 0x2002;
+  spec.rtp_seq = 7;
+  spec.rtp_timestamp = 48000;
+  spec.payload_bytes = 90;
+  auto payload = sim::build_media_payload(spec, rng());
+  auto zp = dissect(payload, Transport::P2P);
+  ASSERT_TRUE(zp);
+  EXPECT_EQ(zp->category, PacketCategory::Media);
+  EXPECT_FALSE(zp->sfu);  // no SFU encapsulation on P2P
+  EXPECT_EQ(zp->media_kind(), MediaKind::Audio);
+  EXPECT_EQ(zp->rtp_payload.size(), 90u);
+  EXPECT_FALSE(zp->fu_a);
+}
+
+TEST(Dissect, ScreenSharePacket) {
+  sim::MediaPacketSpec spec;
+  spec.encap_type = MediaEncapType::ScreenShare;
+  spec.payload_type = pt::kScreenShareMain;
+  spec.ssrc = 0x3003;
+  spec.payload_bytes = 333;
+  auto inner = sim::build_media_payload(spec, rng());
+  auto wrapped = sim::wrap_sfu(inner, 1, false);
+  auto zp = dissect(wrapped, Transport::ServerBased);
+  ASSERT_TRUE(zp);
+  EXPECT_EQ(zp->media_kind(), MediaKind::ScreenShare);
+  EXPECT_EQ(zp->rtp_payload.size(), 333u);
+}
+
+TEST(Dissect, RtcpSrWithSdes) {
+  proto::SenderReport sr;
+  sr.sender_ssrc = 0x4004;
+  sr.rtp_timestamp = 1234;
+  sr.packet_count = 10;
+  auto inner = sim::build_rtcp_payload(0x4004, sr, /*include_sdes=*/true, 9, rng());
+  auto wrapped = sim::wrap_sfu(inner, 2, true);
+  auto zp = dissect(wrapped, Transport::ServerBased);
+  ASSERT_TRUE(zp);
+  EXPECT_EQ(zp->category, PacketCategory::Rtcp);
+  ASSERT_TRUE(zp->media);
+  EXPECT_EQ(zp->media->type, 34);  // SR + SDES
+  ASSERT_EQ(zp->rtcp.size(), 2u);
+  EXPECT_EQ(zp->ssrc(), 0x4004u);
+}
+
+TEST(Dissect, RtcpSrOnly) {
+  proto::SenderReport sr;
+  sr.sender_ssrc = 0x5005;
+  auto inner = sim::build_rtcp_payload(0x5005, sr, /*include_sdes=*/false, 9, rng());
+  auto wrapped = sim::wrap_sfu(inner, 2, false);
+  auto zp = dissect(wrapped, Transport::ServerBased);
+  ASSERT_TRUE(zp);
+  EXPECT_EQ(zp->media->type, 33);
+  ASSERT_EQ(zp->rtcp.size(), 1u);
+}
+
+TEST(Dissect, OddSfuTypeIsUnknownSfu) {
+  auto inner = sim::build_media_payload(video_spec(), rng());
+  auto wrapped = sim::wrap_sfu(inner, 3, false, /*sfu_type=*/0x01);
+  auto zp = dissect(wrapped, Transport::ServerBased);
+  ASSERT_TRUE(zp);
+  EXPECT_EQ(zp->category, PacketCategory::UnknownSfu);
+  EXPECT_FALSE(zp->media);
+}
+
+TEST(Dissect, UnknownMediaTypeOnServerIsUnknownMedia) {
+  auto inner = sim::build_unknown_payload(30, 77, 120, rng());
+  auto wrapped = sim::wrap_sfu(inner, 3, false);
+  auto zp = dissect(wrapped, Transport::ServerBased);
+  ASSERT_TRUE(zp);
+  EXPECT_EQ(zp->category, PacketCategory::UnknownMedia);
+}
+
+TEST(Dissect, NonZoomP2pPayloadRejected) {
+  // The false-positive filter of §4.1: random payloads on a candidate
+  // P2P flow must not be classified as Zoom.
+  std::vector<std::uint8_t> garbage(100, 0x41);
+  EXPECT_FALSE(dissect(garbage, Transport::P2P));
+  auto unknown = sim::build_unknown_payload(30, 1, 60, rng());
+  EXPECT_FALSE(dissect(unknown, Transport::P2P));
+}
+
+TEST(Dissect, TooShortServerPayloadRejected) {
+  std::vector<std::uint8_t> tiny(4, 0x05);
+  EXPECT_FALSE(dissect(tiny, Transport::ServerBased));
+}
+
+TEST(Dissect, StunPacket) {
+  std::array<std::uint8_t, 12> txn{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9};
+  util::ByteWriter w;
+  proto::make_binding_request(txn).serialize(w);
+  auto zp = dissect_stun(w.view());
+  ASSERT_TRUE(zp);
+  EXPECT_EQ(zp->category, PacketCategory::Stun);
+  ASSERT_TRUE(zp->stun);
+  EXPECT_TRUE(zp->stun->is_request());
+  std::vector<std::uint8_t> garbage(30, 0);
+  EXPECT_FALSE(dissect_stun(garbage));
+}
+
+TEST(PayloadTypes, Table3KnownCombinations) {
+  EXPECT_TRUE(is_known_payload_type(MediaKind::Video, 98));
+  EXPECT_TRUE(is_known_payload_type(MediaKind::Video, 110));
+  EXPECT_FALSE(is_known_payload_type(MediaKind::Video, 99));
+  EXPECT_TRUE(is_known_payload_type(MediaKind::Audio, 112));
+  EXPECT_TRUE(is_known_payload_type(MediaKind::Audio, 99));
+  EXPECT_TRUE(is_known_payload_type(MediaKind::Audio, 113));
+  EXPECT_TRUE(is_known_payload_type(MediaKind::Audio, 110));
+  EXPECT_TRUE(is_known_payload_type(MediaKind::ScreenShare, 99));
+  EXPECT_FALSE(is_known_payload_type(MediaKind::ScreenShare, 98));
+}
+
+TEST(PayloadTypes, Descriptions) {
+  EXPECT_EQ(payload_type_description(MediaKind::Audio, 112), "speaking mode");
+  EXPECT_EQ(payload_type_description(MediaKind::Audio, 99), "silent mode");
+  EXPECT_EQ(payload_type_description(MediaKind::Audio, 113), "mode unknown");
+  EXPECT_EQ(payload_type_description(MediaKind::Video, 110), "FEC");
+  EXPECT_EQ(payload_type_description(MediaKind::Video, 98), "main stream");
+  EXPECT_EQ(payload_type_description(MediaKind::ScreenShare, 42), "unknown");
+}
+
+}  // namespace
+}  // namespace zpm::zoom

@@ -1,0 +1,111 @@
+// RTP media-clock mapping (RTCP SRs, §4.2.3) and passive sampling-rate
+// recovery (§5.2).
+#include <gtest/gtest.h>
+
+#include "metrics/clock_map.h"
+
+namespace zpm::metrics {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+TEST(RtcpClockMapper, RecoversClockFromTwoReports) {
+  RtcpClockMapper m;
+  m.on_sender_report(Timestamp::from_seconds(100.0), 0);
+  EXPECT_FALSE(m.estimated_clock_hz());
+  m.on_sender_report(Timestamp::from_seconds(110.0), 900'000);  // 90 kHz
+  auto hz = m.estimated_clock_hz();
+  ASSERT_TRUE(hz);
+  EXPECT_NEAR(*hz, 90'000.0, 1.0);
+}
+
+TEST(RtcpClockMapper, MapsRtpToWall) {
+  RtcpClockMapper m;
+  m.on_sender_report(Timestamp::from_seconds(100.0), 0);
+  m.on_sender_report(Timestamp::from_seconds(101.0), 90'000);
+  // Half a second past the last anchor.
+  auto wall = m.to_wall(90'000 + 45'000);
+  ASSERT_TRUE(wall);
+  EXPECT_NEAR(wall->sec(), 101.5, 1e-6);
+  // Before the anchor works too.
+  auto earlier = m.to_wall(90'000 - 9'000);
+  ASSERT_TRUE(earlier);
+  EXPECT_NEAR(earlier->sec(), 100.9, 1e-6);
+}
+
+TEST(RtcpClockMapper, ExplicitClockOverridesEstimate) {
+  RtcpClockMapper m;
+  m.on_sender_report(Timestamp::from_seconds(50.0), 48'000);
+  auto wall = m.to_wall(48'000 + 24'000, 48'000.0);
+  ASSERT_TRUE(wall);
+  EXPECT_NEAR(wall->sec(), 50.5, 1e-6);
+  // No estimate possible with one report and no explicit clock.
+  EXPECT_FALSE(m.to_wall(48'000));
+}
+
+TEST(RtcpClockMapper, SurvivesTimestampWrap) {
+  RtcpClockMapper m;
+  m.on_sender_report(Timestamp::from_seconds(10.0), 0xffff0000u);
+  m.on_sender_report(Timestamp::from_seconds(20.0), 0xffff0000u + 900'000);  // wraps
+  auto hz = m.estimated_clock_hz();
+  ASSERT_TRUE(hz);
+  EXPECT_NEAR(*hz, 90'000.0, 1.0);
+}
+
+TEST(ClockRateEstimator, RecoversVideoClockPassively) {
+  ClockRateEstimator e;
+  Timestamp t = Timestamp::from_seconds(0);
+  std::uint32_t ts = 12345;
+  for (int i = 0; i < 300; ++i) {
+    e.add(t, ts);
+    t += Duration::millis(33);
+    ts += 2970;  // exactly 90 kHz
+  }
+  auto raw = e.raw_hz();
+  ASSERT_TRUE(raw);
+  EXPECT_NEAR(*raw, 90'000.0, 100.0);
+  auto snapped = e.snapped_hz();
+  ASSERT_TRUE(snapped);
+  EXPECT_DOUBLE_EQ(*snapped, 90'000.0);
+}
+
+TEST(ClockRateEstimator, SnapsNoisyAudioClock) {
+  ClockRateEstimator e;
+  Timestamp t = Timestamp::from_seconds(0);
+  std::uint32_t ts = 0;
+  // 48 kHz with ±2 ms arrival noise.
+  for (int i = 0; i < 500; ++i) {
+    e.add(t + Duration::micros((i % 5) * 400 - 800), ts);
+    t += Duration::millis(20);
+    ts += 960;
+  }
+  auto snapped = e.snapped_hz();
+  ASSERT_TRUE(snapped);
+  EXPECT_DOUBLE_EQ(*snapped, 48'000.0);
+}
+
+TEST(ClockRateEstimator, NonStandardRateReturnedRaw) {
+  ClockRateEstimator e;
+  Timestamp t = Timestamp::from_seconds(0);
+  std::uint32_t ts = 0;
+  for (int i = 0; i < 100; ++i) {
+    e.add(t, ts);
+    t += Duration::millis(10);
+    ts += 700;  // 70 kHz: not a standard rate
+  }
+  auto snapped = e.snapped_hz();
+  ASSERT_TRUE(snapped);
+  EXPECT_NEAR(*snapped, 70'000.0, 200.0);
+}
+
+TEST(ClockRateEstimator, InsufficientDataYieldsNothing) {
+  ClockRateEstimator e;
+  EXPECT_FALSE(e.raw_hz());
+  e.add(Timestamp::from_seconds(1), 100);
+  e.add(Timestamp::from_seconds(1.01), 200);  // span < 100 ms
+  EXPECT_FALSE(e.raw_hz());
+}
+
+}  // namespace
+}  // namespace zpm::metrics

@@ -1,0 +1,148 @@
+// Zoom SFU / media encapsulation headers (Table 1, Fig. 7).
+#include <gtest/gtest.h>
+
+#include "zoom/encap.h"
+
+namespace zpm::zoom {
+namespace {
+
+TEST(SfuEncap, RoundTrip) {
+  SfuEncap h;
+  h.type = kSfuTypeMedia;
+  h.sequence = 999;
+  h.direction = kSfuDirFromSfu;
+  h.undocumented = {1, 2, 3, 4};
+  util::ByteWriter w;
+  h.serialize(w);
+  EXPECT_EQ(w.size(), SfuEncap::kSize);
+  util::ByteReader r(w.view());
+  auto parsed = SfuEncap::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->type, kSfuTypeMedia);
+  EXPECT_EQ(parsed->sequence, 999);
+  EXPECT_TRUE(parsed->is_from_sfu());
+  EXPECT_TRUE(parsed->carries_media_encap());
+  EXPECT_EQ(parsed->undocumented, h.undocumented);
+}
+
+TEST(SfuEncap, FieldOffsetsMatchTable1) {
+  SfuEncap h;
+  h.type = 0x05;
+  h.sequence = 0xabcd;
+  h.direction = 0x04;
+  util::ByteWriter w;
+  h.serialize(w);
+  auto bytes = w.view();
+  EXPECT_EQ(bytes[0], 0x05);        // type at byte 0
+  EXPECT_EQ(bytes[1], 0xab);        // sequence at bytes 1-2
+  EXPECT_EQ(bytes[2], 0xcd);
+  EXPECT_EQ(bytes[7], 0x04);        // direction at byte 7
+}
+
+TEST(SfuEncap, NonMediaTypeDoesNotCarryMediaEncap) {
+  SfuEncap h;
+  h.type = 0x01;
+  EXPECT_FALSE(h.carries_media_encap());
+}
+
+TEST(SfuEncap, TruncatedFails) {
+  auto bytes = util::from_hex("05 0001 000000");  // 7 of 8 bytes
+  util::ByteReader r(bytes);
+  EXPECT_FALSE(SfuEncap::parse(r));
+}
+
+TEST(MediaEncap, PayloadOffsetsMatchTable2) {
+  EXPECT_EQ(media_payload_offset(16), 24u);  // video
+  EXPECT_EQ(media_payload_offset(15), 19u);  // audio
+  EXPECT_EQ(media_payload_offset(13), 27u);  // screen share
+  EXPECT_EQ(media_payload_offset(33), 16u);  // RTCP SR
+  EXPECT_EQ(media_payload_offset(34), 16u);  // RTCP SR + SDES
+  EXPECT_EQ(media_payload_offset(99), 0u);   // unknown
+}
+
+TEST(MediaEncap, VideoRoundTripWithFrameFields) {
+  MediaEncap h;
+  h.type = static_cast<std::uint8_t>(MediaEncapType::Video);
+  h.sequence = 0x1122;
+  h.timestamp = 0xa1b2c3d4;
+  h.frame_sequence = 0x3344;
+  h.packets_in_frame = 7;
+  util::ByteWriter w;
+  h.serialize(w);
+  EXPECT_EQ(w.size(), 24u);
+  util::ByteReader r(w.view());
+  auto parsed = MediaEncap::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->is_video());
+  EXPECT_EQ(parsed->sequence, 0x1122);
+  EXPECT_EQ(parsed->timestamp, 0xa1b2c3d4u);
+  EXPECT_EQ(parsed->frame_sequence, 0x3344);
+  EXPECT_EQ(parsed->packets_in_frame, 7);
+  EXPECT_EQ(r.position(), 24u);  // reader at RTP payload
+}
+
+TEST(MediaEncap, VideoFieldBytePositionsMatchTable1) {
+  MediaEncap h;
+  h.type = 16;
+  h.sequence = 0xaabb;
+  h.timestamp = 0x01020304;
+  h.frame_sequence = 0xccdd;
+  h.packets_in_frame = 9;
+  util::ByteWriter w;
+  h.serialize(w);
+  auto b = w.view();
+  EXPECT_EQ(b[0], 16);              // type: byte 0
+  EXPECT_EQ(b[9], 0xaa);            // sequence: bytes 9-10
+  EXPECT_EQ(b[10], 0xbb);
+  EXPECT_EQ(b[11], 0x01);           // timestamp: bytes 11-14
+  EXPECT_EQ(b[14], 0x04);
+  EXPECT_EQ(b[21], 0xcc);           // frame seq: bytes 21-22
+  EXPECT_EQ(b[22], 0xdd);
+  EXPECT_EQ(b[23], 9);              // packets-in-frame: byte 23
+}
+
+TEST(MediaEncap, AudioAndScreenShareLengths) {
+  for (auto [type, len] : {std::pair{15, 19}, std::pair{13, 27}, std::pair{33, 16}}) {
+    MediaEncap h;
+    h.type = static_cast<std::uint8_t>(type);
+    h.sequence = 5;
+    h.timestamp = 6;
+    util::ByteWriter w;
+    h.serialize(w);
+    EXPECT_EQ(w.size(), static_cast<std::size_t>(len)) << "type " << type;
+    util::ByteReader r(w.view());
+    auto parsed = MediaEncap::parse(r);
+    ASSERT_TRUE(parsed) << "type " << type;
+    EXPECT_EQ(parsed->sequence, 5);
+    EXPECT_EQ(parsed->timestamp, 6u);
+  }
+}
+
+TEST(MediaEncap, UnknownTypeFailsParse) {
+  std::vector<std::uint8_t> bytes(32, 0);
+  bytes[0] = 99;
+  util::ByteReader r(bytes);
+  EXPECT_FALSE(MediaEncap::parse(r));
+  EXPECT_TRUE(r.ok());  // parse must not consume on failure-by-type
+}
+
+TEST(MediaEncap, TruncatedHeaderFails) {
+  std::vector<std::uint8_t> bytes(20, 0);
+  bytes[0] = 16;  // video needs 24
+  util::ByteReader r(bytes);
+  EXPECT_FALSE(MediaEncap::parse(r));
+}
+
+TEST(MediaEncap, KindHelpers) {
+  EXPECT_EQ(media_kind_of(16), MediaKind::Video);
+  EXPECT_EQ(media_kind_of(15), MediaKind::Audio);
+  EXPECT_EQ(media_kind_of(13), MediaKind::ScreenShare);
+  EXPECT_FALSE(media_kind_of(33));
+  EXPECT_TRUE(is_rtcp_encap_type(33));
+  EXPECT_TRUE(is_rtcp_encap_type(34));
+  EXPECT_FALSE(is_rtcp_encap_type(16));
+  EXPECT_EQ(media_kind_name(MediaKind::ScreenShare), "screen_share");
+}
+
+}  // namespace
+}  // namespace zpm::zoom

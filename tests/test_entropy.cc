@@ -1,0 +1,173 @@
+// Entropy-based header analysis (§4.2): the methodology must rediscover
+// Zoom's format from raw bytes alone.
+#include <gtest/gtest.h>
+
+#include "entropy/analysis.h"
+#include "sim/wire.h"
+
+namespace zpm::entropy {
+namespace {
+
+/// Builds a P2P-style flow: interleaved audio/video/screen-share media
+/// encapsulation payloads, exactly what a captured UDP flow contains.
+std::vector<std::vector<std::uint8_t>> zoom_flow(int packets, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<std::uint8_t>> out;
+  std::uint16_t vseq = 100, aseq = 5000, sseq = 800;
+  std::uint32_t vts = 900'000, ats = 48'000, sts = 50'000;
+  for (int i = 0; i < packets; ++i) {
+    sim::MediaPacketSpec spec;
+    double roll = rng.uniform();
+    if (roll < 0.60) {
+      spec.encap_type = zoom::MediaEncapType::Video;
+      spec.payload_type = zoom::pt::kVideoMain;
+      spec.rtp_seq = vseq++;
+      if (i % 3 == 0) vts += 3000;
+      spec.rtp_timestamp = vts;
+      spec.packets_in_frame = 3;
+      spec.ssrc = 0x1001;
+      spec.payload_bytes = 600;
+    } else if (roll < 0.90) {
+      spec.encap_type = zoom::MediaEncapType::Audio;
+      spec.payload_type = zoom::pt::kAudioSpeaking;
+      spec.rtp_seq = aseq++;
+      ats += 960;
+      spec.rtp_timestamp = ats;
+      spec.ssrc = 0x1002;
+      spec.payload_bytes = 90;
+    } else {
+      spec.encap_type = zoom::MediaEncapType::ScreenShare;
+      spec.payload_type = zoom::pt::kScreenShareMain;
+      spec.rtp_seq = sseq++;
+      sts += 9000;
+      spec.rtp_timestamp = sts;
+      spec.ssrc = 0x1003;
+      spec.payload_bytes = 300;
+    }
+    spec.media_encap_seq = static_cast<std::uint16_t>(i);
+    spec.media_encap_ts = spec.rtp_timestamp;
+    out.push_back(sim::build_media_payload(spec, rng));
+  }
+  return out;
+}
+
+TEST(Classify, RandomIdentifierCounterConstant) {
+  util::Rng rng(1);
+  FieldSequence random{0, 4, {}};
+  FieldSequence ident{0, 4, {}};
+  FieldSequence counter{0, 2, {}};
+  FieldSequence constant{0, 1, {}};
+  std::uint64_t c = 60000;  // wraps
+  for (int i = 0; i < 400; ++i) {
+    random.values.push_back(rng.next_u32());
+    ident.values.push_back(i % 3 == 0 ? 0x1001 : 0x1002);
+    c = (c + 7) & 0xffff;
+    counter.values.push_back(c);
+    constant.values.push_back(5);
+  }
+  EXPECT_EQ(classify_sequence(random).cls, FieldClass::Random);
+  EXPECT_EQ(classify_sequence(ident).cls, FieldClass::Identifier);
+  EXPECT_EQ(classify_sequence(counter).cls, FieldClass::Counter);
+  EXPECT_EQ(classify_sequence(constant).cls, FieldClass::Constant);
+  EXPECT_STREQ(field_class_name(FieldClass::Counter), "counter");
+}
+
+TEST(Classify, TooFewSamplesIsUnknown) {
+  FieldSequence tiny{0, 1, {1, 2}};
+  EXPECT_EQ(classify_sequence(tiny).cls, FieldClass::Unknown);
+}
+
+TEST(Extract, SequencesCoverWidthsAndOffsets) {
+  auto payloads = zoom_flow(64, 2);
+  auto seqs = extract_sequences(payloads, 16);
+  bool found_1 = false, found_2 = false, found_4 = false;
+  for (const auto& s : seqs) {
+    if (s.width == 1 && s.offset == 0) found_1 = true;
+    if (s.width == 2 && s.offset == 9) found_2 = true;
+    if (s.width == 4 && s.offset == 11) found_4 = true;
+    EXPECT_GE(s.values.size(), 16u);
+  }
+  EXPECT_TRUE(found_1);
+  EXPECT_TRUE(found_2);
+  EXPECT_TRUE(found_4);
+}
+
+TEST(Extract, TypeByteClassifiesAsIdentifier) {
+  // Byte 0 of every payload is the media-encap type: {13, 15, 16}.
+  auto payloads = zoom_flow(300, 3);
+  auto seqs = extract_sequences(payloads, 1);
+  const FieldSequence* type_byte = nullptr;
+  for (const auto& s : seqs)
+    if (s.width == 1 && s.offset == 0) type_byte = &s;
+  ASSERT_NE(type_byte, nullptr);
+  EXPECT_EQ(classify_sequence(*type_byte).cls, FieldClass::Identifier);
+}
+
+TEST(Locate, DiscoverTypeOffsetsRediscoversTable2) {
+  // The §4.2.2 differencing method must recover the per-type RTP offsets
+  // {13: 27, 15: 19, 16: 24} from raw bytes with no Zoom knowledge.
+  auto payloads = zoom_flow(1200, 4);
+  auto offsets = discover_type_offsets(payloads);
+  ASSERT_EQ(offsets.size(), 3u);
+  EXPECT_EQ(offsets.at(13), 27u);
+  EXPECT_EQ(offsets.at(15), 19u);
+  EXPECT_EQ(offsets.at(16), 24u);
+}
+
+TEST(Locate, NoRtpInRandomData) {
+  util::Rng rng(5);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> p(80);
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng.next_u32());
+    payloads.push_back(std::move(p));
+  }
+  EXPECT_FALSE(locate_rtp(payloads));
+}
+
+TEST(Locate, SsrcCrossReferenceFindsRtcp) {
+  // Collect SSRCs from media packets, then find them inside RTCP
+  // payloads at the SR offset — the §4.2.1 RTCP-discovery trick.
+  auto media = zoom_flow(300, 6);
+  auto video_offsets = discover_type_offsets(media);
+  ASSERT_TRUE(video_offsets.contains(16));
+  std::vector<std::vector<std::uint8_t>> video_only;
+  for (const auto& p : media)
+    if (!p.empty() && p[0] == 16) video_only.push_back(p);
+  auto ssrcs = collect_ssrcs(video_only, video_offsets.at(16));
+  ASSERT_TRUE(ssrcs.contains(0x1001));
+
+  util::Rng rng(7);
+  std::vector<std::vector<std::uint8_t>> rtcp_payloads;
+  for (int i = 0; i < 40; ++i) {
+    proto::SenderReport sr;
+    sr.sender_ssrc = 0x1001;
+    rtcp_payloads.push_back(sim::build_rtcp_payload(
+        0x1001, sr, i % 2 == 0, static_cast<std::uint16_t>(i), rng));
+  }
+  auto hits = find_ssrc_references(rtcp_payloads, ssrcs);
+  // RTCP offset 16 + SR header 4 bytes -> sender SSRC at offset 20.
+  ASSERT_TRUE(hits.contains(20));
+  EXPECT_EQ(hits.at(20), 40u);
+}
+
+TEST(Locate, ScoreRequiresBehaviouralChecks) {
+  // Packets with valid version bits but a *random* sequence field must
+  // not score as RTP.
+  util::Rng rng(8);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::uint8_t> p(20, 0);
+    p[0] = 0x80;  // version 2, cc 0
+    p[1] = 98;
+    p[2] = static_cast<std::uint8_t>(rng.next_u32());  // random "seq"
+    p[3] = static_cast<std::uint8_t>(rng.next_u32());
+    p[8] = 0x10;  // stable ssrc
+    payloads.push_back(std::move(p));
+  }
+  auto scan = score_rtp_offset(payloads, 0);
+  EXPECT_EQ(scan.match_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace zpm::entropy

@@ -1,0 +1,49 @@
+// Flow identity: direction handling and hashing.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/five_tuple.h"
+
+namespace zpm::net {
+namespace {
+
+FiveTuple make() {
+  return FiveTuple{Ipv4Addr(10, 0, 0, 1), Ipv4Addr(170, 114, 0, 5), 40000, 8801, 17};
+}
+
+TEST(FiveTuple, ReversedSwapsEndpoints) {
+  FiveTuple t = make();
+  FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip, t.dst_ip);
+  EXPECT_EQ(r.dst_port, t.src_port);
+  EXPECT_EQ(r.protocol, t.protocol);
+  EXPECT_NE(t, r);
+  EXPECT_EQ(r.reversed(), t);
+}
+
+TEST(FiveTuple, CanonicalIsDirectionIndependent) {
+  FiveTuple t = make();
+  EXPECT_EQ(t.canonical(), t.reversed().canonical());
+}
+
+TEST(FiveTuple, HashAndEqualityInSets) {
+  std::unordered_set<FiveTuple> set;
+  set.insert(make().canonical());
+  set.insert(make().reversed().canonical());
+  EXPECT_EQ(set.size(), 1u);
+  FiveTuple other = make();
+  other.src_port = 40001;
+  set.insert(other.canonical());
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FiveTuple, ToStringMentionsProtocol) {
+  EXPECT_NE(make().to_string().find("udp"), std::string::npos);
+  FiveTuple t = make();
+  t.protocol = 6;
+  EXPECT_NE(t.to_string().find("tcp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zpm::net

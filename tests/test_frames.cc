@@ -1,0 +1,136 @@
+// Frame assembly and both frame-rate estimation methods (§5.2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/frames.h"
+
+namespace zpm::metrics {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+struct Collector {
+  std::vector<FrameRecord> frames;
+  FrameAssembler::FrameCallback cb() {
+    return [this](const FrameRecord& f) { frames.push_back(f); };
+  }
+};
+
+TEST(FrameAssembler, CompletesOnExpectedCount) {
+  Collector c;
+  FrameAssembler fa(CompletionMode::ExpectedCount, 90000, c.cb());
+  Timestamp t = Timestamp::from_seconds(1.0);
+  // 3-packet frame, packets slightly spread in time.
+  fa.on_packet(t, 100, 90000, false, 1000, 3);
+  fa.on_packet(t + Duration::millis(1), 101, 90000, false, 1000, 3);
+  EXPECT_TRUE(c.frames.empty());
+  fa.on_packet(t + Duration::millis(2), 102, 90000, true, 1000, 3);
+  ASSERT_EQ(c.frames.size(), 1u);
+  EXPECT_EQ(c.frames[0].packets, 3u);
+  EXPECT_EQ(c.frames[0].payload_bytes, 3000u);
+  EXPECT_TRUE(c.frames[0].saw_marker);
+  EXPECT_EQ(c.frames[0].delay().ms(), 2.0);
+  EXPECT_FALSE(c.frames[0].packetization_time);  // first frame: no delta
+}
+
+TEST(FrameAssembler, OutOfOrderPacketsStillComplete) {
+  Collector c;
+  FrameAssembler fa(CompletionMode::ExpectedCount, 90000, c.cb());
+  Timestamp t = Timestamp::from_seconds(2.0);
+  fa.on_packet(t, 12, 1000, true, 400, 3);
+  fa.on_packet(t + Duration::millis(1), 10, 1000, false, 400, 3);
+  fa.on_packet(t + Duration::millis(2), 11, 1000, false, 400, 3);
+  ASSERT_EQ(c.frames.size(), 1u);
+  EXPECT_EQ(c.frames[0].packets, 3u);
+}
+
+TEST(FrameAssembler, DuplicatePacketCountedOnce) {
+  Collector c;
+  FrameAssembler fa(CompletionMode::ExpectedCount, 90000, c.cb());
+  Timestamp t = Timestamp::from_seconds(3.0);
+  fa.on_packet(t, 1, 5000, false, 100, 2);
+  fa.on_packet(t + Duration::millis(1), 1, 5000, false, 100, 2);  // dup
+  EXPECT_TRUE(c.frames.empty());
+  fa.on_packet(t + Duration::millis(2), 2, 5000, true, 100, 2);
+  ASSERT_EQ(c.frames.size(), 1u);
+  EXPECT_EQ(c.frames[0].payload_bytes, 200u);
+}
+
+TEST(FrameAssembler, EncoderFpsFromTimestampDelta) {
+  Collector c;
+  FrameAssembler fa(CompletionMode::ExpectedCount, 90000, c.cb());
+  Timestamp t = Timestamp::from_seconds(4.0);
+  // Two 1-packet frames 3000 RTP ticks apart -> 30 fps encoder rate.
+  fa.on_packet(t, 1, 90000, true, 100, 1);
+  fa.on_packet(t + Duration::millis(33), 2, 93000, true, 100, 1);
+  ASSERT_EQ(c.frames.size(), 2u);
+  ASSERT_TRUE(c.frames[1].encoder_fps);
+  EXPECT_NEAR(*c.frames[1].encoder_fps, 30.0, 1e-9);
+  ASSERT_TRUE(c.frames[1].packetization_time);
+  EXPECT_NEAR(c.frames[1].packetization_time->ms(), 33.33, 0.01);
+}
+
+TEST(FrameAssembler, MarkerModeRequiresContiguousSequences) {
+  Collector c;
+  FrameAssembler fa(CompletionMode::MarkerBit, 90000, c.cb());
+  Timestamp t = Timestamp::from_seconds(5.0);
+  // Marker arrives but the middle packet is missing: incomplete.
+  fa.on_packet(t, 10, 7000, false, 100, 0);
+  fa.on_packet(t + Duration::millis(1), 12, 7000, true, 100, 0);
+  EXPECT_TRUE(c.frames.empty());
+  // The hole fills late: now complete.
+  fa.on_packet(t + Duration::millis(5), 11, 7000, false, 100, 0);
+  ASSERT_EQ(c.frames.size(), 1u);
+  EXPECT_EQ(c.frames[0].packets, 3u);
+}
+
+TEST(FrameAssembler, LatePacketForCompletedFrameIgnored) {
+  Collector c;
+  FrameAssembler fa(CompletionMode::ExpectedCount, 90000, c.cb());
+  Timestamp t = Timestamp::from_seconds(6.0);
+  fa.on_packet(t, 1, 100, true, 50, 1);
+  // A retransmitted copy arrives after completion: no new frame.
+  fa.on_packet(t + Duration::millis(150), 1, 100, true, 50, 1);
+  EXPECT_EQ(c.frames.size(), 1u);
+  EXPECT_EQ(fa.frames_completed(), 1u);
+}
+
+TEST(FrameAssembler, ExpireStaleDropsAbandonedPartials) {
+  Collector c;
+  FrameAssembler fa(CompletionMode::ExpectedCount, 90000, c.cb());
+  Timestamp t = Timestamp::from_seconds(7.0);
+  fa.on_packet(t, 1, 100, false, 50, 3);  // never completes
+  EXPECT_EQ(fa.partial_frames(), 1u);
+  fa.expire_stale(t + Duration::seconds(10.0));
+  EXPECT_EQ(fa.partial_frames(), 0u);
+  EXPECT_TRUE(c.frames.empty());
+}
+
+TEST(FrameAssembler, SequenceWrapInsideFrame) {
+  Collector c;
+  FrameAssembler fa(CompletionMode::ExpectedCount, 90000, c.cb());
+  Timestamp t = Timestamp::from_seconds(8.0);
+  fa.on_packet(t, 65535, 100, false, 10, 2);
+  fa.on_packet(t + Duration::millis(1), 0, 100, true, 10, 2);
+  ASSERT_EQ(c.frames.size(), 1u);
+  EXPECT_EQ(c.frames[0].packets, 2u);
+}
+
+TEST(FrameRateWindow, CountsCompletionsInLastSecond) {
+  FrameRateWindow w;
+  Timestamp t = Timestamp::from_seconds(10.0);
+  for (int i = 0; i < 30; ++i)
+    w.on_frame_completed(t + Duration::millis(i * 33));
+  // All 30 frames within the last second at t+1s.
+  EXPECT_EQ(w.rate(t + Duration::millis(990)), 30u);
+  // Half the frames have aged out half a second later.
+  std::uint32_t later = w.rate(t + Duration::millis(1500));
+  EXPECT_GT(later, 10u);
+  EXPECT_LT(later, 20u);
+  EXPECT_EQ(w.rate(t + Duration::seconds(5.0)), 0u);
+}
+
+}  // namespace
+}  // namespace zpm::metrics

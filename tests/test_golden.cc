@@ -1,0 +1,121 @@
+// Golden wire-format fixtures: hand-written hex packets pin the exact
+// byte layout of the Zoom encapsulations so an accidental format change
+// in parser OR serializer fails loudly.
+#include <gtest/gtest.h>
+
+#include "proto/rtcp.h"
+#include "util/bytes.h"
+#include "zoom/classify.h"
+
+namespace zpm::zoom {
+namespace {
+
+// A server-based Zoom video packet, byte by byte:
+//   SFU encap:   05 | bbcc | 00 01 00 00 | 04
+//   media encap: 10 | 8×undoc | 99aa | 22334455 | 6×undoc | 6677 | 03
+//   RTP:         80 | e2 (M=1, PT=98) | 1111 | 22334455 | 0000cafe
+//   FU-A:        5c (NRI=2, type 28) | 41 (E, NAL 1)
+//   payload:     de ad be ef
+const char* kGoldenServerVideo =
+    "05 bbcc 00010000 04"
+    "10 0708090a0b0c0d0e 99aa 22334455 0f1011121314 6677 03"
+    "80 e2 1111 22334455 0000cafe"
+    "5c 41"
+    "deadbeef";
+
+TEST(Golden, ServerVideoPacketDissects) {
+  auto bytes = util::from_hex(kGoldenServerVideo);
+  ASSERT_FALSE(bytes.empty());
+  auto zp = dissect(bytes, Transport::ServerBased);
+  ASSERT_TRUE(zp);
+  EXPECT_EQ(zp->category, PacketCategory::Media);
+  ASSERT_TRUE(zp->sfu);
+  EXPECT_EQ(zp->sfu->type, 0x05);
+  EXPECT_EQ(zp->sfu->sequence, 0xbbcc);
+  EXPECT_TRUE(zp->sfu->is_from_sfu());
+  ASSERT_TRUE(zp->media);
+  EXPECT_EQ(zp->media->type, 16);
+  EXPECT_EQ(zp->media->sequence, 0x99aa);
+  EXPECT_EQ(zp->media->timestamp, 0x22334455u);
+  EXPECT_EQ(zp->media->frame_sequence, 0x6677);
+  EXPECT_EQ(zp->media->packets_in_frame, 3);
+  ASSERT_TRUE(zp->rtp);
+  EXPECT_TRUE(zp->rtp->marker);
+  EXPECT_EQ(zp->rtp->payload_type, 98);
+  EXPECT_EQ(zp->rtp->sequence, 0x1111);
+  EXPECT_EQ(zp->rtp->timestamp, 0x22334455u);
+  EXPECT_EQ(zp->rtp->ssrc, 0x0000cafeu);
+  ASSERT_TRUE(zp->fu_a);
+  EXPECT_EQ(zp->fu_a->indicator.nri, 2);
+  EXPECT_TRUE(zp->fu_a->fu.end);
+  EXPECT_EQ(util::to_hex(zp->rtp_payload), "deadbeef");
+}
+
+// P2P audio packet (no SFU encap):
+//   media encap: 0f | 8×undoc | 0102 | 0a0b0c0d | 4×undoc (19 bytes)
+//   RTP:         80 | 70 (PT=112) | 2222 | 0a0b0c0d | 00001001
+//   payload:     0102030405
+const char* kGoldenP2pAudio =
+    "0f 1112131415161718 0102 0a0b0c0d 191a1b1c"
+    "80 f0 2222 0a0b0c0d 00001001"
+    "0102030405";
+
+TEST(Golden, P2pAudioPacketDissects) {
+  auto bytes = util::from_hex(kGoldenP2pAudio);
+  ASSERT_FALSE(bytes.empty());
+  auto zp = dissect(bytes, Transport::P2P);
+  ASSERT_TRUE(zp);
+  EXPECT_EQ(zp->category, PacketCategory::Media);
+  EXPECT_FALSE(zp->sfu);
+  EXPECT_EQ(zp->media->type, 15);
+  EXPECT_EQ(zp->media->sequence, 0x0102);
+  EXPECT_EQ(zp->rtp->payload_type, 112);
+  EXPECT_TRUE(zp->rtp->marker);
+  EXPECT_EQ(zp->rtp->ssrc, 0x1001u);
+  EXPECT_EQ(zp->rtp_payload.size(), 5u);
+}
+
+// RTCP SR+SDES (type 34):
+//   media encap: 22 | 8×undoc | 0001 | 00000001 | 1×undoc (16 bytes)
+//   RTCP SR:     80 c8 0006 | ssrc 00000042 | ntp 83aa7e80 00000000
+//                | rtpts 00015f90 | pkts 00000064 | octets 00010000
+//   RTCP SDES:   81 ca 0002 | 00000042 | 00000000
+const char* kGoldenRtcp =
+    "22 1112131415161718 0001 00000001 19"
+    "80 c8 0006 00000042 83aa7e80 00000000 00015f90 00000064 00010000"
+    "81 ca 0002 00000042 00000000";
+
+TEST(Golden, RtcpSrSdesPacketDissects) {
+  auto bytes = util::from_hex(kGoldenRtcp);
+  ASSERT_FALSE(bytes.empty());
+  auto zp = dissect(bytes, Transport::P2P);
+  ASSERT_TRUE(zp);
+  EXPECT_EQ(zp->category, PacketCategory::Rtcp);
+  EXPECT_EQ(zp->media->type, 34);
+  ASSERT_EQ(zp->rtcp.size(), 2u);
+  const auto& sr = std::get<proto::SenderReport>(zp->rtcp[0]);
+  EXPECT_EQ(sr.sender_ssrc, 0x42u);
+  EXPECT_EQ(sr.rtp_timestamp, 90000u);
+  EXPECT_EQ(sr.packet_count, 100u);
+  EXPECT_EQ(sr.octet_count, 65536u);
+  // NTP 0x83aa7e80 = 2208988800 = the Unix epoch.
+  EXPECT_EQ(sr.ntp.to_unix().us(), 0);
+  const auto& sdes = std::get<proto::Sdes>(zp->rtcp[1]);
+  ASSERT_EQ(sdes.chunks.size(), 1u);
+  EXPECT_TRUE(sdes.chunks[0].items.empty());
+}
+
+// STUN binding request to a zone controller.
+const char* kGoldenStun = "0001 0000 2112a442 0102030405060708090a0b0c";
+
+TEST(Golden, StunBindingRequestDissects) {
+  auto bytes = util::from_hex(kGoldenStun);
+  auto zp = dissect_stun(bytes);
+  ASSERT_TRUE(zp);
+  ASSERT_TRUE(zp->stun);
+  EXPECT_TRUE(zp->stun->is_request());
+  EXPECT_EQ(util::to_hex(zp->stun->transaction_id), "0102030405060708090a0b0c");
+}
+
+}  // namespace
+}  // namespace zpm::zoom

@@ -1,0 +1,44 @@
+// H.264 FU-A NAL indication parsing (precedes encrypted video payload).
+#include <gtest/gtest.h>
+
+#include "proto/h264.h"
+
+namespace zpm::proto {
+namespace {
+
+TEST(H264, NalHeaderRoundTrip) {
+  NalHeader h{false, 2, kNalTypeFuA};
+  EXPECT_EQ(NalHeader::from_byte(h.to_byte()).type, kNalTypeFuA);
+  EXPECT_EQ(NalHeader::from_byte(h.to_byte()).nri, 2);
+  EXPECT_FALSE(NalHeader::from_byte(h.to_byte()).forbidden);
+}
+
+TEST(H264, FuHeaderRoundTrip) {
+  FuHeader f{true, false, 5};
+  auto back = FuHeader::from_byte(f.to_byte());
+  EXPECT_TRUE(back.start);
+  EXPECT_FALSE(back.end);
+  EXPECT_EQ(back.nal_type, 5);
+}
+
+TEST(H264, ParseFuA) {
+  std::uint8_t payload[] = {NalHeader{false, 3, kNalTypeFuA}.to_byte(),
+                            FuHeader{false, true, 1}.to_byte(), 0xde, 0xad};
+  auto fu = parse_fu_a(payload);
+  ASSERT_TRUE(fu);
+  EXPECT_EQ(fu->indicator.nri, 3);
+  EXPECT_TRUE(fu->fu.end);
+  EXPECT_EQ(fu->fu.nal_type, 1);
+}
+
+TEST(H264, RejectsNonFuAAndForbiddenBit) {
+  std::uint8_t single_nal[] = {NalHeader{false, 2, 5}.to_byte(), 0x00};
+  EXPECT_FALSE(parse_fu_a(single_nal));
+  std::uint8_t forbidden[] = {NalHeader{true, 2, kNalTypeFuA}.to_byte(), 0x00};
+  EXPECT_FALSE(parse_fu_a(forbidden));
+  std::uint8_t tiny[] = {0x7c};
+  EXPECT_FALSE(parse_fu_a(std::span<const std::uint8_t>(tiny, 1)));
+}
+
+}  // namespace
+}  // namespace zpm::proto

@@ -1,0 +1,171 @@
+// Ethernet / IPv4 / UDP / TCP parsing, serialization and checksums.
+#include <gtest/gtest.h>
+
+#include "net/checksum.h"
+#include "net/headers.h"
+#include "util/bytes.h"
+
+namespace zpm::net {
+namespace {
+
+TEST(Checksum, KnownVector) {
+  // Classic RFC 1071 example.
+  auto data = util::from_hex("0001 f203 f4f5 f6f7");
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  auto even = util::from_hex("ab00");
+  auto odd = util::from_hex("ab");
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(Checksum, AccumulatorMatchesOneShot) {
+  auto data = util::from_hex("deadbeef0102030405");
+  ChecksumAccumulator acc;
+  acc.add(std::span<const std::uint8_t>(data).subspan(0, 3));  // odd split
+  acc.add(std::span<const std::uint8_t>(data).subspan(3));
+  EXPECT_EQ(acc.finish(), internet_checksum(data));
+}
+
+TEST(Ethernet, RoundTrip) {
+  EthernetHeader h;
+  h.dst = MacAddr{{1, 2, 3, 4, 5, 6}};
+  h.src = MacAddr{{7, 8, 9, 10, 11, 12}};
+  h.ether_type = kEtherTypeIpv4;
+  util::ByteWriter w;
+  h.serialize(w);
+  EXPECT_EQ(w.size(), EthernetHeader::kSize);
+  util::ByteReader r(w.view());
+  auto parsed = EthernetHeader::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->ether_type, kEtherTypeIpv4);
+}
+
+TEST(Ethernet, TruncatedFails) {
+  auto data = util::from_hex("0102030405");
+  util::ByteReader r(data);
+  EXPECT_FALSE(EthernetHeader::parse(r));
+}
+
+TEST(Ipv4, SerializeComputesValidChecksum) {
+  Ipv4Header h;
+  h.protocol = kIpProtoUdp;
+  h.src = Ipv4Addr(10, 0, 0, 1);
+  h.dst = Ipv4Addr(170, 114, 0, 10);
+  util::ByteWriter w;
+  h.serialize(w, 100);
+  // Checksumming the emitted header must yield zero.
+  EXPECT_EQ(internet_checksum(w.view()), 0);
+  util::ByteReader r(w.view());
+  auto parsed = Ipv4Header::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->total_length, 120);
+  EXPECT_EQ(parsed->protocol, kIpProtoUdp);
+}
+
+TEST(Ipv4, RejectsBadVersionAndIhl) {
+  Ipv4Header h;
+  util::ByteWriter w;
+  h.serialize(w, 0);
+  auto bytes = w.take();
+  bytes[0] = 0x65;  // version 6
+  util::ByteReader r1(bytes);
+  EXPECT_FALSE(Ipv4Header::parse(r1));
+  bytes[0] = 0x43;  // version 4, ihl 3 (< 5)
+  util::ByteReader r2(bytes);
+  EXPECT_FALSE(Ipv4Header::parse(r2));
+}
+
+TEST(Ipv4, OptionsAreSkipped) {
+  // Hand-build a header with ihl=6 (4 option bytes).
+  util::ByteWriter w;
+  w.u8(0x46);
+  w.u8(0);
+  w.u16be(24 + 8);
+  w.u16be(1);
+  w.u16be(0);
+  w.u8(64);
+  w.u8(kIpProtoUdp);
+  w.u16be(0);
+  w.u32be(Ipv4Addr(1, 1, 1, 1).value());
+  w.u32be(Ipv4Addr(2, 2, 2, 2).value());
+  w.u32be(0x01020304);  // options
+  w.u64be(0);           // payload start
+  util::ByteReader r(w.view());
+  auto parsed = Ipv4Header::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->header_length(), 24u);
+  EXPECT_EQ(r.position(), 24u);
+}
+
+TEST(Ipv4, FragmentFlagsDecode) {
+  Ipv4Header h;
+  h.flags_fragment = 0x2000 | 100;  // MF set, offset 100
+  EXPECT_TRUE(h.more_fragments());
+  EXPECT_FALSE(h.dont_fragment());
+  EXPECT_EQ(h.fragment_offset(), 100);
+}
+
+TEST(Udp, RoundTripAndBadLength) {
+  UdpHeader h;
+  h.src_port = 40000;
+  h.dst_port = 8801;
+  util::ByteWriter w;
+  h.serialize(w, 42);
+  util::ByteReader r(w.view());
+  auto parsed = UdpHeader::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->src_port, 40000);
+  EXPECT_EQ(parsed->dst_port, 8801);
+  EXPECT_EQ(parsed->length, 50);
+
+  auto bad = util::from_hex("0001 0002 0003 0000");  // length 3 < 8
+  util::ByteReader rb(bad);
+  EXPECT_FALSE(UdpHeader::parse(rb));
+}
+
+TEST(Tcp, RoundTripWithFlags) {
+  TcpHeader h;
+  h.src_port = 55555;
+  h.dst_port = 443;
+  h.seq = 0xdeadbeef;
+  h.ack = 0x01020304;
+  h.flags = kTcpAck | kTcpPsh;
+  h.window = 4096;
+  util::ByteWriter w;
+  h.serialize(w);
+  util::ByteReader r(w.view());
+  auto parsed = TcpHeader::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->seq, h.seq);
+  EXPECT_EQ(parsed->ack, h.ack);
+  EXPECT_TRUE(parsed->has(kTcpAck));
+  EXPECT_TRUE(parsed->has(kTcpPsh));
+  EXPECT_FALSE(parsed->has(kTcpSyn));
+  EXPECT_EQ(parsed->header_length(), 20u);
+}
+
+TEST(Tcp, OptionsSkippedAndBadOffsetRejected) {
+  TcpHeader h;
+  util::ByteWriter w;
+  h.serialize(w);
+  auto bytes = w.take();
+  bytes[12] = 0x60;  // data offset 6 -> 4 option bytes
+  bytes.insert(bytes.end(), {1, 1, 1, 0});
+  util::ByteReader r(bytes);
+  auto parsed = TcpHeader::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->header_length(), 24u);
+
+  bytes[12] = 0x30;  // data offset 3 < 5
+  util::ByteReader r2(bytes);
+  EXPECT_FALSE(TcpHeader::parse(r2));
+}
+
+}  // namespace
+}  // namespace zpm::net

@@ -1,0 +1,97 @@
+// In-network telemetry + DSCP annotation (§8 extension).
+#include <gtest/gtest.h>
+
+#include "capture/inline_telemetry.h"
+#include "net/build.h"
+
+namespace zpm::capture {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+TEST(DataPlaneTelemetry, CountsPacketsAndBytes) {
+  DataPlaneTelemetry t(64);
+  Timestamp now = Timestamp::from_seconds(1);
+  for (int i = 0; i < 50; ++i) {
+    t.on_media_packet(now, 0x42, static_cast<std::uint16_t>(i),
+                      static_cast<std::uint32_t>(i * 2970), 1000, 90000);
+    now += Duration::millis(33);
+  }
+  auto snap = t.query(0x42);
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap->packets, 50u);
+  EXPECT_EQ(snap->bytes, 50'000u);
+  EXPECT_EQ(snap->seq_gaps, 0u);
+  EXPECT_LT(snap->jitter_us, 200u);  // clean pacing -> near-zero jitter
+}
+
+TEST(DataPlaneTelemetry, DetectsSequenceGaps) {
+  DataPlaneTelemetry t(64);
+  Timestamp now = Timestamp::from_seconds(1);
+  t.on_media_packet(now, 7, 10, 0, 100, 90000);
+  t.on_media_packet(now + Duration::millis(33), 7, 14, 2970, 100, 90000);  // 3 lost
+  auto snap = t.query(7);
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap->seq_gaps, 3u);
+}
+
+TEST(DataPlaneTelemetry, JitterTracksDisplacement) {
+  DataPlaneTelemetry t(64);
+  Timestamp now = Timestamp::from_seconds(1);
+  std::uint32_t ts = 0;
+  for (int i = 0; i < 500; ++i) {
+    // Alternate ±4 ms arrival error: |D| = 8 ms each step.
+    Duration err = Duration::millis(i % 2 == 0 ? 4 : -4);
+    t.on_media_packet(now + err, 9, static_cast<std::uint16_t>(i), ts, 100, 90000);
+    now += Duration::millis(40);
+    ts += 3600;
+  }
+  auto snap = t.query(9);
+  ASSERT_TRUE(snap);
+  EXPECT_GT(snap->jitter_us, 5'000u);
+  EXPECT_LT(snap->jitter_us, 20'000u);
+}
+
+TEST(DataPlaneTelemetry, CollisionEvictsLikeASwitchRegister) {
+  DataPlaneTelemetry t(1);  // every stream collides
+  Timestamp now = Timestamp::from_seconds(1);
+  t.on_media_packet(now, 1, 0, 0, 100, 90000);
+  t.on_media_packet(now, 2, 0, 0, 100, 90000);
+  EXPECT_FALSE(t.query(1));  // evicted
+  ASSERT_TRUE(t.query(2));
+  EXPECT_EQ(t.collisions(), 1u);
+  EXPECT_EQ(t.residents().size(), 1u);
+}
+
+TEST(Dscp, CodepointsByImportance) {
+  EXPECT_EQ(dscp_for(zoom::MediaKind::Audio, false), 46);        // EF
+  EXPECT_EQ(dscp_for(zoom::MediaKind::Video, false), 34);        // AF41
+  EXPECT_EQ(dscp_for(zoom::MediaKind::ScreenShare, false), 18);  // AF21
+  EXPECT_EQ(dscp_for(zoom::MediaKind::Video, true), 8);          // FEC -> CS1
+}
+
+TEST(Dscp, AnnotateRewritesAndKeepsFrameValid) {
+  std::vector<std::uint8_t> payload(40, 0xab);
+  auto pkt = net::build_udp(Timestamp::from_seconds(1), net::Ipv4Addr(10, 0, 0, 1),
+                            1000, net::Ipv4Addr(10, 0, 0, 2), 2000, payload);
+  ASSERT_TRUE(annotate_dscp(pkt, 46));
+  auto dscp = read_dscp(pkt);
+  ASSERT_TRUE(dscp);
+  EXPECT_EQ(*dscp, 46);
+  // Frame still parses (checksum fixed).
+  auto view = net::decode_packet(pkt);
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->ip.dscp_ecn >> 2, 46);
+  EXPECT_EQ(view->l4_payload.size(), 40u);
+}
+
+TEST(Dscp, RejectsNonIpv4) {
+  net::RawPacket junk;
+  junk.data.assign(60, 0);
+  EXPECT_FALSE(annotate_dscp(junk, 46));
+  EXPECT_FALSE(read_dscp(junk));
+}
+
+}  // namespace
+}  // namespace zpm::capture

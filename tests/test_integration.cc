@@ -1,0 +1,312 @@
+// End-to-end integration: simulator wire bytes -> capture filter ->
+// analyzer -> metrics, checked against the simulator's ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cstdio>
+
+#include "capture/anonymizer.h"
+#include "capture/filter.h"
+#include "core/analyzer.h"
+#include "net/pcapng.h"
+#include "sim/meeting.h"
+
+namespace zpm {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+sim::ParticipantConfig participant(std::uint8_t host, bool on_campus) {
+  sim::ParticipantConfig p;
+  p.ip = on_campus ? net::Ipv4Addr(10, 8, 0, host) : net::Ipv4Addr(98, 0, 0, host);
+  p.on_campus = on_campus;
+  return p;
+}
+
+core::AnalyzerConfig analyzer_config() {
+  core::AnalyzerConfig c;
+  c.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
+  return c;
+}
+
+sim::MeetingConfig base_meeting(std::uint64_t seed, double seconds) {
+  sim::MeetingConfig mc;
+  mc.seed = seed;
+  mc.start = Timestamp::from_seconds(5000);
+  mc.duration = Duration::seconds(seconds);
+  mc.participants = {participant(1, true), participant(2, true)};
+  return mc;
+}
+
+core::Analyzer analyze(sim::MeetingSim& sim, core::AnalyzerConfig cfg = analyzer_config()) {
+  core::Analyzer analyzer(cfg);
+  while (auto pkt = sim.next_packet()) analyzer.offer(*pkt);
+  analyzer.finish();
+  return analyzer;
+}
+
+TEST(Integration, TwoPartyServerMeetingFullyRecovered) {
+  sim::MeetingSim sim(base_meeting(100, 60.0));
+  auto analyzer = analyze(sim);
+  const auto& c = analyzer.counters();
+
+  // Everything the monitor saw was recognized as Zoom.
+  EXPECT_EQ(c.total_packets, sim.stats().monitor_packets);
+  EXPECT_EQ(c.zoom_packets, c.total_packets);
+  EXPECT_GT(c.media_packets, 3000u);
+  EXPECT_GT(c.rtcp_packets, 100u);
+
+  // One meeting, two active participants.
+  auto meetings = analyzer.meetings().meetings();
+  ASSERT_EQ(meetings.size(), 1u);
+  EXPECT_EQ(meetings[0]->active_participants(), 2u);
+
+  // Streams: 2 participants x (audio + video) x (uplink + downlink copy)
+  // = 8 wire streams carrying 4 distinct media.
+  EXPECT_EQ(analyzer.streams().media_count(), 4u);
+  EXPECT_EQ(analyzer.streams().size(), 8u);
+}
+
+TEST(Integration, RttEstimateMatchesConfiguredPath) {
+  auto mc = base_meeting(101, 45.0);
+  mc.participants[0].access_path.base_delay_ms = 2.0;
+  mc.participants[0].access_path.jitter_ms = 0.3;
+  mc.participants[0].wan_path.base_delay_ms = 15.0;
+  mc.participants[0].wan_path.jitter_ms = 0.8;
+  mc.participants[1].wan_path.base_delay_ms = 15.0;
+  sim::MeetingSim sim(mc);
+  auto analyzer = analyze(sim);
+  // §5.3 method 1 measures monitor<->SFU RTT: 2 x wan one-way ≈ 30 ms
+  // plus jitter. Hundreds of samples over 45 s.
+  const auto& samples = analyzer.sfu_rtt_samples();
+  ASSERT_GT(samples.size(), 200u);
+  double sum = 0;
+  for (const auto& s : samples) sum += s.rtt.ms();
+  double mean = sum / static_cast<double>(samples.size());
+  EXPECT_GT(mean, 28.0);
+  EXPECT_LT(mean, 40.0);
+}
+
+TEST(Integration, FrameRateEstimateTracksGroundTruth) {
+  auto mc = base_meeting(102, 60.0);
+  mc.collect_qos = true;
+  sim::MeetingSim sim(mc);
+  auto analyzer = analyze(sim);
+
+  // Mean ground-truth video frame rate at the receivers.
+  double qos_sum = 0;
+  std::size_t qos_n = 0;
+  for (const auto& q : sim.qos_samples()) {
+    qos_sum += q.frame_rate;
+    ++qos_n;
+  }
+  ASSERT_GT(qos_n, 20u);
+  double qos_mean = qos_sum / static_cast<double>(qos_n);
+
+  // Mean estimated frame rate over downlink video streams.
+  double est_sum = 0;
+  std::size_t est_n = 0;
+  for (const auto& stream : analyzer.streams().streams()) {
+    if (stream->kind != zoom::MediaKind::Video) continue;
+    if (stream->direction != core::StreamDirection::FromSfu) continue;
+    for (const auto& sec : stream->metrics->seconds()) {
+      est_sum += sec.frame_rate_fps;
+      ++est_n;
+    }
+  }
+  ASSERT_GT(est_n, 40u);
+  double est_mean = est_sum / static_cast<double>(est_n);
+  EXPECT_NEAR(est_mean, qos_mean, 3.0) << "estimator diverges from client truth";
+}
+
+TEST(Integration, CongestionVisibleInJitterAndLatency) {
+  auto mc = base_meeting(103, 90.0);
+  sim::CongestionEpisode ep;
+  ep.start = mc.start + Duration::seconds(40.0);
+  ep.end = ep.start + Duration::seconds(15.0);
+  ep.extra_delay_ms = 45.0;
+  ep.extra_loss = 0.02;
+  mc.participants[0].congestion.push_back(ep);
+  sim::MeetingSim sim(mc);
+  auto analyzer = analyze(sim);
+
+  // Compare RTT samples inside vs. outside the episode.
+  double in_sum = 0, out_sum = 0;
+  std::size_t in_n = 0, out_n = 0;
+  for (const auto& s : analyzer.sfu_rtt_samples()) {
+    if (s.when >= ep.start && s.when <= ep.end) {
+      in_sum += s.rtt.ms();
+      ++in_n;
+    } else {
+      out_sum += s.rtt.ms();
+      ++out_n;
+    }
+  }
+  ASSERT_GT(in_n, 20u);
+  ASSERT_GT(out_n, 100u);
+  EXPECT_GT(in_sum / static_cast<double>(in_n),
+            out_sum / static_cast<double>(out_n) + 15.0);
+}
+
+TEST(Integration, P2pMeetingDetectedViaStun) {
+  auto mc = base_meeting(104, 50.0);
+  mc.participants[1] = participant(9, false);
+  mc.p2p_switch_after = Duration::seconds(10.0);
+  sim::MeetingSim sim(mc);
+  auto analyzer = analyze(sim);
+  const auto& c = analyzer.counters();
+  EXPECT_GT(c.stun_packets, 0u);
+  EXPECT_GT(c.p2p_udp_packets, 500u);
+  EXPECT_EQ(c.p2p_false_positives, 0u);
+  // The P2P flow and the earlier server flows group into ONE meeting
+  // via the duplicate-stream match across the mode switch (§4.3).
+  auto meetings = analyzer.meetings().meetings();
+  ASSERT_EQ(meetings.size(), 1u);
+  EXPECT_TRUE(meetings[0]->saw_p2p);
+}
+
+TEST(Integration, PassiveParticipantInvisible) {
+  // Fig. 9 left: a participant with no media streams is not counted.
+  auto mc = base_meeting(105, 30.0);
+  auto passive = participant(3, true);
+  passive.send_audio = false;
+  passive.send_video = false;
+  mc.participants.push_back(passive);
+  sim::MeetingSim sim(mc);
+  auto analyzer = analyze(sim);
+  auto meetings = analyzer.meetings().meetings();
+  ASSERT_EQ(meetings.size(), 1u);
+  // Only the two senders are observed as active; the passive third
+  // participant received media (downlink streams to its IP exist!) —
+  // those downlinks DO reveal it. Truly invisible is the off-campus
+  // passive case:
+  EXPECT_GE(meetings[0]->active_participants(), 2u);
+
+  auto mc2 = base_meeting(106, 30.0);
+  auto off_passive = participant(9, false);
+  off_passive.send_audio = false;
+  off_passive.send_video = false;
+  mc2.participants.push_back(off_passive);
+  sim::MeetingSim sim2(mc2);
+  auto analyzer2 = analyze(sim2);
+  auto meetings2 = analyzer2.meetings().meetings();
+  ASSERT_EQ(meetings2.size(), 1u);
+  EXPECT_EQ(meetings2[0]->active_participants(), 2u);  // third invisible
+}
+
+TEST(Integration, CaptureFilterPreservesAnalysis) {
+  // Full pipeline with the P4 filter (no anonymization): the analyzer
+  // must see exactly the Zoom packets.
+  auto mc = base_meeting(107, 30.0);
+  mc.participants[1] = participant(9, false);
+  mc.p2p_switch_after = Duration::seconds(8.0);
+  sim::MeetingSim sim(mc);
+
+  capture::CaptureConfig cap_cfg;
+  cap_cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
+  cap_cfg.anonymize = false;
+  capture::CaptureFilter filter(cap_cfg);
+  core::Analyzer analyzer(analyzer_config());
+  std::uint64_t offered = 0;
+  while (auto pkt = sim.next_packet()) {
+    ++offered;
+    if (auto kept = filter.process(*pkt)) analyzer.offer(*kept);
+  }
+  analyzer.finish();
+  // The filter keeps every monitor packet of a pure-Zoom trace.
+  EXPECT_EQ(filter.counters().passed, offered);
+  EXPECT_GT(analyzer.counters().p2p_udp_packets, 100u);
+}
+
+TEST(Integration, LossShowsUpAsDuplicatesOrGaps) {
+  auto mc = base_meeting(108, 40.0);
+  for (auto& p : mc.participants) {
+    p.wan_path.loss = 0.02;
+    p.access_path.loss = 0.004;
+  }
+  sim::MeetingSim sim(mc);
+  auto analyzer = analyze(sim);
+  std::uint64_t dups = 0, gaps = 0, reordered = 0;
+  for (const auto& stream : analyzer.streams().streams()) {
+    auto loss = stream->metrics->total_loss();
+    dups += loss.duplicates;
+    gaps += loss.gap_packets;
+    reordered += loss.reordered;
+  }
+  // Retransmissions manifest as duplicates/reorderings at the monitor
+  // ("we rarely see entirely lost packets in our trace but rather
+  // duplicates", §5.5).
+  EXPECT_GT(dups + reordered + gaps, 20u);
+}
+
+
+TEST(Integration, AnonymizationIsTransparentToAnalysis) {
+  // Prefix-preserving anonymization with an equally-anonymized subnet
+  // configuration must yield identical detection results (§6.1: the
+  // paper analyzed anonymized traces).
+  auto mc = base_meeting(109, 20.0);
+  std::vector<net::RawPacket> trace;
+  {
+    sim::MeetingSim sim(mc);
+    while (auto pkt = sim.next_packet()) trace.push_back(std::move(*pkt));
+  }
+
+  core::Analyzer plain(analyzer_config());
+  for (const auto& pkt : trace) plain.offer(pkt);
+  plain.finish();
+
+  capture::PrefixPreservingAnonymizer anon(0xfeedface);
+  core::AnalyzerConfig anon_cfg;
+  anon_cfg.campus_subnets = {net::Ipv4Subnet(
+      anon.anonymize(net::Ipv4Addr(10, 8, 0, 0)), 16)};
+  std::vector<net::Ipv4Subnet> anon_servers;
+  for (const auto& subnet : zoom::ServerDb::official().subnets())
+    anon_servers.emplace_back(anon.anonymize(subnet.base()), subnet.prefix_len());
+  anon_cfg.server_db = zoom::ServerDb(anon_servers);
+  core::Analyzer masked(anon_cfg);
+  for (auto pkt : trace) {
+    anon.anonymize_frame(pkt);
+    masked.offer(pkt);
+  }
+  masked.finish();
+
+  EXPECT_EQ(plain.counters().zoom_packets, masked.counters().zoom_packets);
+  EXPECT_EQ(plain.counters().media_packets, masked.counters().media_packets);
+  EXPECT_EQ(plain.counters().rtcp_packets, masked.counters().rtcp_packets);
+  EXPECT_EQ(plain.streams().size(), masked.streams().size());
+  EXPECT_EQ(plain.meetings().meeting_count(), masked.meetings().meeting_count());
+}
+
+TEST(Integration, PcapRoundTripPreservesAnalysis) {
+  // Writing the monitor trace to a pcap file and reading it back must
+  // not change a single analysis result (lossless capture I/O).
+  auto mc = base_meeting(110, 15.0);
+  std::string path = ::testing::TempDir() + "/zpm_integration.pcap";
+  core::Analyzer direct(analyzer_config());
+  {
+    sim::MeetingSim sim(mc);
+    net::PcapWriter writer(path);
+    while (auto pkt = sim.next_packet()) {
+      direct.offer(*pkt);
+      writer.write(*pkt);
+    }
+  }
+  direct.finish();
+
+  core::Analyzer from_file(analyzer_config());
+  auto source = net::open_capture(path);
+  ASSERT_NE(source, nullptr);
+  while (auto pkt = source->next()) from_file.offer(*pkt);
+  from_file.finish();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(direct.counters().zoom_packets, from_file.counters().zoom_packets);
+  EXPECT_EQ(direct.counters().media_packets, from_file.counters().media_packets);
+  EXPECT_EQ(direct.streams().size(), from_file.streams().size());
+  EXPECT_EQ(direct.sfu_rtt_samples().size(), from_file.sfu_rtt_samples().size());
+}
+
+}  // namespace
+}  // namespace zpm

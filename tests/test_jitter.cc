@@ -1,0 +1,112 @@
+// RFC 3550 jitter estimation (§5.4).
+#include <gtest/gtest.h>
+
+#include "metrics/jitter.h"
+#include "util/rng.h"
+
+namespace zpm::metrics {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+TEST(Jitter, ZeroForPerfectlyPacedStream) {
+  JitterEstimator j(90000);
+  Timestamp t = Timestamp::from_seconds(0);
+  std::uint32_t ts = 0;
+  for (int i = 0; i < 100; ++i) {
+    j.add(t, ts);
+    t += Duration::millis(33);
+    ts += 2970;  // exactly 33 ms at 90 kHz
+  }
+  EXPECT_TRUE(j.has_estimate());
+  EXPECT_NEAR(j.jitter_ms(), 0.0, 1e-9);
+}
+
+TEST(Jitter, ConvergesToExpectedValueForConstantDisplacement) {
+  // Alternating +d/-d arrival error yields |D| = 2d each step; the EWMA
+  // converges to 2d.
+  JitterEstimator j(90000);
+  Timestamp t = Timestamp::from_seconds(0);
+  std::uint32_t ts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Duration err = Duration::millis(i % 2 == 0 ? 2 : -2);
+    j.add(t + err, ts);
+    t += Duration::millis(40);
+    ts += 3600;
+  }
+  EXPECT_NEAR(j.jitter_ms(), 4.0, 0.3);
+}
+
+TEST(Jitter, VariablePacketizationIsNotJitter) {
+  // Zoom's packetization interval varies (§5.4); as long as arrival
+  // matches the RTP clock, variable frame spacing must yield ~0 jitter.
+  JitterEstimator j(90000);
+  util::Rng rng(5);
+  Timestamp t = Timestamp::from_seconds(0);
+  std::uint32_t ts = 0;
+  for (int i = 0; i < 500; ++i) {
+    j.add(t, ts);
+    double gap_ms = rng.uniform(20.0, 120.0);  // wildly variable spacing
+    t += Duration::micros(static_cast<std::int64_t>(gap_ms * 1000));
+    ts += static_cast<std::uint32_t>(gap_ms * 90.0);
+  }
+  EXPECT_LT(j.jitter_ms(), 0.05);
+  // The naive estimator reads the same stream as massively jittery —
+  // the paper's argument for why raw interarrival variance is wrong.
+  NaiveInterarrivalJitter naive;
+  util::Rng rng2(5);
+  Timestamp t2 = Timestamp::from_seconds(0);
+  for (int i = 0; i < 500; ++i) {
+    naive.add(t2);
+    double gap_ms = rng2.uniform(20.0, 120.0);
+    t2 += Duration::micros(static_cast<std::int64_t>(gap_ms * 1000));
+  }
+  EXPECT_GT(naive.jitter_ms(), 10.0);
+}
+
+TEST(Jitter, TimestampWrapDoesNotSpike) {
+  JitterEstimator j(90000);
+  Timestamp t = Timestamp::from_seconds(0);
+  std::uint32_t ts = 0xffffff00u;  // about to wrap
+  for (int i = 0; i < 50; ++i) {
+    j.add(t, ts);
+    t += Duration::millis(33);
+    ts += 2970;  // wraps partway through
+  }
+  EXPECT_NEAR(j.jitter_ms(), 0.0, 1e-6);
+}
+
+TEST(Jitter, RtpUnitConversion) {
+  JitterEstimator j(90000);
+  j.add(Timestamp::from_seconds(0), 0);
+  j.add(Timestamp::from_seconds(0) + Duration::millis(49), 2970);  // 16 ms late
+  // One sample: J = |D|/16 = 16/16 = 1 ms = 90 RTP units.
+  EXPECT_NEAR(j.jitter_ms(), 1.0, 1e-9);
+  EXPECT_NEAR(j.jitter_rtp_units(), 90.0, 1e-6);
+  ASSERT_TRUE(j.last_abs_d_ms());
+  EXPECT_NEAR(*j.last_abs_d_ms(), 16.0, 1e-9);
+}
+
+TEST(Jitter, NoEstimateWithFewerThanTwoSamples) {
+  JitterEstimator j(90000);
+  EXPECT_FALSE(j.has_estimate());
+  j.add(Timestamp::from_seconds(0), 0);
+  EXPECT_FALSE(j.has_estimate());
+  j.add(Timestamp::from_seconds(1), 90000);
+  EXPECT_TRUE(j.has_estimate());
+}
+
+TEST(NaiveJitter, StdDevOfInterarrivals) {
+  NaiveInterarrivalJitter naive;
+  Timestamp t = Timestamp::from_seconds(0);
+  // Intervals: 10, 30, 10, 30 ... ms -> stddev 10 ms.
+  for (int i = 0; i < 400; ++i) {
+    naive.add(t);
+    t += Duration::millis(i % 2 == 0 ? 10 : 30);
+  }
+  EXPECT_NEAR(naive.jitter_ms(), 10.0, 0.2);
+}
+
+}  // namespace
+}  // namespace zpm::metrics

@@ -1,0 +1,147 @@
+// Passive RTT estimation: RTP-copy matching and TCP seq/ack proxy (§5.3).
+#include <gtest/gtest.h>
+
+#include "metrics/latency.h"
+
+namespace zpm::metrics {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+Timestamp at(double s) { return Timestamp::from_seconds(s); }
+
+TEST(RtpCopyMatcher, MatchesForwardedCopy) {
+  RtpCopyMatcher m;
+  m.on_egress(at(1.000), 0x42, 100, 90000);
+  auto sample = m.on_ingress(at(1.034), 0x42, 100, 90000);
+  ASSERT_TRUE(sample);
+  EXPECT_EQ(sample->rtt.ms(), 34.0);
+  EXPECT_EQ(m.samples().size(), 1u);
+  EXPECT_EQ(m.mean_rtt().ms(), 34.0);
+}
+
+TEST(RtpCopyMatcher, RequiresAllFourFeatures) {
+  RtpCopyMatcher m;
+  m.on_egress(at(1.0), 0x42, 100, 90000);
+  // Wrong SSRC.
+  EXPECT_FALSE(m.on_ingress(at(1.01), 0x43, 100, 90000));
+  // Wrong sequence.
+  EXPECT_FALSE(m.on_ingress(at(1.01), 0x42, 101, 90000));
+  // Matching SSRC+seq but wrong RTP timestamp (SSRC collision across
+  // meetings — §4.3.1 challenge 2).
+  EXPECT_FALSE(m.on_ingress(at(1.01), 0x42, 100, 12345));
+  // All four features match.
+  EXPECT_TRUE(m.on_ingress(at(1.01), 0x42, 100, 90000));
+}
+
+TEST(RtpCopyMatcher, MatchConsumedOnce) {
+  RtpCopyMatcher m;
+  m.on_egress(at(1.0), 7, 5, 500);
+  EXPECT_TRUE(m.on_ingress(at(1.02), 7, 5, 500));
+  // The SFU fans out to several receivers, but we count one RTT sample
+  // per egress record.
+  EXPECT_FALSE(m.on_ingress(at(1.03), 7, 5, 500));
+}
+
+TEST(RtpCopyMatcher, WindowExpiry) {
+  RtpCopyMatcher m(Duration::millis(500));
+  m.on_egress(at(1.0), 7, 5, 500);
+  EXPECT_FALSE(m.on_ingress(at(2.0), 7, 5, 500));  // too late
+  EXPECT_EQ(m.pending(), 0u);
+}
+
+TEST(RtpCopyMatcher, SequenceWrapOverwritesStaleEntry) {
+  RtpCopyMatcher m;
+  m.on_egress(at(1.0), 7, 5, 100);
+  m.on_egress(at(1.5), 7, 5, 200);  // same (ssrc,seq) after wrap, new ts
+  auto s = m.on_ingress(at(1.52), 7, 5, 200);
+  ASSERT_TRUE(s);
+  EXPECT_NEAR(s->rtt.ms(), 20.0, 1e-9);
+}
+
+TEST(TcpRtt, ServerSideRttFromDataAck) {
+  TcpRttEstimator est;
+  net::TcpHeader data;
+  data.seq = 1000;
+  data.flags = net::kTcpAck | net::kTcpPsh;
+  est.on_packet(at(1.000), data, 100, /*outbound=*/true);
+  net::TcpHeader ack;
+  ack.ack = 1100;
+  ack.flags = net::kTcpAck;
+  est.on_packet(at(1.040), ack, 0, /*outbound=*/false);
+  ASSERT_EQ(est.server_rtt().size(), 1u);
+  EXPECT_NEAR(est.server_rtt()[0].rtt.ms(), 40.0, 1e-9);
+  EXPECT_TRUE(est.client_rtt().empty());
+}
+
+TEST(TcpRtt, ClientSideRttFromInboundData) {
+  TcpRttEstimator est;
+  net::TcpHeader data;
+  data.seq = 5000;
+  data.flags = net::kTcpAck;
+  est.on_packet(at(2.000), data, 200, /*outbound=*/false);
+  net::TcpHeader ack;
+  ack.ack = 5200;
+  ack.flags = net::kTcpAck;
+  est.on_packet(at(2.006), ack, 0, /*outbound=*/true);
+  ASSERT_EQ(est.client_rtt().size(), 1u);
+  EXPECT_NEAR(est.client_rtt()[0].rtt.ms(), 6.0, 0.01);
+}
+
+TEST(TcpRtt, RetransmissionNotSampled) {
+  // Karn's algorithm: an ack for a retransmitted segment is ambiguous.
+  TcpRttEstimator est;
+  net::TcpHeader data;
+  data.seq = 1000;
+  est.on_packet(at(1.0), data, 100, true);
+  est.on_packet(at(1.3), data, 100, true);  // retransmission (same seq)
+  net::TcpHeader ack;
+  ack.ack = 1100;
+  ack.flags = net::kTcpAck;
+  est.on_packet(at(1.35), ack, 0, false);
+  EXPECT_TRUE(est.server_rtt().empty());
+}
+
+TEST(TcpRtt, CumulativeAckSamplesNewestSegment) {
+  TcpRttEstimator est;
+  net::TcpHeader d1;
+  d1.seq = 0;
+  est.on_packet(at(1.00), d1, 100, true);
+  net::TcpHeader d2;
+  d2.seq = 100;
+  est.on_packet(at(1.05), d2, 100, true);
+  net::TcpHeader ack;
+  ack.ack = 200;  // acks both
+  ack.flags = net::kTcpAck;
+  est.on_packet(at(1.08), ack, 0, false);
+  ASSERT_EQ(est.server_rtt().size(), 1u);
+  EXPECT_NEAR(est.server_rtt()[0].rtt.ms(), 30.0, 1e-9);  // newest segment
+}
+
+TEST(TcpRtt, SynConsumesSequenceNumber) {
+  TcpRttEstimator est;
+  net::TcpHeader syn;
+  syn.seq = 999;
+  syn.flags = net::kTcpSyn;
+  est.on_packet(at(1.0), syn, 0, true);
+  net::TcpHeader synack;
+  synack.ack = 1000;  // acks the SYN
+  synack.flags = net::kTcpSyn | net::kTcpAck;
+  est.on_packet(at(1.025), synack, 0, false);
+  ASSERT_EQ(est.server_rtt().size(), 1u);
+  EXPECT_NEAR(est.server_rtt()[0].rtt.ms(), 25.0, 0.01);
+}
+
+TEST(TcpRtt, PureAcksProduceNoInflightState) {
+  TcpRttEstimator est;
+  net::TcpHeader ack;
+  ack.ack = 1;
+  ack.flags = net::kTcpAck;
+  for (int i = 0; i < 10; ++i) est.on_packet(at(i), ack, 0, true);
+  EXPECT_TRUE(est.server_rtt().empty());
+  EXPECT_TRUE(est.client_rtt().empty());
+}
+
+}  // namespace
+}  // namespace zpm::metrics

@@ -1,0 +1,105 @@
+// Sequence-based loss / duplicate / reorder accounting (§5.5).
+#include <gtest/gtest.h>
+
+#include "metrics/loss.h"
+
+namespace zpm::metrics {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+Timestamp at(double s) { return Timestamp::from_seconds(s); }
+
+TEST(SeqTracker, CleanStreamHasNoEvents) {
+  SeqTracker t;
+  for (std::uint16_t s = 100; s < 200; ++s) t.on_packet(at(s * 0.01), s);
+  t.finish();
+  const auto& c = t.counters();
+  EXPECT_EQ(c.received, 100u);
+  EXPECT_EQ(c.unique, 100u);
+  EXPECT_EQ(c.duplicates, 0u);
+  EXPECT_EQ(c.reordered, 0u);
+  EXPECT_EQ(c.gap_packets, 0u);
+  EXPECT_EQ(t.loss_fraction(), 0.0);
+}
+
+TEST(SeqTracker, DetectsDuplicates) {
+  SeqTracker t;
+  t.on_packet(at(0.0), 1);
+  t.on_packet(at(0.1), 2);
+  t.on_packet(at(0.2), 2);  // duplicate (Zoom retransmission seen twice)
+  t.finish();
+  EXPECT_EQ(t.counters().duplicates, 1u);
+  EXPECT_EQ(t.counters().unique, 2u);
+}
+
+TEST(SeqTracker, ReorderFillsHole) {
+  SeqTracker t;
+  t.on_packet(at(0.0), 10);
+  t.on_packet(at(0.01), 12);  // 11 missing
+  t.on_packet(at(0.02), 11);  // late arrival fills it
+  t.finish();
+  const auto& c = t.counters();
+  EXPECT_EQ(c.reordered, 1u);
+  EXPECT_EQ(c.gap_packets, 0u);
+  EXPECT_EQ(c.unique, 3u);
+}
+
+TEST(SeqTracker, UnfilledHoleBecomesLossAtFinish) {
+  SeqTracker t;
+  t.on_packet(at(0.0), 1);
+  t.on_packet(at(0.1), 3);  // 2 never arrives
+  t.finish();
+  EXPECT_EQ(t.counters().gap_packets, 1u);
+  EXPECT_NEAR(t.loss_fraction(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(SeqTracker, HoleAgesOutOfWindow) {
+  SeqTracker t(/*window=*/16);
+  t.on_packet(at(0.0), 0);
+  t.on_packet(at(0.001), 2);  // hole at 1
+  for (std::uint16_t s = 3; s < 40; ++s) t.on_packet(at(s * 0.001), s);
+  // Hole fell out of the 16-packet window long ago.
+  EXPECT_EQ(t.counters().gap_packets, 1u);
+}
+
+TEST(SeqTracker, LateRetransmissionFlaggedBeyondRtoThreshold) {
+  SeqTracker t;
+  t.on_packet(at(0.0), 1);
+  t.on_packet(at(0.005), 3);  // hole at 2 opens at t=5 ms
+  // Arrives 250 ms later with a 30 ms RTT hint: way past rtt+100 ms.
+  t.on_packet(at(0.255), 2, Duration::millis(30));
+  EXPECT_EQ(t.counters().suspected_retransmissions, 1u);
+  EXPECT_EQ(t.counters().reordered, 1u);
+}
+
+TEST(SeqTracker, FastReorderNotFlaggedAsRetransmission) {
+  SeqTracker t;
+  t.on_packet(at(0.0), 1);
+  t.on_packet(at(0.001), 3);
+  t.on_packet(at(0.003), 2, Duration::millis(30));  // 2 ms late: plain reorder
+  EXPECT_EQ(t.counters().suspected_retransmissions, 0u);
+  EXPECT_EQ(t.counters().reordered, 1u);
+}
+
+TEST(SeqTracker, SurvivesSequenceWrap) {
+  SeqTracker t;
+  std::uint16_t s = 65500;
+  for (int i = 0; i < 100; ++i) t.on_packet(at(i * 0.01), s++);
+  t.finish();
+  EXPECT_EQ(t.counters().unique, 100u);
+  EXPECT_EQ(t.counters().gap_packets, 0u);
+}
+
+TEST(SeqTracker, LossAcrossWrapBoundary) {
+  SeqTracker t;
+  t.on_packet(at(0.0), 65534);
+  t.on_packet(at(0.1), 65535);
+  t.on_packet(at(0.2), 1);  // 0 lost across the wrap
+  t.finish();
+  EXPECT_EQ(t.counters().gap_packets, 1u);
+}
+
+}  // namespace
+}  // namespace zpm::metrics

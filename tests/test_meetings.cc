@@ -1,0 +1,115 @@
+// Stream->meeting grouping heuristic with merging (§4.3 step 2, Figs 8-9).
+#include <gtest/gtest.h>
+
+#include "core/meetings.h"
+
+namespace zpm::core {
+namespace {
+
+using util::Timestamp;
+
+Timestamp at(double s) { return Timestamp::from_seconds(s); }
+
+TEST(MeetingGrouper, FirstStreamCreatesMeeting) {
+  MeetingGrouper g;
+  auto id = g.assign(/*media_id=*/1, net::Ipv4Addr(10, 0, 0, 1), 40000, at(10), false);
+  EXPECT_EQ(g.meeting_count(), 1u);
+  auto meetings = g.meetings();
+  ASSERT_EQ(meetings.size(), 1u);
+  EXPECT_EQ(meetings[0]->id, id);
+  EXPECT_EQ(meetings[0]->active_participants(), 1u);
+  EXPECT_EQ(meetings[0]->stream_count, 1u);
+}
+
+TEST(MeetingGrouper, SameClientIpJoinsSameMeeting) {
+  MeetingGrouper g;
+  auto a = g.assign(1, net::Ipv4Addr(10, 0, 0, 1), 40000, at(10), false);
+  auto b = g.assign(2, net::Ipv4Addr(10, 0, 0, 1), 40002, at(11), false);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.meeting_count(), 1u);
+}
+
+TEST(MeetingGrouper, SameMediaIdLinksDifferentClients) {
+  // C1's uplink stream and its copy arriving at C2 share a media id:
+  // both clients end up in one meeting (Fig. 8).
+  MeetingGrouper g;
+  auto a = g.assign(7, net::Ipv4Addr(10, 0, 0, 1), 40000, at(10), false);
+  auto b = g.assign(7, net::Ipv4Addr(10, 0, 0, 2), 41000, at(10.1), false);
+  EXPECT_EQ(a, b);
+  auto meetings = g.meetings();
+  ASSERT_EQ(meetings.size(), 1u);
+  EXPECT_EQ(meetings[0]->active_participants(), 2u);
+}
+
+TEST(MeetingGrouper, DisjointStreamsStayApart) {
+  MeetingGrouper g;
+  auto a = g.assign(1, net::Ipv4Addr(10, 0, 0, 1), 40000, at(10), false);
+  auto b = g.assign(2, net::Ipv4Addr(10, 0, 0, 2), 41000, at(10), false);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(g.meeting_count(), 2u);
+}
+
+TEST(MeetingGrouper, LateLinkMergesMeetings) {
+  // Two meetings form independently, then a stream matching both keys
+  // arrives: "the matched meetings are merged".
+  MeetingGrouper g;
+  auto a = g.assign(1, net::Ipv4Addr(10, 0, 0, 1), 40000, at(10), false);
+  auto b = g.assign(2, net::Ipv4Addr(10, 0, 0, 2), 41000, at(11), false);
+  ASSERT_NE(a, b);
+  // Media 2 (meeting b) now also seen at client 1 (meeting a).
+  auto c = g.assign(2, net::Ipv4Addr(10, 0, 0, 1), 40002, at(12), false);
+  EXPECT_EQ(g.meeting_count(), 1u);
+  EXPECT_EQ(g.resolve(a), g.resolve(b));
+  EXPECT_EQ(g.resolve(a), c);
+  auto meetings = g.meetings();
+  ASSERT_EQ(meetings.size(), 1u);
+  EXPECT_EQ(meetings[0]->media_ids.size(), 2u);
+  EXPECT_EQ(meetings[0]->active_participants(), 2u);
+  EXPECT_EQ(meetings[0]->stream_count, 3u);
+  EXPECT_EQ(meetings[0]->first_seen, at(10));
+  EXPECT_EQ(meetings[0]->last_seen, at(12));
+}
+
+TEST(MeetingGrouper, P2pPeerEndpointRegistersBothSides) {
+  MeetingGrouper g;
+  auto a = g.assign(5, net::Ipv4Addr(10, 0, 0, 1), 47000, at(20), true,
+                    std::pair{net::Ipv4Addr(98, 0, 0, 9), std::uint16_t{52000}});
+  // The off-campus peer later shows up as a client key.
+  auto b = g.assign(6, net::Ipv4Addr(98, 0, 0, 9), 52000, at(21), true);
+  EXPECT_EQ(g.resolve(a), g.resolve(b));
+  auto meetings = g.meetings();
+  ASSERT_EQ(meetings.size(), 1u);
+  EXPECT_TRUE(meetings[0]->saw_p2p);
+  EXPECT_EQ(meetings[0]->active_participants(), 2u);
+}
+
+TEST(MeetingGrouper, NatMergesDistinctMeetings) {
+  // Fig. 9 right: two meetings behind one NAT IP are (incorrectly but
+  // unavoidably) merged — documented failure mode.
+  MeetingGrouper g;
+  net::Ipv4Addr nat(10, 0, 0, 99);
+  auto a = g.assign(1, nat, 40000, at(10), false);
+  auto b = g.assign(2, nat, 45000, at(10.5), false);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.meeting_count(), 1u);
+}
+
+TEST(MeetingGrouper, RttSamplesAttachToMergedRoot) {
+  MeetingGrouper g;
+  auto a = g.assign(1, net::Ipv4Addr(10, 0, 0, 1), 40000, at(10), false);
+  auto b = g.assign(2, net::Ipv4Addr(10, 0, 0, 2), 41000, at(11), false);
+  g.add_rtt_sample(a, metrics::RttSample{at(10.5), util::Duration::millis(20)});
+  g.assign(2, net::Ipv4Addr(10, 0, 0, 1), 40002, at(12), false);  // merge
+  g.add_rtt_sample(b, metrics::RttSample{at(12.5), util::Duration::millis(30)});
+  auto meetings = g.meetings();
+  ASSERT_EQ(meetings.size(), 1u);
+  EXPECT_EQ(meetings[0]->rtt_to_sfu.size(), 2u);
+}
+
+TEST(MeetingGrouper, ResolveUnknownIdPassesThrough) {
+  MeetingGrouper g;
+  EXPECT_EQ(g.resolve(12345), 12345u);
+}
+
+}  // namespace
+}  // namespace zpm::core

@@ -1,0 +1,61 @@
+// Stateful STUN-based P2P detection (§4.1).
+#include <gtest/gtest.h>
+
+#include "core/p2p_detector.h"
+
+namespace zpm::core {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+Timestamp at(double s) { return Timestamp::from_seconds(s); }
+
+TEST(P2pDetector, CandidateWithinTimeout) {
+  P2pDetector d(Duration::seconds(60.0));
+  net::Ipv4Addr client(10, 8, 0, 5);
+  d.on_stun_exchange(at(100), client, 45000);
+  EXPECT_TRUE(d.is_candidate(at(110), client, 45000));
+  EXPECT_TRUE(d.is_candidate(at(159), client, 45000));
+  EXPECT_FALSE(d.is_candidate(at(161), client, 45000));  // expired
+  EXPECT_FALSE(d.is_candidate(at(110), client, 45001));  // wrong port
+  EXPECT_FALSE(d.is_candidate(at(110), net::Ipv4Addr(10, 8, 0, 6), 45000));
+}
+
+TEST(P2pDetector, PacketBeforeStunNotMatched) {
+  P2pDetector d;
+  net::Ipv4Addr client(10, 8, 0, 5);
+  d.on_stun_exchange(at(100), client, 45000);
+  EXPECT_FALSE(d.is_candidate(at(99), client, 45000));
+}
+
+TEST(P2pDetector, RepeatedStunRefreshesTimeout) {
+  P2pDetector d(Duration::seconds(10.0));
+  net::Ipv4Addr client(10, 8, 0, 5);
+  d.on_stun_exchange(at(100), client, 45000);
+  d.on_stun_exchange(at(108), client, 45000);
+  EXPECT_TRUE(d.is_candidate(at(117), client, 45000));
+}
+
+TEST(P2pDetector, ConfirmedFlowsOutliveTimeout) {
+  P2pDetector d(Duration::seconds(5.0));
+  net::FiveTuple flow{net::Ipv4Addr(10, 8, 0, 5), net::Ipv4Addr(98, 0, 1, 2),
+                      45000, 51000, 17};
+  d.confirm_flow(flow);
+  EXPECT_TRUE(d.is_confirmed(flow));
+  // Both directions are the same confirmed flow.
+  EXPECT_TRUE(d.is_confirmed(flow.reversed()));
+  EXPECT_EQ(d.confirmed_flows(), 1u);
+}
+
+TEST(P2pDetector, ExpireDropsStaleCandidates) {
+  P2pDetector d(Duration::seconds(10.0));
+  d.on_stun_exchange(at(100), net::Ipv4Addr(1, 1, 1, 1), 1);
+  d.on_stun_exchange(at(200), net::Ipv4Addr(2, 2, 2, 2), 2);
+  EXPECT_EQ(d.candidates(), 2u);
+  d.expire(at(205));
+  EXPECT_EQ(d.candidates(), 1u);
+}
+
+}  // namespace
+}  // namespace zpm::core

@@ -1,0 +1,87 @@
+// Full-frame decoding: the builder/decoder pair the simulator and
+// analyzer communicate through.
+#include <gtest/gtest.h>
+
+#include "net/build.h"
+#include "net/packet.h"
+
+namespace zpm::net {
+namespace {
+
+using util::Timestamp;
+
+TEST(PacketDecode, UdpRoundTrip) {
+  auto payload = util::from_hex("05 0001 00010000 00" /* sfu-ish bytes */);
+  auto pkt = build_udp(Timestamp::from_seconds(12.5), Ipv4Addr(10, 8, 0, 1), 40000,
+                       Ipv4Addr(170, 114, 0, 10), 8801, payload);
+  auto view = decode_packet(pkt);
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->l4, L4Proto::Udp);
+  EXPECT_EQ(view->ip.src, Ipv4Addr(10, 8, 0, 1));
+  EXPECT_EQ(view->udp.dst_port, 8801);
+  EXPECT_EQ(view->ts.sec(), 12.5);
+  ASSERT_EQ(view->l4_payload.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), view->l4_payload.begin()));
+  EXPECT_EQ(view->five_tuple().protocol, kIpProtoUdp);
+  EXPECT_EQ(view->wire_length(), pkt.data.size());
+}
+
+TEST(PacketDecode, TcpRoundTrip) {
+  std::vector<std::uint8_t> payload(37, 0x17);
+  auto pkt = build_tcp(Timestamp::from_seconds(1), Ipv4Addr(10, 8, 0, 2), 50000,
+                       Ipv4Addr(170, 114, 0, 10), 443, 1000, 2000,
+                       kTcpAck | kTcpPsh, payload);
+  auto view = decode_packet(pkt);
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->l4, L4Proto::Tcp);
+  EXPECT_EQ(view->tcp.seq, 1000u);
+  EXPECT_EQ(view->tcp.ack, 2000u);
+  EXPECT_EQ(view->l4_payload.size(), 37u);
+  EXPECT_EQ(view->src_port(), 50000);
+  EXPECT_EQ(view->dst_port(), 443);
+}
+
+TEST(PacketDecode, RejectsNonIpv4EtherType) {
+  auto pkt = build_udp(Timestamp::from_seconds(0), Ipv4Addr(1, 1, 1, 1), 1,
+                       Ipv4Addr(2, 2, 2, 2), 2, {});
+  pkt.data[12] = 0x86;  // IPv6 ethertype
+  pkt.data[13] = 0xdd;
+  EXPECT_FALSE(decode_packet(pkt));
+}
+
+TEST(PacketDecode, RejectsNonFirstFragment) {
+  auto pkt = build_udp(Timestamp::from_seconds(0), Ipv4Addr(1, 1, 1, 1), 1,
+                       Ipv4Addr(2, 2, 2, 2), 2, {});
+  // Set fragment offset bits in the IP header (bytes 20-21 of frame).
+  pkt.data[20] = 0x00;
+  pkt.data[21] = 0x10;
+  EXPECT_FALSE(decode_packet(pkt));
+}
+
+TEST(PacketDecode, RejectsTruncatedFrame) {
+  auto pkt = build_udp(Timestamp::from_seconds(0), Ipv4Addr(1, 1, 1, 1), 1,
+                       Ipv4Addr(2, 2, 2, 2), 2, {});
+  pkt.data.resize(20);  // cut inside the IP header
+  EXPECT_FALSE(decode_packet(pkt));
+}
+
+TEST(PacketDecode, EthernetPaddingNotMistakenForPayload) {
+  // 10-byte UDP payload, then 6 bytes of Ethernet padding.
+  std::vector<std::uint8_t> payload(10, 0x55);
+  auto pkt = build_udp(Timestamp::from_seconds(0), Ipv4Addr(1, 1, 1, 1), 1,
+                       Ipv4Addr(2, 2, 2, 2), 2, payload);
+  pkt.data.insert(pkt.data.end(), 6, 0x00);
+  auto view = decode_packet(pkt);
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->l4_payload.size(), 10u);
+}
+
+TEST(PacketDecode, MacForIsDeterministicAndLocal) {
+  auto m1 = mac_for(Ipv4Addr(10, 8, 1, 2));
+  auto m2 = mac_for(Ipv4Addr(10, 8, 1, 2));
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(m1.bytes[0] & 0x02, 0x02);  // locally administered bit
+}
+
+}  // namespace
+}  // namespace zpm::net

@@ -1,0 +1,124 @@
+// pcap file format: write/read round-trips, byte-order handling,
+// malformed-file behaviour.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/build.h"
+#include "net/pcap.h"
+
+namespace zpm::net {
+namespace {
+
+using util::Timestamp;
+
+RawPacket sample_packet(double t, std::uint8_t fill, std::size_t payload = 20) {
+  std::vector<std::uint8_t> data(payload, fill);
+  return build_udp(Timestamp::from_seconds(t), Ipv4Addr(10, 0, 0, 1), 1111,
+                   Ipv4Addr(20, 0, 0, 2), 2222, data);
+}
+
+TEST(Pcap, WriteReadRoundTrip) {
+  std::stringstream buf;
+  {
+    PcapWriter writer(buf);
+    ASSERT_TRUE(writer.ok());
+    writer.write(sample_packet(1.5, 0xaa));
+    writer.write(sample_packet(2.25, 0xbb, 300));
+    EXPECT_EQ(writer.packets_written(), 2u);
+  }
+  PcapReader reader(buf);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.link_type(), 1u);
+  auto p1 = reader.next();
+  ASSERT_TRUE(p1);
+  EXPECT_EQ(p1->ts.sec(), 1.5);
+  auto p2 = reader.next();
+  ASSERT_TRUE(p2);
+  EXPECT_EQ(p2->ts.sec(), 2.25);
+  EXPECT_GT(p2->data.size(), p1->data.size());
+  EXPECT_FALSE(reader.next());
+  EXPECT_TRUE(reader.ok());  // clean EOF is not an error
+  EXPECT_EQ(reader.packets_read(), 2u);
+}
+
+TEST(Pcap, SnaplenTruncates) {
+  std::stringstream buf;
+  {
+    PcapWriter writer(buf, /*snaplen=*/60);
+    writer.write(sample_packet(1.0, 0xcc, 500));
+  }
+  PcapReader reader(buf);
+  auto pkt = reader.next();
+  ASSERT_TRUE(pkt);
+  EXPECT_EQ(pkt->data.size(), 60u);
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  std::stringstream buf;
+  buf.write("NOTPCAPNOTPCAPNOTPCAPNOT", 24);
+  PcapReader reader(buf);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("magic"), std::string::npos);
+}
+
+TEST(Pcap, TruncatedRecordReportsError) {
+  std::stringstream buf;
+  {
+    PcapWriter writer(buf);
+    writer.write(sample_packet(1.0, 0xdd));
+  }
+  std::string content = buf.str();
+  content.resize(content.size() - 5);  // chop the record body
+  std::stringstream cut(content);
+  PcapReader reader(cut);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.next());
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("truncated"), std::string::npos);
+}
+
+TEST(Pcap, ImplausibleLengthRejected) {
+  std::stringstream buf;
+  {
+    PcapWriter writer(buf);
+  }
+  // Append a record header claiming a 10 MB packet.
+  auto put32 = [&buf](std::uint32_t v) {
+    char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+    buf.write(b, 4);
+  };
+  put32(1);
+  put32(0);
+  put32(10 * 1024 * 1024);
+  put32(10 * 1024 * 1024);
+  PcapReader reader(buf);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.next());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Pcap, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/zpm_pcap_test.pcap";
+  {
+    PcapWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 10; ++i)
+      writer.write(sample_packet(i * 0.1, static_cast<std::uint8_t>(i)));
+  }
+  PcapReader reader(path);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  int count = 0;
+  while (reader.next()) ++count;
+  EXPECT_EQ(count, 10);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, MissingFileReportsError) {
+  PcapReader reader(std::string("/nonexistent/zpm.pcap"));
+  EXPECT_FALSE(reader.ok());
+}
+
+}  // namespace
+}  // namespace zpm::net

@@ -1,0 +1,318 @@
+// Property-style parameterized sweeps over the wire formats and core
+// invariants (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include "capture/anonymizer.h"
+#include "core/analyzer.h"
+#include "net/build.h"
+#include "proto/rtp.h"
+#include "sim/wire.h"
+#include "util/rng.h"
+#include "util/serial.h"
+#include "zoom/classify.h"
+
+namespace zpm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: every randomly generated RTP header round-trips exactly.
+// ---------------------------------------------------------------------------
+
+class RtpRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RtpRoundTripProperty, SerializeParseIsIdentity) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    proto::RtpHeader h;
+    h.payload_type = static_cast<std::uint8_t>(rng.uniform_int(0, 127));
+    h.marker = rng.chance(0.5);
+    h.padding = false;
+    h.sequence = static_cast<std::uint16_t>(rng.next_u32());
+    h.timestamp = rng.next_u32();
+    h.ssrc = rng.next_u32();
+    auto csrc_count = rng.uniform_int(0, 15);
+    for (int c = 0; c < csrc_count; ++c) h.csrcs.push_back(rng.next_u32());
+    h.csrc_count = static_cast<std::uint8_t>(h.csrcs.size());
+    if (rng.chance(0.3)) {
+      h.extension = true;
+      h.extension_profile = static_cast<std::uint16_t>(rng.next_u32());
+      auto words = rng.uniform_int(0, 4);
+      h.extension_data.assign(static_cast<std::size_t>(words) * 4, 0xee);
+    }
+    util::ByteWriter w;
+    h.serialize(w);
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(rng.uniform_int(0, 64)),
+                                      0x5a);
+    w.bytes(payload);
+    auto parsed = proto::parse_rtp_packet(w.view());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->header.payload_type, h.payload_type);
+    EXPECT_EQ(parsed->header.marker, h.marker);
+    EXPECT_EQ(parsed->header.sequence, h.sequence);
+    EXPECT_EQ(parsed->header.timestamp, h.timestamp);
+    EXPECT_EQ(parsed->header.ssrc, h.ssrc);
+    EXPECT_EQ(parsed->header.csrcs, h.csrcs);
+    EXPECT_EQ(parsed->payload.size(), payload.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtpRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Property: dissect() never misparses and never crashes on any media
+// packet the simulator can produce, for every media kind.
+// ---------------------------------------------------------------------------
+
+struct DissectCase {
+  zoom::MediaEncapType type;
+  std::uint8_t pt;
+};
+
+class DissectProperty
+    : public ::testing::TestWithParam<std::tuple<DissectCase, std::uint64_t>> {};
+
+TEST_P(DissectProperty, EveryGeneratedPacketDissects) {
+  auto [c, seed] = GetParam();
+  util::Rng rng(seed);
+  for (int i = 0; i < 100; ++i) {
+    sim::MediaPacketSpec spec;
+    spec.encap_type = c.type;
+    spec.payload_type = c.pt;
+    spec.ssrc = rng.next_u32();
+    spec.rtp_seq = static_cast<std::uint16_t>(rng.next_u32());
+    spec.rtp_timestamp = rng.next_u32();
+    spec.marker = rng.chance(0.5);
+    spec.frame_sequence = static_cast<std::uint16_t>(rng.next_u32());
+    spec.packets_in_frame = static_cast<std::uint8_t>(rng.uniform_int(1, 30));
+    spec.payload_bytes = static_cast<std::size_t>(rng.uniform_int(2, 1400));
+    auto inner = sim::build_media_payload(spec, rng);
+
+    // P2P form.
+    auto zp = zoom::dissect(inner, zoom::Transport::P2P);
+    ASSERT_TRUE(zp);
+    EXPECT_EQ(zp->category, zoom::PacketCategory::Media);
+    EXPECT_EQ(zp->rtp->ssrc, spec.ssrc);
+    EXPECT_EQ(zp->rtp->sequence, spec.rtp_seq);
+    EXPECT_EQ(zp->rtp->timestamp, spec.rtp_timestamp);
+    EXPECT_EQ(zp->rtp->payload_type, c.pt);
+
+    // Server form.
+    auto wrapped = sim::wrap_sfu(inner, static_cast<std::uint16_t>(i), rng.chance(0.5));
+    auto zps = zoom::dissect(wrapped, zoom::Transport::ServerBased);
+    ASSERT_TRUE(zps);
+    EXPECT_EQ(zps->category, zoom::PacketCategory::Media);
+    ASSERT_TRUE(zps->sfu);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, DissectProperty,
+    ::testing::Combine(
+        ::testing::Values(DissectCase{zoom::MediaEncapType::Video, zoom::pt::kVideoMain},
+                          DissectCase{zoom::MediaEncapType::Video, zoom::pt::kFec},
+                          DissectCase{zoom::MediaEncapType::Audio, zoom::pt::kAudioSpeaking},
+                          DissectCase{zoom::MediaEncapType::Audio, zoom::pt::kAudioSilent},
+                          DissectCase{zoom::MediaEncapType::Audio, zoom::pt::kAudioUnknownMode},
+                          DissectCase{zoom::MediaEncapType::ScreenShare,
+                                      zoom::pt::kScreenShareMain}),
+        ::testing::Values(7, 77)));
+
+// ---------------------------------------------------------------------------
+// Property: dissect() is robust to arbitrary truncation — never crashes,
+// never reads out of bounds (exercised under ASan in debug builds).
+// ---------------------------------------------------------------------------
+
+class TruncationProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TruncationProperty, TruncatedPacketsNeverCrash) {
+  util::Rng rng(99);
+  sim::MediaPacketSpec spec;
+  spec.encap_type = zoom::MediaEncapType::Video;
+  spec.payload_type = zoom::pt::kVideoMain;
+  spec.packets_in_frame = 3;
+  spec.payload_bytes = 200;
+  auto inner = sim::build_media_payload(spec, rng);
+  auto wrapped = sim::wrap_sfu(inner, 1, false);
+  std::size_t cut = std::min(GetParam(), wrapped.size());
+  std::vector<std::uint8_t> truncated(wrapped.begin(),
+                                      wrapped.begin() + static_cast<std::ptrdiff_t>(cut));
+  // Must either parse or cleanly return nullopt/unknown — never UB.
+  auto zp = zoom::dissect(truncated, zoom::Transport::ServerBased);
+  if (cut < 8) EXPECT_FALSE(zp);
+  auto zp2 = zoom::dissect(truncated, zoom::Transport::P2P);
+  (void)zp2;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TruncationProperty,
+                         ::testing::Range<std::size_t>(0, 60, 3));
+
+// ---------------------------------------------------------------------------
+// Property: serial arithmetic is antisymmetric and wrap-consistent.
+// ---------------------------------------------------------------------------
+
+class SerialProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerialProperty, AntisymmetryAndShiftInvariance) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    auto a = static_cast<std::uint16_t>(rng.next_u32());
+    auto b = static_cast<std::uint16_t>(rng.next_u32());
+    auto d = util::serial_diff(a, b);
+    if (d != std::numeric_limits<std::int16_t>::min()) {
+      EXPECT_EQ(util::serial_diff(b, a), -d);
+    }
+    // Shift invariance: diff(a+k, b+k) == diff(a, b).
+    auto k = static_cast<std::uint16_t>(rng.next_u32());
+    EXPECT_EQ(util::serial_diff(static_cast<std::uint16_t>(a + k),
+                                static_cast<std::uint16_t>(b + k)),
+              d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialProperty, ::testing::Values(3, 14, 159));
+
+// ---------------------------------------------------------------------------
+// Property: the anonymizer is a prefix-preserving bijection sample-wise.
+// ---------------------------------------------------------------------------
+
+class AnonymizerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnonymizerProperty, PrefixPreservationExact) {
+  capture::PrefixPreservingAnonymizer anon(GetParam());
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 500; ++i) {
+    std::uint32_t a = rng.next_u32();
+    std::uint32_t b = rng.next_u32();
+    // Force a shared prefix of random length.
+    int shared = static_cast<int>(rng.uniform_int(0, 32));
+    if (shared > 0) {
+      std::uint32_t mask = shared >= 32 ? 0xffffffffu : ~((1u << (32 - shared)) - 1);
+      b = (a & mask) | (b & ~mask);
+    }
+    auto ea = anon.anonymize(net::Ipv4Addr(a)).value();
+    auto eb = anon.anonymize(net::Ipv4Addr(b)).value();
+    // Common-prefix length must be preserved exactly.
+    auto cpl = [](std::uint32_t x, std::uint32_t y) {
+      for (int bit = 0; bit < 32; ++bit)
+        if (((x ^ y) >> (31 - bit)) & 1) return bit;
+      return 32;
+    };
+    EXPECT_EQ(cpl(ea, eb), cpl(a, b)) << std::hex << a << " " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, AnonymizerProperty,
+                         ::testing::Values(0x1111, 0x2222, 0xdeadbeef));
+
+// ---------------------------------------------------------------------------
+// Property: UDP frame build/decode is lossless for any payload size.
+// ---------------------------------------------------------------------------
+
+class FrameBuildProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FrameBuildProperty, BuildDecodeIdentity) {
+  util::Rng rng(GetParam() * 31 + 1);
+  std::vector<std::uint8_t> payload(GetParam());
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u32());
+  auto src = net::Ipv4Addr(rng.next_u32());
+  auto dst = net::Ipv4Addr(rng.next_u32());
+  auto sport = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+  auto dport = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+  auto pkt = net::build_udp(util::Timestamp::from_seconds(1), src, sport, dst, dport,
+                            payload);
+  auto view = net::decode_packet(pkt);
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->ip.src, src);
+  EXPECT_EQ(view->ip.dst, dst);
+  EXPECT_EQ(view->udp.src_port, sport);
+  EXPECT_EQ(view->udp.dst_port, dport);
+  ASSERT_EQ(view->l4_payload.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), view->l4_payload.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FrameBuildProperty,
+                         ::testing::Values(0, 1, 7, 40, 256, 1150, 1472));
+
+
+// ---------------------------------------------------------------------------
+// Property: random byte mutations of valid Zoom packets never crash the
+// dissector and never corrupt memory (failure injection / fuzz-lite).
+// ---------------------------------------------------------------------------
+
+class MutationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationProperty, MutatedPacketsNeverCrash) {
+  util::Rng rng(GetParam());
+  sim::MediaPacketSpec spec;
+  spec.encap_type = zoom::MediaEncapType::Video;
+  spec.payload_type = zoom::pt::kVideoMain;
+  spec.packets_in_frame = 3;
+  spec.payload_bytes = 300;
+  auto inner = sim::build_media_payload(spec, rng);
+  auto wrapped = sim::wrap_sfu(inner, 1, false);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto mutated = wrapped;
+    int flips = static_cast<int>(rng.uniform_int(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      std::size_t pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    }
+    // Must return cleanly — any parse outcome is acceptable, UB is not.
+    auto zp1 = zoom::dissect(mutated, zoom::Transport::ServerBased);
+    auto zp2 = zoom::dissect(mutated, zoom::Transport::P2P);
+    auto zp3 = zoom::dissect_stun(mutated);
+    (void)zp1;
+    (void)zp2;
+    (void)zp3;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationProperty, ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------------
+// Property: the analyzer survives arbitrary mutated frames end to end.
+// ---------------------------------------------------------------------------
+
+class AnalyzerFuzzProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalyzerFuzzProperty, MutatedFramesNeverCrashAnalyzer) {
+  util::Rng rng(GetParam());
+  core::AnalyzerConfig cfg;
+  cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
+  core::Analyzer analyzer(cfg);
+  sim::MediaPacketSpec spec;
+  spec.encap_type = zoom::MediaEncapType::Audio;
+  spec.payload_type = zoom::pt::kAudioSpeaking;
+  spec.payload_bytes = 80;
+  for (int i = 0; i < 300; ++i) {
+    auto inner = sim::build_media_payload(spec, rng);
+    auto wrapped = sim::wrap_sfu(inner, static_cast<std::uint16_t>(i), false);
+    auto pkt = net::build_udp(util::Timestamp::from_seconds(i * 0.02),
+                              net::Ipv4Addr(10, 8, 0, 1), 40000,
+                              net::Ipv4Addr(170, 114, 0, 10), 8801, wrapped);
+    // Mutate anywhere in the frame, including L2/L3 headers.
+    int flips = static_cast<int>(rng.uniform_int(0, 6));
+    for (int f = 0; f < flips; ++f) {
+      std::size_t pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pkt.data.size()) - 1));
+      pkt.data[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    }
+    analyzer.offer(pkt);
+    // Occasional truncation.
+    if (rng.chance(0.1)) {
+      auto cut = pkt;
+      cut.data.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pkt.data.size()))));
+      analyzer.offer(cut);
+    }
+  }
+  analyzer.finish();
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyzerFuzzProperty, ::testing::Values(5, 6, 7));
+
+}  // namespace
+}  // namespace zpm

@@ -1,0 +1,66 @@
+// Interval binning and sliding-window rates.
+#include <gtest/gtest.h>
+
+#include "util/rate.h"
+
+namespace zpm::util {
+namespace {
+
+Timestamp at(double sec) { return Timestamp::from_seconds(sec); }
+
+TEST(IntervalBinner, BinsByWidthAndFillsGaps) {
+  IntervalBinner b(Duration::seconds(1.0));
+  b.add(at(10.2), 100);
+  b.add(at(10.9), 50);
+  b.add(at(13.1), 10);  // bins 11 and 12 are empty
+  auto series = b.series();
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_DOUBLE_EQ(series[0].total, 150.0);
+  EXPECT_DOUBLE_EQ(series[1].total, 0.0);
+  EXPECT_DOUBLE_EQ(series[2].total, 0.0);
+  EXPECT_DOUBLE_EQ(series[3].total, 10.0);
+  EXPECT_EQ(series[0].start.us(), 10'000'000);
+  EXPECT_DOUBLE_EQ(series[0].per_second, 150.0);
+}
+
+TEST(IntervalBinner, WiderBinsScaleRate) {
+  IntervalBinner b(Duration::seconds(60.0));
+  for (int i = 0; i < 60; ++i) b.add(at(100.0 + i), 2.0);
+  auto series = b.series();
+  // All samples may straddle two 60-s bins depending on alignment; sum
+  // of totals must be exact.
+  double total = 0;
+  for (const auto& bin : series) total += bin.total;
+  EXPECT_DOUBLE_EQ(total, 120.0);
+}
+
+TEST(IntervalBinner, EmptySeries) {
+  IntervalBinner b(Duration::seconds(1.0));
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.series().empty());
+}
+
+TEST(WindowedRate, TracksOnlyRecentEvents) {
+  WindowedRate r(Duration::seconds(1.0));
+  r.add(at(5.0), 10.0);
+  r.add(at(5.5), 10.0);
+  EXPECT_DOUBLE_EQ(r.total(at(5.6)), 20.0);
+  EXPECT_DOUBLE_EQ(r.rate(at(5.6)), 20.0);
+  // First event ages out of the 1-second window.
+  EXPECT_DOUBLE_EQ(r.total(at(6.2)), 10.0);
+  EXPECT_DOUBLE_EQ(r.total(at(7.0)), 0.0);
+}
+
+TEST(WindowedRate, CompactionKeepsTotalsCorrect) {
+  WindowedRate r(Duration::millis(100));
+  double expected_window_total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    r.add(at(i * 0.01), 1.0);
+  }
+  // Window is 0.1 s = 10 events of spacing 0.01 s.
+  expected_window_total = r.total(at(49.99));
+  EXPECT_NEAR(expected_window_total, 10.0, 1.0);
+}
+
+}  // namespace
+}  // namespace zpm::util

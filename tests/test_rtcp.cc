@@ -1,0 +1,147 @@
+// RTCP sender reports, SDES, compound packets, NTP conversion.
+#include <gtest/gtest.h>
+
+#include "proto/rtcp.h"
+
+namespace zpm::proto {
+namespace {
+
+TEST(Ntp, UnixRoundTrip) {
+  auto t = util::Timestamp::from_micros(1651752000'123456);
+  auto ntp = NtpTimestamp::from_unix(t);
+  auto back = ntp.to_unix();
+  EXPECT_NEAR(static_cast<double>(back.us() - t.us()), 0.0, 2.0);  // sub-µs rounding
+}
+
+SenderReport sample_sr() {
+  SenderReport sr;
+  sr.sender_ssrc = 0x1234;
+  sr.ntp = NtpTimestamp::from_unix(util::Timestamp::from_seconds(1000));
+  sr.rtp_timestamp = 90000;
+  sr.packet_count = 500;
+  sr.octet_count = 123456;
+  return sr;
+}
+
+TEST(Rtcp, SenderReportRoundTrip) {
+  util::ByteWriter w;
+  serialize_sender_report(w, sample_sr());
+  auto packets = parse_rtcp_compound(w.view());
+  ASSERT_EQ(packets.size(), 1u);
+  const auto* sr = std::get_if<SenderReport>(&packets[0]);
+  ASSERT_NE(sr, nullptr);
+  EXPECT_EQ(sr->sender_ssrc, 0x1234u);
+  EXPECT_EQ(sr->rtp_timestamp, 90000u);
+  EXPECT_EQ(sr->packet_count, 500u);
+  EXPECT_EQ(sr->octet_count, 123456u);
+  EXPECT_TRUE(sr->reports.empty());
+}
+
+TEST(Rtcp, CompoundSrPlusSdes) {
+  // Zoom's type-34 packets: SR followed by an (empty) SDES (§4.2.3).
+  util::ByteWriter w;
+  serialize_sender_report(w, sample_sr());
+  serialize_empty_sdes(w, 0x1234);
+  auto packets = parse_rtcp_compound(w.view());
+  ASSERT_EQ(packets.size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<SenderReport>(packets[0]));
+  const auto* sdes = std::get_if<Sdes>(&packets[1]);
+  ASSERT_NE(sdes, nullptr);
+  ASSERT_EQ(sdes->chunks.size(), 1u);
+  EXPECT_EQ(sdes->chunks[0].ssrc, 0x1234u);
+  EXPECT_TRUE(sdes->chunks[0].items.empty());  // "always empty" SDES
+}
+
+TEST(Rtcp, SenderReportWithReportBlocks) {
+  SenderReport sr = sample_sr();
+  ReportBlock b;
+  b.ssrc = 0x9999;
+  b.fraction_lost = 12;
+  b.cumulative_lost = -5;  // negative is legal (duplicates)
+  b.highest_seq = 70000;
+  b.jitter = 42;
+  sr.reports.push_back(b);
+  util::ByteWriter w;
+  serialize_sender_report(w, sr);
+  auto packets = parse_rtcp_compound(w.view());
+  ASSERT_EQ(packets.size(), 1u);
+  const auto& parsed = std::get<SenderReport>(packets[0]);
+  ASSERT_EQ(parsed.reports.size(), 1u);
+  EXPECT_EQ(parsed.reports[0].ssrc, 0x9999u);
+  EXPECT_EQ(parsed.reports[0].fraction_lost, 12);
+  EXPECT_EQ(parsed.reports[0].cumulative_lost, -5);  // 24-bit sign extension
+  EXPECT_EQ(parsed.reports[0].highest_seq, 70000u);
+}
+
+TEST(Rtcp, RejectsWrongVersionAndUnknownPt) {
+  util::ByteWriter w;
+  serialize_sender_report(w, sample_sr());
+  auto bytes = w.take();
+  bytes[0] = static_cast<std::uint8_t>((bytes[0] & 0x3f) | (3 << 6));
+  EXPECT_TRUE(parse_rtcp_compound(bytes).empty());
+
+  util::ByteWriter w2;
+  serialize_sender_report(w2, sample_sr());
+  auto bytes2 = w2.take();
+  bytes2[1] = 100;  // not an RTCP PT
+  EXPECT_TRUE(parse_rtcp_compound(bytes2).empty());
+}
+
+TEST(Rtcp, RejectsTruncatedBody) {
+  util::ByteWriter w;
+  serialize_sender_report(w, sample_sr());
+  auto bytes = w.take();
+  bytes.resize(bytes.size() - 4);
+  EXPECT_TRUE(parse_rtcp_compound(bytes).empty());
+}
+
+TEST(Rtcp, ByeRoundTrip) {
+  // Hand-built BYE with two SSRCs.
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>((2 << 6) | 2));
+  w.u8(kRtcpBye);
+  w.u16be(2);
+  w.u32be(0xaaaa);
+  w.u32be(0xbbbb);
+  auto packets = parse_rtcp_compound(w.view());
+  ASSERT_EQ(packets.size(), 1u);
+  const auto* bye = std::get_if<Bye>(&packets[0]);
+  ASSERT_NE(bye, nullptr);
+  ASSERT_EQ(bye->ssrcs.size(), 2u);
+  EXPECT_EQ(bye->ssrcs[1], 0xbbbbu);
+}
+
+TEST(Rtcp, LooksLikeRtcpProbe) {
+  util::ByteWriter w;
+  serialize_sender_report(w, sample_sr());
+  EXPECT_TRUE(looks_like_rtcp(w.view()));
+  auto bytes = w.take();
+  bytes[1] = 98;  // RTP payload type range, not RTCP
+  EXPECT_FALSE(looks_like_rtcp(bytes));
+}
+
+TEST(Rtcp, ReceiverReportRoundTrip) {
+  // Zoom never sends RRs (§4.2.1), but the parser must handle them.
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>((2 << 6) | 1));
+  w.u8(kRtcpReceiverReport);
+  w.u16be(1 + 6);
+  w.u32be(0x7777);
+  w.u32be(0x1111);           // block: ssrc
+  w.u32be(0x05000010);       // fraction + cumulative
+  w.u32be(1234);
+  w.u32be(9);
+  w.u32be(0);
+  w.u32be(0);
+  auto packets = parse_rtcp_compound(w.view());
+  ASSERT_EQ(packets.size(), 1u);
+  const auto* rr = std::get_if<ReceiverReport>(&packets[0]);
+  ASSERT_NE(rr, nullptr);
+  EXPECT_EQ(rr->sender_ssrc, 0x7777u);
+  ASSERT_EQ(rr->reports.size(), 1u);
+  EXPECT_EQ(rr->reports[0].fraction_lost, 5);
+  EXPECT_EQ(rr->reports[0].cumulative_lost, 16);
+}
+
+}  // namespace
+}  // namespace zpm::proto

@@ -1,0 +1,94 @@
+// RTP header parsing / serialization (RFC 3550).
+#include <gtest/gtest.h>
+
+#include "proto/rtp.h"
+
+namespace zpm::proto {
+namespace {
+
+RtpHeader sample() {
+  RtpHeader h;
+  h.payload_type = 98;
+  h.marker = true;
+  h.sequence = 12345;
+  h.timestamp = 0xdeadbeef;
+  h.ssrc = 0x42;
+  return h;
+}
+
+TEST(Rtp, RoundTripMinimal) {
+  util::ByteWriter w;
+  sample().serialize(w);
+  EXPECT_EQ(w.size(), 12u);
+  auto parsed = parse_rtp_packet(w.view());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->header.version, 2);
+  EXPECT_EQ(parsed->header.payload_type, 98);
+  EXPECT_TRUE(parsed->header.marker);
+  EXPECT_EQ(parsed->header.sequence, 12345);
+  EXPECT_EQ(parsed->header.timestamp, 0xdeadbeefu);
+  EXPECT_EQ(parsed->header.ssrc, 0x42u);
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(Rtp, RoundTripWithCsrcsAndExtension) {
+  RtpHeader h = sample();
+  h.csrcs = {0x11111111, 0x22222222};
+  h.extension = true;
+  h.extension_profile = 0xbede;
+  h.extension_data = {1, 2, 3, 4, 5};  // padded to 8 bytes (2 words)
+  util::ByteWriter w;
+  h.serialize(w);
+  std::vector<std::uint8_t> payload = {0xaa, 0xbb};
+  w.bytes(payload);
+  auto parsed = parse_rtp_packet(w.view());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->header.csrc_count, 2);
+  ASSERT_EQ(parsed->header.csrcs.size(), 2u);
+  EXPECT_EQ(parsed->header.csrcs[1], 0x22222222u);
+  EXPECT_TRUE(parsed->header.extension);
+  EXPECT_EQ(parsed->header.extension_profile, 0xbede);
+  EXPECT_EQ(parsed->header.extension_data.size(), 8u);  // word-padded
+  EXPECT_EQ(parsed->header.header_length(), 12u + 8u + 4u + 8u);
+  ASSERT_EQ(parsed->payload.size(), 2u);
+  EXPECT_EQ(parsed->payload[0], 0xaa);
+}
+
+TEST(Rtp, RejectsWrongVersion) {
+  util::ByteWriter w;
+  sample().serialize(w);
+  auto bytes = w.take();
+  bytes[0] = static_cast<std::uint8_t>((bytes[0] & 0x3f) | (1 << 6));  // version 1
+  EXPECT_FALSE(parse_rtp_packet(bytes));
+}
+
+TEST(Rtp, RejectsTruncated) {
+  util::ByteWriter w;
+  sample().serialize(w);
+  auto bytes = w.take();
+  bytes.resize(11);
+  EXPECT_FALSE(parse_rtp_packet(bytes));
+}
+
+TEST(Rtp, RejectsTruncatedCsrcList) {
+  util::ByteWriter w;
+  RtpHeader h = sample();
+  h.csrcs = {1, 2, 3};
+  h.serialize(w);
+  auto bytes = w.take();
+  bytes.resize(16);  // fixed header + 1 CSRC only
+  EXPECT_FALSE(parse_rtp_packet(bytes));
+}
+
+TEST(Rtp, LooksLikeRtpProbe) {
+  util::ByteWriter w;
+  sample().serialize(w);
+  EXPECT_TRUE(looks_like_rtp(w.view()));
+  auto bytes = w.take();
+  bytes[0] = 0x00;
+  EXPECT_FALSE(looks_like_rtp(bytes));
+  EXPECT_FALSE(looks_like_rtp(std::vector<std::uint8_t>(4)));
+}
+
+}  // namespace
+}  // namespace zpm::proto

@@ -1,0 +1,71 @@
+// RFC 1982-style serial arithmetic: the foundation of every
+// sequence-number computation in the analyzer.
+#include <gtest/gtest.h>
+
+#include "util/serial.h"
+
+namespace zpm::util {
+namespace {
+
+TEST(SerialDiff, BasicOrdering16) {
+  EXPECT_EQ(serial_diff<std::uint16_t>(100, 105), 5);
+  EXPECT_EQ(serial_diff<std::uint16_t>(105, 100), -5);
+  EXPECT_EQ(serial_diff<std::uint16_t>(7, 7), 0);
+}
+
+TEST(SerialDiff, WrapsCorrectly16) {
+  // 65535 -> 2 is 3 steps forward, not 65533 back.
+  EXPECT_EQ(serial_diff<std::uint16_t>(65535, 2), 3);
+  EXPECT_EQ(serial_diff<std::uint16_t>(2, 65535), -3);
+}
+
+TEST(SerialDiff, WrapsCorrectly32) {
+  EXPECT_EQ(serial_diff<std::uint32_t>(0xffffffffu, 1u), 2);
+  EXPECT_EQ(serial_diff<std::uint32_t>(1u, 0xffffffffu), -2);
+}
+
+TEST(SerialLess, AcrossWrapBoundary) {
+  EXPECT_TRUE(serial_less<std::uint16_t>(65530, 5));
+  EXPECT_FALSE(serial_less<std::uint16_t>(5, 65530));
+  EXPECT_TRUE(serial_less_equal<std::uint16_t>(5, 5));
+}
+
+TEST(SerialExtender, MonotoneSequenceExtendsLinearly) {
+  SerialExtender<std::uint16_t> ext;
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(ext.extend(static_cast<std::uint16_t>(i)), i);
+}
+
+TEST(SerialExtender, ExtendsThroughMultipleWraps) {
+  SerialExtender<std::uint16_t> ext;
+  std::int64_t expected = 65500;
+  ext.extend(65500);
+  // Walk forward 200000 steps in increments of 97, crossing the 16-bit
+  // boundary several times.
+  std::int64_t v = 65500;
+  for (int i = 0; i < 2100; ++i) {
+    v += 97;
+    expected = v;
+    EXPECT_EQ(ext.extend(static_cast<std::uint16_t>(v & 0xffff)), expected);
+  }
+  EXPECT_GT(ext.highest(), 3 * 65536);
+}
+
+TEST(SerialExtender, ReorderedPacketFromBeforeWrapExtendsBackwards) {
+  SerialExtender<std::uint16_t> ext;
+  EXPECT_EQ(ext.extend(65534), 65534);
+  EXPECT_EQ(ext.extend(3), 65539);      // wrapped forward
+  EXPECT_EQ(ext.extend(65535), 65535);  // late straggler, same cycle
+  EXPECT_EQ(ext.highest(), 65539);
+}
+
+TEST(SerialExtender, Timestamp32Wrap) {
+  SerialExtender<std::uint32_t> ext;
+  std::uint32_t near_top = 0xffffff00u;
+  EXPECT_EQ(ext.extend(near_top), static_cast<std::int64_t>(near_top));
+  EXPECT_EQ(ext.extend(0x00000100u),
+            static_cast<std::int64_t>(near_top) + 0x200);
+}
+
+}  // namespace
+}  // namespace zpm::util

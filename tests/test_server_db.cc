@@ -1,0 +1,95 @@
+// Zoom server subnet matching and the Appendix-B census methodology.
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "zoom/server_db.h"
+
+namespace zpm::zoom {
+namespace {
+
+TEST(ServerDb, ContainsMergedIntervals) {
+  ServerDb db;
+  db.add(*net::Ipv4Subnet::parse("10.0.0.0/24"));
+  db.add(*net::Ipv4Subnet::parse("10.0.1.0/24"));  // adjacent -> merged
+  db.add(*net::Ipv4Subnet::parse("192.168.0.0/16"));
+  EXPECT_TRUE(db.contains(net::Ipv4Addr(10, 0, 0, 200)));
+  EXPECT_TRUE(db.contains(net::Ipv4Addr(10, 0, 1, 1)));
+  EXPECT_FALSE(db.contains(net::Ipv4Addr(10, 0, 2, 1)));
+  EXPECT_TRUE(db.contains(net::Ipv4Addr(192, 168, 255, 255)));
+  EXPECT_FALSE(db.contains(net::Ipv4Addr(192, 169, 0, 0)));
+  EXPECT_EQ(db.address_count(), 512u + 65536u);
+}
+
+TEST(ServerDb, OfficialListCoversSimulatorAllocations) {
+  const auto& db = ServerDb::official();
+  // The simulator draws MMR/ZC addresses from 170.114/16 (Appendix B).
+  EXPECT_TRUE(db.contains(net::Ipv4Addr(170, 114, 0, 10)));
+  EXPECT_TRUE(db.contains(net::Ipv4Addr(170, 114, 200, 1)));
+  EXPECT_FALSE(db.contains(net::Ipv4Addr(8, 8, 8, 8)));
+  EXPECT_FALSE(db.contains(net::Ipv4Addr(10, 8, 0, 1)));
+  EXPECT_GT(db.address_count(), 100'000u);
+}
+
+TEST(ServerNames, ParsesSchemeConformantNames) {
+  auto parsed = parse_server_name("zoomny1234mmr.ny.zoom.us");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->location, "ny");
+  EXPECT_EQ(parsed->id, 1234);
+  EXPECT_EQ(parsed->kind, ServerKind::Mmr);
+
+  auto zc = parse_server_name("zoomam7zc.am.zoom.us");
+  ASSERT_TRUE(zc);
+  EXPECT_EQ(zc->location, "am");
+  EXPECT_EQ(zc->kind, ServerKind::Zc);
+}
+
+TEST(ServerNames, RejectsNonConformantNames) {
+  EXPECT_FALSE(parse_server_name("www.zoom.us"));
+  EXPECT_FALSE(parse_server_name("zoomny12.ny.zoom.us"));        // no type
+  EXPECT_FALSE(parse_server_name("zoomnymmr.ny.zoom.us"));       // no id
+  EXPECT_FALSE(parse_server_name("zoomny1mmr.ca.zoom.us"));      // loc mismatch
+  EXPECT_FALSE(parse_server_name("zoom1ny1mmr.ny.zoom.us"));     // bad loc
+  EXPECT_FALSE(parse_server_name("zoomny1mmr.ny.zoom.com"));     // bad suffix
+}
+
+TEST(Census, SiteTotalsMatchTable7) {
+  const auto& sites = census_sites();
+  int mmrs = 0, zcs = 0;
+  for (const auto& s : sites) {
+    mmrs += s.mmrs;
+    zcs += s.zcs;
+  }
+  EXPECT_EQ(mmrs, 5452);  // Table 7 total MMRs
+  EXPECT_EQ(zcs, 256);    // Table 7 total ZCs
+  EXPECT_EQ(sites.size(), 14u);
+}
+
+TEST(Census, SynthesizeAndTallyReproducesCounts) {
+  util::Rng rng(1);
+  auto records = synthesize_infrastructure(rng, /*noise_count=*/100);
+  EXPECT_EQ(records.size(), 5452u + 256u + 100u);
+  auto tallies = census_tally(records);
+  // Noise records must be excluded; every site recovered exactly.
+  int mmrs = 0, zcs = 0;
+  for (const auto& t : tallies) {
+    mmrs += t.mmrs;
+    zcs += t.zcs;
+  }
+  EXPECT_EQ(mmrs, 5452);
+  EXPECT_EQ(zcs, 256);
+  // Ordered by MMR count: California first (1410), New York second.
+  ASSERT_GE(tallies.size(), 2u);
+  EXPECT_EQ(tallies[0].mmrs, 1410);
+  EXPECT_EQ(tallies[1].mmrs, 1280);
+}
+
+TEST(Census, AllSynthesizedServerIpsAreInOfficialDb) {
+  util::Rng rng(2);
+  auto records = synthesize_infrastructure(rng, 0);
+  const auto& db = ServerDb::official();
+  for (std::size_t i = 0; i < records.size(); i += 97)
+    EXPECT_TRUE(db.contains(records[i].ip)) << records[i].ip.to_string();
+}
+
+}  // namespace
+}  // namespace zpm::zoom

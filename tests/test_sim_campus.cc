@@ -1,0 +1,108 @@
+// Campus-day generator: schedule shape, merging, background traffic.
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "sim/campus.h"
+#include "zoom/server_db.h"
+
+namespace zpm::sim {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+CampusConfig small_config(std::uint64_t seed = 11) {
+  CampusConfig c;
+  c.seed = seed;
+  c.duration = Duration::seconds(2 * 3600.0);
+  c.meetings_per_peak_hour = 6.0;
+  c.background_ratio = 1.0;
+  return c;
+}
+
+TEST(DiurnalWeight, PeaksDuringWorkHoursDipsAtNight) {
+  EXPECT_GT(diurnal_weight(10), 0.9);
+  EXPECT_GT(diurnal_weight(14), 0.9);
+  EXPECT_LT(diurnal_weight(12), diurnal_weight(11));  // lunch dip
+  EXPECT_LT(diurnal_weight(3), 0.05);
+  EXPECT_LT(diurnal_weight(21), diurnal_weight(16));  // evening decline
+}
+
+TEST(CampusSimulation, PacketsOrderedAndMixed) {
+  CampusSimulation campus(small_config());
+  Timestamp prev = Timestamp::from_micros(0);
+  std::uint64_t zoom = 0, bg = 0;
+  while (auto pkt = campus.next_packet()) {
+    EXPECT_GE(pkt->ts, prev);
+    prev = pkt->ts;
+    if (campus.last_was_background()) ++bg;
+    else ++zoom;
+  }
+  EXPECT_GT(zoom, 10'000u);
+  EXPECT_GT(bg, 1'000u);
+  EXPECT_EQ(campus.summary().zoom_packets, zoom);
+  EXPECT_EQ(campus.summary().background_packets, bg);
+  EXPECT_GE(campus.summary().meetings, 2u);
+  EXPECT_GE(campus.summary().participants, 2 * campus.summary().meetings);
+}
+
+TEST(CampusSimulation, BackgroundNeverMatchesZoomSubnets) {
+  CampusSimulation campus(small_config(12));
+  const auto& db = zoom::ServerDb::official();
+  int checked = 0;
+  while (auto pkt = campus.next_packet()) {
+    if (!campus.last_was_background()) continue;
+    auto view = net::decode_packet(*pkt);
+    ASSERT_TRUE(view);
+    EXPECT_FALSE(db.contains(view->ip.src));
+    EXPECT_FALSE(db.contains(view->ip.dst));
+    if (++checked > 3000) break;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(CampusSimulation, MeetingConfigsSane) {
+  CampusSimulation campus(small_config(13));
+  for (const auto& mc : campus.meeting_configs()) {
+    EXPECT_GE(mc.participants.size(), 2u);
+    EXPECT_TRUE(mc.participants[0].on_campus);  // first always visible
+    EXPECT_GE(mc.duration.sec(), 120.0);
+    EXPECT_TRUE(zoom::ServerDb::official().contains(mc.sfu_ip));
+    EXPECT_TRUE(zoom::ServerDb::official().contains(mc.zone_controller_ip));
+    if (mc.p2p_switch_after) EXPECT_EQ(mc.participants.size(), 2u);
+  }
+}
+
+
+TEST(CampusSimulation, SubHourDurationStillSchedulesMeetings) {
+  CampusConfig c;
+  c.seed = 31;
+  c.duration = Duration::seconds(900.0);  // 15 minutes
+  c.meetings_per_peak_hour = 12.0;
+  c.background_ratio = 0.0;
+  CampusSimulation campus(c);
+  std::uint64_t packets = 0;
+  while (campus.next_packet() && packets < 50'000) ++packets;
+  EXPECT_GE(campus.summary().meetings, 1u);
+  EXPECT_GT(packets, 1'000u);
+  // Every meeting fits inside the covered window.
+  for (const auto& mc : campus.meeting_configs()) {
+    EXPECT_GE(mc.start, c.day_start);
+    EXPECT_LE((mc.start + mc.duration).us(), (c.day_start + c.duration).us());
+  }
+}
+
+TEST(CampusSimulation, DeterministicForFixedSeed) {
+  auto run = [] {
+    CampusConfig c = small_config(77);
+    c.duration = Duration::seconds(1200.0);
+    CampusSimulation campus(c);
+    std::uint64_t n = 0;
+    while (campus.next_packet()) ++n;
+    return n;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace zpm::sim

@@ -1,0 +1,118 @@
+// Media source models: frame-size/rate shapes that drive Fig. 15.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/media.h"
+
+namespace zpm::sim {
+namespace {
+
+TEST(VideoSource, FrameRateNearConfiguredModes) {
+  VideoSource src({}, util::Rng(1));
+  double total_s = 0;
+  int frames = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto f = src.next_frame();
+    total_s += f.duration.sec();
+    ++frames;
+  }
+  double fps = frames / total_s;
+  // Mix of 28 fps and 14 fps episodes.
+  EXPECT_GT(fps, 12.0);
+  EXPECT_LT(fps, 30.0);
+}
+
+TEST(VideoSource, KeyframesPeriodicAndLarger) {
+  VideoSource::Params p;
+  p.reduced_mode_fraction = 0.0;
+  VideoSource src(p, util::Rng(2));
+  std::vector<std::uint32_t> key_sizes, p_sizes;
+  for (int i = 0; i < 3000; ++i) {
+    auto f = src.next_frame();
+    (f.is_keyframe ? key_sizes : p_sizes).push_back(f.size_bytes);
+  }
+  ASSERT_GT(key_sizes.size(), 5u);
+  double key_mean = 0, p_mean = 0;
+  for (auto s : key_sizes) key_mean += s;
+  for (auto s : p_sizes) p_mean += s;
+  key_mean /= static_cast<double>(key_sizes.size());
+  p_mean /= static_cast<double>(p_sizes.size());
+  EXPECT_GT(key_mean, 3.0 * p_mean);
+  // Roughly one keyframe per gop_period (6 s at ~28 fps -> ~1/168).
+  double key_frac = static_cast<double>(key_sizes.size()) / 3000.0;
+  EXPECT_GT(key_frac, 0.002);
+  EXPECT_LT(key_frac, 0.02);
+}
+
+TEST(VideoSource, CongestionReducesFpsAndSize) {
+  VideoSource::Params p;
+  p.reduced_mode_fraction = 0.0;
+  VideoSource clear_src(p, util::Rng(3));
+  VideoSource cong_src(p, util::Rng(3));
+  cong_src.set_congestion(1.0);
+  EXPECT_LT(cong_src.current_fps(), clear_src.current_fps());
+  double clear_bytes = 0, cong_bytes = 0;
+  for (int i = 0; i < 500; ++i) {
+    clear_bytes += clear_src.next_frame().size_bytes;
+    cong_bytes += cong_src.next_frame().size_bytes;
+  }
+  EXPECT_LT(cong_bytes, clear_bytes);
+}
+
+TEST(VideoSource, MostFramesUnder2kBytes) {
+  // Fig. 15c: "the majority of video frames are smaller than 2000 bytes".
+  VideoSource src({}, util::Rng(4));
+  int small = 0, total = 4000;
+  for (int i = 0; i < total; ++i)
+    if (src.next_frame().size_bytes < 2000) ++small;
+  EXPECT_GT(static_cast<double>(small) / total, 0.5);
+}
+
+TEST(AudioSource, AlternatesTalkAndSilence) {
+  AudioSource src({}, util::Rng(5));
+  int talk = 0, silent = 0, other = 0;
+  for (int i = 0; i < 20000; ++i) {
+    auto pkt = src.next_packet();
+    if (pkt.payload_type == zoom::pt::kAudioSpeaking) ++talk;
+    else if (pkt.payload_type == zoom::pt::kAudioSilent) {
+      ++silent;
+      EXPECT_EQ(pkt.payload_bytes, zoom::kSilentAudioPayloadBytes);
+      EXPECT_EQ(pkt.interval.ms(), 160.0);
+    } else ++other;
+  }
+  EXPECT_EQ(other, 0);
+  EXPECT_GT(talk, 1000);
+  EXPECT_GT(silent, 1000);
+}
+
+TEST(AudioSource, MobileUsesPt113Exclusively) {
+  AudioSource::Params p;
+  p.mobile = true;
+  AudioSource src(p, util::Rng(6));
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_EQ(src.next_packet().payload_type, zoom::pt::kAudioUnknownMode);
+}
+
+TEST(ScreenShareSource, HasMultiSecondGaps) {
+  // The source of the zero-fps screen share samples (§6.2).
+  ScreenShareSource src({}, util::Rng(7));
+  int long_gaps = 0;
+  for (int i = 0; i < 2000; ++i)
+    if (src.next_frame().gap.sec() > 1.0) ++long_gaps;
+  EXPECT_GT(long_gaps, 20);
+}
+
+TEST(ScreenShareSource, SlideChangesAreLargeIncrementalSmall) {
+  ScreenShareSource src({}, util::Rng(8));
+  std::vector<std::uint32_t> sizes;
+  for (int i = 0; i < 4000; ++i) sizes.push_back(src.next_frame().frame.size_bytes);
+  std::sort(sizes.begin(), sizes.end());
+  // Over half under ~500 B, long tail beyond 5 kB (Fig. 15c).
+  EXPECT_LT(sizes[sizes.size() / 2], 900u);
+  EXPECT_GT(sizes.back(), 5000u);
+}
+
+}  // namespace
+}  // namespace zpm::sim

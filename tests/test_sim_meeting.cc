@@ -1,0 +1,239 @@
+// Meeting simulator: wire behaviour, ordering, mode switches, QoS feed.
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "sim/meeting.h"
+#include "zoom/classify.h"
+
+namespace zpm::sim {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+ParticipantConfig participant(std::uint8_t host, bool on_campus) {
+  ParticipantConfig p;
+  p.ip = on_campus ? net::Ipv4Addr(10, 8, 0, host) : net::Ipv4Addr(98, 0, 0, host);
+  p.on_campus = on_campus;
+  return p;
+}
+
+MeetingConfig two_party(std::uint64_t seed, double seconds = 30.0) {
+  MeetingConfig mc;
+  mc.seed = seed;
+  mc.start = Timestamp::from_seconds(1000);
+  mc.duration = Duration::seconds(seconds);
+  mc.participants = {participant(1, true), participant(2, true)};
+  return mc;
+}
+
+TEST(MeetingSim, PacketsAreTimestampOrderedAndInWindow) {
+  MeetingSim sim(two_party(1));
+  Timestamp prev = Timestamp::from_micros(0);
+  std::size_t count = 0;
+  while (auto pkt = sim.next_packet()) {
+    EXPECT_GE(pkt->ts, prev) << "packet " << count << " out of order";
+    prev = pkt->ts;
+    EXPECT_GE(pkt->ts, Timestamp::from_seconds(1000));
+    EXPECT_LT(pkt->ts, Timestamp::from_seconds(1033));  // + rtx slack
+    ++count;
+  }
+  EXPECT_GT(count, 2000u);  // two clients' media for 30 s
+  EXPECT_EQ(sim.stats().monitor_packets, count);
+}
+
+TEST(MeetingSim, ServerPacketsDissectAsZoom) {
+  MeetingSim sim(two_party(2, 10.0));
+  std::size_t media = 0, rtcp = 0, other = 0, tcp = 0;
+  while (auto pkt = sim.next_packet()) {
+    auto view = net::decode_packet(*pkt);
+    ASSERT_TRUE(view);
+    if (view->l4 == net::L4Proto::Tcp) {
+      ++tcp;
+      continue;
+    }
+    ASSERT_EQ(view->udp.dst_port == zoom::kServerMediaPort ||
+                  view->udp.src_port == zoom::kServerMediaPort,
+              true);
+    auto zp = zoom::dissect(view->l4_payload, zoom::Transport::ServerBased);
+    ASSERT_TRUE(zp);
+    switch (zp->category) {
+      case zoom::PacketCategory::Media: ++media; break;
+      case zoom::PacketCategory::Rtcp: ++rtcp; break;
+      default: ++other; break;
+    }
+  }
+  EXPECT_GT(media, 500u);
+  EXPECT_GT(rtcp, 10u);   // ~1/s per stream per leg
+  EXPECT_GT(other, 10u);  // unknown/control packets
+  EXPECT_GT(tcp, 5u);     // control connection
+  // The >90% decodable property of Table 2.
+  double known = static_cast<double>(media + rtcp);
+  EXPECT_GT(known / (known + static_cast<double>(other)), 0.80);
+}
+
+TEST(MeetingSim, BothDirectionsPresentWithSfuFlags) {
+  MeetingSim sim(two_party(3, 10.0));
+  std::size_t to_sfu = 0, from_sfu = 0;
+  while (auto pkt = sim.next_packet()) {
+    auto view = net::decode_packet(*pkt);
+    if (!view || view->l4 != net::L4Proto::Udp) continue;
+    auto zp = zoom::dissect(view->l4_payload, zoom::Transport::ServerBased);
+    if (!zp || !zp->sfu) continue;
+    if (zp->sfu->is_from_sfu()) {
+      ++from_sfu;
+      EXPECT_EQ(view->udp.src_port, zoom::kServerMediaPort);
+    } else {
+      ++to_sfu;
+      EXPECT_EQ(view->udp.dst_port, zoom::kServerMediaPort);
+    }
+  }
+  EXPECT_GT(to_sfu, 300u);
+  EXPECT_GT(from_sfu, 300u);
+}
+
+TEST(MeetingSim, P2pSwitchEmitsStunThenDirectFlow) {
+  MeetingConfig mc = two_party(4, 40.0);
+  mc.participants[1] = participant(9, false);  // campus <-> off-campus
+  mc.p2p_switch_after = Duration::seconds(10.0);
+  MeetingSim sim(mc);
+  bool saw_stun = false;
+  std::size_t p2p_media = 0;
+  Timestamp first_stun, first_p2p;
+  while (auto pkt = sim.next_packet()) {
+    auto view = net::decode_packet(*pkt);
+    if (!view || view->l4 != net::L4Proto::Udp) continue;
+    if (view->udp.dst_port == 3478 || view->udp.src_port == 3478) {
+      if (!saw_stun) first_stun = view->ts;
+      saw_stun = true;
+      EXPECT_TRUE(proto::looks_like_stun(view->l4_payload));
+      continue;
+    }
+    bool server_flow = view->udp.dst_port == zoom::kServerMediaPort ||
+                       view->udp.src_port == zoom::kServerMediaPort;
+    if (!server_flow) {
+      if (p2p_media == 0) first_p2p = view->ts;
+      ++p2p_media;
+      auto zp = zoom::dissect(view->l4_payload, zoom::Transport::P2P);
+      if (zp) EXPECT_FALSE(zp->sfu);
+    }
+  }
+  EXPECT_TRUE(saw_stun);
+  EXPECT_GT(p2p_media, 200u);
+  EXPECT_LT(first_stun, first_p2p);  // STUN strictly precedes P2P media
+  EXPECT_EQ(sim.stats().stun_packets, 6u);  // 3 req/resp pairs, campus side
+}
+
+TEST(MeetingSim, ThirdJoinRevertsToServer) {
+  MeetingConfig mc = two_party(5, 40.0);
+  mc.p2p_switch_after = Duration::seconds(8.0);
+  auto third = participant(3, true);
+  third.join_after = Duration::seconds(20.0);
+  mc.participants.push_back(third);
+  MeetingSim sim(mc);
+  bool p2p_seen = false;
+  Timestamp last_p2p, last_server;
+  while (auto pkt = sim.next_packet()) {
+    auto view = net::decode_packet(*pkt);
+    if (!view || view->l4 != net::L4Proto::Udp) continue;
+    if (view->udp.dst_port == 3478 || view->udp.src_port == 3478) continue;
+    bool server_flow = view->udp.dst_port == zoom::kServerMediaPort ||
+                       view->udp.src_port == zoom::kServerMediaPort;
+    if (server_flow) {
+      last_server = view->ts;
+    } else {
+      p2p_seen = true;
+      last_p2p = view->ts;
+    }
+  }
+  EXPECT_TRUE(p2p_seen);
+  // P2P traffic stops around the third join; server traffic continues
+  // to the end ("where it then stays", §3).
+  EXPECT_LT(last_p2p, Timestamp::from_seconds(1000 + 22));
+  EXPECT_GT(last_server, Timestamp::from_seconds(1000 + 35));
+}
+
+TEST(MeetingSim, QosSamplesAtOneHertz) {
+  MeetingConfig mc = two_party(6, 20.0);
+  mc.collect_qos = true;
+  std::vector<QosSample> qos;
+  run_meeting(mc, &qos);
+  // Two receivers, ~20 samples each (minus startup).
+  EXPECT_GT(qos.size(), 25u);
+  EXPECT_LE(qos.size(), 42u);
+  for (const auto& s : qos) {
+    EXPECT_GT(s.frame_rate, 0.0);
+    EXPECT_LT(s.frame_rate, 50.0);  // bursty delivery can exceed encoder fps
+    EXPECT_GT(s.latency_ms, 5.0);
+    EXPECT_LT(s.latency_ms, 200.0);
+    EXPECT_GT(s.jitter_ms, 0.0);
+    EXPECT_LT(s.jitter_ms, 2.0);  // Zoom's implausibly low jitter (§5.4)
+  }
+}
+
+TEST(MeetingSim, LossyPathProducesRetransmissions) {
+  MeetingConfig mc = two_party(7, 20.0);
+  for (auto& p : mc.participants) p.wan_path.loss = 0.02;
+  MeetingSim sim(mc);
+  while (sim.next_packet()) {
+  }
+  EXPECT_GT(sim.stats().drops, 20u);
+  EXPECT_GT(sim.stats().retransmissions, 10u);
+}
+
+TEST(MeetingSim, DeterministicForFixedSeed) {
+  auto run = [] {
+    MeetingSim sim(two_party(42, 8.0));
+    std::uint64_t packets = 0, bytes = 0;
+    while (auto pkt = sim.next_packet()) {
+      ++packets;
+      bytes += pkt->data.size();
+    }
+    return std::pair{packets, bytes};
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.first, 0u);
+}
+
+TEST(MeetingSim, OffCampusOnlyParticipantsInvisible) {
+  MeetingConfig mc = two_party(8, 10.0);
+  mc.participants[0] = participant(7, false);
+  mc.participants[1] = participant(8, false);
+  mc.with_tcp_control = true;  // TCP only for campus participants
+  MeetingSim sim(mc);
+  std::size_t count = 0;
+  while (sim.next_packet()) ++count;
+  EXPECT_EQ(count, 0u);  // nothing crosses the campus border
+}
+
+
+TEST(MeetingSim, ParticipantLeavesEarly) {
+  MeetingConfig mc = two_party(10, 40.0);
+  mc.participants[1].leave_after = Duration::seconds(15.0);
+  MeetingSim sim(mc);
+  Timestamp last_from_leaver;
+  Timestamp last_any;
+  net::Ipv4Addr leaver = mc.participants[1].ip;
+  while (auto pkt = sim.next_packet()) {
+    auto view = net::decode_packet(*pkt);
+    if (!view) continue;
+    last_any = view->ts;
+    if (view->ip.src == leaver) last_from_leaver = view->ts;
+  }
+  // The leaver's uplink stops around t+15; the meeting continues.
+  EXPECT_LT(last_from_leaver, Timestamp::from_seconds(1000 + 18));
+  EXPECT_GT(last_any, Timestamp::from_seconds(1000 + 35));
+}
+
+TEST(MeetingSim, NominalRttReflectsPathConfig) {
+  MeetingConfig mc = two_party(9, 5.0);
+  mc.participants[0].access_path.base_delay_ms = 2.0;
+  mc.participants[0].wan_path.base_delay_ms = 18.0;
+  MeetingSim sim(mc);
+  EXPECT_NEAR(sim.nominal_rtt_ms(0), 40.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace zpm::sim

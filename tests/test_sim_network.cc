@@ -1,0 +1,83 @@
+// Path model: delay/jitter/loss and congestion episodes.
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+
+namespace zpm::sim {
+namespace {
+
+using util::Timestamp;
+
+TEST(CongestionEpisode, IntensityProfile) {
+  CongestionEpisode ep;
+  ep.start = Timestamp::from_seconds(100);
+  ep.end = Timestamp::from_seconds(120);
+  ep.ramp = 0.25;  // 5 s ramps
+  EXPECT_EQ(ep.intensity(Timestamp::from_seconds(99)), 0.0);
+  EXPECT_EQ(ep.intensity(Timestamp::from_seconds(121)), 0.0);
+  EXPECT_NEAR(ep.intensity(Timestamp::from_seconds(102.5)), 0.5, 1e-9);
+  EXPECT_EQ(ep.intensity(Timestamp::from_seconds(110)), 1.0);
+  EXPECT_NEAR(ep.intensity(Timestamp::from_seconds(118.75)), 0.25, 1e-9);
+}
+
+TEST(PathModel, DelayAboveBaseAndReasonable) {
+  PathModel::Params p;
+  p.base_delay_ms = 20.0;
+  p.jitter_ms = 1.0;
+  p.spike_prob = 0.0;
+  PathModel path(p, util::Rng(1));
+  Timestamp t = Timestamp::from_seconds(0);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto d = path.sample_delay(t);
+    EXPECT_GE(d.ms(), 20.0);
+    EXPECT_LT(d.ms(), 60.0);
+    sum += d.ms();
+  }
+  EXPECT_NEAR(sum / 5000, 21.0, 0.3);  // base + mean(Exp(1 ms))
+}
+
+TEST(PathModel, CongestionAddsDelayAndLoss) {
+  PathModel::Params p;
+  p.base_delay_ms = 10.0;
+  p.jitter_ms = 0.5;
+  p.spike_prob = 0.0;
+  p.loss = 0.0;
+  PathModel path(p, util::Rng(2));
+  CongestionEpisode ep;
+  ep.start = Timestamp::from_seconds(100);
+  ep.end = Timestamp::from_seconds(110);
+  ep.extra_delay_ms = 40.0;
+  ep.extra_loss = 0.2;
+  path.add_episode(ep);
+
+  Timestamp quiet = Timestamp::from_seconds(50);
+  Timestamp busy = Timestamp::from_seconds(105);
+  double quiet_sum = 0, busy_sum = 0;
+  int quiet_drops = 0, busy_drops = 0;
+  for (int i = 0; i < 3000; ++i) {
+    quiet_sum += path.sample_delay(quiet).ms();
+    busy_sum += path.sample_delay(busy).ms();
+    quiet_drops += path.drops(quiet) ? 1 : 0;
+    busy_drops += path.drops(busy) ? 1 : 0;
+  }
+  EXPECT_GT(busy_sum / 3000, quiet_sum / 3000 + 20.0);
+  EXPECT_EQ(quiet_drops, 0);
+  EXPECT_GT(busy_drops, 300);
+  EXPECT_EQ(path.congestion(quiet), 0.0);
+  EXPECT_EQ(path.congestion(busy), 1.0);
+}
+
+TEST(PathModel, LossRateMatchesConfig) {
+  PathModel::Params p;
+  p.loss = 0.01;
+  PathModel path(p, util::Rng(3));
+  int drops = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    drops += path.drops(Timestamp::from_seconds(1)) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.01, 0.002);
+}
+
+}  // namespace
+}  // namespace zpm::sim

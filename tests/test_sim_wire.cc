@@ -1,0 +1,86 @@
+// Simulator wire formats re-parsed by the real dissector (generator /
+// analyzer independence).
+#include <gtest/gtest.h>
+
+#include "sim/wire.h"
+#include "util/stats.h"
+#include "zoom/classify.h"
+
+namespace zpm::sim {
+namespace {
+
+TEST(Wire, MediaPayloadSizesAddUp) {
+  util::Rng rng(1);
+  MediaPacketSpec spec;
+  spec.encap_type = zoom::MediaEncapType::Audio;
+  spec.payload_type = zoom::pt::kAudioSilent;
+  spec.payload_bytes = 40;
+  auto bytes = build_media_payload(spec, rng);
+  // 19-byte audio encap + 12-byte RTP + 40 payload.
+  EXPECT_EQ(bytes.size(), 19u + 12u + 40u);
+}
+
+TEST(Wire, EncryptedPayloadIsHighEntropy) {
+  // §4.2.1: the portion after the headers must look like ciphertext.
+  util::Rng rng(2);
+  std::vector<std::size_t> histogram(256, 0);
+  for (int i = 0; i < 200; ++i) {
+    MediaPacketSpec spec;
+    spec.encap_type = zoom::MediaEncapType::Audio;
+    spec.payload_type = zoom::pt::kAudioSpeaking;
+    spec.payload_bytes = 100;
+    auto bytes = build_media_payload(spec, rng);
+    for (std::size_t b = 31; b < bytes.size(); ++b) ++histogram[bytes[b]];
+  }
+  EXPECT_GT(util::shannon_entropy(histogram), 7.8);
+}
+
+TEST(Wire, SfuWrapPrependsExactlyEightBytes) {
+  util::Rng rng(3);
+  std::vector<std::uint8_t> inner = {1, 2, 3};
+  auto wrapped = wrap_sfu(inner, 0x1234, true);
+  ASSERT_EQ(wrapped.size(), 11u);
+  EXPECT_EQ(wrapped[0], zoom::kSfuTypeMedia);
+  EXPECT_EQ(wrapped[7], zoom::kSfuDirFromSfu);
+  EXPECT_EQ(wrapped[8], 1);
+}
+
+TEST(Wire, RtcpPayloadDissectsAsSenderReport) {
+  util::Rng rng(4);
+  proto::SenderReport sr;
+  sr.sender_ssrc = 0xabc;
+  sr.packet_count = 77;
+  auto inner = build_rtcp_payload(0xabc, sr, /*include_sdes=*/true, 5, rng);
+  auto wrapped = wrap_sfu(inner, 1, false);
+  auto zp = zoom::dissect(wrapped, zoom::Transport::ServerBased);
+  ASSERT_TRUE(zp);
+  ASSERT_EQ(zp->rtcp.size(), 2u);
+  const auto& parsed_sr = std::get<proto::SenderReport>(zp->rtcp[0]);
+  EXPECT_EQ(parsed_sr.packet_count, 77u);
+}
+
+TEST(Wire, UnknownPayloadHasRequestedSizeAndType) {
+  util::Rng rng(5);
+  auto bytes = build_unknown_payload(30, 99, 120, rng);
+  EXPECT_EQ(bytes.size(), 120u);
+  EXPECT_EQ(bytes[0], 30);
+  EXPECT_EQ(bytes[1], 0);
+  EXPECT_EQ(bytes[2], 99);
+}
+
+TEST(Wire, VideoPayloadCarriesFuA) {
+  util::Rng rng(6);
+  MediaPacketSpec spec;
+  spec.encap_type = zoom::MediaEncapType::Video;
+  spec.payload_type = zoom::pt::kVideoMain;
+  spec.packets_in_frame = 1;
+  spec.payload_bytes = 50;
+  auto bytes = build_media_payload(spec, rng);
+  auto zp = zoom::dissect(bytes, zoom::Transport::P2P);
+  ASSERT_TRUE(zp);
+  ASSERT_TRUE(zp->fu_a);
+  EXPECT_EQ(zp->fu_a->indicator.type, proto::kNalTypeFuA);
+}
+
+}  // namespace
+}  // namespace zpm::sim

@@ -1,0 +1,81 @@
+// Jitter-buffer stall prediction (§5.5 extension).
+#include <gtest/gtest.h>
+
+#include "metrics/stall.h"
+
+namespace zpm::metrics {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+FrameRecord frame_at(double completed_s, double pkt_time_ms) {
+  FrameRecord f;
+  f.completed = Timestamp::from_seconds(completed_s);
+  f.first_packet = f.completed - Duration::millis(1);
+  if (pkt_time_ms > 0) f.packetization_time = Duration::millis(
+      static_cast<std::int64_t>(pkt_time_ms));
+  return f;
+}
+
+TEST(StallPredictor, SteadyDeliveryKeepsBufferStable) {
+  StallPredictor p;
+  // 30 fps: frames every 33 ms covering 33 ms each.
+  for (int i = 0; i < 300; ++i) p.on_frame(frame_at(i * 0.033, 33));
+  EXPECT_EQ(p.stall_events(), 0u);
+  EXPECT_FALSE(p.at_risk());
+  EXPECT_NEAR(p.buffer_level_ms(), 150.0, 5.0);
+}
+
+TEST(StallPredictor, SlowDeliveryDrainsAndStalls) {
+  StallPredictor p;
+  // Frames cover 33 ms of media but arrive every 50 ms: drains
+  // 17 ms/frame; the 150 ms buffer empties after ~9 frames.
+  int first_stall = -1;
+  for (int i = 0; i < 40; ++i) {
+    p.on_frame(frame_at(i * 0.050, 33));
+    if (first_stall < 0 && p.stall_events() > 0) first_stall = i;
+  }
+  EXPECT_GT(p.stall_events(), 0u);
+  EXPECT_GE(first_stall, 7);
+  EXPECT_LE(first_stall, 12);
+  EXPECT_GT(p.stalled_ms(), 0.0);
+}
+
+TEST(StallPredictor, AtRiskBeforeStalling) {
+  StallPredictor p;
+  p.on_frame(frame_at(0.0, 33));
+  // Drain most of the buffer without fully emptying it.
+  p.on_frame(frame_at(0.150, 33));  // -117 ms
+  EXPECT_EQ(p.stall_events(), 0u);
+  EXPECT_TRUE(p.at_risk());
+}
+
+TEST(StallPredictor, RecoversAfterRebuffering) {
+  StallPredictor p;
+  for (int i = 0; i < 20; ++i) p.on_frame(frame_at(i * 0.060, 33));  // drains
+  std::uint32_t stalls = p.stall_events();
+  EXPECT_GT(stalls, 0u);
+  // Healthy delivery afterwards: no further stalls.
+  double t = 20 * 0.060;
+  for (int i = 0; i < 200; ++i) p.on_frame(frame_at(t + i * 0.033, 33));
+  EXPECT_EQ(p.stall_events(), stalls);
+  EXPECT_FALSE(p.at_risk());
+}
+
+TEST(StallPredictor, BufferCapBoundsFastDelivery) {
+  StallPredictor p;
+  // Burst: frames covering 100 ms arrive every 5 ms.
+  for (int i = 0; i < 50; ++i) p.on_frame(frame_at(i * 0.005, 100));
+  EXPECT_LE(p.buffer_level_ms(), 600.0);
+}
+
+TEST(StallPredictor, FramesWithoutPacketizationTimeOnlyDrain) {
+  StallPredictor p;
+  p.on_frame(frame_at(0.0, 0));
+  p.on_frame(frame_at(0.050, 0));  // no media contributed, 50 ms drained
+  EXPECT_NEAR(p.buffer_level_ms(), 100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace zpm::metrics

@@ -1,0 +1,109 @@
+// Running statistics, quantiles, correlation, entropy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace zpm::util {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);  // classic example
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAndSingleSample) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Ewma, ConvergesTowardConstantInput) {
+  Ewma e(1.0 / 16.0);
+  e.add(100.0);
+  EXPECT_DOUBLE_EQ(e.value(), 100.0);  // first sample initializes
+  for (int i = 0; i < 200; ++i) e.add(50.0);
+  EXPECT_NEAR(e.value(), 50.0, 0.01);
+}
+
+TEST(QuantileSketch, QuantilesAndCdf) {
+  QuantileSketch q;
+  for (int i = 1; i <= 100; ++i) q.add(i);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 100.0);
+  EXPECT_NEAR(q.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(q.cdf_at(50.0), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(q.cdf_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(q.cdf_at(1000.0), 1.0);
+}
+
+TEST(QuantileSketch, CdfCurveIsMonotone) {
+  QuantileSketch q;
+  for (int i = 0; i < 57; ++i) q.add((i * 37) % 101);
+  auto curve = q.cdf_curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+}
+
+TEST(Pearson, PerfectPositiveAndNegative) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, UncorrelatedAndDegenerate) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> constant = {5, 5, 5, 5};
+  EXPECT_EQ(pearson(x, constant), 0.0);  // zero variance -> undefined -> 0
+  EXPECT_EQ(pearson({1.0}, {2.0}), 0.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {1, 8, 27, 64, 125};  // x^3: nonlinear, monotone
+  EXPECT_LT(pearson(x, y), 1.0);
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  std::vector<double> x = {1, 2, 2, 3};
+  std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(ShannonEntropy, UniformIsMaximal) {
+  std::vector<std::size_t> uniform(256, 10);
+  EXPECT_NEAR(shannon_entropy(uniform), 8.0, 1e-12);
+}
+
+TEST(ShannonEntropy, SingleValueIsZero) {
+  std::vector<std::size_t> h(256, 0);
+  h[42] = 1000;
+  EXPECT_DOUBLE_EQ(shannon_entropy(h), 0.0);
+}
+
+TEST(ShannonEntropy, TwoEqualValuesIsOneBit) {
+  std::vector<std::size_t> h(256, 0);
+  h[0] = 500;
+  h[255] = 500;
+  EXPECT_NEAR(shannon_entropy(h), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace zpm::util

@@ -1,0 +1,264 @@
+// Per-stream metric engine: per-second records combining all of §5.
+#include <gtest/gtest.h>
+
+#include "metrics/stream_metrics.h"
+
+namespace zpm::metrics {
+namespace {
+
+using util::Duration;
+using util::Timestamp;
+
+zoom::MediaEncap video_encap(std::uint16_t frame_seq, std::uint8_t pkts) {
+  zoom::MediaEncap e;
+  e.type = static_cast<std::uint8_t>(zoom::MediaEncapType::Video);
+  e.frame_sequence = frame_seq;
+  e.packets_in_frame = pkts;
+  return e;
+}
+
+proto::RtpHeader rtp(std::uint8_t pt, std::uint16_t seq, std::uint32_t ts,
+                     bool marker, std::uint32_t ssrc = 0x42) {
+  proto::RtpHeader h;
+  h.payload_type = pt;
+  h.sequence = seq;
+  h.timestamp = ts;
+  h.marker = marker;
+  h.ssrc = ssrc;
+  return h;
+}
+
+/// Feeds `seconds` seconds of a 20 fps single-packet-frame video stream.
+void feed_video(StreamMetrics& m, double start_s, double seconds,
+                std::uint32_t bytes_per_frame = 1000) {
+  std::uint16_t seq = 0;
+  std::uint32_t ts = 0;
+  int frames = static_cast<int>(seconds * 20);
+  for (int i = 0; i < frames; ++i) {
+    Timestamp t = Timestamp::from_seconds(start_s + i * 0.05);
+    auto encap = video_encap(static_cast<std::uint16_t>(i), 1);
+    m.on_media_packet(t, encap, rtp(zoom::pt::kVideoMain, seq++, ts, true),
+                      bytes_per_frame, bytes_per_frame + 36);
+    ts += 4500;  // 90kHz * 0.05s
+  }
+}
+
+TEST(StreamMetrics, PerSecondBinsHaveExpectedRatesAndSizes) {
+  StreamMetrics m(zoom::MediaKind::Video, 0x42, default_config(zoom::MediaKind::Video));
+  feed_video(m, 100.0, 5.0);
+  m.finish();
+  const auto& secs = m.seconds();
+  ASSERT_EQ(secs.size(), 5u);
+  for (const auto& s : secs) {
+    EXPECT_EQ(s.kind, zoom::MediaKind::Video);
+    EXPECT_EQ(s.ssrc, 0x42u);
+    EXPECT_EQ(s.packets, 20u);
+    EXPECT_EQ(s.frames_completed, 20u);
+    EXPECT_DOUBLE_EQ(s.frame_rate_fps, 20.0);
+    EXPECT_EQ(s.media_bytes, 20'000u);
+    EXPECT_DOUBLE_EQ(s.media_bitrate_bps(), 160'000.0);
+    EXPECT_GT(s.transport_bytes, s.media_bytes);
+    ASSERT_TRUE(s.avg_frame_bytes);
+    EXPECT_DOUBLE_EQ(*s.avg_frame_bytes, 1000.0);
+  }
+  // Perfectly paced stream: encoder fps = 20, jitter ~ 0.
+  ASSERT_TRUE(secs[2].encoder_fps);
+  EXPECT_NEAR(*secs[2].encoder_fps, 20.0, 1e-9);
+  ASSERT_TRUE(secs[4].jitter_ms);
+  EXPECT_NEAR(*secs[4].jitter_ms, 0.0, 1e-6);
+  EXPECT_EQ(m.media_packets(), 100u);
+  EXPECT_EQ(m.frames().size(), 100u);
+}
+
+TEST(StreamMetrics, GapSecondsEmittedAsZeroFrameBins) {
+  // Screen-share-like stream: active, silent for 3 s, active again. The
+  // silent seconds must appear as zero-frame-rate samples (the ~15%
+  // zero-fps screen share bins of §6.2).
+  StreamMetrics m(zoom::MediaKind::ScreenShare, 0x7,
+                  default_config(zoom::MediaKind::ScreenShare));
+  zoom::MediaEncap e;
+  e.type = static_cast<std::uint8_t>(zoom::MediaEncapType::ScreenShare);
+  m.on_media_packet(Timestamp::from_seconds(10.1), e,
+                    rtp(zoom::pt::kScreenShareMain, 1, 1000, true, 0x7), 400, 430);
+  m.on_media_packet(Timestamp::from_seconds(14.2), e,
+                    rtp(zoom::pt::kScreenShareMain, 2, 350000, true, 0x7), 400, 430);
+  m.finish();
+  const auto& secs = m.seconds();
+  ASSERT_EQ(secs.size(), 5u);  // seconds 10..14
+  EXPECT_EQ(secs[1].packets, 0u);
+  EXPECT_DOUBLE_EQ(secs[1].frame_rate_fps, 0.0);
+  EXPECT_EQ(secs[2].packets, 0u);
+}
+
+TEST(StreamMetrics, FecSubstreamExcludedFromFramesButCounted) {
+  StreamMetrics m(zoom::MediaKind::Video, 0x42, default_config(zoom::MediaKind::Video));
+  Timestamp t = Timestamp::from_seconds(50.0);
+  auto encap = video_encap(1, 1);
+  m.on_media_packet(t, encap, rtp(zoom::pt::kVideoMain, 10, 9000, true), 1000, 1036);
+  // FEC packet: same timestamp, own sequence space (PT 110).
+  m.on_media_packet(t + Duration::millis(1), encap,
+                    rtp(zoom::pt::kFec, 3, 9000, false), 800, 836);
+  m.finish();
+  ASSERT_EQ(m.seconds().size(), 1u);
+  const auto& s = m.seconds()[0];
+  EXPECT_EQ(s.packets, 2u);
+  EXPECT_EQ(s.frames_completed, 1u);  // FEC doesn't form frames
+  EXPECT_EQ(s.media_bytes, 1800u);
+  // Both sub-streams tracked separately for loss.
+  EXPECT_EQ(m.substreams().size(), 2u);
+  EXPECT_TRUE(m.substreams().contains(zoom::pt::kFec));
+}
+
+TEST(StreamMetrics, AudioFramesArePackets) {
+  StreamMetrics m(zoom::MediaKind::Audio, 0x9, default_config(zoom::MediaKind::Audio));
+  zoom::MediaEncap e;
+  e.type = static_cast<std::uint8_t>(zoom::MediaEncapType::Audio);
+  Timestamp t = Timestamp::from_seconds(20.0);
+  std::uint32_t ts = 0;
+  for (int i = 0; i < 50; ++i) {
+    m.on_media_packet(t + Duration::millis(20 * i), e,
+                      rtp(zoom::pt::kAudioSpeaking, static_cast<std::uint16_t>(i),
+                          ts, true, 0x9),
+                      90, 120);
+    ts += 960;  // 20 ms at 48 kHz
+  }
+  m.finish();
+  ASSERT_GE(m.seconds().size(), 1u);
+  EXPECT_EQ(m.seconds()[0].frames_completed, 50u);
+  ASSERT_TRUE(m.jitter_ms());
+  EXPECT_NEAR(*m.jitter_ms(), 0.0, 1e-6);
+}
+
+TEST(StreamMetrics, LossCountersSurfacePerBin) {
+  StreamMetrics m(zoom::MediaKind::Video, 0x1, default_config(zoom::MediaKind::Video));
+  Timestamp t = Timestamp::from_seconds(30.0);
+  auto encap = video_encap(1, 1);
+  m.on_media_packet(t, encap, rtp(zoom::pt::kVideoMain, 1, 100, true), 10, 40);
+  m.on_media_packet(t + Duration::millis(10), encap,
+                    rtp(zoom::pt::kVideoMain, 1, 100, true), 10, 40);  // dup
+  m.on_media_packet(t + Duration::millis(20), encap,
+                    rtp(zoom::pt::kVideoMain, 3, 200, true), 10, 40);  // hole at 2
+  m.on_media_packet(t + Duration::millis(30), encap,
+                    rtp(zoom::pt::kVideoMain, 2, 150, true), 10, 40);  // reorder
+  m.finish();
+  ASSERT_EQ(m.seconds().size(), 1u);
+  EXPECT_EQ(m.seconds()[0].duplicates, 1u);
+  EXPECT_EQ(m.seconds()[0].reordered, 1u);
+  auto total = m.total_loss();
+  EXPECT_EQ(total.duplicates, 1u);
+  EXPECT_EQ(total.reordered, 1u);
+  EXPECT_EQ(total.gap_packets, 0u);
+}
+
+TEST(StreamMetrics, RttSamplesAverageIntoBin) {
+  StreamMetrics m(zoom::MediaKind::Video, 0x1, default_config(zoom::MediaKind::Video));
+  feed_video(m, 40.0, 1.0);
+  m.on_rtt_sample(RttSample{Timestamp::from_seconds(40.2), Duration::millis(20)});
+  m.on_rtt_sample(RttSample{Timestamp::from_seconds(40.7), Duration::millis(40)});
+  m.finish();
+  ASSERT_EQ(m.seconds().size(), 1u);
+  ASSERT_TRUE(m.seconds()[0].latency_ms);
+  EXPECT_DOUBLE_EQ(*m.seconds()[0].latency_ms, 30.0);
+  ASSERT_TRUE(m.mean_latency_ms());
+  EXPECT_DOUBLE_EQ(*m.mean_latency_ms(), 30.0);
+}
+
+TEST(StreamMetrics, FrameSubsamplingKeepsEveryNth) {
+  auto config = default_config(zoom::MediaKind::Video);
+  config.frame_sample_every = 4;
+  StreamMetrics m(zoom::MediaKind::Video, 0x1, config);
+  feed_video(m, 60.0, 2.0);  // 40 frames
+  m.finish();
+  EXPECT_EQ(m.frames().size(), 10u);
+  EXPECT_EQ(m.seconds()[0].frames_completed, 20u);  // counting unaffected
+}
+
+
+TEST(StreamMetrics, TalkActivityFromPayloadTypes) {
+  // §4.2.3: PT 112 while talking, PT 99 silence keep-alives — the
+  // talk-time signal per second.
+  StreamMetrics m(zoom::MediaKind::Audio, 0x3, default_config(zoom::MediaKind::Audio));
+  zoom::MediaEncap e;
+  e.type = static_cast<std::uint8_t>(zoom::MediaEncapType::Audio);
+  std::uint16_t seq = 0;
+  std::uint32_t ts = 0;
+  // Second 0: talking (50 pps of PT 112).
+  for (int i = 0; i < 50; ++i) {
+    m.on_media_packet(Timestamp::from_seconds(100.0 + i * 0.02), e,
+                      rtp(zoom::pt::kAudioSpeaking, seq++, ts += 960, true, 0x3),
+                      90, 120);
+  }
+  // Second 1: silent (sparse PT 99).
+  for (int i = 0; i < 6; ++i) {
+    m.on_media_packet(Timestamp::from_seconds(101.0 + i * 0.16), e,
+                      rtp(zoom::pt::kAudioSilent, seq++, ts += 7680, true, 0x3),
+                      40, 70);
+  }
+  m.finish();
+  ASSERT_EQ(m.seconds().size(), 2u);
+  EXPECT_TRUE(m.seconds()[0].talking());
+  EXPECT_EQ(m.seconds()[0].talk_packets, 50u);
+  EXPECT_FALSE(m.seconds()[1].talking());
+  EXPECT_EQ(m.seconds()[1].silent_packets, 6u);
+  EXPECT_EQ(m.talk_seconds(), 1u);
+  EXPECT_EQ(m.talk_packets_total(), 50u);
+}
+
+
+TEST(StreamMetrics, SrCountersQuantifyUpstreamLoss) {
+  // The sender's RTCP SR packet counter is ground truth: packets lost
+  // UPSTREAM of the monitor (which sequence numbers alone cannot prove,
+  // §5.5) appear as the gap between the SR delta and what we observed.
+  StreamMetrics m(zoom::MediaKind::Video, 0x42, default_config(zoom::MediaKind::Video));
+  auto encap = video_encap(1, 1);
+  // SR before any media: sender at packet 1000.
+  m.on_sender_report(Timestamp::from_seconds(100.0), 90000, 1000);
+  // Sender emits 100 packets; 10 never reach the monitor at all.
+  std::uint16_t seq = 0;
+  std::uint32_t ts = 90000;
+  for (int i = 0; i < 100; ++i) {
+    ++seq;
+    ts += 4500;
+    if (i % 10 == 3) continue;  // lost upstream, never retransmitted
+    m.on_media_packet(Timestamp::from_seconds(100.0 + i * 0.05), encap,
+                      rtp(zoom::pt::kVideoMain, seq, ts, true), 500, 536);
+  }
+  m.on_sender_report(Timestamp::from_seconds(105.0), ts, 1100);
+  m.finish();
+  ASSERT_TRUE(m.sr_expected_packets());
+  EXPECT_EQ(*m.sr_expected_packets(), 100u);
+  ASSERT_TRUE(m.upstream_loss_estimate());
+  EXPECT_EQ(*m.upstream_loss_estimate(), 10u);
+}
+
+TEST(StreamMetrics, SrLossEstimateNeedsTwoReports) {
+  StreamMetrics m(zoom::MediaKind::Video, 0x42, default_config(zoom::MediaKind::Video));
+  EXPECT_FALSE(m.upstream_loss_estimate());
+  m.on_sender_report(Timestamp::from_seconds(1.0), 0, 50);
+  EXPECT_FALSE(m.upstream_loss_estimate());
+}
+
+TEST(StreamMetrics, SrLossZeroWhenEverythingArrives) {
+  StreamMetrics m(zoom::MediaKind::Video, 0x42, default_config(zoom::MediaKind::Video));
+  auto encap = video_encap(1, 1);
+  m.on_sender_report(Timestamp::from_seconds(10.0), 0, 0);
+  for (int i = 0; i < 50; ++i)
+    m.on_media_packet(Timestamp::from_seconds(10.0 + i * 0.05), encap,
+                      rtp(zoom::pt::kVideoMain, static_cast<std::uint16_t>(i),
+                          static_cast<std::uint32_t>(i) * 4500, true),
+                      500, 536);
+  m.on_sender_report(Timestamp::from_seconds(13.0), 50 * 4500, 50);
+  EXPECT_EQ(m.upstream_loss_estimate().value_or(99), 0u);
+}
+
+TEST(StreamMetrics, RtcpBytesCountTowardTransportOnly) {
+  StreamMetrics m(zoom::MediaKind::Video, 0x1, default_config(zoom::MediaKind::Video));
+  m.on_rtcp_packet(Timestamp::from_seconds(70.5), 60);
+  m.finish();
+  ASSERT_EQ(m.seconds().size(), 1u);
+  EXPECT_EQ(m.seconds()[0].transport_bytes, 60u);
+  EXPECT_EQ(m.seconds()[0].media_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace zpm::metrics

@@ -1,0 +1,126 @@
+// Stream table and duplicate-stream detection (§4.3 step 1).
+#include <gtest/gtest.h>
+
+#include "core/streams.h"
+
+namespace zpm::core {
+namespace {
+
+using util::Timestamp;
+
+Timestamp at(double s) { return Timestamp::from_seconds(s); }
+
+net::FiveTuple flow(std::uint8_t host, std::uint16_t port) {
+  return net::FiveTuple{net::Ipv4Addr(10, 8, 0, host), net::Ipv4Addr(170, 114, 0, 9),
+                        port, 8801, 17};
+}
+
+StreamInfo& create(StreamTable& table, const net::FiveTuple& f, std::uint32_t ssrc,
+                   std::uint32_t rtp_ts, Timestamp t,
+                   zoom::MediaKind kind = zoom::MediaKind::Video) {
+  return table.get_or_create(StreamKey{f, ssrc}, kind, zoom::Transport::ServerBased,
+                             StreamDirection::ToSfu, f.src_ip, f.src_port, rtp_ts, t);
+}
+
+TEST(StreamTable, SameKeyReturnsSameStream) {
+  StreamTable table;
+  auto& s1 = create(table, flow(1, 40000), 0x42, 1000, at(10));
+  auto& s2 = create(table, flow(1, 40000), 0x42, 2000, at(11));
+  EXPECT_EQ(&s1, &s2);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(StreamTable, DifferentSsrcSameFlowIsDifferentStream) {
+  StreamTable table;
+  auto& s1 = create(table, flow(1, 40000), 0x42, 1000, at(10));
+  auto& s2 = create(table, flow(1, 40000), 0x43, 1000, at(10));
+  EXPECT_NE(&s1, &s2);
+  EXPECT_NE(s1.media_id, s2.media_id);
+}
+
+TEST(StreamTable, SfuCopyGetsSameMediaId) {
+  // The uplink stream and its SFU-forwarded copy: same SSRC, different
+  // 5-tuple, aligned timestamps -> one media id.
+  StreamTable table;
+  auto& uplink = create(table, flow(1, 40000), 0x42, 1000, at(10));
+  table.touch(uplink, 90000, at(20));
+  net::FiveTuple downlink{net::Ipv4Addr(170, 114, 0, 9), net::Ipv4Addr(10, 8, 0, 2),
+                          8801, 41000, 17};
+  auto& copy = table.get_or_create(StreamKey{downlink, 0x42}, zoom::MediaKind::Video,
+                                   zoom::Transport::ServerBased,
+                                   StreamDirection::FromSfu, downlink.dst_ip,
+                                   downlink.dst_port, 90040, at(20.05));
+  EXPECT_EQ(copy.media_id, uplink.media_id);
+  EXPECT_EQ(table.media_count(), 1u);
+}
+
+TEST(StreamTable, P2pModeSwitchPreservesMediaId) {
+  // After a P2P<->server switch the 5-tuple changes but RTP state
+  // continues; the matcher must link old and new streams.
+  StreamTable table;
+  auto& before = create(table, flow(1, 40000), 0x7, 500'000, at(100));
+  table.touch(before, 520'000, at(104));
+  net::FiveTuple p2p{net::Ipv4Addr(10, 8, 0, 1), net::Ipv4Addr(98, 0, 0, 7),
+                     47000, 52000, 17};
+  auto& after = table.get_or_create(StreamKey{p2p, 0x7}, zoom::MediaKind::Video,
+                                    zoom::Transport::P2P, StreamDirection::P2p,
+                                    p2p.src_ip, p2p.src_port, 521'000, at(104.5));
+  EXPECT_EQ(after.media_id, before.media_id);
+}
+
+TEST(StreamTable, SsrcCollisionAcrossMeetingsNotMerged) {
+  // Same SSRC in an unrelated meeting, but RTP timestamps far apart:
+  // must be a fresh media id (the paper's challenge 2, §4.3.1).
+  StreamTable table;
+  auto& a = create(table, flow(1, 40000), 0x42, 1000, at(10));
+  table.touch(a, 10'000, at(12));
+  auto& b = create(table, flow(5, 43000), 0x42, 900'000'000, at(12.5));
+  EXPECT_NE(a.media_id, b.media_id);
+  EXPECT_EQ(table.media_count(), 2u);
+}
+
+TEST(StreamTable, StaleStreamNotMatchedByWallClock) {
+  StreamTable table;
+  auto& a = create(table, flow(1, 40000), 0x42, 1000, at(10));
+  table.touch(a, 2000, at(11));
+  // Timestamp aligns but the stream has been dead for 5 minutes.
+  auto& b = create(table, flow(5, 43000), 0x42, 2500, at(311));
+  EXPECT_NE(a.media_id, b.media_id);
+}
+
+TEST(StreamTable, DifferentKindNotMatched) {
+  StreamTable table;
+  auto& a = create(table, flow(1, 40000), 0x42, 1000, at(10), zoom::MediaKind::Video);
+  auto& b = create(table, flow(5, 43000), 0x42, 1100, at(10.5), zoom::MediaKind::Audio);
+  EXPECT_NE(a.media_id, b.media_id);
+}
+
+TEST(StreamTable, SsrcOnlyAblationMergesWhatTimestampsWouldNot) {
+  // Disabling the timestamp feature (ablation) wrongly merges the
+  // SSRC-collision case above — quantified in bench_ablation_grouping.
+  DuplicateMatchConfig config;
+  config.require_timestamp_match = false;
+  StreamTable table(config);
+  auto& a = create(table, flow(1, 40000), 0x42, 1000, at(10));
+  table.touch(a, 10'000, at(12));
+  auto& b = create(table, flow(5, 43000), 0x42, 900'000'000, at(12.5));
+  EXPECT_EQ(a.media_id, b.media_id);  // the failure mode, by design
+}
+
+TEST(StreamTable, FindReturnsNullForUnknown) {
+  StreamTable table;
+  EXPECT_EQ(table.find(StreamKey{flow(1, 2), 3}), nullptr);
+}
+
+TEST(StreamTable, TouchAdvancesTimestampMonotonically) {
+  StreamTable table;
+  auto& s = create(table, flow(1, 40000), 0x42, 1000, at(10));
+  table.touch(s, 5000, at(11));
+  std::int64_t high = s.last_ext_rtp_ts;
+  table.touch(s, 2000, at(11.5));  // reordered packet: no regression
+  EXPECT_EQ(s.last_ext_rtp_ts, high);
+  EXPECT_EQ(s.last_seen, at(11.5));
+}
+
+}  // namespace
+}  // namespace zpm::core

@@ -1,0 +1,102 @@
+// STUN (RFC 5389) message handling — the trigger for P2P detection.
+#include <gtest/gtest.h>
+
+#include "proto/stun.h"
+
+namespace zpm::proto {
+namespace {
+
+std::array<std::uint8_t, 12> txn() {
+  return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+}
+
+TEST(Stun, BindingRequestRoundTrip) {
+  auto msg = make_binding_request(txn());
+  util::ByteWriter w;
+  msg.serialize(w);
+  EXPECT_EQ(w.size(), 20u);  // header only
+  auto parsed = StunMessage::parse(w.view());
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->is_request());
+  EXPECT_FALSE(parsed->is_success_response());
+  EXPECT_EQ(parsed->transaction_id, txn());
+}
+
+TEST(Stun, BindingResponseCarriesXorMappedAddress) {
+  net::Ipv4Addr ip(192, 168, 1, 50);
+  auto msg = make_binding_response(txn(), ip, 54321);
+  util::ByteWriter w;
+  msg.serialize(w);
+  auto parsed = StunMessage::parse(w.view());
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->is_success_response());
+  auto mapped = parsed->xor_mapped_address();
+  ASSERT_TRUE(mapped);
+  EXPECT_EQ(mapped->first, ip);
+  EXPECT_EQ(mapped->second, 54321);
+}
+
+TEST(Stun, XorActuallyObfuscates) {
+  // The raw attribute bytes must differ from the plain address (that is
+  // the point of XOR-MAPPED-ADDRESS).
+  net::Ipv4Addr ip(10, 0, 0, 1);
+  auto msg = make_binding_response(txn(), ip, 8080);
+  const auto* attr = msg.find(kStunAttrXorMappedAddress);
+  ASSERT_NE(attr, nullptr);
+  std::uint32_t raw = (std::uint32_t{attr->value[4]} << 24) |
+                      (std::uint32_t{attr->value[5]} << 16) |
+                      (std::uint32_t{attr->value[6]} << 8) | attr->value[7];
+  EXPECT_NE(raw, ip.value());
+}
+
+TEST(Stun, RejectsBadCookieAndTopBits) {
+  auto msg = make_binding_request(txn());
+  util::ByteWriter w;
+  msg.serialize(w);
+  auto bytes = w.take();
+  bytes[4] ^= 0xff;  // corrupt magic cookie
+  EXPECT_FALSE(StunMessage::parse(bytes));
+  EXPECT_FALSE(looks_like_stun(bytes));
+
+  util::ByteWriter w2;
+  msg.serialize(w2);
+  auto bytes2 = w2.take();
+  bytes2[0] |= 0xc0;  // top bits must be zero
+  EXPECT_FALSE(StunMessage::parse(bytes2));
+}
+
+TEST(Stun, RejectsBadLength) {
+  auto msg = make_binding_request(txn());
+  util::ByteWriter w;
+  msg.serialize(w);
+  auto bytes = w.take();
+  bytes[3] = 3;  // not a multiple of 4
+  EXPECT_FALSE(StunMessage::parse(bytes));
+}
+
+TEST(Stun, UnknownAttributesRoundTripAndPad) {
+  StunMessage msg = make_binding_request(txn());
+  StunAttribute attr;
+  attr.type = kStunAttrSoftware;
+  attr.value = {'z', 'o', 'o', 'm', '!'};  // 5 bytes -> 3 pad bytes
+  msg.attributes.push_back(attr);
+  util::ByteWriter w;
+  msg.serialize(w);
+  EXPECT_EQ(w.size() % 4, 0u);
+  auto parsed = StunMessage::parse(w.view());
+  ASSERT_TRUE(parsed);
+  const auto* found = parsed->find(kStunAttrSoftware);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->value.size(), 5u);  // unpadded value exposed
+}
+
+TEST(Stun, LooksLikeStunProbe) {
+  auto msg = make_binding_request(txn());
+  util::ByteWriter w;
+  msg.serialize(w);
+  EXPECT_TRUE(looks_like_stun(w.view()));
+  EXPECT_FALSE(looks_like_stun(std::vector<std::uint8_t>(10)));
+}
+
+}  // namespace
+}  // namespace zpm::proto

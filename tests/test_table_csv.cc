@@ -1,0 +1,64 @@
+// TextTable rendering and CSV escaping.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace zpm::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"Name", "Count"}, {Align::Left, Align::Right});
+  t.row({"video", "100"});
+  t.row({"a", "5"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("Name   Count\n"), std::string::npos);
+  EXPECT_NE(out.find("video    100"), std::string::npos);
+  EXPECT_NE(out.find("a          5"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorAndShortRows) {
+  TextTable t;
+  t.header({"A", "B", "C"});
+  t.row({"1"});
+  t.separator();
+  t.row({"2", "3", "4"});
+  std::string out = t.render();
+  // Three lines of dashes: one under the header, one separator.
+  std::size_t dashes = 0;
+  std::istringstream stream(out);
+  std::string line;
+  while (std::getline(stream, line))
+    if (!line.empty() && line.find_first_not_of("- ") == std::string::npos) ++dashes;
+  EXPECT_EQ(dashes, 2u);
+}
+
+TEST(TextTable, EmptyRendersEmpty) {
+  TextTable t;
+  EXPECT_TRUE(t.render().empty());
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  std::string path = ::testing::TempDir() + "/zpm_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.row({"plain", "with,comma", "with\"quote", "multi\nline"});
+    csv.row_numeric({1.5, 2.0}, 2);
+  }
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+  EXPECT_NE(content.find("plain,\"with,comma\",\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(content.find("1.50,2.00"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace zpm::util
