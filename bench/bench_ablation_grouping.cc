@@ -16,7 +16,6 @@ std::size_t run_with(bool require_timestamp_match, std::uint64_t seed,
   // Four concurrent 2-party meetings that all use the SAME SSRC base —
   // the worst case the paper's challenge 2 describes.
   core::AnalyzerConfig cfg;
-  cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
   cfg.duplicate_match.require_timestamp_match = require_timestamp_match;
   core::Analyzer analyzer(cfg);
   for (int m = 0; m < 4; ++m) {

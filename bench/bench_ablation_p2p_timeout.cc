@@ -67,7 +67,6 @@ int main() {
                 util::Align::Right});
   for (double timeout_s : {1.0, 5.0, 10.0, 30.0, 60.0, 300.0}) {
     core::AnalyzerConfig cfg;
-    cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
     cfg.p2p_timeout = util::Duration::seconds(timeout_s);
     core::Analyzer analyzer(cfg);
     for (const auto& pkt : trace) analyzer.offer(pkt);

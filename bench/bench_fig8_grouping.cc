@@ -13,7 +13,6 @@ namespace {
 
 core::AnalyzerConfig analyzer_config() {
   core::AnalyzerConfig c;
-  c.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
   return c;
 }
 

@@ -47,7 +47,6 @@ BENCHMARK(BM_CaptureFilter)->Arg(0)->Arg(1);
 
 void BM_AnalyzerPerPacket(benchmark::State& state) {
   core::AnalyzerConfig cfg;
-  cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
   cfg.keep_frames = false;
   core::Analyzer analyzer(cfg);
   const auto& packets = trace();

@@ -1,0 +1,102 @@
+// Parallel-pipeline throughput: packets/sec of the sharded analyzer at
+// 1/2/4/8 shards against the serial baseline, plus raw SPSC-ring
+// throughput (google-benchmark). The speedup target (≥2.5x at 4 shards)
+// assumes ≥4 physical cores; on fewer cores the numbers degenerate to
+// the dispatch overhead.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "pipeline/parallel_analyzer.h"
+#include "sim/meeting.h"
+#include "util/spsc_ring.h"
+
+namespace {
+
+using namespace zpm;
+
+/// Pre-generates one multi-participant meeting trace, shared by all runs.
+const std::vector<net::RawPacket>& trace() {
+  static const std::vector<net::RawPacket> packets = [] {
+    sim::MeetingConfig mc;
+    mc.seed = 1;
+    mc.start = util::Timestamp::from_seconds(0);
+    mc.duration = util::Duration::seconds(45);
+    sim::ParticipantConfig a, b, c, d;
+    a.ip = net::Ipv4Addr(10, 8, 0, 1);
+    b.ip = net::Ipv4Addr(10, 8, 0, 2);
+    b.send_screen_share = true;
+    c.ip = net::Ipv4Addr(10, 8, 0, 3);
+    d.ip = net::Ipv4Addr(98, 0, 0, 4);
+    d.on_campus = false;
+    mc.participants = {a, b, c, d};
+    return sim::run_meeting(mc);
+  }();
+  return packets;
+}
+
+/// Serial baseline: one core::Analyzer over the whole trace.
+void BM_SerialWholeTrace(benchmark::State& state) {
+  const auto& packets = trace();
+  for (auto _ : state) {
+    core::AnalyzerConfig cfg;
+    cfg.keep_frames = false;
+    core::Analyzer analyzer(cfg);
+    for (const auto& pkt : packets) analyzer.offer(pkt);
+    analyzer.finish();
+    benchmark::DoNotOptimize(analyzer.counters().zoom_packets);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packets.size()));
+}
+BENCHMARK(BM_SerialWholeTrace)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The sharded pipeline end to end (decode + dispatch + shards + merge).
+void BM_ParallelPipeline(benchmark::State& state) {
+  const auto& packets = trace();
+  for (auto _ : state) {
+    pipeline::ParallelAnalyzerConfig cfg;
+    cfg.analyzer.keep_frames = false;
+    cfg.shards = static_cast<std::size_t>(state.range(0));
+    pipeline::ParallelAnalyzer analyzer(cfg);
+    for (const auto& pkt : packets) analyzer.offer(pkt);
+    analyzer.finish();
+    benchmark::DoNotOptimize(analyzer.counters().zoom_packets);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packets.size()));
+  state.SetLabel(std::to_string(std::thread::hardware_concurrency()) + " cores");
+}
+BENCHMARK(BM_ParallelPipeline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Raw ring throughput: one producer, one consumer, 64-bit items.
+void BM_SpscRingThroughput(benchmark::State& state) {
+  constexpr std::uint64_t kBatch = 1 << 20;
+  for (auto _ : state) {
+    util::SpscRing<std::uint64_t> ring(1 << 12);
+    std::thread producer([&ring] {
+      for (std::uint64_t i = 0; i < kBatch; ++i) ring.push(i);
+      ring.close();
+    });
+    std::uint64_t sum = 0;
+    while (auto v = ring.pop()) sum += *v;
+    producer.join();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_SpscRingThroughput)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

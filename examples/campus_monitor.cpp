@@ -32,7 +32,6 @@ int main(int argc, char** argv) {
   capture::CaptureFilter filter(cap_cfg);
 
   core::AnalyzerConfig an_cfg;
-  an_cfg.campus_subnets = cap_cfg.campus_subnets;
   an_cfg.keep_frames = false;
   core::Analyzer analyzer(an_cfg);
 

@@ -39,7 +39,6 @@ int main(int argc, char** argv) {
 
   sim::MeetingSim sim(mc);
   core::AnalyzerConfig cfg;
-  cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
   core::Analyzer analyzer(cfg);
   while (auto pkt = sim.next_packet()) analyzer.offer(*pkt);
   analyzer.finish();

@@ -51,7 +51,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   core::AnalyzerConfig cfg;  // default Zoom server list
-  cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
   core::Analyzer analyzer(cfg);
   while (auto pkt = reader.next()) analyzer.offer(*pkt);
   analyzer.finish();

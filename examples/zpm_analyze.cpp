@@ -7,12 +7,13 @@
 //   zpm_analyze --demo [options]
 //
 // Options:
-//   --campus <cidr>   campus subnet (repeatable; default 10.0.0.0/8)
+//   --threads <n>     shard the analyzer across n worker threads
+//                     (default 1 = serial; results are identical)
 //   --csv <prefix>    write <prefix>_streams.csv / _seconds.csv / _meetings.csv
 //   --p2p-timeout <s> STUN candidate lifetime (default 60)
 //   --anon-key <hex>  the capture was anonymized with this key
 //                     (zpm_pcap_filter default 5eedcafef00dd00d); the
-//                     server/campus subnets are mapped through the same
+//                     server subnets are mapped through the same
 //                     prefix-preserving function so detection still works
 #include <algorithm>
 #include <cstdio>
@@ -26,6 +27,7 @@
 #include "capture/anonymizer.h"
 #include "core/analyzer.h"
 #include "net/pcapng.h"
+#include "pipeline/parallel_analyzer.h"
 #include "sim/meeting.h"
 #include "util/csv.h"
 #include "util/strings.h"
@@ -35,14 +37,22 @@ using namespace zpm;
 
 namespace {
 
-void export_csvs(const core::Analyzer& analyzer, const std::string& prefix) {
+/// The report's view of an analysis run, identical for the serial and
+/// sharded paths. Stream/meeting pointers stay owned by the analyzer.
+struct AnalysisOutput {
+  core::AnalyzerCounters counters;
+  std::vector<const core::StreamInfo*> streams;
+  const core::MeetingGrouper* meetings = nullptr;
+};
+
+void export_csvs(const AnalysisOutput& out, const std::string& prefix) {
   {
     util::CsvWriter streams(prefix + "_streams.csv");
     streams.row({"stream", "ssrc", "media_id", "meeting", "kind", "direction",
                  "client_ip", "first_s", "last_s", "packets", "media_bytes",
                  "jitter_ms", "latency_ms", "duplicates", "reordered", "gaps",
                  "clock_hz", "stalls"});
-    for (const auto& s : analyzer.streams().streams()) {
+    for (const auto* s : out.streams) {
       auto loss = s->metrics->total_loss();
       streams.row(
           {std::to_string(s->index), std::to_string(s->key.ssrc),
@@ -72,7 +82,7 @@ void export_csvs(const core::Analyzer& analyzer, const std::string& prefix) {
     seconds.row({"stream", "t_s", "packets", "media_bytes", "frame_rate",
                  "encoder_fps", "avg_frame_bytes", "jitter_ms", "latency_ms",
                  "duplicates", "reordered"});
-    for (const auto& s : analyzer.streams().streams()) {
+    for (const auto* s : out.streams) {
       for (const auto& sec : s->metrics->seconds()) {
         seconds.row({std::to_string(s->index),
                      util::fixed(sec.bin_start.sec(), 0),
@@ -90,7 +100,7 @@ void export_csvs(const core::Analyzer& analyzer, const std::string& prefix) {
     util::CsvWriter meetings(prefix + "_meetings.csv");
     meetings.row({"meeting", "participants", "media", "streams", "first_s",
                   "last_s", "p2p", "rtt_samples", "mean_rtt_ms"});
-    for (const auto* m : analyzer.meetings().meetings()) {
+    for (const auto* m : out.meetings->meetings()) {
       double rtt_sum = 0;
       for (const auto& s : m->rtt_to_sfu) rtt_sum += s.rtt.ms();
       meetings.row({std::to_string(m->id), std::to_string(m->active_participants()),
@@ -110,87 +120,8 @@ void export_csvs(const core::Analyzer& analyzer, const std::string& prefix) {
               prefix.c_str());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <capture.pcap[ng]>|--demo [--campus <cidr>]...\n"
-                 "          [--csv <prefix>] [--p2p-timeout <s>]\n",
-                 argv[0]);
-    return 2;
-  }
-  std::string input = argv[1];
-  std::vector<net::Ipv4Subnet> campus;
-  std::string csv_prefix;
-  double p2p_timeout_s = 60.0;
-  std::optional<std::uint64_t> anon_key;
-  for (int i = 2; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--campus") && i + 1 < argc) {
-      auto subnet = net::Ipv4Subnet::parse(argv[++i]);
-      if (!subnet) {
-        std::fprintf(stderr, "bad subnet: %s\n", argv[i]);
-        return 2;
-      }
-      campus.push_back(*subnet);
-    } else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) {
-      csv_prefix = argv[++i];
-    } else if (!std::strcmp(argv[i], "--p2p-timeout") && i + 1 < argc) {
-      p2p_timeout_s = std::atof(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--anon-key") && i + 1 < argc) {
-      anon_key = std::strtoull(argv[++i], nullptr, 16);
-    } else {
-      std::fprintf(stderr, "unknown option %s\n", argv[i]);
-      return 2;
-    }
-  }
-  if (campus.empty()) campus.push_back(net::Ipv4Subnet(net::Ipv4Addr(10, 0, 0, 0), 8));
-
-  core::AnalyzerConfig cfg;
-  cfg.campus_subnets = campus;
-  cfg.p2p_timeout = util::Duration::seconds(p2p_timeout_s);
-  if (anon_key) {
-    // The capture's addresses were rewritten prefix-preservingly; map
-    // our subnet knowledge through the same function.
-    capture::PrefixPreservingAnonymizer anon(*anon_key);
-    std::vector<net::Ipv4Subnet> mapped;
-    for (const auto& subnet : cfg.server_db.subnets())
-      mapped.emplace_back(anon.anonymize(subnet.base()), subnet.prefix_len());
-    cfg.server_db = zoom::ServerDb(mapped);
-    for (auto& subnet : cfg.campus_subnets)
-      subnet = net::Ipv4Subnet(anon.anonymize(subnet.base()), subnet.prefix_len());
-  }
-  core::Analyzer analyzer(cfg);
-
-  if (input == "--demo") {
-    sim::MeetingConfig mc;
-    mc.seed = 21;
-    mc.start = util::Timestamp::from_seconds(0);
-    mc.duration = util::Duration::seconds(90);
-    sim::ParticipantConfig a, b, c;
-    a.ip = net::Ipv4Addr(10, 8, 0, 1);
-    b.ip = net::Ipv4Addr(10, 8, 0, 2);
-    c.ip = net::Ipv4Addr(98, 0, 0, 3);
-    c.on_campus = false;
-    b.send_screen_share = true;
-    mc.participants = {a, b, c};
-    sim::MeetingSim sim(mc);
-    while (auto pkt = sim.next_packet()) analyzer.offer(*pkt);
-  } else {
-    auto source = net::open_capture(input);
-    if (!source) {
-      std::fprintf(stderr, "cannot open %s (not pcap/pcapng?)\n", input.c_str());
-      return 1;
-    }
-    while (auto pkt = source->next()) analyzer.offer(*pkt);
-    if (!source->ok()) {
-      std::fprintf(stderr, "warning: capture ended with error: %s\n",
-                   source->error().c_str());
-    }
-  }
-  analyzer.finish();
-
-  const auto& c = analyzer.counters();
+void print_report(const AnalysisOutput& out) {
+  const auto& c = out.counters;
   std::printf("== traffic =====================================================\n");
   std::printf("packets: %s total, %s Zoom (%s)\n",
               util::with_commas(c.total_packets).c_str(),
@@ -216,7 +147,7 @@ int main(int argc, char** argv) {
   std::printf("%s", mix.render().c_str());
 
   std::printf("\n== meetings ====================================================\n");
-  for (const auto* m : analyzer.meetings().meetings()) {
+  for (const auto* m : out.meetings->meetings()) {
     double rtt_sum = 0;
     for (const auto& s : m->rtt_to_sfu) rtt_sum += s.rtt.ms();
     std::printf("meeting %u: %zu participants, %zu media, %.0f s%s", m->id,
@@ -233,7 +164,7 @@ int main(int argc, char** argv) {
   util::TextTable t;
   t.header({"ssrc", "kind", "dir", "rate", "fps", "jitter", "clock", "stalls"},
            {util::Align::Right});
-  for (const auto& s : analyzer.streams().streams()) {
+  for (const auto* s : out.streams) {
     double secs = std::max(1.0, (s->last_seen - s->first_seen).sec());
     double rate = static_cast<double>(s->metrics->media_payload_bytes()) * 8 / secs;
     double fps_sum = 0;
@@ -255,7 +186,115 @@ int main(int argc, char** argv) {
            std::to_string(s->metrics->stall().stall_events())});
   }
   std::printf("%s", t.render().c_str());
+}
 
-  if (!csv_prefix.empty()) export_csvs(analyzer, csv_prefix);
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <capture.pcap[ng]>|--demo [--threads <n>]\n"
+                 "          [--csv <prefix>] [--p2p-timeout <s>] [--anon-key <hex>]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string input = argv[1];
+  std::string csv_prefix;
+  double p2p_timeout_s = 60.0;
+  std::size_t threads = 1;
+  std::optional<std::uint64_t> anon_key;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (threads == 0) {
+        std::fprintf(stderr, "--threads wants a positive count\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) {
+      csv_prefix = argv[++i];
+    } else if (!std::strcmp(argv[i], "--p2p-timeout") && i + 1 < argc) {
+      p2p_timeout_s = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--anon-key") && i + 1 < argc) {
+      anon_key = std::strtoull(argv[++i], nullptr, 16);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  core::AnalyzerConfig cfg;
+  cfg.p2p_timeout = util::Duration::seconds(p2p_timeout_s);
+  if (anon_key) {
+    // The capture's addresses were rewritten prefix-preservingly; map
+    // our subnet knowledge through the same function.
+    capture::PrefixPreservingAnonymizer anon(*anon_key);
+    std::vector<net::Ipv4Subnet> mapped;
+    for (const auto& subnet : cfg.server_db.subnets())
+      mapped.emplace_back(anon.anonymize(subnet.base()), subnet.prefix_len());
+    cfg.server_db = zoom::ServerDb(mapped);
+  }
+
+  // Either engine may be active; both own the streams the report reads,
+  // so they live until exit.
+  std::optional<core::Analyzer> serial;
+  std::optional<pipeline::ParallelAnalyzer> parallel;
+  if (threads > 1) {
+    pipeline::ParallelAnalyzerConfig par_cfg;
+    par_cfg.analyzer = cfg;
+    par_cfg.shards = threads;
+    parallel.emplace(std::move(par_cfg));
+  } else {
+    serial.emplace(cfg);
+  }
+  auto offer = [&](const net::RawPacket& pkt) {
+    if (parallel)
+      parallel->offer(pkt);
+    else
+      serial->offer(pkt);
+  };
+
+  if (input == "--demo") {
+    sim::MeetingConfig mc;
+    mc.seed = 21;
+    mc.start = util::Timestamp::from_seconds(0);
+    mc.duration = util::Duration::seconds(90);
+    sim::ParticipantConfig a, b, c;
+    a.ip = net::Ipv4Addr(10, 8, 0, 1);
+    b.ip = net::Ipv4Addr(10, 8, 0, 2);
+    c.ip = net::Ipv4Addr(98, 0, 0, 3);
+    c.on_campus = false;
+    b.send_screen_share = true;
+    mc.participants = {a, b, c};
+    sim::MeetingSim sim(mc);
+    while (auto pkt = sim.next_packet()) offer(*pkt);
+  } else {
+    auto source = net::open_capture(input);
+    if (!source) {
+      std::fprintf(stderr, "cannot open %s (not pcap/pcapng?)\n", input.c_str());
+      return 1;
+    }
+    while (auto pkt = source->next()) offer(*pkt);
+    if (!source->ok()) {
+      std::fprintf(stderr, "warning: capture ended with error: %s\n",
+                   source->error().c_str());
+    }
+  }
+
+  AnalysisOutput out;
+  if (parallel) {
+    parallel->finish();
+    out.counters = parallel->counters();
+    out.streams.assign(parallel->streams().begin(), parallel->streams().end());
+    out.meetings = &parallel->meetings();
+  } else {
+    serial->finish();
+    out.counters = serial->counters();
+    out.streams.reserve(serial->streams().streams().size());
+    for (const auto& s : serial->streams().streams()) out.streams.push_back(s.get());
+    out.meetings = &serial->meetings();
+  }
+
+  print_report(out);
+  if (!csv_prefix.empty()) export_csvs(out, csv_prefix);
   return 0;
 }

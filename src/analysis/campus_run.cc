@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "pipeline/parallel_analyzer.h"
+
 namespace zpm::analysis {
 
 namespace {
@@ -16,6 +18,46 @@ std::vector<net::Ipv4Subnet> anonymize_subnets(
   for (const auto& s : subnets)
     out.emplace_back(anon.anonymize(s.base()), s.prefix_len());
   return out;
+}
+
+/// Folds per-stream metrics into the result. Shared by the serial and
+/// sharded paths so both produce the exact same output.
+void extract_streams(const std::vector<const core::StreamInfo*>& streams,
+                     util::Duration rate_bin, CampusRunResult& result) {
+  // Campus runs produce millions of rows; size the buffers once.
+  std::size_t total_seconds = 0;
+  std::map<std::uint8_t, std::size_t> frames_per_kind;
+  for (const auto* stream : streams) {
+    total_seconds += stream->metrics->seconds().size();
+    frames_per_kind[static_cast<std::uint8_t>(stream->kind)] +=
+        stream->metrics->frames().size();
+  }
+  result.samples.reserve(total_seconds);
+  for (const auto& [kind, count] : frames_per_kind)
+    result.frame_sizes[kind].reserve(count);
+
+  // Per-kind media-rate binning + sample extraction.
+  std::map<std::uint8_t, util::IntervalBinner> media_bins;
+  for (const auto* stream : streams) {
+    auto kind = static_cast<std::uint8_t>(stream->kind);
+    auto [it, _] = media_bins.try_emplace(kind, rate_bin);
+    SampleRow row;
+    row.kind = kind;
+    for (const auto& sec : stream->metrics->seconds()) {
+      it->second.add(sec.bin_start, static_cast<double>(sec.media_bytes));
+      row.media_bitrate_bps = static_cast<float>(sec.media_bitrate_bps());
+      row.frame_rate = static_cast<float>(sec.frame_rate_fps);
+      row.avg_frame_bytes =
+          sec.avg_frame_bytes ? static_cast<float>(*sec.avg_frame_bytes) : -1.0f;
+      row.jitter_ms = sec.jitter_ms ? static_cast<float>(*sec.jitter_ms) : -1.0f;
+      result.samples.push_back(row);
+    }
+    auto& sizes = result.frame_sizes[kind];
+    for (const auto& frame : stream->metrics->frames())
+      sizes.push_back(static_cast<float>(frame.payload_bytes));
+  }
+  for (auto& [kind, binner] : media_bins)
+    result.media_rate[kind] = binner.series();
 }
 
 }  // namespace
@@ -36,70 +78,75 @@ CampusRunResult run_campus(const CampusRunConfig& config) {
     capture::PrefixPreservingAnonymizer anon(cap_cfg.anonymization_key);
     an_cfg.server_db =
         zoom::ServerDb(anonymize_subnets(anon, cap_cfg.server_db.subnets()));
-    an_cfg.campus_subnets = anonymize_subnets(anon, cap_cfg.campus_subnets);
-  } else {
-    an_cfg.campus_subnets = cap_cfg.campus_subnets;
   }
-  core::Analyzer analyzer(an_cfg);
 
   util::IntervalBinner all_rate(config.rate_bin);
   util::IntervalBinner zoom_rate(config.rate_bin);
 
-  while (auto pkt = campus.next_packet()) {
-    if (result.first_packet.is_zero()) result.first_packet = pkt->ts;
-    result.last_packet = pkt->ts;
-    all_rate.add(pkt->ts);
-    auto kept = filter.process(*pkt);
-    if (!kept) continue;
-    zoom_rate.add(kept->ts);
-    analyzer.offer(*kept);
+  auto ingest = [&](auto&& offer) {
+    while (auto pkt = campus.next_packet()) {
+      if (result.first_packet.is_zero()) result.first_packet = pkt->ts;
+      result.last_packet = pkt->ts;
+      all_rate.add(pkt->ts);
+      auto kept = filter.process(*pkt);
+      if (!kept) continue;
+      zoom_rate.add(kept->ts);
+      offer(std::move(*kept));
+    }
+  };
+
+  std::vector<const core::StreamInfo*> streams;
+  if (config.analysis_threads > 1) {
+    pipeline::ParallelAnalyzerConfig par_cfg;
+    par_cfg.analyzer = an_cfg;
+    par_cfg.shards = config.analysis_threads;
+    pipeline::ParallelAnalyzer analyzer(par_cfg);
+    ingest([&](net::RawPacket pkt) { analyzer.offer(std::move(pkt)); });
+    analyzer.finish();
+
+    result.counters = analyzer.counters();
+    result.stream_count = analyzer.streams().size();
+    result.media_count = analyzer.media_count();
+    result.meeting_count = analyzer.meetings().meeting_count();
+    result.zoom_flow_count = analyzer.zoom_flow_count();
+    streams.assign(analyzer.streams().begin(), analyzer.streams().end());
+    extract_streams(streams, config.rate_bin, result);
+  } else {
+    core::Analyzer analyzer(an_cfg);
+    ingest([&](net::RawPacket pkt) { analyzer.offer(pkt); });
+    analyzer.finish();
+
+    result.counters = analyzer.counters();
+    result.stream_count = analyzer.streams().size();
+    result.media_count = analyzer.streams().media_count();
+    result.meeting_count = analyzer.meetings().meeting_count();
+    result.zoom_flow_count = analyzer.zoom_flow_count();
+    streams.reserve(analyzer.streams().streams().size());
+    for (const auto& s : analyzer.streams().streams()) streams.push_back(s.get());
+    extract_streams(streams, config.rate_bin, result);
   }
-  analyzer.finish();
 
   result.sim_summary = campus.summary();
   result.capture = filter.counters();
-  result.counters = analyzer.counters();
-  result.stream_count = analyzer.streams().size();
-  result.media_count = analyzer.streams().media_count();
-  result.meeting_count = analyzer.meetings().meeting_count();
-  result.zoom_flow_count = analyzer.zoom_flow_count();
   result.all_packet_rate = all_rate.series();
   result.zoom_packet_rate = zoom_rate.series();
-
-  // Per-kind media-rate binning + sample extraction.
-  std::map<std::uint8_t, util::IntervalBinner> media_bins;
-  for (const auto& stream : analyzer.streams().streams()) {
-    auto kind = static_cast<std::uint8_t>(stream->kind);
-    auto [it, _] = media_bins.try_emplace(kind, config.rate_bin);
-    for (const auto& sec : stream->metrics->seconds()) {
-      it->second.add(sec.bin_start, static_cast<double>(sec.media_bytes));
-      SampleRow row;
-      row.kind = kind;
-      row.media_bitrate_bps = static_cast<float>(sec.media_bitrate_bps());
-      row.frame_rate = static_cast<float>(sec.frame_rate_fps);
-      row.avg_frame_bytes =
-          sec.avg_frame_bytes ? static_cast<float>(*sec.avg_frame_bytes) : -1.0f;
-      row.jitter_ms = sec.jitter_ms ? static_cast<float>(*sec.jitter_ms) : -1.0f;
-      result.samples.push_back(row);
-    }
-    for (const auto& frame : stream->metrics->frames())
-      result.frame_sizes[kind].push_back(static_cast<float>(frame.payload_bytes));
-  }
-  for (auto& [kind, binner] : media_bins)
-    result.media_rate[kind] = binner.series();
   return result;
 }
 
 CampusRunConfig default_campus_config() {
   CampusRunConfig config;
   config.campus.seed = 2022;
-  // Scaled-down campus day; ZPM_CAMPUS_SCALE multiplies meeting volume
-  // and ZPM_CAMPUS_HOURS overrides the duration, so the full 12-hour run
-  // is one environment variable away.
+  // Scaled-down campus day; ZPM_CAMPUS_SCALE multiplies meeting volume,
+  // ZPM_CAMPUS_HOURS overrides the duration and ZPM_ANALYSIS_THREADS
+  // shards the analyzer, so the full 12-hour run is one environment
+  // variable away.
   double scale = 1.0;
   if (const char* s = std::getenv("ZPM_CAMPUS_SCALE")) scale = std::atof(s);
   double hours = 12.0;
   if (const char* h = std::getenv("ZPM_CAMPUS_HOURS")) hours = std::atof(h);
+  if (const char* t = std::getenv("ZPM_ANALYSIS_THREADS"))
+    config.analysis_threads =
+        static_cast<std::size_t>(std::strtoul(t, nullptr, 10));
   config.campus.duration = util::Duration::seconds(hours * 3600.0);
   config.campus.meetings_per_peak_hour = 3.0 * (scale > 0 ? scale : 1.0);
   config.campus.background_ratio = 1.5;

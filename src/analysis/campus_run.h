@@ -26,6 +26,9 @@ struct CampusRunConfig {
   util::Duration rate_bin = util::Duration::seconds(60);
   /// Frame-record subsampling inside the analyzer (memory bound).
   std::uint32_t frame_sample_every = 4;
+  /// Analyzer shards. 1 = legacy serial path; >1 routes packets through
+  /// pipeline::ParallelAnalyzer (results are bit-identical either way).
+  std::size_t analysis_threads = 1;
 };
 
 /// Compact per-second per-stream sample used by the distribution

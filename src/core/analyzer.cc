@@ -16,10 +16,30 @@ Analyzer::Analyzer(AnalyzerConfig config)
       });
 }
 
-bool Analyzer::is_campus(net::Ipv4Addr ip) const {
-  for (const auto& subnet : config_.campus_subnets)
-    if (subnet.contains(ip)) return true;
-  return false;
+void AnalyzerCounters::merge(const AnalyzerCounters& other) {
+  total_packets += other.total_packets;
+  total_bytes += other.total_bytes;
+  zoom_packets += other.zoom_packets;
+  zoom_bytes += other.zoom_bytes;
+  server_udp_packets += other.server_udp_packets;
+  p2p_udp_packets += other.p2p_udp_packets;
+  stun_packets += other.stun_packets;
+  tcp_control_packets += other.tcp_control_packets;
+  media_packets += other.media_packets;
+  rtcp_packets += other.rtcp_packets;
+  unknown_sfu_packets += other.unknown_sfu_packets;
+  unknown_media_packets += other.unknown_media_packets;
+  p2p_false_positives += other.p2p_false_positives;
+  for (const auto& [type, tally] : other.encap_types) {
+    auto& dst = encap_types[type];
+    dst.packets += tally.packets;
+    dst.bytes += tally.bytes;
+  }
+  for (const auto& [key, tally] : other.payload_types) {
+    auto& dst = payload_types[key];
+    dst.packets += tally.packets;
+    dst.bytes += tally.bytes;
+  }
 }
 
 bool Analyzer::offer(const net::RawPacket& pkt) {
@@ -77,6 +97,17 @@ bool Analyzer::handle_stun(const net::PacketView& view, bool server_is_src) {
     p2p_.on_stun_exchange(view.ts, view.ip.src, view.udp.src_port);
   }
   return true;
+}
+
+void Analyzer::register_stun_candidate(const net::PacketView& view) {
+  auto zp = zoom::dissect_stun(view.l4_payload);
+  if (!zp) return;
+  bool server_is_src = config_.server_db.contains(view.ip.src);
+  if (server_is_src) {
+    p2p_.on_stun_exchange(view.ts, view.ip.dst, view.udp.dst_port);
+  } else {
+    p2p_.on_stun_exchange(view.ts, view.ip.src, view.udp.src_port);
+  }
 }
 
 bool Analyzer::handle_server_udp(const net::PacketView& view) {
@@ -165,9 +196,19 @@ StreamInfo& Analyzer::stream_for(const net::PacketView& view,
   std::optional<std::pair<net::Ipv4Addr, std::uint16_t>> peer;
   if (direction == StreamDirection::P2p)
     peer = std::pair{view.ip.dst, view.udp.dst_port};
-  stream.meeting_id = grouper_.assign(stream.media_id, client_ip, client_port,
-                                      view.ts, direction == StreamDirection::P2p,
-                                      peer);
+  if (journal_) {
+    // The merge step re-runs duplicate matching globally and assigns
+    // media/meeting ids there; the shard-local ids are placeholders.
+    journal_->events.push_back(ShardJournal::Event{
+        journal_->seq, static_cast<std::uint32_t>(stream.index), view.ts,
+        ShardJournal::StreamCreate{key.flow, kind, first_rtp_ts,
+                                   stream.last_ext_rtp_ts, client_ip, client_port,
+                                   direction == StreamDirection::P2p, peer}});
+  } else {
+    stream.meeting_id = grouper_.assign(stream.media_id, client_ip, client_port,
+                                        view.ts,
+                                        direction == StreamDirection::P2p, peer);
+  }
   return stream;
 }
 
@@ -229,16 +270,34 @@ void Analyzer::handle_dissected(const net::PacketView& view,
 
   StreamInfo& stream = stream_for(view, zp, direction, rtp.ssrc, rtp.timestamp);
   streams_.touch(stream, rtp.timestamp, view.ts);
-  grouper_.touch(stream.meeting_id, view.ts);
+  if (journal_) {
+    journal_->events.push_back(ShardJournal::Event{
+        journal_->seq, static_cast<std::uint32_t>(stream.index), view.ts,
+        ShardJournal::StreamTouch{stream.last_ext_rtp_ts, stream.last_seen}});
+  } else {
+    grouper_.touch(stream.meeting_id, view.ts);
+  }
   stream.metrics->on_media_packet(view.ts, encap, rtp, zp.rtp_payload.size(),
                                   view.l4_payload.size());
 
-  // §5.3 method 1: RTT via SFU-forwarded copies.
+  // §5.3 method 1: RTT via SFU-forwarded copies. Egress and ingress
+  // copies ride different flows, so in sharded mode the match itself is
+  // deferred to the merge step's global replay.
   if (direction == StreamDirection::ToSfu) {
-    copy_matcher_.on_egress(view.ts, rtp.ssrc, rtp.sequence, rtp.timestamp);
+    if (journal_) {
+      journal_->events.push_back(ShardJournal::Event{
+          journal_->seq, static_cast<std::uint32_t>(stream.index), view.ts,
+          ShardJournal::RtpEgress{rtp.ssrc, rtp.sequence, rtp.timestamp}});
+    } else {
+      copy_matcher_.on_egress(view.ts, rtp.ssrc, rtp.sequence, rtp.timestamp);
+    }
   } else if (direction == StreamDirection::FromSfu) {
-    if (auto sample =
-            copy_matcher_.on_ingress(view.ts, rtp.ssrc, rtp.sequence, rtp.timestamp)) {
+    if (journal_) {
+      journal_->events.push_back(ShardJournal::Event{
+          journal_->seq, static_cast<std::uint32_t>(stream.index), view.ts,
+          ShardJournal::RtpIngress{rtp.ssrc, rtp.sequence, rtp.timestamp}});
+    } else if (auto sample = copy_matcher_.on_ingress(view.ts, rtp.ssrc,
+                                                      rtp.sequence, rtp.timestamp)) {
       stream.metrics->on_rtt_sample(*sample);
       grouper_.add_rtt_sample(stream.meeting_id, *sample);
     }

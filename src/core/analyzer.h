@@ -18,6 +18,7 @@
 
 #include "core/meetings.h"
 #include "core/p2p_detector.h"
+#include "core/shard_journal.h"
 #include "core/streams.h"
 #include "metrics/latency.h"
 #include "net/packet.h"
@@ -30,8 +31,6 @@ namespace zpm::core {
 struct AnalyzerConfig {
   /// Zoom's published server subnets (stateless detection).
   zoom::ServerDb server_db = zoom::ServerDb::official();
-  /// Monitored campus subnets; used to orient flows (client side).
-  std::vector<net::Ipv4Subnet> campus_subnets;
   /// P2P candidate lifetime after the STUN exchange (§4.1).
   util::Duration p2p_timeout = util::Duration::seconds(60);
   /// Duplicate-stream matching knobs (§4.3 step 1).
@@ -48,6 +47,8 @@ struct AnalyzerConfig {
 struct Tally {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
+
+  bool operator==(const Tally&) const = default;
 };
 
 /// Aggregate counters over the analyzed trace.
@@ -73,6 +74,11 @@ struct AnalyzerCounters {
   std::map<std::uint8_t, Tally> encap_types;
   /// Table 3: (media kind, RTP payload type) -> packets/bytes.
   std::map<std::pair<std::uint8_t, std::uint8_t>, Tally> payload_types;
+
+  bool operator==(const AnalyzerCounters&) const = default;
+
+  /// Adds another shard's counters (plain sums + tally-map merges).
+  void merge(const AnalyzerCounters& other);
 };
 
 /// See file comment.
@@ -88,6 +94,19 @@ class Analyzer {
 
   /// Flushes trailing metric bins; call once after the last packet.
   void finish();
+
+  /// Sharded mode: records cross-flow operations (duplicate grouping,
+  /// meeting assignment, RTT copy-matching) into `journal` instead of
+  /// performing them; the parallel driver replays all shards' journals
+  /// in global packet order. nullptr (default) restores serial behavior.
+  void set_shard_journal(ShardJournal* journal) { journal_ = journal; }
+
+  /// Sharded mode: registers the P2P candidate endpoint of a STUN
+  /// exchange without counting the packet. The dispatcher broadcasts
+  /// STUN exchanges to all shards through this hook because P2P
+  /// candidates are keyed by endpoint, not 5-tuple — the later media
+  /// flow can hash to any shard (§4.1).
+  void register_stun_candidate(const net::PacketView& view);
 
   [[nodiscard]] const AnalyzerCounters& counters() const { return counters_; }
   [[nodiscard]] const StreamTable& streams() const { return streams_; }
@@ -107,7 +126,6 @@ class Analyzer {
   }
 
  private:
-  bool is_campus(net::Ipv4Addr ip) const;
   bool process_decoded(const net::PacketView& view);
   bool handle_server_udp(const net::PacketView& view);
   bool handle_p2p_udp(const net::PacketView& view);
@@ -128,6 +146,7 @@ class Analyzer {
   metrics::RtpCopyMatcher copy_matcher_;
   std::unordered_set<net::FiveTuple> zoom_flows_;
   std::unordered_map<net::FiveTuple, metrics::TcpRttEstimator> tcp_rtt_;
+  ShardJournal* journal_ = nullptr;
 };
 
 }  // namespace zpm::core

@@ -1,0 +1,78 @@
+// Event journal for the flow-sharded parallel pipeline.
+//
+// A shard analyzer owns all per-flow and per-stream state outright, but
+// three pieces of the serial Analyzer are *cross-flow*: duplicate-media
+// matching (same SSRC on different 5-tuples, §4.3 step 1), meeting
+// grouping (§4.3 step 2) and SFU RTT copy-matching (§5.3 method 1 —
+// egress and ingress copies travel on different flows). When a journal
+// is attached, the analyzer records those operations instead of
+// performing them; the parallel driver replays the journals of all
+// shards in global packet order through a single MeetingGrouper and
+// RtpCopyMatcher, which reproduces the serial results bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "net/five_tuple.h"
+#include "util/time.h"
+#include "zoom/classify.h"
+
+namespace zpm::core {
+
+/// Cross-shard-sensitive operations, in the exact order the serial
+/// analyzer would have performed them for the same packet.
+struct ShardJournal {
+  /// A stream was created: everything duplicate matching and
+  /// `MeetingGrouper::assign` consume.
+  struct StreamCreate {
+    net::FiveTuple flow;
+    zoom::MediaKind kind = zoom::MediaKind::Audio;
+    std::uint32_t first_rtp_ts = 0;
+    /// The stream's extended RTP timestamp right after creation.
+    std::int64_t ext_rtp_ts = 0;
+    net::Ipv4Addr client_ip;
+    std::uint16_t client_port = 0;
+    bool is_p2p = false;
+    std::optional<std::pair<net::Ipv4Addr, std::uint16_t>> peer;
+  };
+  /// A media packet advanced the stream (duplicate-match bookkeeping +
+  /// `MeetingGrouper::touch`). Values are post-update, so replay assigns
+  /// rather than recomputes.
+  struct StreamTouch {
+    std::int64_t ext_rtp_ts = 0;
+    util::Timestamp last_seen;
+  };
+  /// RtpCopyMatcher::on_egress arguments.
+  struct RtpEgress {
+    std::uint32_t ssrc = 0;
+    std::uint16_t rtp_seq = 0;
+    std::uint32_t rtp_ts = 0;
+  };
+  /// RtpCopyMatcher::on_ingress arguments; a match attributes the RTT
+  /// sample to `stream` and its meeting.
+  struct RtpIngress {
+    std::uint32_t ssrc = 0;
+    std::uint16_t rtp_seq = 0;
+    std::uint32_t rtp_ts = 0;
+  };
+
+  struct Event {
+    /// Global packet sequence number (assigned by the dispatcher);
+    /// events of one packet share it and stay in append order.
+    std::uint64_t seq = 0;
+    /// Shard-local stream index (meaningless for RtpEgress).
+    std::uint32_t stream = 0;
+    util::Timestamp ts;
+    std::variant<StreamCreate, StreamTouch, RtpEgress, RtpIngress> data;
+  };
+
+  /// Set by the driver before each packet is offered to the shard.
+  std::uint64_t seq = 0;
+  std::vector<Event> events;
+};
+
+}  // namespace zpm::core

@@ -184,17 +184,35 @@ std::optional<std::uint64_t> StreamMetrics::upstream_loss_estimate() const {
 
 void StreamMetrics::on_rtt_sample(const RttSample& sample) {
   rtt_samples_.push_back(sample);
-  // Attribute to the current bin if it matches; otherwise it still
-  // contributes to the stream-level mean.
-  if (cur_bin_ && sample.when.us() / 1'000'000 == *cur_bin_) {
+  // Attribute to the current bin if it matches; a sample for a bin that
+  // was already flushed (the sharded pipeline's merge step injects
+  // matches after all packets were processed) is parked and folded into
+  // its per-second record at finish().
+  std::int64_t bin = sample.when.us() / 1'000'000;
+  if (cur_bin_ && bin == *cur_bin_) {
     bin_latency_sum_ms_ += sample.rtt.ms();
     ++bin_latency_samples_;
+  } else if (cur_bin_ && bin < *cur_bin_) {
+    auto& [sum, count] = late_latency_[bin];
+    sum += sample.rtt.ms();
+    ++count;
   }
 }
 
 void StreamMetrics::finish() {
   if (cur_bin_) flush_bin();
   cur_bin_.reset();
+  if (!late_latency_.empty() && !seconds_.empty()) {
+    // Per-second records are contiguous from the first bin on.
+    std::int64_t first_bin = seconds_.front().bin_start.us() / 1'000'000;
+    for (const auto& [bin, acc] : late_latency_) {
+      std::int64_t idx = bin - first_bin;
+      if (idx < 0 || idx >= static_cast<std::int64_t>(seconds_.size())) continue;
+      seconds_[static_cast<std::size_t>(idx)].latency_ms =
+          acc.first / acc.second;
+    }
+    late_latency_.clear();
+  }
   for (auto& [pt, tracker] : seq_trackers_) tracker.finish();
 }
 

@@ -166,6 +166,9 @@ class StreamMetrics {
   util::Timestamp first_seen_;
   util::Timestamp last_seen_;
   std::vector<RttSample> rtt_samples_;
+  // RTT sums/counts for bins flushed before the sample arrived (sharded
+  // pipeline); folded into `seconds_` at finish().
+  std::map<std::int64_t, std::pair<double, std::uint32_t>> late_latency_;
 };
 
 }  // namespace zpm::metrics

@@ -1,0 +1,226 @@
+#include "pipeline/parallel_analyzer.h"
+
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "util/serial.h"
+#include "zoom/constants.h"
+
+namespace zpm::pipeline {
+
+/// One unit of work shipped to a shard. Owns the packet bytes (the
+/// view's spans point into `pkt.data`, which moves with the item).
+struct ParallelAnalyzer::Item {
+  enum class Kind : std::uint8_t {
+    Full,      ///< full analysis on the owner shard
+    StunOnly,  ///< broadcast copy: register the P2P candidate only
+  };
+  std::uint64_t seq = 0;
+  Kind kind = Kind::Full;
+  net::RawPacket pkt;
+  net::PacketView view;
+};
+
+struct ParallelAnalyzer::Shard {
+  Shard(const core::AnalyzerConfig& cfg, std::size_t ring_capacity)
+      : analyzer(cfg), ring(ring_capacity) {
+    analyzer.set_shard_journal(&journal);
+  }
+
+  void run() {
+    while (auto item = ring.pop()) {
+      journal.seq = item->seq;
+      if (item->kind == Item::Kind::Full) {
+        analyzer.process(item->view);
+      } else {
+        analyzer.register_stun_candidate(item->view);
+      }
+    }
+  }
+
+  core::Analyzer analyzer;
+  core::ShardJournal journal;
+  util::SpscRing<Item> ring;
+  std::thread thread;
+};
+
+ParallelAnalyzer::ParallelAnalyzer(ParallelAnalyzerConfig config)
+    : config_(std::move(config)) {
+  std::size_t n = config_.shards > 0 ? config_.shards : 1;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    shards_.push_back(
+        std::make_unique<Shard>(config_.analyzer, config_.ring_capacity));
+  for (auto& shard : shards_)
+    shard->thread = std::thread([s = shard.get()] { s->run(); });
+}
+
+ParallelAnalyzer::~ParallelAnalyzer() {
+  if (!finished_) {
+    for (auto& shard : shards_) shard->ring.close();
+    for (auto& shard : shards_)
+      if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+void ParallelAnalyzer::offer(net::RawPacket pkt) {
+  const std::uint64_t seq = next_seq_++;
+  auto view = net::decode_packet(pkt);
+  if (!view) {
+    // The serial offer() counts every raw packet before decoding.
+    ++undecoded_packets_;
+    undecoded_bytes_ += pkt.data.size();
+    return;
+  }
+
+  const auto& db = config_.analyzer.server_db;
+  // STUN pre-flight exchanges announce P2P candidate endpoints that a
+  // later flow on *any* shard may need (§4.1): broadcast them. The
+  // predicate mirrors Analyzer::process_decoded's STUN branch.
+  bool src_is_server = db.contains(view->ip.src);
+  bool dst_is_server = db.contains(view->ip.dst);
+  bool stun_exchange =
+      view->l4 == net::L4Proto::Udp &&
+      ((dst_is_server && view->udp.dst_port == zoom::kStunServerPort) ||
+       (src_is_server && view->udp.src_port == zoom::kStunServerPort));
+
+  std::size_t owner =
+      std::hash<net::FiveTuple>{}(view->five_tuple().canonical()) % shards_.size();
+
+  if (stun_exchange) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (i == owner) continue;
+      Item copy;
+      copy.seq = seq;
+      copy.kind = Item::Kind::StunOnly;
+      copy.pkt = net::RawPacket{pkt.ts, pkt.data};
+      auto copy_view = net::decode_packet(copy.pkt);
+      if (!copy_view) continue;  // unreachable: the original decoded
+      copy.view = *copy_view;
+      shards_[i]->ring.push(std::move(copy));
+    }
+  }
+
+  Item item;
+  item.seq = seq;
+  item.kind = Item::Kind::Full;
+  item.pkt = std::move(pkt);  // the vector move keeps the view's spans valid
+  item.view = *view;
+  shards_[owner]->ring.push(std::move(item));
+}
+
+void ParallelAnalyzer::finish() {
+  if (finished_) return;
+  for (auto& shard : shards_) shard->ring.close();
+  for (auto& shard : shards_) shard->thread.join();
+
+  counters_ = core::AnalyzerCounters{};
+  counters_.total_packets = undecoded_packets_;
+  counters_.total_bytes = undecoded_bytes_;
+  zoom_flow_count_ = 0;
+  for (auto& shard : shards_) {
+    counters_.merge(shard->analyzer.counters());
+    zoom_flow_count_ += shard->analyzer.zoom_flow_count();
+  }
+
+  replay_journals();
+
+  // Metrics finish after the replay so deferred RTT samples fold into
+  // their per-second bins.
+  for (auto& shard : shards_) shard->analyzer.finish();
+
+  for (auto& shard : shards_)
+    for (const auto& [flow, estimator] : shard->analyzer.tcp_rtt())
+      tcp_rtt_.emplace(flow, estimator);
+
+  finished_ = true;
+}
+
+void ParallelAnalyzer::replay_journals() {
+  // Per-stream state the duplicate-media match reads (§4.3 step 1),
+  // rebuilt across shards in global creation order.
+  struct MergedStream {
+    core::StreamInfo* info = nullptr;
+    std::int64_t last_ext_rtp_ts = 0;
+    util::Timestamp last_seen;
+  };
+  std::vector<MergedStream> merged;
+  std::vector<std::vector<std::size_t>> local_to_merged(shards_.size());
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_ssrc;
+  metrics::RtpCopyMatcher matcher;
+  const core::DuplicateMatchConfig& dup = config_.analyzer.duplicate_match;
+
+  std::vector<std::size_t> pos(shards_.size(), 0);
+  for (;;) {
+    // Pick the shard holding the globally-next event; per-shard journals
+    // are already in ascending packet order, so this is a k-way merge.
+    std::size_t best = shards_.size();
+    std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const auto& events = shards_[i]->journal.events;
+      if (pos[i] < events.size() && events[pos[i]].seq < best_seq) {
+        best = i;
+        best_seq = events[pos[i]].seq;
+      }
+    }
+    if (best == shards_.size()) break;
+
+    const core::ShardJournal::Event& ev = shards_[best]->journal.events[pos[best]++];
+    auto& shard_streams = shards_[best]->analyzer.streams().streams();
+
+    if (const auto* create = std::get_if<core::ShardJournal::StreamCreate>(&ev.data)) {
+      core::StreamInfo* info = shard_streams[ev.stream].get();
+      // Same match rules as StreamTable::get_or_create, now against the
+      // merged cross-shard state.
+      std::optional<std::uint64_t> matched_media_id;
+      if (auto it = by_ssrc.find(info->key.ssrc); it != by_ssrc.end()) {
+        for (std::size_t idx : it->second) {
+          const MergedStream& other = merged[idx];
+          if (other.info->key.flow == create->flow) continue;
+          if (other.info->kind != create->kind) continue;
+          if (ev.ts - other.last_seen > dup.max_wall_gap) continue;
+          if (dup.require_timestamp_match) {
+            std::int64_t delta = std::llabs(util::serial_diff(
+                static_cast<std::uint32_t>(other.last_ext_rtp_ts),
+                create->first_rtp_ts));
+            if (delta > dup.max_rtp_ts_delta) continue;
+          }
+          matched_media_id = other.info->media_id;
+          break;
+        }
+      }
+      info->media_id = matched_media_id ? *matched_media_id : next_media_id_++;
+      info->meeting_id =
+          grouper_.assign(info->media_id, create->client_ip, create->client_port,
+                          ev.ts, create->is_p2p, create->peer);
+      info->index = merged.size();
+      by_ssrc[info->key.ssrc].push_back(merged.size());
+      local_to_merged[best].push_back(merged.size());
+      merged.push_back(MergedStream{info, create->ext_rtp_ts, ev.ts});
+      streams_.push_back(info);
+    } else if (const auto* touch =
+                   std::get_if<core::ShardJournal::StreamTouch>(&ev.data)) {
+      MergedStream& ms = merged[local_to_merged[best][ev.stream]];
+      ms.last_ext_rtp_ts = touch->ext_rtp_ts;
+      ms.last_seen = touch->last_seen;
+      grouper_.touch(ms.info->meeting_id, ev.ts);
+    } else if (const auto* egress =
+                   std::get_if<core::ShardJournal::RtpEgress>(&ev.data)) {
+      matcher.on_egress(ev.ts, egress->ssrc, egress->rtp_seq, egress->rtp_ts);
+    } else if (const auto* ingress =
+                   std::get_if<core::ShardJournal::RtpIngress>(&ev.data)) {
+      if (auto sample = matcher.on_ingress(ev.ts, ingress->ssrc, ingress->rtp_seq,
+                                           ingress->rtp_ts)) {
+        MergedStream& ms = merged[local_to_merged[best][ev.stream]];
+        ms.info->metrics->on_rtt_sample(*sample);
+        grouper_.add_rtt_sample(ms.info->meeting_id, *sample);
+      }
+    }
+  }
+
+  sfu_rtt_samples_ = matcher.samples();
+}
+
+}  // namespace zpm::pipeline

@@ -1,0 +1,123 @@
+// Flow-sharded parallel analysis pipeline.
+//
+// The paper's campus deployment pushed 1.8B packets through the
+// analysis tools in 12 hours; a single-threaded per-packet loop caps
+// well short of that. This module scales `core::Analyzer` across cores
+// with the classic capture-pipeline split (cf. CoMo): a producer stage
+// decodes raw frames and dispatches each packet by
+// hash(five_tuple().canonical()) % N over lock-free SPSC rings to N
+// worker shards, each owning a private Analyzer — all per-flow,
+// per-stream and per-meeting state stays thread-local, so the hot path
+// takes zero locks.
+//
+// Two kinds of state are not 5-tuple-local and get special treatment:
+//   * STUN-announced P2P candidates are keyed by endpoint (§4.1); the
+//     dispatcher broadcasts STUN exchanges to every shard (candidate
+//     registration only — the owner shard alone counts the packet).
+//   * Duplicate-media grouping (§4.3), meeting grouping and SFU RTT
+//     copy-matching (§5.3 M1) span flows; shards journal those
+//     operations (core::ShardJournal) and finish() replays all journals
+//     in global packet order through one MeetingGrouper/RtpCopyMatcher.
+//
+// The replay makes the merged result *bit-identical* to the serial
+// Analyzer on the same trace — the correctness contract, enforced by
+// tests/test_parallel_pipeline.cc.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "net/packet.h"
+#include "util/spsc_ring.h"
+
+namespace zpm::pipeline {
+
+/// Parallel pipeline configuration.
+struct ParallelAnalyzerConfig {
+  /// Per-shard analyzer configuration (identical across shards).
+  core::AnalyzerConfig analyzer;
+  /// Worker shard count. 1 still runs the full dispatch/merge machinery
+  /// (useful for testing); use core::Analyzer directly for a serial path.
+  std::size_t shards = 4;
+  /// Per-shard ring capacity in packets (rounded up to a power of two).
+  std::size_t ring_capacity = 1 << 13;
+};
+
+/// See file comment.
+class ParallelAnalyzer {
+ public:
+  explicit ParallelAnalyzer(ParallelAnalyzerConfig config);
+  /// Joins workers; safe after finish().
+  ~ParallelAnalyzer();
+
+  ParallelAnalyzer(const ParallelAnalyzer&) = delete;
+  ParallelAnalyzer& operator=(const ParallelAnalyzer&) = delete;
+
+  /// Offers one raw captured frame (producer thread only). The packet
+  /// is decoded here and shipped to its owner shard; recognition
+  /// results are only available after finish().
+  void offer(net::RawPacket pkt);
+
+  /// Closes the rings, joins the workers and runs the merge step. Must
+  /// be called exactly once, after the last offer().
+  void finish();
+
+  // --- Results (valid after finish()) ---------------------------------
+
+  /// Merged trace-wide counters (bit-identical to serial).
+  [[nodiscard]] const core::AnalyzerCounters& counters() const { return counters_; }
+  /// All streams in global creation order (the serial Analyzer's order);
+  /// media/meeting ids are the re-grouped global ones.
+  [[nodiscard]] const std::vector<core::StreamInfo*>& streams() const {
+    return streams_;
+  }
+  /// Distinct media ids after cross-shard duplicate re-grouping.
+  [[nodiscard]] std::uint64_t media_count() const { return next_media_id_; }
+  /// The merged meeting grouper.
+  [[nodiscard]] const core::MeetingGrouper& meetings() const { return grouper_; }
+  /// Distinct Zoom flows (canonical 5-tuples) across all shards.
+  [[nodiscard]] std::size_t zoom_flow_count() const { return zoom_flow_count_; }
+  /// §5.3 method-1 RTT samples from the global replay, trace-wide.
+  [[nodiscard]] const std::vector<metrics::RttSample>& sfu_rtt_samples() const {
+    return sfu_rtt_samples_;
+  }
+  /// TCP control-connection RTT estimators merged across shards.
+  [[nodiscard]] const std::unordered_map<net::FiveTuple, metrics::TcpRttEstimator>&
+  tcp_rtt() const {
+    return tcp_rtt_;
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Item;
+  struct Shard;
+
+  void dispatch(std::size_t shard, Item item);
+  void replay_journals();
+
+  ParallelAnalyzerConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t next_seq_ = 0;
+  bool finished_ = false;
+
+  // Packets the producer could not decode still count toward totals
+  // (the serial offer() counts them before decoding).
+  std::uint64_t undecoded_packets_ = 0;
+  std::uint64_t undecoded_bytes_ = 0;
+
+  // Merged results.
+  core::AnalyzerCounters counters_;
+  core::MeetingGrouper grouper_;
+  std::vector<core::StreamInfo*> streams_;
+  std::uint64_t next_media_id_ = 0;
+  std::size_t zoom_flow_count_ = 0;
+  std::vector<metrics::RttSample> sfu_rtt_samples_;
+  std::unordered_map<net::FiveTuple, metrics::TcpRttEstimator> tcp_rtt_;
+};
+
+}  // namespace zpm::pipeline

@@ -117,5 +117,42 @@ TEST(CampusRun, SamplesCarryDistributionShapes) {
   }
 }
 
+TEST(CampusRun, ShardedRunMatchesSerial) {
+  // analysis_threads routes through pipeline::ParallelAnalyzer; the full
+  // driver output (filter + anonymization + extraction included) must
+  // not change.
+  CampusRunConfig config;
+  config.campus.seed = 7;
+  config.campus.duration = util::Duration::seconds(900);
+  config.campus.meetings_per_peak_hour = 40.0;
+  config.campus.background_ratio = 0.5;
+  config.frame_sample_every = 2;
+  const CampusRunResult serial = run_campus(config);
+  config.analysis_threads = 3;
+  const CampusRunResult sharded = run_campus(config);
+
+  EXPECT_EQ(serial.counters, sharded.counters);
+  EXPECT_EQ(serial.stream_count, sharded.stream_count);
+  EXPECT_EQ(serial.media_count, sharded.media_count);
+  EXPECT_EQ(serial.meeting_count, sharded.meeting_count);
+  EXPECT_EQ(serial.zoom_flow_count, sharded.zoom_flow_count);
+  ASSERT_EQ(serial.samples.size(), sharded.samples.size());
+  for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+    EXPECT_EQ(serial.samples[i].kind, sharded.samples[i].kind) << i;
+    EXPECT_EQ(serial.samples[i].media_bitrate_bps,
+              sharded.samples[i].media_bitrate_bps) << i;
+    EXPECT_EQ(serial.samples[i].frame_rate, sharded.samples[i].frame_rate) << i;
+    EXPECT_EQ(serial.samples[i].avg_frame_bytes,
+              sharded.samples[i].avg_frame_bytes) << i;
+    EXPECT_EQ(serial.samples[i].jitter_ms, sharded.samples[i].jitter_ms) << i;
+  }
+  ASSERT_EQ(serial.frame_sizes.size(), sharded.frame_sizes.size());
+  for (const auto& [kind, sizes] : serial.frame_sizes) {
+    auto it = sharded.frame_sizes.find(kind);
+    ASSERT_NE(it, sharded.frame_sizes.end());
+    EXPECT_EQ(sizes, it->second);
+  }
+}
+
 }  // namespace
 }  // namespace zpm::analysis

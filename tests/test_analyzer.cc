@@ -20,7 +20,6 @@ const net::Ipv4Addr kPeer(98, 0, 0, 9);        // off-campus P2P peer
 
 AnalyzerConfig config() {
   AnalyzerConfig c;
-  c.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
   return c;
 }
 

@@ -27,7 +27,6 @@ sim::ParticipantConfig participant(std::uint8_t host, bool on_campus) {
 
 core::AnalyzerConfig analyzer_config() {
   core::AnalyzerConfig c;
-  c.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
   return c;
 }
 
@@ -259,8 +258,6 @@ TEST(Integration, AnonymizationIsTransparentToAnalysis) {
 
   capture::PrefixPreservingAnonymizer anon(0xfeedface);
   core::AnalyzerConfig anon_cfg;
-  anon_cfg.campus_subnets = {net::Ipv4Subnet(
-      anon.anonymize(net::Ipv4Addr(10, 8, 0, 0)), 16)};
   std::vector<net::Ipv4Subnet> anon_servers;
   for (const auto& subnet : zoom::ServerDb::official().subnets())
     anon_servers.emplace_back(anon.anonymize(subnet.base()), subnet.prefix_len());

@@ -280,7 +280,6 @@ class AnalyzerFuzzProperty : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(AnalyzerFuzzProperty, MutatedFramesNeverCrashAnalyzer) {
   util::Rng rng(GetParam());
   core::AnalyzerConfig cfg;
-  cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
   core::Analyzer analyzer(cfg);
   sim::MediaPacketSpec spec;
   spec.encap_type = zoom::MediaEncapType::Audio;

@@ -1,0 +1,118 @@
+// The SPSC ring under the parallel pipeline: capacity rounding,
+// wraparound, close/drain semantics and a cross-thread checksum stress.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "util/spsc_ring.h"
+
+namespace zpm::util {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_GE(SpscRing<int>(0).capacity(), 2u);
+}
+
+TEST(SpscRing, TryPushFailsOnlyWhenFull) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(int{i}));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_FALSE(ring.try_push(99));
+  int out = -1;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(4));  // the pop freed a slot
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<std::uint64_t> ring(4);
+  std::uint64_t next_expected = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(std::uint64_t{i}));
+    if (i % 3 == 2) {
+      std::uint64_t v = 0;
+      while (ring.try_pop(v)) EXPECT_EQ(v, next_expected++);
+    }
+  }
+  std::uint64_t v = 0;
+  while (ring.try_pop(v)) EXPECT_EQ(v, next_expected++);
+  EXPECT_EQ(next_expected, 1000u);
+}
+
+TEST(SpscRing, CloseDrainsRemainingItemsThenStops) {
+  SpscRing<int> ring(8);
+  ring.push(1);
+  ring.push(2);
+  ring.close();
+  EXPECT_TRUE(ring.closed());
+  auto a = ring.pop();
+  auto b = ring.pop();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_FALSE(ring.pop());
+  EXPECT_FALSE(ring.pop());  // stays empty/closed
+}
+
+TEST(SpscRing, PopBlocksUntilPushOrClose) {
+  SpscRing<int> ring(8);
+  std::thread producer([&ring] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ring.push(42);
+    ring.close();
+  });
+  auto v = ring.pop();  // blocks until the producer delivers
+  ASSERT_TRUE(v);
+  EXPECT_EQ(*v, 42);
+  EXPECT_FALSE(ring.pop());
+  producer.join();
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  ring.push(std::make_unique<int>(7));
+  auto v = ring.pop();
+  ASSERT_TRUE(v && *v);
+  EXPECT_EQ(**v, 7);
+}
+
+TEST(SpscRing, MillionItemChecksumAcrossThreads) {
+  constexpr std::uint64_t kItems = 1'000'000;
+  constexpr std::uint64_t kMix = 0x9E3779B97F4A7C15ull;
+  std::uint64_t want_sum = 0, want_xor = 0;
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    want_sum += i * kMix;
+    want_xor ^= i * kMix;
+  }
+
+  SpscRing<std::uint64_t> ring(1024);  // small: forces constant wraparound
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kItems; ++i) ring.push(i * kMix);
+    ring.close();
+  });
+  std::uint64_t sum = 0, xr = 0, count = 0;
+  std::uint64_t prev_index = 0;
+  bool in_order = true;
+  while (auto v = ring.pop()) {
+    sum += *v;
+    xr ^= *v;
+    // FIFO check: items were pushed as i * kMix with i ascending.
+    if (count > 0 && *v != (prev_index + 1) * kMix) in_order = false;
+    prev_index = count;
+    ++count;
+  }
+  producer.join();
+
+  EXPECT_EQ(count, kItems);
+  EXPECT_EQ(sum, want_sum);
+  EXPECT_EQ(xr, want_xor);
+  EXPECT_TRUE(in_order);
+}
+
+}  // namespace
+}  // namespace zpm::util
