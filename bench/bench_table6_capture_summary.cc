@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "analysis/campus_run.h"
+#include "analysis/tables.h"
 #include "bench_common.h"
 
 using namespace zpm;
@@ -32,6 +33,20 @@ int main() {
   table.row({"  (distinct media)", util::with_commas(run.media_count), "n/a"});
   table.row({"Meetings observed", util::with_commas(run.meeting_count), "n/a"});
   std::printf("%s\n", table.render().c_str());
+
+  if (run.health.all_clear()) {
+    std::printf("analyzer health: all clear (every record fully analyzed)\n\n");
+  } else {
+    util::TextTable health;
+    health.header({"Health counter", "Records", "Dropped?"},
+                  {util::Align::Left, util::Align::Right, util::Align::Left});
+    for (const auto& row : analysis::health_rows(run.health))
+      health.row({std::string(row.category), util::with_commas(row.count),
+                  row.dropped ? "yes" : "no"});
+    std::printf("analyzer health (%s records dropped):\n%s\n",
+                util::with_commas(run.health.dropped_records()).c_str(),
+                health.render().c_str());
+  }
 
   std::printf("shape: absolute volume scales with ZPM_CAMPUS_SCALE; the\n");
   std::printf("streams-per-flow and bytes-per-packet ratios are comparable:\n");

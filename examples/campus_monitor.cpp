@@ -86,5 +86,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(c.zoom_packets),
               util::human_bytes(c.zoom_bytes).c_str(),
               analyzer.meetings().meeting_count(), analyzer.streams().size());
+  const auto& h = analyzer.health();
+  if (h.all_clear()) {
+    std::printf("analyzer health: all clear\n");
+  } else {
+    std::printf("analyzer health: %llu records dropped "
+                "(%llu L2-L4, %llu Zoom-layer, %llu quarantined)\n",
+                static_cast<unsigned long long>(h.dropped_records()),
+                static_cast<unsigned long long>(h.truncated_l2 + h.bad_l3 + h.bad_l4),
+                static_cast<unsigned long long>(h.bad_sfu_encap + h.bad_media_encap +
+                                                h.malformed_rtp + h.malformed_rtcp +
+                                                h.malformed_stun),
+                static_cast<unsigned long long>(h.quarantined_packets));
+  }
   return 0;
 }

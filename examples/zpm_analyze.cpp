@@ -15,6 +15,14 @@
 //                     (zpm_pcap_filter default 5eedcafef00dd00d); the
 //                     server subnets are mapped through the same
 //                     prefix-preserving function so detection still works
+//   --strict          exit 3 at the first malformed record instead of
+//                     counting it in the health section
+//   --corrupt <seed>  run the input through the hostile fault-injection
+//                     mix (sim/corruptor.h) before analysis — robustness
+//                     demos and health-accounting checks
+//
+// Exit codes: 0 analyzed, 1 unreadable/empty/garbage input, 2 usage,
+// 3 strict-mode violation.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +36,7 @@
 #include "core/analyzer.h"
 #include "net/pcapng.h"
 #include "pipeline/parallel_analyzer.h"
+#include "sim/corruptor.h"
 #include "sim/meeting.h"
 #include "util/csv.h"
 #include "util/strings.h"
@@ -41,6 +50,7 @@ namespace {
 /// sharded paths. Stream/meeting pointers stay owned by the analyzer.
 struct AnalysisOutput {
   core::AnalyzerCounters counters;
+  core::AnalyzerHealth health;
   std::vector<const core::StreamInfo*> streams;
   const core::MeetingGrouper* meetings = nullptr;
 };
@@ -186,6 +196,21 @@ void print_report(const AnalysisOutput& out) {
            std::to_string(s->metrics->stall().stall_events())});
   }
   std::printf("%s", t.render().c_str());
+
+  std::printf("\n== analyzer health =============================================\n");
+  if (out.health.all_clear()) {
+    std::printf("all clear: every record was fully analyzed\n");
+  } else {
+    util::TextTable health;
+    health.header({"Counter", "Records", "Dropped?"},
+                  {util::Align::Left, util::Align::Right, util::Align::Left});
+    for (const auto& row : analysis::health_rows(out.health))
+      health.row({std::string(row.category), util::with_commas(row.count),
+                  row.dropped ? "yes" : "no"});
+    std::printf("%s", health.render().c_str());
+    std::printf("%s records dropped or quarantined; see docs/ROBUSTNESS.md\n",
+                util::with_commas(out.health.dropped_records()).c_str());
+  }
 }
 
 }  // namespace
@@ -194,7 +219,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <capture.pcap[ng]>|--demo [--threads <n>]\n"
-                 "          [--csv <prefix>] [--p2p-timeout <s>] [--anon-key <hex>]\n",
+                 "          [--csv <prefix>] [--p2p-timeout <s>] [--anon-key <hex>]\n"
+                 "          [--strict] [--corrupt <seed>]\n",
                  argv[0]);
     return 2;
   }
@@ -203,6 +229,8 @@ int main(int argc, char** argv) {
   double p2p_timeout_s = 60.0;
   std::size_t threads = 1;
   std::optional<std::uint64_t> anon_key;
+  bool strict = false;
+  std::optional<std::uint64_t> corrupt_seed;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -216,6 +244,10 @@ int main(int argc, char** argv) {
       p2p_timeout_s = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--anon-key") && i + 1 < argc) {
       anon_key = std::strtoull(argv[++i], nullptr, 16);
+    } else if (!std::strcmp(argv[i], "--strict")) {
+      strict = true;
+    } else if (!std::strcmp(argv[i], "--corrupt") && i + 1 < argc) {
+      corrupt_seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
@@ -224,6 +256,7 @@ int main(int argc, char** argv) {
 
   core::AnalyzerConfig cfg;
   cfg.p2p_timeout = util::Duration::seconds(p2p_timeout_s);
+  cfg.strict = strict;
   if (anon_key) {
     // The capture's addresses were rewritten prefix-preservingly; map
     // our subnet knowledge through the same function.
@@ -253,6 +286,7 @@ int main(int argc, char** argv) {
       serial->offer(pkt);
   };
 
+  const sim::CorruptionStats* corruption = nullptr;
   if (input == "--demo") {
     sim::MeetingConfig mc;
     mc.seed = 21;
@@ -265,33 +299,96 @@ int main(int argc, char** argv) {
     c.on_campus = false;
     b.send_screen_share = true;
     mc.participants = {a, b, c};
+    if (corrupt_seed) mc.corruption = sim::CorruptorConfig::hostile(*corrupt_seed);
     sim::MeetingSim sim(mc);
     while (auto pkt = sim.next_packet()) offer(*pkt);
+    corruption = sim.corruption_stats();
   } else {
     auto source = net::open_capture(input);
     if (!source) {
-      std::fprintf(stderr, "cannot open %s (not pcap/pcapng?)\n", input.c_str());
+      std::fprintf(stderr, "error: cannot open %s (unreadable, empty, or not "
+                   "pcap/pcapng)\n", input.c_str());
       return 1;
     }
-    while (auto pkt = source->next()) offer(*pkt);
+    // Capture cuts need a trace extent the file does not announce;
+    // the other hostile impairments all apply record-by-record.
+    std::optional<sim::CorruptionQueue> corruptor;
+    if (corrupt_seed)
+      corruptor.emplace(sim::CorruptorConfig::hostile(*corrupt_seed));
+    std::uint64_t records = 0;
+    auto pull = [&] { return source->next(); };
+    for (;;) {
+      auto pkt = corruptor ? corruptor->next(pull) : pull();
+      if (!pkt) break;
+      ++records;
+      offer(*pkt);
+    }
+    if (corruptor) corruption = &corruptor->corruptor().stats();
+    if (records == 0) {
+      std::fprintf(stderr, "error: %s: %s\n", input.c_str(),
+                   source->ok() ? "capture contains no records"
+                                : source->error().c_str());
+      return 1;
+    }
     if (!source->ok()) {
       std::fprintf(stderr, "warning: capture ended with error: %s\n",
                    source->error().c_str());
     }
+    if (corruption) {
+      // The queue dies with this scope; keep the tallies alive for the
+      // report below.
+      static sim::CorruptionStats saved;
+      saved = *corruption;
+      corruption = &saved;
+    }
   }
 
   AnalysisOutput out;
+  std::optional<core::StrictViolation> violation;
   if (parallel) {
     parallel->finish();
     out.counters = parallel->counters();
+    out.health = parallel->health();
+    violation = parallel->strict_violation();
     out.streams.assign(parallel->streams().begin(), parallel->streams().end());
     out.meetings = &parallel->meetings();
   } else {
     serial->finish();
     out.counters = serial->counters();
+    out.health = serial->health();
+    violation = serial->strict_violation();
     out.streams.reserve(serial->streams().streams().size());
     for (const auto& s : serial->streams().streams()) out.streams.push_back(s.get());
     out.meetings = &serial->meetings();
+  }
+
+  if (violation) {
+    std::fprintf(stderr,
+                 "strict: malformed record (%.*s) at packet %llu, t=%.6f s\n",
+                 static_cast<int>(violation->category.size()),
+                 violation->category.data(),
+                 static_cast<unsigned long long>(violation->sequence),
+                 violation->ts.sec());
+    return 3;
+  }
+
+  if (corruption) {
+    const auto& cs = *corruption;
+    std::printf("== fault injection (seed %llu) =================================\n",
+                static_cast<unsigned long long>(*corrupt_seed));
+    std::printf("offered %llu -> emitted %llu | truncated %llu | header flips %llu\n"
+                "payload flips %llu | dropped %llu | cut %llu | duplicated %llu\n"
+                "ts regressions %llu | look-alikes %llu\n\n",
+                static_cast<unsigned long long>(cs.offered),
+                static_cast<unsigned long long>(cs.emitted),
+                static_cast<unsigned long long>(cs.truncated),
+                static_cast<unsigned long long>(cs.header_flips),
+                static_cast<unsigned long long>(cs.payload_flips),
+                static_cast<unsigned long long>(cs.dropped),
+                static_cast<unsigned long long>(cs.cut_dropped),
+                static_cast<unsigned long long>(cs.duplicated),
+                static_cast<unsigned long long>(cs.ts_regressions),
+                static_cast<unsigned long long>(cs.lookalikes_injected));
   }
 
   print_report(out);

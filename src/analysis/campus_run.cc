@@ -74,6 +74,7 @@ CampusRunResult run_campus(const CampusRunConfig& config) {
 
   core::AnalyzerConfig an_cfg;
   an_cfg.frame_sample_every = config.frame_sample_every;
+  an_cfg.strict = config.strict;
   if (config.anonymize) {
     capture::PrefixPreservingAnonymizer anon(cap_cfg.anonymization_key);
     an_cfg.server_db =
@@ -109,6 +110,8 @@ CampusRunResult run_campus(const CampusRunConfig& config) {
     result.media_count = analyzer.media_count();
     result.meeting_count = analyzer.meetings().meeting_count();
     result.zoom_flow_count = analyzer.zoom_flow_count();
+    result.health = analyzer.health();
+    result.strict_violation = analyzer.strict_violation();
     streams.assign(analyzer.streams().begin(), analyzer.streams().end());
     extract_streams(streams, config.rate_bin, result);
   } else {
@@ -121,6 +124,8 @@ CampusRunResult run_campus(const CampusRunConfig& config) {
     result.media_count = analyzer.streams().media_count();
     result.meeting_count = analyzer.meetings().meeting_count();
     result.zoom_flow_count = analyzer.zoom_flow_count();
+    result.health = analyzer.health();
+    result.strict_violation = analyzer.strict_violation();
     streams.reserve(analyzer.streams().streams().size());
     for (const auto& s : analyzer.streams().streams()) streams.push_back(s.get());
     extract_streams(streams, config.rate_bin, result);
@@ -128,6 +133,7 @@ CampusRunResult run_campus(const CampusRunConfig& config) {
 
   result.sim_summary = campus.summary();
   result.capture = filter.counters();
+  if (const auto* stats = campus.corruption_stats()) result.corruption = *stats;
   result.all_packet_rate = all_rate.series();
   result.zoom_packet_rate = zoom_rate.series();
   return result;

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "capture/filter.h"
@@ -29,6 +30,9 @@ struct CampusRunConfig {
   /// Analyzer shards. 1 = legacy serial path; >1 routes packets through
   /// pipeline::ParallelAnalyzer (results are bit-identical either way).
   std::size_t analysis_threads = 1;
+  /// Abort analysis at the first malformed record (core::AnalyzerConfig
+  /// strict mode); the violation lands in CampusRunResult.
+  bool strict = false;
 };
 
 /// Compact per-second per-stream sample used by the distribution
@@ -50,6 +54,13 @@ struct CampusRunResult {
   std::uint64_t media_count = 0;  // distinct media ids
   std::size_t meeting_count = 0;
   std::size_t zoom_flow_count = 0;  // distinct canonical 5-tuples
+
+  /// Per-category drop/distrust accounting; all_clear() on clean traces.
+  core::AnalyzerHealth health;
+  /// First malformed record when config.strict fired.
+  std::optional<core::StrictViolation> strict_violation;
+  /// What the fault injector did when campus.corruption was set.
+  std::optional<sim::CorruptionStats> corruption;
 
   /// All per-second stream samples (Fig. 15/16 distributions).
   std::vector<SampleRow> samples;

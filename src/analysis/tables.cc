@@ -83,4 +83,42 @@ std::vector<PayloadTypeRow> table3_rows(const core::AnalyzerCounters& counters) 
   return rows;
 }
 
+std::vector<HealthRow> health_rows(const core::AnalyzerHealth& h) {
+  std::vector<HealthRow> rows;
+  auto add = [&](std::string_view category, std::string_view description,
+                 std::uint64_t count, bool dropped) {
+    if (count > 0) rows.push_back(HealthRow{category, description, count, dropped});
+  };
+  add("truncated-l2", "frame shorter than an Ethernet header", h.truncated_l2, true);
+  add("non-ipv4", "non-IPv4 ethertype (ARP/IPv6/...; benign)", h.non_ipv4, false);
+  add("bad-l3", "truncated or inconsistent IPv4 header", h.bad_l3, true);
+  add("ip-fragments", "non-first IP fragments (no L4 header)", h.ip_fragments, false);
+  add("unsupported-l4", "IP protocol other than UDP/TCP (benign)", h.unsupported_l4,
+      false);
+  add("bad-l4", "truncated or inconsistent UDP/TCP header", h.bad_l4, true);
+  add("snaplen-truncated", "captured bytes < reported wire length",
+      h.snaplen_truncated, false);
+  add("non-monotonic-ts", "timestamp regressed vs. previous record",
+      h.non_monotonic_ts, false);
+  add("bad-sfu-encap", "server payload below the 8-byte SFU encap", h.bad_sfu_encap,
+      true);
+  add("bad-media-encap", "known encap type with truncated header", h.bad_media_encap,
+      true);
+  add("malformed-rtp", "media encap promised RTP, parse failed", h.malformed_rtp,
+      true);
+  add("malformed-rtcp", "RTCP encap with empty compound parse", h.malformed_rtcp,
+      true);
+  add("malformed-stun", "port-3478 exchange that is not STUN", h.malformed_stun,
+      true);
+  add("unknown-payload-type", "RTP payload type outside Table 3",
+      h.unknown_payload_type, false);
+  add("quarantined-flows", "flows exceeding the malformed-streak threshold",
+      h.quarantined_flows, false);
+  add("quarantined-packets", "packets skipped on quarantined flows",
+      h.quarantined_packets, true);
+  add("ring-wait-spins", "producer spins on a full shard ring (timing-dependent)",
+      h.ring_wait_spins, false);
+  return rows;
+}
+
 }  // namespace zpm::analysis

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/analyzer.h"
@@ -32,5 +33,17 @@ struct PayloadTypeRow {
 
 /// Builds Table 3 rows, ordered by packet share.
 std::vector<PayloadTypeRow> table3_rows(const core::AnalyzerCounters& counters);
+
+/// One row of the analyzer-health table (one non-zero health counter).
+struct HealthRow {
+  std::string_view category;     // stable kebab-case counter name
+  std::string_view description;  // one-line operator explanation
+  std::uint64_t count = 0;
+  bool dropped = false;  // counts toward AnalyzerHealth::dropped_records()
+};
+
+/// Non-zero health counters in struct declaration order; empty exactly
+/// when health.all_clear().
+std::vector<HealthRow> health_rows(const core::AnalyzerHealth& health);
 
 }  // namespace zpm::analysis

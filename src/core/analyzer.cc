@@ -2,6 +2,18 @@
 
 namespace zpm::core {
 
+namespace {
+
+/// Flaws that indicate mangled bytes (as opposed to merely
+/// undocumented-but-well-formed traffic); these feed quarantine.
+bool is_malformed(zoom::DissectFlaw flaw) {
+  return flaw == zoom::DissectFlaw::TruncatedSfu ||
+         flaw == zoom::DissectFlaw::TruncatedMediaEncap ||
+         flaw == zoom::DissectFlaw::BadRtp || flaw == zoom::DissectFlaw::BadRtcp;
+}
+
+}  // namespace
+
 Analyzer::Analyzer(AnalyzerConfig config)
     : config_(std::move(config)),
       p2p_(config_.p2p_timeout),
@@ -42,17 +54,86 @@ void AnalyzerCounters::merge(const AnalyzerCounters& other) {
   }
 }
 
+void Analyzer::flag(std::uint64_t AnalyzerHealth::* field,
+                    std::string_view category, util::Timestamp ts) {
+  ++(health_.*field);
+  if (config_.strict && !violation_) {
+    // Sequence numbers are 1-based offer indices; in sharded mode the
+    // journal carries the dispatcher's 0-based global sequence.
+    violation_ = StrictViolation{
+        category, journal_ ? journal_->seq + 1 : counters_.total_packets, ts};
+  }
+}
+
+void Analyzer::note_decode_failure(net::DecodeFailure df, util::Timestamp ts) {
+  std::string_view category = apply_decode_failure(health_, df);
+  if (!category.empty() && config_.strict && !violation_)
+    violation_ = StrictViolation{category, counters_.total_packets, ts};
+}
+
+void Analyzer::note_dissect_flaw(zoom::DissectFlaw flaw, util::Timestamp ts) {
+  switch (flaw) {
+    // Undocumented type bytes are expected wild traffic, not corruption.
+    case zoom::DissectFlaw::None:
+    case zoom::DissectFlaw::UnknownMediaType:
+      return;
+    case zoom::DissectFlaw::TruncatedSfu:
+      flag(&AnalyzerHealth::bad_sfu_encap, "bad-sfu-encap", ts);
+      return;
+    case zoom::DissectFlaw::TruncatedMediaEncap:
+      flag(&AnalyzerHealth::bad_media_encap, "bad-media-encap", ts);
+      return;
+    case zoom::DissectFlaw::BadRtp:
+      flag(&AnalyzerHealth::malformed_rtp, "malformed-rtp", ts);
+      return;
+    case zoom::DissectFlaw::BadRtcp:
+      flag(&AnalyzerHealth::malformed_rtcp, "malformed-rtcp", ts);
+      return;
+  }
+}
+
+void Analyzer::note_stream_order(util::Timestamp ts) {
+  if (last_offer_ts_ && ts < *last_offer_ts_) ++health_.non_monotonic_ts;
+  last_offer_ts_ = ts;
+}
+
+void Analyzer::note_flow_quality(const net::FiveTuple& flow, bool malformed,
+                                 util::Timestamp ts) {
+  if (config_.quarantine_threshold == 0) return;
+  if (!malformed) {
+    if (!malformed_streaks_.empty()) malformed_streaks_.erase(flow);
+    return;
+  }
+  std::uint32_t& streak = malformed_streaks_[flow];
+  if (++streak >= config_.quarantine_threshold) {
+    malformed_streaks_.erase(flow);
+    quarantined_.insert(flow);
+    flag(&AnalyzerHealth::quarantined_flows, "quarantined-flow", ts);
+  }
+}
+
 bool Analyzer::offer(const net::RawPacket& pkt) {
-  auto view = net::decode_packet(pkt);
   ++counters_.total_packets;
   counters_.total_bytes += pkt.data.size();
-  if (!view) return false;
+  if (journal_ == nullptr) {
+    // Capture-quality observations belong to the global offer order; in
+    // sharded mode the dispatcher performs them instead.
+    note_stream_order(pkt.ts);
+    if (pkt.is_truncated()) ++health_.snaplen_truncated;
+  }
+  net::DecodeFailure df = net::DecodeFailure::None;
+  auto view = net::decode_packet(pkt, &df);
+  if (!view) {
+    if (journal_ == nullptr) note_decode_failure(df, pkt.ts);
+    return false;
+  }
   return process_decoded(*view);
 }
 
 bool Analyzer::process(const net::PacketView& view) {
   ++counters_.total_packets;
   counters_.total_bytes += view.wire_length();
+  if (journal_ == nullptr) note_stream_order(view.ts);
   return process_decoded(view);
 }
 
@@ -86,7 +167,12 @@ void Analyzer::account_zoom(const net::PacketView& view) {
 
 bool Analyzer::handle_stun(const net::PacketView& view, bool server_is_src) {
   auto zp = zoom::dissect_stun(view.l4_payload);
-  if (!zp) return false;
+  if (!zp) {
+    // Port 3478 to/from a Zoom zone controller that does not parse as
+    // STUN: mangled in flight, or a squatter on the STUN port.
+    flag(&AnalyzerHealth::malformed_stun, "malformed-stun", view.ts);
+    return false;
+  }
   account_zoom(view);
   ++counters_.stun_packets;
   // The campus endpoint that will later carry the P2P flow is the
@@ -121,7 +207,15 @@ bool Analyzer::handle_server_udp(const net::PacketView& view) {
     ++counters_.unknown_media_packets;
     return true;
   }
-  auto zp = zoom::dissect(view.l4_payload, zoom::Transport::ServerBased);
+  const net::FiveTuple flow = view.five_tuple().canonical();
+  if (is_quarantined(flow)) {
+    ++health_.quarantined_packets;
+    return true;
+  }
+  zoom::DissectFlaw flaw = zoom::DissectFlaw::None;
+  auto zp = zoom::dissect(view.l4_payload, zoom::Transport::ServerBased, &flaw);
+  note_dissect_flaw(flaw, view.ts);
+  note_flow_quality(flow, is_malformed(flaw), view.ts);
   if (!zp) {
     ++counters_.unknown_media_packets;
     return true;
@@ -139,7 +233,19 @@ bool Analyzer::handle_p2p_udp(const net::PacketView& view) {
                      p2p_.is_candidate(view.ts, view.ip.dst, view.udp.dst_port);
     if (!candidate) return false;
   }
-  auto zp = zoom::dissect(view.l4_payload, zoom::Transport::P2P);
+  if (known && is_quarantined(flow.canonical())) {
+    ++health_.quarantined_packets;
+    return false;
+  }
+  zoom::DissectFlaw flaw = zoom::DissectFlaw::None;
+  auto zp = zoom::dissect(view.l4_payload, zoom::Transport::P2P, &flaw);
+  if (known) {
+    // On a confirmed Zoom flow a parse failure is corruption, not a
+    // port-reuse false positive — account for it instead of silently
+    // discarding the record.
+    note_dissect_flaw(flaw, view.ts);
+    note_flow_quality(flow.canonical(), is_malformed(flaw), view.ts);
+  }
   if (!zp) {
     if (!known) {
       // Port reuse false positive: the payload is not Zoom (§4.1).
@@ -267,6 +373,10 @@ void Analyzer::handle_dissected(const net::PacketView& view,
     ++tally.packets;
     tally.bytes += view.l4_payload.size();
   }
+  // Payload types outside Table 3 are analyzed normally but recorded as
+  // a health observation (could be a new Zoom mode — or a flipped bit).
+  if (!zoom::is_known_payload_type(kind, rtp.payload_type))
+    ++health_.unknown_payload_type;
 
   StreamInfo& stream = stream_for(view, zp, direction, rtp.ssrc, rtp.timestamp);
   streams_.touch(stream, rtp.timestamp, view.ts);

@@ -12,10 +12,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/health.h"
 #include "core/meetings.h"
 #include "core/p2p_detector.h"
 #include "core/shard_journal.h"
@@ -41,6 +44,14 @@ struct AnalyzerConfig {
   bool keep_frames = true;
   /// Keep only every Nth frame record (memory bound on long traces).
   std::uint32_t frame_sample_every = 1;
+  /// Strict mode: record the first malformed record as a
+  /// StrictViolation (see strict_violation()) so a driver can fail fast
+  /// when debugging a hostile trace. Lenient (false) keeps counting.
+  bool strict = false;
+  /// Consecutive malformed Zoom-layer payloads on one flow before the
+  /// flow is quarantined (further packets skipped and counted in
+  /// AnalyzerHealth::quarantined_packets). 0 disables quarantine.
+  std::uint32_t quarantine_threshold = 32;
 };
 
 /// Packet/byte pair used by the distribution tallies.
@@ -109,6 +120,13 @@ class Analyzer {
   void register_stun_candidate(const net::PacketView& view);
 
   [[nodiscard]] const AnalyzerCounters& counters() const { return counters_; }
+  /// Robustness counters: what was dropped/distrusted and why.
+  [[nodiscard]] const AnalyzerHealth& health() const { return health_; }
+  [[nodiscard]] AnalyzerHealth& health() { return health_; }
+  /// First malformed record, when config.strict is set.
+  [[nodiscard]] const std::optional<StrictViolation>& strict_violation() const {
+    return violation_;
+  }
   [[nodiscard]] const StreamTable& streams() const { return streams_; }
   [[nodiscard]] StreamTable& streams() { return streams_; }
   [[nodiscard]] const MeetingGrouper& meetings() const { return grouper_; }
@@ -132,6 +150,23 @@ class Analyzer {
   bool handle_stun(const net::PacketView& view, bool server_is_src);
   bool handle_tcp(const net::PacketView& view);
   void account_zoom(const net::PacketView& view);
+  /// Increments a health counter and arms the strict violation.
+  void flag(std::uint64_t AnalyzerHealth::* field, std::string_view category,
+            util::Timestamp ts);
+  void note_decode_failure(net::DecodeFailure df, util::Timestamp ts);
+  void note_dissect_flaw(zoom::DissectFlaw flaw, util::Timestamp ts);
+  /// Timestamp monotonicity is a property of the global offer order, so
+  /// it is only checked at a global-order point: serial offer()/process()
+  /// (journal_ == nullptr) or the parallel dispatcher. Shard-local
+  /// subsequences would count differently.
+  void note_stream_order(util::Timestamp ts);
+  /// Updates the per-flow malformed streak; returns true when the flow
+  /// just crossed the quarantine threshold.
+  void note_flow_quality(const net::FiveTuple& flow, bool malformed,
+                         util::Timestamp ts);
+  [[nodiscard]] bool is_quarantined(const net::FiveTuple& flow) const {
+    return !quarantined_.empty() && quarantined_.contains(flow);
+  }
   void handle_dissected(const net::PacketView& view, const zoom::ZoomPacket& zp,
                         StreamDirection direction);
   StreamInfo& stream_for(const net::PacketView& view, const zoom::ZoomPacket& zp,
@@ -140,6 +175,11 @@ class Analyzer {
 
   AnalyzerConfig config_;
   AnalyzerCounters counters_;
+  AnalyzerHealth health_;
+  std::optional<StrictViolation> violation_;
+  std::optional<util::Timestamp> last_offer_ts_;
+  std::unordered_map<net::FiveTuple, std::uint32_t> malformed_streaks_;
+  std::unordered_set<net::FiveTuple> quarantined_;
   P2pDetector p2p_;
   StreamTable streams_;
   MeetingGrouper grouper_;

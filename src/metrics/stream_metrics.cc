@@ -59,15 +59,11 @@ void StreamMetrics::advance_to(util::Timestamp arrival) {
 void StreamMetrics::flush_bin() {
   // Jitter: the estimator's value at the end of the bin.
   if (frame_jitter_.has_estimate()) cur_.jitter_ms = frame_jitter_.jitter_ms();
-  if (bin_latency_samples_ > 0)
-    cur_.latency_ms = bin_latency_sum_ms_ / bin_latency_samples_;
   if (cur_.frames_completed > 0)
     cur_.avg_frame_bytes = bin_frame_bytes_sum_ / cur_.frames_completed;
   cur_.encoder_fps = bin_encoder_fps_;
   cur_.frame_rate_fps = cur_.frames_completed;
   seconds_.push_back(cur_);
-  bin_latency_sum_ms_ = 0.0;
-  bin_latency_samples_ = 0;
   bin_frame_bytes_sum_ = 0.0;
   bin_encoder_fps_.reset();
 }
@@ -184,26 +180,25 @@ std::optional<std::uint64_t> StreamMetrics::upstream_loss_estimate() const {
 
 void StreamMetrics::on_rtt_sample(const RttSample& sample) {
   rtt_samples_.push_back(sample);
-  // Attribute to the current bin if it matches; a sample for a bin that
-  // was already flushed (the sharded pipeline's merge step injects
-  // matches after all packets were processed) is parked and folded into
-  // its per-second record at finish().
-  std::int64_t bin = sample.when.us() / 1'000'000;
-  if (cur_bin_ && bin == *cur_bin_) {
-    bin_latency_sum_ms_ += sample.rtt.ms();
-    ++bin_latency_samples_;
-  } else if (cur_bin_ && bin < *cur_bin_) {
-    auto& [sum, count] = late_latency_[bin];
-    sum += sample.rtt.ms();
-    ++count;
-  }
+  // Binning is deferred to finish() so each second's latency is a pure
+  // function of the sample set, independent of injection order. Samples
+  // can arrive out of packet order (hostile traces regress timestamps,
+  // and the sharded pipeline's merge step injects every match after all
+  // packets were processed), so inline accumulation would attribute the
+  // same set differently in the serial and sharded engines.
+  auto& [sum, count] = late_latency_[sample.when.us() / 1'000'000];
+  sum += sample.rtt.ms();
+  ++count;
 }
 
 void StreamMetrics::finish() {
   if (cur_bin_) flush_bin();
   cur_bin_.reset();
   if (!late_latency_.empty() && !seconds_.empty()) {
-    // Per-second records are contiguous from the first bin on.
+    // Per-second records are contiguous from the first bin on. Samples
+    // whose bin falls outside the stream's records (possible only on
+    // traces with regressed or mangled timestamps) stay in the overall
+    // mean but get no per-second row.
     std::int64_t first_bin = seconds_.front().bin_start.us() / 1'000'000;
     for (const auto& [bin, acc] : late_latency_) {
       std::int64_t idx = bin - first_bin;

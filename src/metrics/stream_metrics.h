@@ -117,6 +117,10 @@ class StreamMetrics {
   }
   /// Mean RTT over injected samples.
   [[nodiscard]] std::optional<double> mean_latency_ms() const;
+  /// Every RTT sample injected via on_rtt_sample, in injection order.
+  [[nodiscard]] const std::vector<RttSample>& rtt_samples() const {
+    return rtt_samples_;
+  }
 
  private:
   void advance_to(util::Timestamp arrival);
@@ -154,8 +158,6 @@ class StreamMetrics {
   // Current one-second bin under construction.
   std::optional<std::int64_t> cur_bin_;  // bin index = floor(arrival sec)
   StreamSecond cur_{};
-  double bin_latency_sum_ms_ = 0.0;
-  std::uint32_t bin_latency_samples_ = 0;
   double bin_frame_bytes_sum_ = 0.0;
   std::optional<double> bin_encoder_fps_;
 
@@ -166,8 +168,8 @@ class StreamMetrics {
   util::Timestamp first_seen_;
   util::Timestamp last_seen_;
   std::vector<RttSample> rtt_samples_;
-  // RTT sums/counts for bins flushed before the sample arrived (sharded
-  // pipeline); folded into `seconds_` at finish().
+  // Per-second RTT sums/counts, folded into `seconds_` at finish() —
+  // deferred so the result is independent of sample injection order.
   std::map<std::int64_t, std::pair<double, std::uint32_t>> late_latency_;
 };
 

@@ -4,17 +4,29 @@
 
 namespace zpm::net {
 
+namespace {
+
+std::optional<PacketView> fail(DecodeFailure* failure, DecodeFailure cause) {
+  if (failure) *failure = cause;
+  return std::nullopt;
+}
+
+}  // namespace
+
 std::optional<PacketView> decode_packet(util::Timestamp ts,
-                                        std::span<const std::uint8_t> frame) {
+                                        std::span<const std::uint8_t> frame,
+                                        DecodeFailure* failure) {
+  if (failure) *failure = DecodeFailure::None;
   util::ByteReader r(frame);
   auto eth = EthernetHeader::parse(r);
-  if (!eth || eth->ether_type != kEtherTypeIpv4) return std::nullopt;
+  if (!eth) return fail(failure, DecodeFailure::TruncatedEth);
+  if (eth->ether_type != kEtherTypeIpv4) return fail(failure, DecodeFailure::NonIpv4);
   auto ip = Ipv4Header::parse(r);
-  if (!ip) return std::nullopt;
+  if (!ip) return fail(failure, DecodeFailure::BadIpHeader);
   // Only the first fragment carries the L4 header; later fragments are
   // not parseable and are dropped here (the capture pipeline never
   // fragments Zoom media since it fits typical MTUs).
-  if (ip->fragment_offset() != 0) return std::nullopt;
+  if (ip->fragment_offset() != 0) return fail(failure, DecodeFailure::IpFragment);
 
   PacketView v;
   v.ts = ts;
@@ -27,7 +39,7 @@ std::optional<PacketView> decode_packet(util::Timestamp ts,
   std::size_t ip_payload_len = ip->total_length - ip->header_length();
   if (ip->protocol == kIpProtoUdp) {
     auto udp = UdpHeader::parse(r);
-    if (!udp) return std::nullopt;
+    if (!udp) return fail(failure, DecodeFailure::BadL4Header);
     v.l4 = L4Proto::Udp;
     v.udp = *udp;
     std::size_t payload_len = udp->length - UdpHeader::kSize;
@@ -36,7 +48,7 @@ std::optional<PacketView> decode_packet(util::Timestamp ts,
   } else if (ip->protocol == kIpProtoTcp) {
     std::size_t before = r.position();
     auto tcp = TcpHeader::parse(r);
-    if (!tcp) return std::nullopt;
+    if (!tcp) return fail(failure, DecodeFailure::BadL4Header);
     v.l4 = L4Proto::Tcp;
     v.tcp = *tcp;
     std::size_t consumed = r.position() - before;
@@ -45,13 +57,14 @@ std::optional<PacketView> decode_packet(util::Timestamp ts,
     if (payload_len > r.remaining()) payload_len = r.remaining();
     v.l4_payload = r.bytes(payload_len);
   } else {
-    return std::nullopt;
+    return fail(failure, DecodeFailure::UnsupportedL4);
   }
-  return r.ok() ? std::optional(v) : std::nullopt;
+  if (!r.ok()) return fail(failure, DecodeFailure::BadL4Header);
+  return v;
 }
 
-std::optional<PacketView> decode_packet(const RawPacket& pkt) {
-  return decode_packet(pkt.ts, pkt.data);
+std::optional<PacketView> decode_packet(const RawPacket& pkt, DecodeFailure* failure) {
+  return decode_packet(pkt.ts, pkt.data, failure);
 }
 
 }  // namespace zpm::net

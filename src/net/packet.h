@@ -19,6 +19,25 @@ namespace zpm::net {
 struct RawPacket {
   util::Timestamp ts;
   std::vector<std::uint8_t> data;
+  /// Original on-wire length as reported by the capture format, when it
+  /// differs from the captured bytes (snaplen truncation). 0 means "not
+  /// reported": the packet is assumed complete.
+  std::uint32_t orig_len = 0;
+
+  /// True when the capture recorded fewer bytes than were on the wire.
+  [[nodiscard]] bool is_truncated() const { return orig_len > data.size(); }
+};
+
+/// Why decode_packet() rejected a frame. Used by the analyzer's health
+/// accounting to attribute every dropped record to a cause.
+enum class DecodeFailure : std::uint8_t {
+  None,           // decode succeeded
+  TruncatedEth,   // frame shorter than an Ethernet header
+  NonIpv4,        // ethertype != 0x0800 (ARP, IPv6, LLDP, ...)
+  BadIpHeader,    // IPv4 header truncated or self-inconsistent
+  IpFragment,     // non-first fragment (no L4 header to parse)
+  UnsupportedL4,  // IP protocol other than UDP/TCP
+  BadL4Header,    // UDP/TCP header truncated or self-inconsistent
 };
 
 /// Transport protocol of a decoded packet.
@@ -53,11 +72,14 @@ struct PacketView {
 
 /// Decodes an Ethernet/IPv4/{UDP,TCP} packet. Returns nullopt for
 /// non-IPv4, non-UDP/TCP, fragments past the first, or malformed headers.
-/// The returned view borrows `frame`.
+/// The returned view borrows `frame`. When `failure` is non-null it is
+/// set to the rejection cause (or DecodeFailure::None on success).
 std::optional<PacketView> decode_packet(util::Timestamp ts,
-                                        std::span<const std::uint8_t> frame);
+                                        std::span<const std::uint8_t> frame,
+                                        DecodeFailure* failure = nullptr);
 
 /// Convenience overload for RawPacket.
-std::optional<PacketView> decode_packet(const RawPacket& pkt);
+std::optional<PacketView> decode_packet(const RawPacket& pkt,
+                                        DecodeFailure* failure = nullptr);
 
 }  // namespace zpm::net

@@ -85,6 +85,7 @@ std::optional<RawPacket> PcapReader::next() {
   std::uint32_t ts_sec = read_u32(&rec[0]);
   std::uint32_t ts_frac = read_u32(&rec[4]);
   std::uint32_t incl_len = read_u32(&rec[8]);
+  std::uint32_t orig_len = read_u32(&rec[12]);
   if (incl_len > kMaxRecordLength) {
     ok_ = false;
     error_ = "implausible record length " + std::to_string(incl_len);
@@ -93,6 +94,9 @@ std::optional<RawPacket> PcapReader::next() {
   RawPacket pkt;
   std::uint32_t usec = nanosecond_ ? ts_frac / 1000 : ts_frac;
   pkt.ts = util::Timestamp::from_pcap(ts_sec, usec);
+  // Record the original wire length so snaplen truncation is visible to
+  // downstream health accounting.
+  if (orig_len > incl_len) pkt.orig_len = orig_len;
   pkt.data.resize(incl_len);
   in_->read(reinterpret_cast<char*>(pkt.data.data()), static_cast<std::streamsize>(incl_len));
   if (in_->gcount() != static_cast<std::streamsize>(incl_len)) {
@@ -141,8 +145,12 @@ void PcapWriter::write_global_header() {
 }
 
 void PcapWriter::write(const RawPacket& pkt) {
+  // A packet that was already truncated upstream keeps its reported
+  // original length; otherwise the captured bytes are the whole packet.
   std::uint32_t orig_len = static_cast<std::uint32_t>(pkt.data.size());
-  std::uint32_t incl_len = orig_len > snaplen_ ? snaplen_ : orig_len;
+  if (pkt.orig_len > orig_len) orig_len = pkt.orig_len;
+  std::uint32_t incl_len = static_cast<std::uint32_t>(pkt.data.size());
+  if (incl_len > snaplen_) incl_len = snaplen_;
   put_u32(pkt.ts.pcap_sec());
   put_u32(pkt.ts.pcap_usec());
   put_u32(incl_len);

@@ -110,11 +110,16 @@ bool PcapNgReader::read_interface_block(const std::vector<std::uint8_t>& body) {
     if (pos + len > body.size()) break;
     if (code == kOptionTsResol && len >= 1) {
       std::uint8_t resol = body[pos];
+      // Saturate implausibly fine resolutions: a hostile file can
+      // declare 2^127 ticks per second, and shifting a 64-bit value by
+      // >= 64 (or overflowing the decimal power) is undefined.
+      unsigned exponent = resol & 0x7fu;
       if (resol & 0x80) {
-        iface.ticks_per_second = 1ULL << (resol & 0x7f);
+        iface.ticks_per_second = exponent >= 64 ? ~0ULL : 1ULL << exponent;
       } else {
         iface.ticks_per_second = 1;
-        for (int i = 0; i < (resol & 0x7f); ++i) iface.ticks_per_second *= 10;
+        for (unsigned i = 0; i < exponent && i < 19; ++i)
+          iface.ticks_per_second *= 10;
       }
       if (iface.ticks_per_second == 0) iface.ticks_per_second = 1'000'000;
     }
@@ -134,7 +139,11 @@ std::optional<RawPacket> PcapNgReader::parse_epb(
   std::uint32_t iface_id = u32(&body[0]);
   std::uint64_t ts = (std::uint64_t{u32(&body[4])} << 32) | u32(&body[8]);
   std::uint32_t captured = u32(&body[12]);
-  if (20 + captured > body.size()) {
+  std::uint32_t original = u32(&body[16]);
+  // Size-safe form: `20 + captured` would wrap in 32-bit arithmetic for
+  // attacker-chosen captured lengths near UINT32_MAX, bypassing the
+  // bounds check and reading far past the block body.
+  if (captured > body.size() - 20) {
     error_ = "enhanced packet data exceeds block";
     ok_ = false;
     return std::nullopt;
@@ -149,10 +158,16 @@ std::optional<RawPacket> PcapNgReader::parse_epb(
   if (ticks == 1'000'000) {
     pkt.ts = util::Timestamp::from_micros(static_cast<std::int64_t>(ts));
   } else {
-    long double seconds = static_cast<long double>(ts) / static_cast<long double>(ticks);
-    pkt.ts = util::Timestamp::from_micros(
-        static_cast<std::int64_t>(seconds * 1'000'000.0L));
+    long double micros = static_cast<long double>(ts) /
+                         static_cast<long double>(ticks) * 1'000'000.0L;
+    // Clamp before the cast: converting a long double beyond the int64
+    // range is undefined behaviour, and a hostile file can pick a coarse
+    // if_tsresol plus an all-ones timestamp to trigger exactly that.
+    constexpr long double kMaxMicros = 9'000'000'000'000'000'000.0L;
+    if (micros > kMaxMicros) micros = kMaxMicros;
+    pkt.ts = util::Timestamp::from_micros(static_cast<std::int64_t>(micros));
   }
+  if (original > captured) pkt.orig_len = original;
   pkt.data.assign(body.begin() + 20, body.begin() + 20 + captured);
   ++packets_read_;
   return pkt;
@@ -229,6 +244,7 @@ std::optional<RawPacket> PcapNgReader::next() {
             std::min<std::uint32_t>(orig, static_cast<std::uint32_t>(body.size() - 4));
         RawPacket pkt;
         pkt.ts = util::Timestamp::from_micros(0);
+        if (orig > captured) pkt.orig_len = orig;
         pkt.data.assign(body.begin() + 4, body.begin() + 4 + captured);
         ++packets_read_;
         return pkt;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <limits>
 #include <optional>
+#include <string_view>
 #include <utility>
 
 #include "util/serial.h"
@@ -67,11 +68,22 @@ ParallelAnalyzer::~ParallelAnalyzer() {
 
 void ParallelAnalyzer::offer(net::RawPacket pkt) {
   const std::uint64_t seq = next_seq_++;
-  auto view = net::decode_packet(pkt);
+  // Global-order observations happen here, exactly as the serial
+  // Analyzer does them in offer(): shards only ever see their own flow
+  // subsequence, which would count differently.
+  if (last_offer_ts_ && pkt.ts < *last_offer_ts_) ++health_.non_monotonic_ts;
+  last_offer_ts_ = pkt.ts;
+  if (pkt.is_truncated()) ++health_.snaplen_truncated;
+
+  net::DecodeFailure df = net::DecodeFailure::None;
+  auto view = net::decode_packet(pkt, &df);
   if (!view) {
     // The serial offer() counts every raw packet before decoding.
     ++undecoded_packets_;
     undecoded_bytes_ += pkt.data.size();
+    std::string_view category = core::apply_decode_failure(health_, df);
+    if (!category.empty() && config_.analyzer.strict && !violation_)
+      violation_ = core::StrictViolation{category, seq + 1, pkt.ts};
     return;
   }
 
@@ -123,6 +135,14 @@ void ParallelAnalyzer::finish() {
   for (auto& shard : shards_) {
     counters_.merge(shard->analyzer.counters());
     zoom_flow_count_ += shard->analyzer.zoom_flow_count();
+    // Health merging is plain u64 sums, so shard order cannot matter;
+    // ring spins ride along as the (nondeterministic) backpressure gauge.
+    health_.merge(shard->analyzer.health());
+    health_.ring_wait_spins += shard->ring.push_wait_spins();
+    if (const auto& v = shard->analyzer.strict_violation();
+        v && (!violation_ || v->sequence < violation_->sequence)) {
+      violation_ = *v;
+    }
   }
 
   replay_journals();

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +71,15 @@ class ParallelAnalyzer {
 
   /// Merged trace-wide counters (bit-identical to serial).
   [[nodiscard]] const core::AnalyzerCounters& counters() const { return counters_; }
+  /// Merged health counters. Every field except `ring_wait_spins`
+  /// (timing-dependent backpressure) is bit-identical to serial.
+  [[nodiscard]] const core::AnalyzerHealth& health() const { return health_; }
+  /// Earliest strict violation across dispatcher and shards, when
+  /// config.analyzer.strict is set (populated by finish(); decode-level
+  /// violations are visible as soon as offer() sees them).
+  [[nodiscard]] const std::optional<core::StrictViolation>& strict_violation() const {
+    return violation_;
+  }
   /// All streams in global creation order (the serial Analyzer's order);
   /// media/meeting ids are the re-grouped global ones.
   [[nodiscard]] const std::vector<core::StreamInfo*>& streams() const {
@@ -109,6 +119,14 @@ class ParallelAnalyzer {
   // (the serial offer() counts them before decoding).
   std::uint64_t undecoded_packets_ = 0;
   std::uint64_t undecoded_bytes_ = 0;
+
+  // Producer-side health: capture-quality observations and decode
+  // failures belong to the global offer order, mirroring the serial
+  // Analyzer's journal_ == nullptr accounting. Shard healths are merged
+  // in at finish().
+  core::AnalyzerHealth health_;
+  std::optional<core::StrictViolation> violation_;
+  std::optional<util::Timestamp> last_offer_ts_;
 
   // Merged results.
   core::AnalyzerCounters counters_;

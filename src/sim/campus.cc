@@ -52,9 +52,19 @@ struct CampusSimulation::Impl {
   std::uint32_t next_campus_host = 100;
   std::uint32_t next_external_host = 0;
 
+  std::optional<CorruptionQueue> corruption;
+
   explicit Impl(CampusConfig config) : cfg(std::move(config)), rng(cfg.seed) {
     schedule_meetings();
     bg_next = cfg.day_start;
+    if (cfg.corruption) {
+      CorruptorConfig cc = *cfg.corruption;
+      if (cc.capture_cuts > 0 && cc.trace_duration <= Duration{}) {
+        cc.trace_start = cfg.day_start;
+        cc.trace_duration = cfg.duration;
+      }
+      corruption.emplace(cc);
+    }
   }
 
   net::Ipv4Addr alloc_campus_ip() {
@@ -288,7 +298,12 @@ CampusSimulation::CampusSimulation(CampusSimulation&&) noexcept = default;
 CampusSimulation& CampusSimulation::operator=(CampusSimulation&&) noexcept = default;
 
 std::optional<net::RawPacket> CampusSimulation::next_packet() {
-  return impl_->next_packet();
+  if (!impl_->corruption) return impl_->next_packet();
+  return impl_->corruption->next([this] { return impl_->next_packet(); });
+}
+
+const CorruptionStats* CampusSimulation::corruption_stats() const {
+  return impl_->corruption ? &impl_->corruption->corruptor().stats() : nullptr;
 }
 
 bool CampusSimulation::last_was_background() const { return impl_->last_was_bg; }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "sim/corruptor.h"
 #include "sim/meeting.h"
 #include "util/rng.h"
 
@@ -37,6 +38,11 @@ struct CampusConfig {
   /// Fraction of two-party meetings that switch to P2P.
   double p2p_probability = 0.45;
   bool collect_qos = false;
+  /// Optional fault-injection pass over the merged packet stream (tap
+  /// truncation, bit flips, drops/dups, capture cuts, look-alike
+  /// traffic). nullopt = clean trace, byte-identical to pre-corruptor
+  /// behaviour. Capture-cut windows default to the campus day extent.
+  std::optional<CorruptorConfig> corruption;
 };
 
 /// Pull-based generator merging all meetings + background traffic into
@@ -58,6 +64,10 @@ class CampusSimulation {
   [[nodiscard]] const CampusConfig& config() const;
   /// Scheduled meeting configurations (inspection / tests).
   [[nodiscard]] const std::vector<MeetingConfig>& meeting_configs() const;
+  /// Fault-injection tallies when config.corruption is set, else nullptr.
+  /// Note last_was_background() describes the clean stream and is not
+  /// meaningful for corrupted output (duplicates, injected packets).
+  [[nodiscard]] const CorruptionStats* corruption_stats() const;
 
   struct Summary {
     std::size_t meetings = 0;

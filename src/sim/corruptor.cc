@@ -1,0 +1,139 @@
+#include "sim/corruptor.h"
+
+#include <algorithm>
+
+#include "net/build.h"
+#include "zoom/constants.h"
+
+namespace zpm::sim {
+
+namespace {
+
+// Headers end after eth (14) + minimal IPv4 (20) + UDP (8).
+constexpr std::size_t kHeaderBytes = 42;
+
+}  // namespace
+
+CorruptorConfig CorruptorConfig::hostile(std::uint64_t seed) {
+  CorruptorConfig c;
+  c.seed = seed;
+  c.truncate_prob = 0.02;
+  c.snaplen = 96;
+  c.header_flip_prob = 0.01;
+  c.payload_flip_prob = 0.02;
+  c.drop_prob = 0.01;
+  c.duplicate_prob = 0.005;
+  c.ts_regression_prob = 0.002;
+  c.lookalike_prob = 0.01;
+  c.capture_cuts = 2;
+  c.cut_duration = util::Duration::seconds(3);
+  return c;
+}
+
+TraceCorruptor::TraceCorruptor(const CorruptorConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.capture_cuts > 0 && config_.trace_duration > util::Duration{}) {
+    // Place the tap-restart windows uniformly over the trace extent.
+    // Drawn up front so cut placement does not interact with the
+    // per-record decision stream.
+    std::int64_t span = config_.trace_duration.us();
+    for (std::size_t i = 0; i < config_.capture_cuts; ++i) {
+      auto offset = util::Duration::micros(rng_.uniform_int(0, span));
+      util::Timestamp from = config_.trace_start + offset;
+      cuts_.emplace_back(from, from + config_.cut_duration);
+    }
+    std::sort(cuts_.begin(), cuts_.end());
+  }
+}
+
+net::RawPacket TraceCorruptor::make_lookalike(util::Timestamp ts) {
+  // A campus host talking UDP on a Zoom port. Half the injections hit
+  // unrelated external addresses (squatters the filter must ignore);
+  // half hit Zoom server space with garbage payloads (traffic that
+  // *will* reach the dissector and must be survived).
+  net::Ipv4Addr campus(10, 8, static_cast<std::uint8_t>(rng_.uniform_int(0, 255)),
+                       static_cast<std::uint8_t>(rng_.uniform_int(1, 254)));
+  bool hit_zoom_space = rng_.chance(0.5);
+  net::Ipv4Addr remote =
+      hit_zoom_space
+          ? net::Ipv4Addr(170, 114, static_cast<std::uint8_t>(rng_.uniform_int(0, 255)),
+                          static_cast<std::uint8_t>(rng_.uniform_int(1, 254)))
+          : net::Ipv4Addr(23, static_cast<std::uint8_t>(rng_.uniform_int(0, 255)),
+                          static_cast<std::uint8_t>(rng_.uniform_int(0, 255)),
+                          static_cast<std::uint8_t>(rng_.uniform_int(1, 254)));
+  std::uint16_t zoom_port = rng_.chance(0.5) ? zoom::kServerMediaPort
+                                             : zoom::kStunServerPort;
+  auto sport = static_cast<std::uint16_t>(rng_.uniform_int(1024, 65000));
+  std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(rng_.uniform_int(32, 1200)));
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.next_u32() >> 24);
+  bool outbound = rng_.chance(0.5);
+  return outbound ? net::build_udp(ts, campus, sport, remote, zoom_port, payload)
+                  : net::build_udp(ts, remote, zoom_port, campus, sport, payload);
+}
+
+void TraceCorruptor::process(net::RawPacket pkt, std::vector<net::RawPacket>& out) {
+  ++stats_.offered;
+
+  for (const auto& [from, to] : cuts_) {
+    if (pkt.ts >= from && pkt.ts < to) {
+      ++stats_.cut_dropped;
+      return;
+    }
+  }
+  if (config_.drop_prob > 0.0 && rng_.chance(config_.drop_prob)) {
+    ++stats_.dropped;
+    return;
+  }
+
+  if (config_.ts_regression_prob > 0.0 && rng_.chance(config_.ts_regression_prob)) {
+    std::int64_t max_us = std::max<std::int64_t>(config_.ts_regression_max.us(), 1);
+    pkt.ts = pkt.ts - util::Duration::micros(rng_.uniform_int(1, max_us));
+    ++stats_.ts_regressions;
+  }
+  if (config_.truncate_prob > 0.0 && pkt.data.size() > config_.snaplen &&
+      rng_.chance(config_.truncate_prob)) {
+    if (pkt.orig_len < pkt.data.size())
+      pkt.orig_len = static_cast<std::uint32_t>(pkt.data.size());
+    pkt.data.resize(config_.snaplen);
+    ++stats_.truncated;
+  }
+  if (config_.header_flip_prob > 0.0 && !pkt.data.empty() &&
+      rng_.chance(config_.header_flip_prob)) {
+    std::size_t limit = std::min(kHeaderBytes, pkt.data.size());
+    auto idx = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(limit) - 1));
+    pkt.data[idx] = static_cast<std::uint8_t>(rng_.next_u32() >> 24);
+    ++stats_.header_flips;
+  }
+  if (config_.payload_flip_prob > 0.0 && pkt.data.size() > kHeaderBytes &&
+      rng_.chance(config_.payload_flip_prob)) {
+    auto idx = static_cast<std::size_t>(
+        rng_.uniform_int(static_cast<std::int64_t>(kHeaderBytes),
+                         static_cast<std::int64_t>(pkt.data.size()) - 1));
+    auto bit = static_cast<std::uint8_t>(1u << rng_.uniform_int(0, 7));
+    pkt.data[idx] ^= bit;
+    ++stats_.payload_flips;
+  }
+
+  bool duplicate =
+      config_.duplicate_prob > 0.0 && rng_.chance(config_.duplicate_prob);
+  bool inject = config_.lookalike_prob > 0.0 && rng_.chance(config_.lookalike_prob);
+
+  util::Timestamp ts = pkt.ts;
+  if (duplicate) {
+    net::RawPacket copy = pkt;
+    out.push_back(std::move(copy));
+    ++stats_.duplicated;
+    ++stats_.emitted;
+  }
+  out.push_back(std::move(pkt));
+  ++stats_.emitted;
+  if (inject) {
+    out.push_back(make_lookalike(ts));
+    ++stats_.lookalikes_injected;
+    ++stats_.emitted;
+  }
+}
+
+}  // namespace zpm::sim

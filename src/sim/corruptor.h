@@ -1,0 +1,150 @@
+// Deterministic fault injection for generated traces.
+//
+// The clean simulator never produces what a production tap delivers:
+// snaplen-truncated records, middlebox-mangled bytes, dropped and
+// duplicated records, tap restarts that cut holes into the capture,
+// clock steps that make timestamps regress, and unrelated UDP traffic
+// squatting on Zoom's ports. TraceCorruptor applies exactly those
+// impairments as a PRNG-seeded pass over any packet stream, so the
+// analyzer's robustness (and its AnalyzerHealth accounting) can be
+// exercised reproducibly: same input + same seed -> bit-identical
+// corrupted trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace zpm::sim {
+
+/// Impairment mix. All probabilities are per-record Bernoulli trials
+/// (0 disables the impairment); independent impairments can hit the
+/// same record.
+struct CorruptorConfig {
+  std::uint64_t seed = 0xC0221;
+
+  /// Snaplen truncation: keep only the first `snaplen` bytes, recording
+  /// the original length (as a capture with a short snaplen would).
+  double truncate_prob = 0.0;
+  std::size_t snaplen = 96;
+
+  /// Overwrite one random byte in the first 42 bytes (eth+ip+udp
+  /// headers) with a random value — middlebox/NIC header mangling.
+  double header_flip_prob = 0.0;
+
+  /// Flip one random bit past the headers (payload corruption).
+  double payload_flip_prob = 0.0;
+
+  /// Record loss (capture drop, not network loss: the packet reached
+  /// the wire but never the trace).
+  double drop_prob = 0.0;
+
+  /// Record duplication (tap/span port artifacts).
+  double duplicate_prob = 0.0;
+
+  /// Timestamp regression: shift this record's timestamp backwards by
+  /// up to `ts_regression_max` (clock steps, reordering capture stacks).
+  double ts_regression_prob = 0.0;
+  util::Duration ts_regression_max = util::Duration::millis(400);
+
+  /// Injection of look-alike non-Zoom UDP on ports 8801/3478 right
+  /// after a real record: half aimed at non-Zoom addresses (port
+  /// squatters), half at Zoom server space with garbage payloads.
+  double lookalike_prob = 0.0;
+
+  /// Mid-trace capture cuts (tap restarts): `capture_cuts` windows of
+  /// `cut_duration` placed deterministically inside
+  /// [trace_start, trace_start + trace_duration); every record whose
+  /// timestamp falls inside a window is lost. Requires a non-zero
+  /// trace_duration (the campus/meeting simulators fill it in).
+  std::size_t capture_cuts = 0;
+  util::Duration cut_duration = util::Duration::seconds(5);
+  util::Timestamp trace_start;
+  util::Duration trace_duration;
+
+  /// The documented "hostile trace" mix used by tests, docs and the
+  /// zpm_analyze --corrupt flag: every impairment enabled at rates that
+  /// leave the trace analyzable but thoroughly dirty.
+  static CorruptorConfig hostile(std::uint64_t seed);
+};
+
+/// What the corruptor did, category by category. `emitted` counts
+/// records written out (including duplicates and injected look-alikes);
+/// mutation counters count affected records.
+struct CorruptionStats {
+  std::uint64_t offered = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t header_flips = 0;
+  std::uint64_t payload_flips = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t cut_dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t ts_regressions = 0;
+  std::uint64_t lookalikes_injected = 0;
+
+  bool operator==(const CorruptionStats&) const = default;
+};
+
+/// See file comment.
+class TraceCorruptor {
+ public:
+  explicit TraceCorruptor(const CorruptorConfig& config);
+
+  /// Feeds one record through the impairment pass, appending 0..3
+  /// records to `out` (0: dropped/cut; up to 3: record + duplicate +
+  /// injected look-alike). Decisions consume the PRNG in a fixed order,
+  /// so equal inputs yield equal outputs.
+  void process(net::RawPacket pkt, std::vector<net::RawPacket>& out);
+
+  [[nodiscard]] const CorruptionStats& stats() const { return stats_; }
+  [[nodiscard]] const CorruptorConfig& config() const { return config_; }
+  /// The scheduled capture-cut windows (inspection / tests).
+  [[nodiscard]] const std::vector<std::pair<util::Timestamp, util::Timestamp>>&
+  cut_windows() const {
+    return cuts_;
+  }
+
+ private:
+  net::RawPacket make_lookalike(util::Timestamp ts);
+
+  CorruptorConfig config_;
+  util::Rng rng_;
+  CorruptionStats stats_;
+  std::vector<std::pair<util::Timestamp, util::Timestamp>> cuts_;
+};
+
+/// FIFO adapter wrapping a pull-based generator with a corruption pass:
+/// `next(source)` pulls records from `source` (a callable returning
+/// std::optional<net::RawPacket>) until the corruptor emits at least
+/// one, then hands them out one at a time.
+class CorruptionQueue {
+ public:
+  explicit CorruptionQueue(const CorruptorConfig& config) : corruptor_(config) {}
+
+  template <typename Source>
+  std::optional<net::RawPacket> next(Source&& source) {
+    while (head_ == pending_.size()) {
+      pending_.clear();
+      head_ = 0;
+      auto pkt = source();
+      if (!pkt) return std::nullopt;
+      corruptor_.process(std::move(*pkt), pending_);
+    }
+    return std::move(pending_[head_++]);
+  }
+
+  [[nodiscard]] const TraceCorruptor& corruptor() const { return corruptor_; }
+
+ private:
+  TraceCorruptor corruptor_;
+  std::vector<net::RawPacket> pending_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace zpm::sim

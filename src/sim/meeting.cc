@@ -164,8 +164,17 @@ struct MeetingSim::Impl {
   std::priority_queue<PendingPacket, std::vector<PendingPacket>, std::greater<>> out;
   std::vector<QosSample> qos;
   Stats stats;
+  std::optional<CorruptionQueue> corruption;
 
   explicit Impl(MeetingConfig config) : cfg(std::move(config)), rng(cfg.seed) {
+    if (cfg.corruption) {
+      CorruptorConfig cc = *cfg.corruption;
+      if (cc.capture_cuts > 0 && cc.trace_duration <= Duration{}) {
+        cc.trace_start = cfg.start;
+        cc.trace_duration = cfg.duration;
+      }
+      corruption.emplace(cc);
+    }
     end_time = cfg.start + cfg.duration;
     int index = 0;
     for (const auto& pc : cfg.participants) {
@@ -943,7 +952,14 @@ MeetingSim::~MeetingSim() = default;
 MeetingSim::MeetingSim(MeetingSim&&) noexcept = default;
 MeetingSim& MeetingSim::operator=(MeetingSim&&) noexcept = default;
 
-std::optional<net::RawPacket> MeetingSim::next_packet() { return impl_->next_packet(); }
+std::optional<net::RawPacket> MeetingSim::next_packet() {
+  if (!impl_->corruption) return impl_->next_packet();
+  return impl_->corruption->next([this] { return impl_->next_packet(); });
+}
+
+const CorruptionStats* MeetingSim::corruption_stats() const {
+  return impl_->corruption ? &impl_->corruption->corruptor().stats() : nullptr;
+}
 
 const std::vector<QosSample>& MeetingSim::qos_samples() const { return impl_->qos; }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "sim/corruptor.h"
 #include "sim/media.h"
 #include "sim/network.h"
 #include "util/rng.h"
@@ -96,6 +97,11 @@ struct MeetingConfig {
   /// that; this switch exists for the ablation that shows how the
   /// paper's duplicate-stream matching and RTP-RTT method would break).
   bool sfu_rewrites_rtp = false;
+  /// Optional fault-injection pass over the emitted stream (see
+  /// sim/corruptor.h). nullopt = clean trace, byte-identical to
+  /// pre-corruptor behaviour. Capture-cut windows default to the
+  /// meeting extent.
+  std::optional<CorruptorConfig> corruption;
 };
 
 /// See file comment. Pull-based: call next_packet() until nullopt.
@@ -129,6 +135,9 @@ class MeetingSim {
     std::uint64_t p2p_media_packets = 0;
   };
   [[nodiscard]] const Stats& stats() const;
+
+  /// Fault-injection tallies when config.corruption is set, else nullptr.
+  [[nodiscard]] const CorruptionStats* corruption_stats() const;
 
  private:
   struct Impl;

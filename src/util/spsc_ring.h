@@ -54,11 +54,20 @@ class SpscRing {
   }
 
   /// Producer: enqueues, backing off (spin, then yield, then sleep)
-  /// while the ring is full.
+  /// while the ring is full. Full-ring waits are counted in
+  /// push_wait_spins() so backpressure is observable rather than silent.
   void push(T value) {
     Backoff backoff;
-    while (!try_push(std::move(value))) backoff.wait();
+    while (!try_push(std::move(value))) {
+      ++push_wait_spins_;
+      backoff.wait();
+    }
   }
+
+  /// Number of failed push attempts (ring-full waits) seen by the
+  /// producer. Producer-owned, non-atomic: read it from the producer
+  /// thread, or after the producer is done (e.g. post-join).
+  [[nodiscard]] std::uint64_t push_wait_spins() const { return push_wait_spins_; }
 
   /// Consumer: attempts to dequeue without blocking. Returns false when
   /// the ring is momentarily empty (closed or not).
@@ -129,6 +138,7 @@ class SpscRing {
   // Producer-owned line: tail plus the producer's cached view of head.
   alignas(64) std::atomic<std::uint64_t> tail_{0};
   std::uint64_t cached_head_ = 0;
+  std::uint64_t push_wait_spins_ = 0;
   // Consumer-owned line: head plus the consumer's cached view of tail.
   alignas(64) std::atomic<std::uint64_t> head_{0};
   std::uint64_t cached_tail_ = 0;

@@ -12,14 +12,19 @@ std::optional<std::uint32_t> ZoomPacket::ssrc() const {
 }
 
 std::optional<ZoomPacket> dissect(std::span<const std::uint8_t> udp_payload,
-                                  Transport transport) {
+                                  Transport transport,
+                                  DissectFlaw* flaw) {
+  if (flaw) *flaw = DissectFlaw::None;
   util::ByteReader r(udp_payload);
   ZoomPacket out;
   out.transport = transport;
 
   if (transport == Transport::ServerBased) {
     auto sfu = SfuEncap::parse(r);
-    if (!sfu) return std::nullopt;
+    if (!sfu) {
+      if (flaw) *flaw = DissectFlaw::TruncatedSfu;
+      return std::nullopt;
+    }
     out.sfu = *sfu;
     if (!sfu->carries_media_encap()) {
       out.category = PacketCategory::UnknownSfu;
@@ -29,6 +34,14 @@ std::optional<ZoomPacket> dissect(std::span<const std::uint8_t> udp_payload,
 
   auto media = MediaEncap::parse(r);
   if (!media) {
+    // Disambiguate the two parse-failure causes: an undocumented type
+    // byte is expected traffic; a documented type with too few bytes
+    // behind it is a mangled or truncated record.
+    bool known_type = r.remaining() > 0 && media_payload_offset(r.peek_u8()) != 0;
+    if (flaw) {
+      *flaw = known_type ? DissectFlaw::TruncatedMediaEncap
+                         : DissectFlaw::UnknownMediaType;
+    }
     if (transport == Transport::P2P) {
       // A P2P candidate that does not carry a known media encapsulation
       // is not Zoom traffic (port-reuse false positive).
@@ -42,6 +55,7 @@ std::optional<ZoomPacket> dissect(std::span<const std::uint8_t> udp_payload,
   if (media->is_rtcp()) {
     out.rtcp = proto::parse_rtcp_compound(r.rest());
     if (out.rtcp.empty()) {
+      if (flaw) *flaw = DissectFlaw::BadRtcp;
       out.category = PacketCategory::UnknownMedia;
       return out;
     }
@@ -52,6 +66,7 @@ std::optional<ZoomPacket> dissect(std::span<const std::uint8_t> udp_payload,
   // Media types 13/15/16 carry RTP at the type-specific offset.
   auto rtp = proto::RtpHeader::parse(r);
   if (!rtp) {
+    if (flaw) *flaw = DissectFlaw::BadRtp;
     if (transport == Transport::P2P) return std::nullopt;
     out.category = PacketCategory::UnknownMedia;
     return out;

@@ -50,12 +50,28 @@ struct ZoomPacket {
   [[nodiscard]] std::optional<std::uint32_t> ssrc() const;
 };
 
+/// Why a dissection fell short of a fully parsed packet. Reported even
+/// when dissect() still returns a (partially classified) ZoomPacket, so
+/// the analyzer can separate "unknown but well-formed" (expected in the
+/// wild: undocumented encap types) from "known type but mangled bytes"
+/// (truncation / corruption), which feeds health accounting.
+enum class DissectFlaw : std::uint8_t {
+  None,                 // fully parsed, or clean unknown-SFU-type packet
+  TruncatedSfu,         // server payload shorter than the 8-byte SFU encap
+  TruncatedMediaEncap,  // known media-encap type, buffer shorter than its header
+  UnknownMediaType,     // type byte outside the documented set (not corruption)
+  BadRtp,               // media encap promised RTP but the header didn't parse
+  BadRtcp,              // RTCP encap type whose compound body didn't parse
+};
+
 /// Dissects one Zoom UDP payload. Returns nullopt when the payload is
 /// not recognizably Zoom at all (used to discard P2P false positives,
 /// §4.1: "they can easily be filtered out by inspecting the packet
-/// format").
+/// format"). When `flaw` is non-null it is set to the parse shortfall
+/// (DissectFlaw::None when the packet parsed fully).
 std::optional<ZoomPacket> dissect(std::span<const std::uint8_t> udp_payload,
-                                  Transport transport);
+                                  Transport transport,
+                                  DissectFlaw* flaw = nullptr);
 
 /// Dissects a STUN exchange packet (client <-> zone controller, port
 /// 3478). Thin wrapper kept symmetrical with dissect().

@@ -1,0 +1,153 @@
+// Standalone fuzz driver for toolchains without libFuzzer (gcc).
+//
+// Links against the same LLVMFuzzerTestOneInput entry point clang's
+// -fsanitize=fuzzer would drive, providing two modes:
+//
+//   driver <file-or-dir>...            replay every corpus input once
+//   driver -mutate=<s> [-seed=<n>] <corpus>...
+//                                      additionally run a deterministic
+//                                      random-mutation loop over the
+//                                      corpus for <s> wall-clock seconds
+//
+// The mutation loop is no substitute for coverage-guided fuzzing — it
+// exists so the committed corpora keep being exercised (under
+// ASan/UBSan, see tests/fuzz/CMakeLists.txt) in environments where only
+// gcc is available, and so CI has a smoke mode with a bounded runtime.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void run_one(const std::vector<std::uint8_t>& input) {
+  // size 0 must be legal per the libFuzzer contract.
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+/// A few rounds of structure-blind mutation: bit flips, byte
+/// overwrites, truncation, insertion and block duplication.
+void mutate(std::vector<std::uint8_t>& buf, zpm::util::Rng& rng) {
+  std::int64_t rounds = rng.uniform_int(1, 8);
+  for (std::int64_t i = 0; i < rounds; ++i) {
+    switch (rng.uniform_int(0, 4)) {
+      case 0:
+        if (!buf.empty()) {
+          auto idx = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1));
+          buf[idx] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+        }
+        break;
+      case 1:
+        if (!buf.empty()) {
+          auto idx = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1));
+          buf[idx] = static_cast<std::uint8_t>(rng.next_u32() >> 24);
+        }
+        break;
+      case 2:
+        if (!buf.empty())
+          buf.resize(static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1)));
+        break;
+      case 3: {
+        auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(buf.size())));
+        buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(idx),
+                   static_cast<std::uint8_t>(rng.next_u32() >> 24));
+        break;
+      }
+      case 4:
+        if (buf.size() >= 2) {
+          auto from = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 2));
+          auto len = static_cast<std::size_t>(rng.uniform_int(
+              1, static_cast<std::int64_t>(buf.size() - from)));
+          std::vector<std::uint8_t> block(buf.begin() + static_cast<std::ptrdiff_t>(from),
+                                          buf.begin() +
+                                              static_cast<std::ptrdiff_t>(from + len));
+          buf.insert(buf.end(), block.begin(), block.end());
+        }
+        break;
+    }
+    if (buf.size() > 1 << 20) buf.resize(1 << 20);  // keep execs fast
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double mutate_seconds = 0.0;
+  std::uint64_t seed = 1;
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strncmp(argv[i], "-mutate=", 8)) {
+      mutate_seconds = std::atof(argv[i] + 8);
+    } else if (!std::strncmp(argv[i], "-seed=", 6)) {
+      seed = std::strtoull(argv[i] + 6, nullptr, 10);
+    } else {
+      std::filesystem::path p(argv[i]);
+      std::error_code ec;
+      if (std::filesystem::is_directory(p, ec)) {
+        for (const auto& entry : std::filesystem::directory_iterator(p))
+          if (entry.is_regular_file()) inputs.push_back(entry.path());
+      } else {
+        inputs.push_back(p);
+      }
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [-mutate=<seconds>] [-seed=<n>] <file-or-dir>...\n",
+                 argv[0]);
+    return 2;
+  }
+  std::sort(inputs.begin(), inputs.end());  // deterministic replay order
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.reserve(inputs.size());
+  for (const auto& path : inputs) corpus.push_back(read_file(path));
+
+  std::uint64_t execs = 0;
+  for (const auto& input : corpus) {
+    run_one(input);
+    ++execs;
+  }
+  std::printf("replayed %zu corpus inputs\n", corpus.size());
+
+  if (mutate_seconds > 0.0) {
+    zpm::util::Rng rng(seed);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(mutate_seconds);
+    while (std::chrono::steady_clock::now() < deadline) {
+      // Batch between clock checks; each exec is typically microseconds.
+      for (int i = 0; i < 64; ++i) {
+        auto pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(corpus.size()) - 1));
+        std::vector<std::uint8_t> input = corpus[pick];
+        mutate(input, rng);
+        run_one(input);
+        ++execs;
+      }
+    }
+    std::printf("mutation loop: %llu total execs in %.1f s (seed %llu)\n",
+                static_cast<unsigned long long>(execs), mutate_seconds,
+                static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fuzz target: capture-file readers (classic pcap and pcapng).
+//
+// Every input is offered to both readers — the magic check rejects the
+// wrong format in O(1), and inputs that mutate one format's magic into
+// the other's keep getting coverage. Regressions this family found are
+// pinned in tests/test_hostile_inputs.cc (EPB length overflow, huge
+// if_tsresol timestamp cast).
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "net/pcap.h"
+#include "net/pcapng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string bytes(reinterpret_cast<const char*>(data), size);
+  {
+    std::istringstream in(bytes);
+    zpm::net::PcapReader reader(in);
+    while (reader.next()) {
+    }
+  }
+  {
+    std::istringstream in(bytes);
+    zpm::net::PcapNgReader reader(in);
+    while (reader.next()) {
+    }
+  }
+  return 0;
+}

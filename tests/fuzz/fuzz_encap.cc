@@ -1,0 +1,20 @@
+// Fuzz target: Zoom encapsulation dissection (SFU encap + media encap
+// down to RTP/RTCP), through both transport framings.
+#include <cstdint>
+#include <span>
+
+#include "zoom/classify.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::span<const std::uint8_t> payload(data, size);
+  for (auto transport :
+       {zpm::zoom::Transport::ServerBased, zpm::zoom::Transport::P2P}) {
+    zpm::zoom::DissectFlaw flaw = zpm::zoom::DissectFlaw::None;
+    auto pkt = zpm::zoom::dissect(payload, transport, &flaw);
+    if (pkt && pkt->rtp) {
+      // The parsed header must fit inside the input it was read from.
+      if (pkt->rtp->header_length() > size) __builtin_trap();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fuzz target: the whole analysis pipeline. The input is a record
+// stream — [flags u8][len u16le][payload bytes] repeated — where the
+// payload becomes the UDP payload of a synthesized frame aimed at the
+// analyzer's interesting port/direction combinations (or, in raw mode,
+// the whole Ethernet frame). This drives decode_packet, the Zoom
+// dissectors, stream/meeting tracking and health accounting together.
+#include <cstdint>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "net/build.h"
+#include "util/time.h"
+
+namespace {
+
+using zpm::util::Duration;
+using zpm::util::Timestamp;
+
+constexpr zpm::net::Ipv4Addr kCampusHost(10, 8, 0, 1);
+constexpr zpm::net::Ipv4Addr kZoomServer(170, 114, 0, 10);  // ServerDb::official
+constexpr zpm::net::Ipv4Addr kExternalPeer(23, 1, 2, 3);
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  zpm::core::AnalyzerConfig cfg;
+  cfg.quarantine_threshold = 4;  // make the quarantine path reachable
+  zpm::core::Analyzer analyzer(cfg);
+
+  Timestamp ts = Timestamp::from_seconds(1000);
+  std::size_t pos = 0;
+  while (pos + 3 <= size) {
+    std::uint8_t flags = data[pos];
+    std::size_t len = static_cast<std::size_t>(data[pos + 1]) |
+                      (static_cast<std::size_t>(data[pos + 2]) << 8);
+    pos += 3;
+    if (len > size - pos) len = size - pos;
+    std::vector<std::uint8_t> payload(data + pos, data + pos + len);
+    pos += len;
+
+    ts = ts + Duration::millis(20);
+    if (flags & 0x10) ts = ts - Duration::millis(50);  // regression path
+
+    if (flags & 0x01) {
+      // Raw mode: the payload is the whole frame (exercises L2-L4
+      // decode failures and their health categories).
+      analyzer.offer(zpm::net::RawPacket{ts, std::move(payload)});
+      continue;
+    }
+    std::uint16_t server_port = (flags & 0x02) ? 3478 : 8801;
+    bool from_server = flags & 0x04;
+    zpm::net::RawPacket pkt;
+    if (flags & 0x08) {
+      // P2P-shaped: neither endpoint in server space.
+      pkt = from_server
+                ? zpm::net::build_udp(ts, kExternalPeer, server_port, kCampusHost,
+                                      45000, payload)
+                : zpm::net::build_udp(ts, kCampusHost, 45000, kExternalPeer,
+                                      server_port, payload);
+    } else {
+      pkt = from_server
+                ? zpm::net::build_udp(ts, kZoomServer, server_port, kCampusHost,
+                                      45000, payload)
+                : zpm::net::build_udp(ts, kCampusHost, 45000, kZoomServer,
+                                      server_port, payload);
+    }
+    analyzer.offer(pkt);
+  }
+  analyzer.finish();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fuzz target: STUN message parsing (RFC 5389 header + TLV attributes),
+// with a serialize round-trip invariant on success.
+#include <cstdint>
+#include <span>
+
+#include "proto/stun.h"
+#include "util/bytes.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  auto msg = zpm::proto::StunMessage::parse({data, size});
+  if (!msg) return 0;
+  (void)msg->is_request();
+  (void)msg->is_success_response();
+  zpm::util::ByteWriter w;
+  msg->serialize(w);
+  auto again = zpm::proto::StunMessage::parse(w.view());
+  if (!again) __builtin_trap();
+  if (again->type != msg->type ||
+      again->attributes.size() != msg->attributes.size()) {
+    __builtin_trap();
+  }
+  return 0;
+}

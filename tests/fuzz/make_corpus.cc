@@ -1,0 +1,293 @@
+// Seed-corpus generator for the fuzz targets. Writes one directory per
+// target under the output root (default tests/fuzz/corpus), each seeded
+// with well-formed protocol bytes produced by the same builders the
+// simulator uses — the fuzzer then only has to mutate its way into the
+// interesting malformed neighborhoods instead of rediscovering the
+// formats from scratch.
+//
+// Usage: make_fuzz_corpus [output_root]
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/build.h"
+#include "net/pcap.h"
+#include "proto/rtcp.h"
+#include "proto/rtp.h"
+#include "proto/stun.h"
+#include "sim/wire.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "zoom/constants.h"
+
+using namespace zpm;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void write_seed(const fs::path& dir, const std::string& name,
+                std::span<const std::uint8_t> bytes) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<std::uint8_t> media_payload(zoom::MediaEncapType type,
+                                        std::uint8_t payload_type,
+                                        std::size_t bytes, util::Rng& rng) {
+  sim::MediaPacketSpec spec;
+  spec.encap_type = type;
+  spec.payload_type = payload_type;
+  spec.ssrc = 17;
+  spec.rtp_seq = 1000;
+  spec.rtp_timestamp = 90'000;
+  spec.media_encap_seq = 42;
+  spec.media_encap_ts = 123'456;
+  spec.packets_in_frame = 3;
+  spec.payload_bytes = bytes;
+  return sim::build_media_payload(spec, rng);
+}
+
+std::vector<std::uint8_t> rtcp_payload(util::Rng& rng, bool with_sdes) {
+  proto::SenderReport sr;
+  sr.sender_ssrc = 17;
+  sr.ntp = proto::NtpTimestamp::from_unix(util::Timestamp::from_seconds(1'000));
+  sr.rtp_timestamp = 90'000;
+  sr.packet_count = 250;
+  sr.octet_count = 250'000;
+  return sim::build_rtcp_payload(17, sr, with_sdes, 7, rng);
+}
+
+std::vector<std::uint8_t> stun_bytes(bool response) {
+  proto::StunMessage msg;
+  msg.type = response ? proto::kStunBindingResponse : proto::kStunBindingRequest;
+  for (std::size_t i = 0; i < msg.transaction_id.size(); ++i)
+    msg.transaction_id[i] = static_cast<std::uint8_t>(0xA0 + i);
+  if (response) {
+    proto::StunAttribute attr;
+    attr.type = proto::kStunAttrXorMappedAddress;
+    attr.value = {0x00, 0x01, 0x51, 0x43, 0x5e, 0x12, 0xa4, 0x43};
+    msg.attributes.push_back(attr);
+  } else {
+    proto::StunAttribute software;
+    software.type = proto::kStunAttrSoftware;
+    software.value = {'z', 'o', 'o', 'm'};
+    msg.attributes.push_back(software);
+  }
+  util::ByteWriter w;
+  msg.serialize(w);
+  return {w.view().begin(), w.view().end()};
+}
+
+/// [flags u8][len u16le][payload] — the fuzz_pipeline record format.
+void append_record(std::vector<std::uint8_t>& out, std::uint8_t flags,
+                   std::span<const std::uint8_t> payload) {
+  out.push_back(flags);
+  out.push_back(static_cast<std::uint8_t>(payload.size() & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(payload.size() >> 8));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void le16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+/// Minimal valid pcapng: SHB + IDB (with if_tsresol option) + one EPB.
+std::vector<std::uint8_t> pcapng_bytes(std::span<const std::uint8_t> frame) {
+  std::vector<std::uint8_t> out;
+  auto block = [&out](std::uint32_t type, std::vector<std::uint8_t> body) {
+    while (body.size() % 4 != 0) body.push_back(0);
+    auto total = static_cast<std::uint32_t>(12 + body.size());
+    le32(out, type);
+    le32(out, total);
+    out.insert(out.end(), body.begin(), body.end());
+    le32(out, total);
+  };
+  {
+    // Section Header Block.
+    std::vector<std::uint8_t> body;
+    le32(body, 0x1A2B3C4D);  // byte-order magic
+    le16(body, 1);           // major
+    le16(body, 0);           // minor
+    le32(body, 0xFFFFFFFF);  // section length unknown (64-bit -1)
+    le32(body, 0xFFFFFFFF);
+    block(0x0A0D0D0A, std::move(body));
+  }
+  {
+    // Interface Description Block: linktype 1, if_tsresol = 6 (micros).
+    std::vector<std::uint8_t> body;
+    le16(body, 1);  // LINKTYPE_ETHERNET
+    le16(body, 0);  // reserved
+    le32(body, 0);  // snaplen unlimited
+    le16(body, 9);  // if_tsresol
+    le16(body, 1);  // option length (value padded to 4)
+    body.insert(body.end(), {6, 0, 0, 0});
+    le16(body, 0);  // opt_endofopt
+    le16(body, 0);
+    block(0x00000001, std::move(body));
+  }
+  {
+    // Enhanced Packet Block.
+    std::vector<std::uint8_t> body;
+    le32(body, 0);  // interface 0
+    std::uint64_t ts = 1'000'000'000ull;  // 1000 s in micros (tsresol 6)
+    le32(body, static_cast<std::uint32_t>(ts >> 32));
+    le32(body, static_cast<std::uint32_t>(ts));
+    auto captured = static_cast<std::uint32_t>(frame.size());
+    le32(body, captured);
+    le32(body, captured);
+    body.insert(body.end(), frame.begin(), frame.end());
+    block(0x00000006, std::move(body));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path("tests/fuzz/corpus");
+  util::Rng rng(0xF022);
+
+  auto video = media_payload(zoom::MediaEncapType::Video, zoom::pt::kVideoMain,
+                             600, rng);
+  auto audio = media_payload(zoom::MediaEncapType::Audio,
+                             zoom::pt::kAudioSpeaking, 120, rng);
+  auto screen = media_payload(zoom::MediaEncapType::ScreenShare,
+                              zoom::pt::kScreenShareMain, 800, rng);
+  auto rtcp = rtcp_payload(rng, false);
+  auto rtcp_sdes = rtcp_payload(rng, true);
+  auto unknown = sim::build_unknown_payload(24, 5, 90, rng);
+  auto sfu_video = sim::wrap_sfu(video, 100, true);
+  auto sfu_audio = sim::wrap_sfu(audio, 101, false);
+  auto sfu_screen = sim::wrap_sfu(screen, 102, true);
+  auto sfu_rtcp = sim::wrap_sfu(rtcp, 103, true);
+  auto sfu_rtcp_sdes = sim::wrap_sfu(rtcp_sdes, 104, true);
+  auto sfu_unknown = sim::wrap_sfu(unknown, 105, false);
+  auto sfu_odd = sim::wrap_sfu(video, 106, true, 0x07);
+
+  // fuzz_encap: SFU-wrapped (server transport) and bare (P2P) payloads.
+  write_seed(root / "fuzz_encap", "sfu_video.bin", sfu_video);
+  write_seed(root / "fuzz_encap", "sfu_audio.bin", sfu_audio);
+  write_seed(root / "fuzz_encap", "sfu_screen.bin", sfu_screen);
+  write_seed(root / "fuzz_encap", "sfu_rtcp.bin", sfu_rtcp);
+  write_seed(root / "fuzz_encap", "sfu_rtcp_sdes.bin", sfu_rtcp_sdes);
+  write_seed(root / "fuzz_encap", "sfu_unknown.bin", sfu_unknown);
+  write_seed(root / "fuzz_encap", "sfu_odd_type.bin", sfu_odd);
+  write_seed(root / "fuzz_encap", "p2p_video.bin", video);
+  write_seed(root / "fuzz_encap", "p2p_audio.bin", audio);
+
+  // fuzz_rtp: the RTP portion (skip the media encap header).
+  {
+    std::size_t off = zoom::media_payload_offset(
+        static_cast<std::uint8_t>(zoom::MediaEncapType::Video));
+    std::span<const std::uint8_t> v(video);
+    write_seed(root / "fuzz_rtp", "video_rtp.bin", v.subspan(off));
+    off = zoom::media_payload_offset(
+        static_cast<std::uint8_t>(zoom::MediaEncapType::Audio));
+    std::span<const std::uint8_t> a(audio);
+    write_seed(root / "fuzz_rtp", "audio_rtp.bin", a.subspan(off));
+    // One with CSRCs and an extension block.
+    proto::RtpHeader h;
+    h.csrc_count = 2;
+    h.csrcs = {1, 2};
+    h.extension = true;
+    h.extension_profile = 0xBEDE;
+    h.extension_data = {1, 2, 3, 4};
+    h.payload_type = zoom::pt::kVideoMain;
+    h.sequence = 7;
+    h.timestamp = 1234;
+    h.ssrc = 99;
+    util::ByteWriter w;
+    h.serialize(w);
+    std::vector<std::uint8_t> bytes(w.view().begin(), w.view().end());
+    bytes.insert(bytes.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+    write_seed(root / "fuzz_rtp", "csrc_ext.bin", bytes);
+  }
+
+  // fuzz_rtcp: compound bodies (strip media encap + the RTCP offset).
+  {
+    std::size_t off = zoom::media_payload_offset(
+        static_cast<std::uint8_t>(zoom::MediaEncapType::RtcpSr));
+    std::span<const std::uint8_t> r1(rtcp);
+    write_seed(root / "fuzz_rtcp", "sr.bin", r1.subspan(off));
+    std::span<const std::uint8_t> r2(rtcp_sdes);
+    write_seed(root / "fuzz_rtcp", "sr_sdes.bin", r2.subspan(off));
+  }
+
+  // fuzz_stun.
+  write_seed(root / "fuzz_stun", "binding_request.bin", stun_bytes(false));
+  write_seed(root / "fuzz_stun", "binding_response.bin", stun_bytes(true));
+
+  // fuzz_capture_file: classic pcap + pcapng wrapping real frames.
+  auto ts = util::Timestamp::from_seconds(1000);
+  net::Ipv4Addr client(10, 8, 0, 1);
+  net::Ipv4Addr server(170, 114, 0, 10);
+  auto frame1 = net::build_udp(ts, client, 45000, server, 8801, sfu_video);
+  auto frame2 = net::build_udp(ts + util::Duration::millis(20), server, 8801,
+                               client, 45000, sfu_audio);
+  auto frame3 = net::build_udp(ts + util::Duration::millis(40), client, 52000,
+                               server, 3478, stun_bytes(false));
+  {
+    std::ostringstream buf;
+    net::PcapWriter writer(buf);
+    writer.write(frame1);
+    writer.write(frame2);
+    writer.write(frame3);
+    std::string s = buf.str();
+    write_seed(root / "fuzz_capture_file", "three_packets.pcap",
+               {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+  {
+    std::ostringstream buf;
+    net::PcapWriter writer(buf, 96);  // snaplen-truncating writer
+    writer.write(frame1);
+    std::string s = buf.str();
+    write_seed(root / "fuzz_capture_file", "truncated.pcap",
+               {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+  write_seed(root / "fuzz_capture_file", "one_packet.pcapng",
+             pcapng_bytes(frame1.data));
+
+  // fuzz_pipeline: a record stream touching every flag mode.
+  {
+    std::vector<std::uint8_t> stream;
+    append_record(stream, 0x00, sfu_video);          // client -> server media
+    append_record(stream, 0x04, sfu_audio);          // server -> client media
+    append_record(stream, 0x00, sfu_rtcp);           // RTCP
+    append_record(stream, 0x02, stun_bytes(false));  // STUN request
+    append_record(stream, 0x06, stun_bytes(true));   // STUN response
+    append_record(stream, 0x08, video);              // P2P-shaped media
+    append_record(stream, 0x10, sfu_screen);         // timestamp regression
+    append_record(stream, 0x00, unknown);            // undecodable control
+    append_record(stream, 0x01, frame1.data);        // raw frame mode
+    write_seed(root / "fuzz_pipeline", "mixed.bin", stream);
+
+    std::vector<std::uint8_t> hostile;
+    std::vector<std::uint8_t> shortv(sfu_video.begin(), sfu_video.begin() + 6);
+    append_record(hostile, 0x00, shortv);  // truncated SFU encap
+    std::vector<std::uint8_t> bad_rtp = sfu_video;
+    bad_rtp[8 + 27] = 0x00;  // RTP version byte zeroed (media offset 27)
+    append_record(hostile, 0x00, bad_rtp);
+    std::vector<std::uint8_t> garbage(64, 0xAA);
+    append_record(hostile, 0x02, garbage);  // not-STUN on 3478
+    append_record(hostile, 0x01, garbage);  // undecodable raw frame
+    write_seed(root / "fuzz_pipeline", "hostile.bin", hostile);
+  }
+
+  std::printf("corpus written under %s\n", root.string().c_str());
+  return 0;
+}

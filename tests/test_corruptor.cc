@@ -1,0 +1,187 @@
+// sim::TraceCorruptor: determinism, record accounting, cut windows and
+// per-impairment behaviour of the fault-injection pass.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/build.h"
+#include "sim/corruptor.h"
+#include "sim/meeting.h"
+
+namespace zpm::sim {
+namespace {
+
+std::vector<net::RawPacket> clean_trace(std::size_t n) {
+  std::vector<net::RawPacket> trace;
+  net::Ipv4Addr client(10, 8, 0, 1);
+  net::Ipv4Addr server(170, 114, 0, 10);
+  util::Rng rng(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto ts = util::Timestamp::from_seconds(100) +
+              util::Duration::millis(static_cast<std::int64_t>(20 * i));
+    std::vector<std::uint8_t> payload(
+        static_cast<std::size_t>(rng.uniform_int(60, 400)));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u32() >> 24);
+    trace.push_back(net::build_udp(ts, client, 45000, server, 8801, payload));
+  }
+  return trace;
+}
+
+std::vector<net::RawPacket> corrupt_all(const CorruptorConfig& cfg,
+                                        const std::vector<net::RawPacket>& trace,
+                                        CorruptionStats* stats = nullptr) {
+  TraceCorruptor corruptor(cfg);
+  std::vector<net::RawPacket> out;
+  for (const auto& pkt : trace) corruptor.process(pkt, out);
+  if (stats) *stats = corruptor.stats();
+  return out;
+}
+
+TEST(Corruptor, SameSeedSameOutput) {
+  auto trace = clean_trace(500);
+  auto cfg = CorruptorConfig::hostile(42);
+  cfg.trace_start = trace.front().ts;
+  cfg.trace_duration = trace.back().ts - trace.front().ts;
+
+  CorruptionStats s1, s2;
+  auto out1 = corrupt_all(cfg, trace, &s1);
+  auto out2 = corrupt_all(cfg, trace, &s2);
+  EXPECT_EQ(s1, s2);
+  ASSERT_EQ(out1.size(), out2.size());
+  for (std::size_t i = 0; i < out1.size(); ++i) {
+    EXPECT_EQ(out1[i].ts, out2[i].ts) << i;
+    EXPECT_EQ(out1[i].data, out2[i].data) << i;
+    EXPECT_EQ(out1[i].orig_len, out2[i].orig_len) << i;
+  }
+
+  // A different seed must change the output (with 500 records and the
+  // hostile rates the probability of identical decisions is negligible).
+  auto cfg2 = cfg;
+  cfg2.seed = 43;
+  CorruptionStats s3;
+  corrupt_all(cfg2, trace, &s3);
+  EXPECT_NE(s1, s3);
+}
+
+TEST(Corruptor, RecordAccountingBalances) {
+  auto trace = clean_trace(2000);
+  auto cfg = CorruptorConfig::hostile(7);
+  cfg.trace_start = trace.front().ts;
+  cfg.trace_duration = trace.back().ts - trace.front().ts;
+
+  CorruptionStats s;
+  auto out = corrupt_all(cfg, trace, &s);
+  EXPECT_EQ(s.offered, trace.size());
+  EXPECT_EQ(s.emitted, out.size());
+  // Every offered record is either dropped (randomly or by a cut) or
+  // emitted; duplicates and look-alikes add extra emissions.
+  EXPECT_EQ(s.offered - s.dropped - s.cut_dropped + s.duplicated +
+                s.lookalikes_injected,
+            s.emitted);
+  // With 2000 records every hostile impairment should have fired.
+  EXPECT_GT(s.truncated, 0u);
+  EXPECT_GT(s.header_flips, 0u);
+  EXPECT_GT(s.payload_flips, 0u);
+  EXPECT_GT(s.dropped, 0u);
+  EXPECT_GT(s.cut_dropped, 0u);
+  EXPECT_GT(s.duplicated, 0u);
+  EXPECT_GT(s.ts_regressions, 0u);
+  EXPECT_GT(s.lookalikes_injected, 0u);
+}
+
+TEST(Corruptor, TruncationSetsOrigLen) {
+  auto trace = clean_trace(400);
+  CorruptorConfig cfg;
+  cfg.seed = 5;
+  cfg.truncate_prob = 1.0;
+  cfg.snaplen = 96;
+
+  CorruptionStats s;
+  auto out = corrupt_all(cfg, trace, &s);
+  ASSERT_EQ(out.size(), trace.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (trace[i].data.size() > 96) {
+      EXPECT_EQ(out[i].data.size(), 96u) << i;
+      EXPECT_EQ(out[i].orig_len, trace[i].data.size()) << i;
+      EXPECT_TRUE(out[i].is_truncated()) << i;
+    } else {
+      EXPECT_EQ(out[i].data, trace[i].data) << i;
+      EXPECT_FALSE(out[i].is_truncated()) << i;
+    }
+  }
+  EXPECT_GT(s.truncated, 0u);
+}
+
+TEST(Corruptor, CutWindowsDropEveryRecordInside) {
+  auto trace = clean_trace(1000);
+  CorruptorConfig cfg;
+  cfg.seed = 11;
+  cfg.capture_cuts = 3;
+  cfg.cut_duration = util::Duration::seconds(2);
+  cfg.trace_start = trace.front().ts;
+  cfg.trace_duration = trace.back().ts - trace.front().ts;
+
+  TraceCorruptor corruptor(cfg);
+  ASSERT_EQ(corruptor.cut_windows().size(), 3u);
+  std::vector<net::RawPacket> out;
+  std::uint64_t inside = 0;
+  for (const auto& pkt : trace) {
+    for (const auto& [from, to] : corruptor.cut_windows())
+      if (pkt.ts >= from && pkt.ts < to) {
+        ++inside;
+        break;
+      }
+    corruptor.process(pkt, out);
+  }
+  EXPECT_EQ(corruptor.stats().cut_dropped, inside);
+  EXPECT_GT(inside, 0u);
+  EXPECT_EQ(out.size(), trace.size() - inside);
+  for (const auto& pkt : out)
+    for (const auto& [from, to] : corruptor.cut_windows())
+      EXPECT_FALSE(pkt.ts >= from && pkt.ts < to);
+}
+
+TEST(Corruptor, ZeroConfigPassesThroughUntouched) {
+  auto trace = clean_trace(100);
+  CorruptorConfig cfg;  // all probabilities zero
+  CorruptionStats s;
+  auto out = corrupt_all(cfg, trace, &s);
+  ASSERT_EQ(out.size(), trace.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].ts, trace[i].ts);
+    EXPECT_EQ(out[i].data, trace[i].data);
+  }
+  EXPECT_EQ(s.offered, 100u);
+  EXPECT_EQ(s.emitted, 100u);
+}
+
+TEST(Corruptor, MeetingSimCleanUnlessConfigured) {
+  // nullopt corruption must be byte-identical to the pre-corruptor
+  // generator, and corruption_stats() must report accordingly.
+  sim::MeetingConfig mc;
+  mc.seed = 3;
+  mc.duration = util::Duration::seconds(20);
+  sim::ParticipantConfig a, b;
+  a.ip = net::Ipv4Addr(10, 8, 0, 1);
+  b.ip = net::Ipv4Addr(98, 0, 0, 2);
+  b.on_campus = false;
+  mc.participants = {a, b};
+
+  sim::MeetingSim clean(mc);
+  EXPECT_EQ(clean.corruption_stats(), nullptr);
+  std::uint64_t clean_count = 0;
+  while (clean.next_packet()) ++clean_count;
+
+  mc.corruption = CorruptorConfig::hostile(1);
+  sim::MeetingSim dirty(mc);
+  std::uint64_t dirty_count = 0;
+  while (dirty.next_packet()) ++dirty_count;
+  ASSERT_NE(dirty.corruption_stats(), nullptr);
+  const auto& s = *dirty.corruption_stats();
+  EXPECT_EQ(s.offered, clean_count);
+  EXPECT_EQ(s.emitted, dirty_count);
+  EXPECT_GT(s.dropped + s.cut_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace zpm::sim

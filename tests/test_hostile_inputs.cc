@@ -1,0 +1,193 @@
+// Minimized regressions for parser bugs surfaced by the fuzzing
+// harness (tests/fuzz/), plus hostile-payload behaviour on the Zoom
+// ports. Each pcapng fixture is the smallest byte sequence that
+// reaches the fixed code path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "net/build.h"
+#include "net/pcap.h"
+#include "net/pcapng.h"
+#include "util/rng.h"
+
+namespace zpm {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  put_u16(v, static_cast<std::uint16_t>(x));
+  put_u16(v, static_cast<std::uint16_t>(x >> 16));
+}
+
+/// Frames `body` as a pcapng block: type, computed total length, body
+/// padded to 32 bits, trailing total length.
+std::vector<std::uint8_t> block(std::uint32_t type, std::vector<std::uint8_t> body) {
+  while (body.size() % 4 != 0) body.push_back(0);
+  std::vector<std::uint8_t> out;
+  put_u32(out, type);
+  put_u32(out, static_cast<std::uint32_t>(12 + body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  put_u32(out, static_cast<std::uint32_t>(12 + body.size()));
+  return out;
+}
+
+std::vector<std::uint8_t> section_header() {
+  std::vector<std::uint8_t> body;
+  put_u32(body, 0x1a2b3c4d);  // byte-order magic
+  put_u16(body, 1);           // major
+  put_u16(body, 0);           // minor
+  put_u32(body, 0xffffffff);  // section length = -1 (unknown)
+  put_u32(body, 0xffffffff);
+  return block(0x0a0d0d0a, body);
+}
+
+std::vector<std::uint8_t> interface_block(std::uint8_t tsresol) {
+  std::vector<std::uint8_t> body;
+  put_u16(body, 1);      // LINKTYPE_ETHERNET
+  put_u16(body, 0);      // reserved
+  put_u32(body, 65535);  // snaplen
+  put_u16(body, 9);      // if_tsresol
+  put_u16(body, 1);
+  body.push_back(tsresol);
+  body.push_back(0);  // option padding
+  body.push_back(0);
+  body.push_back(0);
+  put_u16(body, 0);  // opt_endofopt
+  put_u16(body, 0);
+  return block(1, body);
+}
+
+std::vector<std::uint8_t> enhanced_packet(std::uint32_t ts_high,
+                                          std::uint32_t ts_low,
+                                          std::uint32_t captured_field,
+                                          const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, 0);  // interface id
+  put_u32(body, ts_high);
+  put_u32(body, ts_low);
+  put_u32(body, captured_field);
+  put_u32(body, captured_field);  // original length
+  body.insert(body.end(), data.begin(), data.end());
+  return block(6, body);
+}
+
+std::string to_stream(std::initializer_list<std::vector<std::uint8_t>> blocks) {
+  std::string s;
+  for (const auto& b : blocks) s.append(b.begin(), b.end());
+  return s;
+}
+
+TEST(HostileInputs, PcapNgEpbCapturedLengthOverflowIsRejected) {
+  // Fuzzer find: a captured-length near UINT32_MAX made the bounds
+  // check `20 + captured <= body.size()` wrap in 32-bit arithmetic and
+  // pass, so the copy read far beyond the block body. The fixed check
+  // compares against `body.size() - 20` and must reject the record.
+  auto file = to_stream({section_header(), interface_block(6),
+                         enhanced_packet(0, 0, 0xfffffff0u, {1, 2, 3, 4})});
+  std::istringstream in(file);
+  net::PcapNgReader reader(in);
+  EXPECT_EQ(reader.next(), std::nullopt);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("exceeds"), std::string::npos) << reader.error();
+}
+
+TEST(HostileInputs, PcapNgCoarseTsresolHugeTimestampClamps) {
+  // Fuzzer find: if_tsresol = 0 declares one tick per second, so an
+  // all-ones 64-bit timestamp converts to ~1.8e25 microseconds —
+  // casting that long double to int64 is undefined behaviour. The
+  // fixed path clamps to the largest representable microsecond count.
+  std::vector<std::uint8_t> frame(14, 0);
+  auto file = to_stream({section_header(), interface_block(0),
+                         enhanced_packet(0xffffffffu, 0xffffffffu,
+                                         static_cast<std::uint32_t>(frame.size()),
+                                         frame)});
+  std::istringstream in(file);
+  net::PcapNgReader reader(in);
+  auto pkt = reader.next();
+  ASSERT_TRUE(pkt.has_value()) << reader.error();
+  EXPECT_EQ(pkt->ts, util::Timestamp::from_micros(9'000'000'000'000'000'000LL));
+  EXPECT_EQ(pkt->data.size(), frame.size());
+  EXPECT_EQ(reader.next(), std::nullopt);
+  EXPECT_TRUE(reader.ok()) << reader.error();
+}
+
+TEST(HostileInputs, PcapNgPowerOfTwoTsresolExponentSaturates) {
+  // Fuzzer find: if_tsresol with the high bit set declares a power-of-
+  // two resolution, and an exponent of 104 made the reader execute
+  // `1ULL << 104` — undefined behaviour. The fixed path saturates the
+  // tick rate, which collapses such timestamps to zero microseconds.
+  std::vector<std::uint8_t> frame(14, 0);
+  auto file = to_stream({section_header(), interface_block(0x80 | 104),
+                         enhanced_packet(0, 1'000'000,
+                                         static_cast<std::uint32_t>(frame.size()),
+                                         frame)});
+  std::istringstream in(file);
+  net::PcapNgReader reader(in);
+  auto pkt = reader.next();
+  ASSERT_TRUE(pkt.has_value()) << reader.error();
+  EXPECT_EQ(pkt->ts, util::Timestamp::from_micros(0));
+  EXPECT_TRUE(reader.ok()) << reader.error();
+}
+
+TEST(HostileInputs, TruncatedPcapStopsCleanlyAfterLastFullRecord) {
+  auto ts = util::Timestamp::from_seconds(5);
+  net::Ipv4Addr client(10, 8, 0, 1), server(170, 114, 0, 10);
+  std::stringstream buf;
+  {
+    net::PcapWriter writer(buf);
+    writer.write(net::build_udp(ts, client, 45000, server, 8801,
+                                std::vector<std::uint8_t>(64, 0xaa)));
+    writer.write(net::build_udp(ts, client, 45000, server, 8801,
+                                std::vector<std::uint8_t>(64, 0xbb)));
+  }
+  // Cut the capture mid-way through the second record, as a dying
+  // capture host would.
+  std::string bytes = buf.str();
+  std::istringstream in(bytes.substr(0, bytes.size() - 40));
+  net::PcapReader reader(in);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_EQ(reader.next(), std::nullopt);
+  EXPECT_EQ(reader.packets_read(), 1u);
+}
+
+TEST(HostileInputs, GarbageOnZoomPortsIsAccountedNotFatal) {
+  // Random payloads aimed at the Zoom server ports must flow through
+  // the full analyzer without crashing, yield no streams, and leave an
+  // audit trail in the health counters.
+  net::Ipv4Addr client(10, 8, 0, 1), server(170, 114, 0, 10);
+  util::Rng rng(99);
+  std::vector<net::RawPacket> trace;
+  for (int i = 0; i < 200; ++i) {
+    auto ts = util::Timestamp::from_seconds(10) +
+              util::Duration::millis(5 * i);
+    std::vector<std::uint8_t> payload(
+        static_cast<std::size_t>(rng.uniform_int(24, 300)));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u32() >> 24);
+    std::uint16_t dport = (i % 2 == 0) ? 8801 : 3478;
+    trace.push_back(net::build_udp(ts, client,
+                                   static_cast<std::uint16_t>(40000 + i),
+                                   server, dport, payload));
+  }
+  core::Analyzer analyzer(core::AnalyzerConfig{});
+  for (const auto& pkt : trace) analyzer.offer(pkt);
+  analyzer.finish();
+
+  EXPECT_EQ(analyzer.counters().total_packets, trace.size());
+  EXPECT_EQ(analyzer.streams().size(), 0u);
+  // Every port-3478 record fails STUN parsing (a random payload cannot
+  // carry the magic cookie) and must be flagged.
+  EXPECT_EQ(analyzer.health().malformed_stun, 100u);
+  EXPECT_FALSE(analyzer.health().all_clear());
+}
+
+}  // namespace
+}  // namespace zpm
