@@ -15,8 +15,9 @@
 //                     (zpm_pcap_filter default 5eedcafef00dd00d); the
 //                     server subnets are mapped through the same
 //                     prefix-preserving function so detection still works
-//   --strict          exit 3 at the first malformed record instead of
-//                     counting it in the health section
+//   --strict          record the first malformed record and exit 3 once
+//                     analysis completes (the record still shows up in
+//                     the health section)
 //   --corrupt <seed>  run the input through the hostile fault-injection
 //                     mix (sim/corruptor.h) before analysis — robustness
 //                     demos and health-accounting checks
@@ -286,7 +287,9 @@ int main(int argc, char** argv) {
       serial->offer(pkt);
   };
 
-  const sim::CorruptionStats* corruption = nullptr;
+  // Copied by value: the simulator / corruption queue producing the
+  // tallies dies with its branch scope, but the report prints later.
+  std::optional<sim::CorruptionStats> corruption;
   if (input == "--demo") {
     sim::MeetingConfig mc;
     mc.seed = 21;
@@ -302,7 +305,7 @@ int main(int argc, char** argv) {
     if (corrupt_seed) mc.corruption = sim::CorruptorConfig::hostile(*corrupt_seed);
     sim::MeetingSim sim(mc);
     while (auto pkt = sim.next_packet()) offer(*pkt);
-    corruption = sim.corruption_stats();
+    if (const auto* cs = sim.corruption_stats()) corruption = *cs;
   } else {
     auto source = net::open_capture(input);
     if (!source) {
@@ -323,7 +326,7 @@ int main(int argc, char** argv) {
       ++records;
       offer(*pkt);
     }
-    if (corruptor) corruption = &corruptor->corruptor().stats();
+    if (corruptor) corruption = corruptor->corruptor().stats();
     if (records == 0) {
       std::fprintf(stderr, "error: %s: %s\n", input.c_str(),
                    source->ok() ? "capture contains no records"
@@ -333,13 +336,6 @@ int main(int argc, char** argv) {
     if (!source->ok()) {
       std::fprintf(stderr, "warning: capture ended with error: %s\n",
                    source->error().c_str());
-    }
-    if (corruption) {
-      // The queue dies with this scope; keep the tallies alive for the
-      // report below.
-      static sim::CorruptionStats saved;
-      saved = *corruption;
-      corruption = &saved;
     }
   }
 

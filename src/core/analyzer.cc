@@ -108,7 +108,7 @@ void Analyzer::note_flow_quality(const net::FiveTuple& flow, bool malformed,
   if (++streak >= config_.quarantine_threshold) {
     malformed_streaks_.erase(flow);
     quarantined_.insert(flow);
-    flag(&AnalyzerHealth::quarantined_flows, "quarantined-flow", ts);
+    flag(&AnalyzerHealth::quarantined_flows, "quarantined-flows", ts);
   }
 }
 
