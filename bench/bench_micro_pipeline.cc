@@ -2,8 +2,11 @@
 // capture filter and the analyzer hot path (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "capture/filter.h"
 #include "core/analyzer.h"
+#include "proto/stun.h"
 #include "sim/meeting.h"
 
 namespace {
@@ -61,6 +64,28 @@ void BM_AnalyzerPerPacket(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_AnalyzerPerPacket);
+
+/// The dispatcher's STUN pre-validation (allocation-free) against the
+/// full parse it replaced on the broadcast path.
+void BM_StunValidateVsParse(benchmark::State& state) {
+  std::array<std::uint8_t, 12> txn{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  util::ByteWriter w;
+  proto::make_binding_response(txn, net::Ipv4Addr(10, 8, 0, 1), 40000)
+      .serialize(w);
+  auto bytes = w.take();
+  const bool parse = state.range(0) != 0;
+  for (auto _ : state) {
+    if (parse) {
+      auto msg = proto::StunMessage::parse(bytes);
+      benchmark::DoNotOptimize(msg);
+    } else {
+      bool ok = proto::StunMessage::validates(bytes);
+      benchmark::DoNotOptimize(ok);
+    }
+  }
+  state.SetLabel(parse ? "parse" : "validates");
+}
+BENCHMARK(BM_StunValidateVsParse)->Arg(0)->Arg(1);
 
 void BM_AnonymizeAddress(benchmark::State& state) {
   capture::PrefixPreservingAnonymizer anon(0xfeed);

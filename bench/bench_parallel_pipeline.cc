@@ -5,7 +5,9 @@
 // the dispatch overhead.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -78,6 +80,41 @@ BENCHMARK(BM_ParallelPipeline)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// The sharded pipeline fed through offer_batch() with pinned views —
+/// the mapped-ingest fast path (one ring publish per shard per batch,
+/// no per-packet copies).
+void BM_ParallelPipelineBatched(benchmark::State& state) {
+  const auto& packets = trace();
+  // The owned trace outlives every run, so Pinned is legal.
+  std::vector<net::RawPacketView> views;
+  views.reserve(packets.size());
+  for (const auto& pkt : packets) views.push_back(net::as_view(pkt));
+  constexpr std::size_t kBatch = 1024;
+  for (auto _ : state) {
+    pipeline::ParallelAnalyzerConfig cfg;
+    cfg.analyzer.keep_frames = false;
+    cfg.shards = static_cast<std::size_t>(state.range(0));
+    pipeline::ParallelAnalyzer analyzer(cfg);
+    for (std::size_t i = 0; i < views.size(); i += kBatch) {
+      auto n = std::min(kBatch, views.size() - i);
+      analyzer.offer_batch(std::span<const net::RawPacketView>(&views[i], n),
+                           pipeline::BatchLifetime::Pinned);
+    }
+    analyzer.finish();
+    benchmark::DoNotOptimize(analyzer.counters().zoom_packets);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packets.size()));
+  state.SetLabel(std::to_string(std::thread::hardware_concurrency()) + " cores");
+}
+BENCHMARK(BM_ParallelPipelineBatched)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 /// Raw ring throughput: one producer, one consumer, 64-bit items.
 void BM_SpscRingThroughput(benchmark::State& state) {
   constexpr std::uint64_t kBatch = 1 << 20;
@@ -96,6 +133,42 @@ void BM_SpscRingThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(kBatch));
 }
 BENCHMARK(BM_SpscRingThroughput)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Ring throughput with batched push/pop (one atomic publish per batch)
+/// at the arg'd batch size — the pipeline handoff's building block.
+void BM_SpscRingBatchThroughput(benchmark::State& state) {
+  constexpr std::uint64_t kItems = 1 << 20;
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    util::SpscRing<std::uint64_t> ring(1 << 12);
+    std::thread producer([&ring, batch_size] {
+      std::vector<std::uint64_t> batch(batch_size);
+      std::uint64_t next = 0;
+      while (next < kItems) {
+        for (auto& v : batch) v = next++;
+        ring.push_batch(std::span<std::uint64_t>(batch));
+      }
+      ring.close();
+    });
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> out;
+    out.reserve(batch_size);
+    while (ring.pop_batch(out, batch_size) > 0) {
+      for (std::uint64_t v : out) sum += v;
+      out.clear();
+    }
+    producer.join();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kItems));
+}
+BENCHMARK(BM_SpscRingBatchThroughput)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

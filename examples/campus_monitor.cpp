@@ -4,17 +4,82 @@
 // This is the "capacity planning / troubleshooting" use case from §1.
 //
 // Usage: campus_monitor [hours] [meetings_per_peak_hour]
+//        campus_monitor --pcap <capture.pcap[ng]>
+//
+// With --pcap the monitor replays a recorded capture through the
+// analyzer using the zero-copy batched ingest path (no capture filter:
+// the file is assumed to already be the filtered campus feed) and
+// prints the same day summary.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "capture/filter.h"
 #include "core/analyzer.h"
+#include "net/trace_source.h"
 #include "sim/campus.h"
 #include "util/strings.h"
 
 using namespace zpm;
 
+namespace {
+
+void print_summary(core::Analyzer& analyzer, std::uint64_t processed) {
+  const auto& c = analyzer.counters();
+  std::printf("\nday summary: %llu packets processed, %llu Zoom (%s), "
+              "%zu meetings, %zu streams\n",
+              static_cast<unsigned long long>(processed),
+              static_cast<unsigned long long>(c.zoom_packets),
+              util::human_bytes(c.zoom_bytes).c_str(),
+              analyzer.meetings().meeting_count(), analyzer.streams().size());
+  const auto& h = analyzer.health();
+  if (h.all_clear()) {
+    std::printf("analyzer health: all clear\n");
+  } else {
+    std::printf("analyzer health: %llu records dropped "
+                "(%llu L2-L4, %llu Zoom-layer, %llu quarantined)\n",
+                static_cast<unsigned long long>(h.dropped_records()),
+                static_cast<unsigned long long>(h.truncated_l2 + h.bad_l3 + h.bad_l4),
+                static_cast<unsigned long long>(h.bad_sfu_encap + h.bad_media_encap +
+                                                h.malformed_rtp + h.malformed_rtcp +
+                                                h.malformed_stun),
+                static_cast<unsigned long long>(h.quarantined_packets));
+  }
+}
+
+int monitor_pcap(const char* path) {
+  net::TraceSource source(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "error: cannot open %s (%s)\n", path,
+                 source.error().c_str());
+    return 1;
+  }
+  core::AnalyzerConfig an_cfg;
+  an_cfg.keep_frames = false;
+  core::Analyzer analyzer(an_cfg);
+
+  std::printf("campus monitor: replaying %s (%s ingest)\n", path,
+              source.mapped() ? "mapped zero-copy" : "streaming");
+  constexpr std::size_t kBatch = 1024;
+  std::vector<net::RawPacketView> batch;
+  batch.reserve(kBatch);
+  while (source.next_batch(batch, kBatch) > 0) {
+    for (const auto& view : batch) analyzer.offer(view);
+  }
+  if (!source.ok())
+    std::fprintf(stderr, "warning: capture ended with error: %s\n",
+                 source.error().c_str());
+  analyzer.finish();
+  print_summary(analyzer, source.packets_read());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 2 && !std::strcmp(argv[1], "--pcap")) return monitor_pcap(argv[2]);
+
   double hours = argc > 1 ? std::atof(argv[1]) : 1.0;
   double meetings = argc > 2 ? std::atof(argv[2]) : 6.0;
 
@@ -78,26 +143,6 @@ int main(int argc, char** argv) {
     }
   }
   analyzer.finish();
-
-  const auto& c = analyzer.counters();
-  std::printf("\nday summary: %llu packets processed, %llu Zoom (%s), "
-              "%zu meetings, %zu streams\n",
-              static_cast<unsigned long long>(filter.counters().processed),
-              static_cast<unsigned long long>(c.zoom_packets),
-              util::human_bytes(c.zoom_bytes).c_str(),
-              analyzer.meetings().meeting_count(), analyzer.streams().size());
-  const auto& h = analyzer.health();
-  if (h.all_clear()) {
-    std::printf("analyzer health: all clear\n");
-  } else {
-    std::printf("analyzer health: %llu records dropped "
-                "(%llu L2-L4, %llu Zoom-layer, %llu quarantined)\n",
-                static_cast<unsigned long long>(h.dropped_records()),
-                static_cast<unsigned long long>(h.truncated_l2 + h.bad_l3 + h.bad_l4),
-                static_cast<unsigned long long>(h.bad_sfu_encap + h.bad_media_encap +
-                                                h.malformed_rtp + h.malformed_rtcp +
-                                                h.malformed_stun),
-                static_cast<unsigned long long>(h.quarantined_packets));
-  }
+  print_summary(analyzer, filter.counters().processed);
   return 0;
 }

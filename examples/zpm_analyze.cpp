@@ -35,7 +35,7 @@
 #include "analysis/tables.h"
 #include "capture/anonymizer.h"
 #include "core/analyzer.h"
-#include "net/pcapng.h"
+#include "net/trace_source.h"
 #include "pipeline/parallel_analyzer.h"
 #include "sim/corruptor.h"
 #include "sim/meeting.h"
@@ -290,6 +290,9 @@ int main(int argc, char** argv) {
   // Copied by value: the simulator / corruption queue producing the
   // tallies dies with its branch scope, but the report prints later.
   std::optional<sim::CorruptionStats> corruption;
+  // Declared outside the input branch: Pinned batches alias the mapped
+  // file, so the mapping must outlive ParallelAnalyzer::finish() below.
+  std::unique_ptr<net::TraceSource> source;
   if (input == "--demo") {
     sim::MeetingConfig mc;
     mc.seed = 21;
@@ -307,30 +310,49 @@ int main(int argc, char** argv) {
     while (auto pkt = sim.next_packet()) offer(*pkt);
     if (const auto* cs = sim.corruption_stats()) corruption = *cs;
   } else {
-    auto source = net::open_capture(input);
-    if (!source) {
+    source = std::make_unique<net::TraceSource>(input);
+    if (!source->ok()) {
       std::fprintf(stderr, "error: cannot open %s (unreadable, empty, or not "
                    "pcap/pcapng)\n", input.c_str());
       return 1;
     }
-    // Capture cuts need a trace extent the file does not announce;
-    // the other hostile impairments all apply record-by-record.
-    std::optional<sim::CorruptionQueue> corruptor;
-    if (corrupt_seed)
-      corruptor.emplace(sim::CorruptorConfig::hostile(*corrupt_seed));
     std::uint64_t records = 0;
-    auto pull = [&] { return source->next(); };
-    for (;;) {
-      auto pkt = corruptor ? corruptor->next(pull) : pull();
-      if (!pkt) break;
-      ++records;
-      offer(*pkt);
+    if (corrupt_seed) {
+      // Capture cuts need a trace extent the file does not announce;
+      // the other hostile impairments all apply record-by-record, so
+      // the corruption queue keeps the owned per-packet pull.
+      sim::CorruptionQueue corruptor(sim::CorruptorConfig::hostile(*corrupt_seed));
+      auto pull = [&]() -> std::optional<net::RawPacket> {
+        auto view = source->next();
+        if (!view) return std::nullopt;
+        return view->to_owned();
+      };
+      while (auto pkt = corruptor.next(pull)) {
+        ++records;
+        offer(*pkt);
+      }
+      corruption = corruptor.corruptor().stats();
+    } else {
+      // Zero-copy batched fast path: mapped traces are analyzed in
+      // place; unmappable inputs stream through a reused buffer.
+      constexpr std::size_t kBatch = 1024;
+      const auto lifetime = source->mapped() ? pipeline::BatchLifetime::Pinned
+                                            : pipeline::BatchLifetime::Transient;
+      std::vector<net::RawPacketView> batch;
+      batch.reserve(kBatch);
+      while (source->next_batch(batch, kBatch) > 0) {
+        records += batch.size();
+        if (parallel) {
+          parallel->offer_batch(batch, lifetime);
+        } else {
+          for (const auto& view : batch) serial->offer(view);
+        }
+      }
     }
-    if (corruptor) corruption = corruptor->corruptor().stats();
     if (records == 0) {
       std::fprintf(stderr, "error: %s: %s\n", input.c_str(),
                    source->ok() ? "capture contains no records"
-                                : source->error().c_str());
+                               : source->error().c_str());
       return 1;
     }
     if (!source->ok()) {

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Ingest/pipeline benchmark smoke run: builds nothing itself — expects
+# an existing build directory (default ./build, override with $1).
+#
+# Runs bench_ingest in --check mode (fails when the mapped+batched
+# reader is slower than ZPM_INGEST_SPEEDUP_MIN x the streaming
+# per-packet baseline, default 3.0, or when the steady-state producer
+# path allocates) and captures the google-benchmark pipeline numbers.
+# Artifacts: BENCH_ingest.json and BENCH_pipeline.json in the CWD.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+: "${ZPM_INGEST_SPEEDUP_MIN:=3.0}"
+export ZPM_INGEST_SPEEDUP_MIN
+
+if [[ ! -x "$BUILD_DIR/bench/bench_ingest" ]]; then
+  echo "error: $BUILD_DIR/bench/bench_ingest not built" >&2
+  exit 2
+fi
+
+echo "=== bench_ingest (speedup threshold ${ZPM_INGEST_SPEEDUP_MIN}x) ==="
+"$BUILD_DIR/bench/bench_ingest" --check BENCH_ingest.json
+
+echo "=== bench_parallel_pipeline ==="
+# google-benchmark >= 1.8 wants a "0.05s" suffix on min_time; older
+# versions only accept a bare double. Try new syntax first.
+run_pipeline() {
+  "$BUILD_DIR/bench/bench_parallel_pipeline" \
+    --benchmark_out=BENCH_pipeline.json --benchmark_out_format=json \
+    "--benchmark_min_time=$1"
+}
+run_pipeline 0.05s || run_pipeline 0.05
+
+echo "artifacts: BENCH_ingest.json BENCH_pipeline.json"

@@ -32,8 +32,9 @@ std::vector<EncapTypeRow> table2_rows(const core::AnalyzerCounters& counters) {
   // Denominator: all Zoom UDP packets (server + P2P), as in the paper.
   double total_packets =
       static_cast<double>(counters.server_udp_packets + counters.p2p_udp_packets);
+  const auto encap_types = counters.encap_types();
   double total_bytes = 0;
-  for (const auto& [value, tally] : counters.encap_types)
+  for (const auto& [value, tally] : encap_types)
     total_bytes += static_cast<double>(tally.bytes);
   // Undecoded packets also carry bytes; approximate the byte denominator
   // with zoom_bytes-scaled share of UDP payloads when available.
@@ -41,7 +42,7 @@ std::vector<EncapTypeRow> table2_rows(const core::AnalyzerCounters& counters) {
   if (denom_bytes <= 0) denom_bytes = total_bytes;
 
   std::vector<EncapTypeRow> rows;
-  for (const auto& [value, tally] : counters.encap_types) {
+  for (const auto& [value, tally] : encap_types) {
     EncapTypeRow row;
     row.value = value;
     row.packet_type = encap_type_label(value);
@@ -58,14 +59,15 @@ std::vector<EncapTypeRow> table2_rows(const core::AnalyzerCounters& counters) {
 }
 
 std::vector<PayloadTypeRow> table3_rows(const core::AnalyzerCounters& counters) {
+  const auto payload_types = counters.payload_types();
   double total_packets = 0;
   double total_bytes = 0;
-  for (const auto& [key, tally] : counters.payload_types) {
+  for (const auto& [key, tally] : payload_types) {
     total_packets += static_cast<double>(tally.packets);
     total_bytes += static_cast<double>(tally.bytes);
   }
   std::vector<PayloadTypeRow> rows;
-  for (const auto& [key, tally] : counters.payload_types) {
+  for (const auto& [key, tally] : payload_types) {
     auto kind = static_cast<zoom::MediaKind>(key.first);
     PayloadTypeRow row;
     row.media_type = media_kind_label(kind);

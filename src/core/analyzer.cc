@@ -42,16 +42,35 @@ void AnalyzerCounters::merge(const AnalyzerCounters& other) {
   unknown_sfu_packets += other.unknown_sfu_packets;
   unknown_media_packets += other.unknown_media_packets;
   p2p_false_positives += other.p2p_false_positives;
-  for (const auto& [type, tally] : other.encap_types) {
-    auto& dst = encap_types[type];
-    dst.packets += tally.packets;
-    dst.bytes += tally.bytes;
+  for (std::size_t i = 0; i < encap_tally.size(); ++i) {
+    encap_tally[i].packets += other.encap_tally[i].packets;
+    encap_tally[i].bytes += other.encap_tally[i].bytes;
   }
-  for (const auto& [key, tally] : other.payload_types) {
-    auto& dst = payload_types[key];
-    dst.packets += tally.packets;
-    dst.bytes += tally.bytes;
+  for (std::size_t i = 0; i < payload_tally.size(); ++i) {
+    payload_tally[i].packets += other.payload_tally[i].packets;
+    payload_tally[i].bytes += other.payload_tally[i].bytes;
   }
+}
+
+std::map<std::uint8_t, Tally> AnalyzerCounters::encap_types() const {
+  std::map<std::uint8_t, Tally> out;
+  for (std::size_t i = 0; i < encap_tally.size(); ++i) {
+    if (encap_tally[i].packets != 0 || encap_tally[i].bytes != 0)
+      out.emplace(static_cast<std::uint8_t>(i), encap_tally[i]);
+  }
+  return out;
+}
+
+std::map<std::pair<std::uint8_t, std::uint8_t>, Tally>
+AnalyzerCounters::payload_types() const {
+  std::map<std::pair<std::uint8_t, std::uint8_t>, Tally> out;
+  for (std::size_t i = 0; i < payload_tally.size(); ++i) {
+    if (payload_tally[i].packets != 0 || payload_tally[i].bytes != 0)
+      out.emplace(std::pair{static_cast<std::uint8_t>(i / 256),
+                            static_cast<std::uint8_t>(i % 256)},
+                  payload_tally[i]);
+  }
+  return out;
 }
 
 void Analyzer::flag(std::uint64_t AnalyzerHealth::* field,
@@ -101,9 +120,14 @@ void Analyzer::note_flow_quality(const net::FiveTuple& flow, bool malformed,
                                  util::Timestamp ts) {
   if (config_.quarantine_threshold == 0) return;
   if (!malformed) {
-    if (!malformed_streaks_.empty()) malformed_streaks_.erase(flow);
+    // A well-formed packet only needs to reset a streak that exists; the
+    // filter answers "this flow was never malformed" without touching
+    // the hash table at all.
+    if (!malformed_streaks_.empty() && bloom_maybe_contains(flow))
+      malformed_streaks_.erase(flow);
     return;
   }
+  bloom_mark(flow);
   std::uint32_t& streak = malformed_streaks_[flow];
   if (++streak >= config_.quarantine_threshold) {
     malformed_streaks_.erase(flow);
@@ -112,7 +136,7 @@ void Analyzer::note_flow_quality(const net::FiveTuple& flow, bool malformed,
   }
 }
 
-bool Analyzer::offer(const net::RawPacket& pkt) {
+bool Analyzer::offer(const net::RawPacketView& pkt) {
   ++counters_.total_packets;
   counters_.total_bytes += pkt.data.size();
   if (journal_ == nullptr) {
@@ -122,7 +146,7 @@ bool Analyzer::offer(const net::RawPacket& pkt) {
     if (pkt.is_truncated()) ++health_.snaplen_truncated;
   }
   net::DecodeFailure df = net::DecodeFailure::None;
-  auto view = net::decode_packet(pkt, &df);
+  auto view = net::decode_packet(pkt.ts, pkt.data, &df);
   if (!view) {
     if (journal_ == nullptr) note_decode_failure(df, pkt.ts);
     return false;
@@ -162,7 +186,11 @@ bool Analyzer::process_decoded(const net::PacketView& view) {
 void Analyzer::account_zoom(const net::PacketView& view) {
   ++counters_.zoom_packets;
   counters_.zoom_bytes += view.wire_length();
-  zoom_flows_.insert(view.five_tuple().canonical());
+  net::FiveTuple flow = view.five_tuple().canonical();
+  if (!last_zoom_flow_ || !(flow == *last_zoom_flow_)) {
+    zoom_flows_.insert(flow);
+    last_zoom_flow_ = flow;
+  }
 }
 
 bool Analyzer::handle_stun(const net::PacketView& view, bool server_is_src) {
@@ -185,15 +213,9 @@ bool Analyzer::handle_stun(const net::PacketView& view, bool server_is_src) {
   return true;
 }
 
-void Analyzer::register_stun_candidate(const net::PacketView& view) {
-  auto zp = zoom::dissect_stun(view.l4_payload);
-  if (!zp) return;
-  bool server_is_src = config_.server_db.contains(view.ip.src);
-  if (server_is_src) {
-    p2p_.on_stun_exchange(view.ts, view.ip.dst, view.udp.dst_port);
-  } else {
-    p2p_.on_stun_exchange(view.ts, view.ip.src, view.udp.src_port);
-  }
+void Analyzer::register_stun_candidate(util::Timestamp ts, net::Ipv4Addr ip,
+                                       std::uint16_t port) {
+  p2p_.on_stun_exchange(ts, ip, port);
 }
 
 bool Analyzer::handle_server_udp(const net::PacketView& view) {
@@ -293,12 +315,14 @@ StreamInfo& Analyzer::stream_for(const net::PacketView& view,
     client_port = view.udp.dst_port;
   }
 
-  if (StreamInfo* existing = streams_.find(key)) return *existing;
-
   auto kind = zp.media_kind().value_or(zoom::MediaKind::Audio);
+  // Single probe: get_or_create reports whether it inserted, so the
+  // common case (existing stream) does one hash lookup, not two.
+  bool created = false;
   StreamInfo& stream =
       streams_.get_or_create(key, kind, zp.transport, direction, client_ip,
-                             client_port, first_rtp_ts, view.ts);
+                             client_port, first_rtp_ts, view.ts, &created);
+  if (!created) return stream;
   std::optional<std::pair<net::Ipv4Addr, std::uint16_t>> peer;
   if (direction == StreamDirection::P2p)
     peer = std::pair{view.ip.dst, view.udp.dst_port};
@@ -333,7 +357,7 @@ void Analyzer::handle_dissected(const net::PacketView& view,
       return;
     case zoom::PacketCategory::Rtcp: {
       ++counters_.rtcp_packets;
-      auto& tally = counters_.encap_types[zp.media->type];
+      auto& tally = counters_.encap(zp.media->type);
       ++tally.packets;
       tally.bytes += view.l4_payload.size();
       // RTCP accompanies a media stream: attribute bytes to it if the
@@ -362,14 +386,14 @@ void Analyzer::handle_dissected(const net::PacketView& view,
   const auto& rtp = *zp.rtp;
   ++counters_.media_packets;
   {
-    auto& tally = counters_.encap_types[encap.type];
+    auto& tally = counters_.encap(encap.type);
     ++tally.packets;
     tally.bytes += view.l4_payload.size();
   }
   auto kind = zp.media_kind().value_or(zoom::MediaKind::Audio);
   {
-    auto& tally = counters_.payload_types[{static_cast<std::uint8_t>(kind),
-                                           rtp.payload_type}];
+    auto& tally =
+        counters_.payload(static_cast<std::uint8_t>(kind), rtp.payload_type);
     ++tally.packets;
     tally.bytes += view.l4_payload.size();
   }

@@ -9,6 +9,7 @@
 // filter.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -80,15 +81,33 @@ struct AnalyzerCounters {
   std::uint64_t unknown_media_packets = 0;
   std::uint64_t p2p_false_positives = 0;
 
-  /// Table 2: Zoom media-encap type value -> packets/bytes (bytes are
-  /// UDP payload bytes; denominator = zoom UDP packets).
-  std::map<std::uint8_t, Tally> encap_types;
-  /// Table 3: (media kind, RTP payload type) -> packets/bytes.
-  std::map<std::pair<std::uint8_t, std::uint8_t>, Tally> payload_types;
+  /// Number of zoom::MediaKind values (Table 3's first index).
+  static constexpr std::size_t kMediaKindCount = 3;
+
+  /// Table 2 tallies indexed by the Zoom media-encap type byte. A flat
+  /// array instead of a map: the per-packet hot path must not chase
+  /// node-based-container pointers (or allocate on first touch). Bytes
+  /// are UDP payload bytes; denominator = zoom UDP packets.
+  std::array<Tally, 256> encap_tally{};
+  /// Table 3 tallies indexed by kind * 256 + RTP payload type.
+  std::array<Tally, kMediaKindCount * 256> payload_tally{};
+
+  [[nodiscard]] Tally& encap(std::uint8_t type) { return encap_tally[type]; }
+  [[nodiscard]] Tally& payload(std::uint8_t kind, std::uint8_t pt) {
+    return payload_tally[std::size_t{kind} * 256 + pt];
+  }
+
+  /// Reporting view of encap_tally: the touched entries as the ordered
+  /// map the analysis tables consume.
+  [[nodiscard]] std::map<std::uint8_t, Tally> encap_types() const;
+  /// Reporting view of payload_tally: (media kind, RTP payload type) ->
+  /// packets/bytes.
+  [[nodiscard]] std::map<std::pair<std::uint8_t, std::uint8_t>, Tally>
+  payload_types() const;
 
   bool operator==(const AnalyzerCounters&) const = default;
 
-  /// Adds another shard's counters (plain sums + tally-map merges).
+  /// Adds another shard's counters (plain sums + tally merges).
   void merge(const AnalyzerCounters& other);
 };
 
@@ -99,7 +118,10 @@ class Analyzer {
 
   /// Offers one raw captured frame. Returns true if it was recognized
   /// as Zoom traffic (any category).
-  bool offer(const net::RawPacket& pkt);
+  bool offer(const net::RawPacket& pkt) { return offer(net::as_view(pkt)); }
+  /// Same, for a non-owning view (the zero-copy ingest path). The view
+  /// only needs to stay valid for the duration of the call.
+  bool offer(const net::RawPacketView& pkt);
   /// Same, for an already-decoded packet.
   bool process(const net::PacketView& view);
 
@@ -116,8 +138,12 @@ class Analyzer {
   /// exchange without counting the packet. The dispatcher broadcasts
   /// STUN exchanges to all shards through this hook because P2P
   /// candidates are keyed by endpoint, not 5-tuple — the later media
-  /// flow can hash to any shard (§4.1).
-  void register_stun_candidate(const net::PacketView& view);
+  /// flow can hash to any shard (§4.1). The dispatcher has already
+  /// validated the STUN message and resolved the campus-side (non-
+  /// server) endpoint, so only that endpoint travels to the shards —
+  /// not a copy of the packet bytes.
+  void register_stun_candidate(util::Timestamp ts, net::Ipv4Addr ip,
+                               std::uint16_t port);
 
   [[nodiscard]] const AnalyzerCounters& counters() const { return counters_; }
   /// Robustness counters: what was dropped/distrusted and why.
@@ -167,6 +193,23 @@ class Analyzer {
   [[nodiscard]] bool is_quarantined(const net::FiveTuple& flow) const {
     return !quarantined_.empty() && quarantined_.contains(flow);
   }
+  /// Bloom-style membership filter over flows that have *ever* had a
+  /// malformed streak entry. Bits are only set, never cleared, so a
+  /// negative answer is exact: the common case (clean trace, flow never
+  /// malformed) skips the hash-table erase probe that used to run for
+  /// every well-formed packet.
+  void bloom_mark(const net::FiveTuple& flow) {
+    std::size_t h = std::hash<net::FiveTuple>{}(flow);
+    ever_malformed_[(h & 0xffff) >> 6] |= 1ULL << (h & 63);
+    std::size_t h2 = (h >> 16) & 0xffff;
+    ever_malformed_[h2 >> 6] |= 1ULL << (h2 & 63);
+  }
+  [[nodiscard]] bool bloom_maybe_contains(const net::FiveTuple& flow) const {
+    std::size_t h = std::hash<net::FiveTuple>{}(flow);
+    if (!(ever_malformed_[(h & 0xffff) >> 6] & (1ULL << (h & 63)))) return false;
+    std::size_t h2 = (h >> 16) & 0xffff;
+    return (ever_malformed_[h2 >> 6] & (1ULL << (h2 & 63))) != 0;
+  }
   void handle_dissected(const net::PacketView& view, const zoom::ZoomPacket& zp,
                         StreamDirection direction);
   StreamInfo& stream_for(const net::PacketView& view, const zoom::ZoomPacket& zp,
@@ -180,11 +223,17 @@ class Analyzer {
   std::optional<util::Timestamp> last_offer_ts_;
   std::unordered_map<net::FiveTuple, std::uint32_t> malformed_streaks_;
   std::unordered_set<net::FiveTuple> quarantined_;
+  /// 65536-bit filter backing bloom_mark/bloom_maybe_contains.
+  std::array<std::uint64_t, 1024> ever_malformed_{};
   P2pDetector p2p_;
   StreamTable streams_;
   MeetingGrouper grouper_;
   metrics::RtpCopyMatcher copy_matcher_;
   std::unordered_set<net::FiveTuple> zoom_flows_;
+  /// Media packets arrive in bursts on one flow; caching the last
+  /// inserted canonical flow skips the zoom_flows_ hash probe for
+  /// back-to-back packets of the same flow.
+  std::optional<net::FiveTuple> last_zoom_flow_;
   std::unordered_map<net::FiveTuple, metrics::TcpRttEstimator> tcp_rtt_;
   ShardJournal* journal_ = nullptr;
 };

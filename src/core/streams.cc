@@ -15,8 +15,10 @@ StreamInfo& StreamTable::get_or_create(const StreamKey& key, zoom::MediaKind kin
                                        net::Ipv4Addr client_ip,
                                        std::uint16_t client_port,
                                        std::uint32_t first_rtp_ts,
-                                       util::Timestamp now) {
-  if (StreamInfo* existing = find(key)) return *existing;
+                                       util::Timestamp now, bool* created) {
+  auto [slot, inserted] = by_key_.try_emplace(key, streams_.size());
+  if (created) *created = inserted;
+  if (!inserted) return *streams_[slot->second];
 
   auto stream = std::make_unique<StreamInfo>();
   stream->index = streams_.size();
@@ -56,7 +58,6 @@ StreamInfo& StreamTable::get_or_create(const StreamKey& key, zoom::MediaKind kin
   stream->media_id = matched_media_id ? *matched_media_id : next_media_id_++;
   stream->last_ext_rtp_ts = stream->rtp_ts_extender.extend(first_rtp_ts);
 
-  by_key_.emplace(key, stream->index);
   by_ssrc_[key.ssrc].push_back(stream->index);
   streams_.push_back(std::move(stream));
   return *streams_.back();

@@ -88,11 +88,15 @@ class StreamTable {
 
   /// Finds the stream for (flow, ssrc) or creates it, running the
   /// duplicate-media match when creating. `first_rtp_ts` is the RTP
-  /// timestamp of the packet triggering creation.
+  /// timestamp of the packet triggering creation. Implemented as a
+  /// single hash probe (try_emplace); when `created` is non-null it is
+  /// set to whether a new stream was made, so per-packet callers can
+  /// skip their creation-only bookkeeping without a second lookup.
   StreamInfo& get_or_create(const StreamKey& key, zoom::MediaKind kind,
                             zoom::Transport transport, StreamDirection direction,
                             net::Ipv4Addr client_ip, std::uint16_t client_port,
-                            std::uint32_t first_rtp_ts, util::Timestamp now);
+                            std::uint32_t first_rtp_ts, util::Timestamp now,
+                            bool* created = nullptr);
 
   /// Looks up an existing stream, or nullptr.
   StreamInfo* find(const StreamKey& key);

@@ -28,6 +28,31 @@ struct RawPacket {
   [[nodiscard]] bool is_truncated() const { return orig_len > data.size(); }
 };
 
+/// A non-owning raw captured packet: the zero-copy counterpart of
+/// RawPacket used by the batched ingest path. `data` points into
+/// whatever buffer the trace source yields records from (an mmap'd file
+/// region or a reusable block buffer) and is only valid for the
+/// lifetime the source documents.
+struct RawPacketView {
+  util::Timestamp ts;
+  std::span<const std::uint8_t> data;
+  /// See RawPacket::orig_len.
+  std::uint32_t orig_len = 0;
+
+  [[nodiscard]] bool is_truncated() const { return orig_len > data.size(); }
+
+  /// Deep copy, for consumers that need to own the bytes.
+  [[nodiscard]] RawPacket to_owned() const {
+    return RawPacket{ts, std::vector<std::uint8_t>(data.begin(), data.end()),
+                     orig_len};
+  }
+};
+
+/// Borrows an owned packet as a view (valid while `pkt` lives).
+inline RawPacketView as_view(const RawPacket& pkt) {
+  return RawPacketView{pkt.ts, pkt.data, pkt.orig_len};
+}
+
 /// Why decode_packet() rejected a frame. Used by the analyzer's health
 /// accounting to attribute every dropped record to a cause.
 enum class DecodeFailure : std::uint8_t {

@@ -73,14 +73,20 @@ void PcapReader::read_global_header() {
 }
 
 std::optional<RawPacket> PcapReader::next() {
-  if (!ok_) return std::nullopt;
+  RawPacket pkt;
+  if (!next_into(pkt)) return std::nullopt;
+  return pkt;
+}
+
+bool PcapReader::next_into(RawPacket& out) {
+  if (!ok_) return false;
   std::array<std::uint8_t, 16> rec{};
   in_->read(reinterpret_cast<char*>(rec.data()), static_cast<std::streamsize>(rec.size()));
-  if (in_->gcount() == 0) return std::nullopt;  // clean EOF
+  if (in_->gcount() == 0) return false;  // clean EOF
   if (in_->gcount() != static_cast<std::streamsize>(rec.size())) {
     ok_ = false;
     error_ = "truncated record header";
-    return std::nullopt;
+    return false;
   }
   std::uint32_t ts_sec = read_u32(&rec[0]);
   std::uint32_t ts_frac = read_u32(&rec[4]);
@@ -89,23 +95,21 @@ std::optional<RawPacket> PcapReader::next() {
   if (incl_len > kMaxRecordLength) {
     ok_ = false;
     error_ = "implausible record length " + std::to_string(incl_len);
-    return std::nullopt;
+    return false;
   }
-  RawPacket pkt;
-  std::uint32_t usec = nanosecond_ ? ts_frac / 1000 : ts_frac;
-  pkt.ts = util::Timestamp::from_pcap(ts_sec, usec);
+  out.ts = pcap_record_timestamp(ts_sec, ts_frac, nanosecond_);
   // Record the original wire length so snaplen truncation is visible to
   // downstream health accounting.
-  if (orig_len > incl_len) pkt.orig_len = orig_len;
-  pkt.data.resize(incl_len);
-  in_->read(reinterpret_cast<char*>(pkt.data.data()), static_cast<std::streamsize>(incl_len));
+  out.orig_len = orig_len > incl_len ? orig_len : 0;
+  out.data.resize(incl_len);
+  in_->read(reinterpret_cast<char*>(out.data.data()), static_cast<std::streamsize>(incl_len));
   if (in_->gcount() != static_cast<std::streamsize>(incl_len)) {
     ok_ = false;
     error_ = "truncated record body";
-    return std::nullopt;
+    return false;
   }
   ++packets_read_;
-  return pkt;
+  return true;
 }
 
 PcapWriter::PcapWriter(std::ostream& out, std::uint32_t snaplen)

@@ -16,6 +16,18 @@
 
 namespace zpm::net {
 
+/// Converts a pcap record header timestamp to the internal microsecond
+/// tick, shared by the streaming and mapped readers. Nanosecond-
+/// resolution captures round to the nearest microsecond — truncating
+/// would bias every timestamp down by up to 1 µs, enough to skew jitter
+/// and one-way-delay estimates.
+inline util::Timestamp pcap_record_timestamp(std::uint32_t ts_sec,
+                                             std::uint32_t ts_frac,
+                                             bool nanosecond) {
+  std::uint32_t usec = nanosecond ? (ts_frac + 500) / 1000 : ts_frac;
+  return util::Timestamp::from_pcap(ts_sec, usec);
+}
+
 /// Reads pcap records sequentially from a stream or file.
 class PcapReader {
  public:
@@ -33,6 +45,11 @@ class PcapReader {
 
   /// Next packet, or nullopt at end of file / on error.
   std::optional<RawPacket> next();
+
+  /// Reads the next record into `out`, reusing out.data's capacity (the
+  /// allocation-light form used by the batched ingest fallback). Returns
+  /// false at end of file / on error.
+  bool next_into(RawPacket& out);
 
   /// Number of records returned so far.
   [[nodiscard]] std::uint64_t packets_read() const { return packets_read_; }

@@ -129,12 +129,12 @@ bool PcapNgReader::read_interface_block(const std::vector<std::uint8_t>& body) {
   return true;
 }
 
-std::optional<RawPacket> PcapNgReader::parse_epb(
-    const std::vector<std::uint8_t>& body) {
+bool PcapNgReader::parse_epb(const std::vector<std::uint8_t>& body,
+                             RawPacket& out) {
   if (body.size() < 20) {
     error_ = "short enhanced packet block";
     ok_ = false;
-    return std::nullopt;
+    return false;
   }
   std::uint32_t iface_id = u32(&body[0]);
   std::uint64_t ts = (std::uint64_t{u32(&body[4])} << 32) | u32(&body[8]);
@@ -146,42 +146,35 @@ std::optional<RawPacket> PcapNgReader::parse_epb(
   if (captured > body.size() - 20) {
     error_ = "enhanced packet data exceeds block";
     ok_ = false;
-    return std::nullopt;
+    return false;
   }
   std::uint64_t ticks = 1'000'000;
   if (iface_id < interfaces_.size()) {
-    if (interfaces_[iface_id].link_type != kLinkTypeEthernet) return std::nullopt;
+    if (interfaces_[iface_id].link_type != kLinkTypeEthernet) return false;
     ticks = interfaces_[iface_id].ticks_per_second;
   }
-  RawPacket pkt;
-  // Convert interface ticks to microseconds.
-  if (ticks == 1'000'000) {
-    pkt.ts = util::Timestamp::from_micros(static_cast<std::int64_t>(ts));
-  } else {
-    long double micros = static_cast<long double>(ts) /
-                         static_cast<long double>(ticks) * 1'000'000.0L;
-    // Clamp before the cast: converting a long double beyond the int64
-    // range is undefined behaviour, and a hostile file can pick a coarse
-    // if_tsresol plus an all-ones timestamp to trigger exactly that.
-    constexpr long double kMaxMicros = 9'000'000'000'000'000'000.0L;
-    if (micros > kMaxMicros) micros = kMaxMicros;
-    pkt.ts = util::Timestamp::from_micros(static_cast<std::int64_t>(micros));
-  }
-  if (original > captured) pkt.orig_len = original;
-  pkt.data.assign(body.begin() + 20, body.begin() + 20 + captured);
+  out.ts = pcapng_ticks_to_timestamp(ts, ticks);
+  out.orig_len = original > captured ? original : 0;
+  out.data.assign(body.begin() + 20, body.begin() + 20 + captured);
   ++packets_read_;
-  return pkt;
+  return true;
 }
 
 std::optional<RawPacket> PcapNgReader::next() {
+  RawPacket pkt;
+  if (!next_into(pkt)) return std::nullopt;
+  return pkt;
+}
+
+bool PcapNgReader::next_into(RawPacket& out) {
   while (ok_) {
     std::array<std::uint8_t, 8> header{};
     in_->read(reinterpret_cast<char*>(header.data()), 8);
-    if (in_->gcount() == 0) return std::nullopt;  // clean EOF
+    if (in_->gcount() == 0) return false;  // clean EOF
     if (in_->gcount() != 8) {
       ok_ = false;
       error_ = "truncated block header";
-      return std::nullopt;
+      return false;
     }
     // The block type of an SHB is palindromic, so readable either way.
     std::uint32_t type_le = std::uint32_t{header[0]} | (std::uint32_t{header[1]} << 8) |
@@ -194,7 +187,7 @@ std::optional<RawPacket> PcapNgReader::next() {
                               (std::uint32_t{header[7]} << 24);
       if (!read_section_header(raw_len)) {
         ok_ = false;
-        return std::nullopt;
+        return false;
       }
       seen_section_ = true;
       continue;
@@ -203,57 +196,56 @@ std::optional<RawPacket> PcapNgReader::next() {
       // Every pcapng stream must open with a section header block.
       ok_ = false;
       error_ = "not a pcapng stream";
-      return std::nullopt;
+      return false;
     }
     std::uint32_t type = u32(&header[0]);
     std::uint32_t total_len = u32(&header[4]);
     if (total_len < 12 || total_len > kMaxBlockLength || total_len % 4 != 0) {
       ok_ = false;
       error_ = "implausible block length";
-      return std::nullopt;
+      return false;
     }
-    std::vector<std::uint8_t> body(total_len - 12);
-    if (!read_exact(body.data(), body.size())) {
+    body_.resize(total_len - 12);
+    if (!read_exact(body_.data(), body_.size())) {
       ok_ = false;
       error_ = "truncated block body";
-      return std::nullopt;
+      return false;
     }
     std::array<std::uint8_t, 4> trailer{};
     if (!read_exact(trailer.data(), 4) || u32(trailer.data()) != total_len) {
       ok_ = false;
       error_ = "block trailer mismatch";
-      return std::nullopt;
+      return false;
     }
 
     switch (type) {
       case kBlockInterface:
-        if (!read_interface_block(body)) {
+        if (!read_interface_block(body_)) {
           ok_ = false;
-          return std::nullopt;
+          return false;
         }
         break;
       case kBlockEnhancedPacket:
-        if (auto pkt = parse_epb(body)) return pkt;
-        if (!ok_) return std::nullopt;
+        if (parse_epb(body_, out)) return true;
+        if (!ok_) return false;
         break;  // non-Ethernet interface: skip
       case kBlockSimplePacket: {
         // SPB: original length (4) + data; timestamp unavailable.
-        if (body.size() < 4) break;
-        std::uint32_t orig = u32(&body[0]);
+        if (body_.size() < 4) break;
+        std::uint32_t orig = u32(&body_[0]);
         std::uint32_t captured =
-            std::min<std::uint32_t>(orig, static_cast<std::uint32_t>(body.size() - 4));
-        RawPacket pkt;
-        pkt.ts = util::Timestamp::from_micros(0);
-        if (orig > captured) pkt.orig_len = orig;
-        pkt.data.assign(body.begin() + 4, body.begin() + 4 + captured);
+            std::min<std::uint32_t>(orig, static_cast<std::uint32_t>(body_.size() - 4));
+        out.ts = util::Timestamp::from_micros(0);
+        out.orig_len = orig > captured ? orig : 0;
+        out.data.assign(body_.begin() + 4, body_.begin() + 4 + captured);
         ++packets_read_;
-        return pkt;
+        return true;
       }
       default:
         break;  // unknown block: skip per spec
     }
   }
-  return std::nullopt;
+  return false;
 }
 
 std::unique_ptr<PacketSource> open_capture(const std::string& path) {

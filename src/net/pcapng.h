@@ -18,12 +18,38 @@
 
 namespace zpm::net {
 
+/// Converts a pcapng 64-bit interface timestamp to the internal
+/// microsecond tick, shared by the streaming and mapped readers.
+inline util::Timestamp pcapng_ticks_to_timestamp(std::uint64_t ts,
+                                                 std::uint64_t ticks) {
+  if (ticks == 1'000'000) {
+    return util::Timestamp::from_micros(static_cast<std::int64_t>(ts));
+  }
+  long double micros = static_cast<long double>(ts) /
+                       static_cast<long double>(ticks) * 1'000'000.0L;
+  // Clamp before the cast: converting a long double beyond the int64
+  // range is undefined behaviour, and a hostile file can pick a coarse
+  // if_tsresol plus an all-ones timestamp to trigger exactly that.
+  constexpr long double kMaxMicros = 9'000'000'000'000'000'000.0L;
+  if (micros > kMaxMicros) micros = kMaxMicros;
+  return util::Timestamp::from_micros(static_cast<std::int64_t>(micros));
+}
+
 /// Abstract packet source: what the analyzer consumes, regardless of
 /// capture file format.
 class PacketSource {
  public:
   virtual ~PacketSource() = default;
   virtual std::optional<RawPacket> next() = 0;
+  /// Reads the next record into `out`, reusing out.data's capacity
+  /// where the format allows (the allocation-light form used by the
+  /// batched ingest fallback). Returns false at end of file / on error.
+  virtual bool next_into(RawPacket& out) {
+    auto pkt = next();
+    if (!pkt) return false;
+    out = std::move(*pkt);
+    return true;
+  }
   [[nodiscard]] virtual bool ok() const = 0;
   [[nodiscard]] virtual const std::string& error() const = 0;
 };
@@ -38,6 +64,7 @@ class PcapNgReader : public PacketSource {
   [[nodiscard]] const std::string& error() const override { return error_; }
 
   std::optional<RawPacket> next() override;
+  bool next_into(RawPacket& out) override;
   [[nodiscard]] std::uint64_t packets_read() const { return packets_read_; }
 
  private:
@@ -52,7 +79,7 @@ class PcapNgReader : public PacketSource {
   std::uint16_t u16(const std::uint8_t* p) const;
   bool read_section_header(std::uint32_t block_total_length);
   bool read_interface_block(const std::vector<std::uint8_t>& body);
-  std::optional<RawPacket> parse_epb(const std::vector<std::uint8_t>& body);
+  bool parse_epb(const std::vector<std::uint8_t>& body, RawPacket& out);
 
   std::unique_ptr<std::ifstream> file_;
   std::istream* in_;
@@ -60,6 +87,7 @@ class PcapNgReader : public PacketSource {
   bool swapped_ = false;
   bool seen_section_ = false;
   std::vector<Interface> interfaces_;
+  std::vector<std::uint8_t> body_;  // reused per-block scratch buffer
   std::uint64_t packets_read_ = 0;
   std::string error_;
 };
@@ -69,6 +97,7 @@ class PcapAdapter : public PacketSource {
  public:
   explicit PcapAdapter(const std::string& path) : reader_(path) {}
   std::optional<RawPacket> next() override { return reader_.next(); }
+  bool next_into(RawPacket& out) override { return reader_.next_into(out); }
   [[nodiscard]] bool ok() const override { return reader_.ok(); }
   [[nodiscard]] const std::string& error() const override { return reader_.error(); }
 

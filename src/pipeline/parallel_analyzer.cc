@@ -6,22 +6,42 @@
 #include <string_view>
 #include <utility>
 
+#include "proto/stun.h"
 #include "util/serial.h"
 #include "zoom/constants.h"
 
 namespace zpm::pipeline {
 
-/// One unit of work shipped to a shard. Owns the packet bytes (the
-/// view's spans point into `pkt.data`, which moves with the item).
+namespace {
+/// How many items a shard drains per ring operation. Large enough to
+/// amortise the atomics, small enough to keep per-shard latency and the
+/// reusable batch buffer modest.
+constexpr std::size_t kConsumeBatch = 256;
+}  // namespace
+
+/// One unit of work shipped to a shard.
+///
+/// Full items carry a decoded view whose spans point into, in order of
+/// preference: the caller's pinned bytes (mapped trace — `owned` empty,
+/// `block` null), a refcounted per-batch block shared by every item of
+/// the batch (`block`), or this item's own `owned.data` (the per-packet
+/// offer() path). StunCandidate items carry only the already-resolved
+/// candidate endpoint — broadcasting a P2P candidate to the non-owner
+/// shards does not copy packet bytes.
 struct ParallelAnalyzer::Item {
   enum class Kind : std::uint8_t {
-    Full,      ///< full analysis on the owner shard
-    StunOnly,  ///< broadcast copy: register the P2P candidate only
+    Full,           ///< full analysis on the owner shard
+    StunCandidate,  ///< broadcast: register the P2P candidate endpoint
   };
   std::uint64_t seq = 0;
   Kind kind = Kind::Full;
-  net::RawPacket pkt;
   net::PacketView view;
+  net::RawPacket owned;
+  std::shared_ptr<const std::vector<std::uint8_t>> block;
+  // StunCandidate payload (§4.1): when/where the campus endpoint spoke.
+  util::Timestamp ts;
+  net::Ipv4Addr ip;
+  std::uint16_t port = 0;
 };
 
 struct ParallelAnalyzer::Shard {
@@ -31,13 +51,20 @@ struct ParallelAnalyzer::Shard {
   }
 
   void run() {
-    while (auto item = ring.pop()) {
-      journal.seq = item->seq;
-      if (item->kind == Item::Kind::Full) {
-        analyzer.process(item->view);
-      } else {
-        analyzer.register_stun_candidate(item->view);
+    std::vector<Item> batch;
+    batch.reserve(kConsumeBatch);
+    while (ring.pop_batch(batch, kConsumeBatch) > 0) {
+      for (Item& item : batch) {
+        journal.seq = item.seq;
+        if (item.kind == Item::Kind::Full) {
+          analyzer.process(item.view);
+        } else {
+          analyzer.register_stun_candidate(item.ts, item.ip, item.port);
+        }
       }
+      // Destroys the items (releasing block refcounts) but keeps the
+      // buffer's capacity for the next drain.
+      batch.clear();
     }
   }
 
@@ -66,8 +93,9 @@ ParallelAnalyzer::~ParallelAnalyzer() {
   }
 }
 
-void ParallelAnalyzer::offer(net::RawPacket pkt) {
-  const std::uint64_t seq = next_seq_++;
+std::optional<net::PacketView> ParallelAnalyzer::ingest(
+    std::uint64_t seq, const net::RawPacketView& pkt,
+    std::span<const std::uint8_t> bytes) {
   // Global-order observations happen here, exactly as the serial
   // Analyzer does them in offer(): shards only ever see their own flow
   // subsequence, which would count differently.
@@ -76,7 +104,7 @@ void ParallelAnalyzer::offer(net::RawPacket pkt) {
   if (pkt.is_truncated()) ++health_.snaplen_truncated;
 
   net::DecodeFailure df = net::DecodeFailure::None;
-  auto view = net::decode_packet(pkt, &df);
+  auto view = net::decode_packet(pkt.ts, bytes, &df);
   if (!view) {
     // The serial offer() counts every raw packet before decoding.
     ++undecoded_packets_;
@@ -84,43 +112,139 @@ void ParallelAnalyzer::offer(net::RawPacket pkt) {
     std::string_view category = core::apply_decode_failure(health_, df);
     if (!category.empty() && config_.analyzer.strict && !violation_)
       violation_ = core::StrictViolation{category, seq + 1, pkt.ts};
-    return;
+    return std::nullopt;
   }
+  return view;
+}
 
+bool ParallelAnalyzer::stun_candidate(const net::PacketView& view,
+                                      net::Ipv4Addr* ip,
+                                      std::uint16_t* port) const {
+  if (view.l4 != net::L4Proto::Udp) return false;
   const auto& db = config_.analyzer.server_db;
   // STUN pre-flight exchanges announce P2P candidate endpoints that a
-  // later flow on *any* shard may need (§4.1): broadcast them. The
-  // predicate mirrors Analyzer::process_decoded's STUN branch.
-  bool src_is_server = db.contains(view->ip.src);
-  bool dst_is_server = db.contains(view->ip.dst);
+  // later flow on *any* shard may need (§4.1). The predicate mirrors
+  // Analyzer::process_decoded's STUN branch, and the validates() check
+  // mirrors handle_stun's parse — a shard registering the candidate
+  // itself would reach the same verdict on the same bytes.
+  bool src_is_server = db.contains(view.ip.src);
+  bool dst_is_server = db.contains(view.ip.dst);
   bool stun_exchange =
-      view->l4 == net::L4Proto::Udp &&
-      ((dst_is_server && view->udp.dst_port == zoom::kStunServerPort) ||
-       (src_is_server && view->udp.src_port == zoom::kStunServerPort));
+      (dst_is_server && view.udp.dst_port == zoom::kStunServerPort) ||
+      (src_is_server && view.udp.src_port == zoom::kStunServerPort);
+  if (!stun_exchange) return false;
+  if (!proto::StunMessage::validates(view.l4_payload)) return false;
+  // The campus endpoint that will later carry the P2P flow is the
+  // non-server side (§4.1).
+  if (src_is_server) {
+    *ip = view.ip.dst;
+    *port = view.udp.dst_port;
+  } else {
+    *ip = view.ip.src;
+    *port = view.udp.src_port;
+  }
+  return true;
+}
+
+void ParallelAnalyzer::offer(net::RawPacket pkt) {
+  const std::uint64_t seq = next_seq_++;
+  auto view = ingest(seq, net::as_view(pkt), pkt.data);
+  if (!view) return;
 
   std::size_t owner =
       std::hash<net::FiveTuple>{}(view->five_tuple().canonical()) % shards_.size();
 
-  if (stun_exchange) {
+  net::Ipv4Addr cand_ip;
+  std::uint16_t cand_port = 0;
+  if (stun_candidate(*view, &cand_ip, &cand_port)) {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       if (i == owner) continue;
-      Item copy;
-      copy.seq = seq;
-      copy.kind = Item::Kind::StunOnly;
-      copy.pkt = net::RawPacket{pkt.ts, pkt.data};
-      auto copy_view = net::decode_packet(copy.pkt);
-      if (!copy_view) continue;  // unreachable: the original decoded
-      copy.view = *copy_view;
-      shards_[i]->ring.push(std::move(copy));
+      Item cand;
+      cand.seq = seq;
+      cand.kind = Item::Kind::StunCandidate;
+      cand.ts = pkt.ts;
+      cand.ip = cand_ip;
+      cand.port = cand_port;
+      shards_[i]->ring.push(std::move(cand));
     }
   }
 
   Item item;
   item.seq = seq;
   item.kind = Item::Kind::Full;
-  item.pkt = std::move(pkt);  // the vector move keeps the view's spans valid
+  item.owned = std::move(pkt);  // the vector move keeps the view's spans valid
   item.view = *view;
   shards_[owner]->ring.push(std::move(item));
+}
+
+void ParallelAnalyzer::offer_batch(std::span<const net::RawPacketView> batch,
+                                   BatchLifetime lifetime) {
+  if (batch.empty()) return;
+  if (staging_.size() != shards_.size()) staging_.resize(shards_.size());
+  for (auto& stage : staging_) stage.clear();
+
+  // Transient sources reuse their buffer after we return, so the batch
+  // is copied once into a refcounted block all its items share. Pinned
+  // sources (mapped traces) are analyzed in place.
+  std::shared_ptr<const std::vector<std::uint8_t>> block;
+  const std::uint8_t* base = nullptr;
+  if (lifetime == BatchLifetime::Transient) {
+    std::size_t total = 0;
+    for (const auto& pkt : batch) total += pkt.data.size();
+    auto buf = std::make_shared<std::vector<std::uint8_t>>();
+    buf->reserve(total);
+    block_offsets_.clear();
+    for (const auto& pkt : batch) {
+      block_offsets_.push_back(buf->size());
+      buf->insert(buf->end(), pkt.data.begin(), pkt.data.end());
+    }
+    base = buf->data();
+    block = std::move(buf);
+  }
+
+  for (std::size_t idx = 0; idx < batch.size(); ++idx) {
+    const net::RawPacketView& pkt = batch[idx];
+    const std::uint64_t seq = next_seq_++;
+    std::span<const std::uint8_t> bytes =
+        lifetime == BatchLifetime::Transient
+            ? std::span<const std::uint8_t>(base + block_offsets_[idx],
+                                            pkt.data.size())
+            : pkt.data;
+    auto view = ingest(seq, pkt, bytes);
+    if (!view) continue;
+
+    std::size_t owner = std::hash<net::FiveTuple>{}(view->five_tuple().canonical()) %
+                        shards_.size();
+
+    net::Ipv4Addr cand_ip;
+    std::uint16_t cand_port = 0;
+    if (stun_candidate(*view, &cand_ip, &cand_port)) {
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (i == owner) continue;
+        Item cand;
+        cand.seq = seq;
+        cand.kind = Item::Kind::StunCandidate;
+        cand.ts = pkt.ts;
+        cand.ip = cand_ip;
+        cand.port = cand_port;
+        staging_[i].push_back(std::move(cand));
+      }
+    }
+
+    Item item;
+    item.seq = seq;
+    item.kind = Item::Kind::Full;
+    item.view = *view;
+    item.block = block;  // null on the pinned path
+    staging_[owner].push_back(std::move(item));
+  }
+
+  // One publish per shard per batch: a single release-store amortised
+  // over every item staged for that shard.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!staging_[i].empty())
+      shards_[i]->ring.push_batch(std::span<Item>(staging_[i]));
+  }
 }
 
 void ParallelAnalyzer::finish() {

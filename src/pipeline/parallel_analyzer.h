@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -48,6 +49,18 @@ struct ParallelAnalyzerConfig {
   std::size_t ring_capacity = 1 << 13;
 };
 
+/// How long the packet bytes behind an offer_batch() call stay valid.
+enum class BatchLifetime : std::uint8_t {
+  /// The views point into storage that outlives finish() — e.g. a
+  /// memory-mapped trace held by the caller. Shards analyze the bytes
+  /// in place; nothing is copied.
+  Pinned,
+  /// The views point into a buffer the caller reuses after the call
+  /// returns (the streaming reader's block). The batch's bytes are
+  /// copied once into a refcounted block shared by all its items.
+  Transient,
+};
+
 /// See file comment.
 class ParallelAnalyzer {
  public:
@@ -62,6 +75,15 @@ class ParallelAnalyzer {
   /// is decoded here and shipped to its owner shard; recognition
   /// results are only available after finish().
   void offer(net::RawPacket pkt);
+
+  /// Offers a batch of raw frames (producer thread only): the zero-copy
+  /// fast path. Packets are decoded here, grouped per owner shard, and
+  /// published with one ring operation per shard per batch. With
+  /// BatchLifetime::Pinned nothing is copied; with Transient the batch
+  /// is copied once into a shared block (never per packet, per shard).
+  /// Bit-identical to calling offer() per packet.
+  void offer_batch(std::span<const net::RawPacketView> batch,
+                   BatchLifetime lifetime);
 
   /// Closes the rings, joins the workers and runs the merge step. Must
   /// be called exactly once, after the last offer().
@@ -107,13 +129,27 @@ class ParallelAnalyzer {
   struct Item;
   struct Shard;
 
-  void dispatch(std::size_t shard, Item item);
+  /// Global-order capture-quality observations + decode, shared by
+  /// offer() and offer_batch(). Returns the decoded view, or nullopt
+  /// after accounting the undecoded packet.
+  std::optional<net::PacketView> ingest(std::uint64_t seq,
+                                        const net::RawPacketView& pkt,
+                                        std::span<const std::uint8_t> bytes);
+  /// If `view` is a valid STUN exchange with a Zoom server, resolves
+  /// the campus-side candidate endpoint (§4.1) into ip/port.
+  bool stun_candidate(const net::PacketView& view, net::Ipv4Addr* ip,
+                      std::uint16_t* port) const;
   void replay_journals();
 
   ParallelAnalyzerConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t next_seq_ = 0;
   bool finished_ = false;
+
+  // offer_batch() scratch, reused so the steady state allocates nothing:
+  // per-shard item staging and the transient block's per-packet offsets.
+  std::vector<std::vector<Item>> staging_;
+  std::vector<std::size_t> block_offsets_;
 
   // Packets the producer could not decode still count toward totals
   // (the serial offer() counts them before decoding).

@@ -53,6 +53,31 @@ std::optional<StunMessage> StunMessage::parse(std::span<const std::uint8_t> data
   return msg;
 }
 
+bool StunMessage::validates(std::span<const std::uint8_t> data) {
+  // Mirrors parse() exactly — any divergence would make the parallel
+  // dispatcher's STUN-candidate broadcast disagree with the serial
+  // analyzer. Keep the two in lockstep.
+  if (data.size() < 20) return false;
+  util::ByteReader r(data);
+  std::uint16_t type = r.u16be();
+  if ((type & 0xc000) != 0) return false;  // top two bits must be 0
+  std::uint16_t length = r.u16be();
+  if (length % 4 != 0) return false;
+  std::uint32_t cookie = r.u32be();
+  if (cookie != kStunMagicCookie) return false;
+  r.bytes(12);  // transaction id
+  if (!r.can_read(length)) return false;
+  util::ByteReader body(r.bytes(length));
+  while (body.remaining() >= 4) {
+    body.u16be();  // attribute type
+    std::uint16_t alen = body.u16be();
+    body.bytes(alen);
+    if (!body.ok()) return false;
+    body.skip((4 - alen % 4) % 4);
+  }
+  return body.ok();
+}
+
 void StunMessage::serialize(util::ByteWriter& w) const {
   util::ByteWriter body;
   for (const auto& a : attributes) {

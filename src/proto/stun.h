@@ -58,6 +58,12 @@ struct StunMessage {
   /// and the length field. nullopt otherwise.
   static std::optional<StunMessage> parse(std::span<const std::uint8_t> data);
 
+  /// Allocation-free validity check: true exactly when parse(data)
+  /// would succeed, without materialising the attribute vector. The
+  /// parallel dispatcher's STUN-candidate hot path depends on the
+  /// equivalence (tests assert it).
+  static bool validates(std::span<const std::uint8_t> data);
+
   void serialize(util::ByteWriter& w) const;
 };
 

@@ -10,11 +10,13 @@
 // operation.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -64,6 +66,42 @@ class SpscRing {
     }
   }
 
+  /// Producer: moves as many leading elements of `batch` into the ring
+  /// as fit right now, publishing them with a single atomic store —
+  /// amortising the release fence and the consumer's cache miss over
+  /// the whole batch. Returns the number consumed from `batch`.
+  std::size_t try_push_batch(std::span<T> batch) {
+    if (batch.empty()) return 0;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = slots_.size() - static_cast<std::size_t>(tail - cached_head_);
+    if (free < batch.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = slots_.size() - static_cast<std::size_t>(tail - cached_head_);
+      if (free == 0) return 0;
+    }
+    const std::size_t n = std::min(free, batch.size());
+    for (std::size_t i = 0; i < n; ++i)
+      slots_[(tail + i) & mask_] = std::move(batch[i]);
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Producer: enqueues the whole batch, backing off while the ring is
+  /// full. Zero-progress rounds count as push_wait_spins(), matching
+  /// push().
+  void push_batch(std::span<T> batch) {
+    Backoff backoff;
+    while (!batch.empty()) {
+      std::size_t n = try_push_batch(batch);
+      if (n == 0) {
+        ++push_wait_spins_;
+        backoff.wait();
+        continue;
+      }
+      batch = batch.subspan(n);
+    }
+  }
+
   /// Number of failed push attempts (ring-full waits) seen by the
   /// producer. Producer-owned, non-atomic: read it from the producer
   /// thread, or after the producer is done (e.g. post-join).
@@ -95,6 +133,43 @@ class SpscRing {
         // pop and the load, racing a final push.
         if (try_pop(value)) return value;
         return std::nullopt;
+      }
+      backoff.wait();
+    }
+  }
+
+  /// Consumer: moves up to `max` buffered elements into `out` (appended;
+  /// `out` is not cleared), consuming them with a single atomic store.
+  /// Returns the number moved; 0 when the ring is momentarily empty.
+  std::size_t try_pop_batch(std::vector<T>& out, std::size_t max) {
+    if (max == 0) return 0;
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(cached_tail_ - head);
+    if (avail == 0) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = static_cast<std::size_t>(cached_tail_ - head);
+      if (avail == 0) return 0;
+    }
+    const std::size_t n = std::min(avail, max);
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back(std::move(slots_[(head + i) & mask_]));
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer: appends up to `max` elements to `out`, blocking (with
+  /// backoff) while the ring is empty. Returns 0 only once the ring is
+  /// closed *and* fully drained.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    Backoff backoff;
+    for (;;) {
+      std::size_t n = try_pop_batch(out, max);
+      if (n > 0) return n;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check: the close flag may have been set between the failed
+        // pop and the load, racing a final push.
+        n = try_pop_batch(out, max);
+        return n;
       }
       backoff.wait();
     }

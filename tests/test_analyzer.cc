@@ -227,9 +227,9 @@ TEST(Analyzer, EncapAndPayloadTypeTalliesFeedTables) {
   audio.payload_bytes = 90;
   a.offer(media_packet(t, kClientA, 40001, kSfu, 8801, audio, true));
   const auto& c = a.counters();
-  EXPECT_EQ(c.encap_types.at(16).packets, 1u);
-  EXPECT_EQ(c.encap_types.at(15).packets, 1u);
-  EXPECT_EQ(c.payload_types.at({static_cast<std::uint8_t>(zoom::MediaKind::Video),
+  EXPECT_EQ(c.encap_types().at(16).packets, 1u);
+  EXPECT_EQ(c.encap_types().at(15).packets, 1u);
+  EXPECT_EQ(c.payload_types().at({static_cast<std::uint8_t>(zoom::MediaKind::Video),
                                 zoom::pt::kVideoMain})
                 .packets,
             1u);

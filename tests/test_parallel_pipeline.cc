@@ -124,11 +124,33 @@ void check_trace(const std::vector<net::RawPacket>& trace) {
     ParallelAnalyzerConfig par_cfg;
     par_cfg.analyzer = cfg;
     par_cfg.shards = shards;
-    ParallelAnalyzer par(par_cfg);
-    for (const auto& pkt : trace) par.offer(pkt);
-    par.finish();
-    EXPECT_EQ(par.shard_count(), shards);
-    expect_equivalent(serial, par);
+    {
+      ParallelAnalyzer par(par_cfg);
+      for (const auto& pkt : trace) par.offer(pkt);
+      par.finish();
+      EXPECT_EQ(par.shard_count(), shards);
+      expect_equivalent(serial, par);
+    }
+
+    // The batched zero-copy path must be bit-identical to per-packet
+    // offer() in both lifetime modes. Pinned is legal here because
+    // `trace` outlives finish(); Transient re-copies the batch, so the
+    // same views exercise the block-building path.
+    for (auto lifetime : {BatchLifetime::Pinned, BatchLifetime::Transient}) {
+      SCOPED_TRACE(lifetime == BatchLifetime::Pinned ? "pinned" : "transient");
+      ParallelAnalyzer par(par_cfg);
+      constexpr std::size_t kBatch = 64;
+      std::vector<net::RawPacketView> batch;
+      batch.reserve(kBatch);
+      for (std::size_t i = 0; i < trace.size(); i += kBatch) {
+        batch.clear();
+        for (std::size_t j = i; j < trace.size() && j < i + kBatch; ++j)
+          batch.push_back(net::as_view(trace[j]));
+        par.offer_batch(batch, lifetime);
+      }
+      par.finish();
+      expect_equivalent(serial, par);
+    }
   }
 }
 

@@ -99,6 +99,78 @@ TEST(Pcap, ImplausibleLengthRejected) {
   EXPECT_FALSE(reader.ok());
 }
 
+TEST(Pcap, NanosecondMagicRoundsToNearestMicrosecond) {
+  // 0xa1b23c4d captures carry nanosecond fractions; truncating to µs
+  // would bias every timestamp down by up to 1 µs. The reader rounds to
+  // nearest instead.
+  std::stringstream buf;
+  auto put32 = [&buf](std::uint32_t v) {
+    char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+    buf.write(b, 4);
+  };
+  auto put16 = [&buf](std::uint16_t v) {
+    char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+    buf.write(b, 2);
+  };
+  put32(0xa1b23c4d);  // nanosecond magic
+  put16(2);
+  put16(4);
+  put32(0);
+  put32(0);
+  put32(65535);
+  put32(1);  // Ethernet
+  auto frame = sample_packet(0.0, 0xee).data;
+  auto record = [&](std::uint32_t sec, std::uint32_t nanos) {
+    put32(sec);
+    put32(nanos);
+    put32(static_cast<std::uint32_t>(frame.size()));
+    put32(static_cast<std::uint32_t>(frame.size()));
+    buf.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+  };
+  record(10, 123'456'499);  // rounds down → 123456 µs
+  record(10, 123'456'500);  // rounds up   → 123457 µs
+  record(10, 999);          // sub-µs      → 1 µs, not 0
+
+  PcapReader reader(buf);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  auto p1 = reader.next();
+  auto p2 = reader.next();
+  auto p3 = reader.next();
+  ASSERT_TRUE(p1 && p2 && p3);
+  EXPECT_EQ(p1->ts.us(), 10'123'456);
+  EXPECT_EQ(p2->ts.us(), 10'123'457);
+  EXPECT_EQ(p3->ts.us(), 10'000'001);
+}
+
+TEST(Pcap, NextIntoReusesBufferAndMatchesNext) {
+  std::stringstream buf;
+  {
+    PcapWriter writer(buf);
+    for (int i = 0; i < 5; ++i)
+      writer.write(sample_packet(i * 1.0, static_cast<std::uint8_t>(i), 200));
+  }
+  std::string content = buf.str();
+  std::stringstream a(content), b(content);
+  PcapReader ra(a), rb(b);
+  RawPacket scratch;
+  scratch.data.reserve(512);
+  const auto* before = scratch.data.data();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rb.next_into(scratch)) << "packet " << i;
+    auto want = ra.next();
+    ASSERT_TRUE(want);
+    EXPECT_EQ(scratch.ts, want->ts);
+    EXPECT_EQ(scratch.data, want->data);
+    EXPECT_EQ(scratch.orig_len, want->orig_len);
+    // Same allocation throughout: next_into reuses capacity.
+    EXPECT_EQ(scratch.data.data(), before) << "packet " << i;
+  }
+  EXPECT_FALSE(rb.next_into(scratch));
+  EXPECT_TRUE(rb.ok());
+}
+
 TEST(Pcap, FileRoundTrip) {
   std::string path = ::testing::TempDir() + "/zpm_pcap_test.pcap";
   {

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <thread>
+#include <vector>
 
 #include "util/spsc_ring.h"
 
@@ -79,6 +81,83 @@ TEST(SpscRing, MoveOnlyPayload) {
   auto v = ring.pop();
   ASSERT_TRUE(v && *v);
   EXPECT_EQ(**v, 7);
+}
+
+TEST(SpscRing, TryPushBatchTakesWhatFits) {
+  SpscRing<int> ring(4);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(ring.try_push_batch(std::span<int>(items)), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.try_push_batch(std::span<int>(items).subspan(4)), 0u);
+
+  std::vector<int> out;
+  EXPECT_EQ(ring.try_pop_batch(out, 10), 4u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(ring.try_pop_batch(out, 10), 0u);
+}
+
+TEST(SpscRing, TryPopBatchAppendsWithoutClearing) {
+  SpscRing<int> ring(8);
+  std::vector<int> items = {7, 8, 9};
+  ring.push_batch(std::span<int>(items));
+  std::vector<int> out = {1};
+  EXPECT_EQ(ring.try_pop_batch(out, 2), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 7, 8}));
+  EXPECT_EQ(ring.try_pop_batch(out, 2), 1u);
+  EXPECT_EQ(out, (std::vector<int>{1, 7, 8, 9}));
+}
+
+TEST(SpscRing, PopBatchDrainsThenSignalsClose) {
+  SpscRing<int> ring(8);
+  std::vector<int> items = {1, 2, 3, 4, 5};
+  ring.push_batch(std::span<int>(items));
+  ring.close();
+  std::vector<int> out;
+  EXPECT_EQ(ring.pop_batch(out, 3), 3u);
+  EXPECT_EQ(ring.pop_batch(out, 3), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(ring.pop_batch(out, 3), 0u);  // closed and drained
+  EXPECT_EQ(ring.pop_batch(out, 3), 0u);  // stays that way
+}
+
+TEST(SpscRing, PushBatchBlocksUntilSpaceAndKeepsOrder) {
+  // Batch sizes chosen coprime to the capacity so batches straddle the
+  // wraparound point in every alignment.
+  constexpr std::uint64_t kItems = 200'000;
+  SpscRing<std::uint64_t> ring(64);
+  std::thread producer([&ring] {
+    std::vector<std::uint64_t> batch;
+    std::uint64_t next = 0;
+    while (next < kItems) {
+      batch.clear();
+      for (std::uint64_t i = 0; i < 33 && next < kItems; ++i) batch.push_back(next++);
+      ring.push_batch(std::span<std::uint64_t>(batch));
+    }
+    ring.close();
+  });
+  std::vector<std::uint64_t> out;
+  std::uint64_t expected = 0;
+  while (ring.pop_batch(out, 57) > 0) {
+    for (std::uint64_t v : out) EXPECT_EQ(v, expected++);
+    out.clear();
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+TEST(SpscRing, BatchAndSingleOpsInterleave) {
+  SpscRing<int> ring(8);
+  std::vector<int> items = {10, 11};
+  ring.push(9);
+  ring.push_batch(std::span<int>(items));
+  ring.push(12);
+  std::vector<int> out;
+  EXPECT_EQ(ring.try_pop_batch(out, 2), 2u);
+  auto v = ring.pop();
+  ASSERT_TRUE(v);
+  EXPECT_EQ(*v, 11);
+  EXPECT_EQ(ring.try_pop_batch(out, 8), 1u);
+  EXPECT_EQ(out, (std::vector<int>{9, 10, 12}));
 }
 
 TEST(SpscRing, MillionItemChecksumAcrossThreads) {

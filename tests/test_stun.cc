@@ -90,6 +90,77 @@ TEST(Stun, UnknownAttributesRoundTripAndPad) {
   EXPECT_EQ(found->value.size(), 5u);  // unpadded value exposed
 }
 
+TEST(Stun, ValidatesAgreesWithParseEverywhere) {
+  // The parallel dispatcher's STUN-candidate path relies on the
+  // allocation-free validates() accepting exactly what parse() accepts:
+  // any divergence silently breaks serial/sharded bit-identity.
+  auto agree = [](std::span<const std::uint8_t> bytes, const char* what) {
+    EXPECT_EQ(StunMessage::validates(bytes), StunMessage::parse(bytes).has_value())
+        << what;
+  };
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  {
+    util::ByteWriter w;
+    make_binding_request(txn()).serialize(w);
+    corpus.push_back(w.take());
+  }
+  {
+    util::ByteWriter w;
+    make_binding_response(txn(), net::Ipv4Addr(192, 168, 1, 50), 54321)
+        .serialize(w);
+    corpus.push_back(w.take());
+  }
+  {
+    StunMessage msg = make_binding_request(txn());
+    StunAttribute attr;
+    attr.type = kStunAttrSoftware;
+    attr.value = {'z', 'o', 'o', 'm', '!'};  // forces 3 pad bytes
+    msg.attributes.push_back(attr);
+    util::ByteWriter w;
+    msg.serialize(w);
+    corpus.push_back(w.take());
+  }
+
+  for (const auto& bytes : corpus) {
+    ASSERT_TRUE(StunMessage::validates(bytes));
+    // Every prefix: truncation anywhere must be judged identically.
+    for (std::size_t n = 0; n <= bytes.size(); ++n)
+      agree(std::span<const std::uint8_t>(bytes).first(n), "prefix");
+    // Every single-byte corruption (covers type top bits, length field,
+    // magic cookie, attribute TLVs and padding).
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      auto mutated = bytes;
+      mutated[i] ^= 0xff;
+      agree(mutated, "xor byte");
+      mutated = bytes;
+      mutated[i] = 0xff;
+      agree(mutated, "set byte");
+    }
+    // Trailing garbage beyond the declared length.
+    auto longer = bytes;
+    longer.insert(longer.end(), 8, 0xab);
+    agree(longer, "trailing bytes");
+  }
+
+  // An attribute whose padded length overshoots the message end: the
+  // value fits but the pad does not.
+  {
+    StunMessage msg = make_binding_request(txn());
+    StunAttribute attr;
+    attr.type = kStunAttrSoftware;
+    attr.value = {'a', 'b', 'c', 'd', 'e'};
+    msg.attributes.push_back(attr);
+    util::ByteWriter w;
+    msg.serialize(w);
+    auto bytes = w.take();
+    bytes.resize(bytes.size() - 3);  // drop exactly the padding
+    bytes[3] = static_cast<std::uint8_t>(bytes.size() - 20);
+    agree(bytes, "pad overshoot");
+  }
+  agree({}, "empty");
+}
+
 TEST(Stun, LooksLikeStunProbe) {
   auto msg = make_binding_request(txn());
   util::ByteWriter w;
