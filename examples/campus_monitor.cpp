@@ -4,17 +4,24 @@
 // This is the "capacity planning / troubleshooting" use case from §1.
 //
 // Usage: campus_monitor [hours] [meetings_per_peak_hour]
-//        campus_monitor --pcap <capture.pcap[ng]>
+//        campus_monitor --pcap <capture.pcap[ng]> [--no-frontend]
+//                       [--frontend-stats]
 //
 // With --pcap the monitor replays a recorded capture through the
-// analyzer using the zero-copy batched ingest path (no capture filter:
-// the file is assumed to already be the filtered campus feed) and
-// prints the same day summary.
+// analyzer using the zero-copy batched ingest path. Each batch is
+// screened by the capture front end (capture/batch_filter) first —
+// the software stand-in for the paper's Tofino filter — unless
+// --no-frontend; results are bit-identical either way.
+// --frontend-stats prints the filter's selectivity counters with the
+// day summary.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <vector>
 
+#include "analysis/tables.h"
+#include "capture/batch_filter.h"
 #include "capture/filter.h"
 #include "core/analyzer.h"
 #include "net/trace_source.h"
@@ -33,7 +40,11 @@ void print_summary(core::Analyzer& analyzer, std::uint64_t processed) {
               static_cast<unsigned long long>(c.zoom_packets),
               util::human_bytes(c.zoom_bytes).c_str(),
               analyzer.meetings().meeting_count(), analyzer.streams().size());
-  const auto& h = analyzer.health();
+  // Front-end screening is accounting, not loss: zero it out of the
+  // all-clear gate so the summary line is identical with the front end
+  // on or off (--frontend-stats reports the verdict mix).
+  auto h = analyzer.health();
+  h.frontend_rejected = 0;
   if (h.all_clear()) {
     std::printf("analyzer health: all clear\n");
   } else {
@@ -48,7 +59,7 @@ void print_summary(core::Analyzer& analyzer, std::uint64_t processed) {
   }
 }
 
-int monitor_pcap(const char* path) {
+int monitor_pcap(const char* path, bool frontend, bool frontend_stats) {
   net::TraceSource source(path);
   if (!source.ok()) {
     std::fprintf(stderr, "error: cannot open %s (%s)\n", path,
@@ -58,27 +69,64 @@ int monitor_pcap(const char* path) {
   core::AnalyzerConfig an_cfg;
   an_cfg.keep_frames = false;
   core::Analyzer analyzer(an_cfg);
+  std::optional<capture::BatchFilter> filter;
+  if (frontend) filter.emplace(capture::BatchFilterConfig{an_cfg.server_db, 1});
 
-  std::printf("campus monitor: replaying %s (%s ingest)\n", path,
-              source.mapped() ? "mapped zero-copy" : "streaming");
+  std::printf("campus monitor: replaying %s (%s ingest, front end %s)\n", path,
+              source.mapped() ? "mapped zero-copy" : "streaming",
+              filter ? "on" : "off");
   constexpr std::size_t kBatch = 1024;
   std::vector<net::RawPacketView> batch;
   batch.reserve(kBatch);
+  capture::BatchVerdicts verdicts;
   while (source.next_batch(batch, kBatch) > 0) {
-    for (const auto& view : batch) analyzer.offer(view);
+    if (filter) {
+      filter->classify(batch, verdicts);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (verdicts.verdicts[i] == capture::Verdict::Reject)
+          analyzer.account_frontend_rejected(batch[i]);
+        else
+          analyzer.offer(batch[i]);
+      }
+    } else {
+      for (const auto& view : batch) analyzer.offer(view);
+    }
   }
   if (!source.ok())
     std::fprintf(stderr, "warning: capture ended with error: %s\n",
                  source.error().c_str());
   analyzer.finish();
   print_summary(analyzer, source.packets_read());
+  if (frontend_stats && filter) {
+    std::printf("capture front end (%s probe, %zu flows, %zu candidates):\n",
+                filter->simd_active() ? "SWAR/SSE2" : "scalar",
+                filter->flow_count(), filter->candidate_endpoint_count());
+    for (const auto& row : analysis::frontend_rows(filter->stats()))
+      std::printf("  %-24s %12s  %.*s\n", std::string(row.category).c_str(),
+                  util::with_commas(row.count).c_str(),
+                  static_cast<int>(row.description.size()), row.description.data());
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 2 && !std::strcmp(argv[1], "--pcap")) return monitor_pcap(argv[2]);
+  if (argc > 2 && !std::strcmp(argv[1], "--pcap")) {
+    bool frontend = true;
+    bool frontend_stats = false;
+    for (int i = 3; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--no-frontend")) {
+        frontend = false;
+      } else if (!std::strcmp(argv[i], "--frontend-stats")) {
+        frontend_stats = true;
+      } else {
+        std::fprintf(stderr, "unknown option %s\n", argv[i]);
+        return 2;
+      }
+    }
+    return monitor_pcap(argv[2], frontend, frontend_stats);
+  }
 
   double hours = argc > 1 ? std::atof(argv[1]) : 1.0;
   double meetings = argc > 2 ? std::atof(argv[2]) : 6.0;

@@ -21,6 +21,15 @@
 //   --corrupt <seed>  run the input through the hostile fault-injection
 //                     mix (sim/corruptor.h) before analysis — robustness
 //                     demos and health-accounting checks
+//   --no-frontend     disable the capture front end (capture/batch_filter):
+//                     every packet takes the full decode path. Results are
+//                     bit-identical either way; this exists for A/B and
+//                     debugging. The front end only applies to the batched
+//                     file path (not --demo / --corrupt, which are
+//                     per-packet).
+//   --frontend-stats  print the front end's admit/reject/full-parse
+//                     selectivity counters (the software analogue of the
+//                     paper's Table 5 filter report)
 //
 // Exit codes: 0 analyzed, 1 unreadable/empty/garbage input, 2 usage,
 // 3 strict-mode violation.
@@ -34,6 +43,7 @@
 
 #include "analysis/tables.h"
 #include "capture/anonymizer.h"
+#include "capture/batch_filter.h"
 #include "core/analyzer.h"
 #include "net/trace_source.h"
 #include "pipeline/parallel_analyzer.h"
@@ -199,7 +209,13 @@ void print_report(const AnalysisOutput& out) {
   std::printf("%s", t.render().c_str());
 
   std::printf("\n== analyzer health =============================================\n");
-  if (out.health.all_clear()) {
+  // Front-end screening is accounting, not loss: a trace whose only
+  // nonzero counter is frontend-rejected is still all clear, keeping
+  // this section identical with the front end on or off
+  // (--frontend-stats reports the verdict mix).
+  auto health_gate = out.health;
+  health_gate.frontend_rejected = 0;
+  if (health_gate.all_clear()) {
     std::printf("all clear: every record was fully analyzed\n");
   } else {
     util::TextTable health;
@@ -221,7 +237,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <capture.pcap[ng]>|--demo [--threads <n>]\n"
                  "          [--csv <prefix>] [--p2p-timeout <s>] [--anon-key <hex>]\n"
-                 "          [--strict] [--corrupt <seed>]\n",
+                 "          [--strict] [--corrupt <seed>] [--no-frontend]\n"
+                 "          [--frontend-stats]\n",
                  argv[0]);
     return 2;
   }
@@ -232,6 +249,8 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> anon_key;
   bool strict = false;
   std::optional<std::uint64_t> corrupt_seed;
+  bool frontend = true;
+  bool frontend_stats = false;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -249,6 +268,10 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (!std::strcmp(argv[i], "--corrupt") && i + 1 < argc) {
       corrupt_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--no-frontend")) {
+      frontend = false;
+    } else if (!std::strcmp(argv[i], "--frontend-stats")) {
+      frontend_stats = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
@@ -293,6 +316,9 @@ int main(int argc, char** argv) {
   // Declared outside the input branch: Pinned batches alias the mapped
   // file, so the mapping must outlive ParallelAnalyzer::finish() below.
   std::unique_ptr<net::TraceSource> source;
+  // Engaged on the batched file path when the front end is enabled;
+  // outlives the loop so --frontend-stats can read its counters.
+  std::optional<capture::BatchFilter> filter;
   if (input == "--demo") {
     sim::MeetingConfig mc;
     mc.seed = 21;
@@ -334,15 +360,36 @@ int main(int argc, char** argv) {
       corruption = corruptor.corruptor().stats();
     } else {
       // Zero-copy batched fast path: mapped traces are analyzed in
-      // place; unmappable inputs stream through a reused buffer.
+      // place; unmappable inputs stream through a reused buffer. The
+      // capture front end screens each batch first (unless
+      // --no-frontend): rejects never reach full header decode.
       constexpr std::size_t kBatch = 1024;
       const auto lifetime = source->mapped() ? pipeline::BatchLifetime::Pinned
                                             : pipeline::BatchLifetime::Transient;
+      if (frontend) {
+        capture::BatchFilterConfig fe_cfg;
+        fe_cfg.server_db = cfg.server_db;
+        fe_cfg.shards = threads;
+        filter.emplace(std::move(fe_cfg));
+      }
       std::vector<net::RawPacketView> batch;
       batch.reserve(kBatch);
+      capture::BatchVerdicts verdicts;
       while (source->next_batch(batch, kBatch) > 0) {
         records += batch.size();
-        if (parallel) {
+        if (filter) {
+          filter->classify(batch, verdicts);
+          if (parallel) {
+            parallel->offer_batch(batch, lifetime, verdicts);
+          } else {
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+              if (verdicts.verdicts[i] == capture::Verdict::Reject)
+                serial->account_frontend_rejected(batch[i]);
+              else
+                serial->offer(batch[i]);
+            }
+          }
+        } else if (parallel) {
           parallel->offer_batch(batch, lifetime);
         } else {
           for (const auto& view : batch) serial->offer(view);
@@ -410,6 +457,26 @@ int main(int argc, char** argv) {
   }
 
   print_report(out);
+
+  if (frontend_stats) {
+    std::printf("\n== capture front end ===========================================\n");
+    if (!filter) {
+      std::printf("front end not active on this path (%s)\n",
+                  frontend ? "per-packet input path" : "--no-frontend");
+    } else {
+      util::TextTable fe;
+      fe.header({"Counter", "Packets", "Description"},
+                {util::Align::Left, util::Align::Right, util::Align::Left});
+      for (const auto& row : analysis::frontend_rows(filter->stats()))
+        fe.row({std::string(row.category), util::with_commas(row.count),
+                std::string(row.description)});
+      std::printf("%s", fe.render().c_str());
+      std::printf("%zu admitted flows, %zu armed candidate endpoints, %s probe\n",
+                  filter->flow_count(), filter->candidate_endpoint_count(),
+                  filter->simd_active() ? "SWAR/SSE2" : "scalar");
+    }
+  }
+
   if (!csv_prefix.empty()) export_csvs(out, csv_prefix);
   return 0;
 }

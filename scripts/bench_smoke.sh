@@ -2,24 +2,31 @@
 # Ingest/pipeline benchmark smoke run: builds nothing itself — expects
 # an existing build directory (default ./build, override with $1).
 #
-# Runs bench_ingest in --check mode (fails when the mapped+batched
-# reader is slower than ZPM_INGEST_SPEEDUP_MIN x the streaming
-# per-packet baseline, default 3.0, or when the steady-state producer
-# path allocates) and captures the google-benchmark pipeline numbers.
-# Artifacts: BENCH_ingest.json and BENCH_pipeline.json in the CWD.
+# Runs bench_ingest and bench_filter in --check mode (each fails when
+# its fast path is slower than the configured multiple of its per-packet
+# baseline — ZPM_INGEST_SPEEDUP_MIN / ZPM_FILTER_SPEEDUP_MIN, default
+# 3.0 — or when a steady-state path allocates) and captures the
+# google-benchmark pipeline numbers. Artifacts: BENCH_ingest.json,
+# BENCH_filter.json and BENCH_pipeline.json in the CWD.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 : "${ZPM_INGEST_SPEEDUP_MIN:=3.0}"
-export ZPM_INGEST_SPEEDUP_MIN
+: "${ZPM_FILTER_SPEEDUP_MIN:=3.0}"
+export ZPM_INGEST_SPEEDUP_MIN ZPM_FILTER_SPEEDUP_MIN
 
-if [[ ! -x "$BUILD_DIR/bench/bench_ingest" ]]; then
-  echo "error: $BUILD_DIR/bench/bench_ingest not built" >&2
-  exit 2
-fi
+for bin in bench_ingest bench_filter; do
+  if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
+    echo "error: $BUILD_DIR/bench/$bin not built" >&2
+    exit 2
+  fi
+done
 
 echo "=== bench_ingest (speedup threshold ${ZPM_INGEST_SPEEDUP_MIN}x) ==="
 "$BUILD_DIR/bench/bench_ingest" --check BENCH_ingest.json
+
+echo "=== bench_filter (speedup threshold ${ZPM_FILTER_SPEEDUP_MIN}x) ==="
+"$BUILD_DIR/bench/bench_filter" --check BENCH_filter.json
 
 echo "=== bench_parallel_pipeline ==="
 # google-benchmark >= 1.8 wants a "0.05s" suffix on min_time; older
@@ -31,4 +38,4 @@ run_pipeline() {
 }
 run_pipeline 0.05s || run_pipeline 0.05
 
-echo "artifacts: BENCH_ingest.json BENCH_pipeline.json"
+echo "artifacts: BENCH_ingest.json BENCH_filter.json BENCH_pipeline.json"

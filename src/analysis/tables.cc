@@ -102,6 +102,8 @@ std::vector<HealthRow> health_rows(const core::AnalyzerHealth& h) {
       h.snaplen_truncated, false);
   add("non-monotonic-ts", "timestamp regressed vs. previous record",
       h.non_monotonic_ts, false);
+  add("frontend-rejected", "screened out by the capture front end (never decoded)",
+      h.frontend_rejected, false);
   add("bad-sfu-encap", "server payload below the 8-byte SFU encap", h.bad_sfu_encap,
       true);
   add("bad-media-encap", "known encap type with truncated header", h.bad_media_encap,
@@ -120,6 +122,27 @@ std::vector<HealthRow> health_rows(const core::AnalyzerHealth& h) {
       h.quarantined_packets, true);
   add("ring-wait-spins", "producer spins on a full shard ring (timing-dependent)",
       h.ring_wait_spins, false);
+  return rows;
+}
+
+std::vector<HealthRow> frontend_rows(const capture::FrontEndStats& s) {
+  std::vector<HealthRow> rows;
+  rows.push_back({"frontend-admitted", "pre-classified Zoom-relevant, fast dispatch",
+                  s.admitted, false});
+  rows.push_back({"frontend-rejected", "screened out without header decode",
+                  s.rejected, false});
+  rows.push_back({"frontend-full-parse", "uncertain, routed to the normal decode path",
+                  s.full_parse, false});
+  auto add = [&](std::string_view category, std::string_view description,
+                 std::uint64_t count) {
+    if (count > 0) rows.push_back(HealthRow{category, description, count, false});
+  };
+  add("frontend-zoom-shaped", "admits matching a Zoom payload shape", s.zoom_shaped);
+  add("frontend-stun-flagged", "admits touching the STUN port", s.stun_flagged);
+  add("frontend-simd-batches", "batches classified by the SWAR/SSE2 probe",
+      s.simd_batches);
+  add("frontend-scalar-batches", "batches classified by the scalar reference probe",
+      s.scalar_batches);
   return rows;
 }
 

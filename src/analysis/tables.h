@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "capture/batch_filter.h"
 #include "core/analyzer.h"
 
 namespace zpm::analysis {
@@ -45,5 +46,11 @@ struct HealthRow {
 /// Non-zero health counters in struct declaration order; empty exactly
 /// when health.all_clear().
 std::vector<HealthRow> health_rows(const core::AnalyzerHealth& health);
+
+/// Capture front-end selectivity counters (--frontend-stats), rendered
+/// with the same row shape as health_rows so drivers reuse one printer.
+/// Unlike health_rows, zero-count rows for the three verdicts are kept:
+/// "rejected 0" on a pure-Zoom trace is itself the interesting datum.
+std::vector<HealthRow> frontend_rows(const capture::FrontEndStats& stats);
 
 }  // namespace zpm::analysis

@@ -154,6 +154,19 @@ bool Analyzer::offer(const net::RawPacketView& pkt) {
   return process_decoded(*view);
 }
 
+void Analyzer::account_frontend_rejected(const net::RawPacketView& pkt) {
+  // Mirrors offer() up to (but excluding) the decode; the front end only
+  // rejects packets whose decode provably succeeds without touching any
+  // other counter or flow state.
+  ++counters_.total_packets;
+  counters_.total_bytes += pkt.data.size();
+  if (journal_ == nullptr) {
+    note_stream_order(pkt.ts);
+    if (pkt.is_truncated()) ++health_.snaplen_truncated;
+  }
+  ++health_.frontend_rejected;
+}
+
 bool Analyzer::process(const net::PacketView& view) {
   ++counters_.total_packets;
   counters_.total_bytes += view.wire_length();

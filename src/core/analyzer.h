@@ -125,6 +125,14 @@ class Analyzer {
   /// Same, for an already-decoded packet.
   bool process(const net::PacketView& view);
 
+  /// Accounts a packet the capture front end (capture::BatchFilter)
+  /// rejected without decoding: replays exactly the totals /
+  /// stream-order / snaplen bookkeeping offer() would have done before
+  /// decode, plus the frontend_rejected health counter. The bit-identity
+  /// contract of the front end rests on the rejected packet having no
+  /// other observable effect.
+  void account_frontend_rejected(const net::RawPacketView& pkt);
+
   /// Flushes trailing metric bins; call once after the last packet.
   void finish();
 

@@ -34,6 +34,10 @@ struct AnalyzerHealth {
   std::uint64_t snaplen_truncated = 0;  // captured bytes < reported wire length
   std::uint64_t non_monotonic_ts = 0;   // timestamp regressed vs. previous record
 
+  // -- front-end screening (capture::BatchFilter; packet counted in the
+  //    totals but provably irrelevant, so it is never decoded) --
+  std::uint64_t frontend_rejected = 0;
+
   // -- Zoom-layer parse failures --
   std::uint64_t bad_sfu_encap = 0;    // server payload < 8-byte SFU encap
   std::uint64_t bad_media_encap = 0;  // known encap type, truncated header
@@ -64,6 +68,7 @@ struct AnalyzerHealth {
     bad_l4 += o.bad_l4;
     snaplen_truncated += o.snaplen_truncated;
     non_monotonic_ts += o.non_monotonic_ts;
+    frontend_rejected += o.frontend_rejected;
     bad_sfu_encap += o.bad_sfu_encap;
     bad_media_encap += o.bad_media_encap;
     malformed_rtp += o.malformed_rtp;

@@ -105,7 +105,7 @@ bool PcapReader::next_into(RawPacket& out) {
   in_->read(reinterpret_cast<char*>(out.data.data()), static_cast<std::streamsize>(incl_len));
   if (in_->gcount() != static_cast<std::streamsize>(incl_len)) {
     ok_ = false;
-    error_ = "truncated record body";
+    error_ = "truncated packet";
     return false;
   }
   ++packets_read_;

@@ -208,7 +208,12 @@ bool PcapNgReader::next_into(RawPacket& out) {
     body_.resize(total_len - 12);
     if (!read_exact(body_.data(), body_.size())) {
       ok_ = false;
-      error_ = "truncated block body";
+      // Packet-carrying blocks cut off by the end of the file report the
+      // same string as the pcap readers (a capture that stopped
+      // mid-write is one condition, whatever the container).
+      error_ = (type == kBlockEnhancedPacket || type == kBlockSimplePacket)
+                   ? "truncated packet"
+                   : "truncated block body";
       return false;
     }
     std::array<std::uint8_t, 4> trailer{};

@@ -89,7 +89,7 @@ std::optional<RawPacketView> MappedPcapReader::next() {
   }
   if (bytes_.size() - pos_ - 16 < incl_len) {
     ok_ = false;
-    error_ = "truncated record body";
+    error_ = "truncated packet";
     return std::nullopt;
   }
   RawPacketView view;
@@ -122,7 +122,7 @@ std::size_t MappedPcapReader::next_batch(std::vector<RawPacketView>& out,
     }
     if (size - pos - 16 < incl_len) {
       ok_ = false;
-      error_ = "truncated record body";
+      error_ = "truncated packet";
       break;
     }
     std::uint32_t orig_len = read_u32(rec + 12);
@@ -306,7 +306,11 @@ std::optional<RawPacketView> MappedPcapNgReader::next() {
     std::size_t body_len = total_len - 12;
     if (remaining < body_len) {
       ok_ = false;
-      error_ = "truncated block body";
+      // Same wording as the pcap readers and the streaming pcapng
+      // reader for a packet cut off by the end of the file.
+      error_ = (type == kBlockEnhancedPacket || type == kBlockSimplePacket)
+                   ? "truncated packet"
+                   : "truncated block body";
       return std::nullopt;
     }
     std::span<const std::uint8_t> body = bytes_.subspan(pos_ + 8, body_len);

@@ -179,6 +179,18 @@ void ParallelAnalyzer::offer(net::RawPacket pkt) {
 
 void ParallelAnalyzer::offer_batch(std::span<const net::RawPacketView> batch,
                                    BatchLifetime lifetime) {
+  offer_batch_impl(batch, lifetime, nullptr);
+}
+
+void ParallelAnalyzer::offer_batch(std::span<const net::RawPacketView> batch,
+                                   BatchLifetime lifetime,
+                                   const capture::BatchVerdicts& verdicts) {
+  offer_batch_impl(batch, lifetime, &verdicts);
+}
+
+void ParallelAnalyzer::offer_batch_impl(std::span<const net::RawPacketView> batch,
+                                        BatchLifetime lifetime,
+                                        const capture::BatchVerdicts* verdicts) {
   if (batch.empty()) return;
   if (staging_.size() != shards_.size()) staging_.resize(shards_.size());
   for (auto& stage : staging_) stage.clear();
@@ -205,6 +217,23 @@ void ParallelAnalyzer::offer_batch(std::span<const net::RawPacketView> batch,
   for (std::size_t idx = 0; idx < batch.size(); ++idx) {
     const net::RawPacketView& pkt = batch[idx];
     const std::uint64_t seq = next_seq_++;
+
+    const capture::Verdict verdict =
+        verdicts ? verdicts->verdicts[idx] : capture::Verdict::FullParse;
+    if (verdict == capture::Verdict::Reject) {
+      // The front end proved this packet cannot affect analysis; replay
+      // only the global-order accounting ingest() would have done before
+      // decode (the seq above is still consumed, keeping strict-mode
+      // sequence numbers identical with the front end on or off).
+      if (last_offer_ts_ && pkt.ts < *last_offer_ts_) ++health_.non_monotonic_ts;
+      last_offer_ts_ = pkt.ts;
+      if (pkt.is_truncated()) ++health_.snaplen_truncated;
+      ++health_.frontend_rejected;
+      ++frontend_rejected_packets_;
+      frontend_rejected_bytes_ += pkt.data.size();
+      continue;
+    }
+
     std::span<const std::uint8_t> bytes =
         lifetime == BatchLifetime::Transient
             ? std::span<const std::uint8_t>(base + block_offsets_[idx],
@@ -213,12 +242,23 @@ void ParallelAnalyzer::offer_batch(std::span<const net::RawPacketView> batch,
     auto view = ingest(seq, pkt, bytes);
     if (!view) continue;
 
-    std::size_t owner = std::hash<net::FiveTuple>{}(view->five_tuple().canonical()) %
-                        shards_.size();
+    // Admits carry the owner shard stage 2 precomputed (bit-compatible
+    // with the hash below by the FlowDispatchTable contract).
+    std::size_t owner =
+        verdict == capture::Verdict::Admit
+            ? verdicts->shard[idx]
+            : std::hash<net::FiveTuple>{}(view->five_tuple().canonical()) %
+                  shards_.size();
+
+    // The STUN-candidate predicate can only pass for UDP packets
+    // touching port 3478; admitted packets tell us that bit for free.
+    const bool stun_possible =
+        verdict != capture::Verdict::Admit ||
+        (verdicts->flags[idx] & capture::kFlagStunPort) != 0;
 
     net::Ipv4Addr cand_ip;
     std::uint16_t cand_port = 0;
-    if (stun_candidate(*view, &cand_ip, &cand_port)) {
+    if (stun_possible && stun_candidate(*view, &cand_ip, &cand_port)) {
       for (std::size_t i = 0; i < shards_.size(); ++i) {
         if (i == owner) continue;
         Item cand;
@@ -253,8 +293,8 @@ void ParallelAnalyzer::finish() {
   for (auto& shard : shards_) shard->thread.join();
 
   counters_ = core::AnalyzerCounters{};
-  counters_.total_packets = undecoded_packets_;
-  counters_.total_bytes = undecoded_bytes_;
+  counters_.total_packets = undecoded_packets_ + frontend_rejected_packets_;
+  counters_.total_bytes = undecoded_bytes_ + frontend_rejected_bytes_;
   zoom_flow_count_ = 0;
   for (auto& shard : shards_) {
     counters_.merge(shard->analyzer.counters());

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "capture/batch_filter.h"
 #include "core/analyzer.h"
 #include "net/packet.h"
 #include "util/spsc_ring.h"
@@ -84,6 +85,21 @@ class ParallelAnalyzer {
   /// Bit-identical to calling offer() per packet.
   void offer_batch(std::span<const net::RawPacketView> batch,
                    BatchLifetime lifetime);
+
+  /// Same, with capture front-end verdicts (index-aligned with `batch`,
+  /// from a capture::BatchFilter configured with this pipeline's server
+  /// db and shard count — both are part of the bit-identity contract):
+  ///   * Reject  — accounted (totals, stream order, snaplen,
+  ///     frontend_rejected) and dropped without header decode.
+  ///   * Admit   — decoded and shipped to the precomputed owner shard;
+  ///     the STUN-candidate broadcast check runs only when
+  ///     capture::kFlagStunPort is set (a superset of packets that can
+  ///     pass it).
+  ///   * FullParse — exactly the plain offer_batch() path.
+  /// Results stay bit-identical to offer_batch() without verdicts.
+  void offer_batch(std::span<const net::RawPacketView> batch,
+                   BatchLifetime lifetime,
+                   const capture::BatchVerdicts& verdicts);
 
   /// Closes the rings, joins the workers and runs the merge step. Must
   /// be called exactly once, after the last offer().
@@ -139,6 +155,11 @@ class ParallelAnalyzer {
   /// the campus-side candidate endpoint (§4.1) into ip/port.
   bool stun_candidate(const net::PacketView& view, net::Ipv4Addr* ip,
                       std::uint16_t* port) const;
+  /// Shared body of both offer_batch() overloads; `verdicts` is null on
+  /// the plain path.
+  void offer_batch_impl(std::span<const net::RawPacketView> batch,
+                        BatchLifetime lifetime,
+                        const capture::BatchVerdicts* verdicts);
   void replay_journals();
 
   ParallelAnalyzerConfig config_;
@@ -155,6 +176,11 @@ class ParallelAnalyzer {
   // (the serial offer() counts them before decoding).
   std::uint64_t undecoded_packets_ = 0;
   std::uint64_t undecoded_bytes_ = 0;
+
+  // Packets the capture front end rejected: counted toward totals, never
+  // decoded or shipped to a shard.
+  std::uint64_t frontend_rejected_packets_ = 0;
+  std::uint64_t frontend_rejected_bytes_ = 0;
 
   // Producer-side health: capture-quality observations and decode
   // failures belong to the global offer order, mirroring the serial

@@ -81,6 +81,17 @@ std::optional<ZoomPacket> dissect_stun(std::span<const std::uint8_t> udp_payload
 /// combinations of Table 3.
 bool is_known_payload_type(MediaKind kind, std::uint8_t payload_type);
 
+/// Single-byte screen over the union of Table 3's RTP payload types
+/// (any media kind): {98, 99, 110, 112, 113}. The capture front end's
+/// fixed-offset shape probe (capture::BatchFilter) uses this before a
+/// packet is dissected; full (kind, pt) validation stays with
+/// is_known_payload_type.
+constexpr bool is_known_rtp_payload_type(std::uint8_t payload_type) {
+  return payload_type == pt::kVideoMain || payload_type == pt::kAudioSilent ||
+         payload_type == pt::kFec || payload_type == pt::kAudioSpeaking ||
+         payload_type == pt::kAudioUnknownMode;
+}
+
 /// Human-readable description for Table 3 rows, e.g. "speaking mode".
 std::string_view payload_type_description(MediaKind kind, std::uint8_t payload_type);
 

@@ -1,0 +1,83 @@
+// Differential fuzz target: the capture front end's scalar reference
+// probe vs its SWAR/SSE2 probe. The input is a record stream —
+// [flags u8][len u16le][payload bytes] repeated — turned into a batch
+// of frames: raw mode feeds the bytes as the whole Ethernet frame
+// (arbitrary layouts, the case the vector fast path must hand back to
+// the scalar reference), synth mode wraps them in UDP frames aimed at
+// the Zoom port/direction combinations so the stateful candidate/flow
+// logic is exercised too. Both BatchFilter instances see identical
+// batches; any divergence in the verdict bitmap (verdict, flags, shard,
+// slot — BatchVerdicts::operator==) aborts.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "capture/batch_filter.h"
+#include "net/build.h"
+#include "util/time.h"
+
+namespace {
+
+using zpm::util::Duration;
+using zpm::util::Timestamp;
+
+constexpr zpm::net::Ipv4Addr kCampusHost(10, 8, 0, 1);
+constexpr zpm::net::Ipv4Addr kZoomServer(170, 114, 0, 10);  // ServerDb::official
+constexpr zpm::net::Ipv4Addr kExternalPeer(23, 1, 2, 3);
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::vector<zpm::net::RawPacket> packets;
+  Timestamp ts = Timestamp::from_seconds(1000);
+  std::size_t pos = 0;
+  while (pos + 3 <= size) {
+    std::uint8_t flags = data[pos];
+    std::size_t len = static_cast<std::size_t>(data[pos + 1]) |
+                      (static_cast<std::size_t>(data[pos + 2]) << 8);
+    pos += 3;
+    if (len > size - pos) len = size - pos;
+    std::vector<std::uint8_t> payload(data + pos, data + pos + len);
+    pos += len;
+    ts = ts + Duration::millis(20);
+
+    if (flags & 0x01) {
+      // Raw mode: arbitrary bytes as the whole frame.
+      packets.push_back(zpm::net::RawPacket{ts, std::move(payload)});
+      continue;
+    }
+    std::uint16_t zoom_port = (flags & 0x02) ? 3478 : 8801;
+    bool from_server = flags & 0x04;
+    zpm::net::Ipv4Addr remote = (flags & 0x08) ? kExternalPeer : kZoomServer;
+    packets.push_back(from_server
+                          ? zpm::net::build_udp(ts, remote, zoom_port, kCampusHost,
+                                                45000, payload)
+                          : zpm::net::build_udp(ts, kCampusHost, 45000, remote,
+                                                zoom_port, payload));
+  }
+
+  std::vector<zpm::net::RawPacketView> batch;
+  batch.reserve(packets.size());
+  for (const auto& pkt : packets) batch.push_back(zpm::net::as_view(pkt));
+
+  zpm::capture::BatchFilterConfig cfg;
+  cfg.shards = 4;
+  zpm::capture::BatchFilter scalar(cfg, zpm::capture::BatchFilter::Mode::ForceScalar);
+  zpm::capture::BatchFilter simd(cfg, zpm::capture::BatchFilter::Mode::ForceSimd);
+  zpm::capture::BatchVerdicts scalar_out, simd_out;
+  scalar.classify(batch, scalar_out);
+  simd.classify(batch, simd_out);
+  if (!(scalar_out == simd_out)) {
+    std::fprintf(stderr,
+                 "batch_filter scalar/SIMD verdict divergence on %zu packets\n",
+                 batch.size());
+    std::abort();
+  }
+  if (scalar.flow_count() != simd.flow_count() ||
+      scalar.candidate_endpoint_count() != simd.candidate_endpoint_count()) {
+    std::fprintf(stderr, "batch_filter scalar/SIMD state divergence\n");
+    std::abort();
+  }
+  return 0;
+}

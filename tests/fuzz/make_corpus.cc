@@ -288,6 +288,41 @@ int main(int argc, char** argv) {
     write_seed(root / "fuzz_pipeline", "hostile.bin", hostile);
   }
 
+  // fuzz_batch_filter: same record framing as fuzz_pipeline but replayed
+  // through the scalar-vs-SIMD differential front-end harness. Seeds cover
+  // server media both directions, STUN arming an external peer (so the
+  // candidate-endpoint path admits its later media), port squatters that
+  // must stay un-Zoom-shaped, and raw frames with arbitrary layouts.
+  {
+    std::vector<std::uint8_t> stream;
+    append_record(stream, 0x00, sfu_video);          // client -> server media
+    append_record(stream, 0x04, sfu_audio);          // server -> client media
+    append_record(stream, 0x02, stun_bytes(false));  // STUN to a server
+    append_record(stream, 0x0A, stun_bytes(true));   // STUN with external peer
+    append_record(stream, 0x08, video);              // external peer, armed above
+    append_record(stream, 0x00, sfu_rtcp);           // RTCP encap
+    append_record(stream, 0x01, frame1.data);        // raw well-formed frame
+    write_seed(root / "fuzz_batch_filter", "mixed.bin", stream);
+
+    std::vector<std::uint8_t> squatters;
+    std::vector<std::uint8_t> garbage(96, 0x5A);
+    append_record(squatters, 0x08, garbage);  // external 8801 squatter
+    append_record(squatters, 0x0A, garbage);  // external 3478 squatter
+    append_record(squatters, 0x00, garbage);  // server-port garbage
+    std::vector<std::uint8_t> shortv(sfu_video.begin(), sfu_video.begin() + 6);
+    append_record(squatters, 0x04, shortv);   // truncated encap from server
+    append_record(squatters, 0x01, garbage);  // raw undecodable frame
+    // Clean-looking IPv4 prefix cut inside the address fields: the
+    // probe must refuse it without reading past the frame end.
+    std::vector<std::uint8_t> cut(32, 0);
+    cut[12] = 0x08;
+    cut[14] = 0x45;
+    cut[17] = 40;  // plausible total_length
+    cut[23] = 17;
+    append_record(squatters, 0x01, cut);
+    write_seed(root / "fuzz_batch_filter", "squatters.bin", squatters);
+  }
+
   std::printf("corpus written under %s\n", root.string().c_str());
   return 0;
 }

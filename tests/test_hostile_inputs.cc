@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "capture/batch_filter.h"
 #include "core/analyzer.h"
 #include "net/build.h"
 #include "net/pcap.h"
@@ -187,6 +188,60 @@ TEST(HostileInputs, GarbageOnZoomPortsIsAccountedNotFatal) {
   // carry the magic cookie) and must be flagged.
   EXPECT_EQ(analyzer.health().malformed_stun, 100u);
   EXPECT_FALSE(analyzer.health().all_clear());
+}
+
+TEST(HostileInputs, FrontEndScreeningPreservesHostileAccounting) {
+  // The capture front end may screen out garbage aimed at non-Zoom
+  // endpoints, but never at the cost of the audit trail: the screened
+  // analyzer must report the same totals and the same health counters
+  // (malformed-STUN tallies included) as the unscreened baseline, with
+  // the rejected packets showing up only under frontend_rejected.
+  net::Ipv4Addr client(10, 8, 0, 1), server(170, 114, 0, 10),
+      squatter(23, 1, 2, 3);
+  util::Rng rng(1234);
+  std::vector<net::RawPacket> trace;
+  for (int i = 0; i < 200; ++i) {
+    auto ts = util::Timestamp::from_seconds(10) + util::Duration::millis(5 * i);
+    std::vector<std::uint8_t> payload(
+        static_cast<std::size_t>(rng.uniform_int(24, 300)));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u32() >> 24);
+    std::uint16_t dport = (i % 2 == 0) ? 8801 : 3478;
+    net::Ipv4Addr dst = (i % 4 < 2) ? server : squatter;
+    trace.push_back(net::build_udp(ts, client,
+                                   static_cast<std::uint16_t>(40000 + i), dst,
+                                   dport, payload));
+  }
+
+  core::Analyzer baseline(core::AnalyzerConfig{});
+  for (const auto& pkt : trace) baseline.offer(pkt);
+  baseline.finish();
+
+  core::Analyzer screened(core::AnalyzerConfig{});
+  capture::BatchFilter filter{capture::BatchFilterConfig{}};
+  std::vector<net::RawPacketView> views;
+  for (const auto& pkt : trace) views.push_back(net::as_view(pkt));
+  capture::BatchVerdicts verdicts;
+  filter.classify(views, verdicts);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    if (verdicts.verdicts[i] == capture::Verdict::Reject)
+      screened.account_frontend_rejected(views[i]);
+    else
+      screened.offer(trace[i]);
+  }
+  screened.finish();
+
+  // Garbage to the off-net squatter on 8801 is provably irrelevant and
+  // must be screened; everything touching 3478 arms the candidate
+  // superset and flows through so malformed-STUN accounting survives.
+  EXPECT_GT(filter.stats().rejected, 0u);
+  EXPECT_EQ(screened.health().frontend_rejected, filter.stats().rejected);
+  EXPECT_EQ(screened.counters().total_packets, baseline.counters().total_packets);
+  EXPECT_EQ(screened.counters().total_bytes, baseline.counters().total_bytes);
+  EXPECT_EQ(screened.health().malformed_stun, baseline.health().malformed_stun);
+  core::AnalyzerHealth normalized = screened.health();
+  normalized.frontend_rejected = 0;
+  EXPECT_EQ(normalized, baseline.health());
+  EXPECT_EQ(screened.streams().size(), baseline.streams().size());
 }
 
 }  // namespace

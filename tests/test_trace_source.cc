@@ -325,6 +325,44 @@ TEST(TraceSource, MappedPcapngMatchesStreamingOnTruncatedTail) {
   }
 }
 
+TEST(TraceSource, ShortFinalPacketReportsSameErrorAcrossFormats) {
+  // Regression: a capture whose last packet body is cut short used to
+  // read "truncated record body" from the pcap readers but "truncated
+  // block body" from pcapng. Operators diffing runs across container
+  // formats should see one story: "truncated packet", from every reader
+  // (streaming and mapped, next() and next_batch()).
+  const std::vector<RawPacket> packets = {sample_packet(1.0, 0xaa),
+                                          sample_packet(2.0, 0xbb)};
+  Emitter pcap;
+  pcap.pcap_header(0xa1b2c3d4);
+  pcap.record(1, 0, packets[0].data);
+  pcap.record(2, 0, packets[1].data);
+  const struct {
+    const char* name;
+    std::string full;
+  } cases[] = {{"zpm_ts_short.pcap", pcap.buf},
+               {"zpm_ts_short.pcapng", build_pcapng(packets)}};
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    std::string path = temp_path(c.name);
+    // Cut inside the final packet's body (the trailing 4 bytes of a
+    // pcapng EPB are its trailer; 10 lands inside the frame for both).
+    write_file(path, c.full.substr(0, c.full.size() - 10));
+    Drained streaming = drain_streaming(path);
+    EXPECT_FALSE(streaming.ok);
+    EXPECT_EQ(streaming.error, "truncated packet");
+    EXPECT_EQ(streaming.packets.size(), 1u);
+    for (bool use_batch : {false, true}) {
+      SCOPED_TRACE(use_batch ? "next_batch" : "next");
+      Drained mapped = drain_mapped(path, use_batch);
+      EXPECT_FALSE(mapped.ok);
+      EXPECT_EQ(mapped.error, "truncated packet");
+      EXPECT_EQ(mapped.packets.size(), 1u);
+    }
+    std::remove(path.c_str());
+  }
+}
+
 TEST(TraceSource, UnrecognizedAndMissingFiles) {
   std::string path = temp_path("zpm_ts.junk");
   write_file(path, "this is not a capture at all");
