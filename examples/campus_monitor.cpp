@@ -5,7 +5,8 @@
 //
 // Usage: campus_monitor [hours] [meetings_per_peak_hour]
 //        campus_monitor --pcap <capture.pcap[ng]> [--no-frontend]
-//                       [--frontend-stats]
+//                       [--frontend-stats] [--flow-memory-budget <bytes>]
+//                       [--no-sketch] [--sketch-stats]
 //
 // With --pcap the monitor replays a recorded capture through the
 // analyzer using the zero-copy batched ingest path. Each batch is
@@ -13,7 +14,10 @@
 // the software stand-in for the paper's Tofino filter — unless
 // --no-frontend; results are bit-identical either way.
 // --frontend-stats prints the filter's selectivity counters with the
-// day summary.
+// day summary. The front end's sketch tier summarizes the rejected
+// background flows within --flow-memory-budget bytes (K/M/G suffixes,
+// default 1M; --no-sketch disables it); --sketch-stats prints the
+// absorbed volume and top background heavy hitters.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,11 +44,13 @@ void print_summary(core::Analyzer& analyzer, std::uint64_t processed) {
               static_cast<unsigned long long>(c.zoom_packets),
               util::human_bytes(c.zoom_bytes).c_str(),
               analyzer.meetings().meeting_count(), analyzer.streams().size());
-  // Front-end screening is accounting, not loss: zero it out of the
-  // all-clear gate so the summary line is identical with the front end
-  // on or off (--frontend-stats reports the verdict mix).
+  // Front-end screening and sketch-tier churn are accounting, not loss:
+  // zero them out of the all-clear gate so the summary line is identical
+  // with the front end / tier on or off (--frontend-stats and
+  // --sketch-stats report the details).
   auto h = analyzer.health();
   h.frontend_rejected = 0;
+  h.sketch_evicted = 0;
   if (h.all_clear()) {
     std::printf("analyzer health: all clear\n");
   } else {
@@ -59,7 +65,26 @@ void print_summary(core::Analyzer& analyzer, std::uint64_t processed) {
   }
 }
 
-int monitor_pcap(const char* path, bool frontend, bool frontend_stats) {
+/// "4M", "256K", "1048576" → bytes (binary suffixes); 0 on a malformed
+/// spec, which the caller treats as a usage error.
+std::size_t parse_byte_size(const char* spec) {
+  char* end = nullptr;
+  const auto value = std::strtoull(spec, &end, 10);
+  if (end == spec) return 0;
+  std::size_t scale = 1;
+  switch (*end) {
+    case '\0': break;
+    case 'k': case 'K': scale = std::size_t{1} << 10; ++end; break;
+    case 'm': case 'M': scale = std::size_t{1} << 20; ++end; break;
+    case 'g': case 'G': scale = std::size_t{1} << 30; ++end; break;
+    default: return 0;
+  }
+  if (*end != '\0' || value > (std::size_t{1} << 40) / scale) return 0;
+  return static_cast<std::size_t>(value) * scale;
+}
+
+int monitor_pcap(const char* path, bool frontend, bool frontend_stats,
+                 std::size_t sketch_budget, bool sketch_stats) {
   net::TraceSource source(path);
   if (!source.ok()) {
     std::fprintf(stderr, "error: cannot open %s (%s)\n", path,
@@ -70,7 +95,13 @@ int monitor_pcap(const char* path, bool frontend, bool frontend_stats) {
   an_cfg.keep_frames = false;
   core::Analyzer analyzer(an_cfg);
   std::optional<capture::BatchFilter> filter;
-  if (frontend) filter.emplace(capture::BatchFilterConfig{an_cfg.server_db, 1});
+  if (frontend) {
+    capture::BatchFilterConfig fe_cfg;
+    fe_cfg.server_db = an_cfg.server_db;
+    fe_cfg.shards = 1;
+    fe_cfg.flow_memory_budget = sketch_budget;
+    filter.emplace(std::move(fe_cfg));
+  }
 
   std::printf("campus monitor: replaying %s (%s ingest, front end %s)\n", path,
               source.mapped() ? "mapped zero-copy" : "streaming",
@@ -106,6 +137,26 @@ int monitor_pcap(const char* path, bool frontend, bool frontend_stats) {
                   util::with_commas(row.count).c_str(),
                   static_cast<int>(row.description.size()), row.description.data());
   }
+  if (sketch_stats) {
+    if (!filter || !filter->sketch_enabled()) {
+      std::printf("sketch flow tier not active (%s)\n",
+                  filter ? "--no-sketch" : "--no-frontend");
+    } else {
+      const auto report = filter->sketch_report(5);
+      const auto& ts = report.stats;
+      std::printf("sketch flow tier (%s budget): %s background packets (%s), "
+                  "%llu promotions, %llu evictions\n",
+                  util::human_bytes(sketch_budget).c_str(),
+                  util::with_commas(ts.absorbed_packets).c_str(),
+                  util::human_bytes(ts.absorbed_bytes).c_str(),
+                  static_cast<unsigned long long>(ts.promotions),
+                  static_cast<unsigned long long>(ts.evictions));
+      for (const auto& h : report.heavy_hitters)
+        std::printf("  %-44s %10s %10s pkts\n", h.flow.to_string().c_str(),
+                    util::human_bytes(h.bytes).c_str(),
+                    util::with_commas(h.packets).c_str());
+    }
+  }
   return 0;
 }
 
@@ -115,17 +166,32 @@ int main(int argc, char** argv) {
   if (argc > 2 && !std::strcmp(argv[1], "--pcap")) {
     bool frontend = true;
     bool frontend_stats = false;
+    std::size_t sketch_budget = std::size_t{1} << 20;
+    bool sketch = true;
+    bool sketch_stats = false;
     for (int i = 3; i < argc; ++i) {
       if (!std::strcmp(argv[i], "--no-frontend")) {
         frontend = false;
       } else if (!std::strcmp(argv[i], "--frontend-stats")) {
         frontend_stats = true;
+      } else if (!std::strcmp(argv[i], "--flow-memory-budget") && i + 1 < argc) {
+        sketch_budget = parse_byte_size(argv[++i]);
+        if (sketch_budget == 0) {
+          std::fprintf(stderr, "--flow-memory-budget wants a byte count like "
+                       "4M or 262144 (use --no-sketch to disable)\n");
+          return 2;
+        }
+      } else if (!std::strcmp(argv[i], "--no-sketch")) {
+        sketch = false;
+      } else if (!std::strcmp(argv[i], "--sketch-stats")) {
+        sketch_stats = true;
       } else {
         std::fprintf(stderr, "unknown option %s\n", argv[i]);
         return 2;
       }
     }
-    return monitor_pcap(argv[2], frontend, frontend_stats);
+    return monitor_pcap(argv[2], frontend, frontend_stats,
+                        sketch ? sketch_budget : 0, sketch_stats);
   }
 
   double hours = argc > 1 ? std::atof(argv[1]) : 1.0;

@@ -30,6 +30,17 @@
 //   --frontend-stats  print the front end's admit/reject/full-parse
 //                     selectivity counters (the software analogue of the
 //                     paper's Table 5 filter report)
+//   --flow-memory-budget <bytes>
+//                     byte budget for the front end's sketch tier, which
+//                     summarizes rejected background flows (count-min +
+//                     heavy-hitter table) at O(1) memory instead of
+//                     per-flow state. Accepts K/M/G suffixes (KiB etc.);
+//                     default 1M. The standard report is bit-identical
+//                     with the tier on or off.
+//   --no-sketch       disable the sketch tier (budget 0)
+//   --sketch-stats    print the sketch tier's report: absorbed
+//                     background volume, promotions / demotions /
+//                     evictions, and the top background heavy hitters
 //
 // Exit codes: 0 analyzed, 1 unreadable/empty/garbage input, 2 usage,
 // 3 strict-mode violation.
@@ -209,12 +220,14 @@ void print_report(const AnalysisOutput& out) {
   std::printf("%s", t.render().c_str());
 
   std::printf("\n== analyzer health =============================================\n");
-  // Front-end screening is accounting, not loss: a trace whose only
-  // nonzero counter is frontend-rejected is still all clear, keeping
-  // this section identical with the front end on or off
-  // (--frontend-stats reports the verdict mix).
+  // Front-end screening and sketch-tier churn are accounting, not loss:
+  // a trace whose only nonzero counters are frontend-rejected or
+  // sketch-evicted is still all clear, keeping this section identical
+  // with the front end / tier on or off (--frontend-stats and
+  // --sketch-stats report the details).
   auto health_gate = out.health;
   health_gate.frontend_rejected = 0;
+  health_gate.sketch_evicted = 0;
   if (health_gate.all_clear()) {
     std::printf("all clear: every record was fully analyzed\n");
   } else {
@@ -230,6 +243,24 @@ void print_report(const AnalysisOutput& out) {
   }
 }
 
+/// "4M", "256K", "1048576" → bytes (binary suffixes). Returns 0 on a
+/// malformed spec; the caller treats that as a usage error.
+std::size_t parse_byte_size(const char* spec) {
+  char* end = nullptr;
+  const auto value = std::strtoull(spec, &end, 10);
+  if (end == spec) return 0;
+  std::size_t scale = 1;
+  switch (*end) {
+    case '\0': break;
+    case 'k': case 'K': scale = std::size_t{1} << 10; ++end; break;
+    case 'm': case 'M': scale = std::size_t{1} << 20; ++end; break;
+    case 'g': case 'G': scale = std::size_t{1} << 30; ++end; break;
+    default: return 0;
+  }
+  if (*end != '\0' || value > (std::size_t{1} << 40) / scale) return 0;
+  return static_cast<std::size_t>(value) * scale;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -238,7 +269,8 @@ int main(int argc, char** argv) {
                  "usage: %s <capture.pcap[ng]>|--demo [--threads <n>]\n"
                  "          [--csv <prefix>] [--p2p-timeout <s>] [--anon-key <hex>]\n"
                  "          [--strict] [--corrupt <seed>] [--no-frontend]\n"
-                 "          [--frontend-stats]\n",
+                 "          [--frontend-stats] [--flow-memory-budget <bytes>]\n"
+                 "          [--no-sketch] [--sketch-stats]\n",
                  argv[0]);
     return 2;
   }
@@ -251,6 +283,9 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> corrupt_seed;
   bool frontend = true;
   bool frontend_stats = false;
+  std::size_t flow_memory_budget = std::size_t{1} << 20;
+  bool sketch = true;
+  bool sketch_stats = false;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -272,6 +307,18 @@ int main(int argc, char** argv) {
       frontend = false;
     } else if (!std::strcmp(argv[i], "--frontend-stats")) {
       frontend_stats = true;
+    } else if (!std::strcmp(argv[i], "--flow-memory-budget") && i + 1 < argc) {
+      flow_memory_budget = parse_byte_size(argv[++i]);
+      if (flow_memory_budget == 0) {
+        std::fprintf(stderr,
+                     "--flow-memory-budget wants a byte count like 4M or "
+                     "262144 (use --no-sketch to disable the tier)\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--no-sketch")) {
+      sketch = false;
+    } else if (!std::strcmp(argv[i], "--sketch-stats")) {
+      sketch_stats = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
@@ -319,6 +366,9 @@ int main(int argc, char** argv) {
   // Engaged on the batched file path when the front end is enabled;
   // outlives the loop so --frontend-stats can read its counters.
   std::optional<capture::BatchFilter> filter;
+  // Sketch-tier promotions in arrival order (--sketch-stats); side-band
+  // context only, never folded into the standard report.
+  std::vector<capture::BatchVerdicts::Promotion> promotions;
   if (input == "--demo") {
     sim::MeetingConfig mc;
     mc.seed = 21;
@@ -370,6 +420,7 @@ int main(int argc, char** argv) {
         capture::BatchFilterConfig fe_cfg;
         fe_cfg.server_db = cfg.server_db;
         fe_cfg.shards = threads;
+        fe_cfg.flow_memory_budget = sketch ? flow_memory_budget : 0;
         filter.emplace(std::move(fe_cfg));
       }
       std::vector<net::RawPacketView> batch;
@@ -379,6 +430,8 @@ int main(int argc, char** argv) {
         records += batch.size();
         if (filter) {
           filter->classify(batch, verdicts);
+          promotions.insert(promotions.end(), verdicts.promotions.begin(),
+                            verdicts.promotions.end());
           if (parallel) {
             parallel->offer_batch(batch, lifetime, verdicts);
           } else {
@@ -426,6 +479,9 @@ int main(int argc, char** argv) {
     for (const auto& s : serial->streams().streams()) out.streams.push_back(s.get());
     out.meetings = &serial->meetings();
   }
+  // The sketch tier lives in the capture front end, not the analyzer;
+  // its eviction churn joins the health report here.
+  if (filter) out.health.sketch_evicted = filter->sketch_evicted();
 
   if (violation) {
     std::fprintf(stderr,
@@ -474,6 +530,47 @@ int main(int argc, char** argv) {
       std::printf("%zu admitted flows, %zu armed candidate endpoints, %s probe\n",
                   filter->flow_count(), filter->candidate_endpoint_count(),
                   filter->simd_active() ? "SWAR/SSE2" : "scalar");
+    }
+  }
+
+  if (sketch_stats) {
+    std::printf("\n== sketch flow tier ============================================\n");
+    if (!filter || !filter->sketch_enabled()) {
+      std::printf("sketch tier not active (%s)\n",
+                  !sketch ? "--no-sketch"
+                  : filter ? "zero budget"
+                           : "front end not on this path");
+    } else {
+      const auto report = filter->sketch_report(10);
+      const auto& ts = report.stats;
+      std::printf("budget %s | absorbed %s background packets (%s)\n",
+                  util::human_bytes(flow_memory_budget).c_str(),
+                  util::with_commas(ts.absorbed_packets).c_str(),
+                  util::human_bytes(ts.absorbed_bytes).c_str());
+      std::printf("promotions %s | demotions %s | evictions %s\n",
+                  util::with_commas(ts.promotions).c_str(),
+                  util::with_commas(ts.demotions).c_str(),
+                  util::with_commas(ts.evictions).c_str());
+      if (!promotions.empty()) {
+        std::uint64_t carried_pkts = 0, carried_bytes = 0;
+        for (const auto& p : promotions) {
+          carried_pkts += p.carried.packets;
+          carried_bytes += p.carried.bytes;
+        }
+        std::printf("promoted flows carried %s pre-admission packets (%s)\n",
+                    util::with_commas(carried_pkts).c_str(),
+                    util::human_bytes(carried_bytes).c_str());
+      }
+      if (!report.heavy_hitters.empty()) {
+        util::TextTable hh;
+        hh.header({"Background flow", "Bytes", "Packets", "Err bytes"},
+                  {util::Align::Left, util::Align::Right, util::Align::Right,
+                   util::Align::Right});
+        for (const auto& h : report.heavy_hitters)
+          hh.row({h.flow.to_string(), util::human_bytes(h.bytes),
+                  util::with_commas(h.packets), util::with_commas(h.error_bytes)});
+        std::printf("%s", hh.render().c_str());
+      }
     }
   }
 

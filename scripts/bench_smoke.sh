@@ -5,9 +5,13 @@
 # Runs bench_ingest and bench_filter in --check mode (each fails when
 # its fast path is slower than the configured multiple of its per-packet
 # baseline — ZPM_INGEST_SPEEDUP_MIN / ZPM_FILTER_SPEEDUP_MIN, default
-# 3.0 — or when a steady-state path allocates) and captures the
-# google-benchmark pipeline numbers. Artifacts: BENCH_ingest.json,
-# BENCH_filter.json and BENCH_pipeline.json in the CWD.
+# 3.0 — or when a steady-state path allocates), runs bench_sketch
+# --check (sketch-tier footprint within 1.25x of the byte budget on a
+# ZPM_SKETCH_FLOWS-flow Zipf background trace, heavy-hitter recall >=
+# ZPM_SKETCH_RECALL_MIN at 4 MiB, Zoom report bit-identical tier
+# on/off), and captures the google-benchmark pipeline numbers.
+# Artifacts: BENCH_ingest.json, BENCH_filter.json, BENCH_sketch.json
+# and BENCH_pipeline.json in the CWD.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -15,7 +19,7 @@ BUILD_DIR="${1:-build}"
 : "${ZPM_FILTER_SPEEDUP_MIN:=3.0}"
 export ZPM_INGEST_SPEEDUP_MIN ZPM_FILTER_SPEEDUP_MIN
 
-for bin in bench_ingest bench_filter; do
+for bin in bench_ingest bench_filter bench_sketch; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built" >&2
     exit 2
@@ -28,6 +32,9 @@ echo "=== bench_ingest (speedup threshold ${ZPM_INGEST_SPEEDUP_MIN}x) ==="
 echo "=== bench_filter (speedup threshold ${ZPM_FILTER_SPEEDUP_MIN}x) ==="
 "$BUILD_DIR/bench/bench_filter" --check BENCH_filter.json
 
+echo "=== bench_sketch (${ZPM_SKETCH_FLOWS:-1000000} background flows) ==="
+"$BUILD_DIR/bench/bench_sketch" --check BENCH_sketch.json
+
 echo "=== bench_parallel_pipeline ==="
 # google-benchmark >= 1.8 wants a "0.05s" suffix on min_time; older
 # versions only accept a bare double. Try new syntax first.
@@ -38,4 +45,4 @@ run_pipeline() {
 }
 run_pipeline 0.05s || run_pipeline 0.05
 
-echo "artifacts: BENCH_ingest.json BENCH_filter.json BENCH_pipeline.json"
+echo "artifacts: BENCH_ingest.json BENCH_filter.json BENCH_sketch.json BENCH_pipeline.json"

@@ -104,6 +104,8 @@ std::vector<HealthRow> health_rows(const core::AnalyzerHealth& h) {
       h.non_monotonic_ts, false);
   add("frontend-rejected", "screened out by the capture front end (never decoded)",
       h.frontend_rejected, false);
+  add("sketch-evicted", "sketch-tier flow churn: heavy-hitter evictions + demotions",
+      h.sketch_evicted, false);
   add("bad-sfu-encap", "server payload below the 8-byte SFU encap", h.bad_sfu_encap,
       true);
   add("bad-media-encap", "known encap type with truncated header", h.bad_media_encap,

@@ -41,18 +41,6 @@ inline std::uint64_t endpoint_key(std::uint32_t ip, std::uint16_t port) {
   return (std::uint64_t{ip} << 16) | port;
 }
 
-/// Splittable multiply-xorshift over the packed flow key; one multiply
-/// chain (auto-vectorizable), unlike the FNV byte feed of
-/// std::hash<FiveTuple>. Only table placement depends on it — the owner
-/// *shard* is always computed with std::hash to match the dispatcher.
-inline std::uint64_t flow_hash(std::uint64_t k1, std::uint64_t k2) {
-  std::uint64_t h = k1 ^ (k2 * 0x9e3779b97f4a7c15ULL);
-  h ^= h >> 32;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 29;
-  return h;
-}
-
 inline std::uint64_t endpoint_hash(std::uint64_t key) {
   std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
   h ^= h >> 32;
@@ -73,33 +61,64 @@ FlowDispatchTable::FlowDispatchTable(std::size_t initial_capacity) {
 
 FlowDispatchTable::Hit FlowDispatchTable::lookup_or_insert(
     const net::FiveTuple& canonical, std::size_t shards) {
-  const std::uint64_t k1 = (std::uint64_t{canonical.src_ip.value()} << 32) |
-                           canonical.dst_ip.value();
   // Protocol in the low byte keeps k2 non-zero for every real flow
   // (probe-clean packets are UDP or TCP), so k2 == 0 marks empty slots.
-  const std::uint64_t k2 = (std::uint64_t{canonical.src_port} << 24) |
-                           (std::uint64_t{canonical.dst_port} << 8) |
-                           canonical.protocol;
-  std::size_t idx = flow_hash(k1, k2) & mask_;
+  const net::PackedFlowKey key(canonical);
+  return lookup_or_insert(key, net::canonical_flow_hash(key), shards);
+}
+
+FlowDispatchTable::Hit FlowDispatchTable::lookup_or_insert(
+    const net::PackedFlowKey& key, std::uint64_t hash, std::size_t shards) {
+  std::size_t idx = hash & mask_;
   for (;;) {
     Entry& e = entries_[idx];
     if (e.k2 == 0) {
       if ((size_ + 1) * 4 > entries_.size() * 3) {
         grow();
-        return lookup_or_insert(canonical, shards);
+        return lookup_or_insert(key, hash, shards);
       }
-      e.k1 = k1;
-      e.k2 = k2;
-      // The owner shard the parallel dispatcher would have computed;
+      e.k1 = key.k1;
+      e.k2 = key.k2;
+      // The owner shard the parallel dispatcher would have computed —
+      // one canonical hash feeds table placement AND shard routing;
       // bit-compatible routing is the contract.
-      e.shard = static_cast<std::uint32_t>(
-          std::hash<net::FiveTuple>{}(canonical) % (shards > 0 ? shards : 1));
-      e.slot = static_cast<std::uint32_t>(size_++);
-      return Hit{e.shard, e.slot};
+      e.shard = static_cast<std::uint32_t>(hash % (shards > 0 ? shards : 1));
+      e.slot = static_cast<std::uint32_t>(next_slot_++);
+      ++size_;
+      return Hit{e.shard, e.slot, true};
     }
-    if (e.k1 == k1 && e.k2 == k2) return Hit{e.shard, e.slot};
+    if (e.k1 == key.k1 && e.k2 == key.k2) return Hit{e.shard, e.slot, false};
     idx = (idx + 1) & mask_;
   }
+}
+
+bool FlowDispatchTable::erase(const net::FiveTuple& canonical) {
+  const net::PackedFlowKey key(canonical);
+  std::size_t idx = net::canonical_flow_hash(key) & mask_;
+  for (;;) {
+    Entry& e = entries_[idx];
+    if (e.k2 == 0) return false;
+    if (e.k1 == key.k1 && e.k2 == key.k2) break;
+    idx = (idx + 1) & mask_;
+  }
+  // Backward-shift deletion keeps probe chains intact without
+  // tombstones: pull each displaced successor into the vacated slot.
+  std::size_t hole = idx;
+  for (std::size_t next = (hole + 1) & mask_;; next = (next + 1) & mask_) {
+    Entry& e = entries_[next];
+    if (e.k2 == 0) break;
+    const std::size_t home = net::canonical_flow_hash(e.k1, e.k2) & mask_;
+    // Move only if the entry's home slot does not lie in (hole, next] —
+    // i.e. leaving it would break its probe chain once the hole empties.
+    const bool reachable = ((next - home) & mask_) >= ((next - hole) & mask_);
+    if (reachable) {
+      entries_[hole] = e;
+      hole = next;
+    }
+  }
+  entries_[hole] = Entry{};
+  --size_;
+  return true;
 }
 
 void FlowDispatchTable::grow() {
@@ -108,7 +127,7 @@ void FlowDispatchTable::grow() {
   mask_ = entries_.size() - 1;
   for (const Entry& e : old) {
     if (e.k2 == 0) continue;
-    std::size_t idx = flow_hash(e.k1, e.k2) & mask_;
+    std::size_t idx = net::canonical_flow_hash(e.k1, e.k2) & mask_;
     while (entries_[idx].k2 != 0) idx = (idx + 1) & mask_;
     entries_[idx] = e;
   }
@@ -126,6 +145,36 @@ BatchFilter::BatchFilter(BatchFilterConfig config, Mode mode)
   }
   candidates_.assign(1 << 10, 0);
   candidates_mask_ = candidates_.size() - 1;
+  if (config_.flow_memory_budget > 0) {
+    const std::size_t shards = config_.shards > 0 ? config_.shards : 1;
+    const std::size_t per_shard = config_.flow_memory_budget / shards;
+    tiers_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) tiers_.emplace_back(per_shard);
+  }
+}
+
+bool BatchFilter::demote_flow(const net::FiveTuple& canonical,
+                              const sketch::FlowStats& carried) {
+  if (tiers_.empty()) return false;
+  if (!flows_.erase(canonical)) return false;
+  const net::PackedFlowKey key(canonical);
+  const std::uint64_t hash = net::canonical_flow_hash(key);
+  tiers_[hash % tiers_.size()].demote(key, hash, carried);
+  return true;
+}
+
+std::uint64_t BatchFilter::sketch_evicted() const {
+  std::uint64_t total = 0;
+  for (const auto& tier : tiers_)
+    total += tier.stats().evictions + tier.stats().demotions;
+  return total;
+}
+
+sketch::TierReport BatchFilter::sketch_report(std::size_t limit) const {
+  std::vector<const sketch::FlowTier*> tiers;
+  tiers.reserve(tiers_.size());
+  for (const auto& tier : tiers_) tiers.push_back(&tier);
+  return sketch::merge_tiers(tiers, limit);
 }
 
 bool BatchFilter::candidate_contains(std::uint64_t key) const {
@@ -399,9 +448,24 @@ void BatchFilter::resolve(std::span<const net::RawPacketView> batch,
       // TCP: the analyzer only ever looks at server-involved flows.
       admit = src_server || dst_server;
     }
+    // One canonical hash per packet feeds the sketch tier, the dispatch
+    // table and the owner-shard choice alike (net::canonical_flow_hash).
+    const net::FiveTuple canonical =
+        net::FiveTuple{net::Ipv4Addr(p.src_ip), net::Ipv4Addr(p.dst_ip),
+                       p.src_port, p.dst_port, p.proto}
+            .canonical();
+    const net::PackedFlowKey key(canonical);
+    const std::uint64_t hash = net::canonical_flow_hash(key);
+
     if (!admit) {
       out.verdicts[i] = Verdict::Reject;
       ++stats_.rejected;
+      // The sketch tier summarizes what the filter rejects: counts only,
+      // no decode, no verdict influence — captured wire bytes, same as
+      // the analyzer's total-bytes accounting for these packets.
+      if (!tiers_.empty())
+        tiers_[hash % tiers_.size()].absorb(
+            key, hash, static_cast<std::uint32_t>(batch[i].data.size()));
       continue;
     }
 
@@ -418,14 +482,21 @@ void BatchFilter::resolve(std::span<const net::RawPacketView> batch,
     }
     out.flags[i] = flags;
 
-    const net::FiveTuple canonical =
-        net::FiveTuple{net::Ipv4Addr(p.src_ip), net::Ipv4Addr(p.dst_ip),
-                       p.src_port, p.dst_port, p.proto}
-            .canonical();
     const FlowDispatchTable::Hit hit =
-        flows_.lookup_or_insert(canonical, config_.shards);
+        flows_.lookup_or_insert(key, hash, config_.shards);
     out.shard[i] = hit.shard;
     out.slot[i] = hit.slot;
+
+    // First Admit of a flow the tier had already summarized (rejected
+    // until a STUN exchange armed its endpoint): hand the accumulated
+    // aggregate to exact tracking.
+    if (hit.inserted && !tiers_.empty()) {
+      const sketch::FlowStats carried =
+          tiers_[hash % tiers_.size()].promote(key, hash);
+      if (carried.packets > 0)
+        out.promotions.push_back(
+            BatchVerdicts::Promotion{canonical, hit.shard, carried});
+    }
   }
 }
 

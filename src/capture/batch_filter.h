@@ -47,6 +47,7 @@
 
 #include "net/five_tuple.h"
 #include "net/packet.h"
+#include "sketch/sketch.h"
 #include "zoom/server_db.h"
 
 namespace zpm::capture {
@@ -71,16 +72,32 @@ inline constexpr std::uint8_t kFlagZoomShaped = 0x02;
 /// are only resized (geometric capacity growth), so reusing one
 /// instance across batches is allocation-free in steady state.
 struct BatchVerdicts {
+  /// A flow the sketch tier handed to exact tracking during this batch:
+  /// its first Admit arrived after the tier had already summarized
+  /// packets for it (e.g. a P2P flow rejected until its endpoint was
+  /// STUN-armed). `carried` is the tier's accumulated pre-admission
+  /// aggregate — side-band context for the exact tracker, never part of
+  /// the standard report (bit-identity contract).
+  struct Promotion {
+    net::FiveTuple flow;  ///< canonical
+    std::uint32_t shard = 0;
+    sketch::FlowStats carried;
+
+    bool operator==(const Promotion&) const = default;
+  };
+
   std::vector<Verdict> verdicts;
   std::vector<std::uint8_t> flags;
   std::vector<std::uint32_t> shard;  ///< owner shard; valid for Admit
   std::vector<std::uint32_t> slot;   ///< flow slot; valid for Admit
+  std::vector<Promotion> promotions;  ///< sketch-tier promotions, batch order
 
   void resize(std::size_t n) {
     verdicts.resize(n);
     flags.resize(n);
     shard.resize(n);
     slot.resize(n);
+    promotions.clear();
   }
 
   bool operator==(const BatchVerdicts&) const = default;
@@ -112,15 +129,24 @@ class FlowDispatchTable {
   struct Hit {
     std::uint32_t shard = 0;
     std::uint32_t slot = 0;
+    bool inserted = false;  ///< first sight of this flow
   };
 
   /// Looks up `canonical` (must be a canonical() 5-tuple), inserting on
   /// first sight with the owner the parallel dispatcher would compute:
-  /// std::hash<net::FiveTuple> % shards. Bit-compatibility with
+  /// net::canonical_flow_hash % shards. Bit-compatibility with
   /// ParallelAnalyzer's routing is the whole point; tests assert it.
   Hit lookup_or_insert(const net::FiveTuple& canonical, std::size_t shards);
+  /// Same, with the key and hash the caller already has in hand.
+  Hit lookup_or_insert(const net::PackedFlowKey& key, std::uint64_t hash,
+                       std::size_t shards);
 
-  /// Distinct flows inserted so far.
+  /// Removes a flow (sketch-tier demotion). Backward-shift deletion, no
+  /// tombstones; the flow's slot id is retired, never reused, so slot
+  /// ids stay unique for the table's life. Returns false when absent.
+  bool erase(const net::FiveTuple& canonical);
+
+  /// Flows currently resident (insertions minus erasures).
   [[nodiscard]] std::size_t size() const { return size_; }
 
  private:
@@ -136,6 +162,7 @@ class FlowDispatchTable {
   std::vector<Entry> entries_;
   std::size_t mask_;
   std::size_t size_ = 0;
+  std::size_t next_slot_ = 0;  ///< first-sight slot counter (never reused)
 };
 
 /// Stage-1 configuration. `server_db` and `shards` must match the
@@ -145,6 +172,13 @@ struct BatchFilterConfig {
   zoom::ServerDb server_db = zoom::ServerDb::official();
   /// Worker shard count of the consuming pipeline; 1 for serial use.
   std::size_t shards = 1;
+  /// Total byte budget for the sketch tier, split evenly across one
+  /// sketch::FlowTier per shard; 0 disables the tier. Rejected packets
+  /// are summarized (never decoded or shipped), and a flow's first
+  /// Admit promotes its accumulated aggregate via
+  /// BatchVerdicts::promotions. Verdicts are identical with the tier on
+  /// or off — the tier only *observes* the Reject stream.
+  std::size_t flow_memory_budget = 0;
 };
 
 /// See file comment.
@@ -172,6 +206,27 @@ class BatchFilter {
   /// Armed candidate endpoints (superset of the analyzer's, see above).
   [[nodiscard]] std::size_t candidate_endpoint_count() const {
     return candidates_size_;
+  }
+
+  // --- Sketch tier ------------------------------------------------------
+
+  [[nodiscard]] bool sketch_enabled() const { return !tiers_.empty(); }
+  /// Hands an exact-tracked flow back to the sketch tier (meeting ended,
+  /// tracker evicted): removes it from the dispatch table and folds
+  /// `carried` — the aggregate the exact tier accumulated — into the
+  /// owning shard's sketch. Returns false when the flow is unknown or
+  /// the tier is disabled. Counted under `sketch-evicted`.
+  bool demote_flow(const net::FiveTuple& canonical,
+                   const sketch::FlowStats& carried);
+  /// Health feed for the `sketch-evicted` category: SpaceSaving
+  /// minimum-entry evictions plus explicit demotions, all shards.
+  [[nodiscard]] std::uint64_t sketch_evicted() const;
+  /// Merged cross-shard tier report (stats sum + re-ranked heavy
+  /// hitters). Exact merge: a flow lives in exactly one shard's tier.
+  [[nodiscard]] sketch::TierReport sketch_report(std::size_t limit) const;
+  /// Shard-local tier (bench/test introspection); requires sketch_enabled().
+  [[nodiscard]] const sketch::FlowTier& tier(std::size_t shard) const {
+    return tiers_[shard];
   }
 
  private:
@@ -206,6 +261,7 @@ class BatchFilter {
   bool simd_;
   FrontEndStats stats_;
   FlowDispatchTable flows_;
+  std::vector<sketch::FlowTier> tiers_;  // one per shard; empty = disabled
   std::vector<Probe> probes_;  // classify() scratch, reused
   std::vector<std::uint64_t> candidates_;
   std::size_t candidates_mask_;

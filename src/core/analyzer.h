@@ -25,6 +25,7 @@
 #include "core/shard_journal.h"
 #include "core/streams.h"
 #include "metrics/latency.h"
+#include "net/flow_map.h"
 #include "net/packet.h"
 #include "zoom/classify.h"
 #include "zoom/server_db.h"
@@ -229,15 +230,19 @@ class Analyzer {
   AnalyzerHealth health_;
   std::optional<StrictViolation> violation_;
   std::optional<util::Timestamp> last_offer_ts_;
-  std::unordered_map<net::FiveTuple, std::uint32_t> malformed_streaks_;
-  std::unordered_set<net::FiveTuple> quarantined_;
+  // Flat open-addressing tables over the shared canonical flow hash
+  // (net::FlatFlowMap): the per-packet membership probes here must not
+  // chase unordered_{set,map} node pointers or allocate per flow. Only
+  // membership/values are observable, so reports stay bit-identical.
+  net::FlatFlowMap<std::uint32_t> malformed_streaks_;
+  net::FlatFlowSet quarantined_;
   /// 65536-bit filter backing bloom_mark/bloom_maybe_contains.
   std::array<std::uint64_t, 1024> ever_malformed_{};
   P2pDetector p2p_;
   StreamTable streams_;
   MeetingGrouper grouper_;
   metrics::RtpCopyMatcher copy_matcher_;
-  std::unordered_set<net::FiveTuple> zoom_flows_;
+  net::FlatFlowSet zoom_flows_;
   /// Media packets arrive in bursts on one flow; caching the last
   /// inserted canonical flow skips the zoom_flows_ hash probe for
   /// back-to-back packets of the same flow.

@@ -37,6 +37,10 @@ struct AnalyzerHealth {
   // -- front-end screening (capture::BatchFilter; packet counted in the
   //    totals but provably irrelevant, so it is never decoded) --
   std::uint64_t frontend_rejected = 0;
+  // -- sketch tier churn (accounting only, no packet is dropped): flows
+  //    the bounded heavy-hitter table evicted under memory pressure plus
+  //    flows explicitly demoted from exact tracking back to the sketch --
+  std::uint64_t sketch_evicted = 0;
 
   // -- Zoom-layer parse failures --
   std::uint64_t bad_sfu_encap = 0;    // server payload < 8-byte SFU encap
@@ -69,6 +73,7 @@ struct AnalyzerHealth {
     snaplen_truncated += o.snaplen_truncated;
     non_monotonic_ts += o.non_monotonic_ts;
     frontend_rejected += o.frontend_rejected;
+    sketch_evicted += o.sketch_evicted;
     bad_sfu_encap += o.bad_sfu_encap;
     bad_media_encap += o.bad_media_encap;
     malformed_rtp += o.malformed_rtp;

@@ -41,21 +41,63 @@ struct FiveTuple {
   }
 };
 
+/// A 5-tuple packed into two words — the storage format of every flat
+/// flow table (capture::FlowDispatchTable, net::FlatFlowMap, the sketch
+/// tier). The protocol byte sits in k2's low bits, so k2 != 0 for any
+/// real UDP/TCP flow and 0 can mark empty slots.
+struct PackedFlowKey {
+  std::uint64_t k1 = 0;  ///< (src_ip << 32) | dst_ip
+  std::uint64_t k2 = 0;  ///< (src_port << 24) | (dst_port << 8) | protocol
+
+  constexpr PackedFlowKey() = default;
+  constexpr PackedFlowKey(std::uint64_t a, std::uint64_t b) : k1(a), k2(b) {}
+  explicit constexpr PackedFlowKey(const FiveTuple& t)
+      : k1((std::uint64_t{t.src_ip.value()} << 32) | t.dst_ip.value()),
+        k2((std::uint64_t{t.src_port} << 24) | (std::uint64_t{t.dst_port} << 8) |
+           t.protocol) {}
+
+  [[nodiscard]] constexpr bool empty() const { return k2 == 0; }
+  constexpr bool operator==(const PackedFlowKey&) const = default;
+
+  /// Inverse of the packing constructor.
+  [[nodiscard]] constexpr FiveTuple unpack() const {
+    return FiveTuple{Ipv4Addr(static_cast<std::uint32_t>(k1 >> 32)),
+                     Ipv4Addr(static_cast<std::uint32_t>(k1)),
+                     static_cast<std::uint16_t>((k2 >> 24) & 0xffff),
+                     static_cast<std::uint16_t>((k2 >> 8) & 0xffff),
+                     static_cast<std::uint8_t>(k2 & 0xff)};
+  }
+};
+
+/// THE canonical-5-tuple hash: one multiply-xorshift chain over the
+/// packed key, shared by the shard selector (std::hash<FiveTuple>
+/// delegates here), the capture front end's flow-dispatch table and the
+/// sketch tier — one hash per packet feeds filter, dispatch and sketch,
+/// and the three can never route a flow differently
+/// (tests/test_five_tuple.cc CanonicalFlowHashParityAcrossAllCallers).
+constexpr std::uint64_t canonical_flow_hash(std::uint64_t k1, std::uint64_t k2) {
+  std::uint64_t h = k1 ^ (k2 * 0x9e3779b97f4a7c15ULL);
+  h ^= h >> 32;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 29;
+  return h;
+}
+
+constexpr std::uint64_t canonical_flow_hash(const PackedFlowKey& key) {
+  return canonical_flow_hash(key.k1, key.k2);
+}
+
+/// Call on `t.canonical()` when a direction-independent hash is wanted;
+/// the function itself hashes the tuple exactly as given.
+constexpr std::uint64_t canonical_flow_hash(const FiveTuple& t) {
+  return canonical_flow_hash(PackedFlowKey(t));
+}
+
 }  // namespace zpm::net
 
 template <>
 struct std::hash<zpm::net::FiveTuple> {
   std::size_t operator()(const zpm::net::FiveTuple& t) const noexcept {
-    // FNV-1a over the tuple fields; cheap and adequate for hash maps.
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    auto mix = [&h](std::uint64_t v) {
-      h ^= v;
-      h *= 0x100000001b3ULL;
-    };
-    mix(t.src_ip.value());
-    mix(t.dst_ip.value());
-    mix(static_cast<std::uint64_t>(t.src_port) << 16 | t.dst_port);
-    mix(t.protocol);
-    return static_cast<std::size_t>(h);
+    return static_cast<std::size_t>(zpm::net::canonical_flow_hash(t));
   }
 };

@@ -1,0 +1,165 @@
+// Open-addressing flat hash containers keyed by 5-tuples, the exact-
+// tier counterpart of the sketch tier's fixed tables: packed keys
+// (net::PackedFlowKey), the shared canonical hash, linear probing and
+// backward-shift deletion. One contiguous slot array — no per-node
+// allocations, no buckets — replaces std::unordered_{set,map} on the
+// analyzer's per-packet flow lookups (zoom_flows_, malformed_streaks_,
+// quarantined_), keeping behavior bit-identical: only membership and
+// values are observable, never iteration order.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/five_tuple.h"
+
+namespace zpm::net {
+
+/// Flat map from canonical 5-tuples to small values. Power-of-two
+/// capacity, grown at 3/4 load. V must be default-constructible;
+/// erase() uses backward-shift deletion so lookups stay one linear
+/// probe with no tombstone scans.
+template <typename V>
+class FlatFlowMap {
+ public:
+  explicit FlatFlowMap(std::size_t initial_capacity = 16) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] bool contains(const FiveTuple& flow) const {
+    return find(flow) != nullptr;
+  }
+
+  [[nodiscard]] const V* find(const FiveTuple& flow) const {
+    const PackedFlowKey key(flow);
+    std::size_t idx = canonical_flow_hash(key) & mask_;
+    for (;;) {
+      const Slot& s = slots_[idx];
+      if (s.key.empty()) return nullptr;
+      if (s.key == key) return &s.value;
+      idx = (idx + 1) & mask_;
+    }
+  }
+  [[nodiscard]] V* find(const FiveTuple& flow) {
+    return const_cast<V*>(std::as_const(*this).find(flow));
+  }
+
+  /// The value for `flow`, default-constructed on first sight.
+  V& operator[](const FiveTuple& flow) {
+    const PackedFlowKey key(flow);
+    for (;;) {
+      std::size_t idx = canonical_flow_hash(key) & mask_;
+      for (;;) {
+        Slot& s = slots_[idx];
+        if (s.key.empty()) {
+          if ((size_ + 1) * 4 > slots_.size() * 3) {
+            grow();
+            break;  // re-probe against the grown table
+          }
+          s.key = key;
+          s.value = V{};
+          ++size_;
+          return s.value;
+        }
+        if (s.key == key) return s.value;
+        idx = (idx + 1) & mask_;
+      }
+    }
+  }
+
+  /// True when the key was present. Backward-shift deletion.
+  bool erase(const FiveTuple& flow) {
+    const PackedFlowKey key(flow);
+    std::size_t idx = canonical_flow_hash(key) & mask_;
+    for (;;) {
+      if (slots_[idx].key.empty()) return false;
+      if (slots_[idx].key == key) break;
+      idx = (idx + 1) & mask_;
+    }
+    std::size_t hole = idx;
+    for (std::size_t next = (hole + 1) & mask_;; next = (next + 1) & mask_) {
+      Slot& s = slots_[next];
+      if (s.key.empty()) break;
+      const std::size_t home = canonical_flow_hash(s.key) & mask_;
+      // Shift only entries whose probe chain would break once the hole
+      // empties: home must not lie in the open interval (hole, next].
+      if (((next - home) & mask_) >= ((next - hole) & mask_)) {
+        slots_[hole] = s;
+        hole = next;
+      }
+    }
+    slots_[hole] = Slot{};
+    --size_;
+    return true;
+  }
+
+  /// Calls fn(const FiveTuple&, const V&) for every entry, in
+  /// unspecified order (do not let results depend on it).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_)
+      if (!s.key.empty()) fn(s.key.unpack(), s.value);
+  }
+
+ private:
+  struct Slot {
+    PackedFlowKey key;  // empty() marks a free slot
+    V value{};
+  };
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.key.empty()) continue;
+      std::size_t idx = canonical_flow_hash(s.key) & mask_;
+      while (!slots_[idx].key.empty()) idx = (idx + 1) & mask_;
+      slots_[idx] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Flat set of canonical 5-tuples: FlatFlowMap with no payload.
+class FlatFlowSet {
+ public:
+  explicit FlatFlowSet(std::size_t initial_capacity = 16)
+      : map_(initial_capacity) {}
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+  [[nodiscard]] bool contains(const FiveTuple& flow) const {
+    return map_.contains(flow);
+  }
+
+  /// True when the flow was newly inserted.
+  bool insert(const FiveTuple& flow) {
+    const std::size_t before = map_.size();
+    map_[flow];
+    return map_.size() != before;
+  }
+
+  bool erase(const FiveTuple& flow) { return map_.erase(flow); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each([&fn](const FiveTuple& flow, const Empty&) { fn(flow); });
+  }
+
+ private:
+  struct Empty {};
+  FlatFlowMap<Empty> map_;
+};
+
+}  // namespace zpm::net

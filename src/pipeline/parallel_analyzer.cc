@@ -151,8 +151,8 @@ void ParallelAnalyzer::offer(net::RawPacket pkt) {
   auto view = ingest(seq, net::as_view(pkt), pkt.data);
   if (!view) return;
 
-  std::size_t owner =
-      std::hash<net::FiveTuple>{}(view->five_tuple().canonical()) % shards_.size();
+  std::size_t owner = net::canonical_flow_hash(view->five_tuple().canonical()) %
+                      shards_.size();
 
   net::Ipv4Addr cand_ip;
   std::uint16_t cand_port = 0;
@@ -194,6 +194,10 @@ void ParallelAnalyzer::offer_batch_impl(std::span<const net::RawPacketView> batc
   if (batch.empty()) return;
   if (staging_.size() != shards_.size()) staging_.resize(shards_.size());
   for (auto& stage : staging_) stage.clear();
+
+  if (verdicts != nullptr && !verdicts->promotions.empty())
+    promotions_.insert(promotions_.end(), verdicts->promotions.begin(),
+                       verdicts->promotions.end());
 
   // Transient sources reuse their buffer after we return, so the batch
   // is copied once into a refcounted block all its items share. Pinned
@@ -247,7 +251,7 @@ void ParallelAnalyzer::offer_batch_impl(std::span<const net::RawPacketView> batc
     std::size_t owner =
         verdict == capture::Verdict::Admit
             ? verdicts->shard[idx]
-            : std::hash<net::FiveTuple>{}(view->five_tuple().canonical()) %
+            : net::canonical_flow_hash(view->five_tuple().canonical()) %
                   shards_.size();
 
     // The STUN-candidate predicate can only pass for UDP packets

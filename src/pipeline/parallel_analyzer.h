@@ -141,6 +141,17 @@ class ParallelAnalyzer {
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
+  /// Sketch-tier promotions seen across all verdict-aware offer_batch()
+  /// calls, in arrival order: the pre-admission byte/packet aggregates
+  /// the capture front end carried for flows that reached exact
+  /// tracking. Side-band context only (reported via --sketch-stats);
+  /// never folded into the standard report, which stays bit-identical
+  /// with the tier on or off.
+  [[nodiscard]] const std::vector<capture::BatchVerdicts::Promotion>&
+  promotions() const {
+    return promotions_;
+  }
+
  private:
   struct Item;
   struct Shard;
@@ -181,6 +192,9 @@ class ParallelAnalyzer {
   // decoded or shipped to a shard.
   std::uint64_t frontend_rejected_packets_ = 0;
   std::uint64_t frontend_rejected_bytes_ = 0;
+
+  // Sketch-tier promotions accumulated from verdict batches.
+  std::vector<capture::BatchVerdicts::Promotion> promotions_;
 
   // Producer-side health: capture-quality observations and decode
   // failures belong to the global offer order, mirroring the serial

@@ -1,0 +1,116 @@
+#include "sim/background.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/build.h"
+
+namespace zpm::sim {
+
+namespace {
+
+/// Cheap per-rank mixer for payload sizing and address spreading;
+/// unrelated to net::canonical_flow_hash so flow placement in the
+/// sketch is not correlated with generation.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BackgroundTraffic::BackgroundTraffic(BackgroundConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.flows == 0) config_.flows = 1;
+  if (config_.packets < config_.flows) config_.packets = config_.flows;
+  cum_.resize(config_.flows);
+  double total = 0;
+  for (std::size_t r = 0; r < config_.flows; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -config_.zipf_s);
+    cum_[r] = total;
+  }
+  realized_.resize(config_.flows);
+}
+
+net::FiveTuple BackgroundTraffic::flow(std::size_t rank) const {
+  // Campus host 10.8.x.y <-> external 23.z peer; the rank bits make
+  // tuples pairwise distinct, the mixed bits spread addresses. Ports
+  // stay clear of 8801/3478 (and the server subnets are never used), so
+  // the capture front end rejects every packet of every flow.
+  const std::uint64_t h = mix(rank * 0x9e3779b97f4a7c15ULL + config_.seed);
+  const auto src_ip = net::Ipv4Addr(10, 8, static_cast<std::uint8_t>(rank >> 8),
+                                    static_cast<std::uint8_t>(rank));
+  const auto dst_ip =
+      net::Ipv4Addr(23, static_cast<std::uint8_t>(1 + ((h >> 8) & 0x7f)),
+                    static_cast<std::uint8_t>(h >> 16),
+                    static_cast<std::uint8_t>(h >> 24));
+  const auto src_port =
+      static_cast<std::uint16_t>(20000 + (rank >> 16) * 16 + ((h >> 32) & 0xf));
+  const auto dst_port = static_cast<std::uint16_t>(40000 + (rank & 0x3fff));
+  return net::FiveTuple{src_ip, dst_ip, src_port, dst_port, 17};
+}
+
+std::size_t BackgroundTraffic::draw_rank() {
+  const double u = rng_.uniform() * cum_.back();
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+  return static_cast<std::size_t>(it - cum_.begin());
+}
+
+std::size_t BackgroundTraffic::next_batch(std::size_t n,
+                                          std::vector<net::RawPacket>& out) {
+  std::size_t produced = 0;
+  std::vector<std::uint8_t> payload;
+  while (produced < n && emitted_ < config_.packets) {
+    // Interleave first-sight packets (flow arrivals) with Zipf draws:
+    // one packet in four introduces the next unseen flow until the full
+    // population is concurrent.
+    std::size_t rank;
+    if (next_unseen_ < config_.flows &&
+        (emitted_ % 4 == 0 ||
+         config_.packets - emitted_ <= config_.flows - next_unseen_)) {
+      rank = next_unseen_++;
+    } else {
+      rank = draw_rank();
+    }
+
+    // Payload size is a per-flow constant (heavier flows lean larger),
+    // so realized byte tallies follow the Zipf law too.
+    const std::uint64_t h = mix(rank + 0x5bd1e995u);
+    payload.assign(64 + (h % 1137), static_cast<std::uint8_t>(h >> 56));
+
+    const auto frac = static_cast<double>(emitted_) /
+                      static_cast<double>(config_.packets);
+    const util::Timestamp ts =
+        config_.start + util::Duration::micros(static_cast<std::int64_t>(
+                            frac * static_cast<double>(config_.duration.us())));
+
+    const net::FiveTuple t = flow(rank);
+    out.push_back(net::build_udp(ts, t.src_ip, t.src_port, t.dst_ip, t.dst_port,
+                                 payload));
+    realized_[rank].packets += 1;
+    realized_[rank].bytes += out.back().data.size();
+    ++emitted_;
+    ++produced;
+  }
+  return produced;
+}
+
+std::vector<std::size_t> BackgroundTraffic::top_flows(std::size_t k) const {
+  std::vector<std::size_t> ranks(realized_.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) ranks[i] = i;
+  const std::size_t cut = std::min(k, ranks.size());
+  std::partial_sort(ranks.begin(), ranks.begin() + static_cast<std::ptrdiff_t>(cut),
+                    ranks.end(), [this](std::size_t a, std::size_t b) {
+                      if (realized_[a].bytes != realized_[b].bytes)
+                        return realized_[a].bytes > realized_[b].bytes;
+                      return a < b;
+                    });
+  ranks.resize(cut);
+  return ranks;
+}
+
+}  // namespace zpm::sim

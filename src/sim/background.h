@@ -1,0 +1,83 @@
+// Million-flow background-traffic synthesizer: the load a campus tap
+// actually carries. The meeting/campus simulators model the *Zoom*
+// fraction; this models the other ~99% — an open population of
+// non-Zoom UDP flows whose sizes follow a Zipf law (a handful of
+// elephants, a vast tail of mice), exactly the regime the sketch tier
+// must summarize in O(1) memory.
+//
+// Packets deliberately avoid every Zoom discriminant (no server
+// subnets, no ports 8801/3478), so the capture front end provably
+// Rejects all of them: the whole trace exercises the tier's absorb path
+// without perturbing the Zoom report (the bit-identity contract
+// bench_sketch asserts). Flow endpoints are derived arithmetically from
+// the flow rank — O(1) generator state per flow — while *realized*
+// per-flow packet/byte tallies are recorded as ground truth for
+// heavy-hitter recall measurement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/five_tuple.h"
+#include "net/packet.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace zpm::sim {
+
+/// Configuration for one synthetic background trace.
+struct BackgroundConfig {
+  std::uint64_t seed = 1;
+  /// Distinct concurrent flows; every flow emits at least one packet.
+  std::size_t flows = 1'000'000;
+  /// Total packets; must be >= 4 * flows for full flow coverage (one in
+  /// four packets introduces a new flow until all have appeared).
+  std::size_t packets = 4'000'000;
+  /// Zipf exponent over flow ranks (rank r drawn with weight r^-s).
+  double zipf_s = 1.1;
+  util::Timestamp start = util::Timestamp::from_seconds(1000);
+  util::Duration duration = util::Duration::seconds(600);
+};
+
+/// Realized per-flow load (the generator's ground truth).
+struct FlowLoad {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;  ///< wire bytes (whole Ethernet frames)
+};
+
+/// See file comment. Streamed: next_batch() synthesizes packets in
+/// timestamp order until `config.packets` have been emitted.
+class BackgroundTraffic {
+ public:
+  explicit BackgroundTraffic(BackgroundConfig config);
+
+  /// Appends up to `n` packets to `out` (not cleared). Returns the
+  /// number appended; 0 means the trace is exhausted.
+  std::size_t next_batch(std::size_t n, std::vector<net::RawPacket>& out);
+
+  /// The 5-tuple of flow `rank` (0-based; lower rank = heavier flow in
+  /// expectation). Purely arithmetic, no lookup.
+  [[nodiscard]] net::FiveTuple flow(std::size_t rank) const;
+
+  /// Realized per-flow tallies, indexed by rank. Grows as the trace is
+  /// generated; final after the last next_batch().
+  [[nodiscard]] const std::vector<FlowLoad>& realized() const { return realized_; }
+
+  /// Ranks of the top-`k` flows by realized bytes (ties by rank).
+  [[nodiscard]] std::vector<std::size_t> top_flows(std::size_t k) const;
+
+  [[nodiscard]] const BackgroundConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t emitted() const { return emitted_; }
+
+ private:
+  std::size_t draw_rank();
+
+  BackgroundConfig config_;
+  util::Rng rng_;
+  std::vector<double> cum_;  ///< Zipf prefix weights for inverse-CDF draws
+  std::vector<FlowLoad> realized_;
+  std::size_t emitted_ = 0;
+  std::size_t next_unseen_ = 0;  ///< next rank owed its first packet
+};
+
+}  // namespace zpm::sim

@@ -1,0 +1,128 @@
+// Differential fuzz target: sketch::FlowTier vs an exact reference.
+// The input is an operation stream — [op u8][flow u16le][val u16le]
+// repeated — driving absorb / promote / demote / estimate over a small
+// flow universe against a std::map of exact per-flow tallies. Checked
+// invariants, any violation aborts:
+//   * estimates never undercount the exact tally (CM + SpaceSaving are
+//     upper-bound structures; promotion/demotion must preserve that),
+//   * a promoted flow's carried aggregate never undercounts the exact
+//     tally accumulated while the tier owned the flow,
+//   * tracked_flows never exceeds the heavy table's capacity and the
+//     tier's footprint never moves after construction.
+// The low byte of the first word picks the tier budget, so table
+// pressure ranges from constant eviction to none.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "net/five_tuple.h"
+#include "sketch/sketch.h"
+
+namespace {
+
+zpm::net::PackedFlowKey key_of(std::uint16_t n) {
+  zpm::net::FiveTuple t;
+  t.src_ip = zpm::net::Ipv4Addr(10, 8, static_cast<std::uint8_t>(n >> 8),
+                                static_cast<std::uint8_t>(n));
+  t.dst_ip = zpm::net::Ipv4Addr(23, 1, 2, 3);
+  t.src_port = 20000;
+  t.dst_port = static_cast<std::uint16_t>(30000 + (n & 0xff));
+  t.protocol = 17;
+  return zpm::net::PackedFlowKey(t.canonical());
+}
+
+struct ExactState {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  bool promoted = false;  // currently owned by the (simulated) exact tier
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 1) return 0;
+  // Budgets from 1 byte (min tables, constant eviction) to ~1 MiB.
+  const std::size_t budget = std::size_t{1} << (data[0] % 21);
+  zpm::sketch::FlowTier tier(budget);
+  const std::size_t footprint = tier.memory_bytes();
+
+  std::map<std::uint16_t, ExactState> exact;
+  std::size_t pos = 1;
+  while (pos + 5 <= size) {
+    const std::uint8_t op = data[pos];
+    const auto flow = static_cast<std::uint16_t>(
+        (data[pos + 1] | (data[pos + 2] << 8)) % 512);  // small universe
+    const auto val = static_cast<std::uint16_t>(data[pos + 3] |
+                                                (data[pos + 4] << 8));
+    pos += 5;
+
+    const zpm::net::PackedFlowKey key = key_of(flow);
+    const std::uint64_t hash = zpm::net::canonical_flow_hash(key);
+    ExactState& ref = exact[flow];
+
+    switch (op % 4) {
+      case 0:
+      case 1: {  // absorb (weighted: the dominant real-world op)
+        if (ref.promoted) break;  // exact tier owns it; tier never sees it
+        const auto bytes = static_cast<std::uint32_t>(64 + val % 1450);
+        tier.absorb(key, hash, bytes);
+        ref.packets += 1;
+        ref.bytes += bytes;
+        break;
+      }
+      case 2: {  // promote
+        if (ref.promoted) break;
+        const zpm::sketch::FlowStats carried = tier.promote(key, hash);
+        if (carried.packets < ref.packets || carried.bytes < ref.bytes) {
+          std::fprintf(stderr,
+                       "sketch promote undercount: flow %u carried %llu/%llu "
+                       "exact %llu/%llu\n",
+                       flow, static_cast<unsigned long long>(carried.packets),
+                       static_cast<unsigned long long>(carried.bytes),
+                       static_cast<unsigned long long>(ref.packets),
+                       static_cast<unsigned long long>(ref.bytes));
+          std::abort();
+        }
+        // The exact tier takes over with the carried aggregate.
+        ref.packets = carried.packets;
+        ref.bytes = carried.bytes;
+        ref.promoted = true;
+        break;
+      }
+      case 3: {  // demote (only meaningful for promoted flows)
+        if (!ref.promoted) break;
+        ref.packets += 1;  // pretend the exact tier saw one more packet
+        ref.bytes += 64 + val % 1450;
+        tier.demote(key, hash,
+                    zpm::sketch::FlowStats{ref.packets, ref.bytes});
+        ref.promoted = false;
+        break;
+      }
+    }
+
+    const zpm::sketch::FlowStats est = tier.estimate(key, hash);
+    if (!ref.promoted &&
+        (est.packets < ref.packets || est.bytes < ref.bytes)) {
+      std::fprintf(stderr,
+                   "sketch estimate undercount: flow %u est %llu/%llu exact "
+                   "%llu/%llu\n",
+                   flow, static_cast<unsigned long long>(est.packets),
+                   static_cast<unsigned long long>(est.bytes),
+                   static_cast<unsigned long long>(ref.packets),
+                   static_cast<unsigned long long>(ref.bytes));
+      std::abort();
+    }
+  }
+
+  if (tier.memory_bytes() != footprint) {
+    std::fprintf(stderr, "sketch tier footprint moved after construction\n");
+    std::abort();
+  }
+  const std::size_t hh = tier.heavy_hitters(16).size();
+  if (hh > 16 || tier.tracked_flows() > 512) {
+    std::fprintf(stderr, "sketch heavy-hitter bounds violated\n");
+    std::abort();
+  }
+  return 0;
+}

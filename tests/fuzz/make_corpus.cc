@@ -323,6 +323,34 @@ int main(int argc, char** argv) {
     write_seed(root / "fuzz_batch_filter", "squatters.bin", squatters);
   }
 
+  // fuzz_sketch: [budget-exponent u8] then [op u8][flow u16le][val u16le]
+  // records driving the FlowTier-vs-exact differential harness. One seed
+  // under constant eviction pressure (tiny budget, wide flow spread) and
+  // one exercising the promote/demote round trip on a comfortable budget.
+  {
+    auto record = [](std::vector<std::uint8_t>& out, std::uint8_t op,
+                     std::uint16_t flow, std::uint16_t val) {
+      out.push_back(op);
+      le16(out, flow);
+      le16(out, val);
+    };
+    std::vector<std::uint8_t> pressure;
+    pressure.push_back(0);  // 1-byte budget: minimum tables
+    for (std::uint16_t n = 0; n < 96; ++n)
+      record(pressure, 0, static_cast<std::uint16_t>(n * 5), 700);
+    write_seed(root / "fuzz_sketch", "eviction_pressure.bin", pressure);
+
+    std::vector<std::uint8_t> churn;
+    churn.push_back(18);  // 256 KiB budget
+    for (std::uint16_t n = 0; n < 8; ++n) {
+      for (int rep = 0; rep < 4; ++rep) record(churn, 0, n, 1200);
+      record(churn, 2, n, 0);  // promote
+      record(churn, 3, n, 64); // demote back
+      record(churn, 1, n, 900);
+    }
+    write_seed(root / "fuzz_sketch", "promote_demote.bin", churn);
+  }
+
   std::printf("corpus written under %s\n", root.string().c_str());
   return 0;
 }

@@ -439,6 +439,135 @@ TEST(BatchFilter, LookAlikePortSquattersAreNeverZoomShaped) {
 }
 
 // ---------------------------------------------------------------------------
+// Sketch tier: screening parity + promotion path
+
+TEST(BatchFilter, SketchTierNeverChangesVerdictsOrReports) {
+  // Same hostile trace, tier off vs on: verdict/flag/shard/slot arrays
+  // must match packet for packet (the tier only observes rejects), and
+  // the downstream report must stay bit-identical — health included,
+  // since sketch churn is accounted filter-side, not analyzer-side.
+  auto trace = hostile_campus_trace();
+  core::AnalyzerConfig cfg;
+
+  BatchFilterConfig plain_cfg{cfg.server_db, 4};
+  BatchFilterConfig sketch_cfg{cfg.server_db, 4};
+  sketch_cfg.flow_memory_budget = 1 << 20;
+  BatchFilter plain(plain_cfg);
+  BatchFilter sketched(sketch_cfg);
+  ASSERT_FALSE(plain.sketch_enabled());
+  ASSERT_TRUE(sketched.sketch_enabled());
+
+  BatchVerdicts vp, vs;
+  for (std::size_t i = 0; i < trace.size(); i += kBatch) {
+    auto batch = views_of(trace, i, std::min(trace.size(), i + kBatch));
+    plain.classify(batch, vp);
+    sketched.classify(batch, vs);
+    ASSERT_EQ(vp.verdicts, vs.verdicts) << "batch at " << i;
+    ASSERT_EQ(vp.flags, vs.flags) << "batch at " << i;
+    ASSERT_EQ(vp.shard, vs.shard) << "batch at " << i;
+    ASSERT_EQ(vp.slot, vs.slot) << "batch at " << i;
+    ASSERT_TRUE(vp.promotions.empty());  // disabled tier never promotes
+  }
+
+  // The tier summarized exactly the rejected packets.
+  const sketch::TierReport report = sketched.sketch_report(10);
+  EXPECT_EQ(report.stats.absorbed_packets, sketched.stats().rejected);
+  EXPECT_GT(report.stats.absorbed_packets, 0u);
+  EXPECT_FALSE(report.heavy_hitters.empty());
+
+  // End-to-end: analyzer reports identical with tier on/off; the only
+  // health difference the tier may ever cause is via the CLI's explicit
+  // sketch_evicted injection, which is not part of this path.
+  core::Analyzer base(cfg), with_tier(cfg);
+  BatchFilter f1(plain_cfg), f2(sketch_cfg);
+  run_serial(trace, base, &f1);
+  run_serial(trace, with_tier, &f2);
+  expect_serial_equal(base, with_tier);
+  EXPECT_EQ(base.health(), with_tier.health());  // incl. frontend_rejected
+  EXPECT_EQ(with_tier.health().sketch_evicted, 0u);
+}
+
+TEST(BatchFilter, LateAdmittedFlowIsPromotedWithCarriedAggregate) {
+  // A P2P-looking flow is rejected (absorbed by the tier) until a STUN
+  // exchange arms its endpoint; the first admit must surface a promotion
+  // carrying the tier's pre-admission aggregate.
+  BatchFilterConfig cfg{};
+  cfg.shards = 4;
+  cfg.flow_memory_budget = 256 << 10;
+  BatchFilter filter(cfg);
+
+  std::vector<std::uint8_t> media(100, 0x10);
+  const net::FiveTuple p2p_flow =
+      net::FiveTuple{kCampus, kOther, 50000, 50001, 17}.canonical();
+  std::uint64_t pre_bytes = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto pkt = net::build_udp(Timestamp::from_seconds(1 + i), kCampus, 50000,
+                              kOther, 50001, media);
+    pre_bytes += pkt.data.size();
+    auto v = classify_one(filter, pkt);
+    ASSERT_EQ(v.verdicts[0], Verdict::Reject);
+    ASSERT_TRUE(v.promotions.empty());
+  }
+
+  std::vector<std::uint8_t> stun = {0x00, 0x01, 0x00, 0x00, 0x21, 0x12, 0xa4,
+                                    0x42, 1,    2,    3,    4,    5,    6,
+                                    7,    8,    9,    10,   11,   12};
+  classify_one(filter, net::build_udp(Timestamp::from_seconds(10), kCampus,
+                                      50000, kZoomServer,
+                                      zoom::kStunServerPort, stun));
+
+  auto admitted = classify_one(
+      filter, net::build_udp(Timestamp::from_seconds(11), kCampus, 50000,
+                             kOther, 50001, media));
+  ASSERT_EQ(admitted.verdicts[0], Verdict::Admit);
+  ASSERT_EQ(admitted.promotions.size(), 1u);
+  const BatchVerdicts::Promotion& promo = admitted.promotions[0];
+  EXPECT_EQ(promo.flow, p2p_flow);
+  EXPECT_EQ(promo.shard, admitted.shard[0]);
+  EXPECT_EQ(promo.carried.packets, 5u);
+  EXPECT_EQ(promo.carried.bytes, pre_bytes);
+
+  // Promotion removed the flow from the tier's heavy table; a repeat
+  // admit of the same flow is no longer "inserted" and promotes nothing.
+  auto again = classify_one(
+      filter, net::build_udp(Timestamp::from_seconds(12), kCampus, 50000,
+                             kOther, 50001, media));
+  ASSERT_EQ(again.verdicts[0], Verdict::Admit);
+  EXPECT_TRUE(again.promotions.empty());
+
+  // Demotion hands the flow back: the tier re-absorbs the aggregate and
+  // counts the churn in sketch_evicted().
+  const std::uint64_t churn_before = filter.sketch_evicted();
+  EXPECT_TRUE(filter.demote_flow(p2p_flow, sketch::FlowStats{6, 600}));
+  EXPECT_EQ(filter.sketch_evicted(), churn_before + 1);
+  EXPECT_FALSE(filter.demote_flow(p2p_flow, sketch::FlowStats{}))
+      << "second demotion of an unknown flow must fail";
+}
+
+TEST(BatchFilter, SketchEvictionChurnIsAccounted) {
+  // A tiny budget and thousands of distinct rejected flows force
+  // SpaceSaving evictions; sketch_evicted() must expose them.
+  BatchFilterConfig cfg{};
+  cfg.shards = 2;
+  cfg.flow_memory_budget = 2;  // minimum tables per shard
+  BatchFilter filter(cfg);
+  std::vector<std::uint8_t> payload(64, 0x42);
+  std::vector<net::RawPacket> pkts;
+  for (std::uint32_t n = 0; n < 2000; ++n) {
+    pkts.push_back(net::build_udp(
+        Timestamp::from_seconds(1), kCampus,
+        static_cast<std::uint16_t>(20000 + (n >> 8)), kOther,
+        static_cast<std::uint16_t>(30000 + (n & 0xff)), payload));
+  }
+  std::vector<net::RawPacketView> batch;
+  for (const auto& p : pkts) batch.push_back(net::as_view(p));
+  BatchVerdicts v;
+  filter.classify(batch, v);
+  ASSERT_EQ(filter.stats().rejected, pkts.size());
+  EXPECT_GT(filter.sketch_evicted(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // FlowDispatchTable
 
 TEST(FlowDispatchTable, OwnerShardMatchesStdHashAndSlotsAreStable) {

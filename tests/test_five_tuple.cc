@@ -38,6 +38,38 @@ TEST(FiveTuple, HashAndEqualityInSets) {
   EXPECT_EQ(set.size(), 2u);
 }
 
+TEST(FiveTuple, CanonicalFlowHashParityAcrossAllCallers) {
+  // One hash, four consumers: std::hash<FiveTuple> (analyzer maps,
+  // stream keys), the dispatch/shard selector, the sketch tier and the
+  // flat flow tables all key off net::canonical_flow_hash. Any drift
+  // between the overloads silently breaks the "one hash per packet"
+  // regime and the shard-routing/tier-routing agreement, so pin them to
+  // each other here.
+  for (std::uint32_t n = 0; n < 1000; ++n) {
+    FiveTuple t = make();
+    t.src_ip = Ipv4Addr(10, 0, static_cast<std::uint8_t>(n >> 8),
+                        static_cast<std::uint8_t>(n));
+    t.src_port = static_cast<std::uint16_t>(1024 + n);
+    t = t.canonical();
+
+    const PackedFlowKey key(t);
+    const std::uint64_t from_parts = canonical_flow_hash(key.k1, key.k2);
+    EXPECT_EQ(canonical_flow_hash(key), from_parts);
+    EXPECT_EQ(canonical_flow_hash(t), from_parts);
+    EXPECT_EQ(std::hash<FiveTuple>{}(t), from_parts);
+    // Packing is lossless: the sketch's heavy hitters report real flows.
+    EXPECT_EQ(key.unpack(), t);
+  }
+}
+
+TEST(PackedFlowKey, EmptyMarkerNeverCollidesWithRealFlows) {
+  // k2 == 0 marks free slots in the flat tables; a real flow always has
+  // a nonzero protocol byte, so no canonical 5-tuple can pack to it.
+  EXPECT_TRUE(PackedFlowKey{}.empty());
+  FiveTuple t = make().canonical();
+  EXPECT_FALSE(PackedFlowKey(t).empty());
+}
+
 TEST(FiveTuple, ToStringMentionsProtocol) {
   EXPECT_NE(make().to_string().find("udp"), std::string::npos);
   FiveTuple t = make();

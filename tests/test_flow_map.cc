@@ -1,0 +1,122 @@
+// net::FlatFlowMap / FlatFlowSet: differential testing against the
+// std::unordered_{map,set} they replaced in core::Analyzer. The
+// replacement's contract is bit-identical observable behavior —
+// membership, values, sizes — under any interleaving of insert, update
+// and erase, across growth and backward-shift deletion.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/flow_map.h"
+#include "util/rng.h"
+
+namespace zpm::net {
+namespace {
+
+FiveTuple flow_of(std::uint32_t n) {
+  FiveTuple t;
+  t.src_ip = Ipv4Addr(10, 8, static_cast<std::uint8_t>(n >> 8),
+                      static_cast<std::uint8_t>(n));
+  t.dst_ip = Ipv4Addr(52, 84, 1, static_cast<std::uint8_t>(n >> 16));
+  t.src_port = static_cast<std::uint16_t>(20000 + (n & 0xff));
+  t.dst_port = 8801;
+  t.protocol = 17;
+  return t.canonical();
+}
+
+TEST(FlatFlowMap, MatchesUnorderedMapUnderRandomOps) {
+  FlatFlowMap<std::uint32_t> flat;
+  std::unordered_map<FiveTuple, std::uint32_t> ref;
+  util::Rng rng(17);
+  for (int op = 0; op < 20000; ++op) {
+    const FiveTuple flow = flow_of(static_cast<std::uint32_t>(rng.uniform_int(0, 999)));
+    const double dice = rng.uniform();
+    if (dice < 0.5) {
+      // Insert-or-increment through operator[] on both.
+      ++flat[flow];
+      ++ref[flow];
+    } else if (dice < 0.75) {
+      EXPECT_EQ(flat.erase(flow), ref.erase(flow) > 0) << "op " << op;
+    } else {
+      const std::uint32_t* got = flat.find(flow);
+      auto it = ref.find(flow);
+      ASSERT_EQ(got != nullptr, it != ref.end()) << "op " << op;
+      if (got != nullptr) EXPECT_EQ(*got, it->second) << "op " << op;
+      EXPECT_EQ(flat.contains(flow), ref.contains(flow));
+    }
+    ASSERT_EQ(flat.size(), ref.size()) << "op " << op;
+  }
+  // Full sweep: every reference entry present with the right value, and
+  // for_each visits exactly the reference population.
+  for (const auto& [flow, value] : ref) {
+    const std::uint32_t* got = flat.find(flow);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, value);
+  }
+  std::size_t visited = 0;
+  flat.for_each([&](const FiveTuple& flow, const std::uint32_t& value) {
+    ++visited;
+    auto it = ref.find(flow);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(value, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatFlowMap, SurvivesGrowthFromMinimumCapacity) {
+  FlatFlowMap<std::uint32_t> flat(1);  // rounds up to the 16 minimum
+  constexpr std::uint32_t kFlows = 5000;
+  for (std::uint32_t n = 0; n < kFlows; ++n) flat[flow_of(n)] = n;
+  EXPECT_EQ(flat.size(), kFlows);
+  for (std::uint32_t n = 0; n < kFlows; ++n) {
+    const std::uint32_t* got = flat.find(flow_of(n));
+    ASSERT_NE(got, nullptr) << "flow " << n;
+    EXPECT_EQ(*got, n);
+  }
+}
+
+TEST(FlatFlowMap, BackwardShiftEraseKeepsClusteredChainsProbeable) {
+  // Dense population guarantees long probe clusters; erase every third
+  // key and verify every survivor remains reachable (the regression a
+  // tombstone-free deletion scheme must pass).
+  FlatFlowMap<std::uint32_t> flat;
+  constexpr std::uint32_t kFlows = 2000;
+  for (std::uint32_t n = 0; n < kFlows; ++n) flat[flow_of(n)] = n;
+  for (std::uint32_t n = 0; n < kFlows; n += 3) EXPECT_TRUE(flat.erase(flow_of(n)));
+  for (std::uint32_t n = 0; n < kFlows; ++n) {
+    const std::uint32_t* got = flat.find(flow_of(n));
+    if (n % 3 == 0) {
+      EXPECT_EQ(got, nullptr) << "erased flow " << n << " still present";
+    } else {
+      ASSERT_NE(got, nullptr) << "survivor flow " << n << " unreachable";
+      EXPECT_EQ(*got, n);
+    }
+  }
+}
+
+TEST(FlatFlowSet, MatchesUnorderedSetUnderRandomOps) {
+  FlatFlowSet flat;
+  std::unordered_set<FiveTuple> ref;
+  util::Rng rng(23);
+  for (int op = 0; op < 20000; ++op) {
+    const FiveTuple flow = flow_of(static_cast<std::uint32_t>(rng.uniform_int(0, 499)));
+    if (rng.chance(0.6))
+      EXPECT_EQ(flat.insert(flow), ref.insert(flow).second) << "op " << op;
+    else
+      EXPECT_EQ(flat.erase(flow), ref.erase(flow) > 0) << "op " << op;
+    ASSERT_EQ(flat.size(), ref.size()) << "op " << op;
+    EXPECT_EQ(flat.contains(flow), ref.contains(flow));
+  }
+  std::size_t visited = 0;
+  flat.for_each([&](const FiveTuple& flow) {
+    ++visited;
+    EXPECT_TRUE(ref.contains(flow));
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+}  // namespace
+}  // namespace zpm::net
