@@ -7,6 +7,16 @@
 //        campus_monitor --pcap <capture.pcap[ng]> [--no-frontend]
 //                       [--frontend-stats] [--flow-memory-budget <bytes>]
 //                       [--no-sketch] [--sketch-stats]
+//        campus_monitor --make-trace <out.pcap> [--minutes <m>]
+//                       [--meetings <per-peak-hour>] [--seed <n>]
+//        campus_monitor --daemon (--replay <trace> | --live <iface>)
+//                       [--loops <n>] [--pace-pps <pps>]
+//                       [--stall-after <pkts>] [--epoch-packets <n>]
+//                       [--epoch-seconds <s>] [--snapshot <file>]
+//                       [--report-dir <dir>] [--config <file>]
+//                       [--watchdog-seconds <s>] [--threads <n>]
+//                       [--halt-after-epochs <n>] [--no-frontend]
+//                       [--flow-memory-budget <bytes>] [--quiet]
 //
 // With --pcap the monitor replays a recorded capture through the
 // analyzer using the zero-copy batched ingest path. Each batch is
@@ -18,16 +28,34 @@
 // background flows within --flow-memory-budget bytes (K/M/G suffixes,
 // default 1M; --no-sketch disables it); --sketch-stats prints the
 // absorbed volume and top background heavy hitters.
+//
+// --daemon runs the continuous-operation service loop
+// (analysis/daemon.h): epoch rotation, atomic snapshot + per-epoch
+// report files, SIGHUP config reload, SIGTERM/SIGINT graceful drain,
+// and a watchdog that reopens a stalled source. --replay drives it
+// from a recorded trace through net::ReplayLiveSource (deterministic,
+// no privileges needed — loop with --loops 0 and pace with
+// --pace-pps for soak runs); --live opens a real interface
+// (AF_PACKET TPACKET_V3, CAP_NET_RAW required). --make-trace writes a
+// simulated campus day to a pcap for the replay modes.
+//
+// Exit codes: 0 ok, 1 bad input/fatal source error, 2 usage,
+// 4 interrupted (SIGINT drain in the non-daemon modes: the partial
+// capture is still analyzed and the report flushed before exiting).
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <vector>
 
+#include "analysis/daemon.h"
 #include "analysis/tables.h"
 #include "capture/batch_filter.h"
 #include "capture/filter.h"
 #include "core/analyzer.h"
+#include "net/live_source.h"
+#include "net/pcap.h"
 #include "net/trace_source.h"
 #include "sim/campus.h"
 #include "util/strings.h"
@@ -35,6 +63,11 @@
 using namespace zpm;
 
 namespace {
+
+/// SIGINT in the non-daemon modes: drain what's in flight, flush the
+/// report, exit 4. The handler only sets the flag.
+volatile std::sig_atomic_t g_interrupted = 0;
+void on_interrupt(int) { g_interrupted = 1; }
 
 void print_summary(core::Analyzer& analyzer, std::uint64_t processed) {
   const auto& c = analyzer.counters();
@@ -106,11 +139,12 @@ int monitor_pcap(const char* path, bool frontend, bool frontend_stats,
   std::printf("campus monitor: replaying %s (%s ingest, front end %s)\n", path,
               source.mapped() ? "mapped zero-copy" : "streaming",
               filter ? "on" : "off");
+  std::signal(SIGINT, on_interrupt);
   constexpr std::size_t kBatch = 1024;
   std::vector<net::RawPacketView> batch;
   batch.reserve(kBatch);
   capture::BatchVerdicts verdicts;
-  while (source.next_batch(batch, kBatch) > 0) {
+  while (!g_interrupted && source.next_batch(batch, kBatch) > 0) {
     if (filter) {
       filter->classify(batch, verdicts);
       for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -123,6 +157,11 @@ int monitor_pcap(const char* path, bool frontend, bool frontend_stats,
       for (const auto& view : batch) analyzer.offer(view);
     }
   }
+  std::signal(SIGINT, SIG_DFL);
+  if (g_interrupted)
+    std::fprintf(stderr, "\ninterrupted: flushing report over the %llu "
+                 "packets analyzed so far\n",
+                 static_cast<unsigned long long>(source.packets_read()));
   if (!source.ok())
     std::fprintf(stderr, "warning: capture ended with error: %s\n",
                  source.error().c_str());
@@ -157,12 +196,203 @@ int monitor_pcap(const char* path, bool frontend, bool frontend_stats,
                     util::with_commas(h.packets).c_str());
     }
   }
+  return g_interrupted ? 4 : 0;
+}
+
+/// Writes a simulated campus monitor stream to a pcap — the input for
+/// the --daemon --replay modes and the CI soak run.
+int make_trace(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: campus_monitor --make-trace <out.pcap> "
+                 "[--minutes <m>] [--meetings <n>] [--background <ratio>] "
+                 "[--seed <n>]\n");
+    return 2;
+  }
+  const char* out_path = argv[2];
+  double minutes = 10.0;
+  double meetings = 6.0;
+  double background = 1.0;
+  std::uint64_t seed = 42;
+  for (int i = 3; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--minutes") && i + 1 < argc) {
+      minutes = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--meetings") && i + 1 < argc) {
+      meetings = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--background") && i + 1 < argc) {
+      background = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (minutes <= 0) {
+    std::fprintf(stderr, "--minutes wants a positive duration\n");
+    return 2;
+  }
+
+  sim::CampusConfig campus_cfg;
+  campus_cfg.seed = seed;
+  campus_cfg.day_start = util::Timestamp::from_seconds(10 * 3600);
+  campus_cfg.duration = util::Duration::seconds(minutes * 60.0);
+  campus_cfg.meetings_per_peak_hour = meetings;
+  campus_cfg.background_ratio = background;
+  sim::CampusSimulation campus(campus_cfg);
+
+  net::PcapWriter writer(out_path);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path);
+    return 1;
+  }
+  while (auto pkt = campus.next_packet()) writer.write(*pkt);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "error: write to %s failed\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %llu packets (%.1f simulated minutes) to %s\n",
+              static_cast<unsigned long long>(writer.packets_written()),
+              minutes, out_path);
   return 0;
+}
+
+/// The continuous daemon: parses its flag block, builds the source,
+/// and hands the loop to analysis::MonitorDaemon.
+int run_daemon(int argc, char** argv) {
+  std::string replay_path;
+  std::string live_interface;
+  analysis::DaemonConfig cfg;
+  cfg.engine.analyzer.keep_frames = false;
+  cfg.engine.limits.max_packets = 1'000'000;
+  cfg.engine.limits.max_span = util::Duration::seconds(60.0);
+  net::ReplayLiveSourceConfig replay_cfg;
+
+  for (int i = 2; i < argc; ++i) {
+    const auto want_value = [&](const char* flag) {
+      if (i + 1 < argc) return true;
+      std::fprintf(stderr, "%s wants a value\n", flag);
+      return false;
+    };
+    if (!std::strcmp(argv[i], "--replay")) {
+      if (!want_value("--replay")) return 2;
+      replay_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--live")) {
+      if (!want_value("--live")) return 2;
+      live_interface = argv[++i];
+    } else if (!std::strcmp(argv[i], "--loops")) {
+      if (!want_value("--loops")) return 2;
+      replay_cfg.loops = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--pace-pps")) {
+      if (!want_value("--pace-pps")) return 2;
+      replay_cfg.pace_pps = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--stall-after")) {
+      if (!want_value("--stall-after")) return 2;
+      replay_cfg.stall_after_packets = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--epoch-packets")) {
+      if (!want_value("--epoch-packets")) return 2;
+      cfg.engine.limits.max_packets = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--epoch-seconds")) {
+      if (!want_value("--epoch-seconds")) return 2;
+      cfg.engine.limits.max_span = util::Duration::seconds(std::atof(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--snapshot")) {
+      if (!want_value("--snapshot")) return 2;
+      cfg.snapshot_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--report-dir")) {
+      if (!want_value("--report-dir")) return 2;
+      cfg.report_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--config")) {
+      if (!want_value("--config")) return 2;
+      cfg.config_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--watchdog-seconds")) {
+      if (!want_value("--watchdog-seconds")) return 2;
+      cfg.watchdog = util::Duration::seconds(std::atof(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      if (!want_value("--threads")) return 2;
+      cfg.engine.shards = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (cfg.engine.shards == 0) cfg.engine.shards = 1;
+    } else if (!std::strcmp(argv[i], "--halt-after-epochs")) {
+      if (!want_value("--halt-after-epochs")) return 2;
+      cfg.halt_after_epochs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--no-frontend")) {
+      cfg.engine.frontend = false;
+    } else if (!std::strcmp(argv[i], "--flow-memory-budget")) {
+      if (!want_value("--flow-memory-budget")) return 2;
+      cfg.engine.flow_memory_budget = parse_byte_size(argv[++i]);
+      if (cfg.engine.flow_memory_budget == 0) {
+        std::fprintf(stderr, "--flow-memory-budget wants a byte count like "
+                     "4M or 262144\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--quiet")) {
+      cfg.verbose = false;
+    } else {
+      std::fprintf(stderr, "unknown daemon option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (replay_path.empty() == live_interface.empty()) {
+    std::fprintf(stderr,
+                 "--daemon wants exactly one of --replay <trace> or "
+                 "--live <iface>\n");
+    return 2;
+  }
+  if (!cfg.engine.limits.any_enabled()) {
+    std::fprintf(stderr, "daemon needs at least one epoch limit "
+                 "(--epoch-packets or --epoch-seconds)\n");
+    return 2;
+  }
+
+  analysis::MonitorDaemon daemon(cfg);
+  analysis::MonitorDaemon::install_signal_handlers(&daemon);
+  int rc;
+  if (!replay_path.empty()) {
+    replay_cfg.path = replay_path;
+    net::ReplayLiveSource source(replay_cfg);
+    if (!source.ok()) {
+      std::fprintf(stderr, "error: cannot load %s (%s)\n",
+                   replay_path.c_str(), source.error().c_str());
+      analysis::MonitorDaemon::install_signal_handlers(nullptr);
+      return 1;
+    }
+    std::fprintf(stderr, "zpm-daemon: replaying %s (%llu packets/loop, "
+                 "loops %llu, %.0f pps)\n",
+                 replay_path.c_str(),
+                 static_cast<unsigned long long>(source.trace_packets()),
+                 static_cast<unsigned long long>(replay_cfg.loops),
+                 replay_cfg.pace_pps);
+    rc = daemon.run(source);
+  } else {
+    net::LiveSourceConfig live_cfg;
+    live_cfg.interface = live_interface;
+    net::LiveSource source(live_cfg);
+    if (!source.ok()) {
+      std::fprintf(stderr, "error: cannot open %s (%s)\n",
+                   live_interface.c_str(), source.error().c_str());
+      analysis::MonitorDaemon::install_signal_handlers(nullptr);
+      return 1;
+    }
+    std::fprintf(stderr, "zpm-daemon: capturing on %s (%.*s backend)\n",
+                 live_interface.c_str(),
+                 static_cast<int>(source.backend().size()),
+                 source.backend().data());
+    rc = daemon.run(source);
+    const auto stats = source.stats();
+    if (stats.kernel_drops > 0)
+      std::fprintf(stderr, "zpm-daemon: kernel dropped %llu packets\n",
+                   static_cast<unsigned long long>(stats.kernel_drops));
+  }
+  analysis::MonitorDaemon::install_signal_handlers(nullptr);
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && !std::strcmp(argv[1], "--make-trace"))
+    return make_trace(argc, argv);
+  if (argc > 1 && !std::strcmp(argv[1], "--daemon"))
+    return run_daemon(argc, argv);
+
   if (argc > 2 && !std::strcmp(argv[1], "--pcap")) {
     bool frontend = true;
     bool frontend_stats = false;
@@ -219,11 +449,13 @@ int main(int argc, char** argv) {
               "meetings", "streams", "media", "rtt[ms]");
   std::printf("----------------------------------------------------------------------\n");
 
+  std::signal(SIGINT, on_interrupt);
   std::int64_t interval_us = 5 * 60 * 1'000'000ll;  // 5-minute lines
   std::int64_t next_report = 0;
   std::uint64_t interval_pkts = 0, interval_zoom = 0;
   std::size_t last_rtt_count = 0;
   while (auto pkt = campus.next_packet()) {
+    if (g_interrupted) break;
     if (next_report == 0) next_report = pkt->ts.us() + interval_us;
     ++interval_pkts;
     auto kept = filter.process(*pkt);
@@ -256,7 +488,11 @@ int main(int argc, char** argv) {
       next_report += interval_us;
     }
   }
+  std::signal(SIGINT, SIG_DFL);
+  if (g_interrupted)
+    std::fprintf(stderr, "\ninterrupted: flushing report over the simulated "
+                 "day so far\n");
   analyzer.finish();
   print_summary(analyzer, filter.counters().processed);
-  return 0;
+  return g_interrupted ? 4 : 0;
 }

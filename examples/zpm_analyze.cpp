@@ -43,8 +43,11 @@
 //                     evictions, and the top background heavy hitters
 //
 // Exit codes: 0 analyzed, 1 unreadable/empty/garbage input, 2 usage,
-// 3 strict-mode violation.
+// 3 strict-mode violation, 4 interrupted (SIGINT: ingestion stops at
+// the next batch boundary, the packets analyzed so far are drained
+// and the full report still prints — a partial pass is a usable pass).
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,6 +70,11 @@
 using namespace zpm;
 
 namespace {
+
+/// SIGINT: stop ingesting at the next batch boundary, drain, report,
+/// exit 4. The handler only sets the flag.
+volatile std::sig_atomic_t g_interrupted = 0;
+void on_interrupt(int) { g_interrupted = 1; }
 
 /// The report's view of an analysis run, identical for the serial and
 /// sharded paths. Stream/meeting pointers stay owned by the analyzer.
@@ -383,7 +391,12 @@ int main(int argc, char** argv) {
     mc.participants = {a, b, c};
     if (corrupt_seed) mc.corruption = sim::CorruptorConfig::hostile(*corrupt_seed);
     sim::MeetingSim sim(mc);
-    while (auto pkt = sim.next_packet()) offer(*pkt);
+    std::signal(SIGINT, on_interrupt);
+    while (auto pkt = sim.next_packet()) {
+      if (g_interrupted) break;
+      offer(*pkt);
+    }
+    std::signal(SIGINT, SIG_DFL);
     if (const auto* cs = sim.corruption_stats()) corruption = *cs;
   } else {
     source = std::make_unique<net::TraceSource>(input);
@@ -403,10 +416,13 @@ int main(int argc, char** argv) {
         if (!view) return std::nullopt;
         return view->to_owned();
       };
+      std::signal(SIGINT, on_interrupt);
       while (auto pkt = corruptor.next(pull)) {
+        if (g_interrupted) break;
         ++records;
         offer(*pkt);
       }
+      std::signal(SIGINT, SIG_DFL);
       corruption = corruptor.corruptor().stats();
     } else {
       // Zero-copy batched fast path: mapped traces are analyzed in
@@ -426,7 +442,8 @@ int main(int argc, char** argv) {
       std::vector<net::RawPacketView> batch;
       batch.reserve(kBatch);
       capture::BatchVerdicts verdicts;
-      while (source->next_batch(batch, kBatch) > 0) {
+      std::signal(SIGINT, on_interrupt);
+      while (!g_interrupted && source->next_batch(batch, kBatch) > 0) {
         records += batch.size();
         if (filter) {
           filter->classify(batch, verdicts);
@@ -448,6 +465,7 @@ int main(int argc, char** argv) {
           for (const auto& view : batch) serial->offer(view);
         }
       }
+      std::signal(SIGINT, SIG_DFL);
     }
     if (records == 0) {
       std::fprintf(stderr, "error: %s: %s\n", input.c_str(),
@@ -461,6 +479,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (g_interrupted)
+    std::fprintf(stderr, "\ninterrupted: draining and reporting over the "
+                 "packets analyzed so far\n");
   AnalysisOutput out;
   std::optional<core::StrictViolation> violation;
   if (parallel) {
@@ -575,5 +596,5 @@ int main(int argc, char** argv) {
   }
 
   if (!csv_prefix.empty()) export_csvs(out, csv_prefix);
-  return 0;
+  return g_interrupted ? 4 : 0;
 }

@@ -1,0 +1,346 @@
+#include "analysis/daemon.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+namespace zpm::analysis {
+
+namespace {
+
+std::int64_t steady_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+MonitorDaemon* g_signal_daemon = nullptr;
+
+void daemon_signal_handler(int sig) {
+  MonitorDaemon* d = g_signal_daemon;
+  if (d == nullptr) return;
+#if defined(SIGHUP)
+  if (sig == SIGHUP) {
+    d->request_reload();
+    return;
+  }
+#endif
+  (void)sig;
+  d->request_shutdown();
+}
+
+}  // namespace
+
+void MonitorDaemon::install_signal_handlers(MonitorDaemon* daemon) {
+  g_signal_daemon = daemon;
+  const auto handler = daemon != nullptr ? daemon_signal_handler : SIG_DFL;
+  std::signal(SIGTERM, handler);
+  std::signal(SIGINT, handler);
+#if defined(SIGHUP)
+  std::signal(SIGHUP, handler);
+#endif
+}
+
+MonitorDaemon::MonitorDaemon(DaemonConfig config)
+    : config_(std::move(config)) {}
+
+void MonitorDaemon::restore() {
+  if (config_.engine.frontend && config_.engine.flow_memory_budget > 0)
+    lifetime_tier_.emplace(config_.engine.flow_memory_budget);
+  if (config_.snapshot_path.empty()) {
+    restore_status_ = RestoreStatus::Missing;
+    return;
+  }
+  SnapshotData data;
+  std::string error;
+  restore_status_ = load_snapshot(config_.snapshot_path, data, &error);
+  switch (restore_status_) {
+    case RestoreStatus::Missing:
+      if (config_.verbose)
+        std::fprintf(stderr, "zpm-daemon: no snapshot, fresh start\n");
+      return;
+    case RestoreStatus::Corrupt:
+      if (config_.verbose)
+        std::fprintf(stderr, "zpm-daemon: snapshot rejected (%s), fresh start\n",
+                     error.c_str());
+      return;
+    case RestoreStatus::Ok:
+      break;
+  }
+  cumulative_ = std::move(data);
+  recent_.assign(cumulative_.recent_epochs.begin(),
+                 cumulative_.recent_epochs.end());
+  engine_->set_next_seq(cumulative_.next_epoch_seq);
+  engine_->set_global_packets(cumulative_.packets_consumed);
+  if (lifetime_tier_ && !cumulative_.background_tier.empty()) {
+    util::ByteReader r(cumulative_.background_tier);
+    if (!lifetime_tier_->deserialize(r)) {
+      // Budget changed between runs (or the blob is stale): the tier's
+      // geometry cannot be restored 1:1 — start its summary fresh.
+      lifetime_tier_.emplace(config_.engine.flow_memory_budget);
+      if (config_.verbose)
+        std::fprintf(stderr,
+                     "zpm-daemon: background-tier image incompatible, "
+                     "tier restarted fresh\n");
+    }
+  }
+  if (config_.verbose)
+    std::fprintf(stderr,
+                 "zpm-daemon: restored snapshot: resuming at packet %llu, "
+                 "epoch %llu\n",
+                 static_cast<unsigned long long>(cumulative_.packets_consumed),
+                 static_cast<unsigned long long>(cumulative_.next_epoch_seq));
+}
+
+bool MonitorDaemon::on_epoch(const EpochReport& report) {
+  cumulative_.cumulative_counters.merge(report.counters);
+  cumulative_.cumulative_health.merge(report.health);
+  cumulative_.next_epoch_seq = report.seq + 1;
+  // Resume position: the packet right after the completed epoch. The
+  // in-progress epoch's packets are deliberately not covered — they are
+  // the "at most one epoch" a crash may lose.
+  cumulative_.packets_consumed = report.first_packet + report.packets;
+  if (lifetime_tier_) {
+    lifetime_tier_->fold_stats(report.tier_stats);
+    for (const auto& h : report.heavy_hitters) {
+      const net::PackedFlowKey key(h.flow);
+      lifetime_tier_->fold(key, net::canonical_flow_hash(key),
+                           sketch::FlowStats{h.packets, h.bytes});
+    }
+    util::ByteWriter w;
+    lifetime_tier_->serialize(w);
+    cumulative_.background_tier = w.take();
+  }
+  recent_.push_back(report);
+  while (recent_.size() > kSnapshotRecentEpochs) recent_.pop_front();
+  cumulative_.recent_epochs.assign(recent_.begin(), recent_.end());
+  ++stats_.epochs_rotated;
+
+  bool ok = true;
+  std::string error;
+  if (!config_.report_dir.empty()) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "epoch-%08llu.bin",
+                  static_cast<unsigned long long>(report.seq));
+    if (save_epoch_report(report, config_.report_dir + "/" + name, &error)) {
+      ++stats_.epoch_files_written;
+    } else {
+      ok = false;
+      std::fprintf(stderr, "zpm-daemon: epoch report write failed: %s\n",
+                   error.c_str());
+    }
+  }
+  if (!config_.snapshot_path.empty()) {
+    if (save_snapshot(cumulative_, config_.snapshot_path, &error)) {
+      ++stats_.snapshots_written;
+    } else {
+      ok = false;
+      std::fprintf(stderr, "zpm-daemon: snapshot write failed: %s\n",
+                   error.c_str());
+    }
+  }
+  if (config_.verbose)
+    std::fprintf(stderr,
+                 "zpm-daemon: epoch %llu rotated: %llu packets, %llu zoom, "
+                 "%llu streams, %llu meetings, %llu flows retired\n",
+                 static_cast<unsigned long long>(report.seq),
+                 static_cast<unsigned long long>(report.packets),
+                 static_cast<unsigned long long>(report.counters.zoom_packets),
+                 static_cast<unsigned long long>(report.stream_count),
+                 static_cast<unsigned long long>(report.meeting_count),
+                 static_cast<unsigned long long>(report.zoom_flow_count));
+  return ok;
+}
+
+void MonitorDaemon::reload_config_file() {
+  ++stats_.config_reloads;
+  if (config_.config_path.empty()) {
+    if (config_.verbose)
+      std::fprintf(stderr, "zpm-daemon: reload requested but no config file\n");
+    return;
+  }
+  std::ifstream in(config_.config_path);
+  if (!in) {
+    std::fprintf(stderr, "zpm-daemon: cannot read config %s\n",
+                 config_.config_path.c_str());
+    return;
+  }
+  EpochLimits limits = engine_->config().limits;
+  core::AnalyzerConfig analyzer = engine_->config().analyzer;
+  bool frontend = engine_->config().frontend;
+  std::size_t budget = engine_->config().flow_memory_budget;
+  bool staged_change = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const std::size_t eq = stripped.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    if (key == "epoch_packets") {
+      limits.max_packets = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "epoch_seconds") {
+      limits.max_span = util::Duration::seconds(std::atof(value.c_str()));
+    } else if (key == "watchdog_seconds") {
+      config_.watchdog = util::Duration::seconds(std::atof(value.c_str()));
+    } else if (key == "p2p_timeout_seconds") {
+      analyzer.p2p_timeout = util::Duration::seconds(std::atof(value.c_str()));
+      staged_change = true;
+    } else if (key == "frontend") {
+      frontend = value != "0";
+      staged_change = true;
+    } else if (key == "flow_memory_budget") {
+      budget = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      staged_change = true;
+    } else if (config_.verbose) {
+      std::fprintf(stderr, "zpm-daemon: config: unknown key '%s' ignored\n",
+                   key.c_str());
+    }
+  }
+  // Epoch limits act on the in-progress window immediately; engine
+  // changes are staged to the next rotation so live flow state is
+  // never dropped mid-window.
+  engine_->set_limits(limits);
+  if (staged_change) engine_->stage_config(analyzer, frontend, budget);
+  if (config_.verbose)
+    std::fprintf(stderr,
+                 "zpm-daemon: config reloaded from %s (%s)\n",
+                 config_.config_path.c_str(),
+                 staged_change ? "engine changes staged to next rotation"
+                               : "limits applied");
+}
+
+void MonitorDaemon::final_flush() {
+  if (auto report = engine_->flush()) on_epoch(*report);
+  const std::uint64_t dropped = cumulative_.cumulative_health.dropped_records();
+  if (config_.verbose) {
+    std::fprintf(stderr,
+                 "zpm-daemon: graceful shutdown: %llu epochs, %llu packets, "
+                 "%llu stalls, %llu reloads\n",
+                 static_cast<unsigned long long>(stats_.epochs_rotated),
+                 static_cast<unsigned long long>(stats_.packets_processed),
+                 static_cast<unsigned long long>(stats_.source_stalls),
+                 static_cast<unsigned long long>(stats_.config_reloads));
+    std::fprintf(stderr, "zpm-daemon: health: %llu dropped records%s\n",
+                 static_cast<unsigned long long>(dropped),
+                 dropped == 0 ? " (all clear)" : "");
+  }
+}
+
+int MonitorDaemon::run(net::BatchSource& source) {
+  engine_.emplace(config_.engine);
+  restore();
+  if (cumulative_.packets_consumed > 0 &&
+      !source.skip_to(cumulative_.packets_consumed)) {
+    std::fprintf(stderr,
+                 "zpm-daemon: source cannot seek to packet %llu; continuing "
+                 "from its current position\n",
+                 static_cast<unsigned long long>(cumulative_.packets_consumed));
+  }
+
+  const auto lifetime = source.pinned() ? pipeline::BatchLifetime::Pinned
+                                        : pipeline::BatchLifetime::Transient;
+  std::vector<net::RawPacketView> batch;
+  batch.reserve(config_.max_batch);
+  std::vector<EpochReport> completed;
+  std::int64_t last_data_us = steady_us();
+  util::Duration backoff = config_.backoff_initial;
+  std::int64_t next_reopen_us = 0;
+
+  for (;;) {
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      final_flush();
+      return 0;
+    }
+    if (reload_.exchange(false, std::memory_order_relaxed))
+      reload_config_file();
+
+    switch (source.poll_batch(batch, config_.max_batch)) {
+      case net::SourceStatus::Batch: {
+        last_data_us = steady_us();
+        backoff = config_.backoff_initial;
+        next_reopen_us = 0;
+        stats_.packets_processed += batch.size();
+        completed.clear();
+        engine_->offer(batch, lifetime, completed);
+        for (const auto& report : completed) on_epoch(report);
+        if (config_.halt_after_epochs > 0 && !completed.empty() &&
+            stats_.epochs_rotated >= config_.halt_after_epochs) {
+          // Crash simulation: stop with no drain and no final persist —
+          // on-disk state is exactly what kill -9 here leaves behind.
+          if (config_.verbose)
+            std::fprintf(stderr,
+                         "zpm-daemon: halting after %llu epochs "
+                         "(crash simulation)\n",
+                         static_cast<unsigned long long>(
+                             stats_.epochs_rotated));
+          return 0;
+        }
+        break;
+      }
+      case net::SourceStatus::Idle: {
+        const std::int64_t now = steady_us();
+        const bool watchdog_on = config_.watchdog > util::Duration::micros(0);
+        if (watchdog_on && now - last_data_us >= config_.watchdog.us() &&
+            now >= next_reopen_us) {
+          // Stalled: health-account and reopen under capped backoff.
+          ++stats_.source_stalls;
+          ++cumulative_.cumulative_health.source_stalls;
+          const bool reopened = source.reopen();
+          ++stats_.source_reopens;
+          if (config_.verbose)
+            std::fprintf(stderr,
+                         "zpm-daemon: source stall (quiet %.1fs); reopen %s, "
+                         "next retry in %.1fs\n",
+                         static_cast<double>(now - last_data_us) / 1e6,
+                         reopened ? "succeeded" : "failed", backoff.sec());
+          next_reopen_us = now + backoff.us();
+          backoff = backoff * 2 > config_.backoff_max ? config_.backoff_max
+                                                      : backoff * 2;
+          if (reopened) last_data_us = steady_us();
+        } else if (config_.idle_sleep > util::Duration::micros(0)) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(config_.idle_sleep.us()));
+        }
+        break;
+      }
+      case net::SourceStatus::EndOfStream:
+        if (config_.verbose)
+          std::fprintf(stderr, "zpm-daemon: end of stream, draining\n");
+        final_flush();
+        return 0;
+      case net::SourceStatus::Error: {
+        std::fprintf(stderr, "zpm-daemon: source error: %s\n",
+                     source.error().c_str());
+        if (!source.reopen()) {
+          std::fprintf(stderr, "zpm-daemon: source cannot be reopened; "
+                               "fatal\n");
+          final_flush();
+          return 1;
+        }
+        ++stats_.source_reopens;
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff.us()));
+        backoff = backoff * 2 > config_.backoff_max ? config_.backoff_max
+                                                    : backoff * 2;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace zpm::analysis

@@ -1,0 +1,351 @@
+#include "analysis/epoch.h"
+
+#include <utility>
+
+namespace zpm::analysis {
+
+namespace {
+
+/// Sparse tally encoding: only touched entries are written, as
+/// (index, packets, bytes) triples. Campus-scale traffic touches a
+/// handful of the 256/768 slots, so this keeps epoch records small.
+template <std::size_t N>
+void encode_tallies(const std::array<core::Tally, N>& tallies,
+                    util::ByteWriter& w) {
+  std::uint32_t touched = 0;
+  for (const auto& t : tallies)
+    if (t.packets != 0 || t.bytes != 0) ++touched;
+  w.u32be(touched);
+  for (std::size_t i = 0; i < N; ++i) {
+    const auto& t = tallies[i];
+    if (t.packets == 0 && t.bytes == 0) continue;
+    w.u16be(static_cast<std::uint16_t>(i));
+    w.u64be(t.packets);
+    w.u64be(t.bytes);
+  }
+}
+
+template <std::size_t N>
+bool decode_tallies(util::ByteReader& r, std::array<core::Tally, N>& tallies) {
+  tallies.fill(core::Tally{});
+  const std::uint32_t touched = r.u32be();
+  if (!r.can_read(std::size_t{touched} * 18)) return false;
+  for (std::uint32_t i = 0; i < touched; ++i) {
+    const std::uint16_t idx = r.u16be();
+    if (idx >= N) return false;
+    tallies[idx].packets = r.u64be();
+    tallies[idx].bytes = r.u64be();
+  }
+  return r.ok();
+}
+
+void encode_health(const core::AnalyzerHealth& h, util::ByteWriter& w) {
+  w.u64be(h.truncated_l2);
+  w.u64be(h.non_ipv4);
+  w.u64be(h.bad_l3);
+  w.u64be(h.ip_fragments);
+  w.u64be(h.unsupported_l4);
+  w.u64be(h.bad_l4);
+  w.u64be(h.snaplen_truncated);
+  w.u64be(h.non_monotonic_ts);
+  w.u64be(h.frontend_rejected);
+  w.u64be(h.sketch_evicted);
+  w.u64be(h.bad_sfu_encap);
+  w.u64be(h.bad_media_encap);
+  w.u64be(h.malformed_rtp);
+  w.u64be(h.malformed_rtcp);
+  w.u64be(h.malformed_stun);
+  w.u64be(h.unknown_payload_type);
+  w.u64be(h.quarantined_flows);
+  w.u64be(h.quarantined_packets);
+  w.u64be(h.epoch_evicted_flows);
+  w.u64be(h.epoch_evicted_meetings);
+  w.u64be(h.ring_wait_spins);
+  w.u64be(h.source_stalls);
+}
+
+bool decode_health(util::ByteReader& r, core::AnalyzerHealth& h) {
+  h.truncated_l2 = r.u64be();
+  h.non_ipv4 = r.u64be();
+  h.bad_l3 = r.u64be();
+  h.ip_fragments = r.u64be();
+  h.unsupported_l4 = r.u64be();
+  h.bad_l4 = r.u64be();
+  h.snaplen_truncated = r.u64be();
+  h.non_monotonic_ts = r.u64be();
+  h.frontend_rejected = r.u64be();
+  h.sketch_evicted = r.u64be();
+  h.bad_sfu_encap = r.u64be();
+  h.bad_media_encap = r.u64be();
+  h.malformed_rtp = r.u64be();
+  h.malformed_rtcp = r.u64be();
+  h.malformed_stun = r.u64be();
+  h.unknown_payload_type = r.u64be();
+  h.quarantined_flows = r.u64be();
+  h.quarantined_packets = r.u64be();
+  h.epoch_evicted_flows = r.u64be();
+  h.epoch_evicted_meetings = r.u64be();
+  h.ring_wait_spins = r.u64be();
+  h.source_stalls = r.u64be();
+  return r.ok();
+}
+
+void encode_counters(const core::AnalyzerCounters& c, util::ByteWriter& w) {
+  w.u64be(c.total_packets);
+  w.u64be(c.total_bytes);
+  w.u64be(c.zoom_packets);
+  w.u64be(c.zoom_bytes);
+  w.u64be(c.server_udp_packets);
+  w.u64be(c.p2p_udp_packets);
+  w.u64be(c.stun_packets);
+  w.u64be(c.tcp_control_packets);
+  w.u64be(c.media_packets);
+  w.u64be(c.rtcp_packets);
+  w.u64be(c.unknown_sfu_packets);
+  w.u64be(c.unknown_media_packets);
+  w.u64be(c.p2p_false_positives);
+  encode_tallies(c.encap_tally, w);
+  encode_tallies(c.payload_tally, w);
+}
+
+bool decode_counters(util::ByteReader& r, core::AnalyzerCounters& c) {
+  c.total_packets = r.u64be();
+  c.total_bytes = r.u64be();
+  c.zoom_packets = r.u64be();
+  c.zoom_bytes = r.u64be();
+  c.server_udp_packets = r.u64be();
+  c.p2p_udp_packets = r.u64be();
+  c.stun_packets = r.u64be();
+  c.tcp_control_packets = r.u64be();
+  c.media_packets = r.u64be();
+  c.rtcp_packets = r.u64be();
+  c.unknown_sfu_packets = r.u64be();
+  c.unknown_media_packets = r.u64be();
+  c.p2p_false_positives = r.u64be();
+  return r.ok() && decode_tallies(r, c.encap_tally) &&
+         decode_tallies(r, c.payload_tally);
+}
+
+}  // namespace
+
+void encode_epoch_report(const EpochReport& report, util::ByteWriter& w) {
+  w.u64be(report.seq);
+  w.u64be(report.first_packet);
+  w.u64be(report.packets);
+  w.u64be(static_cast<std::uint64_t>(report.first_ts.us()));
+  w.u64be(static_cast<std::uint64_t>(report.last_ts.us()));
+  encode_counters(report.counters, w);
+  encode_health(report.health, w);
+  w.u64be(report.stream_count);
+  w.u64be(report.media_count);
+  w.u64be(report.meeting_count);
+  w.u64be(report.zoom_flow_count);
+  w.u64be(report.tier_stats.absorbed_packets);
+  w.u64be(report.tier_stats.absorbed_bytes);
+  w.u64be(report.tier_stats.promotions);
+  w.u64be(report.tier_stats.demotions);
+  w.u64be(report.tier_stats.evictions);
+  w.u32be(static_cast<std::uint32_t>(report.heavy_hitters.size()));
+  for (const auto& h : report.heavy_hitters) {
+    const net::PackedFlowKey key(h.flow);
+    w.u64be(key.k1);
+    w.u64be(key.k2);
+    w.u64be(h.bytes);
+    w.u64be(h.packets);
+    w.u64be(h.error_bytes);
+  }
+}
+
+bool decode_epoch_report(util::ByteReader& r, EpochReport& report) {
+  report.seq = r.u64be();
+  report.first_packet = r.u64be();
+  report.packets = r.u64be();
+  report.first_ts =
+      util::Timestamp::from_micros(static_cast<std::int64_t>(r.u64be()));
+  report.last_ts =
+      util::Timestamp::from_micros(static_cast<std::int64_t>(r.u64be()));
+  if (!decode_counters(r, report.counters)) return false;
+  if (!decode_health(r, report.health)) return false;
+  report.stream_count = r.u64be();
+  report.media_count = r.u64be();
+  report.meeting_count = r.u64be();
+  report.zoom_flow_count = r.u64be();
+  report.tier_stats.absorbed_packets = r.u64be();
+  report.tier_stats.absorbed_bytes = r.u64be();
+  report.tier_stats.promotions = r.u64be();
+  report.tier_stats.demotions = r.u64be();
+  report.tier_stats.evictions = r.u64be();
+  const std::uint32_t hitters = r.u32be();
+  if (!r.can_read(std::size_t{hitters} * 40)) return false;
+  report.heavy_hitters.clear();
+  report.heavy_hitters.reserve(hitters);
+  for (std::uint32_t i = 0; i < hitters; ++i) {
+    net::PackedFlowKey key;
+    key.k1 = r.u64be();
+    key.k2 = r.u64be();
+    sketch::HeavyHitter h;
+    h.flow = key.unpack();
+    h.bytes = r.u64be();
+    h.packets = r.u64be();
+    h.error_bytes = r.u64be();
+    report.heavy_hitters.push_back(h);
+  }
+  return r.ok();
+}
+
+// ---------------------------------------------------------------------------
+// EpochEngine
+
+EpochEngine::EpochEngine(EpochEngineConfig config)
+    : config_(std::move(config)) {
+  open_epoch();
+}
+
+EpochEngine::~EpochEngine() = default;
+
+void EpochEngine::open_epoch() {
+  if (staged_) {
+    // Limits changes were applied live (set_limits); carry the current
+    // values over the staged engine swap.
+    staged_->limits = config_.limits;
+    staged_->heavy_hitter_limit = config_.heavy_hitter_limit;
+    config_ = std::move(*staged_);
+    staged_.reset();
+  }
+  serial_.reset();
+  parallel_.reset();
+  filter_.reset();
+  if (config_.shards > 1) {
+    pipeline::ParallelAnalyzerConfig pc;
+    pc.analyzer = config_.analyzer;
+    pc.shards = config_.shards;
+    parallel_.emplace(std::move(pc));
+  } else {
+    serial_.emplace(config_.analyzer);
+  }
+  if (config_.frontend) {
+    capture::BatchFilterConfig fc;
+    fc.server_db = config_.analyzer.server_db;
+    fc.shards = config_.shards;
+    fc.flow_memory_budget = config_.flow_memory_budget;
+    filter_.emplace(std::move(fc));
+  }
+  packets_ = 0;
+  first_ts_ = util::Timestamp{};
+  last_ts_ = util::Timestamp{};
+  epoch_open_ = true;
+}
+
+bool EpochEngine::rotate_before(util::Timestamp ts) const {
+  if (packets_ == 0) return false;  // an epoch never closes empty
+  if (config_.limits.max_packets > 0 && packets_ >= config_.limits.max_packets)
+    return true;
+  return config_.limits.max_span > util::Duration::micros(0) &&
+         ts - first_ts_ >= config_.limits.max_span;
+}
+
+void EpochEngine::feed(std::span<const net::RawPacketView> run,
+                       pipeline::BatchLifetime lifetime) {
+  if (run.empty()) return;
+  if (filter_) {
+    filter_->classify(run, verdicts_);
+    if (parallel_) {
+      parallel_->offer_batch(run, lifetime, verdicts_);
+    } else {
+      for (std::size_t i = 0; i < run.size(); ++i) {
+        if (verdicts_.verdicts[i] == capture::Verdict::Reject)
+          serial_->account_frontend_rejected(run[i]);
+        else
+          serial_->offer(run[i]);
+      }
+    }
+  } else if (parallel_) {
+    parallel_->offer_batch(run, lifetime);
+  } else {
+    for (const auto& view : run) serial_->offer(view);
+  }
+}
+
+void EpochEngine::offer(std::span<const net::RawPacketView> batch,
+                        pipeline::BatchLifetime lifetime,
+                        std::vector<EpochReport>& completed) {
+  // Packet-exact splitting: rotation falls between exactly the same two
+  // packets no matter how the source batched them, so epoch content is
+  // independent of batch alignment (the crash-recovery contract).
+  std::size_t run_start = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (rotate_before(batch[i].ts)) {
+      feed(batch.subspan(run_start, i - run_start), lifetime);
+      run_start = i;
+      completed.push_back(close_epoch());
+      open_epoch();
+    }
+    if (packets_ == 0) first_ts_ = batch[i].ts;
+    last_ts_ = batch[i].ts;
+    ++packets_;
+    ++global_packets_;
+  }
+  feed(batch.subspan(run_start), lifetime);
+}
+
+EpochReport EpochEngine::close_epoch() {
+  EpochReport rep;
+  rep.seq = next_seq_++;
+  rep.first_packet = global_packets_ - packets_;
+  rep.packets = packets_;
+  rep.first_ts = first_ts_;
+  rep.last_ts = last_ts_;
+  if (parallel_) {
+    parallel_->finish();
+    rep.counters = parallel_->counters();
+    rep.health = parallel_->health();
+    rep.stream_count = parallel_->streams().size();
+    rep.media_count = parallel_->media_count();
+    rep.meeting_count = parallel_->meetings().meeting_count();
+    rep.zoom_flow_count = parallel_->zoom_flow_count();
+  } else {
+    serial_->finish();
+    rep.counters = serial_->counters();
+    rep.health = serial_->health();
+    rep.stream_count = serial_->streams().size();
+    rep.media_count = serial_->streams().media_count();
+    rep.meeting_count = serial_->meetings().meeting_count();
+    rep.zoom_flow_count = serial_->zoom_flow_count();
+  }
+  if (filter_) {
+    rep.health.sketch_evicted = filter_->sketch_evicted();
+    auto tier = filter_->sketch_report(config_.heavy_hitter_limit);
+    rep.tier_stats = tier.stats;
+    rep.heavy_hitters = std::move(tier.heavy_hitters);
+  }
+  // Rotation retires the window's flow/meeting state — that is the
+  // memory bound, and it is accounted here so it is never silent.
+  rep.health.epoch_evicted_flows = rep.zoom_flow_count;
+  rep.health.epoch_evicted_meetings = rep.meeting_count;
+  // Durable records carry only sequence-deterministic values.
+  rep.health.ring_wait_spins = 0;
+  rep.health.source_stalls = 0;
+  epoch_open_ = false;
+  return rep;
+}
+
+std::optional<EpochReport> EpochEngine::flush() {
+  if (packets_ == 0) return std::nullopt;
+  EpochReport rep = close_epoch();
+  open_epoch();
+  return rep;
+}
+
+void EpochEngine::stage_config(const core::AnalyzerConfig& analyzer,
+                               bool frontend,
+                               std::size_t flow_memory_budget) {
+  EpochEngineConfig next = config_;
+  next.analyzer = analyzer;
+  next.frontend = frontend;
+  next.flow_memory_budget = flow_memory_budget;
+  staged_ = std::move(next);
+}
+
+void EpochEngine::set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+
+}  // namespace zpm::analysis

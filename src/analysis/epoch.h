@@ -1,0 +1,168 @@
+// Epoch rotation for continuous operation.
+//
+// A long-running monitor cannot hold per-flow state forever, and a
+// crash must not cost a week of results. The epoch engine bounds both:
+// the packet stream is cut into *epochs* — independent measurement
+// windows, each analyzed by a fresh analyzer/front-end instance — and
+// every completed epoch becomes one immutable, serializable record.
+// Rotation retires the previous window's flow and meeting state, which
+// is the memory bound; the retirement is accounted in the finished
+// epoch's health (`epoch-evicted-flows`, `epoch-evicted-meetings`) so
+// eviction is visible, never silent.
+//
+// Determinism contract (what makes crash recovery testable): rotation
+// triggers are pure functions of the packet sequence — a packet count
+// and a capture-timestamp span, never the wall clock — and the engine
+// splits incoming batches packet-exactly at the boundary. Epoch N's
+// record is therefore a function of (packet stream, configuration)
+// alone: identical across batch sizes and interrupted/restarted runs.
+// The analyzer-derived fields are additionally shard-count-invariant
+// (the pipeline's bit-identity contract); the sketch-tier summary is
+// not — the front end partitions its flow tables by shard, so tier
+// eviction patterns legitimately depend on the shard count, though
+// they stay deterministic for any fixed count. Nondeterministic
+// gauges (`ring_wait_spins`, `source_stalls`) are zeroed in the
+// durable record.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "capture/batch_filter.h"
+#include "core/analyzer.h"
+#include "pipeline/parallel_analyzer.h"
+#include "sketch/sketch.h"
+#include "util/bytes.h"
+#include "util/time.h"
+
+namespace zpm::analysis {
+
+/// Rotation triggers; an epoch closes when either fires. Both are
+/// capture-sequence-deterministic (see file comment).
+struct EpochLimits {
+  /// Close after this many offered packets. 0 disables the trigger.
+  std::uint64_t max_packets = 1'000'000;
+  /// Close when the epoch's capture-time extent reaches this span
+  /// (first to current packet timestamp). Zero/negative disables.
+  util::Duration max_span = util::Duration::seconds(60.0);
+
+  [[nodiscard]] bool any_enabled() const {
+    return max_packets > 0 || max_span > util::Duration::micros(0);
+  }
+};
+
+/// Engine configuration. `analyzer`/`frontend`/`flow_memory_budget`
+/// mirror the zpm_analyze pipeline; `shards` > 1 routes through
+/// pipeline::ParallelAnalyzer (epoch records are bit-identical).
+struct EpochEngineConfig {
+  core::AnalyzerConfig analyzer;
+  std::size_t shards = 1;
+  bool frontend = true;
+  std::size_t flow_memory_budget = std::size_t{1} << 20;  // 0 = no sketch tier
+  EpochLimits limits;
+  /// Heavy hitters retained per epoch record.
+  std::size_t heavy_hitter_limit = 16;
+};
+
+/// One completed epoch: the durable unit of the daemon. Everything in
+/// here is deterministic (see file comment) and round-trips through
+/// encode_epoch_report()/decode_epoch_report().
+struct EpochReport {
+  std::uint64_t seq = 0;            ///< 0-based epoch sequence number
+  std::uint64_t first_packet = 0;   ///< global index of the first packet
+  std::uint64_t packets = 0;        ///< packets offered to this epoch
+  util::Timestamp first_ts;         ///< capture time of the first packet
+  util::Timestamp last_ts;          ///< capture time of the last packet
+  core::AnalyzerCounters counters;
+  core::AnalyzerHealth health;      ///< nondeterministic gauges zeroed
+  std::uint64_t stream_count = 0;
+  std::uint64_t media_count = 0;
+  std::uint64_t meeting_count = 0;
+  std::uint64_t zoom_flow_count = 0;
+  sketch::TierStats tier_stats;
+  std::vector<sketch::HeavyHitter> heavy_hitters;
+
+  bool operator==(const EpochReport&) const = default;
+};
+
+/// Deterministic binary encoding (big-endian, sparse tallies). Equal
+/// reports encode to equal bytes — the crash-recovery byte-compare
+/// artifact.
+void encode_epoch_report(const EpochReport& report, util::ByteWriter& w);
+/// Bounds-checked decode; false on truncation or malformed framing
+/// (`report` may be partially filled — discard it).
+bool decode_epoch_report(util::ByteReader& r, EpochReport& report);
+
+/// See file comment. Single producer thread; drives a serial Analyzer
+/// or a ParallelAnalyzer per epoch plus an optional capture front end.
+class EpochEngine {
+ public:
+  explicit EpochEngine(EpochEngineConfig config);
+  ~EpochEngine();
+
+  EpochEngine(const EpochEngine&) = delete;
+  EpochEngine& operator=(const EpochEngine&) = delete;
+
+  /// Feeds one batch, splitting it packet-exactly at rotation
+  /// boundaries; every epoch completed inside the batch is appended to
+  /// `completed`. `lifetime` follows the pipeline contract (Pinned
+  /// requires the batch storage to outlive the epoch it lands in).
+  void offer(std::span<const net::RawPacketView> batch,
+             pipeline::BatchLifetime lifetime,
+             std::vector<EpochReport>& completed);
+
+  /// Closes the in-progress epoch (graceful drain / end of stream).
+  /// nullopt when the current epoch is empty.
+  std::optional<EpochReport> flush();
+
+  /// Immediate limit change (SIGHUP): applies to the current epoch too,
+  /// so a shortened span can close it on the very next packet.
+  void set_limits(const EpochLimits& limits) { config_.limits = limits; }
+  /// Staged engine change (SIGHUP): the new analyzer/front-end
+  /// configuration takes effect at the next rotation, so the current
+  /// epoch's flow state is never dropped mid-window.
+  void stage_config(const core::AnalyzerConfig& analyzer, bool frontend,
+                    std::size_t flow_memory_budget);
+
+  /// Sequence number the next completed epoch will carry.
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  /// Restores the epoch numbering after a snapshot restore.
+  void set_next_seq(std::uint64_t seq);
+  /// Packets offered to the in-progress epoch.
+  [[nodiscard]] std::uint64_t packets_in_current() const { return packets_; }
+  /// Global packet index of the next offered packet.
+  [[nodiscard]] std::uint64_t global_packets() const { return global_packets_; }
+  /// Restores the global packet position after a snapshot restore.
+  void set_global_packets(std::uint64_t n) { global_packets_ = n; }
+
+  [[nodiscard]] const EpochEngineConfig& config() const { return config_; }
+
+ private:
+  void open_epoch();
+  EpochReport close_epoch();
+  /// True when the epoch must rotate before admitting a packet at `ts`.
+  [[nodiscard]] bool rotate_before(util::Timestamp ts) const;
+  void feed(std::span<const net::RawPacketView> run,
+            pipeline::BatchLifetime lifetime);
+
+  EpochEngineConfig config_;
+  std::optional<EpochEngineConfig> staged_;  // applies at next rotation
+
+  // Per-epoch engines, rebuilt at every rotation (epochs are
+  // independent windows; this reset *is* the memory bound).
+  std::optional<core::Analyzer> serial_;
+  std::optional<pipeline::ParallelAnalyzer> parallel_;
+  std::optional<capture::BatchFilter> filter_;
+  capture::BatchVerdicts verdicts_;  // classify() scratch, reused
+
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t global_packets_ = 0;  // next packet's global index
+  std::uint64_t packets_ = 0;         // offered to the current epoch
+  util::Timestamp first_ts_;
+  util::Timestamp last_ts_;
+  bool epoch_open_ = false;
+};
+
+}  // namespace zpm::analysis

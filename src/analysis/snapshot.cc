@@ -1,0 +1,203 @@
+#include "analysis/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "util/crc32.h"
+
+namespace zpm::analysis {
+
+namespace {
+
+constexpr std::uint8_t kSnapshotMagic[4] = {'Z', 'P', 'M', 'S'};
+constexpr std::uint8_t kEpochMagic[4] = {'Z', 'P', 'M', 'E'};
+
+std::vector<std::uint8_t> wrap(const std::uint8_t (&magic)[4],
+                               std::vector<std::uint8_t> payload) {
+  util::ByteWriter w(payload.size() + 20);
+  w.bytes(std::span<const std::uint8_t>(magic, 4));
+  w.u32be(kSnapshotVersion);
+  w.u64be(payload.size());
+  w.u32be(util::crc32(payload));
+  w.bytes(payload);
+  return w.take();
+}
+
+/// Validates the wrapper and returns the payload span, or an empty
+/// optional-like (ok=false) result. Exact-length: trailing bytes are a
+/// framing error (a truncated-then-appended file must not validate).
+bool unwrap(std::span<const std::uint8_t> bytes,
+            const std::uint8_t (&magic)[4],
+            std::span<const std::uint8_t>& payload) {
+  util::ByteReader r(bytes);
+  const auto m = r.bytes(4);
+  if (m.size() != 4 || std::memcmp(m.data(), magic, 4) != 0) return false;
+  if (r.u32be() != kSnapshotVersion) return false;
+  const std::uint64_t len = r.u64be();
+  const std::uint32_t crc = r.u32be();
+  if (!r.ok() || r.remaining() != len) return false;
+  payload = r.rest();
+  return util::crc32(payload) == crc;
+}
+
+/// Whole-file read; empty vector + false on open/read failure.
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out,
+               bool& missing) {
+  missing = false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    missing = errno == ENOENT;
+    return false;
+  }
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    out.insert(out.end(), buf, buf + n);
+    if (n < sizeof(buf)) break;
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// Atomic write: `path`.tmp, flush + fsync, rename over `path`.
+bool write_file_atomic(std::span<const std::uint8_t> bytes,
+                       const std::string& path, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr)
+      *error = "cannot open " + tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+#if defined(__unix__) || defined(__APPLE__)
+  if (ok) ok = ::fsync(fileno(f)) == 0;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) {
+    if (error != nullptr)
+      *error = "cannot write " + path + ": " + std::strerror(errno);
+    std::remove(tmp.c_str());
+  }
+  return ok;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Snapshot
+
+std::vector<std::uint8_t> encode_snapshot(const SnapshotData& data) {
+  util::ByteWriter w(4096);
+  w.u64be(data.next_epoch_seq);
+  w.u64be(data.packets_consumed);
+  // Cumulative aggregates reuse the epoch-record field codecs so the
+  // two formats cannot drift.
+  EpochReport cumulative;
+  cumulative.counters = data.cumulative_counters;
+  cumulative.health = data.cumulative_health;
+  encode_epoch_report(cumulative, w);
+  w.u32be(static_cast<std::uint32_t>(data.recent_epochs.size()));
+  for (const auto& epoch : data.recent_epochs) encode_epoch_report(epoch, w);
+  w.u64be(data.background_tier.size());
+  w.bytes(data.background_tier);
+  return wrap(kSnapshotMagic, w.take());
+}
+
+bool parse_snapshot(std::span<const std::uint8_t> bytes, SnapshotData& data) {
+  std::span<const std::uint8_t> payload;
+  if (!unwrap(bytes, kSnapshotMagic, payload)) return false;
+  util::ByteReader r(payload);
+  data.next_epoch_seq = r.u64be();
+  data.packets_consumed = r.u64be();
+  EpochReport cumulative;
+  if (!decode_epoch_report(r, cumulative)) return false;
+  data.cumulative_counters = cumulative.counters;
+  data.cumulative_health = cumulative.health;
+  const std::uint32_t epochs = r.u32be();
+  if (epochs > kSnapshotRecentEpochs) return false;
+  data.recent_epochs.clear();
+  for (std::uint32_t i = 0; i < epochs; ++i) {
+    EpochReport epoch;
+    if (!decode_epoch_report(r, epoch)) return false;
+    data.recent_epochs.push_back(std::move(epoch));
+  }
+  const std::uint64_t tier_len = r.u64be();
+  if (!r.can_read(tier_len)) return false;
+  const auto tier = r.bytes(tier_len);
+  data.background_tier.assign(tier.begin(), tier.end());
+  // Exact-length payload: trailing bytes mean a framing bug or a
+  // mis-spliced file; refuse rather than half-trust.
+  return r.ok() && r.remaining() == 0;
+}
+
+bool save_snapshot(const SnapshotData& data, const std::string& path,
+                   std::string* error) {
+  return write_file_atomic(encode_snapshot(data), path, error);
+}
+
+RestoreStatus load_snapshot(const std::string& path, SnapshotData& data,
+                            std::string* error) {
+  std::vector<std::uint8_t> bytes;
+  bool missing = false;
+  if (!read_file(path, bytes, missing)) {
+    if (missing) return RestoreStatus::Missing;
+    if (error != nullptr) *error = "cannot read " + path;
+    return RestoreStatus::Corrupt;
+  }
+  SnapshotData parsed;
+  if (!parse_snapshot(bytes, parsed)) {
+    if (error != nullptr) *error = path + ": failed validation";
+    return RestoreStatus::Corrupt;
+  }
+  data = std::move(parsed);
+  return RestoreStatus::Ok;
+}
+
+// ---------------------------------------------------------------------------
+// Per-epoch report files
+
+std::vector<std::uint8_t> encode_epoch_file(const EpochReport& report) {
+  util::ByteWriter w(1024);
+  encode_epoch_report(report, w);
+  return wrap(kEpochMagic, w.take());
+}
+
+bool parse_epoch_file(std::span<const std::uint8_t> bytes,
+                      EpochReport& report) {
+  std::span<const std::uint8_t> payload;
+  if (!unwrap(bytes, kEpochMagic, payload)) return false;
+  util::ByteReader r(payload);
+  return decode_epoch_report(r, report) && r.remaining() == 0;
+}
+
+bool save_epoch_report(const EpochReport& report, const std::string& path,
+                       std::string* error) {
+  return write_file_atomic(encode_epoch_file(report), path, error);
+}
+
+bool load_epoch_report(const std::string& path, EpochReport& report,
+                       std::string* error) {
+  std::vector<std::uint8_t> bytes;
+  bool missing = false;
+  if (!read_file(path, bytes, missing)) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return false;
+  }
+  if (!parse_epoch_file(bytes, report)) {
+    if (error != nullptr) *error = path + ": failed validation";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace zpm::analysis

@@ -1,0 +1,90 @@
+// Versioned, checksummed snapshot + restore for the continuous daemon.
+//
+// The durability unit is the *completed epoch*: at every rotation the
+// daemon quiesces its engine (epochs are independent windows, so there
+// is no mid-flight analyzer state at a boundary), folds the finished
+// epoch into its cumulative aggregates, and writes one snapshot file
+// atomically (temp file + rename). A `kill -9` therefore loses at most
+// the in-progress epoch; restart resumes the packet stream at the
+// recorded position and the epoch numbering where it left off.
+//
+// Failure model: restore must either succeed *exactly* or fail cleanly
+// into fresh-start mode — never crash, never half-load (fuzzed by
+// tests/fuzz/fuzz_snapshot.cc). The wrapper is
+//   magic "ZPMS" | version u32 | payload_len u64 | crc32(payload) | payload
+// and every parse is bounds-checked; a bad magic, version, length or
+// checksum yields RestoreStatus::Corrupt with the data untouched.
+//
+// Per-epoch report files share the scheme with magic "ZPME" and a
+// single encoded EpochReport as payload. They are the crash-recovery
+// byte-compare artifact: an interrupted-then-restored run must write
+// byte-identical files for every completed epoch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/epoch.h"
+
+namespace zpm::analysis {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Everything a restarted daemon needs to continue. Bounded: the epoch
+/// list holds only the most recent records (kSnapshotRecentEpochs);
+/// cumulative aggregates carry the full history.
+struct SnapshotData {
+  /// Sequence number the next completed epoch will carry.
+  std::uint64_t next_epoch_seq = 0;
+  /// Global packet-stream position at the snapshot boundary — the
+  /// resume point (BatchSource::skip_to target).
+  std::uint64_t packets_consumed = 0;
+  /// Daemon-lifetime aggregates over all completed epochs.
+  core::AnalyzerCounters cumulative_counters;
+  core::AnalyzerHealth cumulative_health;
+  /// Most recent completed epochs (diagnostics; bounded).
+  std::vector<EpochReport> recent_epochs;
+  /// Serialized daemon-lifetime sketch::FlowTier (background-traffic
+  /// summary across epochs); empty when the tier is disabled.
+  std::vector<std::uint8_t> background_tier;
+
+  bool operator==(const SnapshotData&) const = default;
+};
+
+/// How many recent epoch records a snapshot retains.
+inline constexpr std::size_t kSnapshotRecentEpochs = 16;
+
+enum class RestoreStatus : std::uint8_t {
+  Ok,       ///< snapshot validated and loaded exactly
+  Missing,  ///< no snapshot file — first start, fresh state
+  Corrupt,  ///< file exists but failed validation — fresh-start mode
+};
+
+/// Full snapshot file image (wrapper + payload). Deterministic.
+std::vector<std::uint8_t> encode_snapshot(const SnapshotData& data);
+/// Validates and decodes a snapshot image. False on any framing,
+/// version, length or checksum failure; `data` contents are then
+/// unspecified and must be discarded.
+bool parse_snapshot(std::span<const std::uint8_t> bytes, SnapshotData& data);
+
+/// Writes the snapshot atomically: `path`.tmp, fsync, rename. False
+/// (with `error` set) on any I/O failure; a failed write never
+/// clobbers an existing good snapshot.
+bool save_snapshot(const SnapshotData& data, const std::string& path,
+                   std::string* error);
+/// Loads and validates `path`. On Corrupt/Missing, `data` is left
+/// default — the caller starts fresh.
+RestoreStatus load_snapshot(const std::string& path, SnapshotData& data,
+                            std::string* error);
+
+/// Per-epoch report file ("ZPME" wrapper, one EpochReport payload).
+std::vector<std::uint8_t> encode_epoch_file(const EpochReport& report);
+bool parse_epoch_file(std::span<const std::uint8_t> bytes, EpochReport& report);
+bool save_epoch_report(const EpochReport& report, const std::string& path,
+                       std::string* error);
+bool load_epoch_report(const std::string& path, EpochReport& report,
+                       std::string* error);
+
+}  // namespace zpm::analysis

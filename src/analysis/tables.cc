@@ -122,8 +122,14 @@ std::vector<HealthRow> health_rows(const core::AnalyzerHealth& h) {
       h.quarantined_flows, false);
   add("quarantined-packets", "packets skipped on quarantined flows",
       h.quarantined_packets, true);
+  add("epoch-evicted-flows", "flow state retired at epoch rotation (bounded memory)",
+      h.epoch_evicted_flows, false);
+  add("epoch-evicted-meetings", "meeting state retired at epoch rotation",
+      h.epoch_evicted_meetings, false);
   add("ring-wait-spins", "producer spins on a full shard ring (timing-dependent)",
       h.ring_wait_spins, false);
+  add("source-stalls", "watchdog-detected source stalls + reopens (timing-dependent)",
+      h.source_stalls, false);
   return rows;
 }
 

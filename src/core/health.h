@@ -5,11 +5,13 @@
 // capture gaps and port-squatting non-Zoom traffic; these counters make
 // that visible instead of silently skewing the metrics.
 //
-// Determinism contract: every counter except `ring_wait_spins` is a
-// pure function of the offered packet sequence, so serial and sharded
-// runs must produce bit-identical values (enforced by
-// tests/test_health.cc). `ring_wait_spins` measures backpressure of the
-// parallel pipeline's SPSC rings and is inherently timing-dependent.
+// Determinism contract: every counter except `ring_wait_spins` and
+// `source_stalls` is a pure function of the offered packet sequence, so
+// serial and sharded runs must produce bit-identical values (enforced
+// by tests/test_health.cc). `ring_wait_spins` measures backpressure of
+// the parallel pipeline's SPSC rings and `source_stalls` counts wall-
+// clock watchdog firings; both are inherently timing-dependent and are
+// zeroed in durable epoch records (src/analysis/epoch.cc).
 #pragma once
 
 #include <cstdint>
@@ -56,8 +58,16 @@ struct AnalyzerHealth {
   std::uint64_t quarantined_flows = 0;    // flows that crossed the threshold
   std::uint64_t quarantined_packets = 0;  // packets skipped on those flows
 
+  // -- epoch rotation (continuous operation; accounting only, no packet
+  //    is dropped): flow/meeting state retired when the daemon closes an
+  //    epoch and resets its engine, so bounded memory is visible --
+  std::uint64_t epoch_evicted_flows = 0;
+  std::uint64_t epoch_evicted_meetings = 0;
+
   // -- parallel-pipeline backpressure (nondeterministic, see above) --
   std::uint64_t ring_wait_spins = 0;  // producer spins on a full shard ring
+  // -- live-source watchdog (nondeterministic: wall-clock driven) --
+  std::uint64_t source_stalls = 0;  // watchdog-detected quiet source + reopen
 
   bool operator==(const AnalyzerHealth&) const = default;
 
@@ -82,7 +92,10 @@ struct AnalyzerHealth {
     unknown_payload_type += o.unknown_payload_type;
     quarantined_flows += o.quarantined_flows;
     quarantined_packets += o.quarantined_packets;
+    epoch_evicted_flows += o.epoch_evicted_flows;
+    epoch_evicted_meetings += o.epoch_evicted_meetings;
     ring_wait_spins += o.ring_wait_spins;
+    source_stalls += o.source_stalls;
   }
 
   /// Records that could not be (fully) analyzed: undecodable frames,

@@ -1,0 +1,94 @@
+// Unified batch-source signaling for offline and live packet sources.
+//
+// The offline readers only ever needed "batch or done", so
+// TraceSource::next_batch() returning 0 meant end-of-input *or* hard
+// error, disambiguated by ok(). A live NIC adds a third state the old
+// contract cannot express: "no batch right now, try again" — a quiet
+// tap, a paced replay ahead of schedule, a poll() timeout. Collapsing
+// idle into "finished" would make a long-running daemon shut down the
+// moment the network goes quiet; collapsing it into "error" would make
+// the watchdog reopen a perfectly healthy socket. SourceStatus names
+// all four outcomes explicitly, and BatchSource is the interface the
+// continuous-operation daemon drives: every source — offline trace,
+// looped replay, AF_PACKET ring — speaks it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace zpm::net {
+
+/// Outcome of one poll on a batch source.
+enum class SourceStatus : std::uint8_t {
+  /// One or more packets were appended to the output batch.
+  Batch,
+  /// No packets available right now; the stream is healthy and more may
+  /// arrive. Offline file sources never return this.
+  Idle,
+  /// The stream finished cleanly (finite trace or replay loop budget
+  /// exhausted). Terminal for this open; reopen() may restart it.
+  EndOfStream,
+  /// The source failed hard (parse error, socket death); see error().
+  /// Terminal for this open; reopen() may recover it.
+  Error,
+};
+
+[[nodiscard]] constexpr std::string_view source_status_name(SourceStatus s) {
+  switch (s) {
+    case SourceStatus::Batch: return "batch";
+    case SourceStatus::Idle: return "idle";
+    case SourceStatus::EndOfStream: return "end-of-stream";
+    case SourceStatus::Error: return "error";
+  }
+  return "?";
+}
+
+/// Abstract batched packet source. One poll_batch() call appends up to
+/// `max` packets to `out` (cleared first) and reports the stream state;
+/// view lifetime follows pinned().
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  /// Polls for the next batch. Must never block longer than the
+  /// source's own poll timeout (live sources) and never at all for
+  /// offline sources.
+  virtual SourceStatus poll_batch(std::vector<RawPacketView>& out,
+                                  std::size_t max) = 0;
+
+  /// Human-readable reason for the last Error status.
+  [[nodiscard]] virtual const std::string& error() const = 0;
+
+  /// Total packets delivered (or skipped) so far.
+  [[nodiscard]] virtual std::uint64_t packets_read() const = 0;
+
+  /// True when returned views stay valid until the source is destroyed
+  /// (mapped files, owned replay storage). False means views die at the
+  /// next poll_batch() call (reused buffers, capture rings).
+  [[nodiscard]] virtual bool pinned() const = 0;
+
+  /// Attempts to close and reopen the underlying stream after a stall
+  /// or error (watchdog recovery). Default: not supported.
+  virtual bool reopen() { return false; }
+
+  /// Fast-forwards so the next delivered packet is global packet number
+  /// `target` (0-based count from the start of the stream) — the crash-
+  /// recovery resume hook. The default implementation consumes and
+  /// discards packets; returns false when the position cannot be
+  /// reached (source went idle, errored, or ended first).
+  virtual bool skip_to(std::uint64_t target) {
+    std::vector<RawPacketView> scratch;
+    while (packets_read() < target) {
+      std::size_t want = static_cast<std::size_t>(target - packets_read());
+      if (poll_batch(scratch, want > 1024 ? 1024 : want) != SourceStatus::Batch)
+        return false;
+    }
+    return packets_read() == target;
+  }
+};
+
+}  // namespace zpm::net

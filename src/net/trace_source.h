@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "net/batch_source.h"
 #include "net/mapped_file.h"
 #include "net/packet.h"
 #include "net/pcap.h"
@@ -99,19 +100,22 @@ class MappedPcapNgReader {
 /// treat the returned views as valid until the TraceSource is
 /// destroyed (mapped path) or until the next call (streaming path —
 /// batch storage is reused).
-class TraceSource {
+class TraceSource : public BatchSource {
  public:
   /// Opens `path`, sniffing the format magic. Check ok() afterwards.
   explicit TraceSource(const std::string& path);
-  ~TraceSource();
+  ~TraceSource() override;
 
   TraceSource(const TraceSource&) = delete;
   TraceSource& operator=(const TraceSource&) = delete;
 
   [[nodiscard]] bool ok() const { return ok_; }
-  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] const std::string& error() const override { return error_; }
   /// True when the zero-copy mapped fast path is active.
   [[nodiscard]] bool mapped() const { return mapped_; }
+  /// Mapped views alias the mapping (valid until destruction); the
+  /// streaming fallback reuses its batch storage.
+  [[nodiscard]] bool pinned() const override { return mapped_; }
 
   /// Next packet as a view. On the mapped path the view aliases the
   /// mapping (valid until destruction); on the streaming path it
@@ -124,7 +128,19 @@ class TraceSource {
   /// lifetime follows the same rule as next().
   std::size_t next_batch(std::vector<RawPacketView>& out, std::size_t max);
 
-  [[nodiscard]] std::uint64_t packets_read() const { return packets_read_; }
+  /// BatchSource form of next_batch() with the unified end-of-stream /
+  /// error split (a file is never Idle): Batch while records remain,
+  /// then EndOfStream on a clean end or Error with error() set.
+  SourceStatus poll_batch(std::vector<RawPacketView>& out,
+                          std::size_t max) override {
+    return next_batch(out, max) > 0
+               ? SourceStatus::Batch
+               : (ok_ ? SourceStatus::EndOfStream : SourceStatus::Error);
+  }
+
+  [[nodiscard]] std::uint64_t packets_read() const override {
+    return packets_read_;
+  }
 
  private:
   bool ok_ = false;

@@ -55,6 +55,29 @@ void CountMinSketch::add(std::uint64_t hash, std::uint32_t packet_inc,
   }
 }
 
+void CountMinSketch::serialize(util::ByteWriter& w) const {
+  w.u64be(width());
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t i = 0; i < width(); ++i) {
+      const Cell& c = base_[r * width() + i];
+      w.u64be(c.packets);
+      w.u64be(c.bytes);
+    }
+  }
+}
+
+bool CountMinSketch::deserialize(util::ByteReader& r) {
+  if (r.u64be() != width()) return false;
+  for (std::size_t row = 0; row < kRows; ++row) {
+    for (std::size_t i = 0; i < width(); ++i) {
+      Cell& c = base_[row * width() + i];
+      c.packets = r.u64be();
+      c.bytes = r.u64be();
+    }
+  }
+  return r.ok();
+}
+
 FlowStats CountMinSketch::estimate(std::uint64_t hash) const {
   FlowStats est{cell(0, hash).packets, cell(0, hash).bytes};
   for (std::size_t r = 1; r < kRows; ++r) {
@@ -219,6 +242,64 @@ bool HeavyTable::erase(const net::PackedFlowKey& key, std::uint64_t hash) {
   return true;
 }
 
+void HeavyTable::serialize(util::ByteWriter& w) const {
+  w.u64be(capacity());
+  w.u64be(size());
+  // top() order is a deterministic total order, so equal tables
+  // serialize to equal bytes regardless of internal heap layout.
+  for (const Entry& e : top()) {
+    w.u64be(e.key.k1);
+    w.u64be(e.key.k2);
+    w.u64be(e.bytes);
+    w.u64be(e.packets);
+    w.u64be(e.error_bytes);
+  }
+}
+
+void HeavyTable::reset() {
+  std::fill(index_.begin(), index_.end(), 0u);
+  heap_.clear();
+  const std::size_t cap = entries_.size();
+  for (std::size_t i = 0; i < cap; ++i)
+    entries_[i].next_free = static_cast<std::uint32_t>(i + 2 <= cap ? i + 2 : 0);
+  free_head_ = 1;
+}
+
+bool HeavyTable::restore_entry(const Entry& e, std::uint64_t hash) {
+  std::uint32_t* slot = index_slot(e.key, hash);
+  if (*slot != 0) return false;  // duplicate key in the stored stream
+  if (free_head_ == 0) return false;
+  const std::uint32_t idx = free_head_ - 1;
+  Entry& dst = entries_[idx];
+  free_head_ = dst.next_free;
+  dst.key = e.key;
+  dst.bytes = e.bytes;
+  dst.packets = e.packets;
+  dst.error_bytes = e.error_bytes;
+  *slot = idx + 1;
+  heap_.push_back(idx);
+  sift_up(static_cast<std::uint32_t>(heap_.size() - 1));
+  return true;
+}
+
+bool HeavyTable::deserialize(util::ByteReader& r) {
+  if (r.u64be() != capacity()) return false;
+  const std::uint64_t count = r.u64be();
+  if (!r.ok() || count > capacity()) return false;
+  reset();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Entry e;
+    e.key.k1 = r.u64be();
+    e.key.k2 = r.u64be();
+    e.bytes = r.u64be();
+    e.packets = r.u64be();
+    e.error_bytes = r.u64be();
+    if (!r.ok()) return false;
+    if (!restore_entry(e, net::canonical_flow_hash(e.key))) return false;
+  }
+  return true;
+}
+
 std::vector<HeavyTable::Entry> HeavyTable::top() const {
   std::vector<Entry> out;
   out.reserve(heap_.size());
@@ -290,6 +371,38 @@ FlowStats FlowTier::estimate(const net::PackedFlowKey& key,
     est.bytes = std::max(est.bytes, e->bytes);
   }
   return est;
+}
+
+void FlowTier::fold(const net::PackedFlowKey& key, std::uint64_t hash,
+                    const FlowStats& agg) {
+  constexpr std::uint64_t kU32Max = 0xffffffffu;
+  cm_.add(hash, static_cast<std::uint32_t>(std::min(agg.packets, kU32Max)),
+          static_cast<std::uint32_t>(std::min(agg.bytes, kU32Max)));
+  if (heavy_.offer(key, hash, agg.packets, agg.bytes)) ++stats_.evictions;
+}
+
+void FlowTier::serialize(util::ByteWriter& w) const {
+  w.u64be(budget_);
+  w.u64be(stats_.absorbed_packets);
+  w.u64be(stats_.absorbed_bytes);
+  w.u64be(stats_.promotions);
+  w.u64be(stats_.demotions);
+  w.u64be(stats_.evictions);
+  cm_.serialize(w);
+  heavy_.serialize(w);
+}
+
+bool FlowTier::deserialize(util::ByteReader& r) {
+  // Geometry is a pure function of the budget; a different stored
+  // budget means the cells/entries cannot be placed 1:1.
+  if (r.u64be() != budget_) return false;
+  stats_.absorbed_packets = r.u64be();
+  stats_.absorbed_bytes = r.u64be();
+  stats_.promotions = r.u64be();
+  stats_.demotions = r.u64be();
+  stats_.evictions = r.u64be();
+  if (!r.ok()) return false;
+  return cm_.deserialize(r) && heavy_.deserialize(r);
 }
 
 std::vector<HeavyHitter> FlowTier::heavy_hitters(std::size_t limit) const {

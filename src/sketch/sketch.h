@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "net/five_tuple.h"
+#include "util/bytes.h"
 
 namespace zpm::sketch {
 
@@ -70,6 +71,14 @@ class CountMinSketch {
   [[nodiscard]] std::size_t memory_bytes() const {
     return cells_.capacity() * sizeof(Cell);
   }
+
+  /// Appends the cell array (width header + raw counters) to `w`
+  /// (snapshot persistence).
+  void serialize(util::ByteWriter& w) const;
+  /// Restores the cells from `r`. Fails (returns false, sketch
+  /// unchanged semantics not guaranteed — discard it) when the stored
+  /// width does not match this sketch's geometry or `r` underflows.
+  bool deserialize(util::ByteReader& r);
 
  private:
   struct Cell {
@@ -130,6 +139,16 @@ class HeavyTable {
 
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
   [[nodiscard]] std::size_t capacity() const { return entries_.size(); }
+
+  /// Appends capacity + tracked entries (in deterministic top() order,
+  /// exact counts including error_bytes) to `w`.
+  void serialize(util::ByteWriter& w) const;
+  /// Restores from `r` into an exact copy of the serialized table
+  /// (entries, counts, overestimate bounds). Fails on capacity
+  /// mismatch, duplicate keys, overflow, or reader underflow; the
+  /// table is reset to empty first, so a failed restore leaves it
+  /// empty, never half-loaded.
+  bool deserialize(util::ByteReader& r);
   [[nodiscard]] std::size_t memory_bytes() const {
     return entries_.capacity() * sizeof(Entry) +
            index_.capacity() * sizeof(std::uint32_t) +
@@ -142,6 +161,9 @@ class HeavyTable {
   void index_erase(const net::PackedFlowKey& key, std::uint64_t hash);
   void sift_up(std::uint32_t pos);
   void sift_down(std::uint32_t pos);
+
+  void reset();  // empty the table, re-thread the free list
+  bool restore_entry(const Entry& e, std::uint64_t hash);
 
   std::vector<Entry> entries_;        // fixed storage, free-list linked
   std::vector<std::uint32_t> index_;  // open addressing: entry idx + 1, 0 empty
@@ -159,6 +181,8 @@ struct TierStats {
   std::uint64_t demotions = 0;    ///< flows handed back by the exact tier
   std::uint64_t evictions = 0;    ///< SpaceSaving minimum-entry evictions
 
+  bool operator==(const TierStats&) const = default;
+
   void merge(const TierStats& other) {
     absorbed_packets += other.absorbed_packets;
     absorbed_bytes += other.absorbed_bytes;
@@ -174,6 +198,8 @@ struct HeavyHitter {
   std::uint64_t bytes = 0;
   std::uint64_t packets = 0;
   std::uint64_t error_bytes = 0;
+
+  bool operator==(const HeavyHitter&) const = default;
 };
 
 /// See file comment. One instance per pipeline shard; single-threaded.
@@ -203,6 +229,27 @@ class FlowTier {
   /// CM point estimate (upper bound), heavy-table exact when tracked.
   [[nodiscard]] FlowStats estimate(const net::PackedFlowKey& key,
                                    std::uint64_t hash) const;
+
+  /// Folds an externally-accumulated flow aggregate into the tier —
+  /// how the daemon carries a finished epoch's tier report into its
+  /// daemon-lifetime background summary. Like demote(), but the counts
+  /// were already stats-accounted in their epoch, so only the
+  /// structures (and eviction accounting) advance here; pair with
+  /// fold_stats() for the counters.
+  void fold(const net::PackedFlowKey& key, std::uint64_t hash,
+            const FlowStats& agg);
+  /// Merges externally-accumulated tier counters (epoch report stats).
+  void fold_stats(const TierStats& s) { stats_.merge(s); }
+
+  /// Appends the full tier (budget, stats, CM cells, heavy entries) to
+  /// `w` (snapshot persistence). Deterministic: equal tiers serialize
+  /// to equal bytes.
+  void serialize(util::ByteWriter& w) const;
+  /// Restores from `r`. Fails when the stored byte budget differs from
+  /// this tier's (geometry must match exactly) or the payload is
+  /// malformed; on failure the caller should discard the tier and
+  /// start fresh.
+  bool deserialize(util::ByteReader& r);
 
   [[nodiscard]] const TierStats& stats() const { return stats_; }
   /// Top tracked flows, largest byte volume first, at most `limit`.

@@ -1,0 +1,43 @@
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320) for snapshot integrity.
+//
+// Snapshot files written at epoch boundaries must be validated before a
+// restart trusts them — a torn write, a truncated disk, or a flipped bit
+// has to fail closed into fresh-start mode rather than half-load state.
+// A checksum (not a hash table fingerprint) is the right tool: the
+// threat model is accidental corruption, not adversaries. Header-only,
+// constexpr table, no dependencies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace zpm::util {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+/// CRC-32 of `bytes`, optionally chained from a previous result via
+/// `seed` (pass the prior return value to extend the checksum).
+[[nodiscard]] constexpr std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                                            std::uint32_t seed = 0) {
+  std::uint32_t c = ~seed;
+  for (std::uint8_t b : bytes)
+    c = detail::kCrc32Table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace zpm::util

@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/snapshot.h"
 #include "net/build.h"
 #include "net/pcap.h"
+#include "sketch/sketch.h"
 #include "proto/rtcp.h"
 #include "proto/rtp.h"
 #include "proto/stun.h"
@@ -349,6 +351,75 @@ int main(int argc, char** argv) {
       record(churn, 1, n, 900);
     }
     write_seed(root / "fuzz_sketch", "promote_demote.bin", churn);
+  }
+
+  // fuzz_snapshot: [selector u8][file image] — selector % 3 routes to
+  // the snapshot, epoch-file, or FlowTier-image parser. Seeds are
+  // well-formed images of each so the fuzzer starts past the CRC and
+  // only has to mutate its way into the framing and payload decoders.
+  {
+    analysis::EpochReport rep;
+    rep.seq = 2;
+    rep.first_packet = 1400;
+    rep.packets = 700;
+    rep.first_ts = util::Timestamp::from_seconds(1'000);
+    rep.last_ts = util::Timestamp::from_seconds(1'007);
+    rep.counters.total_packets = 700;
+    rep.counters.zoom_packets = 320;
+    rep.counters.zoom_bytes = 280'000;
+    rep.counters.encap_tally[5] = {100, 90'000};
+    rep.counters.payload_tally[98] = {80, 70'000};
+    rep.health.frontend_rejected = 380;
+    rep.health.epoch_evicted_flows = 3;
+    rep.stream_count = 4;
+    rep.zoom_flow_count = 3;
+    rep.tier_stats.absorbed_packets = 380;
+    sketch::HeavyHitter h;
+    h.flow = net::FiveTuple{net::Ipv4Addr(10, 8, 1, 20),
+                            net::Ipv4Addr(170, 114, 0, 10), 52'000, 8801, 17};
+    h.packets = 120;
+    h.bytes = 140'000;
+    rep.heavy_hitters.push_back(h);
+
+    analysis::SnapshotData snap;
+    snap.next_epoch_seq = 3;
+    snap.packets_consumed = 2100;
+    snap.cumulative_counters.merge(rep.counters);
+    snap.cumulative_health.merge(rep.health);
+    snap.recent_epochs.push_back(rep);
+
+    sketch::FlowTier tier(std::size_t{1} << 14);
+    for (std::uint16_t n = 0; n < 40; ++n) {
+      net::FiveTuple t;
+      t.src_ip = net::Ipv4Addr(10, 8, 0, static_cast<std::uint8_t>(n));
+      t.dst_ip = net::Ipv4Addr(93, 184, 216, 34);
+      t.src_port = static_cast<std::uint16_t>(40'000 + n);
+      t.dst_port = 443;
+      t.protocol = 17;
+      const net::PackedFlowKey key(t);
+      tier.absorb(key, net::canonical_flow_hash(key), 900);
+    }
+    util::ByteWriter tw;
+    tier.serialize(tw);
+    snap.background_tier = tw.data();
+
+    std::vector<std::uint8_t> seed;
+    seed.push_back(0);  // selector: snapshot
+    const auto snap_bytes = analysis::encode_snapshot(snap);
+    seed.insert(seed.end(), snap_bytes.begin(), snap_bytes.end());
+    write_seed(root / "fuzz_snapshot", "snapshot.bin", seed);
+
+    seed.clear();
+    seed.push_back(1);  // selector: epoch file
+    const auto epoch_bytes = analysis::encode_epoch_file(rep);
+    seed.insert(seed.end(), epoch_bytes.begin(), epoch_bytes.end());
+    write_seed(root / "fuzz_snapshot", "epoch.bin", seed);
+
+    seed.clear();
+    seed.push_back(2);   // selector: tier image
+    seed.push_back(14);  // budget exponent matching the tier above
+    seed.insert(seed.end(), tw.data().begin(), tw.data().end());
+    write_seed(root / "fuzz_snapshot", "tier.bin", seed);
   }
 
   std::printf("corpus written under %s\n", root.string().c_str());

@@ -1,0 +1,247 @@
+// The snapshot failure model: restore succeeds *exactly* or fails
+// cleanly — truncation, bit flips, bad magic/version/length/checksum
+// and trailing garbage are all rejected with the caller's data
+// untouched, and a failed write never clobbers an existing good
+// snapshot. Plus the FlowTier image: deserialization is geometry-
+// checked and all-or-nothing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/snapshot.h"
+#include "net/five_tuple.h"
+#include "net/headers.h"
+#include "sketch/sketch.h"
+
+namespace zpm::analysis {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_bytes(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A report with every field populated, so codecs are exercised end to
+/// end (sparse tallies included).
+EpochReport sample_report(std::uint64_t seq) {
+  EpochReport rep;
+  rep.seq = seq;
+  rep.first_packet = seq * 1000;
+  rep.packets = 1000;
+  rep.first_ts = util::Timestamp::from_seconds(100.0 + static_cast<double>(seq));
+  rep.last_ts = rep.first_ts + util::Duration::seconds(0.9);
+  rep.counters.total_packets = 1000;
+  rep.counters.zoom_packets = 400;
+  rep.counters.zoom_bytes = 123456;
+  rep.counters.encap_tally[7] = {12, 3400};
+  rep.counters.encap_tally[255] = {1, 99};
+  rep.counters.payload_tally[0] = {5, 500};
+  rep.counters.payload_tally[767] = {2, 80};
+  rep.health.truncated_l2 = 3;
+  rep.health.frontend_rejected = 600;
+  rep.health.epoch_evicted_flows = 4;
+  rep.health.epoch_evicted_meetings = 1;
+  rep.stream_count = 6;
+  rep.media_count = 4;
+  rep.meeting_count = 1;
+  rep.zoom_flow_count = 4;
+  rep.tier_stats.absorbed_packets = 600;
+  rep.tier_stats.absorbed_bytes = 48000;
+  rep.tier_stats.promotions = 2;
+  sketch::HeavyHitter h;
+  h.flow = net::FiveTuple{net::Ipv4Addr(10, 8, 0, 1), net::Ipv4Addr(8, 8, 8, 8),
+                          1234, 443, net::kIpProtoTcp};
+  h.packets = 55;
+  h.bytes = 7200;
+  h.error_bytes = 31;
+  rep.heavy_hitters.push_back(h);
+  return rep;
+}
+
+SnapshotData sample_snapshot() {
+  SnapshotData data;
+  data.next_epoch_seq = 3;
+  data.packets_consumed = 3000;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    const auto rep = sample_report(s);
+    data.cumulative_counters.merge(rep.counters);
+    data.cumulative_health.merge(rep.health);
+    data.recent_epochs.push_back(rep);
+  }
+  data.background_tier = {0xde, 0xad, 0xbe, 0xef, 0x01};
+  return data;
+}
+
+TEST(Snapshot, RoundTripIsExact) {
+  const auto data = sample_snapshot();
+  const auto bytes = encode_snapshot(data);
+  SnapshotData parsed;
+  ASSERT_TRUE(parse_snapshot(bytes, parsed));
+  EXPECT_TRUE(parsed == data);
+  // Determinism: equal data encodes to equal bytes.
+  EXPECT_EQ(encode_snapshot(parsed), bytes);
+}
+
+TEST(Snapshot, EveryTruncationRejected) {
+  const auto bytes = encode_snapshot(sample_snapshot());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    SnapshotData parsed;
+    EXPECT_FALSE(parse_snapshot(
+        std::span<const std::uint8_t>(bytes).subspan(0, len), parsed))
+        << "accepted truncation at " << len;
+  }
+}
+
+TEST(Snapshot, EverySingleBitFlipRejected) {
+  const auto bytes = encode_snapshot(sample_snapshot());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = bytes;
+      mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ (1u << bit));
+      SnapshotData parsed;
+      EXPECT_FALSE(parse_snapshot(mutated, parsed))
+          << "accepted flip at byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(Snapshot, TrailingGarbageRejected) {
+  auto bytes = encode_snapshot(sample_snapshot());
+  bytes.push_back(0x00);
+  SnapshotData parsed;
+  EXPECT_FALSE(parse_snapshot(bytes, parsed));
+}
+
+TEST(Snapshot, WrongMagicAndVersionRejected) {
+  auto bytes = encode_snapshot(sample_snapshot());
+  {
+    auto m = bytes;
+    m[0] = 'X';
+    SnapshotData parsed;
+    EXPECT_FALSE(parse_snapshot(m, parsed));
+  }
+  {
+    auto m = bytes;
+    m[7] = static_cast<std::uint8_t>(m[7] + 1);  // version (u32be at 4..7)
+    SnapshotData parsed;
+    EXPECT_FALSE(parse_snapshot(m, parsed));
+  }
+  // An epoch file is not a snapshot and vice versa (distinct magics).
+  const auto epoch_bytes = encode_epoch_file(sample_report(0));
+  SnapshotData parsed;
+  EXPECT_FALSE(parse_snapshot(epoch_bytes, parsed));
+  EpochReport rep;
+  EXPECT_FALSE(parse_epoch_file(bytes, rep));
+}
+
+TEST(Snapshot, LoadStatusesAndAtomicSave) {
+  const std::string path = temp_path("snap_statuses.bin");
+  std::remove(path.c_str());
+
+  SnapshotData data;
+  std::string error;
+  EXPECT_EQ(load_snapshot(path, data, &error), RestoreStatus::Missing);
+
+  const auto original = sample_snapshot();
+  ASSERT_TRUE(save_snapshot(original, path, &error)) << error;
+  // No temp file may linger after a successful atomic write.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+
+  EXPECT_EQ(load_snapshot(path, data, &error), RestoreStatus::Ok);
+  EXPECT_TRUE(data == original);
+
+  // Corrupt on disk -> Corrupt status, caller's data untouched.
+  auto bytes = encode_snapshot(original);
+  bytes[bytes.size() / 2] ^= 0x40;
+  write_bytes(path, bytes);
+  SnapshotData untouched = original;
+  EXPECT_EQ(load_snapshot(path, untouched, &error), RestoreStatus::Corrupt);
+  EXPECT_TRUE(untouched == original);
+}
+
+TEST(EpochFile, RoundTripAndCorruptionRejected) {
+  const std::string path = temp_path("epoch_file.bin");
+  const auto rep = sample_report(42);
+  std::string error;
+  ASSERT_TRUE(save_epoch_report(rep, path, &error)) << error;
+  EpochReport loaded;
+  ASSERT_TRUE(load_epoch_report(path, loaded, &error)) << error;
+  EXPECT_TRUE(loaded == rep);
+
+  auto bytes = encode_epoch_file(rep);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EpochReport parsed;
+    EXPECT_FALSE(parse_epoch_file(
+        std::span<const std::uint8_t>(bytes).subspan(0, len), parsed))
+        << "accepted truncation at " << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FlowTier persistence (the snapshot's background_tier payload)
+
+sketch::FlowTier populated_tier(std::size_t budget) {
+  sketch::FlowTier tier(budget);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const net::FiveTuple flow{
+        net::Ipv4Addr(10, 8, 0, 1),
+        net::Ipv4Addr(93, 184, 216, static_cast<std::uint8_t>(i % 250)),
+        static_cast<std::uint16_t>(10000 + i), 443, net::kIpProtoUdp};
+    const net::PackedFlowKey key(flow);
+    const auto hash = net::canonical_flow_hash(key);
+    for (int n = 0; n < 3; ++n)
+      tier.absorb(key, hash, 200 + i);
+  }
+  return tier;
+}
+
+std::vector<std::uint8_t> tier_bytes(const sketch::FlowTier& tier) {
+  util::ByteWriter w;
+  tier.serialize(w);
+  return w.take();
+}
+
+TEST(FlowTierImage, RoundTripIsExact) {
+  const auto tier = populated_tier(std::size_t{64} << 10);
+  const auto bytes = tier_bytes(tier);
+
+  sketch::FlowTier restored(std::size_t{64} << 10);
+  util::ByteReader r(bytes);
+  ASSERT_TRUE(restored.deserialize(r));
+  EXPECT_EQ(r.remaining(), 0u);
+  // Equal state -> equal image -> equal reports.
+  EXPECT_EQ(tier_bytes(restored), bytes);
+  EXPECT_EQ(restored.stats(), tier.stats());
+  EXPECT_EQ(restored.tracked_flows(), tier.tracked_flows());
+  EXPECT_EQ(restored.heavy_hitters(8), tier.heavy_hitters(8));
+}
+
+TEST(FlowTierImage, GeometryMismatchRejected) {
+  const auto bytes = tier_bytes(populated_tier(std::size_t{64} << 10));
+  sketch::FlowTier other(std::size_t{128} << 10);  // different geometry
+  util::ByteReader r(bytes);
+  EXPECT_FALSE(other.deserialize(r));
+}
+
+TEST(FlowTierImage, TruncationRejected) {
+  const auto bytes = tier_bytes(populated_tier(std::size_t{16} << 10));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    sketch::FlowTier tier(std::size_t{16} << 10);
+    util::ByteReader r(std::span<const std::uint8_t>(bytes).subspan(0, len));
+    EXPECT_FALSE(tier.deserialize(r) && r.remaining() == 0)
+        << "accepted truncation at " << len;
+  }
+}
+
+}  // namespace
+}  // namespace zpm::analysis
