@@ -334,7 +334,14 @@ int MonitorDaemon::run(net::BatchSource& source) {
           return 1;
         }
         ++stats_.source_reopens;
-        std::this_thread::sleep_for(std::chrono::microseconds(backoff.us()));
+        // Backoff can reach backoff_max (seconds); sleep in short slices
+        // so a shutdown signal interrupts it promptly.
+        for (std::int64_t left = backoff.us();
+             left > 0 && !shutdown_.load(std::memory_order_relaxed);) {
+          const std::int64_t slice = left < 50'000 ? left : 50'000;
+          std::this_thread::sleep_for(std::chrono::microseconds(slice));
+          left -= slice;
+        }
         backoff = backoff * 2 > config_.backoff_max ? config_.backoff_max
                                                     : backoff * 2;
         break;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -65,7 +66,26 @@ bool read_file(const std::string& path, std::vector<std::uint8_t>& out,
   return ok;
 }
 
-/// Atomic write: `path`.tmp, flush + fsync, rename over `path`.
+#if defined(__unix__) || defined(__APPLE__)
+/// Fsyncs the directory containing `path`, making a just-completed
+/// rename() in it durable across power failure (fsync of the file alone
+/// only makes the *data* durable, not the directory entry).
+bool fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : slash == 0 ? "/" : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd < 0) return false;
+  // Some filesystems reject fsync on directories (EINVAL); the rename
+  // itself still succeeded, so treat that as best-effort, not failure.
+  const bool ok = ::fsync(dfd) == 0 || errno == EINVAL;
+  ::close(dfd);
+  return ok;
+}
+#endif
+
+/// Atomic write: `path`.tmp, flush + fsync, rename over `path`, fsync
+/// of the parent directory (so the rename survives power loss too).
 bool write_file_atomic(std::span<const std::uint8_t> bytes,
                        const std::string& path, std::string* error) {
   const std::string tmp = path + ".tmp";
@@ -83,6 +103,9 @@ bool write_file_atomic(std::span<const std::uint8_t> bytes,
 #endif
   ok = std::fclose(f) == 0 && ok;
   if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  if (ok) ok = fsync_parent_dir(path);
+#endif
   if (!ok) {
     if (error != nullptr)
       *error = "cannot write " + path + ": " + std::strerror(errno);

@@ -45,11 +45,17 @@ struct LiveSource::Impl {
   tpacket_block_desc* blk = nullptr;
   const std::uint8_t* frame = nullptr;
   std::uint32_t frames_left = 0;
+  // Fully-drained blocks whose frames were handed out in the most
+  // recent batch. The caller's views point into them, so they stay
+  // claimed until the next poll_batch() call invalidates the batch.
+  std::vector<tpacket_block_desc*> retired;
   LiveSourceStats stats;  // accumulated: the kernel counter resets on read
 
   bool open_af_packet(const LiveSourceConfig& config, std::string& error);
   void close_af_packet();
   void release_block();
+  void retire_block();
+  void release_retired();
   bool claim_block(const LiveSourceConfig& config);
 #endif
 #if defined(ZPM_HAVE_PCAP)
@@ -127,6 +133,7 @@ bool LiveSource::Impl::open_af_packet(const LiveSourceConfig& config,
   impl.block_cursor = 0;
   impl.blk = nullptr;
   impl.frames_left = 0;
+  impl.retired.clear();
   return true;
 }
 
@@ -142,9 +149,12 @@ void LiveSource::Impl::close_af_packet() {
   }
   impl.blk = nullptr;
   impl.frames_left = 0;
+  impl.retired.clear();  // ring unmapped; nothing to hand back
 }
 
-/// Releases the drained block back to the kernel.
+/// Releases the drained block back to the kernel immediately. Only safe
+/// when no returned views point into it (e.g. an empty timeout-retired
+/// block); otherwise use retire_block().
 void LiveSource::Impl::release_block() {
   Impl& impl = *this;
   if (impl.blk == nullptr) return;
@@ -152,6 +162,26 @@ void LiveSource::Impl::release_block() {
                    __ATOMIC_RELEASE);
   impl.blk = nullptr;
   impl.frames_left = 0;
+}
+
+/// Parks the drained block on the retired list instead of releasing it:
+/// the batch just returned still holds views into it, and the kernel
+/// must not overwrite it until the next poll_batch() call.
+void LiveSource::Impl::retire_block() {
+  Impl& impl = *this;
+  if (impl.blk == nullptr) return;
+  impl.retired.push_back(impl.blk);
+  impl.blk = nullptr;
+  impl.frames_left = 0;
+}
+
+/// Hands all retired blocks back to the kernel. Called at the top of
+/// poll_batch(), once the previous batch's views are dead.
+void LiveSource::Impl::release_retired() {
+  for (tpacket_block_desc* desc : retired)
+    __atomic_store_n(&desc->hdr.bh1.block_status, TP_STATUS_KERNEL,
+                     __ATOMIC_RELEASE);
+  retired.clear();
 }
 
 /// Claims the next kernel-filled block, if any.
@@ -275,10 +305,10 @@ SourceStatus LiveSource::poll_batch(std::vector<RawPacketView>& out,
   }
 #endif
 #if defined(ZPM_HAVE_AF_PACKET)
-  // Previous batch's views pointed into the block we were draining; a
-  // fully-drained block was already released inside the walk below, and
-  // a partially-drained one keeps its remaining frames valid (we only
-  // release after the last frame is consumed).
+  // The previous batch's views are dead as of this call (documented
+  // contract), so blocks fully drained by that batch can now go back to
+  // the kernel. A partially-drained block stays claimed either way.
+  impl_->release_retired();
   if (impl_->blk == nullptr && !impl_->claim_block(config_)) {
     pollfd pfd{};
     pfd.fd = impl_->fd;
@@ -307,7 +337,7 @@ SourceStatus LiveSource::poll_batch(std::vector<RawPacketView>& out,
       impl_->frame += hdr->tp_next_offset;
     }
     if (impl_->frames_left == 0) {
-      impl_->release_block();
+      impl_->retire_block();  // views in `out` still point into it
       if (n < max) impl_->claim_block(config_);  // drain the next ready block
     }
   }
@@ -384,14 +414,20 @@ SourceStatus ReplayLiveSource::poll_batch(std::vector<RawPacketView>& out,
   }
   if (config_.pace_pps > 0) {
     // Wall-clock pacing: deliver no faster than pace_pps. Affects batch
-    // *timing and sizing* only; the packet sequence is unchanged.
+    // *timing and sizing* only; the packet sequence is unchanged. The
+    // allowance is relative to pace_base_, the position where pacing
+    // (re)started — skip_to()/reopen() re-base so a resumed source is
+    // paced on packets delivered since resume, not absolute position.
     std::int64_t now = steady_now_us();
     if (!pace_started_) {
       pace_started_ = true;
       pace_epoch_us_ = now;
+      pace_base_ = position_;
     }
-    auto allowed = static_cast<std::uint64_t>(
-        static_cast<double>(now - pace_epoch_us_) * config_.pace_pps / 1e6);
+    const std::uint64_t allowed =
+        pace_base_ +
+        static_cast<std::uint64_t>(static_cast<double>(now - pace_epoch_us_) *
+                                   config_.pace_pps / 1e6);
     if (position_ >= allowed) return SourceStatus::Idle;
     std::uint64_t slack = allowed - position_;
     if (slack < want) want = static_cast<std::size_t>(slack);
@@ -416,6 +452,7 @@ bool ReplayLiveSource::reopen() {
   // the very next poll.
   stalled_ = false;
   config_.stall_after_packets = 0;
+  pace_started_ = false;  // re-base pacing on the next poll
   ++reopens_;
   return true;
 }
@@ -425,6 +462,7 @@ bool ReplayLiveSource::skip_to(std::uint64_t target) {
   if (config_.loops != 0 && target > config_.loops * packets_.size())
     return false;
   position_ = target;
+  pace_started_ = false;  // re-base pacing on the next poll
   return true;
 }
 

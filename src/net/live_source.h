@@ -161,8 +161,12 @@ class ReplayLiveSource : public BatchSource {
   std::uint64_t position_ = 0;      // next global packet index
   bool stalled_ = false;
   std::uint64_t reopens_ = 0;
-  // Pacing state (wall clock; never affects batch content).
-  std::int64_t pace_epoch_us_ = 0;  // steady-clock µs at first poll
+  // Pacing state (wall clock; never affects batch content). The pace
+  // allowance is measured from (pace_epoch_us_, pace_base_), re-based
+  // by skip_to()/reopen() so a resumed source never stalls waiting for
+  // the wall clock to "catch up" to its absolute position.
+  std::int64_t pace_epoch_us_ = 0;   // steady-clock µs when pacing began
+  std::uint64_t pace_base_ = 0;      // position_ when pacing began
   bool pace_started_ = false;
 };
 

@@ -5,6 +5,7 @@
 // idleness and hard errors distinguishable through SourceStatus.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -248,6 +249,63 @@ TEST(ReplayLiveSource, PacingDelaysButNeverChangesContent) {
   ASSERT_EQ(got.size(), expected.size());
   for (std::size_t i = 0; i < got.size(); ++i)
     expect_same_packet(got[i], expected[i], i);
+}
+
+TEST(ReplayLiveSource, PacingRebasesAfterSkipTo) {
+  // Regression: pacing used to grant allowance against the *absolute*
+  // position, so a crash-recovery skip_to() deep into the stream left
+  // the source Idle for position/pace_pps seconds while the wall clock
+  // "caught up". Allowance must be relative to the resume point.
+  ReplayLiveSourceConfig cfg;
+  cfg.path = meeting_trace();
+  cfg.loops = 0;               // infinite: any skip target is valid
+  cfg.pace_pps = 2'000'000.0;  // fast pace — yet catching up from zero
+                               // to the skip target would take ~6 days
+  ReplayLiveSource replay(cfg);
+  ASSERT_TRUE(replay.ok());
+  const std::uint64_t target = std::uint64_t{1} << 40;
+  ASSERT_TRUE(replay.skip_to(target));
+
+  std::vector<RawPacketView> batch;
+  SourceStatus status = SourceStatus::Idle;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (status == SourceStatus::Idle &&
+         std::chrono::steady_clock::now() < deadline)
+    status = replay.poll_batch(batch, 64);
+  ASSERT_EQ(status, SourceStatus::Batch);
+  EXPECT_GT(replay.packets_read(), target);
+}
+
+TEST(ReplayLiveSource, PacingRebasesAfterReopen) {
+  // Companion to the skip_to re-base: a reopen() after a long stall
+  // must not grant a burst of stale catch-up allowance, and must not
+  // stall either — the pace clock restarts at the resume position.
+  ReplayLiveSourceConfig cfg;
+  cfg.path = meeting_trace();
+  cfg.stall_after_packets = 8;
+  cfg.pace_pps = 2'000'000.0;
+  ReplayLiveSource replay(cfg);
+  ASSERT_TRUE(replay.ok());
+  std::vector<RawPacketView> batch;
+  std::uint64_t seen = 0;
+  while (!replay.stalled()) {
+    // Paced polls interleave Idle with Batch; spin until the stall.
+    const SourceStatus status = replay.poll_batch(batch, 4);
+    ASSERT_NE(status, SourceStatus::Error);
+    if (status == SourceStatus::Batch) seen += batch.size();
+  }
+  ASSERT_EQ(seen, 8u);
+  ASSERT_TRUE(replay.reopen());
+
+  SourceStatus status = SourceStatus::Idle;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (status == SourceStatus::Idle &&
+         std::chrono::steady_clock::now() < deadline)
+    status = replay.poll_batch(batch, 64);
+  ASSERT_EQ(status, SourceStatus::Batch);
+  EXPECT_GT(replay.packets_read(), seen);
 }
 
 TEST(ReplayLiveSource, MissingTraceIsError) {
