@@ -1,0 +1,261 @@
+// Overload-governor benchmark: what graceful degradation costs when it
+// is idle, and what it guarantees when it fires.
+//
+// Runs a simulated campus slice (meetings + background) through the
+// epoch engine three ways — ungoverned, governed at zero injected
+// pressure, and governed under a forced overload schedule that rides
+// the ladder to L4 and back — and reports throughput plus the shed
+// accounting. Asserts (--check, CI smoke mode):
+//   * byte-identity: the governed-but-calm run produces epoch records
+//     byte-identical to the ungoverned run, serial and 4-shard alike
+//     (the L0 path must cost nothing in output),
+//   * calm-governor overhead stays under ZPM_OVERLOAD_OVERHEAD_MAX
+//     (default 1.5x — the governor does one observation per window and
+//     one level check per batch, so the real ratio is ~1.0),
+//   * determinism: two forced-overload replays (different batch sizes)
+//     produce byte-identical records and identical shed totals,
+//   * the forced run actually sheds (reaches L4) and recovers (ends
+//     back at L0),
+//   * conservation on every epoch record:
+//     packets == counters.total_packets + shed(L1..L4).
+//
+// Usage: bench_overload [--check] [output.json]
+//   ZPM_OVERLOAD_MINUTES scales the trace (default 3 simulated minutes).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/epoch.h"
+#include "sim/campus.h"
+#include "util/bytes.h"
+
+namespace {
+
+using namespace zpm;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kBatch = 1024;
+
+std::vector<net::RawPacket> make_trace(double minutes) {
+  sim::CampusConfig cc;
+  cc.seed = 31;
+  cc.duration = util::Duration::seconds(minutes * 60.0);
+  cc.meetings_per_peak_hour = 60.0;
+  cc.background_ratio = 1.0;
+  sim::CampusSimulation campus(cc);
+  std::vector<net::RawPacket> trace;
+  while (auto pkt = campus.next_packet()) trace.push_back(std::move(*pkt));
+  return trace;
+}
+
+struct RunResult {
+  std::vector<analysis::EpochReport> reports;
+  double seconds = 0;
+  std::uint64_t offered = 0;
+};
+
+RunResult run(const std::vector<net::RawPacket>& trace,
+              const analysis::EpochEngineConfig& config, std::size_t batch) {
+  std::vector<net::RawPacketView> views;
+  views.reserve(trace.size());
+  for (const auto& p : trace) views.push_back(net::as_view(p));
+
+  RunResult r;
+  analysis::EpochEngine engine(config);
+  const auto start = Clock::now();
+  for (std::size_t off = 0; off < views.size(); off += batch) {
+    const std::size_t n = std::min(batch, views.size() - off);
+    engine.offer(std::span<const net::RawPacketView>(views).subspan(off, n),
+                 pipeline::BatchLifetime::Pinned, r.reports);
+  }
+  if (auto last = engine.flush()) r.reports.push_back(std::move(*last));
+  r.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  r.offered = views.size();
+  return r;
+}
+
+/// FNV over the concatenated epoch-record encodings: any byte of
+/// difference between two runs changes the digest.
+std::uint64_t digest(const std::vector<analysis::EpochReport>& reports) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& rep : reports) {
+    util::ByteWriter w;
+    analysis::encode_epoch_report(rep, w);
+    for (const std::uint8_t b : w.data()) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+struct ShedTotals {
+  std::uint64_t l1 = 0, l2 = 0, l3 = 0, l4 = 0;
+  std::uint32_t max_level = 0;
+  bool conserved = true;
+
+  [[nodiscard]] std::uint64_t total() const { return l1 + l2 + l3 + l4; }
+};
+
+ShedTotals tally(const std::vector<analysis::EpochReport>& reports) {
+  ShedTotals t;
+  for (const auto& rep : reports) {
+    t.l1 += rep.health.overload_shed_l1;
+    t.l2 += rep.health.overload_shed_l2;
+    t.l3 += rep.health.overload_shed_l3;
+    t.l4 += rep.health.overload_shed_l4;
+    if (rep.max_overload_level > t.max_level) t.max_level = rep.max_overload_level;
+    if (rep.packets !=
+        rep.counters.total_packets + rep.health.overload_shed_total())
+      t.conserved = false;
+  }
+  return t;
+}
+
+void write_json(const std::string& path, std::uint64_t packets,
+                double plain_pps, double calm_pps, double overhead,
+                double overloaded_pps, const ShedTotals& shed,
+                bool identical, bool deterministic, bool recovered,
+                double overhead_max, bool pass) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"overload\",\n");
+  std::fprintf(f, "  \"packets\": %llu,\n",
+               static_cast<unsigned long long>(packets));
+  std::fprintf(f,
+               "  \"ungoverned_pkts_per_s\": %.1f,\n"
+               "  \"calm_governed_pkts_per_s\": %.1f,\n"
+               "  \"calm_overhead_ratio\": %.3f,\n"
+               "  \"overhead_threshold\": %.2f,\n"
+               "  \"overloaded_pkts_per_s\": %.1f,\n",
+               plain_pps, calm_pps, overhead, overhead_max, overloaded_pps);
+  std::fprintf(f,
+               "  \"shed_l1\": %llu,\n  \"shed_l2\": %llu,\n"
+               "  \"shed_l3\": %llu,\n  \"shed_l4\": %llu,\n"
+               "  \"max_level\": %u,\n",
+               static_cast<unsigned long long>(shed.l1),
+               static_cast<unsigned long long>(shed.l2),
+               static_cast<unsigned long long>(shed.l3),
+               static_cast<unsigned long long>(shed.l4), shed.max_level);
+  std::fprintf(f,
+               "  \"calm_identical\": %s,\n  \"deterministic\": %s,\n"
+               "  \"recovered\": %s,\n  \"conserved\": %s,\n"
+               "  \"pass\": %s\n}\n",
+               identical ? "true" : "false", deterministic ? "true" : "false",
+               recovered ? "true" : "false", shed.conserved ? "true" : "false",
+               pass ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string out_path = "BENCH_overload.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--check")) {
+      check = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  double minutes = 3.0;
+  if (const char* env = std::getenv("ZPM_OVERLOAD_MINUTES"))
+    minutes = std::atof(env);
+  double overhead_max = 1.5;
+  if (const char* env = std::getenv("ZPM_OVERLOAD_OVERHEAD_MAX"))
+    overhead_max = std::atof(env);
+
+  const std::vector<net::RawPacket> trace = make_trace(minutes);
+  std::printf("campus trace: %zu packets (%.1f simulated minutes)\n\n",
+              trace.size(), minutes);
+
+  analysis::EpochEngineConfig base;
+  base.analyzer.keep_frames = false;
+  base.limits.max_packets = 200'000;
+  base.limits.max_span = util::Duration::micros(0);
+  // Shard-invariance of the records needs the sketch tier out of the
+  // digest (its eviction pattern legitimately depends on the shard
+  // count); its cost is benchmarked separately in bench_sketch.
+  base.flow_memory_budget = 0;
+
+  analysis::EpochEngineConfig calm = base;
+  calm.overload.enabled = true;
+  calm.overload.inject = "0-1:0.0";  // pinned zero pressure: wall-clock-free
+
+  // Pressure saturated for the first 60% of the stream, calm after: the
+  // ladder climbs to L4, sheds, and must walk back down to L0.
+  analysis::EpochEngineConfig stormy = base;
+  stormy.overload.enabled = true;
+  stormy.overload.window_packets = 2048;
+  {
+    char spec[64];
+    std::snprintf(spec, sizeof spec, "0-%zu:1.0", trace.size() * 6 / 10);
+    stormy.overload.inject = spec;
+  }
+
+  // -- calm path: identity + overhead, serial and 4-shard --------------
+  const RunResult plain_1 = run(trace, base, kBatch);
+  const RunResult calm_1 = run(trace, calm, kBatch);
+  analysis::EpochEngineConfig base_4 = base, calm_4 = calm;
+  base_4.shards = 4;
+  calm_4.shards = 4;
+  const RunResult plain_4 = run(trace, base_4, kBatch);
+  const RunResult calm_4r = run(trace, calm_4, kBatch);
+  const bool identical = digest(plain_1.reports) == digest(calm_1.reports) &&
+                         digest(plain_4.reports) == digest(calm_4r.reports);
+
+  const double plain_pps =
+      static_cast<double>(plain_1.offered) / plain_1.seconds;
+  const double calm_pps = static_cast<double>(calm_1.offered) / calm_1.seconds;
+  const double overhead = plain_pps > 0 ? plain_pps / calm_pps : 0;
+
+  // -- forced overload: determinism, shedding, recovery, conservation --
+  const RunResult storm_a = run(trace, stormy, kBatch);
+  const RunResult storm_b = run(trace, stormy, 257);
+  const bool deterministic = digest(storm_a.reports) == digest(storm_b.reports);
+  const ShedTotals shed = tally(storm_a.reports);
+  const double overloaded_pps =
+      static_cast<double>(storm_a.offered) / storm_a.seconds;
+  // Recovery: the last epoch must have walked the ladder back down (no
+  // L3+ degradation in the calm tail of the stream).
+  const bool recovered =
+      !storm_a.reports.empty() && storm_a.reports.back().max_overload_level < 3;
+
+  const bool overhead_ok = overhead <= overhead_max;
+  const bool shed_ok = shed.total() > 0 && shed.max_level == 4;
+  const bool pass = identical && overhead_ok && deterministic && shed_ok &&
+                    recovered && shed.conserved;
+
+  std::printf("ungoverned:        %8.2f Mpkt/s (%zu epochs)\n",
+              plain_pps / 1e6, plain_1.reports.size());
+  std::printf("governed, calm:    %8.2f Mpkt/s  overhead %.3fx (max %.2fx)\n",
+              calm_pps / 1e6, overhead, overhead_max);
+  std::printf("governed, overload:%8.2f Mpkt/s\n", overloaded_pps / 1e6);
+  std::printf("calm byte-identity (serial + 4-shard): %s\n",
+              identical ? "yes" : "NO");
+  std::printf("forced-overload determinism (batch 1024 vs 257): %s\n",
+              deterministic ? "yes" : "NO");
+  std::printf(
+      "shed: L1 %llu  L2 %llu  L3 %llu  L4 %llu (max level %u, %s, %s)\n",
+      static_cast<unsigned long long>(shed.l1),
+      static_cast<unsigned long long>(shed.l2),
+      static_cast<unsigned long long>(shed.l3),
+      static_cast<unsigned long long>(shed.l4), shed.max_level,
+      recovered ? "recovered" : "DID NOT RECOVER",
+      shed.conserved ? "conserved" : "CONSERVATION VIOLATED");
+  std::printf("%s\n", pass ? "PASS" : "FAIL");
+
+  write_json(out_path, trace.size(), plain_pps, calm_pps, overhead,
+             overloaded_pps, shed, identical, deterministic, recovered,
+             overhead_max, pass);
+  return check && !pass ? 1 : 0;
+}

@@ -9,6 +9,7 @@
 //                       [--no-sketch] [--sketch-stats]
 //        campus_monitor --make-trace <out.pcap> [--minutes <m>]
 //                       [--meetings <per-peak-hour>] [--seed <n>]
+//                       [--burst <period-seconds>] [--burst-flows <n>]
 //        campus_monitor --daemon (--replay <trace> | --live <iface>)
 //                       [--loops <n>] [--pace-pps <pps>]
 //                       [--stall-after <pkts>] [--epoch-packets <n>]
@@ -17,6 +18,10 @@
 //                       [--watchdog-seconds <s>] [--threads <n>]
 //                       [--halt-after-epochs <n>] [--no-frontend]
 //                       [--flow-memory-budget <bytes>] [--quiet]
+//                       [--overload | --no-overload]
+//                       [--overload-window <pkts>] [--overload-inject <spec>]
+//                       [--overload-high <x>] [--overload-low <x>]
+//                       [--bounded-push] [--slow-shard <i>] [--slow-us <us>]
 //
 // With --pcap the monitor replays a recorded capture through the
 // analyzer using the zero-copy batched ingest path. Each batch is
@@ -32,7 +37,16 @@
 // --daemon runs the continuous-operation service loop
 // (analysis/daemon.h): epoch rotation, atomic snapshot + per-epoch
 // report files, SIGHUP config reload, SIGTERM/SIGINT graceful drain,
-// and a watchdog that reopens a stalled source. --replay drives it
+// and a watchdog that reopens a stalled source. The overload governor
+// (src/overload, docs/ROBUSTNESS.md §5) defaults on for --live and off
+// for --replay; --overload / --no-overload override, --overload-inject
+// replaces the real pressure signals with a deterministic schedule
+// ("begin-end:pressure,..." over the global packet index; implies
+// --overload), and --overload-high/--overload-low retune the EWMA
+// watermarks. --bounded-push makes the dispatch producer shed instead
+// of blocking on a full shard ring (always on under --live);
+// --slow-shard/--slow-us inject a deterministic slow consumer for
+// stress tests. --replay drives it
 // from a recorded trace through net::ReplayLiveSource (deterministic,
 // no privileges needed — loop with --loops 0 and pace with
 // --pace-pps for soak runs); --live opens a real interface
@@ -43,6 +57,7 @@
 // 4 interrupted (SIGINT drain in the non-daemon modes: the partial
 // capture is still analyzed and the report flushed before exiting).
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +72,8 @@
 #include "net/live_source.h"
 #include "net/pcap.h"
 #include "net/trace_source.h"
+#include "overload/governor.h"
+#include "sim/background.h"
 #include "sim/campus.h"
 #include "util/strings.h"
 
@@ -205,7 +222,7 @@ int make_trace(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: campus_monitor --make-trace <out.pcap> "
                  "[--minutes <m>] [--meetings <n>] [--background <ratio>] "
-                 "[--seed <n>]\n");
+                 "[--seed <n>] [--burst <period-s>] [--burst-flows <n>]\n");
     return 2;
   }
   const char* out_path = argv[2];
@@ -213,6 +230,8 @@ int make_trace(int argc, char** argv) {
   double meetings = 6.0;
   double background = 1.0;
   std::uint64_t seed = 42;
+  double burst_period_s = 0.0;
+  std::size_t burst_flows = 20'000;
   for (int i = 3; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--minutes") && i + 1 < argc) {
       minutes = std::atof(argv[++i]);
@@ -222,6 +241,11 @@ int make_trace(int argc, char** argv) {
       background = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--burst") && i + 1 < argc) {
+      burst_period_s = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--burst-flows") && i + 1 < argc) {
+      burst_flows = static_cast<std::size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
@@ -240,19 +264,65 @@ int make_trace(int argc, char** argv) {
   campus_cfg.background_ratio = background;
   sim::CampusSimulation campus(campus_cfg);
 
+  // --burst overlays a square-wave background load (sim::BackgroundTraffic
+  // duty-cycle mode) on the campus day: when a paced replay of the trace
+  // hits a high phase, the daemon's rings actually fill — the overload
+  // governor's exercise input.
+  std::optional<sim::BackgroundTraffic> burst;
+  if (burst_period_s > 0) {
+    sim::BackgroundConfig bg;
+    bg.seed = seed + 1;
+    bg.flows = burst_flows > 0 ? burst_flows : 1;
+    bg.start = campus_cfg.day_start;
+    bg.burst_period = util::Duration::seconds(burst_period_s);
+    bg.burst_high_pps = 20'000;
+    bg.burst_low_pps = 2'000;
+    const double avg_pps = bg.burst_duty * bg.burst_high_pps +
+                           (1.0 - bg.burst_duty) * bg.burst_low_pps;
+    bg.packets = static_cast<std::size_t>(avg_pps * minutes * 60.0);
+    if (bg.packets < bg.flows) bg.packets = bg.flows;
+    if (bg.packets > 5'000'000) bg.packets = 5'000'000;  // keep traces sane
+    burst.emplace(bg);
+  }
+
   net::PcapWriter writer(out_path);
   if (!writer.ok()) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path);
     return 1;
   }
-  while (auto pkt = campus.next_packet()) writer.write(*pkt);
+  if (!burst) {
+    while (auto pkt = campus.next_packet()) writer.write(*pkt);
+  } else {
+    // Two-pointer timestamp merge: both generators emit in timestamp
+    // order, so the merged trace stays monotonic.
+    std::vector<net::RawPacket> bg_batch;
+    std::size_t bg_i = 0;
+    const auto bg_refill = [&]() {
+      if (bg_i < bg_batch.size()) return true;
+      bg_batch.clear();
+      bg_i = 0;
+      return burst->next_batch(4096, bg_batch) > 0;
+    };
+    auto cam = campus.next_packet();
+    bool bg_ok = bg_refill();
+    while (cam || bg_ok) {
+      if (!bg_ok || (cam && cam->ts.us() <= bg_batch[bg_i].ts.us())) {
+        writer.write(*cam);
+        cam = campus.next_packet();
+      } else {
+        writer.write(bg_batch[bg_i++]);
+        bg_ok = bg_refill();
+      }
+    }
+  }
   if (!writer.ok()) {
     std::fprintf(stderr, "error: write to %s failed\n", out_path);
     return 1;
   }
-  std::printf("wrote %llu packets (%.1f simulated minutes) to %s\n",
+  std::printf("wrote %llu packets (%.1f simulated minutes%s) to %s\n",
               static_cast<unsigned long long>(writer.packets_written()),
-              minutes, out_path);
+              minutes,
+              burst ? ", bursty background overlay" : "", out_path);
   return 0;
 }
 
@@ -266,6 +336,7 @@ int run_daemon(int argc, char** argv) {
   cfg.engine.limits.max_packets = 1'000'000;
   cfg.engine.limits.max_span = util::Duration::seconds(60.0);
   net::ReplayLiveSourceConfig replay_cfg;
+  std::optional<bool> overload_flag;  // unset = mode default
 
   for (int i = 2; i < argc; ++i) {
     const auto want_value = [&](const char* flag) {
@@ -325,6 +396,33 @@ int run_daemon(int argc, char** argv) {
       }
     } else if (!std::strcmp(argv[i], "--quiet")) {
       cfg.verbose = false;
+    } else if (!std::strcmp(argv[i], "--overload")) {
+      overload_flag = true;
+    } else if (!std::strcmp(argv[i], "--no-overload")) {
+      overload_flag = false;
+    } else if (!std::strcmp(argv[i], "--overload-window")) {
+      if (!want_value("--overload-window")) return 2;
+      cfg.engine.overload.window_packets = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--overload-inject")) {
+      if (!want_value("--overload-inject")) return 2;
+      cfg.engine.overload.inject = argv[++i];
+      overload_flag = true;  // an injection schedule implies the governor
+    } else if (!std::strcmp(argv[i], "--overload-high")) {
+      if (!want_value("--overload-high")) return 2;
+      cfg.engine.overload.governor.high_watermark = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--overload-low")) {
+      if (!want_value("--overload-low")) return 2;
+      cfg.engine.overload.governor.low_watermark = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--bounded-push")) {
+      cfg.engine.bounded_dispatch = true;
+    } else if (!std::strcmp(argv[i], "--slow-shard")) {
+      if (!want_value("--slow-shard")) return 2;
+      cfg.engine.fault_slow_shard =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--slow-us")) {
+      if (!want_value("--slow-us")) return 2;
+      cfg.engine.fault_slow_us =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown daemon option %s\n", argv[i]);
       return 2;
@@ -341,6 +439,23 @@ int run_daemon(int argc, char** argv) {
                  "(--epoch-packets or --epoch-seconds)\n");
     return 2;
   }
+  if (!cfg.engine.overload.inject.empty()) {
+    overload::PressureSchedule probe;
+    if (!probe.parse(cfg.engine.overload.inject)) {
+      std::fprintf(stderr, "--overload-inject wants "
+                   "\"begin-end:pressure[,...]\" over packet indices\n");
+      return 2;
+    }
+  }
+  // Overload default: on for live capture (the mode that can actually
+  // fall behind the kernel), off for lossless replay. Live mode also
+  // switches the dispatch producer from blocking push to bounded
+  // try_push with shed-on-timeout — a stalled shard must never wedge
+  // the poll loop that keeps the kernel ring drained.
+  cfg.engine.overload.enabled = overload_flag.value_or(!live_interface.empty());
+  if (!live_interface.empty()) cfg.engine.bounded_dispatch = true;
+  if (cfg.engine.fault_slow_shard != SIZE_MAX && cfg.engine.fault_slow_us == 0)
+    cfg.engine.fault_slow_us = 100;
 
   analysis::MonitorDaemon daemon(cfg);
   analysis::MonitorDaemon::install_signal_handlers(&daemon);
@@ -377,9 +492,11 @@ int run_daemon(int argc, char** argv) {
                  source.backend().data());
     rc = daemon.run(source);
     const auto stats = source.stats();
-    if (stats.kernel_drops > 0)
-      std::fprintf(stderr, "zpm-daemon: kernel dropped %llu packets\n",
-                   static_cast<unsigned long long>(stats.kernel_drops));
+    std::fprintf(stderr,
+                 "zpm-daemon: kernel capture: %llu packets seen, %llu "
+                 "dropped\n",
+                 static_cast<unsigned long long>(stats.kernel_packets),
+                 static_cast<unsigned long long>(stats.kernel_drops));
   }
   analysis::MonitorDaemon::install_signal_handlers(nullptr);
   return rc;

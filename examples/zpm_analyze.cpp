@@ -41,6 +41,18 @@
 //   --sketch-stats    print the sketch tier's report: absorbed
 //                     background volume, promotions / demotions /
 //                     evictions, and the top background heavy hitters
+//   --overload        run the batched file path under the overload
+//                     governor (src/overload). With no injection the
+//                     governor observes zero pressure, stays at L0, and
+//                     the report is byte-identical to an ungoverned run
+//                     (the enabled-under-zero-pressure identity check)
+//   --overload-inject <spec>
+//                     deterministic pressure schedule
+//                     "begin-end:pressure[,...]" over global packet
+//                     indices; replaces the real signals so identical
+//                     replays shed identically (implies --overload)
+//   --overload-window <pkts>
+//                     governor observation window (default 2048)
 //
 // Exit codes: 0 analyzed, 1 unreadable/empty/garbage input, 2 usage,
 // 3 strict-mode violation, 4 interrupted (SIGINT: ingestion stops at
@@ -52,6 +64,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,6 +73,7 @@
 #include "capture/batch_filter.h"
 #include "core/analyzer.h"
 #include "net/trace_source.h"
+#include "overload/overload.h"
 #include "pipeline/parallel_analyzer.h"
 #include "sim/corruptor.h"
 #include "sim/meeting.h"
@@ -236,6 +250,10 @@ void print_report(const AnalysisOutput& out) {
   auto health_gate = out.health;
   health_gate.frontend_rejected = 0;
   health_gate.sketch_evicted = 0;
+  health_gate.overload_shed_l1 = 0;
+  health_gate.overload_shed_l2 = 0;
+  health_gate.overload_shed_l3 = 0;
+  health_gate.overload_shed_l4 = 0;
   if (health_gate.all_clear()) {
     std::printf("all clear: every record was fully analyzed\n");
   } else {
@@ -278,7 +296,8 @@ int main(int argc, char** argv) {
                  "          [--csv <prefix>] [--p2p-timeout <s>] [--anon-key <hex>]\n"
                  "          [--strict] [--corrupt <seed>] [--no-frontend]\n"
                  "          [--frontend-stats] [--flow-memory-budget <bytes>]\n"
-                 "          [--no-sketch] [--sketch-stats]\n",
+                 "          [--no-sketch] [--sketch-stats] [--overload]\n"
+                 "          [--overload-inject <spec>] [--overload-window <n>]\n",
                  argv[0]);
     return 2;
   }
@@ -294,6 +313,9 @@ int main(int argc, char** argv) {
   std::size_t flow_memory_budget = std::size_t{1} << 20;
   bool sketch = true;
   bool sketch_stats = false;
+  bool overload_enabled = false;
+  std::string overload_inject;
+  std::uint64_t overload_window = 2048;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -327,10 +349,24 @@ int main(int argc, char** argv) {
       sketch = false;
     } else if (!std::strcmp(argv[i], "--sketch-stats")) {
       sketch_stats = true;
+    } else if (!std::strcmp(argv[i], "--overload")) {
+      overload_enabled = true;
+    } else if (!std::strcmp(argv[i], "--overload-inject") && i + 1 < argc) {
+      overload_inject = argv[++i];
+      overload_enabled = true;  // a schedule implies the governor
+    } else if (!std::strcmp(argv[i], "--overload-window") && i + 1 < argc) {
+      overload_window = std::strtoull(argv[++i], nullptr, 10);
+      if (overload_window == 0) overload_window = 2048;
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
     }
+  }
+  overload::PressureSchedule overload_schedule;
+  if (!overload_inject.empty() && !overload_schedule.parse(overload_inject)) {
+    std::fprintf(stderr, "--overload-inject wants "
+                 "\"begin-end:pressure[,...]\" over packet indices\n");
+    return 2;
   }
 
   core::AnalyzerConfig cfg;
@@ -377,6 +413,13 @@ int main(int argc, char** argv) {
   // Sketch-tier promotions in arrival order (--sketch-stats); side-band
   // context only, never folded into the standard report.
   std::vector<capture::BatchVerdicts::Promotion> promotions;
+  // Overload-governor state for the batched path (--overload): this CLI
+  // runs its own small governed loop (the daemon's lives inside
+  // analysis::EpochEngine); the shed tallies and peak level join the
+  // report after finish().
+  std::optional<overload::OverloadGovernor> governor;
+  overload::LoadShedder shedder;
+  int overload_max_level = 0;
   if (input == "--demo") {
     sim::MeetingConfig mc;
     mc.seed = 21;
@@ -442,27 +485,58 @@ int main(int argc, char** argv) {
       std::vector<net::RawPacketView> batch;
       batch.reserve(kBatch);
       capture::BatchVerdicts verdicts;
+      if (overload_enabled) governor.emplace(overload::GovernorConfig{});
+      std::vector<net::RawPacketView> shed_run;
+      capture::BatchVerdicts shed_verdicts;
+      std::uint64_t offered = 0;
+      std::uint64_t next_observe = overload_window;
       std::signal(SIGINT, on_interrupt);
       while (!g_interrupted && source->next_batch(batch, kBatch) > 0) {
         records += batch.size();
-        if (filter) {
+        const int level = governor ? governor->level() : 0;
+        if (level > 0) overload_max_level = std::max(overload_max_level, level);
+        if (level >= overload::kMaxLevel) {
+          // L4: whole-batch head-drop, fully accounted, nothing decoded.
+          shedder.apply(level, batch, nullptr, shed_run, shed_verdicts);
+        } else if (filter) {
           filter->classify(batch, verdicts);
           promotions.insert(promotions.end(), verdicts.promotions.begin(),
                             verdicts.promotions.end());
+          std::span<const net::RawPacketView> dispatch(batch);
+          const capture::BatchVerdicts* v = &verdicts;
+          if (level > 0 &&
+              shedder.apply(level, batch, &verdicts, shed_run, shed_verdicts)) {
+            dispatch = shed_run;
+            v = &shed_verdicts;
+          }
           if (parallel) {
-            parallel->offer_batch(batch, lifetime, verdicts);
+            parallel->offer_batch(dispatch, lifetime, *v);
           } else {
-            for (std::size_t i = 0; i < batch.size(); ++i) {
-              if (verdicts.verdicts[i] == capture::Verdict::Reject)
-                serial->account_frontend_rejected(batch[i]);
+            for (std::size_t i = 0; i < dispatch.size(); ++i) {
+              if (v->verdicts[i] == capture::Verdict::Reject)
+                serial->account_frontend_rejected(dispatch[i]);
               else
-                serial->offer(batch[i]);
+                serial->offer(dispatch[i]);
             }
           }
         } else if (parallel) {
           parallel->offer_batch(batch, lifetime);
         } else {
           for (const auto& view : batch) serial->offer(view);
+        }
+        if (governor) {
+          // Observe at window boundaries over the offered-packet index.
+          // A file replay has no ring/kernel signals; pressure is the
+          // injection schedule, or zero (governed-but-calm: L0 forever,
+          // byte-identical to an ungoverned run by construction).
+          offered += batch.size();
+          while (offered >= next_observe) {
+            governor->observe_pressure(
+                overload_schedule.empty()
+                    ? 0.0
+                    : overload_schedule.pressure_at(next_observe));
+            next_observe += overload_window;
+          }
         }
       }
       std::signal(SIGINT, SIG_DFL);
@@ -503,6 +577,27 @@ int main(int argc, char** argv) {
   // The sketch tier lives in the capture front end, not the analyzer;
   // its eviction churn joins the health report here.
   if (filter) out.health.sketch_evicted = filter->sketch_evicted();
+  // Same for the overload shedder: every shed packet is accounted by
+  // the level that shed it (the conservation check's right-hand side).
+  const auto& shed = shedder.stats();
+  out.health.overload_shed_l1 = shed.l1_packets;
+  out.health.overload_shed_l2 = shed.l2_packets;
+  out.health.overload_shed_l3 = shed.l3_packets;
+  out.health.overload_shed_l4 = shed.l4_packets;
+  if (overload_max_level >= 3)
+    std::printf("NOTE: report degraded — overload reached L%d "
+                "(media-flow sampling%s); metrics cover the sampled "
+                "subset\n",
+                overload_max_level,
+                overload_max_level >= 4 ? " + batch head-drop" : "");
+  if (overload_max_level > 0)
+    std::printf("overload: max level L%d, shed l1=%llu l2=%llu l3=%llu "
+                "l4=%llu\n\n",
+                overload_max_level,
+                static_cast<unsigned long long>(shed.l1_packets),
+                static_cast<unsigned long long>(shed.l2_packets),
+                static_cast<unsigned long long>(shed.l3_packets),
+                static_cast<unsigned long long>(shed.l4_packets));
 
   if (violation) {
     std::fprintf(stderr,

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Overload stress smoke: builds nothing itself — expects an existing
+# build directory (default ./build, override with $1) containing
+# examples/campus_monitor and bench/bench_overload.
+#
+# Drives the continuous-operation daemon well past its paced capacity:
+# a bursty campus trace (square-wave background, --burst) looped
+# endlessly, a deterministic pressure schedule that rides the ladder up
+# and back down twice, bounded dispatch with a deliberately slowed
+# shard, and a mid-run SIGHUP watermark retune. Asserts:
+#   * at least one overload escalation AND one recovery were logged,
+#   * the final conservation ledger balances: every offered packet is
+#     admitted or shed ("unaccounted=0 ... OK"),
+#   * the ladder reached at least L1 in an epoch record ("max level L"),
+#   * the SIGHUP retune was acknowledged,
+#   * zero dropped records outside the accounted overload sheds,
+#   * SIGTERM drains cleanly (exit 0, graceful-shutdown line),
+#   * peak RSS stays bounded (ZPM_STRESS_RSS_MAX_KB, default 3 GB —
+#     the looped replay source holds the ~1 GB trace in memory; the
+#     bound catches unbounded growth across loops/epochs, which would
+#     blow well past it),
+#   * bench_overload --check passes (calm byte-identity, forced-
+#     overload determinism, conservation) and leaves its
+#     BENCH_overload.json artifact in the CWD.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+: "${ZPM_STRESS_RSS_MAX_KB:=3000000}"
+
+MONITOR="$BUILD_DIR/examples/campus_monitor"
+BENCH="$BUILD_DIR/bench/bench_overload"
+for bin in "$MONITOR" "$BENCH"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built" >&2
+    exit 2
+  fi
+done
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "=== generating bursty stress trace ==="
+# 3 simulated minutes so the campus meeting arrivals ramp up (shorter
+# windows can carry zero Zoom media); 150 meetings/peak-hour puts real
+# media flows under the ladder, and the --burst overlay square-waves
+# the background between 20k and 2k pps.
+"$MONITOR" --make-trace "$WORK/stress.pcap" \
+  --minutes 3 --meetings 150 --background 0.05 --seed 7 \
+  --burst 2 --burst-flows 20000
+
+mkdir -p "$WORK/reports"
+cat > "$WORK/daemon.conf" <<'EOF'
+# applied on SIGHUP: a live watermark retune mid-overload
+overload_high_watermark = 0.80
+overload_low_watermark = 0.30
+EOF
+
+# Two saturated index ranges with calm gaps: the ladder must escalate,
+# recover fully, and do it again — every decision a pure function of
+# the packet sequence.
+INJECT="100000-400000:1.0,700000-1000000:1.0"
+
+echo "=== starting daemon (paced overload replay) ==="
+"$MONITOR" --daemon --replay "$WORK/stress.pcap" --loops 0 \
+  --pace-pps 60000 --epoch-packets 150000 --threads 2 \
+  --overload --overload-inject "$INJECT" \
+  --bounded-push --slow-shard 0 --slow-us 200 \
+  --snapshot "$WORK/snapshot.bin" --report-dir "$WORK/reports" \
+  --config "$WORK/daemon.conf" --watchdog-seconds 5 \
+  2> "$WORK/daemon.log" &
+PID=$!
+
+sleep 10
+echo "--- SIGHUP (watermark retune) ---"
+kill -HUP "$PID"
+sleep 14
+
+RSS_KB=$(awk '/^VmHWM:/ {print $2}' "/proc/$PID/status" 2>/dev/null || echo 0)
+
+echo "--- SIGTERM (graceful drain) ---"
+kill -TERM "$PID"
+EXIT=0
+wait "$PID" || EXIT=$?
+echo "=== daemon log ==="
+cat "$WORK/daemon.log"
+
+fail() { echo "STRESS FAIL: $1" >&2; exit 1; }
+
+[[ "$EXIT" -eq 0 ]] || fail "daemon exited $EXIT, expected 0"
+
+ESCALATIONS=$(grep -c "overload escalation" "$WORK/daemon.log" || true)
+RECOVERIES=$(grep -c "overload recovery" "$WORK/daemon.log" || true)
+[[ "$ESCALATIONS" -ge 1 ]] || fail "no overload escalation logged"
+[[ "$RECOVERIES" -ge 1 ]] || fail "no overload recovery logged"
+
+grep -q "epoch .* overload: max level L" "$WORK/daemon.log" \
+  || fail "no epoch record carried an overload level"
+grep -qE "conservation: offered=[0-9]+ admitted=[0-9]+ shed=[0-9]+ .*unaccounted=0 OK" \
+  "$WORK/daemon.log" || fail "conservation ledger did not balance"
+grep -q "config reloaded from" "$WORK/daemon.log" \
+  || fail "SIGHUP retune not acknowledged"
+grep -q "health: 0 dropped records (all clear)" "$WORK/daemon.log" \
+  || fail "unexpected health drops (outside accounted sheds)"
+grep -q "graceful shutdown" "$WORK/daemon.log" \
+  || fail "no graceful-shutdown line"
+
+[[ "$RSS_KB" -gt 0 ]] || fail "could not read daemon VmHWM"
+[[ "$RSS_KB" -le "$ZPM_STRESS_RSS_MAX_KB" ]] \
+  || fail "peak RSS ${RSS_KB} kB exceeds bound ${ZPM_STRESS_RSS_MAX_KB} kB"
+
+echo "=== bench_overload --check ==="
+"$BENCH" --check BENCH_overload.json
+
+echo "STRESS OK: $ESCALATIONS escalations, $RECOVERIES recoveries," \
+  "peak RSS ${RSS_KB} kB, ledger balanced, clean drain"

@@ -109,6 +109,9 @@ void MonitorDaemon::restore() {
 bool MonitorDaemon::on_epoch(const EpochReport& report) {
   cumulative_.cumulative_counters.merge(report.counters);
   cumulative_.cumulative_health.merge(report.health);
+  stats_.offered_packets += report.packets;
+  stats_.admitted_packets += report.counters.total_packets;
+  stats_.shed_packets += report.health.overload_shed_total();
   cumulative_.next_epoch_seq = report.seq + 1;
   // Resume position: the packet right after the completed epoch. The
   // in-progress epoch's packets are deliberately not covered — they are
@@ -153,7 +156,7 @@ bool MonitorDaemon::on_epoch(const EpochReport& report) {
                    error.c_str());
     }
   }
-  if (config_.verbose)
+  if (config_.verbose) {
     std::fprintf(stderr,
                  "zpm-daemon: epoch %llu rotated: %llu packets, %llu zoom, "
                  "%llu streams, %llu meetings, %llu flows retired\n",
@@ -163,6 +166,17 @@ bool MonitorDaemon::on_epoch(const EpochReport& report) {
                  static_cast<unsigned long long>(report.stream_count),
                  static_cast<unsigned long long>(report.meeting_count),
                  static_cast<unsigned long long>(report.zoom_flow_count));
+    if (report.max_overload_level > 0)
+      std::fprintf(stderr,
+                   "zpm-daemon: epoch %llu overload: max level L%u, shed "
+                   "l1=%llu l2=%llu l3=%llu l4=%llu\n",
+                   static_cast<unsigned long long>(report.seq),
+                   report.max_overload_level,
+                   static_cast<unsigned long long>(report.health.overload_shed_l1),
+                   static_cast<unsigned long long>(report.health.overload_shed_l2),
+                   static_cast<unsigned long long>(report.health.overload_shed_l3),
+                   static_cast<unsigned long long>(report.health.overload_shed_l4));
+  }
   return ok;
 }
 
@@ -183,7 +197,9 @@ void MonitorDaemon::reload_config_file() {
   core::AnalyzerConfig analyzer = engine_->config().analyzer;
   bool frontend = engine_->config().frontend;
   std::size_t budget = engine_->config().flow_memory_budget;
+  overload::GovernorConfig governor = engine_->config().overload.governor;
   bool staged_change = false;
+  bool governor_change = false;
   std::string line;
   while (std::getline(in, line)) {
     const std::string stripped = trim(line);
@@ -207,6 +223,23 @@ void MonitorDaemon::reload_config_file() {
     } else if (key == "flow_memory_budget") {
       budget = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
       staged_change = true;
+    } else if (key == "overload_high_watermark") {
+      governor.high_watermark = std::atof(value.c_str());
+      governor_change = true;
+    } else if (key == "overload_low_watermark") {
+      governor.low_watermark = std::atof(value.c_str());
+      governor_change = true;
+    } else if (key == "overload_alpha") {
+      governor.alpha = std::atof(value.c_str());
+      governor_change = true;
+    } else if (key == "overload_escalate_after") {
+      governor.escalate_after =
+          static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+      governor_change = true;
+    } else if (key == "overload_recover_after") {
+      governor.recover_after =
+          static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+      governor_change = true;
     } else if (config_.verbose) {
       std::fprintf(stderr, "zpm-daemon: config: unknown key '%s' ignored\n",
                    key.c_str());
@@ -214,8 +247,10 @@ void MonitorDaemon::reload_config_file() {
   }
   // Epoch limits act on the in-progress window immediately; engine
   // changes are staged to the next rotation so live flow state is
-  // never dropped mid-window.
+  // never dropped mid-window. Governor thresholds retune live too —
+  // overload response must not wait for a rotation.
   engine_->set_limits(limits);
+  if (governor_change) engine_->set_overload_thresholds(governor);
   if (staged_change) engine_->stage_config(analyzer, frontend, budget);
   if (config_.verbose)
     std::fprintf(stderr,
@@ -227,6 +262,10 @@ void MonitorDaemon::reload_config_file() {
 
 void MonitorDaemon::final_flush() {
   if (auto report = engine_->flush()) on_epoch(*report);
+  const overload::GovernorStats gov = engine_->governor_stats();
+  stats_.overload_escalations = gov.escalations;
+  stats_.overload_recoveries = gov.recoveries;
+  stats_.overload_max_level = gov.max_level;
   const std::uint64_t dropped = cumulative_.cumulative_health.dropped_records();
   if (config_.verbose) {
     std::fprintf(stderr,
@@ -239,6 +278,43 @@ void MonitorDaemon::final_flush() {
     std::fprintf(stderr, "zpm-daemon: health: %llu dropped records%s\n",
                  static_cast<unsigned long long>(dropped),
                  dropped == 0 ? " (all clear)" : "");
+    if (config_.engine.overload.enabled) {
+      // Conservation over this run's completed epochs: every offered
+      // packet is either admitted (analyzer totals) or shed by a ladder
+      // level; kernel drops happen upstream of `offered` and are
+      // reported alongside. `unaccounted=0` is the invariant the stress
+      // smoke asserts.
+      const std::uint64_t accounted =
+          stats_.admitted_packets + stats_.shed_packets;
+      const std::uint64_t unaccounted =
+          stats_.offered_packets >= accounted
+              ? stats_.offered_packets - accounted
+              : accounted - stats_.offered_packets;
+      std::fprintf(
+          stderr,
+          "zpm-daemon: overload: max level L%d, %llu escalations, %llu "
+          "recoveries\n",
+          gov.max_level, static_cast<unsigned long long>(gov.escalations),
+          static_cast<unsigned long long>(gov.recoveries));
+      std::fprintf(
+          stderr,
+          "zpm-daemon: conservation: offered=%llu admitted=%llu shed=%llu "
+          "kernel_drops=%llu unaccounted=%llu %s\n",
+          static_cast<unsigned long long>(stats_.offered_packets),
+          static_cast<unsigned long long>(stats_.admitted_packets),
+          static_cast<unsigned long long>(stats_.shed_packets),
+          static_cast<unsigned long long>(stats_.kernel_drops),
+          static_cast<unsigned long long>(unaccounted),
+          unaccounted == 0 ? "OK" : "VIOLATION");
+    }
+    if (cumulative_.cumulative_health.kernel_packets > 0 ||
+        cumulative_.cumulative_health.kernel_drops > 0)
+      std::fprintf(
+          stderr, "zpm-daemon: kernel: %llu packets seen, %llu drops\n",
+          static_cast<unsigned long long>(
+              cumulative_.cumulative_health.kernel_packets),
+          static_cast<unsigned long long>(
+              cumulative_.cumulative_health.kernel_drops));
   }
 }
 
@@ -261,6 +337,8 @@ int MonitorDaemon::run(net::BatchSource& source) {
   std::int64_t last_data_us = steady_us();
   util::Duration backoff = config_.backoff_initial;
   std::int64_t next_reopen_us = 0;
+  net::KernelCaptureStats kernel_base;  // last absolute reading
+  int last_overload_level = engine_->overload_level();
 
   for (;;) {
     if (shutdown_.load(std::memory_order_relaxed)) {
@@ -270,7 +348,29 @@ int MonitorDaemon::run(net::BatchSource& source) {
     if (reload_.exchange(false, std::memory_order_relaxed))
       reload_config_file();
 
-    switch (source.poll_batch(batch, config_.max_batch)) {
+    const net::SourceStatus status = source.poll_batch(batch, config_.max_batch);
+
+    // Kernel capture gauges: the source reports absolute counters; keep
+    // them as this-run deltas so reopen() resetting the kernel ring (the
+    // counters shrink) re-bases instead of corrupting the gauges. Drop
+    // deltas feed the governor as a pinned-pressure signal.
+    const net::KernelCaptureStats kernel_now = source.kernel_stats();
+    if (kernel_now.kernel_packets < kernel_base.kernel_packets ||
+        kernel_now.kernel_drops < kernel_base.kernel_drops) {
+      kernel_base = kernel_now;  // ring reset after reopen
+    } else {
+      const std::uint64_t dp = kernel_now.kernel_packets - kernel_base.kernel_packets;
+      const std::uint64_t dd = kernel_now.kernel_drops - kernel_base.kernel_drops;
+      kernel_base = kernel_now;
+      if (dp > 0) cumulative_.cumulative_health.kernel_packets += dp;
+      if (dd > 0) {
+        cumulative_.cumulative_health.kernel_drops += dd;
+        stats_.kernel_drops += dd;
+        engine_->note_kernel_drops(dd);
+      }
+    }
+
+    switch (status) {
       case net::SourceStatus::Batch: {
         last_data_us = steady_us();
         backoff = config_.backoff_initial;
@@ -278,6 +378,15 @@ int MonitorDaemon::run(net::BatchSource& source) {
         stats_.packets_processed += batch.size();
         completed.clear();
         engine_->offer(batch, lifetime, completed);
+        const int level = engine_->overload_level();
+        if (level != last_overload_level) {
+          if (config_.verbose)
+            std::fprintf(stderr,
+                         "zpm-daemon: overload %s L%d -> L%d (pressure %.2f)\n",
+                         level > last_overload_level ? "escalation" : "recovery",
+                         last_overload_level, level, engine_->overload_pressure());
+          last_overload_level = level;
+        }
         for (const auto& report : completed) on_epoch(report);
         if (config_.halt_after_epochs > 0 && !completed.empty() &&
             stats_.epochs_rotated >= config_.halt_after_epochs) {

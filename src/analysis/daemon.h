@@ -84,6 +84,18 @@ struct DaemonStats {
   std::uint64_t config_reloads = 0;
   std::uint64_t snapshots_written = 0;
   std::uint64_t epoch_files_written = 0;
+  // Overload governor (zeros when the governor is disabled).
+  std::uint64_t overload_escalations = 0;
+  std::uint64_t overload_recoveries = 0;
+  int overload_max_level = 0;
+  /// Kernel ring drops observed this run (live sources).
+  std::uint64_t kernel_drops = 0;
+  // This-run conservation ledger over completed epochs: offered ==
+  // admitted + shed must hold exactly (kernel drops happen upstream of
+  // `offered`). final_flush() prints the check.
+  std::uint64_t offered_packets = 0;
+  std::uint64_t admitted_packets = 0;
+  std::uint64_t shed_packets = 0;
 };
 
 /// See file comment.

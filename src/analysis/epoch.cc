@@ -1,5 +1,7 @@
 #include "analysis/epoch.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace zpm::analysis {
@@ -60,8 +62,14 @@ void encode_health(const core::AnalyzerHealth& h, util::ByteWriter& w) {
   w.u64be(h.quarantined_packets);
   w.u64be(h.epoch_evicted_flows);
   w.u64be(h.epoch_evicted_meetings);
+  w.u64be(h.overload_shed_l1);
+  w.u64be(h.overload_shed_l2);
+  w.u64be(h.overload_shed_l3);
+  w.u64be(h.overload_shed_l4);
   w.u64be(h.ring_wait_spins);
   w.u64be(h.source_stalls);
+  w.u64be(h.kernel_packets);
+  w.u64be(h.kernel_drops);
 }
 
 bool decode_health(util::ByteReader& r, core::AnalyzerHealth& h) {
@@ -85,8 +93,14 @@ bool decode_health(util::ByteReader& r, core::AnalyzerHealth& h) {
   h.quarantined_packets = r.u64be();
   h.epoch_evicted_flows = r.u64be();
   h.epoch_evicted_meetings = r.u64be();
+  h.overload_shed_l1 = r.u64be();
+  h.overload_shed_l2 = r.u64be();
+  h.overload_shed_l3 = r.u64be();
+  h.overload_shed_l4 = r.u64be();
   h.ring_wait_spins = r.u64be();
   h.source_stalls = r.u64be();
+  h.kernel_packets = r.u64be();
+  h.kernel_drops = r.u64be();
   return r.ok();
 }
 
@@ -154,6 +168,7 @@ void encode_epoch_report(const EpochReport& report, util::ByteWriter& w) {
     w.u64be(h.packets);
     w.u64be(h.error_bytes);
   }
+  w.u32be(report.max_overload_level);
 }
 
 bool decode_epoch_report(util::ByteReader& r, EpochReport& report) {
@@ -190,6 +205,7 @@ bool decode_epoch_report(util::ByteReader& r, EpochReport& report) {
     h.error_bytes = r.u64be();
     report.heavy_hitters.push_back(h);
   }
+  report.max_overload_level = r.u32be();
   return r.ok();
 }
 
@@ -198,6 +214,15 @@ bool decode_epoch_report(util::ByteReader& r, EpochReport& report) {
 
 EpochEngine::EpochEngine(EpochEngineConfig config)
     : config_(std::move(config)) {
+  if (config_.overload.enabled) {
+    if (config_.overload.window_packets == 0)
+      config_.overload.window_packets = 2048;
+    governor_.emplace(config_.overload.governor);
+    shedder_ = overload::LoadShedder(config_.overload.shed);
+    if (!config_.overload.inject.empty())
+      schedule_.parse(config_.overload.inject);
+    next_observe_ = config_.overload.window_packets;
+  }
   open_epoch();
 }
 
@@ -219,6 +244,9 @@ void EpochEngine::open_epoch() {
     pipeline::ParallelAnalyzerConfig pc;
     pc.analyzer = config_.analyzer;
     pc.shards = config_.shards;
+    pc.bounded_push = config_.bounded_dispatch;
+    pc.fault_slow_shard = config_.fault_slow_shard;
+    pc.fault_slow_us = config_.fault_slow_us;
     parallel_.emplace(std::move(pc));
   } else {
     serial_.emplace(config_.analyzer);
@@ -230,6 +258,15 @@ void EpochEngine::open_epoch() {
     fc.flow_memory_budget = config_.flow_memory_budget;
     filter_.emplace(std::move(fc));
   }
+  // Overload bookkeeping: the governor's level/EWMA carry across the
+  // rotation (sustained pressure is the whole point), but the per-flow
+  // sampling counters restart with the fresh front end's slot ids, the
+  // shed baseline re-anchors so each epoch records its own deltas, and
+  // the producer-spin baseline resets with the fresh pipeline.
+  shedder_.reset_flow_state();
+  shed_base_ = shedder_.stats();
+  spins_base_ = 0;
+  epoch_max_level_ = governor_ ? governor_->level() : 0;
   packets_ = 0;
   first_ts_ = util::Timestamp{};
   last_ts_ = util::Timestamp{};
@@ -247,22 +284,84 @@ bool EpochEngine::rotate_before(util::Timestamp ts) const {
 void EpochEngine::feed(std::span<const net::RawPacketView> run,
                        pipeline::BatchLifetime lifetime) {
   if (run.empty()) return;
-  if (filter_) {
+  const int level = governor_ ? governor_->level() : 0;
+  // Feed latency is a real pressure signal only when the governor runs
+  // on live signals; injected runs skip the clock so their decisions
+  // stay a pure function of the packet sequence.
+  const bool timed = governor_ && schedule_.empty();
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+
+  if (level >= overload::kMaxLevel) {
+    // L4: head-drop the whole run before any classification work.
+    shedder_.apply(level, run, nullptr, shed_run_, shed_verdicts_);
+  } else if (filter_) {
     filter_->classify(run, verdicts_);
+    std::span<const net::RawPacketView> dispatch = run;
+    const capture::BatchVerdicts* verdicts = &verdicts_;
+    if (level > 0 &&
+        shedder_.apply(level, run, &verdicts_, shed_run_, shed_verdicts_)) {
+      dispatch = shed_run_;
+      verdicts = &shed_verdicts_;
+    }
     if (parallel_) {
-      parallel_->offer_batch(run, lifetime, verdicts_);
+      parallel_->offer_batch(dispatch, lifetime, *verdicts);
     } else {
-      for (std::size_t i = 0; i < run.size(); ++i) {
-        if (verdicts_.verdicts[i] == capture::Verdict::Reject)
-          serial_->account_frontend_rejected(run[i]);
+      for (std::size_t i = 0; i < dispatch.size(); ++i) {
+        if (verdicts->verdicts[i] == capture::Verdict::Reject)
+          serial_->account_frontend_rejected(dispatch[i]);
         else
-          serial_->offer(run[i]);
+          serial_->offer(dispatch[i]);
       }
     }
   } else if (parallel_) {
     parallel_->offer_batch(run, lifetime);
   } else {
     for (const auto& view : run) serial_->offer(view);
+  }
+
+  if (timed) {
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count() /
+                      static_cast<double>(run.size());
+    feed_latency_ewma_us_ += 0.3 * (us - feed_latency_ewma_us_);
+  }
+}
+
+void EpochEngine::observe_window() {
+  if (!governor_) return;
+  int level;
+  if (!schedule_.empty()) {
+    level = governor_->observe_pressure(schedule_.pressure_at(global_packets_));
+  } else {
+    overload::PressureSignals signals;
+    if (parallel_) {
+      signals.ring_occupancy = parallel_->max_ring_occupancy();
+      const std::uint64_t spins = parallel_->producer_wait_spins();
+      signals.spins_delta = spins - spins_base_;
+      spins_base_ = spins;
+    }
+    signals.latency_us = feed_latency_ewma_us_;
+    signals.kernel_drops_delta = pending_kernel_drops_;
+    pending_kernel_drops_ = 0;
+    level = governor_->observe(signals);
+  }
+  epoch_max_level_ = std::max(epoch_max_level_, level);
+}
+
+void EpochEngine::set_overload_thresholds(
+    const overload::GovernorConfig& config) {
+  if (!governor_) return;
+  config_.overload.governor = config;
+  governor_->set_config(config);
+}
+
+void EpochEngine::set_global_packets(std::uint64_t n) {
+  global_packets_ = n;
+  if (governor_) {
+    const std::uint64_t w = config_.overload.window_packets;
+    next_observe_ = (n / w + 1) * w;
   }
 }
 
@@ -279,6 +378,16 @@ void EpochEngine::offer(std::span<const net::RawPacketView> batch,
       run_start = i;
       completed.push_back(close_epoch());
       open_epoch();
+    }
+    // Observation boundaries are absolute global-index multiples of the
+    // window, split packet-exactly like rotations — so governor
+    // decisions (and therefore shed decisions) are independent of how
+    // the source batched the stream.
+    if (governor_ && global_packets_ >= next_observe_) {
+      feed(batch.subspan(run_start, i - run_start), lifetime);
+      run_start = i;
+      observe_window();
+      next_observe_ += config_.overload.window_packets;
     }
     if (packets_ == 0) first_ts_ = batch[i].ts;
     last_ts_ = batch[i].ts;
@@ -322,9 +431,20 @@ EpochReport EpochEngine::close_epoch() {
   // memory bound, and it is accounted here so it is never silent.
   rep.health.epoch_evicted_flows = rep.zoom_flow_count;
   rep.health.epoch_evicted_meetings = rep.meeting_count;
+  // Ladder sheds: this epoch's deltas of the shedder's lifetime totals
+  // (+= — bounded-dispatch L4 ring sheds already live in the pipeline's
+  // health and must not be overwritten).
+  const overload::ShedStats& shed = shedder_.stats();
+  rep.health.overload_shed_l1 += shed.l1_packets - shed_base_.l1_packets;
+  rep.health.overload_shed_l2 += shed.l2_packets - shed_base_.l2_packets;
+  rep.health.overload_shed_l3 += shed.l3_packets - shed_base_.l3_packets;
+  rep.health.overload_shed_l4 += shed.l4_packets - shed_base_.l4_packets;
+  rep.max_overload_level = static_cast<std::uint32_t>(epoch_max_level_);
   // Durable records carry only sequence-deterministic values.
   rep.health.ring_wait_spins = 0;
   rep.health.source_stalls = 0;
+  rep.health.kernel_packets = 0;
+  rep.health.kernel_drops = 0;
   epoch_open_ = false;
   return rep;
 }

@@ -32,6 +32,7 @@
 
 #include "capture/batch_filter.h"
 #include "core/analyzer.h"
+#include "overload/overload.h"
 #include "pipeline/parallel_analyzer.h"
 #include "sketch/sketch.h"
 #include "util/bytes.h"
@@ -64,6 +65,18 @@ struct EpochEngineConfig {
   EpochLimits limits;
   /// Heavy hitters retained per epoch record.
   std::size_t heavy_hitter_limit = 16;
+  /// Overload governance (zpm::overload). Disabled by default; enabled
+  /// with an empty inject spec the governor reads real pipeline signals
+  /// (live mode), with a spec it is fully deterministic.
+  overload::OverloadOptions overload;
+  /// Live-mode bounded dispatch for the sharded pipeline: the producer
+  /// never blocks on a full shard ring; overflow is shed and accounted
+  /// (overload_shed_l4). Leave false for lossless replay/file analysis.
+  bool bounded_dispatch = false;
+  /// Fault injection passed through to the pipeline (overload tests):
+  /// shard `fault_slow_shard` sleeps `fault_slow_us` per drained batch.
+  std::size_t fault_slow_shard = SIZE_MAX;
+  std::uint32_t fault_slow_us = 0;
 };
 
 /// One completed epoch: the durable unit of the daemon. Everything in
@@ -83,6 +96,10 @@ struct EpochReport {
   std::uint64_t zoom_flow_count = 0;
   sketch::TierStats tier_stats;
   std::vector<sketch::HeavyHitter> heavy_hitters;
+  /// Highest overload level the governor reached during this epoch.
+  /// >= 3 means media-flow coverage was degraded (sampled); the shed
+  /// totals are in health.overload_shed_l1..l4.
+  std::uint32_t max_overload_level = 0;
 
   bool operator==(const EpochReport&) const = default;
 };
@@ -135,9 +152,41 @@ class EpochEngine {
   /// Global packet index of the next offered packet.
   [[nodiscard]] std::uint64_t global_packets() const { return global_packets_; }
   /// Restores the global packet position after a snapshot restore.
-  void set_global_packets(std::uint64_t n) { global_packets_ = n; }
+  /// Re-aligns the overload observation boundary: window boundaries are
+  /// absolute global-index multiples, so a restarted run observes at
+  /// the same points an uninterrupted one does.
+  void set_global_packets(std::uint64_t n);
 
   [[nodiscard]] const EpochEngineConfig& config() const { return config_; }
+
+  // --- Overload governance ---------------------------------------------
+
+  /// Current ladder level (0 when the governor is disabled).
+  [[nodiscard]] int overload_level() const {
+    return governor_ ? governor_->level() : 0;
+  }
+  /// Smoothed pressure after the last observation (0 when disabled).
+  [[nodiscard]] double overload_pressure() const {
+    return governor_ ? governor_->pressure() : 0.0;
+  }
+  /// Governor lifetime counters (all zero when disabled).
+  [[nodiscard]] overload::GovernorStats governor_stats() const {
+    return governor_ ? governor_->stats() : overload::GovernorStats{};
+  }
+  /// Shedder lifetime totals (ladder sheds only; bounded-dispatch ring
+  /// sheds are accounted in the epoch healths' overload_shed_l4).
+  [[nodiscard]] const overload::ShedStats& shed_stats() const {
+    return shedder_.stats();
+  }
+  /// Live retune of the governor thresholds (daemon SIGHUP). Applies
+  /// immediately; level, streaks and counters are preserved. No-op when
+  /// the governor is disabled.
+  void set_overload_thresholds(const overload::GovernorConfig& config);
+  /// Feeds kernel drop deltas from the live source into the next
+  /// pressure observation (daemon poll loop).
+  void note_kernel_drops(std::uint64_t delta) {
+    pending_kernel_drops_ += delta;
+  }
 
  private:
   void open_epoch();
@@ -146,6 +195,9 @@ class EpochEngine {
   [[nodiscard]] bool rotate_before(util::Timestamp ts) const;
   void feed(std::span<const net::RawPacketView> run,
             pipeline::BatchLifetime lifetime);
+  /// One governor observation at the current global-index window
+  /// boundary (injected pressure, or real signals).
+  void observe_window();
 
   EpochEngineConfig config_;
   std::optional<EpochEngineConfig> staged_;  // applies at next rotation
@@ -156,6 +208,22 @@ class EpochEngine {
   std::optional<pipeline::ParallelAnalyzer> parallel_;
   std::optional<capture::BatchFilter> filter_;
   capture::BatchVerdicts verdicts_;  // classify() scratch, reused
+
+  // Overload governance. The governor persists across rotations — the
+  // ladder tracks sustained pressure, not epoch boundaries — while the
+  // shedder's per-flow sampling counters reset with the front end's
+  // slot ids at every rotation.
+  std::optional<overload::OverloadGovernor> governor_;
+  overload::PressureSchedule schedule_;
+  overload::LoadShedder shedder_;
+  overload::ShedStats shed_base_;        // shedder totals at epoch open
+  std::uint64_t next_observe_ = 0;       // next observation boundary (global)
+  std::uint64_t spins_base_ = 0;         // producer wait spins at last observe
+  std::uint64_t pending_kernel_drops_ = 0;
+  double feed_latency_ewma_us_ = 0.0;    // smoothed per-packet feed latency
+  int epoch_max_level_ = 0;
+  std::vector<net::RawPacketView> shed_run_;  // shedder scratch, reused
+  capture::BatchVerdicts shed_verdicts_;
 
   std::uint64_t next_seq_ = 0;
   std::uint64_t global_packets_ = 0;  // next packet's global index

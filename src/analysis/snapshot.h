@@ -30,7 +30,11 @@
 
 namespace zpm::analysis {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// Version 2: AnalyzerHealth gained the overload-shed counters and the
+// kernel capture gauges, and EpochReport gained max_overload_level.
+// Version-1 files fail validation and trigger a logged fresh start
+// (the established exactly-or-fresh posture).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Everything a restarted daemon needs to continue. Bounded: the epoch
 /// list holds only the most recent records (kSnapshotRecentEpochs);

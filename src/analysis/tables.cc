@@ -126,10 +126,22 @@ std::vector<HealthRow> health_rows(const core::AnalyzerHealth& h) {
       h.epoch_evicted_flows, false);
   add("epoch-evicted-meetings", "meeting state retired at epoch rotation",
       h.epoch_evicted_meetings, false);
+  add("overload-shed-l1", "overload L1: front-end rejects dropped pre-dispatch",
+      h.overload_shed_l1, false);
+  add("overload-shed-l2", "overload L2: non-Zoom-candidate admission sampling",
+      h.overload_shed_l2, false);
+  add("overload-shed-l3", "overload L3: media-flow packet sampling (degraded)",
+      h.overload_shed_l3, false);
+  add("overload-shed-l4", "overload L4: whole-batch head-drop + ring sheds",
+      h.overload_shed_l4, false);
   add("ring-wait-spins", "producer spins on a full shard ring (timing-dependent)",
       h.ring_wait_spins, false);
   add("source-stalls", "watchdog-detected source stalls + reopens (timing-dependent)",
       h.source_stalls, false);
+  add("kernel-packets", "packets seen at the kernel capture point (live gauge)",
+      h.kernel_packets, false);
+  add("kernel-drops", "kernel ring drops before the daemon saw the packet",
+      h.kernel_drops, false);
   return rows;
 }
 

@@ -422,6 +422,7 @@ void BatchFilter::resolve(std::span<const net::RawPacketView> batch,
     out.flags[i] = 0;
     out.shard[i] = 0;
     out.slot[i] = 0;
+    out.flow_hash[i] = 0;
 
     // Arm first, then classify: the packet's own endpoints joining the
     // candidate set only ever promotes a would-be Reject to Admit
@@ -456,6 +457,7 @@ void BatchFilter::resolve(std::span<const net::RawPacketView> batch,
             .canonical();
     const net::PackedFlowKey key(canonical);
     const std::uint64_t hash = net::canonical_flow_hash(key);
+    out.flow_hash[i] = hash;
 
     if (!admit) {
       out.verdicts[i] = Verdict::Reject;

@@ -90,6 +90,11 @@ struct BatchVerdicts {
   std::vector<std::uint8_t> flags;
   std::vector<std::uint32_t> shard;  ///< owner shard; valid for Admit
   std::vector<std::uint32_t> slot;   ///< flow slot; valid for Admit
+  /// net::canonical_flow_hash of the packet's canonical 5-tuple; 0 for
+  /// packets that were never resolved (FullParse without a probe-clean
+  /// header). The overload shedder keys its deterministic admission
+  /// sampling off this, so replays shed identically.
+  std::vector<std::uint64_t> flow_hash;
   std::vector<Promotion> promotions;  ///< sketch-tier promotions, batch order
 
   void resize(std::size_t n) {
@@ -97,6 +102,7 @@ struct BatchVerdicts {
     flags.resize(n);
     shard.resize(n);
     slot.resize(n);
+    flow_hash.resize(n);
     promotions.clear();
   }
 

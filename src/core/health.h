@@ -5,13 +5,19 @@
 // capture gaps and port-squatting non-Zoom traffic; these counters make
 // that visible instead of silently skewing the metrics.
 //
-// Determinism contract: every counter except `ring_wait_spins` and
-// `source_stalls` is a pure function of the offered packet sequence, so
-// serial and sharded runs must produce bit-identical values (enforced
-// by tests/test_health.cc). `ring_wait_spins` measures backpressure of
-// the parallel pipeline's SPSC rings and `source_stalls` counts wall-
-// clock watchdog firings; both are inherently timing-dependent and are
-// zeroed in durable epoch records (src/analysis/epoch.cc).
+// Determinism contract: every counter except the gauges —
+// `ring_wait_spins`, `source_stalls`, `kernel_packets`, `kernel_drops`
+// — is a pure function of the offered packet sequence, so serial and
+// sharded runs must produce bit-identical values (enforced by
+// tests/test_health.cc). `ring_wait_spins` measures backpressure of
+// the parallel pipeline's SPSC rings, `source_stalls` counts wall-
+// clock watchdog firings, and the kernel counters mirror the live
+// capture backend's drop statistics; all are inherently timing-
+// dependent and are zeroed in durable epoch records
+// (src/analysis/epoch.cc). The `overload_shed_l*` counters sit on the
+// deterministic side *when pressure is injected* (overload::
+// PressureSchedule drives the governor from packet indices); under
+// real live-mode signals they are timing-dependent like any shed.
 #pragma once
 
 #include <cstdint>
@@ -64,10 +70,23 @@ struct AnalyzerHealth {
   std::uint64_t epoch_evicted_flows = 0;
   std::uint64_t epoch_evicted_meetings = 0;
 
+  // -- overload-governor sheds (zpm::overload ladder; every packet the
+  //    pipeline deliberately gave up, by the level that shed it — the
+  //    conservation invariant offered == admitted + shed + kernel_drops
+  //    is asserted over these) --
+  std::uint64_t overload_shed_l1 = 0;  // Reject verdicts dropped pre-dispatch
+  std::uint64_t overload_shed_l2 = 0;  // non-Zoom-candidate admission sampling
+  std::uint64_t overload_shed_l3 = 0;  // media-flow packet sampling (degraded)
+  std::uint64_t overload_shed_l4 = 0;  // whole-batch head-drop + ring sheds
+
   // -- parallel-pipeline backpressure (nondeterministic, see above) --
   std::uint64_t ring_wait_spins = 0;  // producer spins on a full shard ring
   // -- live-source watchdog (nondeterministic: wall-clock driven) --
   std::uint64_t source_stalls = 0;  // watchdog-detected quiet source + reopen
+  // -- kernel capture statistics (live sources only; gauges, zeroed in
+  //    durable records like ring_wait_spins / source_stalls) --
+  std::uint64_t kernel_packets = 0;  // seen at the kernel filter point
+  std::uint64_t kernel_drops = 0;    // dropped for lack of ring space
 
   bool operator==(const AnalyzerHealth&) const = default;
 
@@ -94,8 +113,22 @@ struct AnalyzerHealth {
     quarantined_packets += o.quarantined_packets;
     epoch_evicted_flows += o.epoch_evicted_flows;
     epoch_evicted_meetings += o.epoch_evicted_meetings;
+    overload_shed_l1 += o.overload_shed_l1;
+    overload_shed_l2 += o.overload_shed_l2;
+    overload_shed_l3 += o.overload_shed_l3;
+    overload_shed_l4 += o.overload_shed_l4;
     ring_wait_spins += o.ring_wait_spins;
     source_stalls += o.source_stalls;
+    kernel_packets += o.kernel_packets;
+    kernel_drops += o.kernel_drops;
+  }
+
+  /// Total packets deliberately shed by the overload ladder (all
+  /// levels). Accounted degradation, not loss: excluded from
+  /// dropped_records() for the same reason frontend_rejected is.
+  [[nodiscard]] std::uint64_t overload_shed_total() const {
+    return overload_shed_l1 + overload_shed_l2 + overload_shed_l3 +
+           overload_shed_l4;
   }
 
   /// Records that could not be (fully) analyzed: undecodable frames,

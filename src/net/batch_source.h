@@ -47,6 +47,18 @@ enum class SourceStatus : std::uint8_t {
   return "?";
 }
 
+/// Kernel-side capture statistics for sources backed by a real tap
+/// (AF_PACKET / pcap). Cumulative since open; zeros for sources without
+/// a kernel stage (traces, replays). `kernel_drops` is the input to the
+/// end-to-end conservation check: offered == admitted + shed +
+/// kernel_drops.
+struct KernelCaptureStats {
+  std::uint64_t kernel_packets = 0;  ///< seen at the kernel filter point
+  std::uint64_t kernel_drops = 0;    ///< dropped for lack of ring space
+
+  bool operator==(const KernelCaptureStats&) const = default;
+};
+
 /// Abstract batched packet source. One poll_batch() call appends up to
 /// `max` packets to `out` (cleared first) and reports the stream state;
 /// view lifetime follows pinned().
@@ -74,6 +86,10 @@ class BatchSource {
   /// Attempts to close and reopen the underlying stream after a stall
   /// or error (watchdog recovery). Default: not supported.
   virtual bool reopen() { return false; }
+
+  /// Kernel capture counters (see KernelCaptureStats). Default: no
+  /// kernel stage, all zeros.
+  [[nodiscard]] virtual KernelCaptureStats kernel_stats() const { return {}; }
 
   /// Fast-forwards so the next delivered packet is global packet number
   /// `target` (0-based count from the start of the stream) — the crash-

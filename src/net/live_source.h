@@ -88,6 +88,12 @@ class LiveSource : public BatchSource {
 
   /// Snapshot of the kernel drop counters.
   [[nodiscard]] LiveSourceStats stats() const;
+  /// BatchSource surface for the same counters (what the daemon's
+  /// health gauges and the overload governor consume).
+  [[nodiscard]] KernelCaptureStats kernel_stats() const override {
+    const LiveSourceStats s = stats();
+    return KernelCaptureStats{s.kernel_packets, s.kernel_drops};
+  }
 
  private:
   struct Impl;  // platform-specific state (fd, ring mapping, pcap handle)

@@ -1,0 +1,113 @@
+#include "overload/governor.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace zpm::overload {
+
+OverloadGovernor::OverloadGovernor(GovernorConfig config)
+    : config_(config) {}
+
+double OverloadGovernor::normalize(const PressureSignals& signals) const {
+  // Max, not sum: any one saturated resource is enough to warrant
+  // shedding, and max keeps the scalar interpretable (1.0 == "some
+  // resource is at its configured ceiling").
+  double p = 0.0;
+  if (config_.ring_occupancy_hi > 0.0) {
+    p = std::max(p, signals.ring_occupancy / config_.ring_occupancy_hi);
+  }
+  if (config_.spins_hi > 0.0) {
+    p = std::max(p, static_cast<double>(signals.spins_delta) / config_.spins_hi);
+  }
+  if (config_.latency_hi_us > 0.0) {
+    p = std::max(p, signals.latency_us / config_.latency_hi_us);
+  }
+  if (signals.kernel_drops_delta > 0) {
+    // The kernel is already losing packets: past saturation by
+    // definition, whatever the local signals say.
+    p = std::max(p, 1.0);
+  }
+  return p;
+}
+
+int OverloadGovernor::observe(const PressureSignals& signals) {
+  return observe_pressure(normalize(signals));
+}
+
+int OverloadGovernor::observe_pressure(double pressure) {
+  if (pressure < 0.0) pressure = 0.0;
+  ++stats_.observations;
+  if (!seeded_) {
+    ewma_ = pressure;
+    seeded_ = true;
+  } else {
+    ewma_ += config_.alpha * (pressure - ewma_);
+  }
+
+  if (ewma_ >= config_.high_watermark) {
+    calm_streak_ = 0;
+    if (++over_streak_ >= config_.escalate_after && level_ < kMaxLevel) {
+      ++level_;
+      ++stats_.escalations;
+      stats_.max_level = std::max(stats_.max_level, level_);
+      over_streak_ = 0;  // each further step needs a fresh streak
+    }
+  } else if (ewma_ <= config_.low_watermark) {
+    over_streak_ = 0;
+    if (++calm_streak_ >= config_.recover_after && level_ > 0) {
+      --level_;
+      ++stats_.recoveries;
+      calm_streak_ = 0;
+    }
+  } else {
+    // Dead band: hold the level, reset both streaks so a boundary
+    // flapper cannot accumulate progress in either direction.
+    over_streak_ = 0;
+    calm_streak_ = 0;
+  }
+  return level_;
+}
+
+bool PressureSchedule::parse(const std::string& spec) {
+  ranges_.clear();
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (part.empty()) continue;
+
+    const std::size_t dash = part.find('-');
+    const std::size_t colon = part.find(':', dash == std::string::npos ? 0 : dash);
+    if (dash == std::string::npos || colon == std::string::npos ||
+        dash == 0 || colon <= dash + 1 || colon + 1 >= part.size()) {
+      ranges_.clear();
+      return false;
+    }
+    char* end = nullptr;
+    Range r;
+    r.begin = std::strtoull(part.c_str(), &end, 10);
+    if (end != part.c_str() + dash) { ranges_.clear(); return false; }
+    r.end = std::strtoull(part.c_str() + dash + 1, &end, 10);
+    if (end != part.c_str() + colon) { ranges_.clear(); return false; }
+    r.pressure = std::strtod(part.c_str() + colon + 1, &end);
+    if (end != part.c_str() + part.size() || r.end <= r.begin ||
+        r.pressure < 0.0) {
+      ranges_.clear();
+      return false;
+    }
+    ranges_.push_back(r);
+  }
+  return !ranges_.empty();
+}
+
+double PressureSchedule::pressure_at(std::uint64_t index) const {
+  double p = 0.0;
+  for (const Range& r : ranges_) {
+    if (index >= r.begin && index < r.end) p = std::max(p, r.pressure);
+  }
+  return p;
+}
+
+}  // namespace zpm::overload

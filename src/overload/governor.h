@@ -1,0 +1,166 @@
+// Overload governor: the decision core of graceful degradation.
+//
+// A production tap does not get to choose its offered load. When
+// analysis capacity is exceeded the pipeline must degrade *predictably*
+// — shedding the least valuable work first and accounting for every
+// packet it gives up — instead of blocking the poll loop and letting
+// the kernel drop packets silently and arbitrarily. This module is the
+// pure decision logic of that plan:
+//
+//   * OverloadGovernor derives a pressure level L0..L4 from EWMA-
+//     smoothed signals (shard ring occupancy, producer push-wait spin
+//     deltas, batch-processing latency, kernel drop deltas) with
+//     hysteresis on both escalation and recovery: the level moves at
+//     most one step per observation, and only after `escalate_after`
+//     consecutive over-threshold (resp. `recover_after` consecutive
+//     calm) observations. In the dead band between the watermarks the
+//     level holds. Fuzzed invariants (tests/fuzz/fuzz_overload.cc):
+//     |Δlevel| <= 1 per observe, level in [0,4], counters monotone.
+//
+//   * PressureSchedule is the deterministic overload injector: a spec
+//     like "5000-20000:0.95,30000-40000:1.2" maps *global packet index*
+//     ranges to raw pressure values, making every governor decision —
+//     and therefore every shed decision — a pure function of the packet
+//     sequence. Identical replays produce identical reports and
+//     identical shed accounting, which is what makes the ladder
+//     testable end to end.
+//
+// What each level sheds (overload::LoadShedder applies it; see
+// docs/ROBUSTNESS.md §5 for the full table):
+//   L0  nothing — normal operation.
+//   L1  front-end Reject verdicts: dropped at the admission boundary
+//       without the totals/stream-order replay (the sketch tier already
+//       summarized them during classification).
+//   L2  hash-based admission sampling of non-Zoom-candidate admits,
+//       seeded from the canonical flow hash (replay-deterministic).
+//   L3  per-flow packet sampling on Zoom media flows — the *last*
+//       thing degraded before whole-batch drops; reports are flagged.
+//   L4  whole-batch head-drop (and, in live mode, bounded-dispatch
+//       ring sheds), with full per-packet accounting.
+//
+// Conservation invariant, asserted end to end by tests:
+//   offered == admitted + shed(L1..L4) + kernel_drops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zpm::overload {
+
+/// Number of ladder levels (L0..L4).
+inline constexpr int kMaxLevel = 4;
+
+/// Governor tuning. All thresholds are live-retunable (daemon SIGHUP).
+struct GovernorConfig {
+  /// EWMA smoothing factor for the pressure scalar (0 < alpha <= 1;
+  /// higher reacts faster).
+  double alpha = 0.4;
+  /// Escalate when the smoothed pressure sits at or above this for
+  /// `escalate_after` consecutive observations.
+  double high_watermark = 0.85;
+  /// Recover when it sits at or below this for `recover_after`
+  /// consecutive observations. Must be < high_watermark; the gap is
+  /// the hysteresis dead band where the level holds.
+  double low_watermark = 0.35;
+  std::uint32_t escalate_after = 2;
+  std::uint32_t recover_after = 4;
+
+  // -- raw-signal normalization (observe(PressureSignals)) --
+  /// Ring occupancy fraction (0..1) that maps to pressure 1.0.
+  double ring_occupancy_hi = 0.5;
+  /// Producer push-wait spins per observation window mapping to 1.0.
+  double spins_hi = 512.0;
+  /// Mean batch-processing latency (µs per packet) mapping to 1.0.
+  double latency_hi_us = 25.0;
+
+  bool operator==(const GovernorConfig&) const = default;
+};
+
+/// One observation window's raw signals. Every field is optional in
+/// spirit: a zero contributes no pressure.
+struct PressureSignals {
+  /// Max over shards of ring occupancy (0..1) at the window boundary.
+  double ring_occupancy = 0.0;
+  /// Producer push-wait spins accumulated during the window.
+  std::uint64_t spins_delta = 0;
+  /// Mean processing latency over the window, µs per packet.
+  double latency_us = 0.0;
+  /// Kernel drops reported by the live source during the window. Any
+  /// nonzero value means the kernel is already losing packets — it
+  /// pins the pressure at saturation regardless of the other signals.
+  std::uint64_t kernel_drops_delta = 0;
+};
+
+/// Monotone counters over a governor's lifetime (all strictly
+/// non-decreasing; fuzzed).
+struct GovernorStats {
+  std::uint64_t observations = 0;
+  std::uint64_t escalations = 0;  ///< level went up by one
+  std::uint64_t recoveries = 0;   ///< level came down by one
+  int max_level = 0;              ///< highest level ever reached
+};
+
+/// See file comment. Single-threaded; one observation per window.
+class OverloadGovernor {
+ public:
+  explicit OverloadGovernor(GovernorConfig config = {});
+
+  /// Normalizes raw signals to a pressure scalar and feeds the ladder.
+  /// Returns the (possibly changed) level.
+  int observe(const PressureSignals& signals);
+  /// Feeds a raw pressure value directly (the injection path).
+  int observe_pressure(double pressure);
+
+  [[nodiscard]] int level() const { return level_; }
+  /// Smoothed pressure after the last observation.
+  [[nodiscard]] double pressure() const { return ewma_; }
+  [[nodiscard]] const GovernorStats& stats() const { return stats_; }
+  [[nodiscard]] const GovernorConfig& config() const { return config_; }
+
+  /// Live threshold retune (SIGHUP): level, streaks and counters are
+  /// preserved — only the decision thresholds change.
+  void set_config(const GovernorConfig& config) { config_ = config; }
+
+  /// Maps raw signals to the pressure scalar (max over the normalized
+  /// signals; kernel drops pin it at saturation). Pure; exposed for
+  /// tests.
+  [[nodiscard]] double normalize(const PressureSignals& signals) const;
+
+ private:
+  GovernorConfig config_;
+  int level_ = 0;
+  double ewma_ = 0.0;
+  bool seeded_ = false;           ///< first sample primes the EWMA
+  std::uint32_t over_streak_ = 0;
+  std::uint32_t calm_streak_ = 0;
+  GovernorStats stats_;
+};
+
+/// Deterministic overload injection: half-open global-packet-index
+/// ranges mapped to raw pressure values (see file comment). Outside
+/// every range the injected pressure is 0.
+class PressureSchedule {
+ public:
+  struct Range {
+    std::uint64_t begin = 0;  ///< first packet index covered
+    std::uint64_t end = 0;    ///< one past the last index covered
+    double pressure = 0.0;
+  };
+
+  PressureSchedule() = default;
+
+  /// Parses "begin-end:pressure[,begin-end:pressure...]". Returns false
+  /// (schedule left empty) on a malformed spec.
+  bool parse(const std::string& spec);
+
+  [[nodiscard]] bool empty() const { return ranges_.empty(); }
+  /// Injected pressure for the observation at global packet `index`.
+  [[nodiscard]] double pressure_at(std::uint64_t index) const;
+  [[nodiscard]] const std::vector<Range>& ranges() const { return ranges_; }
+
+ private:
+  std::vector<Range> ranges_;
+};
+
+}  // namespace zpm::overload

@@ -1,0 +1,31 @@
+// Umbrella header + pipeline-facing configuration for zpm::overload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "overload/governor.h"
+#include "overload/shedder.h"
+
+namespace zpm::overload {
+
+/// Everything a pipeline needs to run governed. Default-constructed ==
+/// governor off == byte-identical to the ungoverned pipeline.
+struct OverloadOptions {
+  bool enabled = false;
+  GovernorConfig governor;
+  ShedConfig shed;
+  /// Observation-window size in packets: the governor observes once
+  /// every `window_packets` offered packets, at absolute global-index
+  /// boundaries (so the decision points are batch-alignment- and
+  /// restart-independent).
+  std::uint64_t window_packets = 2048;
+  /// Deterministic pressure injection spec (PressureSchedule::parse
+  /// format). Non-empty replaces the real signals entirely: every
+  /// observation reads the schedule at the current global packet index.
+  std::string inject;
+
+  bool operator==(const OverloadOptions&) const = default;
+};
+
+}  // namespace zpm::overload

@@ -54,6 +54,12 @@ struct ParallelAnalyzer::Shard {
     std::vector<Item> batch;
     batch.reserve(kConsumeBatch);
     while (ring.pop_batch(batch, kConsumeBatch) > 0) {
+      if (slow_us > 0) {
+        // Fault injection (config.fault_slow_shard): a deterministic
+        // stand-in for a wedged consumer, used by the overload tests to
+        // manufacture ring backpressure on demand.
+        std::this_thread::sleep_for(std::chrono::microseconds(slow_us));
+      }
       for (Item& item : batch) {
         journal.seq = item.seq;
         if (item.kind == Item::Kind::Full) {
@@ -72,15 +78,18 @@ struct ParallelAnalyzer::Shard {
   core::ShardJournal journal;
   util::SpscRing<Item> ring;
   std::thread thread;
+  std::uint32_t slow_us = 0;  // fault injection, see run()
 };
 
 ParallelAnalyzer::ParallelAnalyzer(ParallelAnalyzerConfig config)
     : config_(std::move(config)) {
   std::size_t n = config_.shards > 0 ? config_.shards : 1;
   shards_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
+  for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(
         std::make_unique<Shard>(config_.analyzer, config_.ring_capacity));
+    if (i == config_.fault_slow_shard) shards_[i]->slow_us = config_.fault_slow_us;
+  }
   for (auto& shard : shards_)
     shard->thread = std::thread([s = shard.get()] { s->run(); });
 }
@@ -286,9 +295,49 @@ void ParallelAnalyzer::offer_batch_impl(std::span<const net::RawPacketView> batc
   // One publish per shard per batch: a single release-store amortised
   // over every item staged for that shard.
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    if (!staging_[i].empty())
+    if (staging_[i].empty()) continue;
+    if (!config_.bounded_push) {
       shards_[i]->ring.push_batch(std::span<Item>(staging_[i]));
+      continue;
+    }
+    // Bounded dispatch (live mode): never block the poll loop on a full
+    // ring. Retry with yields for a bounded number of rounds, then shed
+    // the remainder — every shed Full item is accounted (a StunCandidate
+    // is a broadcast duplicate, not a packet, so it is not counted; the
+    // owner shard's Full item carries the packet).
+    std::span<Item> items(staging_[i]);
+    std::uint32_t rounds = 0;
+    while (!items.empty()) {
+      const std::size_t n = shards_[i]->ring.try_push_batch(items);
+      items = items.subspan(n);
+      if (items.empty()) break;
+      ++health_.ring_wait_spins;
+      if (++rounds > config_.push_retry_rounds) {
+        std::uint64_t shed = 0;
+        for (const Item& item : items)
+          if (item.kind == Item::Kind::Full) ++shed;
+        ring_shed_packets_ += shed;
+        health_.overload_shed_l4 += shed;
+        break;
+      }
+      std::this_thread::yield();
+    }
   }
+}
+
+double ParallelAnalyzer::max_ring_occupancy() const {
+  double occ = 0.0;
+  for (const auto& shard : shards_) {
+    const double cap = static_cast<double>(shard->ring.capacity());
+    occ = std::max(occ, static_cast<double>(shard->ring.size()) / cap);
+  }
+  return occ;
+}
+
+std::uint64_t ParallelAnalyzer::producer_wait_spins() const {
+  std::uint64_t spins = 0;
+  for (const auto& shard : shards_) spins += shard->ring.push_wait_spins();
+  return spins;
 }
 
 void ParallelAnalyzer::finish() {

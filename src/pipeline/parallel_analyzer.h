@@ -48,6 +48,21 @@ struct ParallelAnalyzerConfig {
   std::size_t shards = 4;
   /// Per-shard ring capacity in packets (rounded up to a power of two).
   std::size_t ring_capacity = 1 << 13;
+  /// Live-mode bounded dispatch: publish with bounded retries instead of
+  /// blocking on a full shard ring; items that still do not fit after
+  /// `push_retry_rounds` are shed (Full items land in
+  /// health().overload_shed_l4, see ring_shed_packets()). Off by
+  /// default — replay/file modes keep the lossless blocking push and
+  /// all existing bit-identity guarantees.
+  bool bounded_push = false;
+  /// Retry rounds (each a yield) before bounded dispatch sheds.
+  std::uint32_t push_retry_rounds = 128;
+  /// Fault injection for overload tests: the worker with this shard
+  /// index sleeps `fault_slow_us` microseconds per drained batch,
+  /// deterministically manufacturing ring backpressure. SIZE_MAX
+  /// disables.
+  std::size_t fault_slow_shard = SIZE_MAX;
+  std::uint32_t fault_slow_us = 0;
 };
 
 /// How long the packet bytes behind an offer_batch() call stay valid.
@@ -141,6 +156,21 @@ class ParallelAnalyzer {
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
+  // --- Live pressure signals (producer thread; valid before finish()) --
+
+  /// Max over shards of ring occupancy as a fraction of capacity.
+  /// Approximate under concurrency — a pressure signal, not an
+  /// accounting value.
+  [[nodiscard]] double max_ring_occupancy() const;
+  /// Producer push-wait spins accumulated so far across all shard
+  /// rings (producer-owned counters; read from the producer thread).
+  [[nodiscard]] std::uint64_t producer_wait_spins() const;
+  /// Full items shed so far by bounded dispatch (config.bounded_push);
+  /// the same count is folded into health().overload_shed_l4.
+  [[nodiscard]] std::uint64_t ring_shed_packets() const {
+    return ring_shed_packets_;
+  }
+
   /// Sketch-tier promotions seen across all verdict-aware offer_batch()
   /// calls, in arrival order: the pre-admission byte/packet aggregates
   /// the capture front end carried for flows that reached exact
@@ -195,6 +225,9 @@ class ParallelAnalyzer {
 
   // Sketch-tier promotions accumulated from verdict batches.
   std::vector<capture::BatchVerdicts::Promotion> promotions_;
+
+  // Full items shed by bounded dispatch (see ring_shed_packets()).
+  std::uint64_t ring_shed_packets_ = 0;
 
   // Producer-side health: capture-quality observations and decode
   // failures belong to the global offer order, mirroring the serial

@@ -82,11 +82,25 @@ std::size_t BackgroundTraffic::next_batch(std::size_t n,
     const std::uint64_t h = mix(rank + 0x5bd1e995u);
     payload.assign(64 + (h % 1137), static_cast<std::uint8_t>(h >> 56));
 
-    const auto frac = static_cast<double>(emitted_) /
-                      static_cast<double>(config_.packets);
-    const util::Timestamp ts =
-        config_.start + util::Duration::micros(static_cast<std::int64_t>(
-                            frac * static_cast<double>(config_.duration.us())));
+    util::Timestamp ts;
+    if (config_.burst_period.us() > 0) {
+      // Square-wave pacing: advance the cursor by one inter-packet gap
+      // at the rate of the current phase. The duty comparison uses the
+      // cursor *before* the advance so the first packet of each period
+      // is always in the high phase.
+      const auto period = static_cast<double>(config_.burst_period.us());
+      const double phase = std::fmod(burst_cursor_us_, period);
+      const bool high = phase < config_.burst_duty * period;
+      const double pps = high ? config_.burst_high_pps : config_.burst_low_pps;
+      ts = config_.start + util::Duration::micros(
+                               static_cast<std::int64_t>(burst_cursor_us_));
+      burst_cursor_us_ += 1e6 / (pps > 1.0 ? pps : 1.0);
+    } else {
+      const auto frac = static_cast<double>(emitted_) /
+                        static_cast<double>(config_.packets);
+      ts = config_.start + util::Duration::micros(static_cast<std::int64_t>(
+                               frac * static_cast<double>(config_.duration.us())));
+    }
 
     const net::FiveTuple t = flow(rank);
     out.push_back(net::build_udp(ts, t.src_ip, t.src_port, t.dst_ip, t.dst_port,

@@ -37,6 +37,17 @@ struct BackgroundConfig {
   double zipf_s = 1.1;
   util::Timestamp start = util::Timestamp::from_seconds(1000);
   util::Duration duration = util::Duration::seconds(600);
+  /// Burst (duty-cycle) mode: when `burst_period` is positive the even
+  /// spread over `duration` is replaced by a square wave — packets are
+  /// emitted at `burst_high_pps` during the first `burst_duty` fraction
+  /// of each period and at `burst_low_pps` for the rest. The trace then
+  /// ends when `packets` run out, not at `start + duration`. This is
+  /// the overload-governor exercise load: paced replay of a bursty
+  /// trace produces real ring-pressure swings.
+  util::Duration burst_period = util::Duration::micros(0);
+  double burst_duty = 0.25;        ///< high-rate fraction of each period
+  double burst_high_pps = 200'000;
+  double burst_low_pps = 10'000;
 };
 
 /// Realized per-flow load (the generator's ground truth).
@@ -78,6 +89,7 @@ class BackgroundTraffic {
   std::vector<FlowLoad> realized_;
   std::size_t emitted_ = 0;
   std::size_t next_unseen_ = 0;  ///< next rank owed its first packet
+  double burst_cursor_us_ = 0;   ///< burst-mode timestamp cursor
 };
 
 }  // namespace zpm::sim

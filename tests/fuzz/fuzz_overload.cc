@@ -1,0 +1,160 @@
+// Fuzz target for the overload governor and its injection parser.
+//
+// Input: [selector u8] then selector % 2 routes:
+//   0 — governor observation stream: [cfg: 6 bytes] then repeated
+//       [kind u8][value u16le] records. Even kinds feed raw pressure
+//       (the injection path), odd kinds build PressureSignals from the
+//       value bits (the live path). The config bytes sweep alpha, the
+//       watermarks (including inverted/degenerate orderings) and the
+//       streak lengths, with a mid-stream set_config retune.
+//   1 — PressureSchedule::parse over the rest of the input as a spec
+//       string: must never crash, and a failed parse must leave the
+//       schedule empty.
+//
+// Checked ladder invariants (docs/ROBUSTNESS.md §5), any violation
+// aborts:
+//   * level stays in [0, kMaxLevel],
+//   * |Δlevel| <= 1 per observation (one rung at a time, both ways),
+//   * GovernorStats counters are monotone and observations count every
+//     observe() exactly once,
+//   * stats().max_level equals the running max of observed levels,
+//   * escalations - recoveries == current level (every step accounted).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "overload/governor.h"
+
+namespace {
+
+std::uint16_t u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "overload governor invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+zpm::overload::GovernorConfig config_from(const std::uint8_t* p) {
+  zpm::overload::GovernorConfig config;
+  // Deliberately include degenerate tunings (alpha 0 stays possible
+  // only as ~0.004; watermarks may invert) — the ladder invariants must
+  // hold under hostile configuration too.
+  config.alpha = (1 + p[0] % 255) / 255.0;
+  config.high_watermark = p[1] / 128.0;
+  config.low_watermark = p[2] / 128.0;
+  config.escalate_after = 1u + p[3] % 8;
+  config.recover_after = 1u + p[4] % 8;
+  config.spins_hi = 1.0 + p[5] * 4.0;
+  return config;
+}
+
+void fuzz_governor(const std::uint8_t* data, std::size_t size) {
+  using zpm::overload::kMaxLevel;
+  if (size < 6) return;
+  zpm::overload::OverloadGovernor gov(config_from(data));
+  std::size_t pos = 6;
+
+  int prev_level = gov.level();
+  int max_seen = prev_level;
+  zpm::overload::GovernorStats prev = gov.stats();
+  bool retuned = false;
+
+  while (pos + 3 <= size) {
+    const std::uint8_t kind = data[pos];
+    const std::uint16_t value = u16(data + pos + 1);
+    pos += 3;
+
+    // One mid-stream retune, re-deriving the config from payload bytes:
+    // level and counters must survive it.
+    if (!retuned && kind == 0xff && pos + 6 <= size) {
+      const int before = gov.level();
+      const zpm::overload::GovernorStats stats_before = gov.stats();
+      gov.set_config(config_from(data + pos));
+      pos += 6;
+      retuned = true;
+      check(gov.level() == before, "set_config changed the level");
+      check(gov.stats().observations == stats_before.observations,
+            "set_config changed the counters");
+      continue;
+    }
+
+    int level;
+    if (kind % 2 == 0) {
+      // Injection path: raw pressure in [0, ~2.56], beyond saturation.
+      level = gov.observe_pressure((value & 0xff) / 100.0);
+    } else {
+      zpm::overload::PressureSignals signals;
+      signals.ring_occupancy = (value & 0x0f) / 15.0;
+      signals.spins_delta = static_cast<std::uint64_t>(value & 0xff0) * 8;
+      signals.latency_us = ((value >> 8) & 0x3f) * 1.0;
+      signals.kernel_drops_delta = (value >> 15) & 1;
+      level = gov.observe(signals);
+    }
+
+    check(level == gov.level(), "observe return value != level()");
+    check(level >= 0 && level <= kMaxLevel, "level out of [0, kMaxLevel]");
+    check(level - prev_level <= 1 && prev_level - level <= 1,
+          "level moved more than one rung in one observation");
+
+    const zpm::overload::GovernorStats now = gov.stats();
+    check(now.observations == prev.observations + 1,
+          "observations did not count this observe");
+    check(now.escalations >= prev.escalations &&
+              now.recoveries >= prev.recoveries,
+          "stats counters went backwards");
+    check(now.escalations - prev.escalations + now.recoveries -
+                  prev.recoveries ==
+              static_cast<std::uint64_t>(level > prev_level   ? 1
+                                         : level < prev_level ? 1
+                                                              : 0),
+          "level step without matching counter (or vice versa)");
+    check(now.escalations - now.recoveries ==
+              static_cast<std::uint64_t>(level),
+          "escalations - recoveries != level");
+    if (level > max_seen) max_seen = level;
+    check(now.max_level == max_seen, "max_level != running max");
+
+    prev_level = level;
+    prev = now;
+  }
+}
+
+void fuzz_schedule(const std::uint8_t* data, std::size_t size) {
+  const std::string spec(reinterpret_cast<const char*>(data), size);
+  zpm::overload::PressureSchedule sched;
+  // Pre-populate so a failed parse demonstrably clears.
+  sched.parse("0-10:1.0");
+  const bool ok = sched.parse(spec);
+  if (!ok) {
+    check(sched.empty(), "failed parse left ranges behind");
+    return;
+  }
+  check(!sched.empty(), "successful parse produced no ranges");
+  for (const auto& r : sched.ranges()) {
+    check(r.end > r.begin, "accepted an empty/inverted range");
+    check(r.pressure >= 0.0, "accepted a negative pressure");
+    // Lookups agree with the ranges at their boundaries.
+    check(sched.pressure_at(r.begin) >= r.pressure,
+          "pressure_at(begin) below the range's own value");
+    if (r.begin > 0)
+      sched.pressure_at(r.begin - 1);  // must not read out of bounds
+    sched.pressure_at(r.end);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 1) return 0;
+  if (data[0] % 2 == 0)
+    fuzz_governor(data + 1, size - 1);
+  else
+    fuzz_schedule(data + 1, size - 1);
+  return 0;
+}

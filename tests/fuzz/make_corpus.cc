@@ -422,6 +422,45 @@ int main(int argc, char** argv) {
     write_seed(root / "fuzz_snapshot", "tier.bin", seed);
   }
 
+  // fuzz_overload: [selector u8] routes even -> governor observation
+  // stream ([cfg 6 bytes] then [kind u8][value u16le] records), odd ->
+  // PressureSchedule::parse over the rest as a spec string. One seed
+  // rides the ladder up and back down through the default-ish tuning
+  // (with a mid-stream 0xff retune record), one hands the parser a
+  // valid multi-range spec to mutate from.
+  {
+    std::vector<std::uint8_t> ladder;
+    ladder.push_back(0);   // selector: governor
+    ladder.push_back(254); // alpha ~1.0
+    ladder.push_back(109); // high watermark ~0.85
+    ladder.push_back(45);  // low watermark ~0.35
+    ladder.push_back(1);   // escalate_after 2
+    ladder.push_back(3);   // recover_after 4
+    ladder.push_back(128); // spins_hi
+    auto obs = [&ladder](std::uint8_t kind, std::uint16_t value) {
+      ladder.push_back(kind);
+      le16(ladder, value);
+    };
+    for (int i = 0; i < 10; ++i) obs(0, 100);  // raw pressure 1.0: climb
+    obs(0xff, 0);                              // retune record...
+    ladder.push_back(128);                     // ...new config, 6 bytes
+    ladder.push_back(109);
+    ladder.push_back(45);
+    ladder.push_back(2);
+    ladder.push_back(2);
+    ladder.push_back(64);
+    for (int i = 0; i < 12; ++i) obs(0, 0);    // calm: recover
+    obs(1, 0x800f);  // live path: full ring + a kernel drop
+    obs(1, 0x3f00);  // live path: high latency only
+    write_seed(root / "fuzz_overload", "ladder.bin", ladder);
+
+    const std::string spec = "0-128:0.5,5000-20000:0.95,30000-40000:1.2";
+    std::vector<std::uint8_t> sched;
+    sched.push_back(1);  // selector: schedule parser
+    sched.insert(sched.end(), spec.begin(), spec.end());
+    write_seed(root / "fuzz_overload", "schedule.bin", sched);
+  }
+
   std::printf("corpus written under %s\n", root.string().c_str());
   return 0;
 }

@@ -5,6 +5,7 @@
 // process kill -9 at an epoch boundary (no final flush, no shutdown
 // snapshot); the real-signal variant lives in the CI soak job.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -27,7 +28,9 @@ namespace fs = std::filesystem;
 /// A 20 s simulated meeting trace, written once.
 const std::string& meeting_trace() {
   static const std::string path = [] {
-    const std::string p = ::testing::TempDir() + "/daemon_meeting.pcap";
+    // PID-unique: parallel ctest workers share /tmp.
+    const std::string p = ::testing::TempDir() + "/daemon_meeting." +
+                          std::to_string(::getpid()) + ".pcap";
     sim::MeetingConfig mc;
     mc.seed = 31;
     mc.start = util::Timestamp::from_seconds(1'700'000'000);
@@ -50,7 +53,8 @@ const std::string& meeting_trace() {
 
 /// Fresh per-test state directory.
 fs::path state_dir(const char* name) {
-  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       (std::to_string(::getpid()) + "_" + name);
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;

@@ -4,6 +4,7 @@
 // rotation is health-accounted, and the record codec round-trips
 // byte-identically and rejects truncation.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <string>
 #include <vector>
@@ -19,7 +20,9 @@ namespace {
 /// One short meeting, loaded once as owned packets (pinned storage).
 const std::vector<net::RawPacket>& meeting_packets() {
   static const std::vector<net::RawPacket> packets = [] {
-    const std::string path = ::testing::TempDir() + "/epoch_meeting.pcap";
+    // PID-unique: parallel ctest workers share /tmp.
+    const std::string path = ::testing::TempDir() + "/epoch_meeting." +
+                             std::to_string(::getpid()) + ".pcap";
     sim::MeetingConfig mc;
     mc.seed = 23;
     mc.start = util::Timestamp::from_seconds(1'700'000'000);

@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "capture/anonymizer.h"
@@ -280,7 +282,9 @@ TEST(Integration, PcapRoundTripPreservesAnalysis) {
   // Writing the monitor trace to a pcap file and reading it back must
   // not change a single analysis result (lossless capture I/O).
   auto mc = base_meeting(110, 15.0);
-  std::string path = ::testing::TempDir() + "/zpm_integration.pcap";
+  // PID-unique: parallel ctest workers share /tmp.
+  std::string path = ::testing::TempDir() + "/zpm_integration." +
+                     std::to_string(::getpid()) + ".pcap";
   core::Analyzer direct(analyzer_config());
   {
     sim::MeetingSim sim(mc);

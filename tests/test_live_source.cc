@@ -4,6 +4,7 @@
 // and skip_to position — and every BatchSource must keep EOF, transient
 // idleness and hard errors distinguishable through SourceStatus.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <string>
@@ -18,7 +19,9 @@ namespace zpm::net {
 namespace {
 
 std::string temp_path(const char* name) {
-  return ::testing::TempDir() + "/" + name;
+  // PID-unique: parallel ctest workers share /tmp, and a half-written
+  // trace under another worker's mmap is a SIGBUS.
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
 }
 
 /// Writes a short simulated meeting to a pcap once; returns its path.

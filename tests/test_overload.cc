@@ -1,0 +1,643 @@
+// The overload governor's contract (src/overload, docs/ROBUSTNESS.md
+// §5): the ladder moves at most one level per observation and only
+// after a full hysteresis streak; the shedder degrades the least
+// valuable work first (Zoom media last, STUN never below L4); governed
+// pipelines stay byte-identical to ungoverned ones while calm; injected
+// pressure makes every shed decision a pure function of the packet
+// sequence; and conservation — offered == admitted + shed(L1..L4) —
+// holds exactly on every epoch record.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/epoch.h"
+#include "net/pcap.h"
+#include "net/trace_source.h"
+#include "overload/overload.h"
+#include "pipeline/parallel_analyzer.h"
+#include "sim/meeting.h"
+#include "util/bytes.h"
+
+namespace zpm::overload {
+namespace {
+
+GovernorConfig sharp_config() {
+  // alpha 1 removes the EWMA lag so the unit tests reason about raw
+  // pressure directly; thresholds and streaks keep their defaults.
+  GovernorConfig config;
+  config.alpha = 1.0;
+  return config;
+}
+
+TEST(OverloadGovernor, StartsCalmAndHoldsAtZeroPressure) {
+  OverloadGovernor gov(sharp_config());
+  EXPECT_EQ(gov.level(), 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gov.observe_pressure(0.0), 0);
+  EXPECT_EQ(gov.stats().observations, 100u);
+  EXPECT_EQ(gov.stats().escalations, 0u);
+  EXPECT_EQ(gov.stats().max_level, 0);
+}
+
+TEST(OverloadGovernor, EscalatesOneLevelPerFreshStreak) {
+  OverloadGovernor gov(sharp_config());  // escalate_after = 2
+  // Each level step needs its own `escalate_after` consecutive high
+  // observations; the streak resets after every step.
+  const int expected[] = {0, 1, 1, 2, 2, 3, 3, 4, 4, 4, 4};
+  for (std::size_t i = 0; i < std::size(expected); ++i)
+    EXPECT_EQ(gov.observe_pressure(1.0), expected[i]) << "observation " << i;
+  EXPECT_EQ(gov.level(), kMaxLevel);
+  EXPECT_EQ(gov.stats().escalations, 4u);
+  EXPECT_EQ(gov.stats().max_level, kMaxLevel);
+}
+
+TEST(OverloadGovernor, RecoversOneLevelPerCalmStreak) {
+  OverloadGovernor gov(sharp_config());  // recover_after = 4
+  for (int i = 0; i < 8; ++i) gov.observe_pressure(1.0);
+  ASSERT_EQ(gov.level(), kMaxLevel);
+  int last = kMaxLevel;
+  for (int i = 1; i <= 16; ++i) {
+    const int level = gov.observe_pressure(0.0);
+    EXPECT_GE(last - level, 0) << "level went up under calm";
+    EXPECT_LE(last - level, 1) << "recovered more than one step at once";
+    // A step down exactly every `recover_after` observations.
+    EXPECT_EQ(level, kMaxLevel - i / 4) << "observation " << i;
+    last = level;
+  }
+  EXPECT_EQ(gov.level(), 0);
+  EXPECT_EQ(gov.stats().recoveries, 4u);
+  EXPECT_EQ(gov.stats().escalations, 4u);  // unchanged by recovery
+}
+
+TEST(OverloadGovernor, DeadBandHoldsLevelAndResetsStreaks) {
+  OverloadGovernor gov(sharp_config());
+  gov.observe_pressure(1.0);
+  gov.observe_pressure(1.0);
+  ASSERT_EQ(gov.level(), 1);
+  // Pressure between the watermarks: level holds forever.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(gov.observe_pressure(0.5), 1);
+  // The dead band also reset the over-streak: one high observation must
+  // not escalate (a boundary flapper cannot bank progress).
+  gov.observe_pressure(1.0);
+  EXPECT_EQ(gov.level(), 1);
+  gov.observe_pressure(0.5);  // back to the dead band: streak resets again
+  gov.observe_pressure(1.0);
+  EXPECT_EQ(gov.level(), 1);
+  gov.observe_pressure(1.0);
+  EXPECT_EQ(gov.level(), 2);
+}
+
+TEST(OverloadGovernor, EwmaSmoothsASinglePressureSpike) {
+  OverloadGovernor gov;  // default alpha 0.4
+  gov.observe_pressure(0.0);  // seed the EWMA at calm
+  // One saturated observation amid calm: EWMA reaches only 0.4, below
+  // the high watermark — no escalation from a lone spike.
+  gov.observe_pressure(1.0);
+  EXPECT_EQ(gov.level(), 0);
+  EXPECT_LT(gov.pressure(), gov.config().high_watermark);
+}
+
+TEST(OverloadGovernor, SetConfigPreservesLevelAndCounters) {
+  OverloadGovernor gov(sharp_config());
+  for (int i = 0; i < 4; ++i) gov.observe_pressure(1.0);
+  ASSERT_EQ(gov.level(), 2);
+  const auto before = gov.stats();
+  GovernorConfig retuned = sharp_config();
+  retuned.high_watermark = 0.95;
+  retuned.recover_after = 1;
+  gov.set_config(retuned);
+  EXPECT_EQ(gov.level(), 2);
+  EXPECT_EQ(gov.stats().escalations, before.escalations);
+  // The retuned thresholds act immediately: one calm observation now
+  // recovers a level.
+  gov.observe_pressure(0.0);
+  EXPECT_EQ(gov.level(), 1);
+}
+
+TEST(OverloadGovernor, NormalizeTakesMaxOverSignalsAndPinsOnKernelDrops) {
+  OverloadGovernor gov;  // ring_hi 0.5, spins_hi 512, latency_hi 25
+  EXPECT_DOUBLE_EQ(gov.normalize({}), 0.0);
+  EXPECT_DOUBLE_EQ(gov.normalize({.ring_occupancy = 0.25}), 0.5);
+  EXPECT_DOUBLE_EQ(gov.normalize({.ring_occupancy = 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(gov.normalize({.spins_delta = 256}), 0.5);
+  EXPECT_DOUBLE_EQ(gov.normalize({.latency_us = 50.0}), 2.0);
+  // Max, not sum.
+  EXPECT_DOUBLE_EQ(
+      gov.normalize({.ring_occupancy = 0.25, .spins_delta = 512}), 1.0);
+  // Any kernel drop means the kernel is already losing packets:
+  // saturation regardless of the local signals.
+  EXPECT_GE(gov.normalize({.kernel_drops_delta = 1}), 1.0);
+}
+
+TEST(PressureSchedule, ParsesRangesAndAnswersHalfOpenLookups) {
+  PressureSchedule sched;
+  ASSERT_TRUE(sched.parse("5000-20000:0.95,30000-40000:1.2"));
+  ASSERT_EQ(sched.ranges().size(), 2u);
+  EXPECT_DOUBLE_EQ(sched.pressure_at(4999), 0.0);
+  EXPECT_DOUBLE_EQ(sched.pressure_at(5000), 0.95);   // begin inclusive
+  EXPECT_DOUBLE_EQ(sched.pressure_at(19999), 0.95);
+  EXPECT_DOUBLE_EQ(sched.pressure_at(20000), 0.0);   // end exclusive
+  EXPECT_DOUBLE_EQ(sched.pressure_at(35000), 1.2);
+  // Overlapping ranges take the max.
+  PressureSchedule overlap;
+  ASSERT_TRUE(overlap.parse("0-10:0.5,5-15:0.8"));
+  EXPECT_DOUBLE_EQ(overlap.pressure_at(7), 0.8);
+  EXPECT_DOUBLE_EQ(overlap.pressure_at(2), 0.5);
+  EXPECT_DOUBLE_EQ(overlap.pressure_at(12), 0.8);
+}
+
+TEST(PressureSchedule, RejectsMalformedSpecsAndClears) {
+  for (const char* bad :
+       {"", "10-5:1", "abc", "1-2", "1-2:", "1-2:x", "1-2:-1", "-5:1",
+        "1-2:1,oops", "1-2:1,3-2:1", "1:2-3"}) {
+    PressureSchedule sched;
+    sched.parse("0-10:1.0");  // pre-populate: a failed parse must clear
+    EXPECT_FALSE(sched.parse(bad)) << "spec '" << bad << "'";
+    EXPECT_TRUE(sched.empty()) << "spec '" << bad << "'";
+  }
+}
+
+// --- shedder ----------------------------------------------------------
+
+/// A fake classified run: one packet per entry, verdict/flags/slot/hash
+/// laid out directly. The packet bytes are arbitrary (the shedder never
+/// parses them, only counts their length).
+struct FakeBatch {
+  std::vector<std::vector<std::uint8_t>> storage;
+  std::vector<net::RawPacketView> run;
+  capture::BatchVerdicts verdicts;
+
+  void add(capture::Verdict v, std::uint8_t flags, std::uint32_t slot,
+           std::uint64_t hash, std::size_t bytes = 100) {
+    storage.emplace_back(bytes, std::uint8_t{0xab});
+    run.push_back(net::RawPacketView{
+        util::Timestamp::from_seconds(1.0 * static_cast<double>(run.size())),
+        storage.back(), static_cast<std::uint32_t>(bytes)});
+    verdicts.verdicts.push_back(v);
+    verdicts.flags.push_back(flags);
+    verdicts.shard.push_back(0);
+    verdicts.slot.push_back(slot);
+    verdicts.flow_hash.push_back(hash);
+  }
+};
+
+TEST(LoadShedder, LevelZeroAndEmptyRunsPassUntouched) {
+  LoadShedder shedder;
+  FakeBatch b;
+  b.add(capture::Verdict::Reject, 0, 0, 1);
+  std::vector<net::RawPacketView> out_run;
+  capture::BatchVerdicts out_verdicts;
+  EXPECT_FALSE(shedder.apply(0, b.run, &b.verdicts, out_run, out_verdicts));
+  EXPECT_FALSE(shedder.apply(1, {}, &b.verdicts, out_run, out_verdicts));
+  EXPECT_EQ(shedder.stats().total_packets(), 0u);
+}
+
+TEST(LoadShedder, L1ShedsExactlyTheRejects) {
+  LoadShedder shedder;
+  FakeBatch b;
+  b.add(capture::Verdict::Reject, 0, 0, 1);
+  b.add(capture::Verdict::Admit, capture::kFlagZoomShaped, 0, 2);
+  b.add(capture::Verdict::Reject, 0, 0, 3, 250);
+  b.add(capture::Verdict::FullParse, 0, 0, 0);
+  std::vector<net::RawPacketView> out_run;
+  capture::BatchVerdicts out_verdicts;
+  ASSERT_TRUE(shedder.apply(1, b.run, &b.verdicts, out_run, out_verdicts));
+  ASSERT_EQ(out_run.size(), 2u);
+  EXPECT_EQ(out_verdicts.verdicts[0], capture::Verdict::Admit);
+  EXPECT_EQ(out_verdicts.verdicts[1], capture::Verdict::FullParse);
+  EXPECT_EQ(shedder.stats().l1_packets, 2u);
+  EXPECT_EQ(shedder.stats().l2_packets, 0u);
+  EXPECT_EQ(shedder.stats().shed_bytes, 350u);
+}
+
+TEST(LoadShedder, L2KeepsOrShedsWholeFlowsByHash) {
+  LoadShedder shedder;
+  // Find one kept and one shed flow hash so the test is self-contained
+  // whatever the seed constant.
+  std::uint64_t kept_hash = 0, shed_hash = 0;
+  for (std::uint64_t h = 1; h < 1000 && (kept_hash == 0 || shed_hash == 0);
+       ++h) {
+    if (shedder.keep_at_l2(h)) {
+      if (kept_hash == 0) kept_hash = h;
+    } else if (shed_hash == 0) {
+      shed_hash = h;
+    }
+  }
+  ASSERT_NE(kept_hash, 0u);
+  ASSERT_NE(shed_hash, 0u);
+
+  FakeBatch b;
+  for (int i = 0; i < 5; ++i) b.add(capture::Verdict::Admit, 0, 1, kept_hash);
+  for (int i = 0; i < 5; ++i) b.add(capture::Verdict::Admit, 0, 2, shed_hash);
+  std::vector<net::RawPacketView> out_run;
+  capture::BatchVerdicts out_verdicts;
+  ASSERT_TRUE(shedder.apply(2, b.run, &b.verdicts, out_run, out_verdicts));
+  // Whole-flow decision: every packet of the kept flow survives, every
+  // packet of the shed flow is gone.
+  ASSERT_EQ(out_run.size(), 5u);
+  for (std::size_t i = 0; i < out_run.size(); ++i)
+    EXPECT_EQ(out_verdicts.flow_hash[i], kept_hash);
+  EXPECT_EQ(shedder.stats().l2_packets, 5u);
+}
+
+TEST(LoadShedder, L3SamplesMediaFlowsOneInN) {
+  LoadShedder shedder;  // l3_keep_one_in = 4
+  FakeBatch b;
+  for (int i = 0; i < 12; ++i)
+    b.add(capture::Verdict::Admit, capture::kFlagZoomShaped, 7, 42);
+  std::vector<net::RawPacketView> out_run;
+  capture::BatchVerdicts out_verdicts;
+  ASSERT_TRUE(shedder.apply(3, b.run, &b.verdicts, out_run, out_verdicts));
+  // Keep packet k of the flow iff k % 4 == 0: 12 packets -> 3 kept.
+  EXPECT_EQ(out_run.size(), 3u);
+  EXPECT_EQ(shedder.stats().l3_packets, 9u);
+}
+
+TEST(LoadShedder, StunAndFullParseNeverShedBelowL4) {
+  LoadShedder shedder;
+  FakeBatch b;
+  // STUN-flagged admits arm P2P candidates; FullParse could be anything.
+  // Use hash 0 / non-media flags that L2 would otherwise shed.
+  for (int i = 0; i < 4; ++i)
+    b.add(capture::Verdict::Admit, capture::kFlagStunPort, 0, 12345);
+  for (int i = 0; i < 4; ++i) b.add(capture::Verdict::FullParse, 0, 0, 0);
+  // Also STUN + zoom-shaped: the STUN flag wins over L3 sampling.
+  for (int i = 0; i < 4; ++i)
+    b.add(capture::Verdict::Admit,
+          capture::kFlagStunPort | capture::kFlagZoomShaped, 3, 99);
+  std::vector<net::RawPacketView> out_run;
+  capture::BatchVerdicts out_verdicts;
+  if (shedder.apply(3, b.run, &b.verdicts, out_run, out_verdicts)) {
+    EXPECT_EQ(out_run.size(), b.run.size());
+  }
+  EXPECT_EQ(shedder.stats().total_packets(), 0u);
+}
+
+TEST(LoadShedder, L4HeadDropsTheWholeRunEvenWithoutVerdicts) {
+  LoadShedder shedder;
+  FakeBatch b;
+  for (int i = 0; i < 8; ++i) b.add(capture::Verdict::Admit, 0, 0, 1, 150);
+  std::vector<net::RawPacketView> out_run;
+  capture::BatchVerdicts out_verdicts;
+  ASSERT_TRUE(shedder.apply(4, b.run, nullptr, out_run, out_verdicts));
+  EXPECT_TRUE(out_run.empty());
+  EXPECT_EQ(shedder.stats().l4_packets, 8u);
+  EXPECT_EQ(shedder.stats().shed_bytes, 8u * 150u);
+  EXPECT_EQ(shedder.stats().batches_dropped, 1u);
+  // Below L4 with no verdicts there is nothing to key on: pass through.
+  EXPECT_FALSE(shedder.apply(2, b.run, nullptr, out_run, out_verdicts));
+}
+
+TEST(LoadShedder, ResetFlowStateRestartsL3Counters) {
+  LoadShedder shedder;
+  FakeBatch b;
+  for (int i = 0; i < 4; ++i)
+    b.add(capture::Verdict::Admit, capture::kFlagZoomShaped, 0, 42);
+  std::vector<net::RawPacketView> out_run;
+  capture::BatchVerdicts out_verdicts;
+  ASSERT_TRUE(shedder.apply(3, b.run, &b.verdicts, out_run, out_verdicts));
+  ASSERT_EQ(out_run.size(), 1u);  // packet 0 of the flow kept
+  // After an epoch rotation slot ids restart; so must the counters,
+  // or the first packet of the "new" flow in the slot would be shed.
+  shedder.reset_flow_state();
+  ASSERT_TRUE(shedder.apply(3, b.run, &b.verdicts, out_run, out_verdicts));
+  EXPECT_EQ(out_run.size(), 1u);
+}
+
+}  // namespace
+}  // namespace zpm::overload
+
+// --- end to end through the epoch engine ------------------------------
+
+namespace zpm::analysis {
+namespace {
+
+/// One short meeting, loaded once as owned packets (pinned storage).
+const std::vector<net::RawPacket>& meeting_packets() {
+  static const std::vector<net::RawPacket> packets = [] {
+    // PID-unique: parallel ctest workers share /tmp.
+    const std::string path = ::testing::TempDir() + "/overload_meeting." +
+                             std::to_string(::getpid()) + ".pcap";
+    sim::MeetingConfig mc;
+    mc.seed = 47;
+    mc.start = util::Timestamp::from_seconds(1'700'000'000);
+    mc.duration = util::Duration::seconds(20);
+    sim::ParticipantConfig a, b, c;
+    a.ip = net::Ipv4Addr(10, 8, 1, 20);
+    b.ip = net::Ipv4Addr(10, 8, 2, 31);
+    c.ip = net::Ipv4Addr(98, 0, 0, 3);
+    c.on_campus = false;
+    mc.participants = {a, b, c};
+    sim::MeetingSim sim(mc);
+    net::PcapWriter writer(path);
+    while (auto pkt = sim.next_packet()) writer.write(*pkt);
+    EXPECT_TRUE(writer.ok());
+
+    std::vector<net::RawPacket> out;
+    net::TraceSource source(path);
+    EXPECT_TRUE(source.ok());
+    while (auto view = source.next()) out.push_back(view->to_owned());
+    EXPECT_GT(out.size(), 2000u);
+    return out;
+  }();
+  return packets;
+}
+
+/// Same meeting through the hostile fault-injection mix: truncations,
+/// bit flips, look-alikes — the byte-identity contract must hold on
+/// garbage input too.
+const std::vector<net::RawPacket>& hostile_packets() {
+  static const std::vector<net::RawPacket> packets = [] {
+    sim::MeetingConfig mc;
+    mc.seed = 47;
+    mc.start = util::Timestamp::from_seconds(1'700'000'000);
+    mc.duration = util::Duration::seconds(20);
+    sim::ParticipantConfig a, b;
+    a.ip = net::Ipv4Addr(10, 8, 1, 20);
+    b.ip = net::Ipv4Addr(98, 0, 0, 3);
+    b.on_campus = false;
+    mc.participants = {a, b};
+    mc.corruption = sim::CorruptorConfig::hostile(1234);
+    sim::MeetingSim sim(mc);
+    std::vector<net::RawPacket> out;
+    while (auto pkt = sim.next_packet()) out.push_back(*pkt);
+    EXPECT_GT(out.size(), 500u);
+    return out;
+  }();
+  return packets;
+}
+
+std::vector<net::RawPacketView> views_of(const std::vector<net::RawPacket>& pkts) {
+  std::vector<net::RawPacketView> views;
+  views.reserve(pkts.size());
+  for (const auto& p : pkts)
+    views.push_back(net::RawPacketView{p.ts, p.data, p.orig_len});
+  return views;
+}
+
+std::vector<EpochReport> run_epochs(const EpochEngineConfig& config,
+                                    const std::vector<net::RawPacket>& pkts,
+                                    std::size_t batch) {
+  const auto views = views_of(pkts);
+  EpochEngine engine(config);
+  std::vector<EpochReport> completed;
+  for (std::size_t off = 0; off < views.size(); off += batch) {
+    const std::size_t n = std::min(batch, views.size() - off);
+    engine.offer(std::span<const net::RawPacketView>(views).subspan(off, n),
+                 pipeline::BatchLifetime::Pinned, completed);
+  }
+  if (auto last = engine.flush()) completed.push_back(std::move(*last));
+  return completed;
+}
+
+std::vector<std::uint8_t> encode(const EpochReport& report) {
+  util::ByteWriter w;
+  encode_epoch_report(report, w);
+  return w.take();
+}
+
+EpochEngineConfig base_config() {
+  EpochEngineConfig config;
+  config.limits.max_packets = 900;
+  config.limits.max_span = util::Duration::micros(0);
+  // The sketch tier is the one legitimately shard-dependent piece; keep
+  // it out so shard-count sweeps can compare byte-for-byte.
+  config.flow_memory_budget = 0;
+  return config;
+}
+
+void expect_identical(const std::vector<EpochReport>& a,
+                      const std::vector<EpochReport>& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i]) << label << " epoch " << i;
+    EXPECT_EQ(encode(a[i]), encode(b[i])) << label << " epoch " << i;
+  }
+}
+
+TEST(OverloadEpoch, GovernorDisabledVsEnabledAtZeroPressureIsByteIdentical) {
+  // "Zero pressure" is pinned with an explicit zero-pressure schedule
+  // so the decision path is the injected (wall-clock-free) one; an
+  // empty spec would read real latency signals, which are timing-
+  // dependent by design.
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const bool frontend : {true, false}) {
+      EpochEngineConfig off = base_config();
+      off.shards = shards;
+      off.frontend = frontend;
+      EpochEngineConfig on = off;
+      on.overload.enabled = true;
+      on.overload.inject = "0-1:0.0";
+
+      const std::string label = "shards=" + std::to_string(shards) +
+                                " frontend=" + std::to_string(frontend);
+      expect_identical(run_epochs(off, meeting_packets(), 512),
+                       run_epochs(on, meeting_packets(), 512),
+                       "clean " + label);
+      expect_identical(run_epochs(off, hostile_packets(), 512),
+                       run_epochs(on, hostile_packets(), 512),
+                       "hostile " + label);
+    }
+  }
+}
+
+TEST(OverloadEpoch, SerialMatchesShardedUnderForcedOverload) {
+  // The shed decisions key on flow hash (L2) and first-sight flow slot
+  // (L3) — both shard-count-independent — so governed records stay
+  // serial-vs-sharded identical even while actively shedding.
+  EpochEngineConfig config = base_config();
+  config.overload.enabled = true;
+  config.overload.window_packets = 128;
+  config.overload.inject = "0-1300:1.0";
+
+  const auto serial = run_epochs(config, meeting_packets(), 512);
+  config.shards = 4;
+  const auto sharded = run_epochs(config, meeting_packets(), 512);
+  expect_identical(serial, sharded, "serial vs 4 shards");
+
+  std::uint64_t shed = 0;
+  for (const auto& rep : serial) shed += rep.health.overload_shed_total();
+  EXPECT_GT(shed, 0u) << "the injected pressure never shed anything";
+}
+
+TEST(OverloadEpoch, ForcedOverloadIsBatchSizeInvariantAndConserved) {
+  EpochEngineConfig config = base_config();
+  config.overload.enabled = true;
+  config.overload.window_packets = 128;
+  // Up the ladder to L4 and back down while the trace still has
+  // packets: escalations at 256/512/768/1024, recovery later.
+  config.overload.inject = "0-1100:1.0";
+
+  const auto baseline = run_epochs(config, meeting_packets(), 4096);
+  ASSERT_GT(baseline.size(), 1u);
+
+  // Identical replays — and any batch chopping — produce identical
+  // reports and identical shed accounting.
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{257}, std::size_t{4096}}) {
+    expect_identical(baseline, run_epochs(config, meeting_packets(), batch),
+                     "batch=" + std::to_string(batch));
+  }
+
+  // Conservation, per epoch record: every offered packet is either in
+  // the analyzer totals or in exactly one shed counter.
+  std::uint64_t shed_total = 0;
+  std::uint32_t max_level = 0;
+  for (const auto& rep : baseline) {
+    EXPECT_EQ(rep.packets,
+              rep.counters.total_packets + rep.health.overload_shed_total())
+        << "epoch " << rep.seq;
+    shed_total += rep.health.overload_shed_total();
+    max_level = std::max(max_level, rep.max_overload_level);
+  }
+  EXPECT_GT(shed_total, 0u);
+  EXPECT_EQ(max_level, 4u) << "the schedule was sized to reach L4";
+}
+
+TEST(OverloadEpoch, MediaFlowsAreDegradedLast) {
+  // One epoch over the whole trace; window 128 with escalate_after 2
+  // puts level transitions at observation indices 256 (L1), 512 (L2),
+  // 768 (L3), 1024 (L4).
+  EpochEngineConfig config = base_config();
+  config.limits.max_packets = 10'000'000;
+  config.overload.window_packets = 128;
+
+  const auto plain = run_epochs(config, meeting_packets(), 512);
+  ASSERT_EQ(plain.size(), 1u);
+  const std::uint64_t media_baseline = plain[0].counters.media_packets;
+  ASSERT_GT(media_baseline, 0u);
+
+  // Pressure high through the L2 escalation only (obs 512 is the last
+  // high one): rejects and non-candidate flows are shed, media is not.
+  EpochEngineConfig l2 = config;
+  l2.overload.enabled = true;
+  l2.overload.inject = "0-513:1.0";
+  const auto capped = run_epochs(l2, meeting_packets(), 512);
+  ASSERT_EQ(capped.size(), 1u);
+  EXPECT_EQ(capped[0].max_overload_level, 2u);
+  EXPECT_EQ(capped[0].counters.media_packets, media_baseline)
+      << "L1/L2 must not touch Zoom media flows";
+
+  // Keep the pressure through the L3 escalation: media is now sampled.
+  EpochEngineConfig l3 = config;
+  l3.overload.enabled = true;
+  l3.overload.inject = "0-769:1.0";
+  const auto degraded = run_epochs(l3, meeting_packets(), 512);
+  ASSERT_EQ(degraded.size(), 1u);
+  EXPECT_EQ(degraded[0].max_overload_level, 3u);
+  EXPECT_GT(degraded[0].health.overload_shed_l3, 0u);
+  EXPECT_LT(degraded[0].counters.media_packets, media_baseline);
+  // Still conserved while degraded.
+  EXPECT_EQ(degraded[0].packets, degraded[0].counters.total_packets +
+                                     degraded[0].health.overload_shed_total());
+}
+
+TEST(OverloadEpoch, EpochRecordCodecRoundTripsOverloadFields) {
+  EpochEngineConfig config = base_config();
+  config.overload.enabled = true;
+  config.overload.window_packets = 128;
+  config.overload.inject = "0-1100:1.0";
+  const auto reports = run_epochs(config, meeting_packets(), 512);
+  ASSERT_FALSE(reports.empty());
+  bool saw_overload = false;
+  for (const auto& rep : reports) {
+    const auto bytes = encode(rep);
+    util::ByteReader r(bytes);
+    EpochReport decoded;
+    ASSERT_TRUE(decode_epoch_report(r, decoded)) << "epoch " << rep.seq;
+    EXPECT_TRUE(decoded == rep) << "epoch " << rep.seq;
+    if (rep.max_overload_level > 0 || rep.health.overload_shed_total() > 0)
+      saw_overload = true;
+  }
+  EXPECT_TRUE(saw_overload);
+}
+
+TEST(OverloadEpoch, ThresholdRetunePreservesLevel) {
+  EpochEngineConfig config = base_config();
+  config.overload.enabled = true;
+  config.overload.window_packets = 128;
+  config.overload.inject = "0-600:1.0";
+  EpochEngine engine(config);
+  const auto views = views_of(meeting_packets());
+  std::vector<EpochReport> completed;
+  engine.offer(std::span<const net::RawPacketView>(views).subspan(0, 600),
+               pipeline::BatchLifetime::Pinned, completed);
+  ASSERT_EQ(engine.overload_level(), 2);
+  overload::GovernorConfig retuned;
+  retuned.high_watermark = 0.99;
+  engine.set_overload_thresholds(retuned);
+  EXPECT_EQ(engine.overload_level(), 2);
+  EXPECT_EQ(engine.config().overload.governor.high_watermark, 0.99);
+}
+
+TEST(OverloadPipeline, BoundedPushNeverBlocksAndAccountsEveryShed) {
+  // A deliberately wedged consumer: shard 0 sleeps per drained batch,
+  // the ring is tiny, and the producer gives up after one retry round.
+  // The producer must still complete promptly and every packet must be
+  // either processed or accounted in overload_shed_l4.
+  pipeline::ParallelAnalyzerConfig config;
+  config.analyzer.keep_frames = false;
+  config.shards = 2;
+  config.ring_capacity = 64;
+  config.bounded_push = true;
+  config.push_retry_rounds = 1;
+  config.fault_slow_shard = 0;
+  config.fault_slow_us = 2000;
+  pipeline::ParallelAnalyzer analyzer(config);
+
+  const auto views = views_of(meeting_packets());
+  std::uint64_t offered = 0;
+  constexpr std::size_t kBatch = 256;
+  for (int loop = 0; loop < 8; ++loop) {
+    for (std::size_t off = 0; off < views.size(); off += kBatch) {
+      const std::size_t n = std::min(kBatch, views.size() - off);
+      analyzer.offer_batch(
+          std::span<const net::RawPacketView>(views).subspan(off, n),
+          pipeline::BatchLifetime::Pinned);
+      offered += n;
+    }
+  }
+  analyzer.finish();
+
+  EXPECT_GT(analyzer.ring_shed_packets(), 0u)
+      << "a 2ms-per-batch consumer with a 64-slot ring never backed up";
+  EXPECT_EQ(analyzer.health().overload_shed_l4, analyzer.ring_shed_packets());
+  // Conservation: processed + shed == offered, with nothing lost.
+  EXPECT_EQ(analyzer.counters().total_packets + analyzer.ring_shed_packets(),
+            offered);
+}
+
+TEST(OverloadPipeline, SlowShardFaultIsHarmlessUnderBlockingPush) {
+  // The fault hook without bounded push: everything still arrives (the
+  // producer blocks), results match an unfaulted run.
+  pipeline::ParallelAnalyzerConfig config;
+  config.analyzer.keep_frames = false;
+  config.shards = 2;
+  config.ring_capacity = 256;
+  pipeline::ParallelAnalyzer plain(config);
+  config.fault_slow_shard = 1;
+  config.fault_slow_us = 200;
+  pipeline::ParallelAnalyzer faulted(config);
+
+  const auto views = views_of(meeting_packets());
+  const auto feed = [&](pipeline::ParallelAnalyzer& a) {
+    constexpr std::size_t kBatch = 512;
+    for (std::size_t off = 0; off < views.size(); off += kBatch) {
+      const std::size_t n = std::min(kBatch, views.size() - off);
+      a.offer_batch(std::span<const net::RawPacketView>(views).subspan(off, n),
+                    pipeline::BatchLifetime::Pinned);
+    }
+    a.finish();
+  };
+  feed(plain);
+  feed(faulted);
+  EXPECT_EQ(plain.counters().total_packets, faulted.counters().total_packets);
+  EXPECT_EQ(plain.counters().zoom_packets, faulted.counters().zoom_packets);
+  EXPECT_EQ(faulted.ring_shed_packets(), 0u);
+}
+
+}  // namespace
+}  // namespace zpm::analysis

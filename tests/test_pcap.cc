@@ -1,6 +1,7 @@
 // pcap file format: write/read round-trips, byte-order handling,
 // malformed-file behaviour.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <sstream>
 
@@ -172,7 +173,9 @@ TEST(Pcap, NextIntoReusesBufferAndMatchesNext) {
 }
 
 TEST(Pcap, FileRoundTrip) {
-  std::string path = ::testing::TempDir() + "/zpm_pcap_test.pcap";
+  // PID-unique: parallel ctest workers share /tmp.
+  std::string path = ::testing::TempDir() + "/zpm_pcap_test." +
+                     std::to_string(::getpid()) + ".pcap";
   {
     PcapWriter writer(path);
     ASSERT_TRUE(writer.ok());

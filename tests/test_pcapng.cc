@@ -1,5 +1,6 @@
 // pcapng reading and capture-format sniffing.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -168,7 +169,9 @@ TEST(PcapNg, RejectsTruncatedBlock) {
 }
 
 TEST(OpenCapture, SniffsBothFormats) {
-  std::string ng_path = ::testing::TempDir() + "/zpm_test.pcapng";
+  // PID-unique: parallel ctest workers share /tmp.
+  const std::string pid = std::to_string(::getpid());
+  std::string ng_path = ::testing::TempDir() + "/zpm_test." + pid + ".pcapng";
   {
     NgBuilder b;
     b.shb();
@@ -181,7 +184,7 @@ TEST(OpenCapture, SniffsBothFormats) {
   ASSERT_NE(ng, nullptr);
   EXPECT_TRUE(ng->next().has_value());
 
-  std::string pcap_path = ::testing::TempDir() + "/zpm_test.pcap";
+  std::string pcap_path = ::testing::TempDir() + "/zpm_test." + pid + ".pcap";
   {
     PcapWriter writer(pcap_path);
     RawPacket pkt;
@@ -195,7 +198,7 @@ TEST(OpenCapture, SniffsBothFormats) {
   ASSERT_TRUE(pkt);
   EXPECT_EQ(pkt->data, sample_frame(0x66));
 
-  std::string junk_path = ::testing::TempDir() + "/zpm_test.junk";
+  std::string junk_path = ::testing::TempDir() + "/zpm_test." + pid + ".junk";
   {
     std::ofstream out(junk_path, std::ios::binary);
     out << "this is not a capture";

@@ -5,6 +5,7 @@
 // snapshot. Plus the FlowTier image: deserialization is geometry-
 // checked and all-or-nothing.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -20,7 +21,8 @@ namespace zpm::analysis {
 namespace {
 
 std::string temp_path(const char* name) {
-  return ::testing::TempDir() + "/" + name;
+  // PID-unique: parallel ctest workers share /tmp.
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
 }
 
 void write_bytes(const std::string& path, std::span<const std::uint8_t> bytes) {

@@ -1,5 +1,6 @@
 // TextTable rendering and CSV escaping.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -44,7 +45,9 @@ TEST(TextTable, EmptyRendersEmpty) {
 }
 
 TEST(CsvWriter, EscapesSpecialCharacters) {
-  std::string path = ::testing::TempDir() + "/zpm_csv_test.csv";
+  // PID-unique: parallel ctest workers share /tmp.
+  std::string path = ::testing::TempDir() + "/zpm_csv_test." +
+                     std::to_string(::getpid()) + ".csv";
   {
     CsvWriter csv(path);
     ASSERT_TRUE(csv.ok());

@@ -4,6 +4,7 @@
 // output — on clean, byte-swapped, nanosecond, corrupted and truncated
 // captures.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -26,7 +27,9 @@ namespace {
 using util::Timestamp;
 
 std::string temp_path(const char* name) {
-  return ::testing::TempDir() + "/" + name;
+  // PID-unique: parallel ctest workers share /tmp, and a half-written
+  // trace under another worker's mmap is a SIGBUS.
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
 }
 
 void write_file(const std::string& path, const std::string& bytes) {
