@@ -2,43 +2,124 @@
 // derived from the pipeline component specs via the switch resource
 // model (stages/instructions reflect the program structure; TCAM/SRAM
 // fractions derive from declared table and register sizes).
+//
+// The extended program appends the data-plane metric offload's two
+// components (capture/offload.h): the RTT/jitter histogram registers
+// and the spin-bit RTT probe. With --check the bench enforces the
+// budget: every component must fit the stage count individually, and
+// the extended program's summed TCAM/SRAM/instruction/hash fractions
+// must stay within the switch (exit 1 on violation — the CI gate that
+// keeps the offload switch-legal as it grows).
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench_common.h"
 #include "capture/filter.h"
+#include "capture/offload.h"
 
 using namespace zpm;
 
-int main() {
+namespace {
+
+void print_component_table(const std::vector<capture::ResourceUsage>& report) {
+  util::TextTable table;
+  std::vector<std::string> header{"Resource Type"};
+  std::vector<util::Align> aligns{util::Align::Left};
+  for (const auto& u : report) {
+    header.push_back(u.component);
+    aligns.push_back(util::Align::Right);
+  }
+  table.header(header, aligns);
+  auto pct = [](double f) { return util::fixed(f * 100.0, 1) + "%"; };
+  auto row = [&](const char* label, auto&& cell) {
+    std::vector<std::string> cells{label};
+    for (const auto& u : report) cells.push_back(cell(u));
+    table.row(cells);
+  };
+  row("Stages", [](const auto& u) { return std::to_string(u.stages); });
+  row("TCAM", [&](const auto& u) { return pct(u.tcam); });
+  row("SRAM", [&](const auto& u) { return pct(u.sram); });
+  row("Instructions", [&](const auto& u) { return pct(u.instructions); });
+  row("Hash Units", [&](const auto& u) { return pct(u.hash_units); });
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--check")) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--check]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::banner("Table 5", "Hardware Resource Usage of the Tofino-based Capture Program");
   capture::CaptureConfig cfg;
   cfg.campus_subnets = {net::Ipv4Subnet(net::Ipv4Addr(10, 8, 0, 0), 16)};
   capture::CaptureFilter filter(cfg);
   auto report = filter.resource_report();
-
-  util::TextTable table;
-  table.header({"Resource Type", "Zoom IP Match", "P2P Detection", "Anonymization"},
-               {util::Align::Left, util::Align::Right, util::Align::Right,
-                util::Align::Right});
-  auto pct = [](double f) { return util::fixed(f * 100.0, 1) + "%"; };
-  table.row({"Stages", std::to_string(report[0].stages),
-             std::to_string(report[1].stages), std::to_string(report[2].stages)});
-  table.row({"TCAM", pct(report[0].tcam), pct(report[1].tcam), pct(report[2].tcam)});
-  table.row({"SRAM", pct(report[0].sram), pct(report[1].sram), pct(report[2].sram)});
-  table.row({"Instructions", pct(report[0].instructions), pct(report[1].instructions),
-             pct(report[2].instructions)});
-  table.row({"Hash Units", pct(report[0].hash_units), pct(report[1].hash_units),
-             pct(report[2].hash_units)});
-  std::printf("%s\n", table.render().c_str());
+  print_component_table(report);
 
   std::printf("paper (Table 5):      stages 2/7/11; TCAM 0.7/1.0/1.4%%;\n");
   std::printf("  SRAM 0.1/10.9/1.1%%; instr 1.3/3.4/5.2%%; hash 0/16.7/8.3%%\n");
   std::printf("shape checks: P2P detection dominates SRAM+hash; anonymization\n");
+  const bool shapes_hold =
+      report[1].sram > report[2].sram && report[1].hash_units > report[2].hash_units &&
+      report[2].instructions > report[1].instructions &&
+      report[0].instructions < report[1].instructions;
   std::printf("  dominates stages+instructions; IP match cheapest: %s\n",
-              (report[1].sram > report[2].sram && report[1].hash_units > report[2].hash_units &&
-               report[2].instructions > report[1].instructions &&
-               report[0].instructions < report[1].instructions)
-                  ? "hold"
-                  : "VIOLATED");
+              shapes_hold ? "hold" : "VIOLATED");
+
+  // Extended program: the data-plane metric offload rides in the same
+  // pipeline; its components join the accounting.
+  const capture::SwitchModel model;
+  auto extended = report;
+  for (const auto& spec : capture::offload_program_components())
+    extended.push_back(capture::estimate_usage(spec, model));
+
+  std::printf("\nextended program (+ data-plane metric offload):\n\n");
+  print_component_table(extended);
+
+  std::size_t max_stages = 0;
+  double tcam = 0, sram = 0, instr = 0, hash = 0;
+  for (const auto& u : extended) {
+    if (u.stages > max_stages) max_stages = u.stages;
+    tcam += u.tcam;
+    sram += u.sram;
+    instr += u.instructions;
+    hash += u.hash_units;
+  }
+  std::printf("extended totals: max stages %zu/%zu | TCAM %.1f%% | SRAM %.1f%% | "
+              "instr %.1f%% | hash %.1f%%\n",
+              max_stages, model.stages, tcam * 100.0, sram * 100.0, instr * 100.0,
+              hash * 100.0);
+
+  if (check) {
+    // Budget gate: components share physical stages (the base program's
+    // 2/7/11 spans overlap), so the stage constraint is per-component;
+    // the memory/ALU/hash fractions are additive across the program.
+    bool ok = shapes_hold;
+    for (const auto& u : extended) {
+      if (u.stages > model.stages) {
+        std::printf("CHECK FAIL: %s spans %zu stages (> %zu available)\n",
+                    u.component.c_str(), u.stages, model.stages);
+        ok = false;
+      }
+    }
+    if (tcam > 1.0 || sram > 1.0 || instr > 1.0 || hash > 1.0) {
+      std::printf("CHECK FAIL: extended program exceeds a resource budget "
+                  "(TCAM %.1f%%, SRAM %.1f%%, instr %.1f%%, hash %.1f%%)\n",
+                  tcam * 100.0, sram * 100.0, instr * 100.0, hash * 100.0);
+      ok = false;
+    }
+    if (!shapes_hold) std::printf("CHECK FAIL: Table 5 shape checks violated\n");
+    std::printf("table5 resource check: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
   return 0;
 }

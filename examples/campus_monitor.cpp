@@ -6,7 +6,7 @@
 // Usage: campus_monitor [hours] [meetings_per_peak_hour]
 //        campus_monitor --pcap <capture.pcap[ng]> [--no-frontend]
 //                       [--frontend-stats] [--flow-memory-budget <bytes>]
-//                       [--no-sketch] [--sketch-stats]
+//                       [--no-sketch] [--sketch-stats] [--dataplane-offload]
 //        campus_monitor --make-trace <out.pcap> [--minutes <m>]
 //                       [--meetings <per-peak-hour>] [--seed <n>]
 //                       [--burst <period-seconds>] [--burst-flows <n>]
@@ -22,6 +22,7 @@
 //                       [--overload-window <pkts>] [--overload-inject <spec>]
 //                       [--overload-high <x>] [--overload-low <x>]
 //                       [--bounded-push] [--slow-shard <i>] [--slow-us <us>]
+//                       [--dataplane-offload]
 //
 // With --pcap the monitor replays a recorded capture through the
 // analyzer using the zero-copy batched ingest path. Each batch is
@@ -32,7 +33,11 @@
 // day summary. The front end's sketch tier summarizes the rejected
 // background flows within --flow-memory-budget bytes (K/M/G suffixes,
 // default 1M; --no-sketch disables it); --sketch-stats prints the
-// absorbed volume and top background heavy hitters.
+// absorbed volume and top background heavy hitters. --dataplane-offload
+// enables the data-plane metric offload (capture/offload.h): the front
+// end's per-shard histogram registers absorb the jitter/RTT metric work
+// for covered server media flows, surfaced via --frontend-stats and the
+// epoch records' offload section in daemon mode.
 //
 // --daemon runs the continuous-operation service loop
 // (analysis/daemon.h): epoch rotation, atomic snapshot + per-epoch
@@ -134,7 +139,8 @@ std::size_t parse_byte_size(const char* spec) {
 }
 
 int monitor_pcap(const char* path, bool frontend, bool frontend_stats,
-                 std::size_t sketch_budget, bool sketch_stats) {
+                 std::size_t sketch_budget, bool sketch_stats,
+                 bool dataplane_offload) {
   net::TraceSource source(path);
   if (!source.ok()) {
     std::fprintf(stderr, "error: cannot open %s (%s)\n", path,
@@ -150,6 +156,7 @@ int monitor_pcap(const char* path, bool frontend, bool frontend_stats,
     fe_cfg.server_db = an_cfg.server_db;
     fe_cfg.shards = 1;
     fe_cfg.flow_memory_budget = sketch_budget;
+    fe_cfg.dataplane_offload = dataplane_offload;
     filter.emplace(std::move(fe_cfg));
   }
 
@@ -168,7 +175,9 @@ int monitor_pcap(const char* path, bool frontend, bool frontend_stats,
         if (verdicts.verdicts[i] == capture::Verdict::Reject)
           analyzer.account_frontend_rejected(batch[i]);
         else
-          analyzer.offer(batch[i]);
+          analyzer.offer(batch[i],
+                         verdicts.verdicts[i] == capture::Verdict::Admit &&
+                             (verdicts.flags[i] & capture::kFlagOffloadCovered) != 0);
       }
     } else {
       for (const auto& view : batch) analyzer.offer(view);
@@ -423,6 +432,8 @@ int run_daemon(int argc, char** argv) {
       if (!want_value("--slow-us")) return 2;
       cfg.engine.fault_slow_us =
           static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--dataplane-offload")) {
+      cfg.engine.dataplane_offload = true;
     } else {
       std::fprintf(stderr, "unknown daemon option %s\n", argv[i]);
       return 2;
@@ -516,6 +527,7 @@ int main(int argc, char** argv) {
     std::size_t sketch_budget = std::size_t{1} << 20;
     bool sketch = true;
     bool sketch_stats = false;
+    bool dataplane_offload = false;
     for (int i = 3; i < argc; ++i) {
       if (!std::strcmp(argv[i], "--no-frontend")) {
         frontend = false;
@@ -532,13 +544,16 @@ int main(int argc, char** argv) {
         sketch = false;
       } else if (!std::strcmp(argv[i], "--sketch-stats")) {
         sketch_stats = true;
+      } else if (!std::strcmp(argv[i], "--dataplane-offload")) {
+        dataplane_offload = true;
       } else {
         std::fprintf(stderr, "unknown option %s\n", argv[i]);
         return 2;
       }
     }
     return monitor_pcap(argv[2], frontend, frontend_stats,
-                        sketch ? sketch_budget : 0, sketch_stats);
+                        sketch ? sketch_budget : 0, sketch_stats,
+                        dataplane_offload);
   }
 
   double hours = argc > 1 ? std::atof(argv[1]) : 1.0;

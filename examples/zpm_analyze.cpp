@@ -53,6 +53,20 @@
 //                     replays shed identically (implies --overload)
 //   --overload-window <pkts>
 //                     governor observation window (default 2048)
+//   --dataplane-offload
+//                     enable the data-plane metric offload
+//                     (capture/offload.h): the front end keeps bucketed
+//                     RTT/jitter histogram registers plus a spin-bit
+//                     style RTT probe for the server media flows it can
+//                     classify at fixed offsets, and the host skips its
+//                     per-packet jitter/latency estimator work for those
+//                     covered packets. Requires the front end (batched
+//                     file path). Reports are byte-identical with the
+//                     offload off for uncovered flows; covered streams'
+//                     jitter/latency columns vacate into the offload
+//                     histograms (--offload-stats)
+//   --offload-stats   print the offload's merged histogram registers and
+//                     coverage/collision accounting
 //
 // Exit codes: 0 analyzed, 1 unreadable/empty/garbage input, 2 usage,
 // 3 strict-mode violation, 4 interrupted (SIGINT: ingestion stops at
@@ -254,6 +268,9 @@ void print_report(const AnalysisOutput& out) {
   health_gate.overload_shed_l2 = 0;
   health_gate.overload_shed_l3 = 0;
   health_gate.overload_shed_l4 = 0;
+  health_gate.offload_covered_packets = 0;
+  health_gate.offload_collisions = 0;
+  health_gate.offload_evictions = 0;
   if (health_gate.all_clear()) {
     std::printf("all clear: every record was fully analyzed\n");
   } else {
@@ -267,6 +284,31 @@ void print_report(const AnalysisOutput& out) {
     std::printf("%s records dropped or quarantined; see docs/ROBUSTNESS.md\n",
                 util::with_commas(out.health.dropped_records()).c_str());
   }
+}
+
+/// One bucket's range label: power-of-two boundaries in µs, promoted to
+/// ms for readability above 1000 µs.
+std::string offload_bucket_label(std::size_t b) {
+  auto human_us = [](std::uint64_t us) {
+    if (us >= 1000) return util::fixed(static_cast<double>(us) / 1000.0, 0) + "ms";
+    return std::to_string(us) + "us";
+  };
+  const std::uint64_t lo = b == 0 ? 0 : std::uint64_t{1} << b;
+  if (b + 1 >= capture::kOffloadBuckets) return ">=" + human_us(lo);
+  return human_us(lo) + "-" + human_us(std::uint64_t{1} << (b + 1));
+}
+
+/// Side-by-side histogram table for the two offload register groups.
+void print_offload_histograms(const capture::OffloadReport& rep) {
+  util::TextTable t;
+  t.header({"Bucket", "Jitter dev", "RTT"},
+           {util::Align::Left, util::Align::Right, util::Align::Right});
+  for (std::size_t b = 0; b < capture::kOffloadBuckets; ++b) {
+    if (rep.jitter.buckets[b] == 0 && rep.rtt.buckets[b] == 0) continue;
+    t.row({offload_bucket_label(b), util::with_commas(rep.jitter.buckets[b]),
+           util::with_commas(rep.rtt.buckets[b])});
+  }
+  std::printf("%s", t.render().c_str());
 }
 
 /// "4M", "256K", "1048576" → bytes (binary suffixes). Returns 0 on a
@@ -297,7 +339,8 @@ int main(int argc, char** argv) {
                  "          [--strict] [--corrupt <seed>] [--no-frontend]\n"
                  "          [--frontend-stats] [--flow-memory-budget <bytes>]\n"
                  "          [--no-sketch] [--sketch-stats] [--overload]\n"
-                 "          [--overload-inject <spec>] [--overload-window <n>]\n",
+                 "          [--overload-inject <spec>] [--overload-window <n>]\n"
+                 "          [--dataplane-offload] [--offload-stats]\n",
                  argv[0]);
     return 2;
   }
@@ -316,6 +359,8 @@ int main(int argc, char** argv) {
   bool overload_enabled = false;
   std::string overload_inject;
   std::uint64_t overload_window = 2048;
+  bool dataplane_offload = false;
+  bool offload_stats = false;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -357,6 +402,10 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--overload-window") && i + 1 < argc) {
       overload_window = std::strtoull(argv[++i], nullptr, 10);
       if (overload_window == 0) overload_window = 2048;
+    } else if (!std::strcmp(argv[i], "--dataplane-offload")) {
+      dataplane_offload = true;
+    } else if (!std::strcmp(argv[i], "--offload-stats")) {
+      offload_stats = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
@@ -480,6 +529,7 @@ int main(int argc, char** argv) {
         fe_cfg.server_db = cfg.server_db;
         fe_cfg.shards = threads;
         fe_cfg.flow_memory_budget = sketch ? flow_memory_budget : 0;
+        fe_cfg.dataplane_offload = dataplane_offload;
         filter.emplace(std::move(fe_cfg));
       }
       std::vector<net::RawPacketView> batch;
@@ -516,7 +566,9 @@ int main(int argc, char** argv) {
               if (v->verdicts[i] == capture::Verdict::Reject)
                 serial->account_frontend_rejected(dispatch[i]);
               else
-                serial->offer(dispatch[i]);
+                serial->offer(dispatch[i],
+                              v->verdicts[i] == capture::Verdict::Admit &&
+                                  (v->flags[i] & capture::kFlagOffloadCovered) != 0);
             }
           }
         } else if (parallel) {
@@ -577,6 +629,13 @@ int main(int argc, char** argv) {
   // The sketch tier lives in the capture front end, not the analyzer;
   // its eviction churn joins the health report here.
   if (filter) out.health.sketch_evicted = filter->sketch_evicted();
+  // So does the data-plane offload's coverage/churn accounting.
+  if (filter && filter->offload_enabled()) {
+    const auto orep = filter->offload_report();
+    out.health.offload_covered_packets = orep.covered_packets;
+    out.health.offload_collisions = orep.collisions();
+    out.health.offload_evictions = orep.flow_evictions;
+  }
   // Same for the overload shedder: every shed packet is accounted by
   // the level that shed it (the conservation check's right-hand side).
   const auto& shed = shedder.stats();
@@ -687,6 +746,27 @@ int main(int argc, char** argv) {
                   util::with_commas(h.packets), util::with_commas(h.error_bytes)});
         std::printf("%s", hh.render().c_str());
       }
+    }
+  }
+
+  if (offload_stats) {
+    std::printf("\n== data-plane metric offload ===================================\n");
+    if (!filter || !filter->offload_enabled()) {
+      std::printf("offload not active (%s)\n",
+                  filter ? "pass --dataplane-offload to enable"
+                         : "front end not on this path");
+    } else {
+      const auto orep = filter->offload_report();
+      std::printf("covered %s media packets | probe arms %s | rtt samples %s\n",
+                  util::with_commas(orep.covered_packets).c_str(),
+                  util::with_commas(orep.probe_arms).c_str(),
+                  util::with_commas(orep.rtt.samples).c_str());
+      std::printf("jitter samples %s | collisions %s | scratch evictions %s\n",
+                  util::with_commas(orep.jitter.samples).c_str(),
+                  util::with_commas(orep.collisions()).c_str(),
+                  util::with_commas(orep.flow_evictions).c_str());
+      if (orep.jitter.samples > 0 || orep.rtt.samples > 0)
+        print_offload_histograms(orep);
     }
   }
 

@@ -9,9 +9,14 @@
 # --check (sketch-tier footprint within 1.25x of the byte budget on a
 # ZPM_SKETCH_FLOWS-flow Zipf background trace, heavy-hitter recall >=
 # ZPM_SKETCH_RECALL_MIN at 4 MiB, Zoom report bit-identical tier
-# on/off), and captures the google-benchmark pipeline numbers.
-# Artifacts: BENCH_ingest.json, BENCH_filter.json, BENCH_sketch.json
-# and BENCH_pipeline.json in the CWD.
+# on/off), runs bench_offload --check (host metric-path speedup >=
+# ZPM_OFFLOAD_SPEEDUP_MIN with the data-plane offload on, default 1.3,
+# plus report byte-identity and histogram/CDF agreement), runs
+# bench_table5_resources --check (extended switch program within the
+# stage/SRAM budget), and captures the google-benchmark pipeline
+# numbers. Artifacts: BENCH_ingest.json, BENCH_filter.json,
+# BENCH_sketch.json, BENCH_offload.json and BENCH_pipeline.json in the
+# CWD.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -19,7 +24,7 @@ BUILD_DIR="${1:-build}"
 : "${ZPM_FILTER_SPEEDUP_MIN:=3.0}"
 export ZPM_INGEST_SPEEDUP_MIN ZPM_FILTER_SPEEDUP_MIN
 
-for bin in bench_ingest bench_filter bench_sketch; do
+for bin in bench_ingest bench_filter bench_sketch bench_offload bench_table5_resources; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built" >&2
     exit 2
@@ -35,6 +40,12 @@ echo "=== bench_filter (speedup threshold ${ZPM_FILTER_SPEEDUP_MIN}x) ==="
 echo "=== bench_sketch (${ZPM_SKETCH_FLOWS:-1000000} background flows) ==="
 "$BUILD_DIR/bench/bench_sketch" --check BENCH_sketch.json
 
+echo "=== bench_offload (speedup threshold ${ZPM_OFFLOAD_SPEEDUP_MIN:-1.3}x) ==="
+"$BUILD_DIR/bench/bench_offload" --check BENCH_offload.json
+
+echo "=== bench_table5_resources (extended program budget) ==="
+"$BUILD_DIR/bench/bench_table5_resources" --check
+
 echo "=== bench_parallel_pipeline ==="
 # google-benchmark >= 1.8 wants a "0.05s" suffix on min_time; older
 # versions only accept a bare double. Try new syntax first.
@@ -45,4 +56,4 @@ run_pipeline() {
 }
 run_pipeline 0.05s || run_pipeline 0.05
 
-echo "artifacts: BENCH_ingest.json BENCH_filter.json BENCH_sketch.json BENCH_pipeline.json"
+echo "artifacts: BENCH_ingest.json BENCH_filter.json BENCH_sketch.json BENCH_offload.json BENCH_pipeline.json"

@@ -70,6 +70,9 @@ void encode_health(const core::AnalyzerHealth& h, util::ByteWriter& w) {
   w.u64be(h.source_stalls);
   w.u64be(h.kernel_packets);
   w.u64be(h.kernel_drops);
+  w.u64be(h.offload_covered_packets);
+  w.u64be(h.offload_collisions);
+  w.u64be(h.offload_evictions);
 }
 
 bool decode_health(util::ByteReader& r, core::AnalyzerHealth& h) {
@@ -101,6 +104,9 @@ bool decode_health(util::ByteReader& r, core::AnalyzerHealth& h) {
   h.source_stalls = r.u64be();
   h.kernel_packets = r.u64be();
   h.kernel_drops = r.u64be();
+  h.offload_covered_packets = r.u64be();
+  h.offload_collisions = r.u64be();
+  h.offload_evictions = r.u64be();
   return r.ok();
 }
 
@@ -169,6 +175,7 @@ void encode_epoch_report(const EpochReport& report, util::ByteWriter& w) {
     w.u64be(h.error_bytes);
   }
   w.u32be(report.max_overload_level);
+  capture::encode_offload_report(report.offload, w);
 }
 
 bool decode_epoch_report(util::ByteReader& r, EpochReport& report) {
@@ -206,6 +213,9 @@ bool decode_epoch_report(util::ByteReader& r, EpochReport& report) {
     report.heavy_hitters.push_back(h);
   }
   report.max_overload_level = r.u32be();
+  auto offload = capture::decode_offload_report(r);
+  if (!offload) return false;
+  report.offload = *offload;
   return r.ok();
 }
 
@@ -256,6 +266,8 @@ void EpochEngine::open_epoch() {
     fc.server_db = config_.analyzer.server_db;
     fc.shards = config_.shards;
     fc.flow_memory_budget = config_.flow_memory_budget;
+    fc.dataplane_offload = config_.dataplane_offload;
+    fc.offload = config_.offload;
     filter_.emplace(std::move(fc));
   }
   // Overload bookkeeping: the governor's level/EWMA carry across the
@@ -311,7 +323,9 @@ void EpochEngine::feed(std::span<const net::RawPacketView> run,
         if (verdicts->verdicts[i] == capture::Verdict::Reject)
           serial_->account_frontend_rejected(dispatch[i]);
         else
-          serial_->offer(dispatch[i]);
+          serial_->offer(dispatch[i],
+                         verdicts->verdicts[i] == capture::Verdict::Admit &&
+                             (verdicts->flags[i] & capture::kFlagOffloadCovered) != 0);
       }
     }
   } else if (parallel_) {
@@ -426,6 +440,15 @@ EpochReport EpochEngine::close_epoch() {
     auto tier = filter_->sketch_report(config_.heavy_hitter_limit);
     rep.tier_stats = tier.stats;
     rep.heavy_hitters = std::move(tier.heavy_hitters);
+    if (filter_->offload_enabled()) {
+      // Fold the merged per-shard offload registers into the durable
+      // record; the health counters mirror the report's accounting so
+      // coverage shows up in the standard health table.
+      rep.offload = filter_->offload_report();
+      rep.health.offload_covered_packets = rep.offload.covered_packets;
+      rep.health.offload_collisions = rep.offload.collisions();
+      rep.health.offload_evictions = rep.offload.flow_evictions;
+    }
   }
   // Rotation retires the window's flow/meeting state — that is the
   // memory bound, and it is accounted here so it is never silent.

@@ -20,9 +20,14 @@
 // (the pipeline's bit-identity contract); the sketch-tier summary is
 // not — the front end partitions its flow tables by shard, so tier
 // eviction patterns legitimately depend on the shard count, though
-// they stay deterministic for any fixed count. Nondeterministic
-// gauges (`ring_wait_spins`, `source_stalls`) are zeroed in the
-// durable record.
+// they stay deterministic for any fixed count. The data-plane offload
+// summary follows the same rule: which packets are *covered* is a pure
+// per-packet predicate (shard-invariant), but the offload's register
+// histograms and collision counters live in per-shard instances, so
+// their slot-collision churn depends on the shard count while staying
+// deterministic for any fixed count. Nondeterministic gauges
+// (`ring_wait_spins`, `source_stalls`) are zeroed in the durable
+// record.
 #pragma once
 
 #include <cstdint>
@@ -62,6 +67,12 @@ struct EpochEngineConfig {
   std::size_t shards = 1;
   bool frontend = true;
   std::size_t flow_memory_budget = std::size_t{1} << 20;  // 0 = no sketch tier
+  /// Data-plane metric offload (capture/offload.h): the front end keeps
+  /// in-dataplane RTT/jitter histograms for covered media flows and the
+  /// host skips the per-packet estimator work for them. Requires the
+  /// front end; ignored when `frontend` is false.
+  bool dataplane_offload = false;
+  capture::OffloadConfig offload;
   EpochLimits limits;
   /// Heavy hitters retained per epoch record.
   std::size_t heavy_hitter_limit = 16;
@@ -100,6 +111,11 @@ struct EpochReport {
   /// >= 3 means media-flow coverage was degraded (sampled); the shed
   /// totals are in health.overload_shed_l1..l4.
   std::uint32_t max_overload_level = 0;
+  /// Data-plane offload summary: merged per-shard RTT/jitter histogram
+  /// registers plus coverage/collision accounting. All-zero when the
+  /// offload is disabled (and encoded as such — the record format is
+  /// fixed, not conditional).
+  capture::OffloadReport offload;
 
   bool operator==(const EpochReport&) const = default;
 };

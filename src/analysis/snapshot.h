@@ -32,9 +32,12 @@ namespace zpm::analysis {
 
 // Version 2: AnalyzerHealth gained the overload-shed counters and the
 // kernel capture gauges, and EpochReport gained max_overload_level.
-// Version-1 files fail validation and trigger a logged fresh start
-// (the established exactly-or-fresh posture).
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+// Version 3: AnalyzerHealth gained the data-plane offload accounting
+// (offload_covered_packets/collisions/evictions) and EpochReport
+// gained the OffloadReport histogram section. Older-version files
+// fail validation and trigger a logged fresh start (the established
+// exactly-or-fresh posture).
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Everything a restarted daemon needs to continue. Bounded: the epoch
 /// list holds only the most recent records (kSnapshotRecentEpochs);

@@ -142,6 +142,12 @@ std::vector<HealthRow> health_rows(const core::AnalyzerHealth& h) {
       h.kernel_packets, false);
   add("kernel-drops", "kernel ring drops before the daemon saw the packet",
       h.kernel_drops, false);
+  add("offload-covered", "metric work absorbed by the data-plane offload",
+      h.offload_covered_packets, false);
+  add("offload-collisions", "offload probe/telemetry register slot overwrites",
+      h.offload_collisions, false);
+  add("offload-evictions", "offload jitter scratch slots lost to colliding streams",
+      h.offload_evictions, false);
   return rows;
 }
 
@@ -163,6 +169,12 @@ std::vector<HealthRow> frontend_rows(const capture::FrontEndStats& s) {
       s.simd_batches);
   add("frontend-scalar-batches", "batches classified by the scalar reference probe",
       s.scalar_batches);
+  add("offload-covered", "admits absorbed by the data-plane metric offload",
+      s.offload_covered);
+  add("offload-collisions", "offload probe/telemetry register slot overwrites",
+      s.offload_collisions);
+  add("offload-evictions", "offload jitter scratch slots lost to colliding streams",
+      s.offload_evictions);
   return rows;
 }
 

@@ -151,6 +151,20 @@ BatchFilter::BatchFilter(BatchFilterConfig config, Mode mode)
     tiers_.reserve(shards);
     for (std::size_t i = 0; i < shards; ++i) tiers_.emplace_back(per_shard);
   }
+  if (config_.dataplane_offload) {
+    // One offload per shard, mirroring the sketch tier: every update
+    // happens on the producer thread inside classify(), so the register
+    // partitioning (and its collision pattern) follows the shard map.
+    const std::size_t shards = config_.shards > 0 ? config_.shards : 1;
+    offloads_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) offloads_.emplace_back(config_.offload);
+  }
+}
+
+OffloadReport BatchFilter::offload_report() const {
+  OffloadReport merged;
+  for (const auto& offload : offloads_) merged.merge(offload.report());
+  return merged;
 }
 
 bool BatchFilter::demote_flow(const net::FiveTuple& canonical,
@@ -488,6 +502,22 @@ void BatchFilter::resolve(std::span<const net::RawPacketView> batch,
         flows_.lookup_or_insert(key, hash, config_.shards);
     out.shard[i] = hit.shard;
     out.slot[i] = hit.slot;
+
+    // Data-plane metric offload: server media packets whose jitter/RTT
+    // fields sit at fixed offsets are absorbed by the owner shard's
+    // register stage and marked covered, so the host dispatch path
+    // skips its per-packet metric updates for them. Coverage never
+    // changes a verdict — uncovered flows are untouched either way.
+    if (!offloads_.empty() && (p.flags & kUdp) && (p.flags & kZoomShape)) {
+      if (const auto fields = extract_offload_fields(batch[i].data)) {
+        const OffloadUpdate u =
+            offloads_[hit.shard].on_media_packet(batch[i].ts, *fields);
+        out.flags[i] |= kFlagOffloadCovered;
+        ++stats_.offload_covered;
+        stats_.offload_collisions += u.probe_collisions + u.telemetry_collisions;
+        stats_.offload_evictions += u.flow_evictions;
+      }
+    }
 
     // First Admit of a flow the tier had already summarized (rejected
     // until a STUN exchange armed its endpoint): hand the accumulated

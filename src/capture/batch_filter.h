@@ -45,6 +45,7 @@
 #include <span>
 #include <vector>
 
+#include "capture/offload.h"
 #include "net/five_tuple.h"
 #include "net/packet.h"
 #include "sketch/sketch.h"
@@ -67,6 +68,11 @@ inline constexpr std::uint8_t kFlagStunPort = 0x01;
 /// type + known RTP payload type, or a valid STUN prefix). Look-alike
 /// port squatters never get this flag (tests/test_batch_filter.cc).
 inline constexpr std::uint8_t kFlagZoomShaped = 0x02;
+/// The data-plane offload absorbed this packet's metric work (capture/
+/// offload.h): the host dispatch path must skip its per-packet
+/// jitter/latency updates for it. Only set when the offload is enabled
+/// and extract_offload_fields succeeded on the frame.
+inline constexpr std::uint8_t kFlagOffloadCovered = 0x04;
 
 /// classify() output, index-aligned with the input batch. The arrays
 /// are only resized (geometric capacity growth), so reusing one
@@ -120,6 +126,11 @@ struct FrontEndStats {
   std::uint64_t stun_flagged = 0;  ///< admitted with kFlagStunPort
   std::uint64_t simd_batches = 0;
   std::uint64_t scalar_batches = 0;
+  /// Data-plane offload coverage and register churn (zero unless
+  /// BatchFilterConfig::dataplane_offload is on).
+  std::uint64_t offload_covered = 0;    ///< admits with kFlagOffloadCovered
+  std::uint64_t offload_collisions = 0; ///< probe + telemetry slot overwrites
+  std::uint64_t offload_evictions = 0;  ///< jitter scratch slot overwrites
 };
 
 /// Stage 2: open-addressing flat map from packed canonical 5-tuples to
@@ -185,6 +196,13 @@ struct BatchFilterConfig {
   /// BatchVerdicts::promotions. Verdicts are identical with the tier on
   /// or off — the tier only *observes* the Reject stream.
   std::size_t flow_memory_budget = 0;
+  /// Enables the data-plane metric offload (capture/offload.h): one
+  /// DataPlaneOffload per shard absorbs the jitter/RTT metric work for
+  /// server media packets it can classify at fixed offsets, marking
+  /// them kFlagOffloadCovered so the host skips those updates. Verdicts
+  /// are identical with the offload on or off — it only adds a flag.
+  bool dataplane_offload = false;
+  OffloadConfig offload;  ///< register sizing when enabled
 };
 
 /// See file comment.
@@ -235,6 +253,18 @@ class BatchFilter {
     return tiers_[shard];
   }
 
+  // --- Data-plane offload -----------------------------------------------
+
+  [[nodiscard]] bool offload_enabled() const { return !offloads_.empty(); }
+  /// Merged register contents across all shards (exact: every counter
+  /// register is increment-only, so summing is lossless).
+  [[nodiscard]] OffloadReport offload_report() const;
+  /// Shard-local offload (bench/test introspection); requires
+  /// offload_enabled().
+  [[nodiscard]] const DataPlaneOffload& offload(std::size_t shard) const {
+    return offloads_[shard];
+  }
+
  private:
   /// Order-independent per-packet facts, produced identically by the
   /// scalar and SWAR/SSE2 probe layers; the stateful resolve pass that
@@ -268,6 +298,7 @@ class BatchFilter {
   FrontEndStats stats_;
   FlowDispatchTable flows_;
   std::vector<sketch::FlowTier> tiers_;  // one per shard; empty = disabled
+  std::vector<DataPlaneOffload> offloads_;  // one per shard; empty = disabled
   std::vector<Probe> probes_;  // classify() scratch, reused
   std::vector<std::uint64_t> candidates_;
   std::size_t candidates_mask_;

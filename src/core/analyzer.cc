@@ -136,7 +136,8 @@ void Analyzer::note_flow_quality(const net::FiveTuple& flow, bool malformed,
   }
 }
 
-bool Analyzer::offer(const net::RawPacketView& pkt) {
+bool Analyzer::offer(const net::RawPacketView& pkt, bool covered) {
+  covered_packet_ = covered;
   ++counters_.total_packets;
   counters_.total_bytes += pkt.data.size();
   if (journal_ == nullptr) {
@@ -167,7 +168,8 @@ void Analyzer::account_frontend_rejected(const net::RawPacketView& pkt) {
   ++health_.frontend_rejected;
 }
 
-bool Analyzer::process(const net::PacketView& view) {
+bool Analyzer::process(const net::PacketView& view, bool covered) {
+  covered_packet_ = covered;
   ++counters_.total_packets;
   counters_.total_bytes += view.wire_length();
   if (journal_ == nullptr) note_stream_order(view.ts);
@@ -425,7 +427,12 @@ void Analyzer::handle_dissected(const net::PacketView& view,
     grouper_.touch(stream.meeting_id, view.ts);
   }
   stream.metrics->on_media_packet(view.ts, encap, rtp, zp.rtp_payload.size(),
-                                  view.l4_payload.size());
+                                  view.l4_payload.size(), covered_packet_);
+
+  // Offload-covered packets skip the copy matcher entirely: the data
+  // plane's spin-bit probe already derived their RTT samples into its
+  // histogram registers.
+  if (covered_packet_) return;
 
   // §5.3 method 1: RTT via SFU-forwarded copies. Egress and ingress
   // copies ride different flows, so in sharded mode the match itself is

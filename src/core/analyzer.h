@@ -118,13 +118,19 @@ class Analyzer {
   explicit Analyzer(AnalyzerConfig config = {});
 
   /// Offers one raw captured frame. Returns true if it was recognized
-  /// as Zoom traffic (any category).
-  bool offer(const net::RawPacket& pkt) { return offer(net::as_view(pkt)); }
+  /// as Zoom traffic (any category). `covered` marks a packet the
+  /// data-plane offload already absorbed (capture::kFlagOffloadCovered):
+  /// it is analyzed normally except that the per-packet jitter/latency
+  /// metric updates — the work the switch registers now hold — are
+  /// skipped (StreamMetrics clock/jitter estimators, RTT copy-matching).
+  bool offer(const net::RawPacket& pkt, bool covered = false) {
+    return offer(net::as_view(pkt), covered);
+  }
   /// Same, for a non-owning view (the zero-copy ingest path). The view
   /// only needs to stay valid for the duration of the call.
-  bool offer(const net::RawPacketView& pkt);
+  bool offer(const net::RawPacketView& pkt, bool covered = false);
   /// Same, for an already-decoded packet.
-  bool process(const net::PacketView& view);
+  bool process(const net::PacketView& view, bool covered = false);
 
   /// Accounts a packet the capture front end (capture::BatchFilter)
   /// rejected without decoding: replays exactly the totals /
@@ -249,6 +255,9 @@ class Analyzer {
   std::optional<net::FiveTuple> last_zoom_flow_;
   std::unordered_map<net::FiveTuple, metrics::TcpRttEstimator> tcp_rtt_;
   ShardJournal* journal_ = nullptr;
+  /// Offload coverage of the packet currently being processed; set at
+  /// every entry point, consumed by handle_dissected.
+  bool covered_packet_ = false;
 };
 
 }  // namespace zpm::core

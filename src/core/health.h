@@ -88,6 +88,16 @@ struct AnalyzerHealth {
   std::uint64_t kernel_packets = 0;  // seen at the kernel filter point
   std::uint64_t kernel_drops = 0;    // dropped for lack of ring space
 
+  // -- data-plane metric offload (capture/offload.h; accounting only,
+  //    no packet is dropped — covered packets are analyzed normally
+  //    minus the metric work the switch registers absorbed). Like
+  //    sketch_evicted, the collision/eviction churn depends on how
+  //    flows partition across per-shard offload instances, so these sit
+  //    outside the serial-vs-sharded bit-identity contract. --
+  std::uint64_t offload_covered_packets = 0;  // packets the offload absorbed
+  std::uint64_t offload_collisions = 0;  // probe + telemetry slot overwrites
+  std::uint64_t offload_evictions = 0;   // jitter scratch slot overwrites
+
   bool operator==(const AnalyzerHealth&) const = default;
 
   /// Adds another shard's counters. Plain u64 sums: merging per-shard
@@ -121,6 +131,9 @@ struct AnalyzerHealth {
     source_stalls += o.source_stalls;
     kernel_packets += o.kernel_packets;
     kernel_drops += o.kernel_drops;
+    offload_covered_packets += o.offload_covered_packets;
+    offload_collisions += o.offload_collisions;
+    offload_evictions += o.offload_evictions;
   }
 
   /// Total packets deliberately shed by the overload ladder (all

@@ -80,6 +80,9 @@ void StreamMetrics::on_frame(const FrameRecord& frame) {
   // Frame-level jitter: one observation per frame, timed at the frame's
   // first packet (the "arrival" of the frame); frames completing out of
   // media order (late retransmission-repaired frames) are skipped.
+  // Offload-covered packets skip it wholesale — the data plane's
+  // histogram registers hold the jitter signal for those streams.
+  if (packet_covered_) return;
   if (!last_jitter_ts_ || frame.rtp_timestamp > *last_jitter_ts_) {
     last_jitter_ts_ = frame.rtp_timestamp;
     frame_jitter_.add(frame.first_packet,
@@ -91,7 +94,8 @@ void StreamMetrics::on_media_packet(util::Timestamp arrival,
                                     const zoom::MediaEncap& encap,
                                     const proto::RtpHeader& rtp,
                                     std::size_t rtp_payload_bytes,
-                                    std::size_t udp_payload_bytes) {
+                                    std::size_t udp_payload_bytes, bool covered) {
+  packet_covered_ = covered;
   if (first_seen_.is_zero()) first_seen_ = arrival;
   last_seen_ = arrival;
   advance_to(arrival);
@@ -124,7 +128,11 @@ void StreamMetrics::on_media_packet(util::Timestamp arrival,
 
   if (is_main_substream(rtp.payload_type)) {
     // Passive clock recovery uses the main sub-stream's timestamps.
-    clock_estimator_.add(arrival, rtp.timestamp);
+    // Covered packets skip the estimators (clock recovery, packet-level
+    // jitter): that per-packet work is exactly what the data-plane
+    // offload absorbed. Frame counting and assembly stay host-side —
+    // they feed records the switch does not keep.
+    if (!covered) clock_estimator_.add(arrival, rtp.timestamp);
     if (kind_ == zoom::MediaKind::Audio) {
       // Audio frames are single packets; count frames directly and feed
       // packet-level jitter (each packet carries a fresh timestamp).
@@ -132,10 +140,12 @@ void StreamMetrics::on_media_packet(util::Timestamp arrival,
       // timestamp and are excluded from the jitter computation.
       ++cur_.frames_completed;
       bin_frame_bytes_sum_ += static_cast<double>(rtp_payload_bytes);
-      std::int64_t ext = jitter_ts_extender_.extend(rtp.timestamp);
-      if (!last_jitter_ts_ || ext > *last_jitter_ts_) {
-        last_jitter_ts_ = ext;
-        frame_jitter_.add(arrival, rtp.timestamp);
+      if (!covered) {
+        std::int64_t ext = jitter_ts_extender_.extend(rtp.timestamp);
+        if (!last_jitter_ts_ || ext > *last_jitter_ts_) {
+          last_jitter_ts_ = ext;
+          frame_jitter_.add(arrival, rtp.timestamp);
+        }
       }
     } else {
       assembler_.on_packet(arrival, rtp.sequence, rtp.timestamp, rtp.marker,

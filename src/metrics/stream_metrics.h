@@ -51,9 +51,14 @@ class StreamMetrics {
   StreamMetrics(zoom::MediaKind kind, std::uint32_t ssrc, StreamMetricsConfig config);
 
   /// Feeds one dissected RTP media packet belonging to this stream.
+  /// `covered` marks a packet the data-plane offload already absorbed:
+  /// counting, loss/sequence tracking, frame assembly and talk activity
+  /// proceed unchanged, but the per-packet estimator work the switch
+  /// registers now hold — clock-rate recovery and frame-level jitter —
+  /// is skipped (those fields simply stay empty for covered streams).
   void on_media_packet(util::Timestamp arrival, const zoom::MediaEncap& encap,
                        const proto::RtpHeader& rtp, std::size_t rtp_payload_bytes,
-                       std::size_t udp_payload_bytes);
+                       std::size_t udp_payload_bytes, bool covered = false);
 
   /// Feeds an RTCP packet of the stream (counts toward transport bytes).
   void on_rtcp_packet(util::Timestamp arrival, std::size_t udp_payload_bytes);
@@ -161,6 +166,10 @@ class StreamMetrics {
   double bin_frame_bytes_sum_ = 0.0;
   std::optional<double> bin_encoder_fps_;
 
+  /// True while processing an offload-covered packet (on_media_packet
+  /// sets it; on_frame, called synchronously from frame assembly, reads
+  /// it to skip the jitter observation for frames completed by one).
+  bool packet_covered_ = false;
   std::uint64_t media_packets_ = 0;
   std::uint64_t media_payload_bytes_ = 0;
   std::uint64_t talk_packets_total_ = 0;

@@ -35,6 +35,9 @@ struct ParallelAnalyzer::Item {
   };
   std::uint64_t seq = 0;
   Kind kind = Kind::Full;
+  /// Data-plane offload coverage (capture::kFlagOffloadCovered): the
+  /// shard's analyzer skips the per-packet metric updates for this item.
+  bool covered = false;
   net::PacketView view;
   net::RawPacket owned;
   std::shared_ptr<const std::vector<std::uint8_t>> block;
@@ -63,7 +66,7 @@ struct ParallelAnalyzer::Shard {
       for (Item& item : batch) {
         journal.seq = item.seq;
         if (item.kind == Item::Kind::Full) {
-          analyzer.process(item.view);
+          analyzer.process(item.view, item.covered);
         } else {
           analyzer.register_stun_candidate(item.ts, item.ip, item.port);
         }
@@ -287,6 +290,8 @@ void ParallelAnalyzer::offer_batch_impl(std::span<const net::RawPacketView> batc
     Item item;
     item.seq = seq;
     item.kind = Item::Kind::Full;
+    item.covered = verdict == capture::Verdict::Admit &&
+                   (verdicts->flags[idx] & capture::kFlagOffloadCovered) != 0;
     item.view = *view;
     item.block = block;  // null on the pinned path
     staging_[owner].push_back(std::move(item));

@@ -1,0 +1,126 @@
+// Differential fuzz target for the data-plane metric offload
+// (capture/offload.h). The first byte selects the mode:
+//
+//   0 — update-stream differential: the rest is an operation stream
+//       [dir u8][ssrc u8][seq u16le][ts u16le][dt i16le] driving the
+//       register-array DataPlaneOffload and the exact-sample
+//       OffloadReference over a small stream universe with arbitrary
+//       arrival-time deltas (including hostile regressions). The two
+//       reports must stay bit-for-bit identical — the scalar histogram
+//       update path against its independent loop-based formulation.
+//   1 — codec: the rest is a candidate encoded OffloadReport. A decode
+//       that succeeds must re-encode to a parse→encode→reparse fixpoint
+//       (identical bytes, equal reports); malformed input must be
+//       rejected without crashing.
+//   2 — field extraction: extract_offload_fields over the raw tail
+//       bytes (arbitrary frames) must never crash, and any fields it
+//       does accept must drive both implementations identically.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+
+#include "capture/offload.h"
+#include "util/bytes.h"
+#include "util/time.h"
+#include "zoom/constants.h"
+
+namespace {
+
+[[noreturn]] void die(const char* msg) {
+  std::fprintf(stderr, "fuzz_offload: %s\n", msg);
+  std::abort();
+}
+
+void check_equal(const zpm::capture::DataPlaneOffload& offload,
+                 const zpm::capture::OffloadReference& reference) {
+  if (!(offload.report() == reference.report()))
+    die("register-array report diverged from exact reference");
+}
+
+void run_update_stream(const std::uint8_t* data, std::size_t size) {
+  zpm::capture::OffloadConfig small;
+  small.flow_slots = 1;   // clamped to the 16-slot minimum: constant churn
+  small.probe_slots = 1;
+  zpm::capture::DataPlaneOffload offload(small);
+  zpm::capture::OffloadReference reference(small);
+
+  std::int64_t t = 0;
+  std::size_t pos = 0;
+  while (pos + 8 <= size) {
+    zpm::capture::OffloadFields f;
+    f.direction = (data[pos] & 1) ? zpm::zoom::kSfuDirFromSfu
+                                  : zpm::zoom::kSfuDirToSfu;
+    // Small universes so streams actually revisit slots.
+    f.ssrc = 1 + (data[pos + 1] % 24);
+    f.media_type = static_cast<std::uint8_t>(
+        (data[pos] & 2) ? zpm::zoom::MediaEncapType::Audio
+                        : zpm::zoom::MediaEncapType::Video);
+    f.seq = static_cast<std::uint16_t>((data[pos + 2] | (data[pos + 3] << 8)) %
+                                       64);
+    f.rtp_ts = static_cast<std::uint32_t>((data[pos + 4] | (data[pos + 5] << 8)) %
+                                          64);
+    f.clock_hz = f.media_type ==
+                         static_cast<std::uint8_t>(zpm::zoom::MediaEncapType::Audio)
+                     ? zpm::zoom::kAudioClockHz
+                     : zpm::zoom::kVideoClockHz;
+    f.payload_bytes = 100 + data[pos + 1];
+    // Signed delta: hostile traces regress timestamps; both paths must
+    // clamp identically.
+    const auto dt =
+        static_cast<std::int16_t>(data[pos + 6] | (data[pos + 7] << 8));
+    t += dt;
+    pos += 8;
+
+    const auto ts = zpm::util::Timestamp::from_micros(t);
+    offload.on_media_packet(ts, f);
+    reference.on_media_packet(ts, f);
+  }
+  check_equal(offload, reference);
+}
+
+void run_codec(const std::uint8_t* data, std::size_t size) {
+  zpm::util::ByteReader r(std::span(data, size));
+  const auto report = zpm::capture::decode_offload_report(r);
+  if (!report) return;
+  zpm::util::ByteWriter w;
+  zpm::capture::encode_offload_report(*report, w);
+  const auto bytes = w.take();
+  zpm::util::ByteReader r2(bytes);
+  const auto again = zpm::capture::decode_offload_report(r2);
+  if (!again) die("re-encoded report failed to decode");
+  if (!(*again == *report)) die("codec round trip changed the report");
+  zpm::util::ByteWriter w2;
+  zpm::capture::encode_offload_report(*again, w2);
+  if (w2.take() != bytes) die("encode is not a fixpoint");
+}
+
+void run_extract(const std::uint8_t* data, std::size_t size) {
+  const auto fields =
+      zpm::capture::extract_offload_fields(std::span(data, size));
+  if (!fields) return;
+  zpm::capture::DataPlaneOffload offload;
+  zpm::capture::OffloadReference reference{};
+  const auto ts = zpm::util::Timestamp::from_micros(1000);
+  offload.on_media_packet(ts, *fields);
+  reference.on_media_packet(ts, *fields);
+  check_equal(offload, reference);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 1) return 0;
+  switch (data[0] % 3) {
+    case 0:
+      run_update_stream(data + 1, size - 1);
+      break;
+    case 1:
+      run_codec(data + 1, size - 1);
+      break;
+    case 2:
+      run_extract(data + 1, size - 1);
+      break;
+  }
+  return 0;
+}

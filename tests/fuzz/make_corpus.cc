@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/snapshot.h"
+#include "capture/offload.h"
 #include "net/build.h"
 #include "net/pcap.h"
 #include "sketch/sketch.h"
@@ -459,6 +460,51 @@ int main(int argc, char** argv) {
     sched.push_back(1);  // selector: schedule parser
     sched.insert(sched.end(), spec.begin(), spec.end());
     write_seed(root / "fuzz_overload", "schedule.bin", sched);
+  }
+
+  // fuzz_offload: [selector u8] routes 0 -> the register-vs-reference
+  // update-stream differential, 1 -> the OffloadReport codec, 2 -> field
+  // extraction over a raw frame. Seeds: a two-stream update schedule
+  // with both SFU directions (so the probe arms and matches), a valid
+  // encoded report, and a well-formed covered media frame.
+  {
+    std::vector<std::uint8_t> updates;
+    updates.push_back(0);  // selector: update stream
+    auto op = [&updates](std::uint8_t dir_media, std::uint8_t ssrc,
+                         std::uint16_t seq, std::uint16_t ts,
+                         std::int16_t dt) {
+      updates.push_back(dir_media);
+      updates.push_back(ssrc);
+      le16(updates, seq);
+      le16(updates, ts);
+      le16(updates, static_cast<std::uint16_t>(dt));
+    };
+    for (std::uint16_t i = 0; i < 24; ++i) {
+      op(0, 3, i, static_cast<std::uint16_t>(i * 4), 33);  // video up
+      op(1, 3, i, static_cast<std::uint16_t>(i * 4), 8);   // forwarded copy
+      op(2, 9, i, static_cast<std::uint16_t>(i * 2), 20);  // audio up
+    }
+    op(0, 3, 50, 200, -500);  // hostile: timestamp regression
+    write_seed(root / "fuzz_offload", "update_stream.bin", updates);
+
+    capture::OffloadReport orep;
+    orep.jitter.add(900);
+    orep.jitter.add(2'400);
+    orep.rtt.add(18'000);
+    orep.covered_packets = 3;
+    orep.probe_arms = 2;
+    orep.flow_evictions = 1;
+    util::ByteWriter ow;
+    capture::encode_offload_report(orep, ow);
+    std::vector<std::uint8_t> codec;
+    codec.push_back(1);  // selector: codec
+    codec.insert(codec.end(), ow.view().begin(), ow.view().end());
+    write_seed(root / "fuzz_offload", "report.bin", codec);
+
+    std::vector<std::uint8_t> frame;
+    frame.push_back(2);  // selector: field extraction
+    frame.insert(frame.end(), frame1.data.begin(), frame1.data.end());
+    write_seed(root / "fuzz_offload", "covered_frame.bin", frame);
   }
 
   std::printf("corpus written under %s\n", root.string().c_str());
