@@ -14,7 +14,8 @@
 //                       [--loops <n>] [--pace-pps <pps>]
 //                       [--stall-after <pkts>] [--epoch-packets <n>]
 //                       [--epoch-seconds <s>] [--snapshot <file>]
-//                       [--report-dir <dir>] [--config <file>]
+//                       [--report-dir <dir>] [--site <name>] [--no-journal]
+//                       [--config <file>]
 //                       [--watchdog-seconds <s>] [--threads <n>]
 //                       [--halt-after-epochs <n>] [--no-frontend]
 //                       [--flow-memory-budget <bytes>] [--quiet]
@@ -42,7 +43,12 @@
 // --daemon runs the continuous-operation service loop
 // (analysis/daemon.h): epoch rotation, atomic snapshot + per-epoch
 // report files, SIGHUP config reload, SIGTERM/SIGINT graceful drain,
-// and a watchdog that reopens a stalled source. The overload governor
+// and a watchdog that reopens a stalled source. With --report-dir the
+// daemon also appends an indexed metric journal
+// (journal-<site>-NNNNNNNNNNNN.zpmj) and maintains a MANIFEST listing
+// every segment's path and epoch time span — the inputs zpm_query
+// answers time-windowed CDF queries from (--no-journal opts out;
+// --site labels the segments for multi-site merges). The overload governor
 // (src/overload, docs/ROBUSTNESS.md §5) defaults on for --live and off
 // for --replay; --overload / --no-overload override, --overload-inject
 // replaces the real pressure signals with a deterministic schedule
@@ -346,6 +352,7 @@ int run_daemon(int argc, char** argv) {
   cfg.engine.limits.max_span = util::Duration::seconds(60.0);
   net::ReplayLiveSourceConfig replay_cfg;
   std::optional<bool> overload_flag;  // unset = mode default
+  bool journal_flag_set = false;      // --no-journal given
 
   for (int i = 2; i < argc; ++i) {
     const auto want_value = [&](const char* flag) {
@@ -380,6 +387,12 @@ int run_daemon(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--report-dir")) {
       if (!want_value("--report-dir")) return 2;
       cfg.report_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--site")) {
+      if (!want_value("--site")) return 2;
+      cfg.site = argv[++i];
+    } else if (!std::strcmp(argv[i], "--no-journal")) {
+      cfg.engine.collect_journal = false;
+      journal_flag_set = true;
     } else if (!std::strcmp(argv[i], "--config")) {
       if (!want_value("--config")) return 2;
       cfg.config_path = argv[++i];
@@ -465,6 +478,10 @@ int run_daemon(int argc, char** argv) {
   // the poll loop that keeps the kernel ring drained.
   cfg.engine.overload.enabled = overload_flag.value_or(!live_interface.empty());
   if (!live_interface.empty()) cfg.engine.bounded_dispatch = true;
+  // Journal default: on whenever a report directory exists — the
+  // directory then carries epoch files, journal segments and a MANIFEST
+  // for zpm_query. --no-journal opts out.
+  if (!journal_flag_set) cfg.engine.collect_journal = !cfg.report_dir.empty();
   if (cfg.engine.fault_slow_shard != SIZE_MAX && cfg.engine.fault_slow_us == 0)
     cfg.engine.fault_slow_us = 100;
 

@@ -12,11 +12,15 @@
 # on/off), runs bench_offload --check (host metric-path speedup >=
 # ZPM_OFFLOAD_SPEEDUP_MIN with the data-plane offload on, default 1.3,
 # plus report byte-identity and histogram/CDF agreement), runs
+# bench_query --check (1-epoch-window journal query >=
+# ZPM_QUERY_SPEEDUP_MIN faster than full recompute, default 10, plus
+# journal-vs-recompute bit-identity serial/4-shard/multi-site and a
+# zero-allocation aggregation loop), runs
 # bench_table5_resources --check (extended switch program within the
 # stage/SRAM budget), and captures the google-benchmark pipeline
 # numbers. Artifacts: BENCH_ingest.json, BENCH_filter.json,
-# BENCH_sketch.json, BENCH_offload.json and BENCH_pipeline.json in the
-# CWD.
+# BENCH_sketch.json, BENCH_offload.json, BENCH_query.json and
+# BENCH_pipeline.json in the CWD.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -24,7 +28,7 @@ BUILD_DIR="${1:-build}"
 : "${ZPM_FILTER_SPEEDUP_MIN:=3.0}"
 export ZPM_INGEST_SPEEDUP_MIN ZPM_FILTER_SPEEDUP_MIN
 
-for bin in bench_ingest bench_filter bench_sketch bench_offload bench_table5_resources; do
+for bin in bench_ingest bench_filter bench_sketch bench_offload bench_query bench_table5_resources; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built" >&2
     exit 2
@@ -43,6 +47,9 @@ echo "=== bench_sketch (${ZPM_SKETCH_FLOWS:-1000000} background flows) ==="
 echo "=== bench_offload (speedup threshold ${ZPM_OFFLOAD_SPEEDUP_MIN:-1.3}x) ==="
 "$BUILD_DIR/bench/bench_offload" --check BENCH_offload.json
 
+echo "=== bench_query (speedup threshold ${ZPM_QUERY_SPEEDUP_MIN:-10}x) ==="
+"$BUILD_DIR/bench/bench_query" --check BENCH_query.json
+
 echo "=== bench_table5_resources (extended program budget) ==="
 "$BUILD_DIR/bench/bench_table5_resources" --check
 
@@ -56,4 +63,4 @@ run_pipeline() {
 }
 run_pipeline 0.05s || run_pipeline 0.05
 
-echo "artifacts: BENCH_ingest.json BENCH_filter.json BENCH_sketch.json BENCH_offload.json BENCH_pipeline.json"
+echo "artifacts: BENCH_ingest.json BENCH_filter.json BENCH_sketch.json BENCH_offload.json BENCH_query.json BENCH_pipeline.json"

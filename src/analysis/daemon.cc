@@ -106,7 +106,59 @@ void MonitorDaemon::restore() {
                  static_cast<unsigned long long>(cumulative_.next_epoch_seq));
 }
 
-bool MonitorDaemon::on_epoch(const EpochReport& report) {
+void MonitorDaemon::open_journal() {
+  if (!config_.engine.collect_journal || config_.report_dir.empty()) return;
+  char name[64];
+  std::snprintf(name, sizeof(name), "journal-%s-%012llu.zpmj",
+                config_.site.c_str(),
+                static_cast<unsigned long long>(engine_->next_seq()));
+  journal_name_ = name;
+  // A restart must not orphan earlier segments: merge into whatever
+  // MANIFEST the directory already has (crashed segments stay listed
+  // and stay queryable via the reader's scan fallback).
+  std::string error;
+  if (!query::load_manifest(config_.report_dir, manifest_, &error))
+    manifest_ = query::Manifest{};
+  if (!journal_.open(config_.report_dir + "/" + journal_name_, config_.site,
+                     static_cast<std::uint32_t>(
+                         config_.engine.shards > 0 ? config_.engine.shards : 1),
+                     &error)) {
+    std::fprintf(stderr, "zpm-daemon: journal open failed: %s\n",
+                 error.c_str());
+    journal_name_.clear();
+    return;
+  }
+  if (config_.verbose)
+    std::fprintf(stderr, "zpm-daemon: journal segment %s opened\n",
+                 journal_name_.c_str());
+}
+
+void MonitorDaemon::update_manifest() {
+  if (journal_name_.empty()) return;
+  query::ManifestEntry entry;
+  entry.path = journal_name_;
+  entry.site = config_.site;
+  entry.first_us = journal_.first_us();
+  entry.last_us = journal_.last_us();
+  entry.epochs = journal_.epochs();
+  entry.records = journal_.records();
+  bool replaced = false;
+  for (auto& existing : manifest_.entries) {
+    if (existing.path == entry.path) {
+      existing = entry;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) manifest_.entries.push_back(entry);
+  std::string error;
+  if (!query::save_manifest(manifest_, config_.report_dir, &error))
+    std::fprintf(stderr, "zpm-daemon: manifest write failed: %s\n",
+                 error.c_str());
+}
+
+bool MonitorDaemon::on_epoch(const EpochReport& report,
+                             const query::EpochSliceSet* slices) {
   cumulative_.cumulative_counters.merge(report.counters);
   cumulative_.cumulative_health.merge(report.health);
   stats_.offered_packets += report.packets;
@@ -146,6 +198,19 @@ bool MonitorDaemon::on_epoch(const EpochReport& report) {
       std::fprintf(stderr, "zpm-daemon: epoch report write failed: %s\n",
                    error.c_str());
     }
+  }
+  if (slices != nullptr && journal_.is_open()) {
+    for (const auto& slice : *slices) {
+      if (journal_.append(slice, &error)) {
+        ++stats_.journal_records_written;
+      } else {
+        ok = false;
+        std::fprintf(stderr, "zpm-daemon: journal append failed: %s\n",
+                     error.c_str());
+        break;
+      }
+    }
+    update_manifest();
   }
   if (!config_.snapshot_path.empty()) {
     if (save_snapshot(cumulative_, config_.snapshot_path, &error)) {
@@ -261,7 +326,24 @@ void MonitorDaemon::reload_config_file() {
 }
 
 void MonitorDaemon::final_flush() {
-  if (auto report = engine_->flush()) on_epoch(*report);
+  query::EpochSliceSet last_slices;
+  if (auto report = engine_->flush(&last_slices))
+    on_epoch(*report, last_slices.empty() ? nullptr : &last_slices);
+  if (journal_.is_open()) {
+    std::string error;
+    if (journal_.finalize(&error)) {
+      update_manifest();
+      if (config_.verbose)
+        std::fprintf(stderr, "zpm-daemon: journal segment %s sealed "
+                             "(%llu records)\n",
+                     journal_name_.c_str(),
+                     static_cast<unsigned long long>(
+                         stats_.journal_records_written));
+    } else {
+      std::fprintf(stderr, "zpm-daemon: journal finalize failed: %s\n",
+                   error.c_str());
+    }
+  }
   const overload::GovernorStats gov = engine_->governor_stats();
   stats_.overload_escalations = gov.escalations;
   stats_.overload_recoveries = gov.recoveries;
@@ -321,6 +403,10 @@ void MonitorDaemon::final_flush() {
 int MonitorDaemon::run(net::BatchSource& source) {
   engine_.emplace(config_.engine);
   restore();
+  // After restore: the segment is named by the resumed epoch seq, so a
+  // restarted daemon opens a fresh file and never clobbers the crashed
+  // (index-less, scan-recoverable) one.
+  open_journal();
   if (cumulative_.packets_consumed > 0 &&
       !source.skip_to(cumulative_.packets_consumed)) {
     std::fprintf(stderr,
@@ -334,6 +420,8 @@ int MonitorDaemon::run(net::BatchSource& source) {
   std::vector<net::RawPacketView> batch;
   batch.reserve(config_.max_batch);
   std::vector<EpochReport> completed;
+  std::vector<query::EpochSliceSet> completed_slices;
+  const bool journaling = journal_.is_open();
   std::int64_t last_data_us = steady_us();
   util::Duration backoff = config_.backoff_initial;
   std::int64_t next_reopen_us = 0;
@@ -377,7 +465,9 @@ int MonitorDaemon::run(net::BatchSource& source) {
         next_reopen_us = 0;
         stats_.packets_processed += batch.size();
         completed.clear();
-        engine_->offer(batch, lifetime, completed);
+        completed_slices.clear();
+        engine_->offer(batch, lifetime, completed,
+                       journaling ? &completed_slices : nullptr);
         const int level = engine_->overload_level();
         if (level != last_overload_level) {
           if (config_.verbose)
@@ -387,7 +477,11 @@ int MonitorDaemon::run(net::BatchSource& source) {
                          last_overload_level, level, engine_->overload_pressure());
           last_overload_level = level;
         }
-        for (const auto& report : completed) on_epoch(report);
+        for (std::size_t i = 0; i < completed.size(); ++i) {
+          on_epoch(completed[i], journaling && i < completed_slices.size()
+                                     ? &completed_slices[i]
+                                     : nullptr);
+        }
         if (config_.halt_after_epochs > 0 && !completed.empty() &&
             stats_.epochs_rotated >= config_.halt_after_epochs) {
           // Crash simulation: stop with no drain and no final persist —

@@ -51,8 +51,16 @@ struct DaemonConfig {
   /// disables durability.
   std::string snapshot_path;
   /// Directory receiving one `epoch-NNNNNNNN.bin` per completed epoch;
-  /// empty disables the per-epoch files.
+  /// empty disables the per-epoch files. With `engine.collect_journal`
+  /// it also receives the metric-journal segments
+  /// (`journal-<site>-NNNNNNNNNNNN.zpmj`, named by their starting epoch
+  /// seq so restarts never collide) and a `MANIFEST` rewritten
+  /// atomically at every rotation (journal paths + epoch time spans —
+  /// what zpm_query discovers its inputs from).
   std::string report_dir;
+  /// Site label stamped into journal headers and the MANIFEST (multi-
+  /// site merges group by it).
+  std::string site = "campus";
   /// key=value file re-read on SIGHUP (see reload_config_file()).
   std::string config_path;
   /// Wall-clock quiet time after which an Idle source counts as
@@ -84,6 +92,7 @@ struct DaemonStats {
   std::uint64_t config_reloads = 0;
   std::uint64_t snapshots_written = 0;
   std::uint64_t epoch_files_written = 0;
+  std::uint64_t journal_records_written = 0;
   // Overload governor (zeros when the governor is disabled).
   std::uint64_t overload_escalations = 0;
   std::uint64_t overload_recoveries = 0;
@@ -129,10 +138,16 @@ class MonitorDaemon {
   [[nodiscard]] const SnapshotData& cumulative() const { return cumulative_; }
 
  private:
-  /// Persists + folds one finished epoch. Returns false on I/O failure
-  /// (logged; the daemon keeps running — losing a report file is not
-  /// fatal to measurement).
-  bool on_epoch(const EpochReport& report);
+  /// Persists + folds one finished epoch. `slices` (may be null) is the
+  /// epoch's journal slice set, appended to the live journal segment.
+  /// Returns false on I/O failure (logged; the daemon keeps running —
+  /// losing a report file is not fatal to measurement).
+  bool on_epoch(const EpochReport& report, const query::EpochSliceSet* slices);
+  /// Opens a new journal segment named by the starting epoch seq and
+  /// merges its entry into the (possibly pre-existing) MANIFEST.
+  void open_journal();
+  /// Updates the live segment's MANIFEST entry (span/record counts).
+  void update_manifest();
   void reload_config_file();
   void final_flush();
   void restore();
@@ -142,6 +157,14 @@ class MonitorDaemon {
   /// Daemon-lifetime background-traffic summary, persisted across
   /// restarts (folds every finished epoch's tier report).
   std::optional<sketch::FlowTier> lifetime_tier_;
+
+  // Metric-journal lifecycle (active when engine.collect_journal and
+  // report_dir is set). Records are flushed as appended; the index is
+  // written at graceful drain only — a crash leaves a scan-recoverable
+  // segment, never a torn index.
+  query::JournalWriter journal_;
+  query::Manifest manifest_;
+  std::string journal_name_;  // segment filename (MANIFEST-relative)
 
   SnapshotData cumulative_;
   std::deque<EpochReport> recent_;  // mirror of cumulative_.recent_epochs

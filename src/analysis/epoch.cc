@@ -381,7 +381,8 @@ void EpochEngine::set_global_packets(std::uint64_t n) {
 
 void EpochEngine::offer(std::span<const net::RawPacketView> batch,
                         pipeline::BatchLifetime lifetime,
-                        std::vector<EpochReport>& completed) {
+                        std::vector<EpochReport>& completed,
+                        std::vector<query::EpochSliceSet>* slices) {
   // Packet-exact splitting: rotation falls between exactly the same two
   // packets no matter how the source batched them, so epoch content is
   // independent of batch alignment (the crash-recovery contract).
@@ -390,7 +391,12 @@ void EpochEngine::offer(std::span<const net::RawPacketView> batch,
     if (rotate_before(batch[i].ts)) {
       feed(batch.subspan(run_start, i - run_start), lifetime);
       run_start = i;
-      completed.push_back(close_epoch());
+      if (slices != nullptr && config_.collect_journal) {
+        slices->emplace_back();
+        completed.push_back(close_epoch(&slices->back()));
+      } else {
+        completed.push_back(close_epoch());
+      }
       open_epoch();
     }
     // Observation boundaries are absolute global-index multiples of the
@@ -411,7 +417,7 @@ void EpochEngine::offer(std::span<const net::RawPacketView> batch,
   feed(batch.subspan(run_start), lifetime);
 }
 
-EpochReport EpochEngine::close_epoch() {
+EpochReport EpochEngine::close_epoch(query::EpochSliceSet* slices) {
   EpochReport rep;
   rep.seq = next_seq_++;
   rep.first_packet = global_packets_ - packets_;
@@ -468,13 +474,43 @@ EpochReport EpochEngine::close_epoch() {
   rep.health.source_stalls = 0;
   rep.health.kernel_packets = 0;
   rep.health.kernel_drops = 0;
+  // Journal slices are built from the retiring analyzer state *after*
+  // the gauge zeroing above, so the report bytes shard 0 carries equal
+  // the durable epoch record byte-for-byte.
+  if (slices != nullptr && config_.collect_journal) {
+    query::SliceSource src;
+    src.seq = rep.seq;
+    src.first_packet = rep.first_packet;
+    src.packets = rep.packets;
+    src.first_us = rep.first_ts.us();
+    src.last_us = rep.last_ts.us();
+    src.shard_count = static_cast<std::uint32_t>(
+        config_.shards > 0 ? config_.shards : 1);
+    util::ByteWriter report_bytes(1024);
+    encode_epoch_report(rep, report_bytes);
+    src.report = report_bytes.view();
+    if (parallel_) {
+      const auto& streams = parallel_->streams();
+      src.streams = std::span<const core::StreamInfo* const>(
+          streams.data(), streams.size());
+      src.grouper = &parallel_->meetings();
+      query::build_epoch_slices(src, *slices);
+    } else {
+      slice_streams_.clear();
+      for (const auto& s : serial_->streams().streams())
+        slice_streams_.push_back(s.get());
+      src.streams = slice_streams_;
+      src.grouper = &serial_->meetings();
+      query::build_epoch_slices(src, *slices);
+    }
+  }
   epoch_open_ = false;
   return rep;
 }
 
-std::optional<EpochReport> EpochEngine::flush() {
+std::optional<EpochReport> EpochEngine::flush(query::EpochSliceSet* slices) {
   if (packets_ == 0) return std::nullopt;
-  EpochReport rep = close_epoch();
+  EpochReport rep = close_epoch(slices);
   open_epoch();
   return rep;
 }

@@ -39,6 +39,7 @@
 #include "core/analyzer.h"
 #include "overload/overload.h"
 #include "pipeline/parallel_analyzer.h"
+#include "query/journal.h"
 #include "sketch/sketch.h"
 #include "util/bytes.h"
 #include "util/time.h"
@@ -88,6 +89,13 @@ struct EpochEngineConfig {
   /// shard `fault_slow_shard` sleeps `fault_slow_us` per drained batch.
   std::size_t fault_slow_shard = SIZE_MAX;
   std::uint32_t fault_slow_us = 0;
+  /// Metric-journal collection (query/journal.h): every completed epoch
+  /// additionally yields `shards` journal slices — per-stream and
+  /// per-meeting aggregate rows built from the analyzer state retired
+  /// at rotation, plus the encoded epoch report on shard 0. The slices
+  /// are returned through offer()/flush()'s out-params; the engine
+  /// itself never touches a file.
+  bool collect_journal = false;
 };
 
 /// One completed epoch: the durable unit of the daemon. Everything in
@@ -142,13 +150,17 @@ class EpochEngine {
   /// boundaries; every epoch completed inside the batch is appended to
   /// `completed`. `lifetime` follows the pipeline contract (Pinned
   /// requires the batch storage to outlive the epoch it lands in).
+  /// With `collect_journal`, one EpochSliceSet per completed epoch is
+  /// appended to `slices` (ignored when null or collection is off).
   void offer(std::span<const net::RawPacketView> batch,
              pipeline::BatchLifetime lifetime,
-             std::vector<EpochReport>& completed);
+             std::vector<EpochReport>& completed,
+             std::vector<query::EpochSliceSet>* slices = nullptr);
 
   /// Closes the in-progress epoch (graceful drain / end of stream).
-  /// nullopt when the current epoch is empty.
-  std::optional<EpochReport> flush();
+  /// nullopt when the current epoch is empty. With `collect_journal`,
+  /// the closed epoch's slices land in `*slices` when non-null.
+  std::optional<EpochReport> flush(query::EpochSliceSet* slices = nullptr);
 
   /// Immediate limit change (SIGHUP): applies to the current epoch too,
   /// so a shortened span can close it on the very next packet.
@@ -206,7 +218,10 @@ class EpochEngine {
 
  private:
   void open_epoch();
-  EpochReport close_epoch();
+  /// With journal collection on and `slices` non-null, also builds the
+  /// closed epoch's journal slices — after the report's gauge zeroing,
+  /// so the slice-carried report bytes equal the durable epoch record.
+  EpochReport close_epoch(query::EpochSliceSet* slices = nullptr);
   /// True when the epoch must rotate before admitting a packet at `ts`.
   [[nodiscard]] bool rotate_before(util::Timestamp ts) const;
   void feed(std::span<const net::RawPacketView> run,
@@ -240,6 +255,7 @@ class EpochEngine {
   int epoch_max_level_ = 0;
   std::vector<net::RawPacketView> shed_run_;  // shedder scratch, reused
   capture::BatchVerdicts shed_verdicts_;
+  std::vector<const core::StreamInfo*> slice_streams_;  // slice-build scratch
 
   std::uint64_t next_seq_ = 0;
   std::uint64_t global_packets_ = 0;  // next packet's global index

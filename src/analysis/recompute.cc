@@ -1,0 +1,39 @@
+#include "analysis/recompute.h"
+
+#include <vector>
+
+namespace zpm::analysis {
+
+void recompute_query_result(const query::QueryRequest& request,
+                            std::span<const net::RawPacketView> packets,
+                            const EpochEngineConfig& engine_config,
+                            const std::string& site,
+                            query::QueryResult& out) {
+  EpochEngineConfig config = engine_config;
+  config.collect_journal = true;
+  EpochEngine engine(config);
+  std::vector<EpochReport> completed;
+  std::vector<query::EpochSliceSet> slice_sets;
+  engine.offer(packets, pipeline::BatchLifetime::Pinned, completed,
+               &slice_sets);
+  query::EpochSliceSet last;
+  if (engine.flush(&last)) slice_sets.push_back(std::move(last));
+
+  const std::vector<std::string> sites{site};
+  query::QueryEngine aggregate;
+  aggregate.begin(request, sites);
+  out = query::QueryResult{};
+  for (const auto& set : slice_sets) {
+    for (const auto& slice : set) {
+      // Same selection predicate as JournalReader::select(): whole
+      // epochs, by closed-span overlap with the closed window.
+      if (slice.last_us < request.from_us || slice.first_us > request.to_us)
+        continue;
+      aggregate.add_slice(slice, 0);
+      ++out.records_read;
+    }
+  }
+  aggregate.finish(out);
+}
+
+}  // namespace zpm::analysis

@@ -1,0 +1,33 @@
+// Monolithic recompute — the reference path for query bit-identity.
+//
+// The journal path answers a window query from pre-aggregated records;
+// this path answers the same query by running the *entire* packet
+// stream through a fresh EpochEngine (journal collection on), keeping
+// only the epochs whose spans overlap the window, and folding their
+// slices through the same QueryEngine. It is O(trace) regardless of
+// window size — exactly what the indexed journal exists to avoid — and
+// serves two purposes: tests compare encode_query_result() bytes
+// between the two paths (the exactness oracle), and bench_query uses
+// the runtime ratio as its ≥10x speedup gate.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "analysis/epoch.h"
+#include "net/trace_source.h"
+#include "query/query.h"
+
+namespace zpm::analysis {
+
+/// Answers `request` by full recompute over `packets` (pinned storage —
+/// it must outlive the call). The engine config's `collect_journal` is
+/// forced on; `shards` is honored (slice rows are shard-count-invariant,
+/// so the answer is too).
+void recompute_query_result(const query::QueryRequest& request,
+                            std::span<const net::RawPacketView> packets,
+                            const EpochEngineConfig& engine_config,
+                            const std::string& site,
+                            query::QueryResult& out);
+
+}  // namespace zpm::analysis

@@ -1,0 +1,83 @@
+#include "util/fsio.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace zpm::util {
+
+namespace {
+
+#if defined(__unix__) || defined(__APPLE__)
+/// Fsyncs the directory containing `path`, making a just-completed
+/// rename() in it durable across power failure (fsync of the file alone
+/// only makes the *data* durable, not the directory entry).
+bool fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : slash == 0 ? "/" : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd < 0) return false;
+  // Some filesystems reject fsync on directories (EINVAL); the rename
+  // itself still succeeded, so treat that as best-effort, not failure.
+  const bool ok = ::fsync(dfd) == 0 || errno == EINVAL;
+  ::close(dfd);
+  return ok;
+}
+#endif
+
+}  // namespace
+
+bool write_file_atomic(std::span<const std::uint8_t> bytes,
+                       const std::string& path, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr)
+      *error = "cannot open " + tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+#if defined(__unix__) || defined(__APPLE__)
+  if (ok) ok = ::fsync(fileno(f)) == 0;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  if (ok) ok = fsync_parent_dir(path);
+#endif
+  if (!ok) {
+    if (error != nullptr)
+      *error = "cannot write " + path + ": " + std::strerror(errno);
+    std::remove(tmp.c_str());
+  }
+  return ok;
+}
+
+bool read_file_all(const std::string& path, std::vector<std::uint8_t>& out,
+                   bool& missing) {
+  missing = false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    missing = errno == ENOENT;
+    return false;
+  }
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    out.insert(out.end(), buf, buf + n);
+    if (n < sizeof(buf)) break;
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace zpm::util

@@ -1,0 +1,33 @@
+// Durable file I/O primitives shared by everything that persists state
+// (snapshots, per-epoch report files, metric-journal manifests).
+//
+// The atomic-write discipline lives here so every on-disk artifact gets
+// the same crash posture: write to `path`.tmp, flush, fsync, rename
+// over `path`, fsync the parent directory. A reader therefore only ever
+// sees either the old complete file or the new complete file — never a
+// torn one. (Append-only files like metric journals cannot use whole-
+// file replacement; they get per-record CRC framing instead, see
+// query/journal.h.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace zpm::util {
+
+/// Atomic whole-file write: `path`.tmp, flush + fsync, rename over
+/// `path`, fsync of the parent directory (so the rename survives power
+/// loss too). False with `error` set on any I/O failure; a failed write
+/// never clobbers an existing good file.
+bool write_file_atomic(std::span<const std::uint8_t> bytes,
+                       const std::string& path, std::string* error = nullptr);
+
+/// Whole-file read into `out` (appended). False on open/read failure;
+/// `missing` distinguishes ENOENT from real I/O errors so callers can
+/// treat a first run differently from a broken disk.
+bool read_file_all(const std::string& path, std::vector<std::uint8_t>& out,
+                   bool& missing);
+
+}  // namespace zpm::util

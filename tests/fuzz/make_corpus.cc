@@ -18,6 +18,7 @@
 #include "capture/offload.h"
 #include "net/build.h"
 #include "net/pcap.h"
+#include "query/query.h"
 #include "sketch/sketch.h"
 #include "proto/rtcp.h"
 #include "proto/rtp.h"
@@ -505,6 +506,113 @@ int main(int argc, char** argv) {
     frame.push_back(2);  // selector: field extraction
     frame.insert(frame.end(), frame1.data.begin(), frame1.data.end());
     write_seed(root / "fuzz_offload", "covered_frame.bin", frame);
+  }
+
+  // fuzz_query: [selector u8] routes 0 -> journal file image, 1 ->
+  // record payload, 2 -> query-request text, 3 -> MANIFEST text. Seeds:
+  // a sealed two-record journal and its unsealed (scan-path) twin, one
+  // encoded record, and canonical request/manifest text, so the fuzzer
+  // starts past the CRC framing and the header grammar.
+  {
+    query::EpochSlice slice;
+    slice.seq = 0;
+    slice.packets = 500;
+    slice.first_us = 1'700'000'000'000'000;
+    slice.last_us = slice.first_us + 5'000'000;
+
+    query::MeetingRow meeting;
+    meeting.meeting_key =
+        (std::uint64_t{net::Ipv4Addr(10, 8, 1, 20).value()} << 16) | 52'000;
+    meeting.stream_rows = 1;
+    meeting.participants = 2;
+    meeting.first_us = slice.first_us;
+    meeting.last_us = slice.last_us;
+    meeting.sfu_rtt_us.add(12'000);
+    slice.meetings.push_back(meeting);
+
+    query::StreamRow stream;
+    net::FiveTuple t{net::Ipv4Addr(10, 8, 1, 20),
+                     net::Ipv4Addr(170, 114, 0, 10), 52'000, 8801, 17};
+    stream.flow = net::PackedFlowKey(t);
+    stream.ssrc = 17;
+    stream.meeting_key = meeting.meeting_key;
+    stream.client_ip = net::Ipv4Addr(10, 8, 1, 20).value();
+    stream.client_port = 52'000;
+    stream.first_us = slice.first_us;
+    stream.last_us = slice.last_us;
+    stream.media_packets = 480;
+    stream.media_payload_bytes = 400'000;
+    stream.received = 480;
+    stream.unique_packets = 478;
+    stream.duplicates = 2;
+    stream.frames = 150;
+    stream.seconds = 5;
+    stream.rtt_us.add(20'000);
+    stream.jitter_us.add(900);
+    stream.bitrate_kbps.add(640);
+    slice.streams.push_back(stream);
+
+    query::EpochSlice slice2 = slice;
+    slice2.seq = 1;
+    slice2.first_packet = slice.packets;
+    slice2.first_us = slice.last_us + 1;
+    slice2.last_us = slice2.first_us + 5'000'000;
+
+    const auto journal_bytes = [&](bool finalize) {
+      const fs::path tmp = root / "tmp_journal.zpmj";
+      query::JournalWriter writer;
+      std::string error;
+      writer.open(tmp.string(), "lab", 1, &error);
+      writer.append(slice, &error);
+      writer.append(slice2, &error);
+      if (finalize)
+        writer.finalize(&error);
+      else
+        writer.abandon();
+      std::ifstream in(tmp, std::ios::binary);
+      std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                      std::istreambuf_iterator<char>()};
+      fs::remove(tmp);
+      return bytes;
+    };
+    std::vector<std::uint8_t> seed;
+    seed.push_back(0);  // selector: journal image
+    const auto sealed = journal_bytes(true);
+    seed.insert(seed.end(), sealed.begin(), sealed.end());
+    write_seed(root / "fuzz_query", "journal_sealed.bin", seed);
+
+    seed.clear();
+    seed.push_back(0);
+    const auto unsealed = journal_bytes(false);
+    seed.insert(seed.end(), unsealed.begin(), unsealed.end());
+    write_seed(root / "fuzz_query", "journal_unsealed.bin", seed);
+
+    seed.clear();
+    seed.push_back(1);  // selector: record payload
+    util::ByteWriter sw;
+    query::encode_epoch_slice(slice, sw);
+    seed.insert(seed.end(), sw.view().begin(), sw.view().end());
+    write_seed(root / "fuzz_query", "slice.bin", seed);
+
+    query::QueryRequest request;
+    request.from_us = slice.first_us;
+    request.to_us = slice2.last_us;
+    request.metric = query::QueryMetric::SfuRtt;
+    request.group = query::QueryGroupBy::Meeting;
+    request.has_meeting = true;
+    request.meeting_key = meeting.meeting_key;
+    const std::string spec = query::format_query_request(request);
+    seed.assign(1, 2);  // selector: request text
+    seed.insert(seed.end(), spec.begin(), spec.end());
+    write_seed(root / "fuzz_query", "request.bin", seed);
+
+    query::Manifest manifest;
+    manifest.entries.push_back({"journal-lab-000000000000.zpmj", "lab",
+                                slice.first_us, slice2.last_us, 2, 2});
+    const std::string text = query::format_manifest(manifest);
+    seed.assign(1, 3);  // selector: manifest text
+    seed.insert(seed.end(), text.begin(), text.end());
+    write_seed(root / "fuzz_query", "manifest.bin", seed);
   }
 
   std::printf("corpus written under %s\n", root.string().c_str());
