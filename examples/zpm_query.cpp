@@ -169,6 +169,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
+    // Match manifest mode: scan-time corruption is accounted in the
+    // result, never silently dropped.
+    for (const auto& r : owned)
+      result.records_corrupt += r->scan_stats().corrupt_records;
   }
 
   std::fputs(query::render_query_result(result).c_str(), stdout);

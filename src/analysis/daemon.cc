@@ -108,11 +108,13 @@ void MonitorDaemon::restore() {
 
 void MonitorDaemon::open_journal() {
   if (!config_.engine.collect_journal || config_.report_dir.empty()) return;
-  char name[64];
-  std::snprintf(name, sizeof(name), "journal-%s-%012llu.zpmj",
-                config_.site.c_str(),
+  // No fixed name buffer: a long --site must not truncate away the
+  // epoch-seq suffix (the restart-collision guard) or two runs would
+  // compute the same filename and clobber a crashed segment.
+  char seq[32];
+  std::snprintf(seq, sizeof(seq), "%012llu",
                 static_cast<unsigned long long>(engine_->next_seq()));
-  journal_name_ = name;
+  journal_name_ = "journal-" + config_.site + "-" + seq + ".zpmj";
   // A restart must not orphan earlier segments: merge into whatever
   // MANIFEST the directory already has (crashed segments stay listed
   // and stay queryable via the reader's scan fallback).

@@ -530,8 +530,14 @@ bool JournalReader::try_index() {
     return false;
   if (util::crc32(bytes_.subspan(bytes_.size() - kTrailerLen, 16)) != seek_crc)
     return false;
-  if (index_offset < body_begin_ || index_frame_len < kFrameOverhead ||
-      index_offset + index_frame_len != bytes_.size() - kTrailerLen)
+  // Subtraction-only bounds math: `index_offset + index_frame_len` can
+  // wrap u64 for a hostile trailer (the seek CRC covers whatever the
+  // attacker wrote), so never form that sum. body_end >= body_begin_ is
+  // guaranteed by the size probe above.
+  const std::uint64_t body_end = bytes_.size() - kTrailerLen;
+  if (index_frame_len < kFrameOverhead ||
+      index_frame_len > body_end - body_begin_ ||
+      index_offset != body_end - index_frame_len)
     return false;
 
   util::ByteReader f(bytes_.subspan(index_offset, index_frame_len));
@@ -560,9 +566,11 @@ bool JournalReader::try_index() {
     info.packets = p.u64be();
     // The index is trusted for *seeking*, so every claim in it is
     // validated here: offsets inside the body, spans ordered, time
-    // monotone (what binary search relies on).
+    // monotone (what binary search relies on). `offset + frame_len`
+    // can wrap u64, so the containment check is subtraction-based.
     if (info.offset < body_begin_ || info.frame_len < kFrameOverhead ||
-        info.offset + info.frame_len > index_offset ||
+        info.frame_len > index_offset ||
+        info.offset > index_offset - info.frame_len ||
         info.first_us > info.last_us)
       return false;
     if (!records_.empty() && (info.first_us < records_.back().first_us ||
@@ -699,7 +707,10 @@ std::pair<std::size_t, std::size_t> JournalReader::select(
 bool JournalReader::read(std::size_t i, EpochSlice& out) const {
   if (i >= records_.size()) return false;
   const JournalRecordInfo& info = records_[i];
-  if (info.offset + info.frame_len > bytes_.size()) return false;
+  // Wrap-proof containment check (mirrors try_index's validation).
+  if (info.frame_len > bytes_.size() ||
+      info.offset > bytes_.size() - info.frame_len)
+    return false;
   util::ByteReader f(bytes_.subspan(info.offset, info.frame_len));
   const auto marker = f.bytes(4);
   if (marker.size() != 4 || std::memcmp(marker.data(), kRecordMarker, 4) != 0)
@@ -741,14 +752,18 @@ constexpr std::string_view kManifestHeader = "zpm-manifest v1";
 std::string format_manifest(const Manifest& manifest) {
   std::string out(kManifestHeader);
   out += '\n';
-  char buf[256];
+  // Variable-length fields (path, site) append via std::string — a
+  // fixed buffer would silently truncate long sites and merge the next
+  // line into this one, breaking the format/parse fixpoint.
+  char buf[160];
   for (const auto& e : manifest.entries) {
     out += "journal ";
     out += e.path;
+    out += " site=";
+    out += e.site;
     std::snprintf(buf, sizeof(buf),
-                  " site=%s first_us=%lld last_us=%lld epochs=%llu "
-                  "records=%llu\n",
-                  e.site.c_str(), static_cast<long long>(e.first_us),
+                  " first_us=%lld last_us=%lld epochs=%llu records=%llu\n",
+                  static_cast<long long>(e.first_us),
                   static_cast<long long>(e.last_us),
                   static_cast<unsigned long long>(e.epochs),
                   static_cast<unsigned long long>(e.records));

@@ -470,6 +470,16 @@ bool run_query(const QueryRequest& request,
       }
     }
     if (best == nullptr) break;
+    // select() guarantees overlap only in index mode (where last_us is
+    // validated nondecreasing). A scanned spliced/hostile file can put
+    // a non-overlapping record inside the range; re-check with the same
+    // predicate recompute_query_result uses, so such records are
+    // excluded rather than folded into the answer.
+    if (best_info->last_us < request.from_us ||
+        best_info->first_us > request.to_us) {
+      best->advance();
+      continue;
+    }
     if (best->reader->read(best->record_index(), scratch)) {
       ++out.records_read;
       engine.add_slice(scratch, best->site);

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include "net/trace_source.h"
 #include "query/query.h"
 #include "sim/meeting.h"
+#include "util/crc32.h"
+#include "util/fsio.h"
 
 namespace zpm::query {
 namespace {
@@ -388,6 +391,86 @@ TEST(Journal, CorruptAndTruncatedRecordsAreSkippedAndAccounted) {
     std::size_t total_records = 0;
     for (const auto& set : sets) total_records += set.size();
     EXPECT_EQ(reader.records().size(), total_records - 1);
+  }
+}
+
+// A hostile trailer or index can be CRC-valid (both checksums cover
+// attacker-controlled bytes), so the only defence against u64 offsets
+// chosen to wrap `a + b` containment checks is wrap-proof bounds math.
+// Each tampered image below passed the old additive checks (offset +
+// len ≡ limit mod 2^64) and must now be rejected, dropping the reader
+// to the scan fallback — never an out-of-range subspan.
+TEST(Journal, WrappingTrailerAndIndexOffsetsAreRejected) {
+  const auto dir = state_dir("q_wrap");
+  const auto sets = run_slices(engine_config(), views_of(site_a_packets()));
+  const auto path = write_journal(dir / "wrap.zpmj", sets, "lab", true);
+  std::vector<std::uint8_t> bytes;
+  bool missing = false;
+  ASSERT_TRUE(util::read_file_all(path, bytes, missing));
+  std::size_t total_records = 0;
+  for (const auto& set : sets) total_records += set.size();
+
+  const auto store64 = [](std::uint8_t* p, std::uint64_t v) {
+    for (int i = 7; i >= 0; --i) {
+      p[i] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+  };
+  const auto store32 = [](std::uint8_t* p, std::uint32_t v) {
+    for (int i = 3; i >= 0; --i) {
+      p[i] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+  };
+  const auto load64 = [](const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+    return v;
+  };
+  constexpr std::size_t kTrailerLen = 24;
+  constexpr std::size_t kFrameOverhead = 17;
+
+  // Trailer with index_offset = body_end - huge_len (mod 2^64): the sum
+  // lands exactly on body_end, so an additive equality check passes
+  // while the offset itself points far past EOF.
+  {
+    auto img = bytes;
+    std::uint8_t* trailer = img.data() + img.size() - kTrailerLen;
+    const std::uint64_t body_end = img.size() - kTrailerLen;
+    const std::uint64_t frame_len = std::uint64_t{1} << 63;
+    store64(trailer, body_end - frame_len);  // wraps
+    store64(trailer + 8, frame_len);
+    store32(trailer + 16, util::crc32(std::span(trailer, 16)));
+    JournalReader reader;
+    std::string error;
+    ASSERT_TRUE(reader.open_bytes(img, &error)) << error;
+    EXPECT_FALSE(reader.scan_stats().used_index);
+    EXPECT_EQ(reader.records().size(), total_records);
+    EpochSlice slice;
+    for (std::size_t i = 0; i < reader.records().size(); ++i)
+      EXPECT_TRUE(reader.read(i, slice));
+  }
+
+  // Valid trailer, but the first index entry claims offset + frame_len
+  // ≡ 0 (mod 2^64); the payload CRC is recomputed so the frame itself
+  // checks out.
+  {
+    auto img = bytes;
+    const std::uint8_t* trailer = img.data() + img.size() - kTrailerLen;
+    const std::uint64_t index_offset = load64(trailer);
+    std::uint8_t* frame = img.data() + index_offset;
+    std::uint8_t* payload = frame + kFrameOverhead;
+    const std::uint64_t payload_len = load64(frame + 5);
+    ASSERT_GE(payload_len, 4u + 52u);  // record count + one entry
+    std::uint8_t* entry = payload + 4;  // seq@0 shard@8 offset@12 len@20
+    store64(entry + 12, std::uint64_t{0} - index_offset);
+    store64(entry + 20, index_offset);
+    store32(frame + 13, util::crc32(std::span(payload, payload_len)));
+    JournalReader reader;
+    std::string error;
+    ASSERT_TRUE(reader.open_bytes(img, &error)) << error;
+    EXPECT_FALSE(reader.scan_stats().used_index);
+    EXPECT_EQ(reader.records().size(), total_records);
   }
 }
 
